@@ -1,0 +1,166 @@
+package blobcr_test
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the ablations. Each benchmark regenerates its experiment's series
+// through internal/bench and reports the headline metric the paper quotes
+// so `go test -bench=. -benchmem` doubles as the reproduction run. The full
+// tables are printed by cmd/blobcr-bench.
+
+import (
+	"testing"
+
+	"blobcr/internal/bench"
+	"blobcr/internal/simcloud"
+)
+
+var (
+	params = simcloud.Default()
+	cm1    = simcloud.DefaultCM1()
+)
+
+// last returns the final row of a series (the largest scale).
+func last(s bench.Series) bench.Row { return s.Rows[len(s.Rows)-1] }
+
+func BenchmarkFig2aCheckpoint50MB(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.Fig2aCheckpoint50MB(params)
+	}
+	r := last(s)
+	b.ReportMetric(r.Values[0], "BlobCR-app_s@120")
+	b.ReportMetric(r.Values[1], "qcow2-disk-app_s@120")
+	b.ReportMetric(r.Values[4], "qcow2-full_s@120")
+}
+
+func BenchmarkFig2bCheckpoint200MB(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.Fig2bCheckpoint200MB(params)
+	}
+	r := last(s)
+	b.ReportMetric(r.Values[0], "BlobCR-app_s@120")
+	b.ReportMetric(r.Values[1]/r.Values[0], "app_speedup_x")
+	b.ReportMetric(r.Values[3]/r.Values[2], "blcr_speedup_x")
+	b.ReportMetric(r.Values[4]/r.Values[0], "vs_full_x")
+}
+
+func BenchmarkFig3aRestart50MB(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.Fig3aRestart50MB(params)
+	}
+	r := last(s)
+	b.ReportMetric(r.Values[0], "BlobCR-app_s@120")
+	b.ReportMetric(r.Values[1]/r.Values[0], "vs_qcow2_x")
+}
+
+func BenchmarkFig3bRestart200MB(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.Fig3bRestart200MB(params)
+	}
+	r := last(s)
+	b.ReportMetric(r.Values[0], "BlobCR-app_s@120")
+	b.ReportMetric(r.Values[1]/r.Values[0], "vs_qcow2_x")
+	b.ReportMetric(r.Values[4]/r.Values[0], "vs_full_x")
+}
+
+func BenchmarkFig4SnapshotSize(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.Fig4SnapshotSize(params)
+	}
+	r := last(s) // 200 MB row
+	b.ReportMetric(r.Values[0], "BlobCR-app_MB")
+	b.ReportMetric(r.Values[1], "qcow2-disk-app_MB")
+	b.ReportMetric(r.Values[4], "qcow2-full_MB")
+}
+
+func BenchmarkFig5aSuccessiveTime(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.Fig5aSuccessiveTime(params)
+	}
+	first, fourth := s.Rows[0], s.Rows[3]
+	b.ReportMetric(fourth.Values[0]-first.Values[0], "BlobCR_growth_s")
+	b.ReportMetric(fourth.Values[1]-first.Values[1], "qcow2-disk_growth_s")
+}
+
+func BenchmarkFig5bSuccessiveSpace(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.Fig5bSuccessiveSpace(params)
+	}
+	r := last(s)
+	b.ReportMetric(r.Values[0], "BlobCR_MB@4")
+	b.ReportMetric(r.Values[1], "qcow2-disk_MB@4")
+	b.ReportMetric(r.Values[4], "qcow2-full_MB@4")
+}
+
+func BenchmarkTable1CM1SnapshotSize(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.Table1CM1SnapshotSize(params, cm1)
+	}
+	r := s.Rows[0]
+	b.ReportMetric(r.Values[0], "BlobCR-app_MB")
+	b.ReportMetric(r.Values[1], "qcow2-disk-app_MB")
+	b.ReportMetric(r.Values[2], "BlobCR-blcr_MB")
+	b.ReportMetric(r.Values[3], "qcow2-disk-blcr_MB")
+}
+
+func BenchmarkFig6CM1CheckpointTime(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.Fig6CM1Checkpoint(params, cm1)
+	}
+	r := last(s) // 400 processes
+	b.ReportMetric(r.Values[0], "BlobCR-app_s@400")
+	b.ReportMetric(r.Values[1]/r.Values[0], "app_speedup_x")
+	b.ReportMetric(r.Values[3]/r.Values[2], "blcr_speedup_x")
+}
+
+func BenchmarkAblationStripeSize(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.AblationStripeSize(params)
+	}
+	b.ReportMetric(s.Rows[2].Values[0], "ckpt_s@256KB")
+}
+
+func BenchmarkAblationReplication(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.AblationReplication(params)
+	}
+	b.ReportMetric(s.Rows[1].Values[0]/s.Rows[0].Values[0], "r2_vs_r1_x")
+}
+
+func BenchmarkAblationRestartTransfer(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.AblationRestartTransfer(params)
+	}
+	r := last(s)
+	b.ReportMetric(r.Values[1]/r.Values[0], "broadcast_vs_lazy_x")
+}
+
+func BenchmarkAblationMetadataProviders(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.AblationMetadataProviders(params)
+	}
+	b.ReportMetric(s.Rows[0].Values[0]/s.Rows[4].Values[0], "m1_vs_m20_x")
+}
+
+func BenchmarkAblationGranularity(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.AblationGranularity(params)
+	}
+	for _, r := range s.Rows {
+		if r.X == 200 {
+			b.ReportMetric(r.Values[2], "tax_pct@200MB")
+		}
+	}
+}

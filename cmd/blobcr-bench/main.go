@@ -1,0 +1,66 @@
+// Command blobcr-bench regenerates every table and figure of the paper's
+// evaluation section (Figures 2-6, Table 1) plus the ablation studies, and
+// prints them as aligned text tables.
+//
+// Usage:
+//
+//	blobcr-bench            # all paper experiments
+//	blobcr-bench -ablations # include the ablation studies
+//	blobcr-bench -only fig2b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blobcr/internal/bench"
+	"blobcr/internal/simcloud"
+)
+
+func main() {
+	ablations := flag.Bool("ablations", false, "also run the ablation studies")
+	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, table1, fig6)")
+	flag.Parse()
+
+	p := simcloud.Default()
+	c := simcloud.DefaultCM1()
+
+	byName := map[string]func() bench.Series{
+		"fig2a":  func() bench.Series { return bench.Fig2aCheckpoint50MB(p) },
+		"fig2b":  func() bench.Series { return bench.Fig2bCheckpoint200MB(p) },
+		"fig3a":  func() bench.Series { return bench.Fig3aRestart50MB(p) },
+		"fig3b":  func() bench.Series { return bench.Fig3bRestart200MB(p) },
+		"fig4":   func() bench.Series { return bench.Fig4SnapshotSize(p) },
+		"fig5a":  func() bench.Series { return bench.Fig5aSuccessiveTime(p) },
+		"fig5b":  func() bench.Series { return bench.Fig5bSuccessiveSpace(p) },
+		"table1": func() bench.Series { return bench.Table1CM1SnapshotSize(p, c) },
+		"fig6":   func() bench.Series { return bench.Fig6CM1Checkpoint(p, c) },
+	}
+
+	if *only != "" {
+		gen, ok := byName[strings.ToLower(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		s := gen()
+		s.Render(os.Stdout)
+		return
+	}
+
+	fmt.Println("BlobCR evaluation reproduction (SC'11, Nicolae & Cappello)")
+	fmt.Println("Testbed model: 120 compute nodes, 55 MB/s disks, 117.5 MB/s GbE, 256 KB stripes")
+	fmt.Println()
+	for _, s := range bench.All(p, c) {
+		s.Render(os.Stdout)
+	}
+	if *ablations {
+		fmt.Println("Ablation studies")
+		fmt.Println()
+		for _, s := range bench.Ablations(p) {
+			s.Render(os.Stdout)
+		}
+	}
+}

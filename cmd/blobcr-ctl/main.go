@@ -1,0 +1,176 @@
+// Command blobcr-ctl is the cloud client's tool for manipulating disk
+// images in the checkpoint repository: upload and download images, list
+// blobs and versions, clone images, and inspect the file system inside a
+// snapshot (the paper's standalone-checkpoint-inspection scenario).
+//
+//	blobcr-ctl -vmanager ... -pmanager ... -meta ... upload  base.raw
+//	blobcr-ctl ... list
+//	blobcr-ctl ... download <blob> <version> out.raw
+//	blobcr-ctl ... clone    <blob> <version>
+//	blobcr-ctl ... inspect  <blob> <version> [path]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/guestfs"
+	"blobcr/internal/mirror"
+	"blobcr/internal/transport"
+)
+
+const defaultChunkSize = 256 * 1024
+
+func main() {
+	vmAddr := flag.String("vmanager", "", "version manager address")
+	pmAddr := flag.String("pmanager", "", "provider manager address")
+	meta := flag.String("meta", "", "comma-separated metadata provider addresses")
+	chunk := flag.Uint64("chunk", defaultChunkSize, "chunk size for uploads")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		usage()
+	}
+	if *vmAddr == "" || *pmAddr == "" || *meta == "" {
+		fmt.Fprintln(os.Stderr, "blobcr-ctl: -vmanager, -pmanager and -meta are required")
+		os.Exit(2)
+	}
+	client := &blobseer.Client{
+		Net:       transport.NewTCP(),
+		VMAddr:    *vmAddr,
+		PMAddr:    *pmAddr,
+		MetaAddrs: strings.Split(*meta, ","),
+	}
+
+	args := flag.Args()
+	switch args[0] {
+	case "upload":
+		need(args, 2)
+		raw, err := os.ReadFile(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob, err := client.CreateBlob(*chunk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := client.WriteAt(blob, 0, raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("uploaded %s: blob=%d version=%d size=%d\n", args[1], blob, info.Version, info.Size)
+
+	case "list":
+		blobs, err := client.ListBlobs()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %-12s %-10s %s\n", "BLOB", "CHUNKSIZE", "VERSIONS", "LATEST-SIZE")
+		for _, b := range blobs {
+			size := "-"
+			if b.Versions > 0 {
+				if info, _, err := client.Latest(b.ID); err == nil {
+					size = strconv.FormatUint(info.Size, 10)
+				}
+			}
+			fmt.Printf("%-8d %-12d %-10d %s\n", b.ID, b.ChunkSize, b.Versions, size)
+		}
+
+	case "download":
+		need(args, 4)
+		blob, version := parseU64(args[1]), parseU64(args[2])
+		info, _, err := client.GetVersion(blob, version)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := client.ReadVersion(blob, version, 0, info.Size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(args[3], data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("downloaded blob=%d version=%d (%d bytes) to %s\n", blob, version, len(data), args[3])
+
+	case "clone":
+		need(args, 3)
+		blob, version := parseU64(args[1]), parseU64(args[2])
+		id, err := client.Clone(blob, version)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cloned blob=%d version=%d -> blob=%d\n", blob, version, id)
+
+	case "inspect":
+		need(args, 3)
+		blob, version := parseU64(args[1]), parseU64(args[2])
+		mod, err := mirror.Attach(client, blob, version)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs, err := guestfs.Mount(mod)
+		if err != nil {
+			log.Fatalf("snapshot does not hold a guest file system: %v", err)
+		}
+		path := "/"
+		if len(args) > 3 {
+			path = args[3]
+		}
+		info, err := fs.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !info.IsDir {
+			data, err := fs.ReadFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			os.Stdout.Write(data)
+			return
+		}
+		entries, err := fs.ReadDir(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			kind := "f"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %10d  %s\n", kind, e.Size, e.Name)
+		}
+
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func parseU64(s string) uint64 {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		log.Fatalf("bad number %q", s)
+	}
+	return v
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: blobcr-ctl -vmanager A -pmanager A -meta A[,A...] <command>
+commands:
+  upload <file>                       store a raw image, print blob id
+  list                                list blobs and versions
+  download <blob> <version> <file>    fetch a snapshot as a raw image
+  clone <blob> <version>              clone a snapshot into a new image
+  inspect <blob> <version> [path]     browse the guest fs inside a snapshot`)
+	os.Exit(2)
+}

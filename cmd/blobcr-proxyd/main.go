@@ -1,0 +1,89 @@
+// Command blobcr-proxyd runs a compute node's checkpointing agent: it boots
+// VM instances from a base image stored in a BlobSeer deployment (lazy
+// transfer through the mirroring module) and serves checkpoint requests for
+// them on the local checkpointing proxy port.
+//
+//	blobcr-proxyd -vmanager host:7700 -pmanager host:7701 \
+//	    -meta host:7710,host:7711 -base 1 -instances 2 -listen 127.0.0.1:7800
+//
+// Tokens for the hosted instances are printed at startup; guests use them
+// with the proxy protocol (CHECKPOINT <vm-id> <token>).
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/mirror"
+	"blobcr/internal/proxy"
+	"blobcr/internal/transport"
+	"blobcr/internal/vm"
+)
+
+func main() {
+	vmAddr := flag.String("vmanager", "", "version manager address")
+	pmAddr := flag.String("pmanager", "", "provider manager address")
+	meta := flag.String("meta", "", "comma-separated metadata provider addresses")
+	base := flag.Uint64("base", 0, "base image blob id")
+	version := flag.Uint64("version", 0, "base image version")
+	instances := flag.Int("instances", 1, "VM instances to host")
+	listen := flag.String("listen", "127.0.0.1:0", "proxy listen address")
+	node := flag.String("node", "node-0", "node name used in VM ids")
+	flag.Parse()
+
+	if *vmAddr == "" || *pmAddr == "" || *meta == "" || *base == 0 {
+		fmt.Fprintln(os.Stderr, "blobcr-proxyd: -vmanager, -pmanager, -meta and -base are required")
+		os.Exit(2)
+	}
+	net := transport.NewTCP()
+	client := &blobseer.Client{
+		Net:       net,
+		VMAddr:    *vmAddr,
+		PMAddr:    *pmAddr,
+		MetaAddrs: strings.Split(*meta, ","),
+	}
+
+	p := proxy.New()
+	srv, err := p.Serve(net, *listen)
+	if err != nil {
+		log.Fatalf("start proxy: %v", err)
+	}
+	log.Printf("checkpointing proxy listening on %s", srv.Addr())
+
+	for i := 0; i < *instances; i++ {
+		mod, err := mirror.Attach(client, *base, *version)
+		if err != nil {
+			log.Fatalf("attach base image: %v", err)
+		}
+		id := fmt.Sprintf("%s-vm-%d", *node, i)
+		inst := vm.New(id, mod, vm.Config{})
+		if err := inst.Boot(); err != nil {
+			log.Fatalf("boot %s: %v", id, err)
+		}
+		token := newToken()
+		p.Register(id, token, inst, mod)
+		log.Printf("instance %s booted (disk %d MB); token %s", id, mod.Size()/1e6, token)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	srv.Close()
+}
+
+func newToken() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		log.Fatalf("token: %v", err)
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,82 @@
+// Command blobseerd runs one BlobSeer service role over TCP. A full
+// deployment is one version manager, one provider manager, several metadata
+// providers and one data provider per compute node:
+//
+//	blobseerd -role vmanager -listen :7700
+//	blobseerd -role pmanager -listen :7701
+//	blobseerd -role meta     -listen :7710
+//	blobseerd -role data     -listen :7720 -pmanager host:7701 -dir /var/blobseer
+//
+// Data providers register themselves with the provider manager and store
+// chunks on the local disk (-dir) or in memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/transport"
+)
+
+func main() {
+	role := flag.String("role", "", "service role: vmanager | pmanager | meta | data")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	pmanager := flag.String("pmanager", "", "provider manager address (data role)")
+	dir := flag.String("dir", "", "chunk directory (data role; empty = in-memory)")
+	advertise := flag.String("advertise", "", "address to register with the provider manager (default: the bound address)")
+	flag.Parse()
+
+	net := transport.NewTCP()
+	var srv transport.Server
+	var err error
+
+	switch *role {
+	case "vmanager":
+		srv, err = blobseer.NewVersionManager().Serve(net, *listen)
+	case "pmanager":
+		srv, err = blobseer.NewProviderManager().Serve(net, *listen)
+	case "meta":
+		srv, err = blobseer.NewMetadataProvider().Serve(net, *listen)
+	case "data":
+		var store chunkstore.Store
+		if *dir != "" {
+			store, err = chunkstore.NewDisk(*dir)
+			if err != nil {
+				log.Fatalf("open chunk dir: %v", err)
+			}
+		} else {
+			store = chunkstore.NewMem()
+		}
+		srv, err = blobseer.NewDataProvider(store).Serve(net, *listen)
+		if err == nil && *pmanager != "" {
+			addr := *advertise
+			if addr == "" {
+				addr = srv.Addr()
+			}
+			client := &blobseer.Client{Net: net, PMAddr: *pmanager}
+			if rerr := client.RegisterProvider(addr); rerr != nil {
+				log.Fatalf("register with provider manager: %v", rerr)
+			}
+			log.Printf("registered %s with provider manager %s", addr, *pmanager)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "blobseerd: -role must be vmanager, pmanager, meta or data")
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("start %s: %v", *role, err)
+	}
+	log.Printf("blobseer %s listening on %s", *role, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	srv.Close()
+}

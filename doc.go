@@ -1,0 +1,12 @@
+// Package blobcr is a reproduction of "BlobCR: Efficient Checkpoint-Restart
+// for HPC Applications on IaaS Clouds using Virtual Disk Image Snapshots"
+// (Nicolae & Cappello, SC'11).
+//
+// The implementation lives under internal/: the BlobSeer versioning store,
+// the mirroring module, the qcow2 and PVFS baselines, the guest file
+// system, the MPI runtime with coordinated checkpointing, the IaaS
+// middleware, the BlobCR framework itself (internal/core), and the
+// experiment-scale performance model (internal/simcloud). Executables are
+// under cmd/ and runnable examples under examples/. See README.md for a
+// tour and EXPERIMENTS.md for the reproduced evaluation.
+package blobcr

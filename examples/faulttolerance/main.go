@@ -1,0 +1,109 @@
+// Transparent fault tolerance: the paper's process-level (blcr) path.
+//
+// The application never writes a checkpoint file — it only computes in its
+// process memory and calls Checkpoint(nil). The framework (the modified MPI
+// library of Section 3.3) drains the channels with markers, dumps each
+// rank's whole process image with blcr, syncs the guest file system,
+// requests a disk snapshot from the co-located proxy, and records the
+// global checkpoint. After repeated node failures the job keeps rolling
+// back and finishing.
+//
+// Run with: go run ./examples/faulttolerance
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"blobcr/internal/blcr"
+	"blobcr/internal/cloud"
+	"blobcr/internal/core"
+	"blobcr/internal/vm"
+)
+
+const (
+	totalWork = 300 // iterations to complete
+	ckptEvery = 100
+)
+
+func main() {
+	fmt.Println("== transparent checkpoint-restart (blcr mode) under repeated failures ==")
+
+	cl, err := cloud.New(cloud.Config{Nodes: 6, MetaProviders: 2, Replication: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	base, baseVer, err := cl.UploadBaseImage(make([]byte, 2<<20), 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := core.NewJob(cl, base, baseVer, core.JobConfig{
+		Instances: 3,
+		Mode:      core.ProcessLevel,
+		VMConfig:  vm.Config{BlockSize: 512, BootNoiseBytes: 8 * 1024},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// body computes in blcr-managed memory and checkpoints periodically.
+	// It is written restart-obliviously: on a restored run it simply picks
+	// the iteration counter out of its (restored) registers.
+	body := func(r *core.Rank) error {
+		var counter []byte
+		if r.Restored {
+			var ok bool
+			counter, ok = r.Proc.Arena("counter")
+			if !ok {
+				return fmt.Errorf("rank %d: restored image lacks state", r.Comm.Rank())
+			}
+			fmt.Printf("  rank %d resumed transparently at iteration %d on %s\n",
+				r.Comm.Rank(), binary.LittleEndian.Uint64(counter), r.Instance().Node.Name)
+		} else {
+			counter = r.Proc.Alloc("counter", 8)
+		}
+		for {
+			iter := binary.LittleEndian.Uint64(counter)
+			if iter >= totalWork {
+				return nil
+			}
+			iter++
+			binary.LittleEndian.PutUint64(counter, iter)
+			r.Proc.SetRegisters(blcr.Registers{PC: iter})
+			if iter%ckptEvery == 0 {
+				if _, err := r.Checkpoint(nil); err != nil {
+					return err
+				}
+				if r.Comm.Rank() == 0 {
+					fmt.Printf("  checkpoint at iteration %d\n", iter)
+				}
+			}
+		}
+	}
+
+	if err := job.Run(body); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first run finished (all checkpoints taken)")
+
+	// Now keep breaking nodes and restarting from the latest checkpoint.
+	for round := 1; round <= 2; round++ {
+		victim := job.Deployment().Instances[round%3].Node.Name
+		if err := cl.FailNode(victim); err != nil {
+			log.Fatal(err)
+		}
+		cl.KillDeploymentInstancesOn(job.Deployment())
+		ckpt, err := job.LatestCheckpoint()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("failure round %d: node %s down, rolling back to checkpoint %d\n", round, victim, ckpt)
+		if err := job.Restart(ckpt, body); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("failure round %d: job completed after rollback\n", round)
+	}
+	fmt.Println("fault tolerance example completed: 2 failures survived transparently")
+}

@@ -1,0 +1,53 @@
+package blobcr_test
+
+// Functional benchmark for the paper's future-work extension implemented
+// here: transparent garbage collection of obsoleted snapshots
+// (blobseer.Client.GC + cloud.Prune).
+
+import (
+	"bytes"
+	"testing"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/transport"
+)
+
+func BenchmarkGCReclaim(b *testing.B) {
+	const chunk = 4096
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := blobseer.Deploy(transport.NewInProc(), 2, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := d.Client()
+		blob, err := c.CreateBlob(chunk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// 8 versions x 32 chunks, all but the last retired.
+		for v := 0; v < 8; v++ {
+			writes := make(map[uint64][]byte)
+			for idx := uint64(0); idx < 32; idx++ {
+				writes[idx] = bytes.Repeat([]byte{byte(v)}, chunk)
+			}
+			if _, err := c.WriteVersion(blob, writes, 32*chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Retire(blob, 7); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		stats, err := c.GC(d.DataAddrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if stats.DeletedChunks == 0 {
+			b.Fatal("GC reclaimed nothing")
+		}
+		b.ReportMetric(float64(stats.DeletedChunks), "chunks_reclaimed")
+		d.Close()
+	}
+}

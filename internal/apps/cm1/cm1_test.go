@@ -1,0 +1,345 @@
+package cm1
+
+import (
+	"fmt"
+	"testing"
+
+	"blobcr/internal/blcr"
+	"blobcr/internal/guestfs"
+	"blobcr/internal/mpi"
+	"blobcr/internal/vdisk"
+)
+
+// smallCfg keeps tests fast.
+func smallCfg() Config {
+	return Config{NX: 8, NY: 8, NZ: 3, Vars: 2, WorkFactor: 2, SummaryEvery: 5}
+}
+
+func newFS(t *testing.T) *guestfs.FS {
+	t.Helper()
+	fs, err := guestfs.Mkfs(vdisk.NewMem(4<<20), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := Config{NX: 1, NY: 1, NZ: 0, Vars: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	want := 50 * 50 * 40 * 8 * 8
+	if cfg.StateBytes() != want {
+		t.Errorf("StateBytes = %d, want %d", cfg.StateBytes(), want)
+	}
+	if cfg.AllocBytes() != 3*want {
+		t.Errorf("AllocBytes = %d, want %d (state + 2x work)", cfg.AllocBytes(), 3*want)
+	}
+}
+
+func TestDeterministicEvolution(t *testing.T) {
+	run := func() []uint64 {
+		var sums []uint64
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			s, err := New(smallCfg(), c, blcr.NewProcess(c.Rank()))
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 10; i++ {
+				if err := s.Step(); err != nil {
+					return err
+				}
+			}
+			if c.Rank() == 0 {
+				sums = append(sums, s.Checksum())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums
+	}
+	a, b := run(), run()
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Errorf("evolution not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestStepChangesState(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := New(smallCfg(), c, blcr.NewProcess(c.Rank()))
+		if err != nil {
+			return err
+		}
+		before := s.Checksum()
+		if err := s.Step(); err != nil {
+			return err
+		}
+		if s.Checksum() == before {
+			return fmt.Errorf("rank %d: state unchanged after Step", c.Rank())
+		}
+		if s.Iteration() != 1 {
+			return fmt.Errorf("iteration = %d", s.Iteration())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaloCouplingPropagates(t *testing.T) {
+	// With 2 ranks, rank 0's boundary must influence rank 1 within a few
+	// steps: run once with normal init, once with rank 0 perturbed, and
+	// check rank 1 diverges.
+	run := func(perturb bool) uint64 {
+		var sum uint64
+		err := mpi.Run(2, func(c *mpi.Comm) error {
+			s, err := New(smallCfg(), c, blcr.NewProcess(c.Rank()))
+			if err != nil {
+				return err
+			}
+			if perturb && c.Rank() == 0 {
+				s.Set(s.cfg.NX-1, 3, 0, 0, 1e6) // eastern boundary spike
+			}
+			for i := 0; i < 5; i++ {
+				if err := s.Step(); err != nil {
+					return err
+				}
+			}
+			if c.Rank() == 1 {
+				sum = s.Checksum()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	if run(false) == run(true) {
+		t.Error("rank 0 perturbation did not reach rank 1 (halo exchange broken)")
+	}
+}
+
+func TestCheckpointRestartBitExact(t *testing.T) {
+	cfg := smallCfg()
+	type result struct{ mid, end uint64 }
+	var straight result
+	// Run 10 steps, checkpoint at 5 into a guest FS, keep going to 10.
+	fses := make([]*guestfs.FS, 2)
+	for i := range fses {
+		fses[i] = newFS(t)
+	}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := New(cfg, c, blcr.NewProcess(c.Rank()))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 5; i++ {
+			if err := s.Step(); err != nil {
+				return err
+			}
+		}
+		if err := s.WriteCheckpoint(fses[c.Rank()], "/ckpt.cm1"); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			straight.mid = s.Checksum()
+		}
+		for i := 0; i < 5; i++ {
+			if err := s.Step(); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			straight.end = s.Checksum()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the checkpoint files and run the remaining 5 steps: the
+	// final state must be bit-identical.
+	var restarted result
+	err = mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := New(cfg, c, blcr.NewProcess(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if err := s.ReadCheckpoint(fses[c.Rank()], "/ckpt.cm1"); err != nil {
+			return err
+		}
+		if s.Iteration() != 5 {
+			return fmt.Errorf("restored iteration = %d", s.Iteration())
+		}
+		if c.Rank() == 0 {
+			restarted.mid = s.Checksum()
+		}
+		for i := 0; i < 5; i++ {
+			if err := s.Step(); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			restarted.end = s.Checksum()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restarted.mid != straight.mid {
+		t.Error("restored state differs from checkpointed state")
+	}
+	if restarted.end != straight.end {
+		t.Error("post-restart evolution diverged (restart not bit-exact)")
+	}
+}
+
+func TestReadCheckpointValidation(t *testing.T) {
+	fs := newFS(t)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := New(smallCfg(), c, blcr.NewProcess(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := fs.WriteFile("/bad", []byte("garbage")); err != nil {
+				return err
+			}
+			if err := s.ReadCheckpoint(fs, "/bad"); err == nil {
+				return fmt.Errorf("garbage checkpoint accepted")
+			}
+			if err := s.WriteCheckpoint(fs, "/r0"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rank-0 checkpoint must be rejected by rank 1.
+	err = mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := New(smallCfg(), c, blcr.NewProcess(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			if err := s.ReadCheckpoint(fs, "/r0"); err == nil {
+				return fmt.Errorf("wrong-rank checkpoint accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeFromProcessImage(t *testing.T) {
+	cfg := smallCfg()
+	var wantSum, wantEnd uint64
+	var dump []byte
+	// Run 4 steps, blcr-dump the process, continue to 8 (reference).
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		proc := blcr.NewProcess(0)
+		s, err := New(cfg, c, proc)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			s.Step()
+		}
+		wantSum = s.Checksum()
+		dump = proc.Checkpoint()
+		for i := 0; i < 4; i++ {
+			s.Step()
+		}
+		wantEnd = s.Checksum()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore the process image and resume transparently.
+	err = mpi.Run(1, func(c *mpi.Comm) error {
+		proc, err := blcr.Restore(dump)
+		if err != nil {
+			return err
+		}
+		s, err := ResumeFromProcess(cfg, c, proc)
+		if err != nil {
+			return err
+		}
+		if s.Iteration() != 4 {
+			return fmt.Errorf("resumed at iteration %d", s.Iteration())
+		}
+		if s.Checksum() != wantSum {
+			return fmt.Errorf("resumed state differs")
+		}
+		for i := 0; i < 4; i++ {
+			s.Step()
+		}
+		if s.Checksum() != wantEnd {
+			return fmt.Errorf("post-resume evolution diverged")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume with a mismatching config fails.
+	err = mpi.Run(1, func(c *mpi.Comm) error {
+		proc, _ := blcr.Restore(dump)
+		other := cfg
+		other.NX = 16
+		if _, err := ResumeFromProcess(other, c, proc); err == nil {
+			return fmt.Errorf("mismatched config accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryAppends(t *testing.T) {
+	fs := newFS(t)
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		s, err := New(smallCfg(), c, blcr.NewProcess(0))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			s.Step()
+			if err := s.WriteSummary(fs, "/summary.dat"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("/summary.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLine := uint64(16 + 8*smallCfg().NZ)
+	if info.Size != 3*perLine {
+		t.Errorf("summary size = %d, want %d (3 appended records)", info.Size, 3*perLine)
+	}
+}

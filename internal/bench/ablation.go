@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"blobcr/internal/simcloud"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out. Each
+// varies exactly one decision and reports its effect at the paper's largest
+// scale (120 instances, 200 MB buffers).
+
+// AblationStripeSize sweeps the chunk/stripe size around the paper's chosen
+// 256 KB: smaller stripes reduce contention granularity but multiply
+// metadata operations; larger stripes inflate the snapshot size through
+// coarser copy-on-write rounding (Section 4.2.1's trade-off).
+func AblationStripeSize(p simcloud.Params) Series {
+	s := Series{
+		Title:   "Ablation: stripe size (BlobCR-app, 120 x 200 MB)",
+		XLabel:  "stripe KB",
+		YLabel:  "see columns",
+		Columns: []string{"ckpt time s", "snapshot MB", "restart s"},
+	}
+	for _, kb := range []float64{64, 128, 256, 512, 1024} {
+		q := p
+		q.ChunkSize = kb * 1024
+		row := Row{X: kb}
+		row.Values = append(row.Values,
+			simcloud.CheckpointTime(q, simcloud.BlobCRApp, 120, 200*simcloud.MB, 1),
+			q.SnapshotBytes(simcloud.BlobCRApp, 200*simcloud.MB, 1)/simcloud.MB,
+			simcloud.RestartTime(q, simcloud.BlobCRApp, 120, 200*simcloud.MB, 1),
+		)
+		s.Rows = append(s.Rows, row)
+	}
+	return s
+}
+
+// AblationReplication sweeps the checkpoint replica count: resilience to
+// data-provider loss costs proportional commit bandwidth.
+func AblationReplication(p simcloud.Params) Series {
+	s := Series{
+		Title:   "Ablation: chunk replication (BlobCR-app, 120 x 200 MB)",
+		XLabel:  "replicas",
+		YLabel:  "see columns",
+		Columns: []string{"ckpt time s", "stored MB/VM"},
+	}
+	for _, r := range []int{1, 2, 3} {
+		q := p
+		q.Replication = r
+		row := Row{X: float64(r)}
+		row.Values = append(row.Values,
+			simcloud.CheckpointTime(q, simcloud.BlobCRApp, 120, 200*simcloud.MB, 1),
+			float64(r)*q.SnapshotBytes(simcloud.BlobCRApp, 200*simcloud.MB, 1)/simcloud.MB,
+		)
+		s.Rows = append(s.Rows, row)
+	}
+	return s
+}
+
+// AblationRestartTransfer compares the paper's lazy transfer + adaptive
+// prefetching against pre-broadcasting the full disk image before boot
+// (the conventional multi-deployment technique of Section 3.1.4).
+func AblationRestartTransfer(p simcloud.Params) Series {
+	s := Series{
+		Title:   "Ablation: restart transfer strategy (BlobCR-app, 200 MB state)",
+		XLabel:  "hosts",
+		YLabel:  "restart time, s",
+		Columns: []string{"lazy+prefetch", "full pre-broadcast"},
+	}
+	const imageBytes = 2048 * simcloud.MB // the 2 GB base disk image
+	for _, n := range instanceSweep {
+		lazy := simcloud.RestartTime(p, simcloud.BlobCRApp, n, 200*simcloud.MB, 1)
+		full := p
+		full.BootReadBytes = imageBytes // fetch everything before booting
+		fullT := simcloud.RestartTime(full, simcloud.BlobCRApp, n, 200*simcloud.MB, 1)
+		s.Rows = append(s.Rows, Row{X: float64(n), Values: []float64{lazy, fullT}})
+	}
+	return s
+}
+
+// AblationMetadataProviders sweeps the number of metadata providers under
+// full 120-writer concurrency: decentralized metadata is what keeps the
+// version publication off the critical path.
+func AblationMetadataProviders(p simcloud.Params) Series {
+	s := Series{
+		Title:   "Ablation: metadata providers (BlobCR-app, 120 x 200 MB)",
+		XLabel:  "providers",
+		YLabel:  "checkpoint time, s",
+		Columns: []string{"ckpt time s"},
+	}
+	for _, m := range []int{1, 2, 5, 10, 20, 40} {
+		q := p
+		q.MetaProviders = m
+		s.Rows = append(s.Rows, Row{X: float64(m), Values: []float64{
+			simcloud.CheckpointTime(q, simcloud.BlobCRApp, 120, 200*simcloud.MB, 1),
+		}})
+	}
+	return s
+}
+
+// AblationGranularity quantifies the storage tax of BlobCR's 256 KB diff
+// granularity versus qcow2's arbitrarily small diffs (Section 4.3.1: the
+// price stays constant and under ~5% for 200 MB checkpoints).
+func AblationGranularity(p simcloud.Params) Series {
+	s := Series{
+		Title:   "Ablation: diff granularity storage tax",
+		XLabel:  "buffer MB",
+		YLabel:  "see columns",
+		Columns: []string{"BlobCR MB", "qcow2 MB", "overhead %"},
+	}
+	for _, mb := range []float64{50, 100, 200, 400} {
+		state := mb * simcloud.MB
+		b := p.SnapshotBytes(simcloud.BlobCRApp, state, 1) / simcloud.MB
+		q := p.SnapshotBytes(simcloud.Qcow2DiskApp, state, 1) / simcloud.MB
+		s.Rows = append(s.Rows, Row{X: mb, Values: []float64{b, q, (b - q) / q * 100}})
+	}
+	return s
+}
+
+// Ablations returns all ablation experiments.
+func Ablations(p simcloud.Params) []Series {
+	return []Series{
+		AblationStripeSize(p),
+		AblationReplication(p),
+		AblationRestartTransfer(p),
+		AblationMetadataProviders(p),
+		AblationGranularity(p),
+	}
+}

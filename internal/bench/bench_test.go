@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blobcr/internal/simcloud"
+)
+
+func TestAllSeriesWellFormed(t *testing.T) {
+	p := simcloud.Default()
+	c := simcloud.DefaultCM1()
+	series := All(p, c)
+	if len(series) != 9 {
+		t.Fatalf("All returned %d series, want 9 (every table and figure)", len(series))
+	}
+	for _, s := range series {
+		if s.Title == "" || len(s.Columns) == 0 || len(s.Rows) == 0 {
+			t.Errorf("series %q malformed", s.Title)
+		}
+		for _, r := range s.Rows {
+			if len(r.Values) != len(s.Columns) {
+				t.Errorf("%s: row %v has %d values for %d columns", s.Title, r.X, len(r.Values), len(s.Columns))
+			}
+			for i, v := range r.Values {
+				if v < 0 {
+					t.Errorf("%s: negative value %f in column %s", s.Title, v, s.Columns[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRenderProducesTable(t *testing.T) {
+	p := simcloud.Default()
+	s := Fig4SnapshotSize(p)
+	var buf bytes.Buffer
+	s.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(out, "BlobCR-app") || !strings.Contains(out, "qcow2-full") {
+		t.Error("render missing approach columns")
+	}
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Error("render too short")
+	}
+}
+
+func TestAblationsWellFormed(t *testing.T) {
+	p := simcloud.Default()
+	abl := Ablations(p)
+	if len(abl) != 5 {
+		t.Fatalf("Ablations returned %d series, want 5", len(abl))
+	}
+	for _, s := range abl {
+		for _, r := range s.Rows {
+			if len(r.Values) != len(s.Columns) {
+				t.Errorf("%s: ragged row", s.Title)
+			}
+		}
+	}
+}
+
+func TestAblationStripeSizeTradeoff(t *testing.T) {
+	p := simcloud.Default()
+	s := AblationStripeSize(p)
+	// Larger stripes -> larger snapshots (coarser rounding).
+	first := s.Rows[0].Values[1]
+	last := s.Rows[len(s.Rows)-1].Values[1]
+	if last <= first {
+		t.Errorf("snapshot size did not grow with stripe size: %f -> %f", first, last)
+	}
+}
+
+func TestAblationReplicationCost(t *testing.T) {
+	p := simcloud.Default()
+	s := AblationReplication(p)
+	if s.Rows[2].Values[0] <= s.Rows[0].Values[0] {
+		t.Error("3x replication not slower than 1x")
+	}
+	if s.Rows[1].Values[1] != 2*s.Rows[0].Values[1] {
+		t.Error("2x replication does not double stored bytes")
+	}
+}
+
+func TestAblationLazyBeatsFullBroadcast(t *testing.T) {
+	p := simcloud.Default()
+	s := AblationRestartTransfer(p)
+	for _, r := range s.Rows {
+		if r.Values[0] >= r.Values[1] {
+			t.Errorf("hosts=%v: lazy (%f) not faster than full broadcast (%f)", r.X, r.Values[0], r.Values[1])
+		}
+	}
+}
+
+func TestAblationMetadataProvidersHelp(t *testing.T) {
+	p := simcloud.Default()
+	s := AblationMetadataProviders(p)
+	if s.Rows[0].Values[0] <= s.Rows[4].Values[0] {
+		t.Error("1 metadata provider not slower than 20 under 120-writer concurrency")
+	}
+}
+
+func TestAblationGranularityTaxSmallAndShrinking(t *testing.T) {
+	p := simcloud.Default()
+	s := AblationGranularity(p)
+	// The paper: <5% at 200 MB, and the absolute overhead stays constant
+	// (so the percentage shrinks with size).
+	var at200 float64
+	for _, r := range s.Rows {
+		if r.X == 200 {
+			at200 = r.Values[2]
+		}
+	}
+	if at200 <= 0 || at200 > 5 {
+		t.Errorf("granularity tax at 200MB = %.2f%%, want (0, 5]", at200)
+	}
+	if s.Rows[0].Values[2] <= s.Rows[len(s.Rows)-1].Values[2] {
+		t.Error("relative overhead should shrink as buffers grow")
+	}
+}

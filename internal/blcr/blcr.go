@@ -1,0 +1,188 @@
+// Package blcr models BLCR-style process-level checkpointing (Berkeley Lab
+// Checkpoint/Restart), used by the paper's transparent MPI checkpointing
+// path.
+//
+// A Process owns named memory arenas (its heap allocations) and a register
+// file. Checkpoint serializes the process state *indiscriminately* — every
+// allocated arena, in full, regardless of how much of it holds useful data.
+// This is the defining property the paper measures: blcr checkpoints are
+// substantially larger than application-level checkpoints, which select only
+// the meaningful state (Table 1: 127 MB vs 52 MB per snapshot for CM1).
+package blcr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"blobcr/internal/guestfs"
+	"blobcr/internal/wire"
+)
+
+const magic = 0x424C4352 // "BLCR"
+
+// ErrBadDump is returned when restoring from a corrupt checkpoint file.
+var ErrBadDump = errors.New("blcr: invalid checkpoint dump")
+
+// Registers is the process's architectural state.
+type Registers struct {
+	PC uint64 // program counter: applications store their iteration count
+	SP uint64
+	R  [8]uint64 // general-purpose registers
+}
+
+// Process is a checkpointable process image.
+type Process struct {
+	pid int
+
+	mu     sync.Mutex
+	arenas map[string][]byte
+	regs   Registers
+}
+
+// NewProcess returns an empty process image with the given pid.
+func NewProcess(pid int) *Process {
+	return &Process{pid: pid, arenas: make(map[string][]byte)}
+}
+
+// Pid returns the process id.
+func (p *Process) Pid() int { return p.pid }
+
+// Alloc registers a zeroed memory arena of the given size under name and
+// returns it. The returned slice is the live memory: the application mutates
+// it in place, and Checkpoint captures whatever it holds. Allocating an
+// existing name replaces the arena (realloc).
+func (p *Process) Alloc(name string, size int) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a := make([]byte, size)
+	p.arenas[name] = a
+	return a
+}
+
+// Arena returns a previously allocated arena.
+func (p *Process) Arena(name string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.arenas[name]
+	return a, ok
+}
+
+// Free releases an arena.
+func (p *Process) Free(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.arenas, name)
+}
+
+// AllocatedBytes returns the total size of all arenas — the size a blcr
+// dump will have, regardless of content.
+func (p *Process) AllocatedBytes() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total uint64
+	for _, a := range p.arenas {
+		total += uint64(len(a))
+	}
+	return total
+}
+
+// SetRegisters stores the architectural state.
+func (p *Process) SetRegisters(r Registers) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.regs = r
+}
+
+// Registers returns the architectural state.
+func (p *Process) Registers() Registers {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.regs
+}
+
+// Checkpoint serializes the whole process image: registers plus every
+// arena, in full.
+func (p *Process) Checkpoint() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w := wire.NewBuffer(int(64 + p.allocatedLocked()))
+	w.PutU32(magic)
+	w.PutU64(uint64(p.pid))
+	w.PutU64(p.regs.PC)
+	w.PutU64(p.regs.SP)
+	for _, r := range p.regs.R {
+		w.PutU64(r)
+	}
+	names := make([]string, 0, len(p.arenas))
+	for name := range p.arenas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.PutUvarint(uint64(len(names)))
+	for _, name := range names {
+		w.PutString(name)
+		w.PutBytes(p.arenas[name])
+	}
+	return w.Bytes()
+}
+
+func (p *Process) allocatedLocked() uint64 {
+	var total uint64
+	for _, a := range p.arenas {
+		total += uint64(len(a))
+	}
+	return total
+}
+
+// Restore reconstructs a process image from a checkpoint dump.
+func Restore(dump []byte) (*Process, error) {
+	r := wire.NewReader(dump)
+	if r.U32() != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadDump)
+	}
+	p := NewProcess(int(r.U64()))
+	p.regs.PC = r.U64()
+	p.regs.SP = r.U64()
+	for i := range p.regs.R {
+		p.regs.R[i] = r.U64()
+	}
+	n := r.Uvarint()
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible arena count %d", ErrBadDump, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		name := r.String()
+		data := r.BytesCopy()
+		if r.Err() != nil {
+			break
+		}
+		p.arenas[name] = data
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDump, err)
+	}
+	return p, nil
+}
+
+// CheckpointToFile dumps the process image into the guest file system —
+// the step the paper's modified mpich2 performs before invoking sync and
+// requesting a disk snapshot.
+func (p *Process) CheckpointToFile(fs *guestfs.FS, path string) (int, error) {
+	dump := p.Checkpoint()
+	if err := fs.WriteFile(path, dump); err != nil {
+		return 0, fmt.Errorf("blcr: dump to %s: %w", path, err)
+	}
+	return len(dump), nil
+}
+
+// RestoreFromFile reconstructs a process from a dump in the guest file
+// system.
+func RestoreFromFile(fs *guestfs.FS, path string) (*Process, error) {
+	dump, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("blcr: read dump %s: %w", path, err)
+	}
+	return Restore(dump)
+}

@@ -1,0 +1,164 @@
+package blcr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blobcr/internal/guestfs"
+	"blobcr/internal/vdisk"
+)
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	p := NewProcess(1234)
+	heap := p.Alloc("heap", 1000)
+	for i := range heap {
+		heap[i] = byte(i * 3)
+	}
+	stack := p.Alloc("stack", 100)
+	stack[0] = 0xEE
+	p.SetRegisters(Registers{PC: 42, SP: 0xBEEF, R: [8]uint64{1, 2, 3}})
+
+	dump := p.Checkpoint()
+	q, err := Restore(dump)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if q.Pid() != 1234 {
+		t.Errorf("pid = %d", q.Pid())
+	}
+	regs := q.Registers()
+	if regs.PC != 42 || regs.SP != 0xBEEF || regs.R[2] != 3 {
+		t.Errorf("registers = %+v", regs)
+	}
+	gotHeap, ok := q.Arena("heap")
+	if !ok || !bytes.Equal(gotHeap, heap) {
+		t.Error("heap arena lost or corrupted")
+	}
+	gotStack, ok := q.Arena("stack")
+	if !ok || gotStack[0] != 0xEE {
+		t.Error("stack arena lost")
+	}
+}
+
+func TestDumpIsIndiscriminate(t *testing.T) {
+	// The defining blcr property: the dump contains ALL allocated memory,
+	// even if the application only uses a fraction.
+	p := NewProcess(1)
+	p.Alloc("mostly-unused", 1<<20) // 1 MiB allocated, all zero
+	dump := p.Checkpoint()
+	if len(dump) < 1<<20 {
+		t.Errorf("dump is %d bytes; blcr must dump the full 1 MiB arena", len(dump))
+	}
+	if p.AllocatedBytes() != 1<<20 {
+		t.Errorf("AllocatedBytes = %d", p.AllocatedBytes())
+	}
+}
+
+func TestAllocReplacesAndFree(t *testing.T) {
+	p := NewProcess(1)
+	p.Alloc("a", 10)
+	p.Alloc("a", 20) // realloc
+	if p.AllocatedBytes() != 20 {
+		t.Errorf("after realloc AllocatedBytes = %d", p.AllocatedBytes())
+	}
+	p.Free("a")
+	if p.AllocatedBytes() != 0 {
+		t.Errorf("after free AllocatedBytes = %d", p.AllocatedBytes())
+	}
+	if _, ok := p.Arena("a"); ok {
+		t.Error("freed arena still present")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore([]byte("not a dump")); err == nil {
+		t.Error("Restore accepted garbage")
+	}
+	if _, err := Restore(nil); err == nil {
+		t.Error("Restore accepted empty input")
+	}
+	// Truncated dump.
+	p := NewProcess(1)
+	p.Alloc("x", 100)
+	dump := p.Checkpoint()
+	if _, err := Restore(dump[:len(dump)-10]); err == nil {
+		t.Error("Restore accepted truncated dump")
+	}
+}
+
+func TestFileRoundTripThroughGuestFS(t *testing.T) {
+	fs, err := guestfs.Mkfs(vdisk.NewMem(1<<20), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProcess(7)
+	data := p.Alloc("state", 5000)
+	rand.New(rand.NewSource(2)).Read(data)
+	p.SetRegisters(Registers{PC: 99})
+
+	n, err := p.CheckpointToFile(fs, "/ckpt/blcr.img")
+	if err == nil {
+		t.Fatal("dump into missing directory succeeded")
+	}
+	fs.MkdirAll("/ckpt")
+	n, err = p.CheckpointToFile(fs, "/ckpt/blcr.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 5000 {
+		t.Errorf("dump size %d < arena size", n)
+	}
+	q, err := RestoreFromFile(fs, "/ckpt/blcr.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q.Arena("state")
+	if !bytes.Equal(got, data) {
+		t.Error("state corrupted through guestfs round trip")
+	}
+	if q.Registers().PC != 99 {
+		t.Error("registers lost")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(pid uint16, pc, sp uint64, a, b []byte) bool {
+		p := NewProcess(int(pid))
+		copy(p.Alloc("a", len(a)), a)
+		copy(p.Alloc("b", len(b)), b)
+		p.SetRegisters(Registers{PC: pc, SP: sp})
+		q, err := Restore(p.Checkpoint())
+		if err != nil {
+			return false
+		}
+		ga, _ := q.Arena("a")
+		gb, _ := q.Arena("b")
+		return bytes.Equal(ga, a) && bytes.Equal(gb, b) &&
+			q.Registers().PC == pc && q.Registers().SP == sp && q.Pid() == int(pid)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestoredProcessCanContinueAndRecheckpoint(t *testing.T) {
+	p := NewProcess(1)
+	buf := p.Alloc("counter", 8)
+	buf[0] = 5
+	q, err := Restore(p.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qbuf, _ := q.Arena("counter")
+	qbuf[0]++ // continue computing
+	r, err := Restore(q.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbuf, _ := r.Arena("counter")
+	if rbuf[0] != 6 {
+		t.Errorf("counter = %d, want 6", rbuf[0])
+	}
+}

@@ -1,0 +1,705 @@
+package blobseer
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/meta"
+	"blobcr/internal/transport"
+	"blobcr/internal/wire"
+)
+
+// Client accesses a BlobSeer deployment. A Client is stateless apart from
+// the deployment addresses; it is safe to create one per goroutine.
+//
+// Concurrent writers to *different* blobs are fully supported (that is the
+// checkpoint workload: one checkpoint image per VM). Concurrent writers to
+// the same blob are serialized by version-manager tickets; each writer
+// should base its metadata on the latest *published* version.
+type Client struct {
+	Net         transport.Network
+	VMAddr      string   // version manager
+	PMAddr      string   // provider manager
+	MetaAddrs   []string // metadata providers, hash-sharded
+	Replication int      // chunk replica count (default 1)
+}
+
+func (c *Client) replication() int {
+	if c.Replication < 1 {
+		return 1
+	}
+	return c.Replication
+}
+
+// call issues one request and decodes errors.
+func (c *Client) call(addr string, w *wire.Buffer) (*wire.Reader, error) {
+	resp, err := c.Net.Call(addr, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewReader(resp), nil
+}
+
+// nodeStore returns the remote metadata NodeStore view.
+func (c *Client) nodeStore() *remoteNodeStore {
+	return &remoteNodeStore{net: c.Net, addrs: c.MetaAddrs}
+}
+
+func (c *Client) tree() *meta.Tree { return &meta.Tree{Store: c.nodeStore()} }
+
+// remoteNodeStore shards tree nodes across metadata providers by key hash.
+type remoteNodeStore struct {
+	net   transport.Network
+	addrs []string
+}
+
+func (s *remoteNodeStore) shard(k meta.NodeKey) string {
+	h := fnv.New64a()
+	var buf [32]byte
+	le := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	le(0, k.Blob)
+	le(8, k.Version)
+	le(16, k.Offset)
+	le(24, k.Span)
+	h.Write(buf[:])
+	return s.addrs[h.Sum64()%uint64(len(s.addrs))]
+}
+
+func (s *remoteNodeStore) PutNode(k meta.NodeKey, encoded []byte) error {
+	w := wire.NewBuffer(64 + len(encoded))
+	w.PutU8(opNodePut)
+	putNodeKey(w, k)
+	w.PutBytes(encoded)
+	_, err := s.net.Call(s.shard(k), w.Bytes())
+	return err
+}
+
+func (s *remoteNodeStore) GetNode(k meta.NodeKey) ([]byte, error) {
+	w := wire.NewBuffer(64)
+	w.PutU8(opNodeGet)
+	putNodeKey(w, k)
+	resp, err := s.net.Call(s.shard(k), w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	val := r.BytesCopy()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+// CreateBlob registers a new empty BLOB with the given chunk size and
+// returns its id.
+func (c *Client) CreateBlob(chunkSize uint64) (uint64, error) {
+	w := wire.NewBuffer(16)
+	w.PutU8(opCreate)
+	w.PutU64(chunkSize)
+	r, err := c.call(c.VMAddr, w)
+	if err != nil {
+		return 0, err
+	}
+	id := r.U64()
+	return id, r.Err()
+}
+
+// Latest returns the most recent published version of the blob and the
+// blob's chunk size.
+func (c *Client) Latest(blob uint64) (VersionInfo, uint64, error) {
+	w := wire.NewBuffer(16)
+	w.PutU8(opLatest)
+	w.PutU64(blob)
+	r, err := c.call(c.VMAddr, w)
+	if err != nil {
+		return VersionInfo{}, 0, err
+	}
+	info := getVersionInfo(r)
+	cs := r.U64()
+	return info, cs, r.Err()
+}
+
+// GetVersion returns a specific published version and the blob's chunk size.
+func (c *Client) GetVersion(blob, version uint64) (VersionInfo, uint64, error) {
+	w := wire.NewBuffer(24)
+	w.PutU8(opGetVersion)
+	w.PutU64(blob)
+	w.PutU64(version)
+	r, err := c.call(c.VMAddr, w)
+	if err != nil {
+		return VersionInfo{}, 0, err
+	}
+	info := getVersionInfo(r)
+	cs := r.U64()
+	return info, cs, r.Err()
+}
+
+// ChunkSize returns the blob's chunk size (works for blobs with no
+// published versions).
+func (c *Client) ChunkSize(blob uint64) (uint64, error) {
+	blobs, err := c.ListBlobs()
+	if err != nil {
+		return 0, err
+	}
+	for _, b := range blobs {
+		if b.ID == blob {
+			return b.ChunkSize, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %d", ErrBlobNotFound, blob)
+}
+
+// BlobInfo summarizes one blob in ListBlobs output.
+type BlobInfo struct {
+	ID        uint64
+	ChunkSize uint64
+	Versions  uint64
+}
+
+// ListBlobs enumerates all blobs known to the version manager.
+func (c *Client) ListBlobs() ([]BlobInfo, error) {
+	w := wire.NewBuffer(8)
+	w.PutU8(opListBlobs)
+	r, err := c.call(c.VMAddr, w)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Uvarint()
+	out := make([]BlobInfo, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, BlobInfo{ID: r.U64(), ChunkSize: r.U64(), Versions: r.U64()})
+	}
+	return out, r.Err()
+}
+
+// WriteVersion publishes a new version of blob consisting of the previous
+// version's content overlaid with the given whole-chunk writes, and resizes
+// the blob to newSize bytes (pass the previous size to keep it). The chunk
+// data slices must each be at most chunkSize long. This is the COMMIT
+// primitive of the paper: only the written chunks move; everything else is
+// shared with the previous version.
+func (c *Client) WriteVersion(blob uint64, writes map[uint64][]byte, newSize uint64) (VersionInfo, error) {
+	// Previous version (absent for the first write).
+	var prev VersionInfo
+	var chunkSize uint64
+	prevInfo, cs, err := c.Latest(blob)
+	switch {
+	case err == nil:
+		prev = prevInfo
+		chunkSize = cs
+	case isNotFound(err):
+		chunkSize, err = c.ChunkSize(blob)
+		if err != nil {
+			return VersionInfo{}, err
+		}
+	default:
+		return VersionInfo{}, err
+	}
+	for idx, data := range writes {
+		if uint64(len(data)) > chunkSize {
+			return VersionInfo{}, fmt.Errorf("blobseer: chunk %d: %d bytes exceeds chunk size %d", idx, len(data), chunkSize)
+		}
+	}
+
+	// Ticket: version number + private chunk-id range.
+	w := wire.NewBuffer(24)
+	w.PutU8(opTicket)
+	w.PutU64(blob)
+	w.PutU64(uint64(len(writes)))
+	r, err := c.call(c.VMAddr, w)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	version := r.U64()
+	firstID := r.U64()
+	if err := r.Err(); err != nil {
+		return VersionInfo{}, err
+	}
+
+	// Placement for each written chunk.
+	w = wire.NewBuffer(16)
+	w.PutU8(opPlacement)
+	w.PutUvarint(uint64(len(writes)))
+	w.PutUvarint(uint64(c.replication()))
+	r, err = c.call(c.PMAddr, w)
+	if err != nil {
+		c.abort(blob, version)
+		return VersionInfo{}, err
+	}
+	nPlaced := r.Uvarint()
+	placements := make([][]string, nPlaced)
+	for i := range placements {
+		k := r.Uvarint()
+		placements[i] = make([]string, k)
+		for j := range placements[i] {
+			placements[i][j] = r.String()
+		}
+	}
+	if err := r.Err(); err != nil {
+		c.abort(blob, version)
+		return VersionInfo{}, err
+	}
+
+	// Deterministic order of chunk uploads.
+	indices := make([]uint64, 0, len(writes))
+	for idx := range writes {
+		indices = append(indices, idx)
+	}
+	sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
+
+	leaves := make(map[uint64]meta.Leaf, len(writes))
+	for i, idx := range indices {
+		key := chunkstore.Key{Blob: blob, ID: firstID + uint64(i)}
+		data := writes[idx]
+		for _, providerAddr := range placements[i] {
+			pw := wire.NewBuffer(32 + len(data))
+			pw.PutU8(opChunkPut)
+			putChunkKey(pw, key)
+			pw.PutBytes(data)
+			if _, err := c.Net.Call(providerAddr, pw.Bytes()); err != nil {
+				c.abort(blob, version)
+				return VersionInfo{}, fmt.Errorf("blobseer: put chunk to %s: %w", providerAddr, err)
+			}
+		}
+		leaves[idx] = meta.Leaf{Providers: placements[i], Key: key, Size: uint32(len(data))}
+	}
+
+	// Metadata tree for the new version.
+	maxIdx := uint64(0)
+	if newSize > 0 {
+		maxIdx = (newSize + chunkSize - 1) / chunkSize
+	}
+	for _, idx := range indices {
+		if idx+1 > maxIdx {
+			maxIdx = idx + 1
+		}
+	}
+	newSpan := meta.NextPow2(maxIdx)
+	if newSpan < prev.Span {
+		newSpan = prev.Span
+	}
+	root, err := c.tree().Publish(blob, version, prev.Root, prev.Span, newSpan, leaves)
+	if err != nil {
+		c.abort(blob, version)
+		return VersionInfo{}, err
+	}
+
+	// Commit.
+	info := VersionInfo{Version: version, Size: newSize, Span: newSpan, Root: root}
+	w = wire.NewBuffer(64)
+	w.PutU8(opCommit)
+	w.PutU64(blob)
+	putVersionInfo(w, info)
+	if _, err := c.call(c.VMAddr, w); err != nil {
+		return VersionInfo{}, err
+	}
+	return info, nil
+}
+
+func (c *Client) abort(blob, version uint64) {
+	w := wire.NewBuffer(24)
+	w.PutU8(opAbort)
+	w.PutU64(blob)
+	w.PutU64(version)
+	c.call(c.VMAddr, w) // best effort; the version slot is released
+}
+
+func isNotFound(err error) bool {
+	if errors.Is(err, ErrVersionNotFound) || errors.Is(err, ErrBlobNotFound) {
+		return true
+	}
+	var re *transport.RemoteError
+	if errors.As(err, &re) {
+		return containsNotFound(re.Msg)
+	}
+	return false
+}
+
+func containsNotFound(s string) bool {
+	return contains(s, "not found") || contains(s, "no versions")
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadVersion reads size bytes at offset from the given version into a new
+// buffer. Holes (never-written ranges) read as zeros. Reads past the version
+// size are truncated.
+func (c *Client) ReadVersion(blob, version uint64, offset, size uint64) ([]byte, error) {
+	info, chunkSize, err := c.GetVersion(blob, version)
+	if err != nil {
+		return nil, err
+	}
+	if offset >= info.Size {
+		return nil, nil
+	}
+	if offset+size > info.Size {
+		size = info.Size - offset
+	}
+	buf := make([]byte, size)
+	if size == 0 {
+		return buf, nil
+	}
+	firstChunk := offset / chunkSize
+	lastChunk := (offset + size - 1) / chunkSize
+	slots, err := c.tree().Lookup(info.Root, info.Span, firstChunk, lastChunk-firstChunk+1)
+	if err != nil {
+		return nil, err
+	}
+	for _, slot := range slots {
+		if !slot.Present {
+			continue // zeros
+		}
+		data, err := c.fetchChunk(slot.Leaf)
+		if err != nil {
+			return nil, err
+		}
+		chunkStart := slot.Index * chunkSize
+		// Overlap of [chunkStart, chunkStart+len(data)) with [offset, offset+size).
+		lo := maxU64(chunkStart, offset)
+		hi := minU64(chunkStart+uint64(len(data)), offset+size)
+		if lo < hi {
+			copy(buf[lo-offset:hi-offset], data[lo-chunkStart:hi-chunkStart])
+		}
+	}
+	return buf, nil
+}
+
+// fetchChunk retrieves one chunk, trying replicas in order.
+func (c *Client) fetchChunk(l meta.Leaf) ([]byte, error) {
+	var lastErr error
+	for _, addr := range l.Providers {
+		w := wire.NewBuffer(24)
+		w.PutU8(opChunkGet)
+		putChunkKey(w, l.Key)
+		resp, err := c.Net.Call(addr, w.Bytes())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r := wire.NewReader(resp)
+		data := r.BytesCopy()
+		if err := r.Err(); err != nil {
+			lastErr = err
+			continue
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("blobseer: chunk %v unavailable on all replicas: %w", l.Key, lastErr)
+}
+
+// WriteAt publishes a new version with data written at offset, performing
+// read-modify-write for partially covered boundary chunks.
+func (c *Client) WriteAt(blob uint64, offset uint64, data []byte) (VersionInfo, error) {
+	if len(data) == 0 {
+		prev, _, err := c.Latest(blob)
+		if err != nil && !isNotFound(err) {
+			return VersionInfo{}, err
+		}
+		return prev, nil
+	}
+	var chunkSize uint64
+	var prevSize uint64
+	var prevVersion uint64
+	var havePrev bool
+	prev, cs, err := c.Latest(blob)
+	switch {
+	case err == nil:
+		chunkSize, prevSize, prevVersion, havePrev = cs, prev.Size, prev.Version, true
+	case isNotFound(err):
+		chunkSize, err = c.ChunkSize(blob)
+		if err != nil {
+			return VersionInfo{}, err
+		}
+	default:
+		return VersionInfo{}, err
+	}
+
+	end := offset + uint64(len(data))
+	newSize := prevSize
+	if end > newSize {
+		newSize = end
+	}
+	firstChunk := offset / chunkSize
+	lastChunk := (end - 1) / chunkSize
+	writes := make(map[uint64][]byte)
+	for idx := firstChunk; idx <= lastChunk; idx++ {
+		chunkStart := idx * chunkSize
+		chunkEnd := chunkStart + chunkSize
+		lo := maxU64(chunkStart, offset)
+		hi := minU64(chunkEnd, end)
+		full := lo == chunkStart && hi == chunkEnd
+		var chunk []byte
+		if full {
+			chunk = make([]byte, chunkSize)
+			copy(chunk, data[lo-offset:hi-offset])
+		} else {
+			// Boundary chunk: merge with existing content. The chunk is
+			// truncated when it is the blob's last chunk.
+			chunkLen := chunkSize
+			if chunkEnd > newSize {
+				chunkLen = newSize - chunkStart
+			}
+			chunk = make([]byte, chunkLen)
+			if havePrev && chunkStart < prevSize {
+				old, err := c.ReadVersion(blob, prevVersion, chunkStart, chunkSize)
+				if err != nil {
+					return VersionInfo{}, err
+				}
+				copy(chunk, old)
+			}
+			copy(chunk[lo-chunkStart:], data[lo-offset:hi-offset])
+		}
+		writes[idx] = chunk
+	}
+	return c.WriteVersion(blob, writes, newSize)
+}
+
+// Clone creates a new blob whose version 0 is the given version of the
+// source blob, sharing all content. This is the CLONE primitive.
+func (c *Client) Clone(srcBlob, srcVersion uint64) (uint64, error) {
+	w := wire.NewBuffer(24)
+	w.PutU8(opClone)
+	w.PutU64(srcBlob)
+	w.PutU64(srcVersion)
+	r, err := c.call(c.VMAddr, w)
+	if err != nil {
+		return 0, err
+	}
+	id := r.U64()
+	return id, r.Err()
+}
+
+// Retire marks all versions of blob below `before` as garbage-collectable.
+func (c *Client) Retire(blob, before uint64) error {
+	w := wire.NewBuffer(24)
+	w.PutU8(opRetire)
+	w.PutU64(blob)
+	w.PutU64(before)
+	_, err := c.call(c.VMAddr, w)
+	return err
+}
+
+// liveRoot is one entry of the version manager's live set.
+type liveRoot struct {
+	blob uint64
+	info VersionInfo
+}
+
+func (c *Client) listLive() ([]liveRoot, error) {
+	w := wire.NewBuffer(8)
+	w.PutU8(opListLive)
+	r, err := c.call(c.VMAddr, w)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Uvarint()
+	out := make([]liveRoot, 0, n)
+	for i := uint64(0); i < n; i++ {
+		blob := r.U64()
+		info := getVersionInfo(r)
+		r.U64() // chunk size, unused here
+		out = append(out, liveRoot{blob: blob, info: info})
+	}
+	return out, r.Err()
+}
+
+// GCStats reports what a garbage collection pass reclaimed.
+type GCStats struct {
+	LiveChunks    int
+	LiveNodes     int
+	DeletedChunks int
+	DeletedNodes  int
+}
+
+// GC performs a mark-and-sweep over the whole deployment: every tree node
+// and chunk reachable from a non-retired version survives; everything else
+// is deleted from the metadata and data providers. This implements the
+// paper's proposed future-work extension (transparent snapshot garbage
+// collection).
+func (c *Client) GC(dataProviders []string) (GCStats, error) {
+	var stats GCStats
+	live, err := c.listLive()
+	if err != nil {
+		return stats, err
+	}
+	liveNodes := make(map[meta.NodeKey]struct{})
+	liveChunks := make(map[chunkstore.Key]struct{})
+	tr := c.tree()
+	for _, lr := range live {
+		if !lr.info.Root.Valid {
+			continue
+		}
+		err := tr.Walk(lr.info.Root, lr.info.Span, func(k meta.NodeKey, isLeaf bool, l meta.Leaf) error {
+			liveNodes[k] = struct{}{}
+			if isLeaf {
+				liveChunks[l.Key] = struct{}{}
+			}
+			return nil
+		})
+		if err != nil {
+			return stats, fmt.Errorf("blobseer: gc mark blob %d v%d: %w", lr.blob, lr.info.Version, err)
+		}
+	}
+	stats.LiveChunks = len(liveChunks)
+	stats.LiveNodes = len(liveNodes)
+
+	// Sweep metadata providers.
+	for _, addr := range c.MetaAddrs {
+		w := wire.NewBuffer(8)
+		w.PutU8(opNodeList)
+		r, err := c.call(addr, w)
+		if err != nil {
+			return stats, err
+		}
+		n := r.Uvarint()
+		var dead []meta.NodeKey
+		for i := uint64(0); i < n; i++ {
+			k := getNodeKey(r)
+			if _, ok := liveNodes[k]; !ok {
+				dead = append(dead, k)
+			}
+		}
+		if err := r.Err(); err != nil {
+			return stats, err
+		}
+		for _, k := range dead {
+			w := wire.NewBuffer(40)
+			w.PutU8(opNodeDelete)
+			putNodeKey(w, k)
+			if _, err := c.call(addr, w); err != nil {
+				return stats, err
+			}
+			stats.DeletedNodes++
+		}
+	}
+
+	// Sweep data providers.
+	for _, addr := range dataProviders {
+		w := wire.NewBuffer(8)
+		w.PutU8(opChunkList)
+		r, err := c.call(addr, w)
+		if err != nil {
+			return stats, err
+		}
+		n := r.Uvarint()
+		var dead []chunkstore.Key
+		for i := uint64(0); i < n; i++ {
+			k := getChunkKey(r)
+			if _, ok := liveChunks[k]; !ok {
+				dead = append(dead, k)
+			}
+		}
+		if err := r.Err(); err != nil {
+			return stats, err
+		}
+		for _, k := range dead {
+			w := wire.NewBuffer(24)
+			w.PutU8(opChunkDelete)
+			putChunkKey(w, k)
+			if _, err := c.call(addr, w); err != nil {
+				return stats, err
+			}
+			stats.DeletedChunks++
+		}
+	}
+	return stats, nil
+}
+
+// Providers returns the registered data provider addresses.
+func (c *Client) Providers() ([]string, error) {
+	w := wire.NewBuffer(8)
+	w.PutU8(opProviders)
+	r, err := c.call(c.PMAddr, w)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Uvarint()
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.String())
+	}
+	return out, r.Err()
+}
+
+// RegisterProvider announces a data provider to the provider manager.
+func (c *Client) RegisterProvider(addr string) error {
+	w := wire.NewBuffer(32)
+	w.PutU8(opRegister)
+	w.PutString(addr)
+	_, err := c.call(c.PMAddr, w)
+	return err
+}
+
+// UnregisterProvider removes a (failed) data provider from placement. Data
+// it held remains readable only through replicas on other providers.
+func (c *Client) UnregisterProvider(addr string) error {
+	w := wire.NewBuffer(32)
+	w.PutU8(opUnregister)
+	w.PutString(addr)
+	_, err := c.call(c.PMAddr, w)
+	return err
+}
+
+// Usage sums storage used across the given data providers.
+func (c *Client) Usage(dataProviders []string) (bytes uint64, chunks uint64, err error) {
+	for _, addr := range dataProviders {
+		w := wire.NewBuffer(8)
+		w.PutU8(opChunkUsage)
+		r, cerr := c.call(addr, w)
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		bytes += r.U64()
+		chunks += r.U64()
+		if err := r.Err(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return bytes, chunks, nil
+}
+
+// MetaUsage sums metadata bytes across the metadata providers.
+func (c *Client) MetaUsage() (bytes uint64, nodes uint64, err error) {
+	for _, addr := range c.MetaAddrs {
+		w := wire.NewBuffer(8)
+		w.PutU8(opNodeUsage)
+		r, cerr := c.call(addr, w)
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		bytes += r.U64()
+		nodes += r.U64()
+		if err := r.Err(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return bytes, nodes, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

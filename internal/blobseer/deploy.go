@@ -1,0 +1,107 @@
+package blobseer
+
+import (
+	"fmt"
+
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/transport"
+)
+
+// Deployment is a running BlobSeer service: one version manager, one
+// provider manager, nMeta metadata providers and nData data providers, all
+// bound on the given Network. It mirrors the paper's setup (Section 4.2:
+// one version manager, one provider manager, 20 metadata providers, one data
+// provider per compute node).
+type Deployment struct {
+	VMAddr    string
+	PMAddr    string
+	MetaAddrs []string
+	DataAddrs []string
+
+	dataProviders []*DataProvider
+	servers       []transport.Server
+	net           transport.Network
+}
+
+// Deploy starts a full BlobSeer deployment on n with nMeta metadata
+// providers and nData in-memory data providers. Addresses are auto-assigned.
+func Deploy(n transport.Network, nMeta, nData int) (*Deployment, error) {
+	if nMeta < 1 || nData < 1 {
+		return nil, fmt.Errorf("blobseer: deployment needs at least one metadata and one data provider (got %d, %d)", nMeta, nData)
+	}
+	d := &Deployment{net: n}
+	fail := func(err error) (*Deployment, error) {
+		d.Close()
+		return nil, err
+	}
+
+	vm := NewVersionManager()
+	srv, err := vm.Serve(n, "")
+	if err != nil {
+		return fail(err)
+	}
+	d.servers = append(d.servers, srv)
+	d.VMAddr = srv.Addr()
+
+	pm := NewProviderManager()
+	srv, err = pm.Serve(n, "")
+	if err != nil {
+		return fail(err)
+	}
+	d.servers = append(d.servers, srv)
+	d.PMAddr = srv.Addr()
+
+	for i := 0; i < nMeta; i++ {
+		mp := NewMetadataProvider()
+		srv, err := mp.Serve(n, "")
+		if err != nil {
+			return fail(err)
+		}
+		d.servers = append(d.servers, srv)
+		d.MetaAddrs = append(d.MetaAddrs, srv.Addr())
+	}
+
+	client := d.Client()
+	for i := 0; i < nData; i++ {
+		dp := NewDataProvider(chunkstore.NewMem())
+		srv, err := dp.Serve(n, "")
+		if err != nil {
+			return fail(err)
+		}
+		d.servers = append(d.servers, srv)
+		d.dataProviders = append(d.dataProviders, dp)
+		d.DataAddrs = append(d.DataAddrs, srv.Addr())
+		if err := client.RegisterProvider(srv.Addr()); err != nil {
+			return fail(err)
+		}
+	}
+	return d, nil
+}
+
+// Client returns a client bound to this deployment with replication 1.
+func (d *Deployment) Client() *Client {
+	return &Client{
+		Net:       d.net,
+		VMAddr:    d.VMAddr,
+		PMAddr:    d.PMAddr,
+		MetaAddrs: append([]string(nil), d.MetaAddrs...),
+	}
+}
+
+// DataProviderStores exposes the in-memory chunk stores for inspection
+// (space-accounting tests and the storage-utilization experiments).
+func (d *Deployment) DataProviderStores() []chunkstore.Store {
+	out := make([]chunkstore.Store, len(d.dataProviders))
+	for i, dp := range d.dataProviders {
+		out[i] = dp.Store()
+	}
+	return out
+}
+
+// Close stops all services.
+func (d *Deployment) Close() {
+	for _, s := range d.servers {
+		s.Close()
+	}
+	d.servers = nil
+}

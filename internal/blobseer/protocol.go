@@ -1,0 +1,135 @@
+// Package blobseer implements the BlobSeer versioning BLOB storage service
+// the paper uses as its checkpoint repository (Nicolae et al., JPDC 2011).
+//
+// A deployment consists of:
+//
+//   - one version manager, which serializes version publication per BLOB and
+//     stores the per-version descriptors (size, metadata root);
+//   - one provider manager, which tracks data providers and assigns chunk
+//     placements (round-robin with load awareness);
+//   - N metadata providers, which store segment-tree nodes (package meta)
+//     sharded by key hash;
+//   - M data providers, which store immutable chunks (package chunkstore).
+//
+// Clients stripe BLOBs into fixed-size chunks, write chunks to data
+// providers, build the new version's metadata tree, and commit the version.
+// Shadowing and cloning (the operations BlobCR's COMMIT and CLONE map to)
+// come from the versioned segment tree: see package meta.
+//
+// All services speak a compact binary protocol over transport.Network, so a
+// deployment can run in-process (tests, examples) or across machines
+// (cmd/blobseerd).
+package blobseer
+
+import (
+	"fmt"
+
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/meta"
+	"blobcr/internal/wire"
+)
+
+// Op codes for the version manager.
+const (
+	opCreate = iota + 1 // create blob
+	opTicket            // reserve a version + chunk-id range
+	opCommit            // publish a version
+	opAbort             // abandon a reserved ticket
+	opGetVersion
+	opLatest
+	opClone
+	opListLive
+	opRetire
+	opListBlobs
+)
+
+// Op codes for the provider manager.
+const (
+	opRegister = iota + 32
+	opPlacement
+	opProviders
+	opUnregister
+)
+
+// Op codes for data providers.
+const (
+	opChunkPut = iota + 64
+	opChunkGet
+	opChunkDelete
+	opChunkList
+	opChunkUsage
+	opChunkHas
+)
+
+// Op codes for metadata providers.
+const (
+	opNodePut = iota + 96
+	opNodeGet
+	opNodeList
+	opNodeDelete
+	opNodeUsage
+)
+
+// VersionInfo describes one published version of a BLOB.
+type VersionInfo struct {
+	Version uint64
+	Size    uint64       // logical size in bytes
+	Span    uint64       // metadata tree span, in chunks
+	Root    meta.NodeRef // invalid for an empty blob
+}
+
+func putVersionInfo(w *wire.Buffer, v VersionInfo) {
+	w.PutU64(v.Version)
+	w.PutU64(v.Size)
+	w.PutU64(v.Span)
+	w.PutBool(v.Root.Valid)
+	w.PutU64(v.Root.Blob)
+	w.PutU64(v.Root.Version)
+}
+
+func getVersionInfo(r *wire.Reader) VersionInfo {
+	var v VersionInfo
+	v.Version = r.U64()
+	v.Size = r.U64()
+	v.Span = r.U64()
+	v.Root.Valid = r.Bool()
+	v.Root.Blob = r.U64()
+	v.Root.Version = r.U64()
+	return v
+}
+
+func putNodeKey(w *wire.Buffer, k meta.NodeKey) {
+	w.PutU64(k.Blob)
+	w.PutU64(k.Version)
+	w.PutU64(k.Offset)
+	w.PutU64(k.Span)
+}
+
+func getNodeKey(r *wire.Reader) meta.NodeKey {
+	var k meta.NodeKey
+	k.Blob = r.U64()
+	k.Version = r.U64()
+	k.Offset = r.U64()
+	k.Span = r.U64()
+	return k
+}
+
+func putChunkKey(w *wire.Buffer, k chunkstore.Key) {
+	w.PutU64(k.Blob)
+	w.PutU64(k.ID)
+}
+
+func getChunkKey(r *wire.Reader) chunkstore.Key {
+	var k chunkstore.Key
+	k.Blob = r.U64()
+	k.ID = r.U64()
+	return k
+}
+
+// reqErr wraps a decode failure of an incoming request.
+func reqErr(op int, r *wire.Reader) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("blobseer: bad request for op %d: %w", op, err)
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package blobseer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/meta"
+	"blobcr/internal/transport"
+	"blobcr/internal/wire"
+)
+
+// ProviderManager tracks data providers and assigns chunk placements.
+// Placement is round-robin over registered providers, skewed away from the
+// most loaded ones, which evens out the global I/O workload the way the
+// paper's striping scheme intends.
+type ProviderManager struct {
+	mu        sync.Mutex
+	providers []string
+	load      map[string]uint64 // chunks assigned
+	rr        int
+}
+
+// NewProviderManager returns an empty provider manager.
+func NewProviderManager() *ProviderManager {
+	return &ProviderManager{load: make(map[string]uint64)}
+}
+
+// Serve binds the provider manager to addr on n.
+func (pm *ProviderManager) Serve(n transport.Network, addr string) (transport.Server, error) {
+	return n.Listen(addr, pm.handle)
+}
+
+// placeLocked returns replication distinct provider addresses for one chunk.
+func (pm *ProviderManager) placeLocked(replication int) ([]string, error) {
+	if len(pm.providers) == 0 {
+		return nil, errors.New("blobseer: no data providers registered")
+	}
+	if replication > len(pm.providers) {
+		replication = len(pm.providers)
+	}
+	out := make([]string, 0, replication)
+	for len(out) < replication {
+		addr := pm.providers[pm.rr%len(pm.providers)]
+		pm.rr++
+		out = append(out, addr)
+		pm.load[addr]++
+	}
+	return out, nil
+}
+
+func (pm *ProviderManager) handle(req []byte) ([]byte, error) {
+	r := wire.NewReader(req)
+	op := int(r.U8())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	w := wire.NewBuffer(64)
+	switch op {
+	case opRegister:
+		addr := r.String()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		for _, p := range pm.providers {
+			if p == addr {
+				return w.Bytes(), nil // already registered
+			}
+		}
+		pm.providers = append(pm.providers, addr)
+		sort.Strings(pm.providers) // deterministic placement order
+
+	case opPlacement:
+		nChunks := r.Uvarint()
+		replication := int(r.Uvarint())
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		if replication < 1 {
+			replication = 1
+		}
+		if nChunks > 1<<24 {
+			return nil, fmt.Errorf("blobseer: placement request for %d chunks is implausible", nChunks)
+		}
+		w.PutUvarint(nChunks)
+		for i := uint64(0); i < nChunks; i++ {
+			addrs, err := pm.placeLocked(replication)
+			if err != nil {
+				return nil, err
+			}
+			w.PutUvarint(uint64(len(addrs)))
+			for _, a := range addrs {
+				w.PutString(a)
+			}
+		}
+
+	case opProviders:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		w.PutUvarint(uint64(len(pm.providers)))
+		for _, p := range pm.providers {
+			w.PutString(p)
+		}
+
+	case opUnregister:
+		// A fail-stopped node's provider leaves the placement rotation;
+		// chunks it held survive only through replicas.
+		addr := r.String()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		for i, p := range pm.providers {
+			if p == addr {
+				pm.providers = append(pm.providers[:i], pm.providers[i+1:]...)
+				delete(pm.load, addr)
+				break
+			}
+		}
+
+	default:
+		return nil, fmt.Errorf("blobseer: provider manager: unknown op %d", op)
+	}
+	return w.Bytes(), nil
+}
+
+// DataProvider serves chunk storage over the network, backed by any
+// chunkstore.Store.
+type DataProvider struct {
+	store chunkstore.Store
+}
+
+// NewDataProvider wraps store as a network service.
+func NewDataProvider(store chunkstore.Store) *DataProvider {
+	return &DataProvider{store: store}
+}
+
+// Store exposes the underlying chunk store (local inspection and tests).
+func (dp *DataProvider) Store() chunkstore.Store { return dp.store }
+
+// Serve binds the data provider to addr on n.
+func (dp *DataProvider) Serve(n transport.Network, addr string) (transport.Server, error) {
+	return n.Listen(addr, dp.handle)
+}
+
+func (dp *DataProvider) handle(req []byte) ([]byte, error) {
+	r := wire.NewReader(req)
+	op := int(r.U8())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	w := wire.NewBuffer(64)
+	switch op {
+	case opChunkPut:
+		key := getChunkKey(r)
+		data := r.Bytes()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		if err := dp.store.Put(key, data); err != nil {
+			return nil, err
+		}
+
+	case opChunkGet:
+		key := getChunkKey(r)
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		data, err := dp.store.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		w.PutBytes(data)
+
+	case opChunkDelete:
+		key := getChunkKey(r)
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		if err := dp.store.Delete(key); err != nil {
+			return nil, err
+		}
+
+	case opChunkHas:
+		key := getChunkKey(r)
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		w.PutBool(dp.store.Has(key))
+
+	case opChunkList:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		keys := listChunks(dp.store)
+		w.PutUvarint(uint64(len(keys)))
+		for _, k := range keys {
+			putChunkKey(w, k)
+		}
+
+	case opChunkUsage:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		w.PutU64(uint64(dp.store.UsedBytes()))
+		w.PutU64(uint64(dp.store.Len()))
+
+	default:
+		return nil, fmt.Errorf("blobseer: data provider: unknown op %d", op)
+	}
+	return w.Bytes(), nil
+}
+
+// chunkLister is implemented by stores that can enumerate their keys.
+type chunkLister interface{ Keys() []chunkstore.Key }
+
+func listChunks(s chunkstore.Store) []chunkstore.Key {
+	if l, ok := s.(chunkLister); ok {
+		return l.Keys()
+	}
+	return nil
+}
+
+// MetadataProvider stores segment-tree nodes. The client shards node keys
+// across several metadata providers by hash, which is what lets 120
+// concurrent committers avoid a single metadata bottleneck.
+type MetadataProvider struct {
+	mu    sync.RWMutex
+	nodes map[meta.NodeKey][]byte
+	bytes int64
+}
+
+// NewMetadataProvider returns an empty metadata provider.
+func NewMetadataProvider() *MetadataProvider {
+	return &MetadataProvider{nodes: make(map[meta.NodeKey][]byte)}
+}
+
+// Serve binds the metadata provider to addr on n.
+func (mp *MetadataProvider) Serve(n transport.Network, addr string) (transport.Server, error) {
+	return n.Listen(addr, mp.handle)
+}
+
+func (mp *MetadataProvider) handle(req []byte) ([]byte, error) {
+	r := wire.NewReader(req)
+	op := int(r.U8())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	w := wire.NewBuffer(64)
+	switch op {
+	case opNodePut:
+		key := getNodeKey(r)
+		val := r.BytesCopy()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		mp.mu.Lock()
+		if _, exists := mp.nodes[key]; !exists {
+			mp.nodes[key] = val
+			mp.bytes += int64(len(val))
+		}
+		mp.mu.Unlock()
+
+	case opNodeGet:
+		key := getNodeKey(r)
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		mp.mu.RLock()
+		val, ok := mp.nodes[key]
+		mp.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %+v", meta.ErrNodeNotFound, key)
+		}
+		w.PutBytes(val)
+
+	case opNodeList:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		mp.mu.RLock()
+		keys := make([]meta.NodeKey, 0, len(mp.nodes))
+		for k := range mp.nodes {
+			keys = append(keys, k)
+		}
+		mp.mu.RUnlock()
+		w.PutUvarint(uint64(len(keys)))
+		for _, k := range keys {
+			putNodeKey(w, k)
+		}
+
+	case opNodeDelete:
+		key := getNodeKey(r)
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		mp.mu.Lock()
+		if val, ok := mp.nodes[key]; ok {
+			mp.bytes -= int64(len(val))
+			delete(mp.nodes, key)
+		}
+		mp.mu.Unlock()
+
+	case opNodeUsage:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		mp.mu.RLock()
+		w.PutU64(uint64(mp.bytes))
+		w.PutU64(uint64(len(mp.nodes)))
+		mp.mu.RUnlock()
+
+	default:
+		return nil, fmt.Errorf("blobseer: metadata provider: unknown op %d", op)
+	}
+	return w.Bytes(), nil
+}

@@ -1,0 +1,282 @@
+package blobseer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"blobcr/internal/transport"
+	"blobcr/internal/wire"
+)
+
+// ErrVersionNotFound is returned for lookups of unpublished versions.
+var ErrVersionNotFound = errors.New("blobseer: version not found")
+
+// ErrBlobNotFound is returned for operations on unknown blobs.
+var ErrBlobNotFound = errors.New("blobseer: blob not found")
+
+// blobState is the version manager's record of one BLOB.
+type blobState struct {
+	id        uint64
+	chunkSize uint64
+	versions  []VersionInfo           // published, dense, versions[i].Version == i
+	nextTkt   uint64                  // next version number to hand out
+	nextChunk uint64                  // next chunk ID to hand out
+	pending   map[uint64]*VersionInfo // committed out of order, awaiting predecessors
+	retired   uint64                  // versions < retired are eligible for GC
+}
+
+// VersionManager serializes version publication and stores per-version
+// descriptors. It is the only sequential point of the system, and it handles
+// only small metadata records, exactly as in BlobSeer's design.
+type VersionManager struct {
+	mu       sync.Mutex
+	blobs    map[uint64]*blobState
+	nextBlob uint64
+}
+
+// NewVersionManager returns an empty version manager.
+func NewVersionManager() *VersionManager {
+	return &VersionManager{blobs: make(map[uint64]*blobState), nextBlob: 1}
+}
+
+// Serve binds the version manager to addr on n.
+func (vm *VersionManager) Serve(n transport.Network, addr string) (transport.Server, error) {
+	return n.Listen(addr, vm.handle)
+}
+
+func (vm *VersionManager) handle(req []byte) ([]byte, error) {
+	r := wire.NewReader(req)
+	op := int(r.U8())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	w := wire.NewBuffer(64)
+	switch op {
+	case opCreate:
+		chunkSize := r.U64()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		if chunkSize == 0 {
+			return nil, errors.New("blobseer: chunk size must be positive")
+		}
+		id := vm.nextBlob
+		vm.nextBlob++
+		vm.blobs[id] = &blobState{id: id, chunkSize: chunkSize, pending: make(map[uint64]*VersionInfo)}
+		w.PutU64(id)
+
+	case opTicket:
+		blob := r.U64()
+		nChunks := r.U64()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		b, ok := vm.blobs[blob]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrBlobNotFound, blob)
+		}
+		version := b.nextTkt
+		b.nextTkt++
+		first := b.nextChunk
+		b.nextChunk += nChunks
+		w.PutU64(version)
+		w.PutU64(first)
+
+	case opCommit:
+		blob := r.U64()
+		info := getVersionInfo(r)
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		b, ok := vm.blobs[blob]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrBlobNotFound, blob)
+		}
+		if info.Version >= b.nextTkt {
+			return nil, fmt.Errorf("blobseer: commit of unticketed version %d", info.Version)
+		}
+		if info.Version < uint64(len(b.versions)) {
+			return nil, fmt.Errorf("blobseer: version %d already published", info.Version)
+		}
+		cp := info
+		b.pending[info.Version] = &cp
+		// Publish in order: drain the pending queue while the next expected
+		// version is present. Commits arriving out of ticket order wait.
+		for {
+			next, ok := b.pending[uint64(len(b.versions))]
+			if !ok {
+				break
+			}
+			delete(b.pending, next.Version)
+			b.versions = append(b.versions, *next)
+		}
+		w.PutU64(uint64(len(b.versions))) // published horizon
+
+	case opAbort:
+		blob := r.U64()
+		version := r.U64()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		b, ok := vm.blobs[blob]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrBlobNotFound, blob)
+		}
+		// An aborted ticket publishes the predecessor's state under the
+		// reserved number so later versions are not blocked forever.
+		if version >= uint64(len(b.versions)) {
+			var prev VersionInfo
+			if len(b.versions) > 0 {
+				prev = b.versions[len(b.versions)-1]
+			}
+			prev.Version = version
+			cp := prev
+			b.pending[version] = &cp
+			for {
+				next, ok := b.pending[uint64(len(b.versions))]
+				if !ok {
+					break
+				}
+				delete(b.pending, next.Version)
+				b.versions = append(b.versions, *next)
+			}
+		}
+
+	case opGetVersion:
+		blob := r.U64()
+		version := r.U64()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		b, ok := vm.blobs[blob]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrBlobNotFound, blob)
+		}
+		if version >= uint64(len(b.versions)) {
+			return nil, fmt.Errorf("%w: blob %d version %d", ErrVersionNotFound, blob, version)
+		}
+		putVersionInfo(w, b.versions[version])
+		w.PutU64(b.chunkSize)
+
+	case opLatest:
+		blob := r.U64()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		b, ok := vm.blobs[blob]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrBlobNotFound, blob)
+		}
+		if len(b.versions) == 0 {
+			return nil, fmt.Errorf("%w: blob %d has no versions", ErrVersionNotFound, blob)
+		}
+		putVersionInfo(w, b.versions[len(b.versions)-1])
+		w.PutU64(b.chunkSize)
+
+	case opClone:
+		srcBlob := r.U64()
+		srcVersion := r.U64()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		src, ok := vm.blobs[srcBlob]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrBlobNotFound, srcBlob)
+		}
+		if srcVersion >= uint64(len(src.versions)) {
+			return nil, fmt.Errorf("%w: blob %d version %d", ErrVersionNotFound, srcBlob, srcVersion)
+		}
+		id := vm.nextBlob
+		vm.nextBlob++
+		srcInfo := src.versions[srcVersion]
+		clone := &blobState{
+			id:        id,
+			chunkSize: src.chunkSize,
+			pending:   make(map[uint64]*VersionInfo),
+			nextTkt:   1,
+			// Chunk IDs are namespaced by the writing blob, so the clone can
+			// start from zero without colliding with the origin's chunks.
+		}
+		clone.versions = []VersionInfo{{
+			Version: 0,
+			Size:    srcInfo.Size,
+			Span:    srcInfo.Span,
+			Root:    srcInfo.Root,
+		}}
+		vm.blobs[id] = clone
+		w.PutU64(id)
+
+	case opListLive:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		// Deterministic order for tests: sort by blob id.
+		ids := make([]uint64, 0, len(vm.blobs))
+		for id := range vm.blobs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		var entries []VersionInfo
+		var blobsOf []uint64
+		var spans []uint64
+		for _, id := range ids {
+			b := vm.blobs[id]
+			for _, v := range b.versions {
+				if v.Version < b.retired {
+					continue
+				}
+				entries = append(entries, v)
+				blobsOf = append(blobsOf, id)
+				spans = append(spans, b.chunkSize)
+			}
+		}
+		w.PutUvarint(uint64(len(entries)))
+		for i, v := range entries {
+			w.PutU64(blobsOf[i])
+			putVersionInfo(w, v)
+			w.PutU64(spans[i])
+		}
+
+	case opRetire:
+		blob := r.U64()
+		before := r.U64()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		b, ok := vm.blobs[blob]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrBlobNotFound, blob)
+		}
+		if before > uint64(len(b.versions)) {
+			before = uint64(len(b.versions))
+		}
+		if before > b.retired {
+			b.retired = before
+		}
+		w.PutU64(b.retired)
+
+	case opListBlobs:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		ids := make([]uint64, 0, len(vm.blobs))
+		for id := range vm.blobs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		w.PutUvarint(uint64(len(ids)))
+		for _, id := range ids {
+			w.PutU64(id)
+			w.PutU64(vm.blobs[id].chunkSize)
+			w.PutU64(uint64(len(vm.blobs[id].versions)))
+		}
+
+	default:
+		return nil, fmt.Errorf("blobseer: version manager: unknown op %d", op)
+	}
+	return w.Bytes(), nil
+}

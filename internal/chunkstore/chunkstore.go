@@ -1,0 +1,300 @@
+// Package chunkstore implements the chunk storage engine used by BlobSeer
+// data providers.
+//
+// Chunks are immutable, fixed-size pieces of striped BLOB data, identified by
+// a (blob, id) key. Two backends are provided: an in-memory store (tests,
+// examples, simulation) and an on-disk store (the blobseerd daemon). Both are
+// safe for concurrent use.
+package chunkstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key identifies a chunk. Blob is the BLOB identifier; ID is unique within
+// the blob (assigned by the writer from a version-manager ticket), so a chunk
+// written by one writer is never overwritten by another.
+type Key struct {
+	Blob uint64
+	ID   uint64
+}
+
+// String renders the key as blob/id, used for file names in DiskStore.
+func (k Key) String() string { return fmt.Sprintf("%016x-%016x", k.Blob, k.ID) }
+
+// ErrNotFound is returned by Get and Delete for missing chunks.
+var ErrNotFound = errors.New("chunkstore: chunk not found")
+
+// ErrExists is returned by Put when the key is already stored with different
+// content; chunks are immutable.
+var ErrExists = errors.New("chunkstore: chunk already exists")
+
+// Store is the chunk storage engine interface.
+type Store interface {
+	// Put stores an immutable chunk. Re-putting the same key is an error
+	// (chunks are never overwritten); replicated re-delivery of identical
+	// bytes is tolerated and returns nil.
+	Put(k Key, data []byte) error
+	// Get returns the chunk contents. The caller must not modify the
+	// returned slice.
+	Get(k Key) ([]byte, error)
+	// Has reports whether the chunk is stored.
+	Has(k Key) bool
+	// Delete removes the chunk (used by garbage collection).
+	Delete(k Key) error
+	// Len returns the number of stored chunks.
+	Len() int
+	// UsedBytes returns the total payload bytes stored.
+	UsedBytes() int64
+}
+
+// --- In-memory store ---
+
+// Mem is an in-memory Store.
+type Mem struct {
+	mu    sync.RWMutex
+	m     map[Key][]byte
+	bytes int64
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{m: make(map[Key][]byte)} }
+
+// Put implements Store. The data is copied.
+func (s *Mem) Put(k Key, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[k]; ok {
+		if bytesEqual(old, data) {
+			return nil // idempotent replica re-delivery
+		}
+		return fmt.Errorf("%w: %v", ErrExists, k)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.m[k] = cp
+	s.bytes += int64(len(cp))
+	return nil
+}
+
+// Get implements Store.
+func (s *Mem) Get(k Key) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.m[k]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, k)
+	}
+	return data, nil
+}
+
+// Has implements Store.
+func (s *Mem) Has(k Key) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.m[k]
+	return ok
+}
+
+// Delete implements Store.
+func (s *Mem) Delete(k Key) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[k]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, k)
+	}
+	s.bytes -= int64(len(data))
+	delete(s.m, k)
+	return nil
+}
+
+// Len implements Store.
+func (s *Mem) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// UsedBytes implements Store.
+func (s *Mem) UsedBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Keys returns all stored chunk keys (used by garbage collection sweeps).
+func (s *Mem) Keys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Key, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- On-disk store ---
+
+// Disk is a Store backed by one file per chunk under a directory. It keeps
+// an index of sizes in memory; the contents live on disk.
+type Disk struct {
+	dir   string
+	mu    sync.RWMutex
+	sizes map[Key]int64
+	bytes int64
+}
+
+// NewDisk opens (creating if needed) an on-disk store rooted at dir and
+// indexes any chunks already present.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chunkstore: create dir: %w", err)
+	}
+	s := &Disk{dir: dir, sizes: make(map[Key]int64)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: scan dir: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		var k Key
+		if _, err := fmt.Sscanf(ent.Name(), "%016x-%016x", &k.Blob, &k.ID); err != nil {
+			continue // not a chunk file
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		s.sizes[k] = info.Size()
+		s.bytes += info.Size()
+	}
+	return s, nil
+}
+
+func (s *Disk) path(k Key) string { return filepath.Join(s.dir, k.String()) }
+
+// Put implements Store. The chunk is written to a temp file and renamed so a
+// crash never leaves a partial chunk under its final name.
+func (s *Disk) Put(k Key, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sz, ok := s.sizes[k]; ok {
+		if sz == int64(len(data)) {
+			existing, err := os.ReadFile(s.path(k))
+			if err == nil && bytesEqual(existing, data) {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: %v", ErrExists, k)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("chunkstore: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("chunkstore: write chunk: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("chunkstore: close chunk: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path(k)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("chunkstore: commit chunk: %w", err)
+	}
+	s.sizes[k] = int64(len(data))
+	s.bytes += int64(len(data))
+	return nil
+}
+
+// Get implements Store.
+func (s *Disk) Get(k Key) ([]byte, error) {
+	s.mu.RLock()
+	_, ok := s.sizes[k]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, k)
+	}
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: read chunk %v: %w", k, err)
+	}
+	return data, nil
+}
+
+// Has implements Store.
+func (s *Disk) Has(k Key) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.sizes[k]
+	return ok
+}
+
+// Delete implements Store.
+func (s *Disk) Delete(k Key) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sz, ok := s.sizes[k]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, k)
+	}
+	if err := os.Remove(s.path(k)); err != nil {
+		return fmt.Errorf("chunkstore: delete chunk %v: %w", k, err)
+	}
+	delete(s.sizes, k)
+	s.bytes -= sz
+	return nil
+}
+
+// Len implements Store.
+func (s *Disk) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sizes)
+}
+
+// UsedBytes implements Store.
+func (s *Disk) UsedBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Keys returns all stored chunk keys (used by garbage collection sweeps).
+func (s *Disk) Keys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Key, 0, len(s.sizes))
+	for k := range s.sizes {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Interface conformance checks.
+var (
+	_ Store = (*Mem)(nil)
+	_ Store = (*Disk)(nil)
+)

@@ -1,0 +1,398 @@
+// Package cloud models the IaaS middleware of Figure 1: compute nodes
+// hosting VM instances, a checkpoint repository aggregated from the nodes'
+// local disks (BlobSeer data providers co-located with compute nodes), a
+// checkpointing proxy per node, multi-deployment of instances from a base
+// image, checkpoint bookkeeping, fail-stop failure injection and restart.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/mirror"
+	"blobcr/internal/proxy"
+	"blobcr/internal/transport"
+	"blobcr/internal/vm"
+)
+
+// Errors.
+var (
+	ErrNoHealthyNodes = errors.New("cloud: no healthy nodes available")
+	ErrUnknownNode    = errors.New("cloud: unknown node")
+	ErrNoSuchCkpt     = errors.New("cloud: unknown checkpoint")
+	ErrIncompleteCkpt = errors.New("cloud: checkpoint does not cover all instances")
+)
+
+// Node is one compute node.
+type Node struct {
+	Name      string
+	ProxyAddr string
+	DataAddr  string // the co-located BlobSeer data provider
+
+	proxy  *proxy.Proxy
+	failed bool
+}
+
+// Failed reports whether the node has fail-stopped.
+func (n *Node) Failed() bool { return n.failed }
+
+// SnapshotRef names one VM's disk snapshot in the repository.
+type SnapshotRef struct {
+	Blob    uint64
+	Version uint64
+}
+
+// GlobalCheckpoint is a consistent set of per-instance snapshots.
+type GlobalCheckpoint struct {
+	ID        int
+	Snapshots map[string]SnapshotRef // VM id -> snapshot
+}
+
+// Instance is one deployed VM with its node-side attachments.
+type Instance struct {
+	VMID   string
+	Node   *Node
+	VM     *vm.Instance
+	Mirror *mirror.Module
+	Proxy  *proxy.Client
+}
+
+// Deployment is one application's set of instances.
+type Deployment struct {
+	ID          string
+	BaseBlob    uint64
+	BaseVersion uint64
+	Instances   []*Instance
+
+	mu          sync.Mutex
+	checkpoints []GlobalCheckpoint
+}
+
+// Cloud is the middleware instance.
+type Cloud struct {
+	net         *transport.InProc
+	repo        *blobseer.Deployment
+	replication int
+
+	mu      sync.Mutex
+	nodes   []*Node
+	rr      int // round-robin placement cursor
+	rng     *rand.Rand
+	nextDep int
+}
+
+// Config tunes a Cloud.
+type Config struct {
+	Nodes         int
+	MetaProviders int
+	Replication   int // chunk replica count for checkpoint data (default 1)
+	Seed          int64
+}
+
+// New builds a cloud: an in-process network, a BlobSeer deployment with one
+// data provider per compute node, and one checkpointing proxy per node.
+func New(cfg Config) (*Cloud, error) {
+	if cfg.Nodes < 1 {
+		return nil, errors.New("cloud: need at least one node")
+	}
+	if cfg.MetaProviders < 1 {
+		cfg.MetaProviders = 1
+	}
+	net := transport.NewInProc()
+	repo, err := blobseer.Deploy(net, cfg.MetaProviders, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cloud{net: net, repo: repo, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for i := 0; i < cfg.Nodes; i++ {
+		p := proxy.New()
+		srv, err := p.Serve(net, "")
+		if err != nil {
+			repo.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, &Node{
+			Name:      fmt.Sprintf("node-%03d", i),
+			ProxyAddr: srv.Addr(),
+			DataAddr:  repo.DataAddrs[i],
+			proxy:     p,
+		})
+	}
+	c.replication = cfg.Replication
+	return c, nil
+}
+
+// Client returns a repository client (replication configured at New).
+func (c *Cloud) Client() *blobseer.Client {
+	cl := c.repo.Client()
+	cl.Replication = c.replication
+	return cl
+}
+
+// Nodes returns the compute nodes.
+func (c *Cloud) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Node(nil), c.nodes...)
+}
+
+// Network returns the cloud's network (examples wire extra services on it).
+func (c *Cloud) Network() *transport.InProc { return c.net }
+
+// Repository exposes the BlobSeer deployment (space accounting, GC).
+func (c *Cloud) Repository() *blobseer.Deployment { return c.repo }
+
+// UploadBaseImage stores a raw disk image in the repository and returns its
+// blob id and version — the user's "put image" operation.
+func (c *Cloud) UploadBaseImage(raw []byte, chunkSize uint64) (uint64, uint64, error) {
+	cl := c.Client()
+	blob, err := cl.CreateBlob(chunkSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	info, err := cl.WriteAt(blob, 0, raw)
+	if err != nil {
+		return 0, 0, err
+	}
+	return blob, info.Version, nil
+}
+
+// healthyNodesLocked returns non-failed nodes.
+func (c *Cloud) healthyNodesLocked() []*Node {
+	var out []*Node
+	for _, n := range c.nodes {
+		if !n.failed {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// placeLocked picks the next healthy node round-robin, preferring nodes not
+// in the avoid set.
+func (c *Cloud) placeLocked(avoid map[string]bool) (*Node, error) {
+	healthy := c.healthyNodesLocked()
+	if len(healthy) == 0 {
+		return nil, ErrNoHealthyNodes
+	}
+	for i := 0; i < len(healthy); i++ {
+		n := healthy[(c.rr+i)%len(healthy)]
+		if !avoid[n.Name] {
+			c.rr = (c.rr + i + 1) % len(healthy)
+			return n, nil
+		}
+	}
+	// All healthy nodes are in the avoid set; fall back to any.
+	n := healthy[c.rr%len(healthy)]
+	c.rr = (c.rr + 1) % len(healthy)
+	return n, nil
+}
+
+// deployOne attaches, boots and registers one instance from a snapshot.
+func (c *Cloud) deployOne(vmID string, node *Node, blob, version uint64, vmCfg vm.Config, resumeCkpt bool) (*Instance, error) {
+	cl := c.Client()
+	var mod *mirror.Module
+	var err error
+	if resumeCkpt {
+		mod, err = mirror.AttachCheckpoint(cl, blob, version)
+	} else {
+		mod, err = mirror.Attach(cl, blob, version)
+	}
+	if err != nil {
+		return nil, err
+	}
+	inst := vm.New(vmID, mod, vmCfg)
+	if err := inst.Boot(); err != nil {
+		return nil, err
+	}
+	token := fmt.Sprintf("tok-%08x", c.rng.Uint32())
+	node.proxy.Register(vmID, token, inst, mod)
+	return &Instance{
+		VMID:   vmID,
+		Node:   node,
+		VM:     inst,
+		Mirror: mod,
+		Proxy:  &proxy.Client{Net: c.net, Addr: node.ProxyAddr, VMID: vmID, Token: token},
+	}, nil
+}
+
+// Deploy boots n instances from the same base image (multi-deployment),
+// placing them round-robin across healthy nodes.
+func (c *Cloud) Deploy(n int, baseBlob, baseVersion uint64, vmCfg vm.Config) (*Deployment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextDep++
+	dep := &Deployment{
+		ID:          fmt.Sprintf("dep-%d", c.nextDep),
+		BaseBlob:    baseBlob,
+		BaseVersion: baseVersion,
+	}
+	for i := 0; i < n; i++ {
+		node, err := c.placeLocked(nil)
+		if err != nil {
+			return nil, err
+		}
+		vmID := fmt.Sprintf("%s-vm-%03d", dep.ID, i)
+		inst, err := c.deployOne(vmID, node, baseBlob, baseVersion, vmCfg, false)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: deploy %s: %w", vmID, err)
+		}
+		dep.Instances = append(dep.Instances, inst)
+	}
+	return dep, nil
+}
+
+// RecordCheckpoint stores the mapping between a completed global checkpoint
+// and the per-instance snapshots, as the middleware in Section 3.2 does. It
+// fails if the snapshot set does not cover every instance (an incomplete
+// checkpoint cannot be rolled back to).
+func (c *Cloud) RecordCheckpoint(dep *Deployment, snaps map[string]SnapshotRef) (int, error) {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	for _, inst := range dep.Instances {
+		if _, ok := snaps[inst.VMID]; !ok {
+			return 0, fmt.Errorf("%w: missing %s", ErrIncompleteCkpt, inst.VMID)
+		}
+	}
+	id := len(dep.checkpoints) + 1
+	cp := GlobalCheckpoint{ID: id, Snapshots: make(map[string]SnapshotRef, len(snaps))}
+	for k, v := range snaps {
+		cp.Snapshots[k] = v
+	}
+	dep.checkpoints = append(dep.checkpoints, cp)
+	return id, nil
+}
+
+// Checkpoints returns the recorded global checkpoints, oldest first.
+func (dep *Deployment) Checkpoints() []GlobalCheckpoint {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	return append([]GlobalCheckpoint(nil), dep.checkpoints...)
+}
+
+// LatestCheckpoint returns the most recent recorded global checkpoint.
+func (dep *Deployment) LatestCheckpoint() (GlobalCheckpoint, bool) {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	if len(dep.checkpoints) == 0 {
+		return GlobalCheckpoint{}, false
+	}
+	return dep.checkpoints[len(dep.checkpoints)-1], true
+}
+
+// FailNode fail-stops a node: all hosted instances die and the co-located
+// data provider becomes unreachable (its locally stored chunk replicas are
+// lost to the deployment).
+func (c *Cloud) FailNode(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		if n.Name != name {
+			continue
+		}
+		n.failed = true
+		c.net.Partition(n.ProxyAddr)
+		c.net.Partition(n.DataAddr)
+		// Take the dead data provider out of the placement rotation so
+		// future commits go to live providers only.
+		if err := c.Client().UnregisterProvider(n.DataAddr); err != nil {
+			return fmt.Errorf("cloud: deregister failed provider: %w", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+}
+
+// KillDeploymentInstancesOn kills the instances of dep hosted on failed
+// nodes (the middleware notices the fail-stop).
+func (c *Cloud) KillDeploymentInstancesOn(dep *Deployment) []string {
+	var dead []string
+	for _, inst := range dep.Instances {
+		if inst.Node.failed && inst.VM.State() != vm.Stopped {
+			inst.VM.Kill()
+			dead = append(dead, inst.VMID)
+		}
+	}
+	return dead
+}
+
+// Restart re-deploys every instance of dep from the given recorded global
+// checkpoint, each on a healthy node different from where it previously ran
+// (the paper redeploys on different nodes to avoid cache effects; here it
+// also sidesteps failed nodes). The old instances are discarded. The
+// returned deployment reuses the same checkpoint history.
+func (c *Cloud) Restart(dep *Deployment, ckptID int) (*Deployment, error) {
+	dep.mu.Lock()
+	var target *GlobalCheckpoint
+	for i := range dep.checkpoints {
+		if dep.checkpoints[i].ID == ckptID {
+			target = &dep.checkpoints[i]
+			break
+		}
+	}
+	dep.mu.Unlock()
+	if target == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchCkpt, ckptID)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	newDep := &Deployment{
+		ID:          dep.ID,
+		BaseBlob:    dep.BaseBlob,
+		BaseVersion: dep.BaseVersion,
+		checkpoints: dep.Checkpoints(),
+	}
+	for _, old := range dep.Instances {
+		// Tear down the previous incarnation.
+		old.VM.Kill()
+		old.Node.proxy.Unregister(old.VMID)
+
+		ref := target.Snapshots[old.VMID]
+		avoid := map[string]bool{old.Node.Name: true}
+		node, err := c.placeLocked(avoid)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := c.deployOne(old.VMID, node, ref.Blob, ref.Version, vm.Config{BlockSize: 512}, true)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: restart %s: %w", old.VMID, err)
+		}
+		newDep.Instances = append(newDep.Instances, inst)
+	}
+	return newDep, nil
+}
+
+// Prune retires all snapshot versions older than the given recorded global
+// checkpoint and garbage-collects the repository — the paper's future-work
+// extension, kept as a middleware operation because only the middleware
+// knows which snapshots checkpoints still reference.
+func (c *Cloud) Prune(dep *Deployment, keepFromCkptID int) (blobseer.GCStats, error) {
+	dep.mu.Lock()
+	var keep *GlobalCheckpoint
+	for i := range dep.checkpoints {
+		if dep.checkpoints[i].ID == keepFromCkptID {
+			keep = &dep.checkpoints[i]
+			break
+		}
+	}
+	dep.mu.Unlock()
+	if keep == nil {
+		return blobseer.GCStats{}, fmt.Errorf("%w: %d", ErrNoSuchCkpt, keepFromCkptID)
+	}
+	cl := c.Client()
+	for _, ref := range keep.Snapshots {
+		if err := cl.Retire(ref.Blob, ref.Version); err != nil {
+			return blobseer.GCStats{}, err
+		}
+	}
+	return cl.GC(c.repo.DataAddrs)
+}
+
+// Close shuts the cloud down.
+func (c *Cloud) Close() {
+	c.repo.Close()
+}

@@ -1,0 +1,322 @@
+package cloud
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"blobcr/internal/vm"
+)
+
+const chunkSize = 512
+
+func newCloud(t *testing.T, nodes int) *Cloud {
+	t.Helper()
+	c, err := New(Config{Nodes: nodes, MetaProviders: 2, Replication: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func uploadBase(t *testing.T, c *Cloud, size int) (uint64, uint64) {
+	t.Helper()
+	blob, version, err := c.UploadBaseImage(make([]byte, size), chunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, version
+}
+
+func TestDeployMultipleInstances(t *testing.T) {
+	c := newCloud(t, 4)
+	base, ver := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(4, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Instances) != 4 {
+		t.Fatalf("deployed %d instances", len(dep.Instances))
+	}
+	nodesUsed := map[string]bool{}
+	for _, inst := range dep.Instances {
+		if inst.VM.State() != vm.Running {
+			t.Errorf("%s not running", inst.VMID)
+		}
+		nodesUsed[inst.Node.Name] = true
+	}
+	if len(nodesUsed) != 4 {
+		t.Errorf("instances placed on %d nodes, want 4 (round-robin)", len(nodesUsed))
+	}
+}
+
+func TestInstancesAreIndependent(t *testing.T) {
+	c := newCloud(t, 2)
+	base, ver := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(2, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each instance writes its own file; the other must not see it.
+	dep.Instances[0].VM.FS().WriteFile("/mine", []byte("zero"))
+	dep.Instances[1].VM.FS().WriteFile("/mine", []byte("one"))
+	got0, _ := dep.Instances[0].VM.FS().ReadFile("/mine")
+	got1, _ := dep.Instances[1].VM.FS().ReadFile("/mine")
+	if string(got0) != "zero" || string(got1) != "one" {
+		t.Error("instance disks are not isolated")
+	}
+}
+
+func TestCheckpointViaProxyAndRecord(t *testing.T) {
+	c := newCloud(t, 3)
+	base, ver := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(3, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := make(map[string]SnapshotRef)
+	for i, inst := range dep.Instances {
+		inst.VM.FS().WriteFile("/state", []byte(fmt.Sprintf("rank %d", i)))
+		blob, version, err := inst.Proxy.RequestCheckpoint()
+		if err != nil {
+			t.Fatalf("%s checkpoint: %v", inst.VMID, err)
+		}
+		snaps[inst.VMID] = SnapshotRef{Blob: blob, Version: version}
+	}
+	id, err := c.RecordCheckpoint(dep, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("checkpoint id = %d", id)
+	}
+	got, ok := dep.LatestCheckpoint()
+	if !ok || got.ID != 1 || len(got.Snapshots) != 3 {
+		t.Errorf("LatestCheckpoint = %+v, %v", got, ok)
+	}
+}
+
+func TestRecordCheckpointRejectsIncomplete(t *testing.T) {
+	c := newCloud(t, 2)
+	base, ver := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(2, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.RecordCheckpoint(dep, map[string]SnapshotRef{
+		dep.Instances[0].VMID: {Blob: 1, Version: 0},
+	})
+	if err == nil {
+		t.Error("incomplete checkpoint recorded")
+	}
+}
+
+func TestFailureAndRestartRollsBack(t *testing.T) {
+	c := newCloud(t, 4)
+	base, ver := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(2, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each instance writes state and checkpoints.
+	snaps := make(map[string]SnapshotRef)
+	for i, inst := range dep.Instances {
+		inst.VM.FS().WriteFile("/progress", []byte(fmt.Sprintf("iter-100-rank-%d", i)))
+		blob, version, err := inst.Proxy.RequestCheckpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[inst.VMID] = SnapshotRef{Blob: blob, Version: version}
+	}
+	ckptID, err := c.RecordCheckpoint(dep, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-checkpoint work that will be lost (and file writes that must be
+	// rolled back — the paper's key I/O rollback property).
+	for _, inst := range dep.Instances {
+		inst.VM.FS().WriteFile("/progress", []byte("iter-150-dirty"))
+		inst.VM.FS().WriteFile("/garbage.log", []byte("lines after the checkpoint"))
+	}
+
+	// Fail the node hosting instance 0.
+	failedNode := dep.Instances[0].Node.Name
+	if err := c.FailNode(failedNode); err != nil {
+		t.Fatal(err)
+	}
+	dead := c.KillDeploymentInstancesOn(dep)
+	if len(dead) != 1 {
+		t.Fatalf("killed %v", dead)
+	}
+
+	// Restart from the recorded checkpoint.
+	newDep, err := c.Restart(dep, ckptID)
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	for i, inst := range newDep.Instances {
+		if inst.Node.Name == failedNode {
+			t.Errorf("%s placed on failed node", inst.VMID)
+		}
+		if inst.VM.State() != vm.Running {
+			t.Errorf("%s not running after restart", inst.VMID)
+		}
+		got, err := inst.VM.FS().ReadFile("/progress")
+		if err != nil {
+			t.Fatalf("%s: %v", inst.VMID, err)
+		}
+		want := fmt.Sprintf("iter-100-rank-%d", i)
+		if string(got) != want {
+			t.Errorf("%s progress = %q, want %q (rollback failed)", inst.VMID, got, want)
+		}
+		// The post-checkpoint file must be gone: I/O rollback.
+		if _, err := inst.VM.FS().ReadFile("/garbage.log"); err == nil {
+			t.Errorf("%s: post-checkpoint file survived the rollback", inst.VMID)
+		}
+	}
+}
+
+func TestRestartUnknownCheckpoint(t *testing.T) {
+	c := newCloud(t, 2)
+	base, ver := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(1, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Restart(dep, 99); err == nil {
+		t.Error("restart from unknown checkpoint succeeded")
+	}
+}
+
+func TestCheckpointAfterRestartContinues(t *testing.T) {
+	c := newCloud(t, 3)
+	base, ver := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(1, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := dep.Instances[0]
+	inst.VM.FS().WriteFile("/s", []byte("v1"))
+	blob, version, err := inst.Proxy.RequestCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptID, err := c.RecordCheckpoint(dep, map[string]SnapshotRef{inst.VMID: {Blob: blob, Version: version}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDep, err := c.Restart(dep, ckptID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2 := newDep.Instances[0]
+	inst2.VM.FS().WriteFile("/s", []byte("v2"))
+	blob2, version2, err := inst2.Proxy.RequestCheckpoint()
+	if err != nil {
+		t.Fatalf("checkpoint after restart: %v", err)
+	}
+	if blob2 != blob {
+		t.Errorf("restarted instance checkpoints into new image %d (was %d)", blob2, blob)
+	}
+	if version2 <= version {
+		t.Errorf("version did not advance: %d then %d", version, version2)
+	}
+	// Both snapshots readable.
+	cl := c.Client()
+	s1, err := cl.ReadVersion(blob, version, 0, 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cl.ReadVersion(blob2, version2, 0, 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(s1, []byte("v1")) || !bytes.Contains(s2, []byte("v2")) {
+		t.Error("snapshot contents wrong")
+	}
+}
+
+func TestPruneReclaimsOldCheckpoints(t *testing.T) {
+	c := newCloud(t, 2)
+	base, ver := uploadBase(t, c, 256*1024)
+	dep, err := c.Deploy(1, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := dep.Instances[0]
+	var lastID int
+	for i := 0; i < 4; i++ {
+		// Dirty a good amount of data each round so retired versions hold
+		// exclusive chunks.
+		data := bytes.Repeat([]byte{byte(i + 1)}, 64*1024)
+		inst.VM.FS().WriteFile("/state", data)
+		blob, version, err := inst.Proxy.RequestCheckpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastID, err = c.RecordCheckpoint(dep, map[string]SnapshotRef{inst.VMID: {Blob: blob, Version: version}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := c.Client()
+	_, chunksBefore, err := cl.Usage(c.Repository().DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Prune(dep, lastID)
+	if err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if stats.DeletedChunks == 0 {
+		t.Error("Prune reclaimed nothing")
+	}
+	_, chunksAfter, err := cl.Usage(c.Repository().DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunksAfter >= chunksBefore {
+		t.Errorf("chunks %d -> %d after prune", chunksBefore, chunksAfter)
+	}
+	// The kept checkpoint must still be restorable.
+	if _, err := c.Restart(dep, lastID); err != nil {
+		t.Fatalf("restart after prune: %v", err)
+	}
+}
+
+func TestReplicationSurvivesNodeLoss(t *testing.T) {
+	// With replication 2, losing one node's data provider must not make
+	// snapshots unreadable.
+	c := newCloud(t, 4)
+	base, ver := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(1, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := dep.Instances[0]
+	inst.VM.FS().WriteFile("/important", []byte("replicated state"))
+	blob, version, err := inst.Proxy.RequestCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptID, err := c.RecordCheckpoint(dep, map[string]SnapshotRef{inst.VMID: {Blob: blob, Version: version}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the instance's own node (its data provider had replicas too).
+	if err := c.FailNode(inst.Node.Name); err != nil {
+		t.Fatal(err)
+	}
+	c.KillDeploymentInstancesOn(dep)
+	newDep, err := c.Restart(dep, ckptID)
+	if err != nil {
+		t.Fatalf("restart with one data provider lost: %v", err)
+	}
+	got, err := newDep.Instances[0].VM.FS().ReadFile("/important")
+	if err != nil || string(got) != "replicated state" {
+		t.Errorf("state after node loss: %q, %v", got, err)
+	}
+}

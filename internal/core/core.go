@@ -1,0 +1,370 @@
+// Package core is the BlobCR framework: the paper's primary contribution,
+// assembled from the substrates.
+//
+// It runs tightly-coupled MPI applications on an IaaS cloud
+// (internal/cloud), checkpoints them through incremental virtual-disk
+// snapshots (internal/mirror + internal/blobseer, via the per-node
+// checkpointing proxy) and rolls them back — including all file system
+// modifications — on failures.
+//
+// Both checkpointing styles of the paper are supported:
+//
+//   - application level (BlobCR-app): the application dumps its own state
+//     into guest files inside the Checkpoint call;
+//   - process level (BlobCR-blcr): the framework dumps each rank's whole
+//     process image with internal/blcr, transparently to the application.
+//
+// A Job maps MPI ranks onto VM instances (several ranks per multi-core
+// instance, as in the CM1 experiments), coordinates the global checkpoint,
+// records the snapshot set with the middleware, and restarts from any
+// recorded checkpoint.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"blobcr/internal/blcr"
+	"blobcr/internal/cloud"
+	"blobcr/internal/guestfs"
+	"blobcr/internal/mirror"
+	"blobcr/internal/mpi"
+	"blobcr/internal/vm"
+)
+
+// Mode selects how per-process state is captured.
+type Mode int
+
+// Checkpoint modes.
+const (
+	// AppLevel: the application saves its own state via the save callback
+	// passed to Rank.Checkpoint.
+	AppLevel Mode = iota
+	// ProcessLevel: the framework dumps each rank's blcr process image.
+	ProcessLevel
+)
+
+// Errors.
+var (
+	ErrNoCheckpoint = errors.New("core: no checkpoint recorded")
+	ErrBadConfig    = errors.New("core: invalid job configuration")
+)
+
+// JobConfig describes an MPI job.
+type JobConfig struct {
+	Instances  int // number of VM instances
+	RanksPerVM int // MPI processes per instance (cores per VM); default 1
+	Mode       Mode
+	VMConfig   vm.Config
+	// CkptDir is the guest directory for state dumps (default "/ckpt").
+	CkptDir string
+}
+
+func (c *JobConfig) ranksPerVM() int {
+	if c.RanksPerVM < 1 {
+		return 1
+	}
+	return c.RanksPerVM
+}
+
+func (c *JobConfig) ckptDir() string {
+	if c.CkptDir == "" {
+		return "/ckpt"
+	}
+	return c.CkptDir
+}
+
+// Job is a deployed MPI application with checkpoint-restart support.
+type Job struct {
+	cloud *cloud.Cloud
+	cfg   JobConfig
+	dep   *cloud.Deployment
+
+	mu       sync.Mutex
+	barriers []*vmBarrier // one per instance, sized ranksPerVM
+}
+
+// NewJob deploys cfg.Instances VMs from the base image and prepares the
+// rank mapping. The instances boot immediately.
+func NewJob(cl *cloud.Cloud, baseBlob, baseVersion uint64, cfg JobConfig) (*Job, error) {
+	if cfg.Instances < 1 {
+		return nil, fmt.Errorf("%w: %d instances", ErrBadConfig, cfg.Instances)
+	}
+	dep, err := cl.Deploy(cfg.Instances, baseBlob, baseVersion, cfg.VMConfig)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{cloud: cl, cfg: cfg, dep: dep}
+	j.resetBarriers()
+	return j, nil
+}
+
+func (j *Job) resetBarriers() {
+	j.barriers = make([]*vmBarrier, len(j.dep.Instances))
+	for i := range j.barriers {
+		j.barriers[i] = newVMBarrier(j.cfg.ranksPerVM())
+	}
+}
+
+// Ranks returns the total number of MPI ranks.
+func (j *Job) Ranks() int { return j.cfg.Instances * j.cfg.ranksPerVM() }
+
+// Deployment exposes the underlying cloud deployment.
+func (j *Job) Deployment() *cloud.Deployment { return j.dep }
+
+// instanceOf maps a rank to its hosting instance index.
+func (j *Job) instanceOf(rank int) int { return rank / j.cfg.ranksPerVM() }
+
+// Rank is the per-process environment handed to the application body.
+type Rank struct {
+	Comm *mpi.Comm
+	// Proc is the rank's process image. In ProcessLevel mode the framework
+	// dumps and restores it; in AppLevel mode it is available as plain
+	// working memory.
+	Proc *blcr.Process
+	// Restored is true when the body runs after a rollback.
+	Restored bool
+
+	job   *Job
+	inst  *cloud.Instance
+	vmIdx int
+	local int // index of this rank within its VM
+}
+
+// FS returns the rank's guest file system.
+func (r *Rank) FS() *guestfs.FS { return r.inst.VM.FS() }
+
+// Instance returns the hosting cloud instance.
+func (r *Rank) Instance() *cloud.Instance { return r.inst }
+
+// CkptDir returns the guest directory used for state dumps.
+func (r *Rank) CkptDir() string { return r.job.cfg.ckptDir() }
+
+// StatePath returns this rank's state dump path in the guest.
+func (r *Rank) StatePath() string {
+	return fmt.Sprintf("%s/rank-%d.state", r.CkptDir(), r.Comm.Rank())
+}
+
+// Run starts the application: body runs once per rank. On a fresh start
+// Restored is false.
+func (j *Job) Run(body func(r *Rank) error) error {
+	return j.run(body, false)
+}
+
+func (j *Job) run(body func(r *Rank) error, restored bool) error {
+	n := j.Ranks()
+	world := mpi.NewWorld(n)
+	defer world.Close()
+	return world.Run(func(c *mpi.Comm) error {
+		vmIdx := j.instanceOf(c.Rank())
+		inst := j.dep.Instances[vmIdx]
+		proc := blcr.NewProcess(1000 + c.Rank())
+		if err := inst.VM.AddProcess(proc); err != nil {
+			return err
+		}
+		r := &Rank{
+			Comm:     c,
+			Proc:     proc,
+			Restored: restored,
+			job:      j,
+			inst:     inst,
+			vmIdx:    vmIdx,
+			local:    c.Rank() % j.cfg.ranksPerVM(),
+		}
+		if err := r.FS().MkdirAll(j.cfg.ckptDir()); err != nil {
+			return err
+		}
+		if restored && j.cfg.Mode == ProcessLevel {
+			// Transparent restore: load the process image dumped by the
+			// last checkpoint and re-inject captured channel state.
+			p, err := blcr.RestoreFromFile(r.FS(), r.StatePath())
+			if err != nil {
+				return fmt.Errorf("core: rank %d restore: %w", c.Rank(), err)
+			}
+			if err := c.RestorePending(p); err != nil {
+				return err
+			}
+			if err := inst.VM.AddProcess(p); err != nil {
+				return err
+			}
+			r.Proc = p
+		}
+		return body(r)
+	})
+}
+
+// Checkpoint takes a coordinated global checkpoint. In AppLevel mode, save
+// must write the rank's state into the guest file system (typically at
+// StatePath); in ProcessLevel mode save is ignored and the framework dumps
+// the rank's process image transparently. It returns the recorded global
+// checkpoint id (the same on every rank).
+//
+// Every rank must call Checkpoint at the same logical point.
+func (r *Rank) Checkpoint(save func(fs *guestfs.FS) error) (int, error) {
+	j := r.job
+	hooks := mpi.CRHooks{
+		Sync: func() error { return r.FS().Sync() },
+	}
+	switch j.cfg.Mode {
+	case AppLevel:
+		if save == nil {
+			return 0, fmt.Errorf("%w: AppLevel checkpoint needs a save callback", ErrBadConfig)
+		}
+		hooks.SaveState = func() error { return save(r.FS()) }
+	case ProcessLevel:
+		hooks.Process = r.Proc
+		hooks.SaveState = func() error {
+			_, err := r.Proc.CheckpointToFile(r.FS(), r.StatePath())
+			return err
+		}
+	default:
+		return 0, fmt.Errorf("%w: unknown mode %d", ErrBadConfig, j.cfg.Mode)
+	}
+
+	// One disk snapshot per VM: the first rank of each VM issues the proxy
+	// request once all co-located ranks have dumped and synced.
+	barrier := j.barriers[r.vmIdx]
+	hooks.Snapshot = func() (uint64, error) {
+		return barrier.snapshotOnce(func() (uint64, uint64, error) {
+			return r.inst.Proxy.RequestCheckpoint()
+		})
+	}
+
+	version, err := r.Comm.CheckpointCoordinated(hooks)
+	if err != nil {
+		return 0, err
+	}
+
+	// Gather the per-VM snapshot refs at rank 0 and record the global
+	// checkpoint with the middleware.
+	blob, _ := r.inst.Mirror.CheckpointImage()
+	refBytes := encodeRef(blob, version)
+	gathered, err := r.Comm.Gather(0, refBytes)
+	if err != nil {
+		return 0, err
+	}
+	var ckptID int
+	if r.Comm.Rank() == 0 {
+		snaps := make(map[string]cloud.SnapshotRef, len(j.dep.Instances))
+		for rank, raw := range gathered {
+			b, v := decodeRef(raw)
+			vmID := j.dep.Instances[j.instanceOf(rank)].VMID
+			snaps[vmID] = cloud.SnapshotRef{Blob: b, Version: v}
+		}
+		id, err := j.cloud.RecordCheckpoint(j.dep, snaps)
+		if err != nil {
+			return 0, err
+		}
+		ckptID = id
+	}
+	// Share the checkpoint id with every rank.
+	idBytes, err := r.Comm.Bcast(0, []byte{byte(ckptID), byte(ckptID >> 8), byte(ckptID >> 16), byte(ckptID >> 24)})
+	if err != nil {
+		return 0, err
+	}
+	return int(uint32(idBytes[0]) | uint32(idBytes[1])<<8 | uint32(idBytes[2])<<16 | uint32(idBytes[3])<<24), nil
+}
+
+func encodeRef(blob, version uint64) []byte {
+	out := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(blob >> (8 * i))
+		out[8+i] = byte(version >> (8 * i))
+	}
+	return out
+}
+
+func decodeRef(raw []byte) (uint64, uint64) {
+	var b, v uint64
+	for i := 0; i < 8 && i < len(raw); i++ {
+		b |= uint64(raw[i]) << (8 * i)
+	}
+	for i := 0; i < 8 && 8+i < len(raw); i++ {
+		v |= uint64(raw[8+i]) << (8 * i)
+	}
+	return b, v
+}
+
+// LatestCheckpoint returns the id of the most recent recorded global
+// checkpoint.
+func (j *Job) LatestCheckpoint() (int, error) {
+	cp, ok := j.dep.LatestCheckpoint()
+	if !ok {
+		return 0, ErrNoCheckpoint
+	}
+	return cp.ID, nil
+}
+
+// Restart rolls the job back to the given recorded checkpoint: all
+// instances are redeployed from their disk snapshots on healthy nodes,
+// rebooted, and body runs again with Restored=true. In ProcessLevel mode
+// the framework restores each rank's process image before body runs.
+func (j *Job) Restart(ckptID int, body func(r *Rank) error) error {
+	newDep, err := j.cloud.Restart(j.dep, ckptID)
+	if err != nil {
+		return err
+	}
+	j.dep = newDep
+	j.resetBarriers()
+	return j.run(body, true)
+}
+
+// vmBarrier coordinates the ranks sharing one VM so exactly one disk
+// snapshot per VM is taken per global checkpoint, after all co-located
+// ranks have dumped their state.
+type vmBarrier struct {
+	size int
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	arrived int
+	gen     int
+	version uint64
+	blob    uint64
+	err     error
+}
+
+func newVMBarrier(size int) *vmBarrier {
+	b := &vmBarrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// snapshotOnce blocks until all ranks of the VM arrive; the last arrival
+// issues the snapshot request and the resulting version is returned to all.
+func (b *vmBarrier) snapshotOnce(request func() (uint64, uint64, error)) (uint64, error) {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.size {
+		blob, version, err := func() (uint64, uint64, error) {
+			b.mu.Unlock()
+			defer b.mu.Lock()
+			return request()
+		}()
+		b.blob, b.version, b.err = blob, version, err
+		b.arrived = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return version, err
+	}
+	for b.gen == gen {
+		b.cond.Wait()
+	}
+	version, err := b.version, b.err
+	b.mu.Unlock()
+	return version, err
+}
+
+// InspectSnapshot mounts a disk snapshot from the repository read-only and
+// returns its guest file system — the paper's scenario of downloading and
+// inspecting checkpoint images as standalone entities.
+func InspectSnapshot(cl *cloud.Cloud, ref cloud.SnapshotRef) (*guestfs.FS, error) {
+	mod, err := mirror.Attach(cl.Client(), ref.Blob, ref.Version)
+	if err != nil {
+		return nil, err
+	}
+	return guestfs.Mount(mod)
+}

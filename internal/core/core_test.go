@@ -1,0 +1,340 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"blobcr/internal/blcr"
+	"blobcr/internal/cloud"
+	"blobcr/internal/guestfs"
+	"blobcr/internal/vm"
+)
+
+const chunkSize = 512
+
+func newCloud(t *testing.T, nodes int) *cloud.Cloud {
+	t.Helper()
+	c, err := cloud.New(cloud.Config{Nodes: nodes, MetaProviders: 2, Replication: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func baseImage(t *testing.T, c *cloud.Cloud, size int) (uint64, uint64) {
+	t.Helper()
+	blob, ver, err := c.UploadBaseImage(make([]byte, size), chunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, ver
+}
+
+func vmCfg() vm.Config {
+	return vm.Config{BlockSize: 512, BootNoiseBytes: 4096, OSOverheadBytes: 16 * 1024}
+}
+
+func TestJobValidation(t *testing.T) {
+	c := newCloud(t, 2)
+	base, ver := baseImage(t, c, 256*1024)
+	if _, err := NewJob(c, base, ver, JobConfig{Instances: 0}); err == nil {
+		t.Error("zero instances accepted")
+	}
+}
+
+func TestAppLevelCheckpointRestart(t *testing.T) {
+	c := newCloud(t, 4)
+	base, ver := baseImage(t, c, 512*1024)
+	job, err := NewJob(c, base, ver, JobConfig{Instances: 2, Mode: AppLevel, VMConfig: vmCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: run to iteration 50, checkpoint, run to 80, then "fail".
+	var ckptID int
+	var mu sync.Mutex
+	err = job.Run(func(r *Rank) error {
+		iter := uint64(50) // computed 50 iterations
+		id, err := r.Checkpoint(func(fs *guestfs.FS) error {
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint64(buf, iter)
+			return fs.WriteFile(r.StatePath(), buf)
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		ckptID = id
+		mu.Unlock()
+		// More work after the checkpoint, plus file noise that must roll
+		// back.
+		if err := r.FS().WriteFile("/scratch.tmp", []byte("post-ckpt")); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ckptID != 1 {
+		t.Fatalf("checkpoint id = %d", ckptID)
+	}
+
+	// Fail one node hosting an instance.
+	if err := c.FailNode(job.Deployment().Instances[0].Node.Name); err != nil {
+		t.Fatal(err)
+	}
+	c.KillDeploymentInstancesOn(job.Deployment())
+
+	// Phase 2: restart from the checkpoint; application reloads its state.
+	err = job.Restart(ckptID, func(r *Rank) error {
+		if !r.Restored {
+			return fmt.Errorf("rank %d: Restored flag not set", r.Comm.Rank())
+		}
+		buf, err := r.FS().ReadFile(r.StatePath())
+		if err != nil {
+			return fmt.Errorf("rank %d: read state: %w", r.Comm.Rank(), err)
+		}
+		iter := binary.LittleEndian.Uint64(buf)
+		if iter != 50 {
+			return fmt.Errorf("rank %d: restored iter = %d, want 50", r.Comm.Rank(), iter)
+		}
+		// Post-checkpoint noise must have been rolled back.
+		if _, err := r.FS().ReadFile("/scratch.tmp"); err == nil {
+			return fmt.Errorf("rank %d: post-checkpoint file survived rollback", r.Comm.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+}
+
+func TestProcessLevelTransparentRestart(t *testing.T) {
+	c := newCloud(t, 4)
+	base, ver := baseImage(t, c, 512*1024)
+	job, err := NewJob(c, base, ver, JobConfig{Instances: 2, Mode: ProcessLevel, VMConfig: vmCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ckptID int
+	var mu sync.Mutex
+	err = job.Run(func(r *Rank) error {
+		// The application's working memory lives in the process image.
+		heap := r.Proc.Alloc("solution", 4096)
+		for i := range heap {
+			heap[i] = byte(r.Comm.Rank() + 1)
+		}
+		r.Proc.SetRegisters(blcrRegs(77))
+		// Transparent checkpoint: no save callback.
+		id, err := r.Checkpoint(nil)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		ckptID = id
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	err = job.Restart(ckptID, func(r *Rank) error {
+		// The framework restored the process image: memory and registers.
+		heap, ok := r.Proc.Arena("solution")
+		if !ok {
+			return fmt.Errorf("rank %d: solution arena missing", r.Comm.Rank())
+		}
+		want := bytes.Repeat([]byte{byte(r.Comm.Rank() + 1)}, 4096)
+		if !bytes.Equal(heap, want) {
+			return fmt.Errorf("rank %d: memory corrupted", r.Comm.Rank())
+		}
+		if r.Proc.Registers().PC != 77 {
+			return fmt.Errorf("rank %d: PC = %d", r.Comm.Rank(), r.Proc.Registers().PC)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+}
+
+func TestMultipleRanksPerVMSingleSnapshot(t *testing.T) {
+	c := newCloud(t, 2)
+	base, ver := baseImage(t, c, 512*1024)
+	job, err := NewJob(c, base, ver, JobConfig{
+		Instances: 2, RanksPerVM: 4, Mode: ProcessLevel, VMConfig: vmCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Ranks() != 8 {
+		t.Fatalf("Ranks = %d", job.Ranks())
+	}
+	err = job.Run(func(r *Rank) error {
+		buf := r.Proc.Alloc("x", 512)
+		buf[0] = byte(r.Comm.Rank())
+		_, err := r.Checkpoint(nil)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Exactly one global checkpoint, covering both VMs, and each VM's
+	// checkpoint image has exactly one snapshot (version 0): one proxy
+	// request per VM, not per rank.
+	cps := job.Deployment().Checkpoints()
+	if len(cps) != 1 {
+		t.Fatalf("%d checkpoints recorded", len(cps))
+	}
+	if len(cps[0].Snapshots) != 2 {
+		t.Fatalf("snapshot set = %+v", cps[0].Snapshots)
+	}
+	cl := c.Client()
+	for vmID, ref := range cps[0].Snapshots {
+		info, _, err := cl.Latest(ref.Blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Version != ref.Version {
+			t.Errorf("%s: image has later version %d than recorded %d (extra snapshots taken)", vmID, info.Version, ref.Version)
+		}
+		// All 4 ranks' dumps are inside the one snapshot.
+		fs, err := InspectSnapshot(c, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := fs.ReadDir("/ckpt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 4 {
+			t.Errorf("%s snapshot holds %d rank dumps, want 4", vmID, len(entries))
+		}
+	}
+}
+
+func TestSuccessiveCheckpointsRecordHistory(t *testing.T) {
+	c := newCloud(t, 2)
+	base, ver := baseImage(t, c, 512*1024)
+	job, err := NewJob(c, base, ver, JobConfig{Instances: 1, Mode: ProcessLevel, VMConfig: vmCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = job.Run(func(r *Rank) error {
+		state := r.Proc.Alloc("iter", 8)
+		for i := 0; i < 3; i++ {
+			state[0] = byte(i)
+			if _, err := r.Checkpoint(nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := job.Deployment().Checkpoints()
+	if len(cps) != 3 {
+		t.Fatalf("%d checkpoints", len(cps))
+	}
+	// Restart from the FIRST checkpoint (not just the latest).
+	err = job.Restart(cps[0].ID, func(r *Rank) error {
+		st, _ := r.Proc.Arena("iter")
+		if st[0] != 0 {
+			return fmt.Errorf("restored iter = %d, want 0", st[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("restart from first checkpoint: %v", err)
+	}
+}
+
+func TestLatestCheckpoint(t *testing.T) {
+	c := newCloud(t, 2)
+	base, ver := baseImage(t, c, 512*1024)
+	job, err := NewJob(c, base, ver, JobConfig{Instances: 1, Mode: ProcessLevel, VMConfig: vmCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.LatestCheckpoint(); err != ErrNoCheckpoint {
+		t.Errorf("LatestCheckpoint on fresh job = %v", err)
+	}
+	job.Run(func(r *Rank) error {
+		r.Proc.Alloc("a", 16)
+		_, err := r.Checkpoint(nil)
+		return err
+	})
+	id, err := job.LatestCheckpoint()
+	if err != nil || id != 1 {
+		t.Errorf("LatestCheckpoint = %d, %v", id, err)
+	}
+}
+
+func TestAppLevelRequiresSaveCallback(t *testing.T) {
+	c := newCloud(t, 2)
+	base, ver := baseImage(t, c, 512*1024)
+	job, err := NewJob(c, base, ver, JobConfig{Instances: 1, Mode: AppLevel, VMConfig: vmCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = job.Run(func(r *Rank) error {
+		_, err := r.Checkpoint(nil)
+		if err == nil {
+			return fmt.Errorf("nil save callback accepted in AppLevel mode")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectSnapshotIsStandalone(t *testing.T) {
+	c := newCloud(t, 2)
+	base, ver := baseImage(t, c, 512*1024)
+	job, err := NewJob(c, base, ver, JobConfig{Instances: 1, Mode: AppLevel, VMConfig: vmCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = job.Run(func(r *Rank) error {
+		_, err := r.Checkpoint(func(fs *guestfs.FS) error {
+			return fs.WriteFile(r.StatePath(), []byte("inspectable state"))
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _ := job.Deployment().LatestCheckpoint()
+	for _, ref := range cp.Snapshots {
+		fs, err := InspectSnapshot(c, ref)
+		if err != nil {
+			t.Fatalf("InspectSnapshot: %v", err)
+		}
+		got, err := fs.ReadFile("/ckpt/rank-0.state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "inspectable state" {
+			t.Errorf("inspected state = %q", got)
+		}
+		// The boot-time OS files are in there too — it is a full disk image.
+		if _, err := fs.Stat("/etc/hostname.conf"); err != nil {
+			t.Errorf("snapshot missing OS files: %v", err)
+		}
+	}
+}
+
+// blcrRegs builds a register file with the given PC.
+func blcrRegs(pc uint64) (r blcr.Registers) {
+	r.PC = pc
+	return
+}

@@ -1,0 +1,385 @@
+package guestfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Info describes a file or directory.
+type Info struct {
+	Name  string
+	Size  uint64
+	IsDir bool
+	Inode uint64
+}
+
+// DirEntry is one ReadDir result.
+type DirEntry = Info
+
+// File is an open file handle. Handles share the FS lock; they are safe for
+// concurrent use.
+type File struct {
+	fs   *FS
+	ino  uint64
+	path string
+}
+
+// Create creates (or truncates) a file at path.
+func (fs *FS) Create(path string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parentIno, parent, name, err := fs.lookupParent(path)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := fs.dirEntries(parent)
+	if err != nil {
+		return nil, err
+	}
+	if existing, ok := entries[name]; ok {
+		n, err := fs.readInode(existing)
+		if err != nil {
+			return nil, err
+		}
+		if n.mode == modeDir {
+			return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+		}
+		if err := fs.truncateInode(existing, n); err != nil {
+			return nil, err
+		}
+		return &File{fs: fs, ino: existing, path: path}, nil
+	}
+	ino, err := fs.allocInode(modeFile)
+	if err != nil {
+		return nil, err
+	}
+	entries[name] = ino
+	if err := fs.writeDir(parentIno, parent, entries); err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, ino: ino, path: path}, nil
+}
+
+// Open opens an existing file.
+func (fs *FS) Open(path string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, n, err := fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.mode == modeDir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return &File{fs: fs, ino: ino, path: path}, nil
+}
+
+// ReadAt implements io.ReaderAt semantics on the file.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	n, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return 0, err
+	}
+	return f.fs.readAtInode(n, p, off)
+}
+
+// WriteAt implements io.WriterAt semantics on the file.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	n, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return 0, err
+	}
+	return f.fs.writeAtInode(f.ino, n, p, off)
+}
+
+// Append writes p at the end of the file.
+func (f *File) Append(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	n, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return 0, err
+	}
+	return f.fs.writeAtInode(f.ino, n, p, int64(n.size))
+}
+
+// Size returns the current file size.
+func (f *File) Size() (uint64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	n, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return 0, err
+	}
+	return n.size, nil
+}
+
+// Truncate discards the file's content.
+func (f *File) Truncate() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	n, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return err
+	}
+	return f.fs.truncateInode(f.ino, n)
+}
+
+// Path returns the path the handle was opened with.
+func (f *File) Path() string { return f.path }
+
+// WriteFile creates path with the given content (the checkpoint dump
+// operation).
+func (fs *FS) WriteFile(path string, data []byte) error {
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(data, 0)
+	return err
+}
+
+// ReadFile returns the whole content of path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Mkdir creates a directory at path; the parent must exist.
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parentIno, parent, name, err := fs.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	entries, err := fs.dirEntries(parent)
+	if err != nil {
+		return err
+	}
+	if _, exists := entries[name]; exists {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	ino, err := fs.allocInode(modeDir)
+	if err != nil {
+		return err
+	}
+	entries[name] = ino
+	return fs.writeDir(parentIno, parent, entries)
+}
+
+// MkdirAll creates path and any missing parents.
+func (fs *FS) MkdirAll(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := ""
+	for _, part := range parts {
+		cur += "/" + part
+		err := fs.Mkdir(cur)
+		if err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove deletes a file or an empty directory.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parentIno, parent, name, err := fs.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	entries, err := fs.dirEntries(parent)
+	if err != nil {
+		return err
+	}
+	ino, ok := entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	n, err := fs.readInode(ino)
+	if err != nil {
+		return err
+	}
+	if n.mode == modeDir {
+		children, err := fs.dirEntries(n)
+		if err != nil {
+			return err
+		}
+		if len(children) > 0 {
+			return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+		}
+	}
+	if err := fs.truncateInode(ino, n); err != nil {
+		return err
+	}
+	if err := fs.writeInode(ino, &inode{}); err != nil { // free the inode
+		return err
+	}
+	delete(entries, name)
+	return fs.writeDir(parentIno, parent, entries)
+}
+
+// ReadDir lists a directory.
+func (fs *FS) ReadDir(path string) ([]DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, n, err := fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.mode != modeDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	entries, err := fs.dirEntries(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, 0, len(entries))
+	for name, ino := range entries {
+		child, err := fs.readInode(ino)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DirEntry{
+			Name:  name,
+			Size:  child.size,
+			IsDir: child.mode == modeDir,
+			Inode: ino,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Stat returns metadata for path.
+func (fs *FS) Stat(path string) (Info, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, n, err := fs.lookup(path)
+	if err != nil {
+		return Info{}, err
+	}
+	name := path
+	if idx := strings.LastIndex(path, "/"); idx >= 0 && idx+1 < len(path) {
+		name = path[idx+1:]
+	}
+	return Info{Name: name, Size: n.size, IsDir: n.mode == modeDir, Inode: ino}, nil
+}
+
+// Sync flushes the device (all metadata is already write-through).
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.flushBitmap(); err != nil {
+		return err
+	}
+	return fs.dev.Flush()
+}
+
+// Fsck verifies file system invariants: every allocated block is reachable
+// from exactly one inode (or is metadata), every reachable block is marked
+// allocated, and directory entries point to live inodes.
+func (fs *FS) Fsck() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	owner := make(map[uint64]uint64) // block -> inode
+	var walkErrs []string
+	for ino := uint64(1); ino < fs.nInodes; ino++ {
+		n, err := fs.readInode(ino)
+		if err != nil {
+			return err
+		}
+		if n.mode == modeFree {
+			continue
+		}
+		err = fs.forEachBlock(n, func(b uint64, _ bool) error {
+			if b < fs.dataStart || b >= fs.nBlocks {
+				walkErrs = append(walkErrs, fmt.Sprintf("inode %d references out-of-range block %d", ino, b))
+				return nil
+			}
+			if prev, dup := owner[b]; dup {
+				walkErrs = append(walkErrs, fmt.Sprintf("block %d owned by inodes %d and %d", b, prev, ino))
+				return nil
+			}
+			owner[b] = ino
+			if fs.bitmap[b/8]&(1<<(b%8)) == 0 {
+				walkErrs = append(walkErrs, fmt.Sprintf("block %d in use by inode %d but marked free", b, ino))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Every allocated data block must have an owner.
+	for b := fs.dataStart; b < fs.nBlocks; b++ {
+		if fs.bitmap[b/8]&(1<<(b%8)) != 0 {
+			if _, ok := owner[b]; !ok {
+				walkErrs = append(walkErrs, fmt.Sprintf("block %d allocated but unreachable", b))
+			}
+		}
+	}
+	// Directory entries must reference live inodes.
+	var checkDir func(ino uint64) error
+	seen := make(map[uint64]bool)
+	checkDir = func(ino uint64) error {
+		if seen[ino] {
+			walkErrs = append(walkErrs, fmt.Sprintf("directory cycle at inode %d", ino))
+			return nil
+		}
+		seen[ino] = true
+		n, err := fs.readInode(ino)
+		if err != nil {
+			return err
+		}
+		entries, err := fs.dirEntries(n)
+		if err != nil {
+			return err
+		}
+		for name, child := range entries {
+			cn, err := fs.readInode(child)
+			if err != nil {
+				return err
+			}
+			if cn.mode == modeFree {
+				walkErrs = append(walkErrs, fmt.Sprintf("entry %q references free inode %d", name, child))
+				continue
+			}
+			if cn.mode == modeDir {
+				if err := checkDir(child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkDir(rootInode); err != nil {
+		return err
+	}
+	if len(walkErrs) > 0 {
+		return fmt.Errorf("guestfs: fsck found %d problems: %s", len(walkErrs), strings.Join(walkErrs, "; "))
+	}
+	return nil
+}

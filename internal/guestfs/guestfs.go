@@ -1,0 +1,751 @@
+// Package guestfs implements the guest operating system's file system: a
+// small Unix-like block file system (superblock, block bitmap, inode table,
+// directories, double-indirect addressing) living on a vdisk.Device.
+//
+// In the paper, processes dump their checkpoint state into files of the
+// guest file system, and the disk-image snapshot captures those blocks.
+// Running a real file system on the virtual disk is what makes snapshot
+// sizes honest: file writes dirty data blocks, bitmap blocks, inode blocks
+// and directory blocks, exactly the "minor updates" the paper measures on
+// top of the raw checkpoint data.
+//
+// All writes are write-through to the device, so a disk snapshot taken after
+// Sync is always consistent.
+package guestfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"blobcr/internal/vdisk"
+)
+
+const (
+	magic = 0x6266E257 // "blobcr fs"
+
+	// DefaultBlockSize is a common guest file system block size.
+	DefaultBlockSize = 4096
+
+	inodeSize    = 128
+	numDirect    = 12
+	rootInode    = 1
+	modeFree     = 0
+	modeFile     = 1
+	modeDir      = 2
+	maxNameLen   = 255
+	dirEntryBase = 8 + 2 // inode + nameLen
+)
+
+// Errors.
+var (
+	ErrNotExist    = errors.New("guestfs: no such file or directory")
+	ErrExist       = errors.New("guestfs: file exists")
+	ErrNotDir      = errors.New("guestfs: not a directory")
+	ErrIsDir       = errors.New("guestfs: is a directory")
+	ErrNotEmpty    = errors.New("guestfs: directory not empty")
+	ErrNoSpace     = errors.New("guestfs: no space left on device")
+	ErrNoInodes    = errors.New("guestfs: out of inodes")
+	ErrBadFS       = errors.New("guestfs: not a valid file system")
+	ErrNameTooLong = errors.New("guestfs: name too long")
+)
+
+// inode is the on-disk per-file record.
+type inode struct {
+	mode      uint16
+	nlink     uint16
+	size      uint64
+	direct    [numDirect]uint64
+	indirect  uint64 // block of block pointers
+	dindirect uint64 // block of pointers to indirect blocks
+}
+
+// FS is a mounted file system.
+type FS struct {
+	mu  sync.Mutex
+	dev vdisk.Device
+
+	blockSize   uint64
+	nBlocks     uint64
+	nInodes     uint64
+	bitmapStart uint64 // block index
+	bitmapBlks  uint64
+	itabStart   uint64
+	itabBlks    uint64
+	dataStart   uint64
+
+	bitmap     []byte // in-memory copy, write-through
+	allocHint  uint64
+	freeBlocks uint64
+}
+
+// ptrsPerBlock returns how many block pointers fit one block.
+func (fs *FS) ptrsPerBlock() uint64 { return fs.blockSize / 8 }
+
+// MaxFileSize returns the largest file this FS can hold.
+func (fs *FS) MaxFileSize() uint64 {
+	p := fs.ptrsPerBlock()
+	return (numDirect + p + p*p) * fs.blockSize
+}
+
+// Mkfs formats dev with the given block size (0 selects DefaultBlockSize)
+// and returns the mounted file system.
+func Mkfs(dev vdisk.Device, blockSize int) (*FS, error) {
+	if blockSize == 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize < 512 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("guestfs: block size %d must be a power of two >= 512", blockSize)
+	}
+	bs := uint64(blockSize)
+	total := uint64(dev.Size()) / bs
+	if total < 8 {
+		return nil, fmt.Errorf("guestfs: device too small (%d blocks)", total)
+	}
+	fs := &FS{dev: dev, blockSize: bs, nBlocks: total}
+	// Inodes: 1 per 8 blocks, at least 64.
+	fs.nInodes = total / 8
+	if fs.nInodes < 64 {
+		fs.nInodes = 64
+	}
+	fs.bitmapStart = 1
+	fs.bitmapBlks = ceil(total, bs*8)
+	fs.itabStart = fs.bitmapStart + fs.bitmapBlks
+	fs.itabBlks = ceil(fs.nInodes*inodeSize, bs)
+	fs.dataStart = fs.itabStart + fs.itabBlks
+	if fs.dataStart >= total {
+		return nil, fmt.Errorf("guestfs: device too small for metadata (%d metadata blocks, %d total)", fs.dataStart, total)
+	}
+
+	// Zero the metadata region.
+	zeroBlk := make([]byte, bs)
+	for b := uint64(0); b < fs.dataStart; b++ {
+		if _, err := dev.WriteAt(zeroBlk, int64(b*bs)); err != nil {
+			return nil, err
+		}
+	}
+	fs.bitmap = make([]byte, fs.bitmapBlks*bs)
+	// Mark metadata blocks as used.
+	for b := uint64(0); b < fs.dataStart; b++ {
+		fs.bitmap[b/8] |= 1 << (b % 8)
+	}
+	fs.freeBlocks = total - fs.dataStart
+	if err := fs.flushBitmap(); err != nil {
+		return nil, err
+	}
+
+	// Root directory: inode 1, empty.
+	root := inode{mode: modeDir, nlink: 2}
+	if err := fs.writeInode(rootInode, &root); err != nil {
+		return nil, err
+	}
+	if err := fs.writeSuper(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount opens an existing file system on dev.
+func Mount(dev vdisk.Device) (*FS, error) {
+	hdr := make([]byte, 128)
+	if err := vdisk.ReadFull(dev, hdr, 0); err != nil {
+		return nil, fmt.Errorf("%w: read superblock: %v", ErrBadFS, err)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(hdr[0:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFS)
+	}
+	fs := &FS{
+		dev:         dev,
+		blockSize:   le.Uint64(hdr[8:]),
+		nBlocks:     le.Uint64(hdr[16:]),
+		nInodes:     le.Uint64(hdr[24:]),
+		bitmapStart: le.Uint64(hdr[32:]),
+		bitmapBlks:  le.Uint64(hdr[40:]),
+		itabStart:   le.Uint64(hdr[48:]),
+		itabBlks:    le.Uint64(hdr[56:]),
+		dataStart:   le.Uint64(hdr[64:]),
+	}
+	if fs.blockSize < 512 || fs.blockSize&(fs.blockSize-1) != 0 || fs.nBlocks == 0 {
+		return nil, fmt.Errorf("%w: implausible geometry", ErrBadFS)
+	}
+	fs.bitmap = make([]byte, fs.bitmapBlks*fs.blockSize)
+	if err := vdisk.ReadFull(dev, fs.bitmap, int64(fs.bitmapStart*fs.blockSize)); err != nil {
+		return nil, fmt.Errorf("%w: read bitmap: %v", ErrBadFS, err)
+	}
+	for b := uint64(0); b < fs.nBlocks; b++ {
+		if fs.bitmap[b/8]&(1<<(b%8)) == 0 {
+			fs.freeBlocks++
+		}
+	}
+	return fs, nil
+}
+
+func (fs *FS) writeSuper() error {
+	hdr := make([]byte, 128)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], magic)
+	le.PutUint64(hdr[8:], fs.blockSize)
+	le.PutUint64(hdr[16:], fs.nBlocks)
+	le.PutUint64(hdr[24:], fs.nInodes)
+	le.PutUint64(hdr[32:], fs.bitmapStart)
+	le.PutUint64(hdr[40:], fs.bitmapBlks)
+	le.PutUint64(hdr[48:], fs.itabStart)
+	le.PutUint64(hdr[56:], fs.itabBlks)
+	le.PutUint64(hdr[64:], fs.dataStart)
+	_, err := fs.dev.WriteAt(hdr, 0)
+	return err
+}
+
+func ceil(a, b uint64) uint64 { return (a + b - 1) / b }
+
+// --- bitmap / allocation ---
+
+func (fs *FS) flushBitmap() error {
+	_, err := fs.dev.WriteAt(fs.bitmap, int64(fs.bitmapStart*fs.blockSize))
+	return err
+}
+
+// flushBitmapBlock persists the single bitmap block containing bit b.
+func (fs *FS) flushBitmapBlock(b uint64) error {
+	blk := (b / 8) / fs.blockSize
+	off := fs.bitmapStart*fs.blockSize + blk*fs.blockSize
+	_, err := fs.dev.WriteAt(fs.bitmap[blk*fs.blockSize:(blk+1)*fs.blockSize], int64(off))
+	return err
+}
+
+// allocBlock allocates one zeroed data block.
+func (fs *FS) allocBlock() (uint64, error) {
+	if fs.freeBlocks == 0 {
+		return 0, ErrNoSpace
+	}
+	for i := uint64(0); i < fs.nBlocks; i++ {
+		b := (fs.allocHint + i) % fs.nBlocks
+		if b < fs.dataStart {
+			continue
+		}
+		if fs.bitmap[b/8]&(1<<(b%8)) == 0 {
+			fs.bitmap[b/8] |= 1 << (b % 8)
+			fs.allocHint = b + 1
+			fs.freeBlocks--
+			if err := fs.flushBitmapBlock(b); err != nil {
+				return 0, err
+			}
+			// Fresh blocks must read as zeros.
+			zero := make([]byte, fs.blockSize)
+			if _, err := fs.dev.WriteAt(zero, int64(b*fs.blockSize)); err != nil {
+				return 0, err
+			}
+			return b, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+func (fs *FS) freeBlock(b uint64) error {
+	if b < fs.dataStart || b >= fs.nBlocks {
+		return fmt.Errorf("guestfs: freeing invalid block %d", b)
+	}
+	fs.bitmap[b/8] &^= 1 << (b % 8)
+	fs.freeBlocks++
+	return fs.flushBitmapBlock(b)
+}
+
+// FreeBlocks reports the number of free data blocks.
+func (fs *FS) FreeBlocks() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.freeBlocks
+}
+
+// BlockSize returns the file system block size.
+func (fs *FS) BlockSize() uint64 { return fs.blockSize }
+
+// --- inode table ---
+
+func (fs *FS) inodeOffset(ino uint64) int64 {
+	return int64(fs.itabStart*fs.blockSize + ino*inodeSize)
+}
+
+func (fs *FS) readInode(ino uint64) (*inode, error) {
+	if ino == 0 || ino >= fs.nInodes {
+		return nil, fmt.Errorf("guestfs: invalid inode %d", ino)
+	}
+	buf := make([]byte, inodeSize)
+	if err := vdisk.ReadFull(fs.dev, buf, fs.inodeOffset(ino)); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	n := &inode{
+		mode:  le.Uint16(buf[0:]),
+		nlink: le.Uint16(buf[2:]),
+		size:  le.Uint64(buf[8:]),
+	}
+	for i := 0; i < numDirect; i++ {
+		n.direct[i] = le.Uint64(buf[16+i*8:])
+	}
+	n.indirect = le.Uint64(buf[16+numDirect*8:])
+	n.dindirect = le.Uint64(buf[24+numDirect*8:])
+	return n, nil
+}
+
+func (fs *FS) writeInode(ino uint64, n *inode) error {
+	if ino == 0 || ino >= fs.nInodes {
+		return fmt.Errorf("guestfs: invalid inode %d", ino)
+	}
+	buf := make([]byte, inodeSize)
+	le := binary.LittleEndian
+	le.PutUint16(buf[0:], n.mode)
+	le.PutUint16(buf[2:], n.nlink)
+	le.PutUint64(buf[8:], n.size)
+	for i := 0; i < numDirect; i++ {
+		le.PutUint64(buf[16+i*8:], n.direct[i])
+	}
+	le.PutUint64(buf[16+numDirect*8:], n.indirect)
+	le.PutUint64(buf[24+numDirect*8:], n.dindirect)
+	_, err := fs.dev.WriteAt(buf, fs.inodeOffset(ino))
+	return err
+}
+
+// allocInode finds a free inode slot.
+func (fs *FS) allocInode(mode uint16) (uint64, error) {
+	for ino := uint64(1); ino < fs.nInodes; ino++ {
+		n, err := fs.readInode(ino)
+		if err != nil {
+			return 0, err
+		}
+		if n.mode == modeFree {
+			nl := uint16(1)
+			if mode == modeDir {
+				nl = 2
+			}
+			if err := fs.writeInode(ino, &inode{mode: mode, nlink: nl}); err != nil {
+				return 0, err
+			}
+			return ino, nil
+		}
+	}
+	return 0, ErrNoInodes
+}
+
+// --- block mapping (direct / indirect / double indirect) ---
+
+// readPtrBlock loads a block of block pointers.
+func (fs *FS) readPtrBlock(b uint64) ([]uint64, error) {
+	buf := make([]byte, fs.blockSize)
+	if err := vdisk.ReadFull(fs.dev, buf, int64(b*fs.blockSize)); err != nil {
+		return nil, err
+	}
+	ptrs := make([]uint64, fs.ptrsPerBlock())
+	for i := range ptrs {
+		ptrs[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return ptrs, nil
+}
+
+func (fs *FS) writePtr(b uint64, idx uint64, val uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	_, err := fs.dev.WriteAt(buf[:], int64(b*fs.blockSize+idx*8))
+	return err
+}
+
+// blockFor maps a file block index to a device block, allocating the path
+// if alloc is true. Returns 0 when the block is a hole and alloc is false.
+func (fs *FS) blockFor(n *inode, ino uint64, fileBlk uint64, alloc bool) (uint64, error) {
+	p := fs.ptrsPerBlock()
+	switch {
+	case fileBlk < numDirect:
+		if n.direct[fileBlk] == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			b, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			n.direct[fileBlk] = b
+			if err := fs.writeInode(ino, n); err != nil {
+				return 0, err
+			}
+		}
+		return n.direct[fileBlk], nil
+
+	case fileBlk < numDirect+p:
+		idx := fileBlk - numDirect
+		if n.indirect == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			b, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			n.indirect = b
+			if err := fs.writeInode(ino, n); err != nil {
+				return 0, err
+			}
+		}
+		ptrs, err := fs.readPtrBlock(n.indirect)
+		if err != nil {
+			return 0, err
+		}
+		if ptrs[idx] == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			b, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			if err := fs.writePtr(n.indirect, idx, b); err != nil {
+				return 0, err
+			}
+			return b, nil
+		}
+		return ptrs[idx], nil
+
+	case fileBlk < numDirect+p+p*p:
+		idx := fileBlk - numDirect - p
+		outer, innerIdx := idx/p, idx%p
+		if n.dindirect == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			b, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			n.dindirect = b
+			if err := fs.writeInode(ino, n); err != nil {
+				return 0, err
+			}
+		}
+		l1, err := fs.readPtrBlock(n.dindirect)
+		if err != nil {
+			return 0, err
+		}
+		indBlk := l1[outer]
+		if indBlk == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			b, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			indBlk = b
+			if err := fs.writePtr(n.dindirect, outer, b); err != nil {
+				return 0, err
+			}
+		}
+		l2, err := fs.readPtrBlock(indBlk)
+		if err != nil {
+			return 0, err
+		}
+		if l2[innerIdx] == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			b, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			if err := fs.writePtr(indBlk, innerIdx, b); err != nil {
+				return 0, err
+			}
+			return b, nil
+		}
+		return l2[innerIdx], nil
+
+	default:
+		return 0, fmt.Errorf("guestfs: file block %d exceeds maximum file size", fileBlk)
+	}
+}
+
+// forEachBlock visits every allocated data/pointer block of an inode,
+// calling fn(block, isMeta). Used by truncate and fsck.
+func (fs *FS) forEachBlock(n *inode, fn func(b uint64, isMeta bool) error) error {
+	for _, b := range n.direct {
+		if b != 0 {
+			if err := fn(b, false); err != nil {
+				return err
+			}
+		}
+	}
+	if n.indirect != 0 {
+		if err := fn(n.indirect, true); err != nil {
+			return err
+		}
+		ptrs, err := fs.readPtrBlock(n.indirect)
+		if err != nil {
+			return err
+		}
+		for _, b := range ptrs {
+			if b != 0 {
+				if err := fn(b, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if n.dindirect != 0 {
+		if err := fn(n.dindirect, true); err != nil {
+			return err
+		}
+		l1, err := fs.readPtrBlock(n.dindirect)
+		if err != nil {
+			return err
+		}
+		for _, ind := range l1 {
+			if ind == 0 {
+				continue
+			}
+			if err := fn(ind, true); err != nil {
+				return err
+			}
+			l2, err := fs.readPtrBlock(ind)
+			if err != nil {
+				return err
+			}
+			for _, b := range l2 {
+				if b != 0 {
+					if err := fn(b, false); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// truncateInode frees all blocks of an inode and zeroes its size.
+func (fs *FS) truncateInode(ino uint64, n *inode) error {
+	err := fs.forEachBlock(n, func(b uint64, _ bool) error {
+		return fs.freeBlock(b)
+	})
+	if err != nil {
+		return err
+	}
+	n.size = 0
+	n.direct = [numDirect]uint64{}
+	n.indirect = 0
+	n.dindirect = 0
+	return fs.writeInode(ino, n)
+}
+
+// --- raw file I/O on inodes (caller holds fs.mu) ---
+
+func (fs *FS) readAtInode(n *inode, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, vdisk.ErrOutOfRange
+	}
+	if uint64(off) >= n.size {
+		return 0, nil
+	}
+	total := len(p)
+	if uint64(off)+uint64(total) > n.size {
+		total = int(n.size - uint64(off))
+	}
+	read := 0
+	for read < total {
+		o := uint64(off) + uint64(read)
+		fileBlk := o / fs.blockSize
+		inner := o % fs.blockSize
+		cnt := fs.blockSize - inner
+		if rem := uint64(total - read); cnt > rem {
+			cnt = rem
+		}
+		b, err := fs.blockFor(n, 0, fileBlk, false)
+		if err != nil {
+			return read, err
+		}
+		dst := p[read : read+int(cnt)]
+		if b == 0 {
+			for i := range dst {
+				dst[i] = 0
+			}
+		} else {
+			if err := vdisk.ReadFull(fs.dev, dst, int64(b*fs.blockSize+inner)); err != nil {
+				return read, err
+			}
+		}
+		read += int(cnt)
+	}
+	return read, nil
+}
+
+func (fs *FS) writeAtInode(ino uint64, n *inode, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, vdisk.ErrOutOfRange
+	}
+	if uint64(off)+uint64(len(p)) > fs.MaxFileSize() {
+		return 0, fmt.Errorf("guestfs: write exceeds maximum file size")
+	}
+	written := 0
+	for written < len(p) {
+		o := uint64(off) + uint64(written)
+		fileBlk := o / fs.blockSize
+		inner := o % fs.blockSize
+		cnt := fs.blockSize - inner
+		if rem := uint64(len(p) - written); cnt > rem {
+			cnt = rem
+		}
+		b, err := fs.blockFor(n, ino, fileBlk, true)
+		if err != nil {
+			return written, err
+		}
+		if _, err := fs.dev.WriteAt(p[written:written+int(cnt)], int64(b*fs.blockSize+inner)); err != nil {
+			return written, err
+		}
+		written += int(cnt)
+	}
+	end := uint64(off) + uint64(len(p))
+	if end > n.size {
+		n.size = end
+		if err := fs.writeInode(ino, n); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// --- directories ---
+
+// dirEntries decodes a directory's content. Caller holds fs.mu.
+func (fs *FS) dirEntries(n *inode) (map[string]uint64, error) {
+	buf := make([]byte, n.size)
+	if _, err := fs.readAtInode(n, buf, 0); err != nil {
+		return nil, err
+	}
+	entries := make(map[string]uint64)
+	le := binary.LittleEndian
+	off := 0
+	for off+dirEntryBase <= len(buf) {
+		ino := le.Uint64(buf[off:])
+		nameLen := int(le.Uint16(buf[off+8:]))
+		off += dirEntryBase
+		if off+nameLen > len(buf) {
+			return nil, fmt.Errorf("%w: corrupt directory entry", ErrBadFS)
+		}
+		name := string(buf[off : off+nameLen])
+		off += nameLen
+		if ino != 0 {
+			entries[name] = ino
+		}
+	}
+	return entries, nil
+}
+
+// writeDir re-encodes a directory's entries (rewrite semantics).
+func (fs *FS) writeDir(ino uint64, n *inode, entries map[string]uint64) error {
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf []byte
+	var tmp [dirEntryBase]byte
+	le := binary.LittleEndian
+	for _, name := range names {
+		le.PutUint64(tmp[0:], entries[name])
+		le.PutUint16(tmp[8:], uint16(len(name)))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, name...)
+	}
+	// Shrink: free old blocks if the directory shrank past block boundaries.
+	if uint64(len(buf)) < n.size {
+		if err := fs.truncateInode(ino, n); err != nil {
+			return err
+		}
+	}
+	if len(buf) == 0 {
+		n.size = 0
+		return fs.writeInode(ino, n)
+	}
+	if _, err := fs.writeAtInode(ino, n, buf, 0); err != nil {
+		return err
+	}
+	if uint64(len(buf)) != n.size {
+		n.size = uint64(len(buf))
+		return fs.writeInode(ino, n)
+	}
+	return nil
+}
+
+// splitPath normalizes a path into components.
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("guestfs: path %q is not absolute", path)
+	}
+	var parts []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		case "..":
+			return nil, fmt.Errorf("guestfs: path %q contains ..", path)
+		default:
+			if len(c) > maxNameLen {
+				return nil, ErrNameTooLong
+			}
+			parts = append(parts, c)
+		}
+	}
+	return parts, nil
+}
+
+// lookup resolves a path to an inode number. Caller holds fs.mu.
+func (fs *FS) lookup(path string) (uint64, *inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	ino := uint64(rootInode)
+	n, err := fs.readInode(ino)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, part := range parts {
+		if n.mode != modeDir {
+			return 0, nil, fmt.Errorf("%w: %s", ErrNotDir, strings.Join(parts[:i], "/"))
+		}
+		entries, err := fs.dirEntries(n)
+		if err != nil {
+			return 0, nil, err
+		}
+		child, ok := entries[part]
+		if !ok {
+			return 0, nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		ino = child
+		n, err = fs.readInode(ino)
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	return ino, n, nil
+}
+
+// lookupParent resolves the parent directory of path and the final name.
+func (fs *FS) lookupParent(path string) (uint64, *inode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if len(parts) == 0 {
+		return 0, nil, "", fmt.Errorf("guestfs: %q has no parent", path)
+	}
+	dir := "/" + strings.Join(parts[:len(parts)-1], "/")
+	ino, n, err := fs.lookup(dir)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if n.mode != modeDir {
+		return 0, nil, "", fmt.Errorf("%w: %s", ErrNotDir, dir)
+	}
+	return ino, n, parts[len(parts)-1], nil
+}

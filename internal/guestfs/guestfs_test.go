@@ -1,0 +1,433 @@
+package guestfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blobcr/internal/vdisk"
+)
+
+const bs = 512 // small blocks exercise indirect paths cheaply
+
+func mkfs(t *testing.T, devSize int64) *FS {
+	t.Helper()
+	fs, err := Mkfs(vdisk.NewMem(devSize), bs)
+	if err != nil {
+		t.Fatalf("Mkfs: %v", err)
+	}
+	return fs
+}
+
+func TestMkfsValidation(t *testing.T) {
+	if _, err := Mkfs(vdisk.NewMem(1<<20), 300); err == nil {
+		t.Error("non-power-of-two block size accepted")
+	}
+	if _, err := Mkfs(vdisk.NewMem(1024), bs); err == nil {
+		t.Error("tiny device accepted")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	fs := mkfs(t, 1<<20)
+	data := []byte("process state dump")
+	if err := fs.WriteFile("/ckpt.dat", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/ckpt.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("got %q", got)
+	}
+	if err := fs.Fsck(); err != nil {
+		t.Errorf("fsck: %v", err)
+	}
+}
+
+func TestLargeFileThroughIndirectBlocks(t *testing.T) {
+	fs := mkfs(t, 4<<20)
+	// Large enough to need direct + indirect + double-indirect blocks:
+	// direct covers 12*512 = 6 KB, indirect covers 64*512 = 32 KB.
+	data := make([]byte, 200*1024)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	if err := fs.WriteFile("/big", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("large file content mismatch")
+	}
+	if err := fs.Fsck(); err != nil {
+		t.Errorf("fsck: %v", err)
+	}
+}
+
+func TestSparseFileReadsZero(t *testing.T) {
+	fs := mkfs(t, 1<<20)
+	f, err := fs.Create("/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 10000); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10001 {
+		t.Fatalf("size = %d", len(got))
+	}
+	for i := 0; i < 10000; i++ {
+		if got[i] != 0 {
+			t.Fatalf("hole byte %d = %#x", i, got[i])
+		}
+	}
+	if got[10000] != 0xFF {
+		t.Error("written byte lost")
+	}
+}
+
+func TestDirectories(t *testing.T) {
+	fs := mkfs(t, 1<<20)
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/b/c/file.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "c" || !entries[0].IsDir {
+		t.Errorf("ReadDir(/a/b) = %+v", entries)
+	}
+	info, err := fs.Stat("/a/b/c/file.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.IsDir || info.Size != 1 || info.Name != "file.txt" {
+		t.Errorf("Stat = %+v", info)
+	}
+	if err := fs.Fsck(); err != nil {
+		t.Errorf("fsck: %v", err)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	fs := mkfs(t, 1<<20)
+	if _, err := fs.Open("/missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Open missing = %v", err)
+	}
+	if _, err := fs.Create("relative"); err == nil {
+		t.Error("relative path accepted")
+	}
+	if _, err := fs.Open("/../etc"); err == nil {
+		t.Error(".. path accepted")
+	}
+	fs.Mkdir("/d")
+	if _, err := fs.Open("/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Open dir = %v", err)
+	}
+	if err := fs.Mkdir("/d"); !errors.Is(err, ErrExist) {
+		t.Errorf("Mkdir existing = %v", err)
+	}
+	fs.WriteFile("/f", []byte("1"))
+	if _, err := fs.Create("/f/x"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("Create under file = %v", err)
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	fs := mkfs(t, 1<<20)
+	fs.WriteFile("/t", bytes.Repeat([]byte{1}, 5000))
+	free1 := fs.FreeBlocks()
+	if err := fs.WriteFile("/t", []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/t")
+	if string(got) != "ab" {
+		t.Errorf("got %q", got)
+	}
+	if fs.FreeBlocks() <= free1 {
+		t.Error("truncate did not free blocks")
+	}
+	if err := fs.Fsck(); err != nil {
+		t.Errorf("fsck: %v", err)
+	}
+}
+
+func TestRemoveFreesSpace(t *testing.T) {
+	fs := mkfs(t, 1<<20)
+	free0 := fs.FreeBlocks()
+	fs.WriteFile("/r", bytes.Repeat([]byte{2}, 50000))
+	if fs.FreeBlocks() >= free0 {
+		t.Fatal("write did not consume blocks")
+	}
+	if err := fs.Remove("/r"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreeBlocks() != free0 {
+		t.Errorf("FreeBlocks = %d, want %d", fs.FreeBlocks(), free0)
+	}
+	if _, err := fs.Open("/r"); !errors.Is(err, ErrNotExist) {
+		t.Error("removed file still opens")
+	}
+	if err := fs.Fsck(); err != nil {
+		t.Errorf("fsck: %v", err)
+	}
+}
+
+func TestRemoveDirectorySemantics(t *testing.T) {
+	fs := mkfs(t, 1<<20)
+	fs.MkdirAll("/d/sub")
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("Remove non-empty = %v", err)
+	}
+	if err := fs.Remove("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double remove = %v", err)
+	}
+}
+
+func TestAppendGrowsFile(t *testing.T) {
+	fs := mkfs(t, 1<<20)
+	f, _ := fs.Create("/log")
+	for i := 0; i < 10; i++ {
+		if _, err := f.Append([]byte(fmt.Sprintf("line %d\n", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := fs.ReadFile("/log")
+	want := ""
+	for i := 0; i < 10; i++ {
+		want += fmt.Sprintf("line %d\n", i)
+	}
+	if string(got) != want {
+		t.Errorf("log content = %q", got)
+	}
+}
+
+func TestMountPersistence(t *testing.T) {
+	dev := vdisk.NewMem(1 << 20)
+	fs1, err := Mkfs(dev, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs1.MkdirAll("/ckpt")
+	data := bytes.Repeat([]byte{0xAD}, 30000)
+	fs1.WriteFile("/ckpt/rank0", data)
+	fs1.Sync()
+
+	// Remount from the same device: all state must be durable.
+	fs2, err := Mount(dev)
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	got, err := fs2.ReadFile("/ckpt/rank0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("content lost across remount")
+	}
+	if err := fs2.Fsck(); err != nil {
+		t.Errorf("fsck after remount: %v", err)
+	}
+	// Writes continue to work after remount without trampling old data.
+	fs2.WriteFile("/ckpt/rank1", []byte("new"))
+	got, _ = fs2.ReadFile("/ckpt/rank0")
+	if !bytes.Equal(got, data) {
+		t.Error("old file damaged by post-remount write")
+	}
+}
+
+func TestMountRejectsGarbage(t *testing.T) {
+	dev := vdisk.NewMem(1 << 20)
+	dev.WriteAt(bytes.Repeat([]byte{0x55}, 4096), 0)
+	if _, err := Mount(dev); err == nil {
+		t.Error("Mount accepted garbage")
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	fs := mkfs(t, 64*1024) // tiny
+	var err error
+	for i := 0; i < 1000 && err == nil; i++ {
+		err = fs.WriteFile(fmt.Sprintf("/f%d", i), bytes.Repeat([]byte{1}, 4096))
+	}
+	if !errors.Is(err, ErrNoSpace) && !errors.Is(err, ErrNoInodes) {
+		t.Errorf("filling device: err = %v, want ErrNoSpace/ErrNoInodes", err)
+	}
+	// FS must still be consistent after hitting the limit.
+	if ferr := fs.Fsck(); ferr != nil {
+		t.Errorf("fsck after ENOSPC: %v", ferr)
+	}
+}
+
+func TestManyFilesInDirectory(t *testing.T) {
+	fs := mkfs(t, 2<<20)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/file-%03d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("ReadDir returned %d entries, want %d", len(entries), n)
+	}
+	for i, e := range entries {
+		want := fmt.Sprintf("file-%03d", i)
+		if e.Name != want {
+			t.Fatalf("entry %d = %q, want %q (sorted)", i, e.Name, want)
+		}
+	}
+	// Spot-check contents.
+	got, _ := fs.ReadFile("/file-042")
+	if len(got) != 1 || got[0] != 42 {
+		t.Error("file content wrong")
+	}
+	if err := fs.Fsck(); err != nil {
+		t.Errorf("fsck: %v", err)
+	}
+}
+
+func TestOverwriteInPlace(t *testing.T) {
+	fs := mkfs(t, 1<<20)
+	fs.WriteFile("/o", bytes.Repeat([]byte{1}, 3000))
+	f, _ := fs.Open("/o")
+	free := fs.FreeBlocks()
+	if _, err := f.WriteAt(bytes.Repeat([]byte{2}, 1000), 500); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreeBlocks() != free {
+		t.Error("in-place overwrite allocated blocks")
+	}
+	got, _ := fs.ReadFile("/o")
+	if got[499] != 1 || got[500] != 2 || got[1499] != 2 || got[1500] != 1 {
+		t.Error("overwrite boundaries wrong")
+	}
+}
+
+func TestRandomizedFilesystemShadowModel(t *testing.T) {
+	fs := mkfs(t, 4<<20)
+	shadow := make(map[string][]byte)
+	rng := rand.New(rand.NewSource(77))
+	names := []string{"/a", "/b", "/c", "/d", "/e"}
+	for iter := 0; iter < 300; iter++ {
+		name := names[rng.Intn(len(names))]
+		switch rng.Intn(4) {
+		case 0: // write whole file
+			data := make([]byte, rng.Intn(20000))
+			rng.Read(data)
+			if err := fs.WriteFile(name, data); err != nil {
+				t.Fatalf("iter %d write %s: %v", iter, name, err)
+			}
+			shadow[name] = data
+		case 1: // remove
+			_, exists := shadow[name]
+			err := fs.Remove(name)
+			if exists && err != nil {
+				t.Fatalf("iter %d remove %s: %v", iter, name, err)
+			}
+			if !exists && err == nil {
+				t.Fatalf("iter %d: removed nonexistent %s", iter, name)
+			}
+			delete(shadow, name)
+		case 2: // patch
+			if content, ok := shadow[name]; ok && len(content) > 0 {
+				off := rng.Intn(len(content))
+				n := rng.Intn(len(content)-off) + 1
+				patch := make([]byte, n)
+				rng.Read(patch)
+				f, err := fs.Open(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteAt(patch, int64(off)); err != nil {
+					t.Fatal(err)
+				}
+				copy(content[off:], patch)
+			}
+		default: // verify
+			if content, ok := shadow[name]; ok {
+				got, err := fs.ReadFile(name)
+				if err != nil {
+					t.Fatalf("iter %d read %s: %v", iter, name, err)
+				}
+				if !bytes.Equal(got, content) {
+					t.Fatalf("iter %d: %s diverged", iter, name)
+				}
+			}
+		}
+	}
+	if err := fs.Fsck(); err != nil {
+		t.Errorf("final fsck: %v", err)
+	}
+	// Final verification of all files.
+	for name, content := range shadow {
+		got, err := fs.ReadFile(name)
+		if err != nil {
+			t.Fatalf("final read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Errorf("final: %s diverged", name)
+		}
+	}
+}
+
+func TestFsckDetectsCorruption(t *testing.T) {
+	dev := vdisk.NewMem(1 << 20)
+	fs, err := Mkfs(dev, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteFile("/x", bytes.Repeat([]byte{1}, 5000))
+	if err := fs.Fsck(); err != nil {
+		t.Fatalf("clean fsck failed: %v", err)
+	}
+	// Corrupt: mark a used block as free in the bitmap.
+	n, err := fs.readInode(2) // the file's inode (root is 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.direct[0] == 0 {
+		t.Fatal("test setup: file has no direct block")
+	}
+	b := n.direct[0]
+	fs.bitmap[b/8] &^= 1 << (b % 8)
+	if err := fs.Fsck(); err == nil {
+		t.Error("fsck missed bitmap corruption")
+	}
+}
+
+func TestMaxFileSize(t *testing.T) {
+	fs := mkfs(t, 1<<20)
+	// direct 12 + indirect 64 + double 64*64 = 4172 blocks * 512 = ~2.1 MB
+	want := uint64(12+64+64*64) * bs
+	if got := fs.MaxFileSize(); got != want {
+		t.Errorf("MaxFileSize = %d, want %d", got, want)
+	}
+	f, _ := fs.Create("/huge")
+	if _, err := f.WriteAt([]byte{1}, int64(fs.MaxFileSize())); err == nil {
+		t.Error("write past max file size accepted")
+	}
+}

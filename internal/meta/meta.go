@@ -1,0 +1,408 @@
+// Package meta implements BlobSeer's versioned metadata: a distributed
+// segment tree that maps each BLOB version to the chunks composing it.
+//
+// Every version of a BLOB is described by a binary tree over the chunk index
+// space. Leaves are chunk descriptors (which providers hold the chunk);
+// inner nodes cover power-of-two ranges. Nodes are immutable and keyed by
+// (blob, version, offset, span), so publishing a new version writes only the
+// nodes on the paths to modified chunks — unmodified subtrees are shared
+// with earlier versions by reference. This is the "shadowing" the paper
+// relies on: each snapshot looks like a standalone image while physically
+// storing only deltas.
+//
+// Cloning falls out of the same representation: a clone's root simply
+// references the origin blob's tree; the clone's subsequent writes create
+// nodes under its own blob id whose unmodified children still point into the
+// origin's nodes.
+package meta
+
+import (
+	"errors"
+	"fmt"
+
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/wire"
+)
+
+// NodeKey identifies an immutable tree node. Offset and Span are measured in
+// chunks; Span is a power of two.
+type NodeKey struct {
+	Blob    uint64
+	Version uint64
+	Offset  uint64
+	Span    uint64
+}
+
+// NodeRef points to a node created by some blob at some version; the node's
+// offset and span are implied by the position in the tree being descended.
+type NodeRef struct {
+	Blob    uint64
+	Version uint64
+	Valid   bool
+}
+
+// Leaf describes one stored chunk: the data providers holding its replicas,
+// its storage key, and its payload size.
+type Leaf struct {
+	Providers []string
+	Key       chunkstore.Key
+	Size      uint32
+}
+
+// LeafSlot is a Lookup result: the chunk index and its descriptor, or
+// Present=false for a hole (never-written range, reads as zeros).
+type LeafSlot struct {
+	Index   uint64
+	Leaf    Leaf
+	Present bool
+}
+
+// NodeStore is the storage backend for tree nodes. Implementations shard
+// keys across metadata providers.
+type NodeStore interface {
+	PutNode(k NodeKey, encoded []byte) error
+	GetNode(k NodeKey) ([]byte, error)
+}
+
+// ErrNodeNotFound is returned by NodeStore implementations for missing nodes.
+var ErrNodeNotFound = errors.New("meta: node not found")
+
+// Tree provides segment-tree operations over a NodeStore.
+type Tree struct {
+	Store NodeStore
+}
+
+// node is the decoded form of a stored tree node.
+type node struct {
+	isLeaf      bool
+	left, right NodeRef // inner
+	leaf        Leaf    // leaf
+}
+
+func encodeNode(n *node) []byte {
+	w := wire.NewBuffer(64)
+	if n.isLeaf {
+		w.PutU8(2)
+		w.PutUvarint(uint64(len(n.leaf.Providers)))
+		for _, p := range n.leaf.Providers {
+			w.PutString(p)
+		}
+		w.PutU64(n.leaf.Key.Blob)
+		w.PutU64(n.leaf.Key.ID)
+		w.PutU32(n.leaf.Size)
+	} else {
+		w.PutU8(1)
+		putRef := func(r NodeRef) {
+			w.PutBool(r.Valid)
+			w.PutU64(r.Blob)
+			w.PutU64(r.Version)
+		}
+		putRef(n.left)
+		putRef(n.right)
+	}
+	return w.Bytes()
+}
+
+func decodeNode(p []byte) (*node, error) {
+	r := wire.NewReader(p)
+	kind := r.U8()
+	n := &node{}
+	switch kind {
+	case 2:
+		n.isLeaf = true
+		np := r.Uvarint()
+		if np > 1024 {
+			return nil, fmt.Errorf("meta: implausible provider count %d", np)
+		}
+		n.leaf.Providers = make([]string, np)
+		for i := range n.leaf.Providers {
+			n.leaf.Providers[i] = r.String()
+		}
+		n.leaf.Key.Blob = r.U64()
+		n.leaf.Key.ID = r.U64()
+		n.leaf.Size = r.U32()
+	case 1:
+		getRef := func() NodeRef {
+			var ref NodeRef
+			ref.Valid = r.Bool()
+			ref.Blob = r.U64()
+			ref.Version = r.U64()
+			return ref
+		}
+		n.left = getRef()
+		n.right = getRef()
+	default:
+		return nil, fmt.Errorf("meta: unknown node kind %d", kind)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("meta: decode node: %w", err)
+	}
+	return n, nil
+}
+
+func (t *Tree) getNode(ref NodeRef, offset, span uint64) (*node, error) {
+	raw, err := t.Store.GetNode(NodeKey{Blob: ref.Blob, Version: ref.Version, Offset: offset, Span: span})
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(raw)
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n uint64) uint64 {
+	s := uint64(1)
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+// Publish creates the tree for a new version. blob/version name the new
+// nodes; prev is the root of the version being extended (invalid for the
+// first version); prevSpan and newSpan are the tree spans in chunks
+// (newSpan >= prevSpan, both powers of two); writes maps chunk index ->
+// descriptor for every chunk modified in this version.
+//
+// It returns the new root reference. If writes is empty and the span does
+// not grow, the previous root is returned unchanged (an empty commit shares
+// everything).
+func (t *Tree) Publish(blob, version uint64, prev NodeRef, prevSpan, newSpan uint64, writes map[uint64]Leaf) (NodeRef, error) {
+	if newSpan < prevSpan {
+		return NodeRef{}, fmt.Errorf("meta: tree span cannot shrink (%d < %d)", newSpan, prevSpan)
+	}
+	if newSpan == 0 || newSpan&(newSpan-1) != 0 {
+		return NodeRef{}, fmt.Errorf("meta: span %d is not a power of two", newSpan)
+	}
+	if len(writes) == 0 && newSpan == prevSpan {
+		return prev, nil
+	}
+	for idx := range writes {
+		if idx >= newSpan {
+			return NodeRef{}, fmt.Errorf("meta: write index %d outside span %d", idx, newSpan)
+		}
+	}
+	b := &builder{tree: t, blob: blob, version: version, prevRoot: prev, prevSpan: prevSpan, writes: writes}
+	var prevHere NodeRef
+	if prev.Valid && newSpan == prevSpan {
+		prevHere = prev
+	}
+	ref, err := b.build(prevHere, 0, newSpan)
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return ref, nil
+}
+
+// builder carries the context of one Publish call.
+type builder struct {
+	tree     *Tree
+	blob     uint64
+	version  uint64
+	prevRoot NodeRef
+	prevSpan uint64
+	writes   map[uint64]Leaf
+}
+
+// build constructs the node covering [offset, offset+span). prevHere is the
+// previous version's node for this exact range (invalid if the range did not
+// exist or was a hole). It returns the previous node's reference when the
+// range is untouched, achieving structural sharing.
+func (b *builder) build(prevHere NodeRef, offset, span uint64) (NodeRef, error) {
+	touched := false
+	for idx := range b.writes {
+		if idx >= offset && idx < offset+span {
+			touched = true
+			break
+		}
+	}
+	// When the tree grows, the old root sits at (0, prevSpan) inside the new
+	// tree; the subtrees above it must be materialized even if untouched so
+	// the new root reaches the old data.
+	wrapsOldRoot := b.prevRoot.Valid && span > b.prevSpan && offset == 0
+	if !touched && !wrapsOldRoot {
+		return prevHere, nil // share previous subtree, or keep a hole
+	}
+	if span == 1 {
+		leaf := b.writes[offset] // touched guarantees presence
+		return b.put(offset, span, &node{isLeaf: true, leaf: leaf})
+	}
+	half := span / 2
+	var prevLeft, prevRight NodeRef
+	switch {
+	case prevHere.Valid:
+		pn, err := b.tree.getNode(prevHere, offset, span)
+		if err != nil {
+			return NodeRef{}, fmt.Errorf("meta: fetch previous node (off=%d span=%d): %w", offset, span, err)
+		}
+		if pn.isLeaf {
+			return NodeRef{}, fmt.Errorf("meta: unexpected leaf at span %d", span)
+		}
+		prevLeft, prevRight = pn.left, pn.right
+	case wrapsOldRoot && half == b.prevSpan:
+		// Left child is exactly the old root.
+		prevLeft = b.prevRoot
+	}
+	left, err := b.build(prevLeft, offset, half)
+	if err != nil {
+		return NodeRef{}, err
+	}
+	right, err := b.build(prevRight, offset+half, half)
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return b.put(offset, span, &node{left: left, right: right})
+}
+
+func (b *builder) put(offset, span uint64, n *node) (NodeRef, error) {
+	key := NodeKey{Blob: b.blob, Version: b.version, Offset: offset, Span: span}
+	if err := b.tree.Store.PutNode(key, encodeNode(n)); err != nil {
+		return NodeRef{}, err
+	}
+	return NodeRef{Blob: b.blob, Version: b.version, Valid: true}, nil
+}
+
+// Lookup returns the leaf slots for chunk indices [first, first+count) in
+// the tree rooted at root with the given span. Indices beyond the span are
+// reported as holes.
+func (t *Tree) Lookup(root NodeRef, span uint64, first, count uint64) ([]LeafSlot, error) {
+	out := make([]LeafSlot, 0, count)
+	err := t.lookupRange(root, 0, span, first, first+count, &out)
+	if err != nil {
+		return nil, err
+	}
+	// Fill any indices beyond the tree span as holes.
+	for idx := first; idx < first+count; idx++ {
+		if idx >= span {
+			out = append(out, LeafSlot{Index: idx})
+		}
+	}
+	return out, nil
+}
+
+func (t *Tree) lookupRange(ref NodeRef, offset, span, lo, hi uint64, out *[]LeafSlot) error {
+	if offset >= hi || offset+span <= lo {
+		return nil // disjoint
+	}
+	if !ref.Valid {
+		// Hole subtree: report holes for the overlap.
+		start, end := maxU64(offset, lo), minU64(offset+span, hi)
+		for idx := start; idx < end; idx++ {
+			*out = append(*out, LeafSlot{Index: idx})
+		}
+		return nil
+	}
+	n, err := t.getNode(ref, offset, span)
+	if err != nil {
+		return fmt.Errorf("meta: lookup node (off=%d span=%d): %w", offset, span, err)
+	}
+	if span == 1 {
+		if !n.isLeaf {
+			return fmt.Errorf("meta: inner node at span 1")
+		}
+		*out = append(*out, LeafSlot{Index: offset, Leaf: n.leaf, Present: true})
+		return nil
+	}
+	if n.isLeaf {
+		return fmt.Errorf("meta: leaf node at span %d", span)
+	}
+	half := span / 2
+	if err := t.lookupRange(n.left, offset, half, lo, hi, out); err != nil {
+		return err
+	}
+	return t.lookupRange(n.right, offset+half, half, lo, hi, out)
+}
+
+// Walk visits every node reachable from root (covering [0, span)), calling
+// fn with each node's key and, for leaves, the decoded descriptor. Used by
+// mark-and-sweep garbage collection. Shared subtrees reachable from multiple
+// roots are visited once per Walk call; the visited map deduplicates within
+// a call.
+func (t *Tree) Walk(root NodeRef, span uint64, fn func(k NodeKey, isLeaf bool, leaf Leaf) error) error {
+	visited := make(map[NodeKey]struct{})
+	return t.walk(root, 0, span, fn, visited)
+}
+
+func (t *Tree) walk(ref NodeRef, offset, span uint64, fn func(NodeKey, bool, Leaf) error, visited map[NodeKey]struct{}) error {
+	if !ref.Valid {
+		return nil
+	}
+	key := NodeKey{Blob: ref.Blob, Version: ref.Version, Offset: offset, Span: span}
+	if _, seen := visited[key]; seen {
+		return nil
+	}
+	visited[key] = struct{}{}
+	n, err := t.getNode(ref, offset, span)
+	if err != nil {
+		return err
+	}
+	if err := fn(key, n.isLeaf, n.leaf); err != nil {
+		return err
+	}
+	if n.isLeaf {
+		return nil
+	}
+	half := span / 2
+	if err := t.walk(n.left, offset, half, fn, visited); err != nil {
+		return err
+	}
+	return t.walk(n.right, offset+half, half, fn, visited)
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MemNodeStore is an in-memory NodeStore for tests and single-process use.
+type MemNodeStore struct {
+	m map[NodeKey][]byte
+}
+
+// NewMemNodeStore returns an empty in-memory node store.
+func NewMemNodeStore() *MemNodeStore {
+	return &MemNodeStore{m: make(map[NodeKey][]byte)}
+}
+
+// PutNode implements NodeStore.
+func (s *MemNodeStore) PutNode(k NodeKey, encoded []byte) error {
+	if _, exists := s.m[k]; exists {
+		return nil // nodes are immutable; re-put is idempotent
+	}
+	cp := make([]byte, len(encoded))
+	copy(cp, encoded)
+	s.m[k] = cp
+	return nil
+}
+
+// GetNode implements NodeStore.
+func (s *MemNodeStore) GetNode(k NodeKey) ([]byte, error) {
+	v, ok := s.m[k]
+	if !ok {
+		return nil, fmt.Errorf("%w: %+v", ErrNodeNotFound, k)
+	}
+	return v, nil
+}
+
+// Len returns the number of stored nodes (for space-accounting tests).
+func (s *MemNodeStore) Len() int { return len(s.m) }
+
+// Delete removes a node (garbage collection sweep).
+func (s *MemNodeStore) Delete(k NodeKey) { delete(s.m, k) }
+
+// Keys returns all stored node keys (sweep enumeration).
+func (s *MemNodeStore) Keys() []NodeKey {
+	out := make([]NodeKey, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,379 @@
+package meta
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blobcr/internal/chunkstore"
+)
+
+func leaf(id uint64, size uint32) Leaf {
+	return Leaf{
+		Providers: []string{fmt.Sprintf("provider-%d", id%3)},
+		Key:       chunkstore.Key{Blob: 1, ID: id},
+		Size:      size,
+	}
+}
+
+func newTree() (*Tree, *MemNodeStore) {
+	s := NewMemNodeStore()
+	return &Tree{Store: s}, s
+}
+
+// publishAll publishes a full initial version with count chunks.
+func publishAll(t *testing.T, tr *Tree, blob, version, count uint64) (NodeRef, uint64) {
+	t.Helper()
+	writes := make(map[uint64]Leaf, count)
+	for i := uint64(0); i < count; i++ {
+		writes[i] = leaf(i, 256)
+	}
+	span := NextPow2(count)
+	root, err := tr.Publish(blob, version, NodeRef{}, 0, span, writes)
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	return root, span
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[uint64]uint64{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPublishAndLookup(t *testing.T) {
+	tr, _ := newTree()
+	root, span := publishAll(t, tr, 1, 0, 8)
+	slots, err := tr.Lookup(root, span, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 8 {
+		t.Fatalf("got %d slots, want 8", len(slots))
+	}
+	for i, s := range slots {
+		if !s.Present {
+			t.Errorf("slot %d is a hole", i)
+			continue
+		}
+		if s.Leaf.Key.ID != uint64(i) {
+			t.Errorf("slot %d -> chunk %d", i, s.Leaf.Key.ID)
+		}
+		if s.Index != uint64(i) {
+			t.Errorf("slot %d has index %d", i, s.Index)
+		}
+	}
+}
+
+func TestSparseInitialVersion(t *testing.T) {
+	tr, _ := newTree()
+	writes := map[uint64]Leaf{2: leaf(2, 100), 5: leaf(5, 100)}
+	root, err := tr.Publish(1, 0, NodeRef{}, 0, 8, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, err := tr.Lookup(root, 8, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range slots {
+		wantPresent := s.Index == 2 || s.Index == 5
+		if s.Present != wantPresent {
+			t.Errorf("index %d present=%v, want %v", s.Index, s.Present, wantPresent)
+		}
+	}
+}
+
+func TestIncrementalVersionShadowing(t *testing.T) {
+	tr, store := newTree()
+	root0, span := publishAll(t, tr, 1, 0, 8)
+	nodesAfterV0 := store.Len()
+
+	// Version 1 rewrites only chunk 3.
+	writes := map[uint64]Leaf{3: leaf(100, 256)}
+	root1, err := tr.Publish(1, 1, root0, span, span, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the path to chunk 3 is new: 1 leaf + 3 inner nodes (span 8).
+	newNodes := store.Len() - nodesAfterV0
+	if newNodes != 4 {
+		t.Errorf("incremental publish created %d nodes, want 4", newNodes)
+	}
+	// New version sees the new chunk, old version still sees the old one.
+	s1, err := tr.Lookup(root1, span, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1[0].Leaf.Key.ID != 100 {
+		t.Errorf("v1 chunk 3 = %d, want 100", s1[0].Leaf.Key.ID)
+	}
+	s0, err := tr.Lookup(root0, span, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0[0].Leaf.Key.ID != 3 {
+		t.Errorf("v0 chunk 3 = %d, want 3 (shadowing broken)", s0[0].Leaf.Key.ID)
+	}
+	// Untouched chunks of v1 are shared with v0.
+	for _, idx := range []uint64{0, 1, 7} {
+		a, _ := tr.Lookup(root0, span, idx, 1)
+		b, _ := tr.Lookup(root1, span, idx, 1)
+		if a[0].Leaf.Key != b[0].Leaf.Key {
+			t.Errorf("chunk %d differs between versions: %v vs %v", idx, a[0].Leaf.Key, b[0].Leaf.Key)
+		}
+	}
+}
+
+func TestEmptyCommitSharesRoot(t *testing.T) {
+	tr, _ := newTree()
+	root0, span := publishAll(t, tr, 1, 0, 4)
+	root1, err := tr.Publish(1, 1, root0, span, span, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root1 != root0 {
+		t.Errorf("empty commit produced new root %+v", root1)
+	}
+}
+
+func TestTreeGrowth(t *testing.T) {
+	tr, _ := newTree()
+	root0, span0 := publishAll(t, tr, 1, 0, 4) // span 4
+	// Version 1 writes chunk 9, forcing span 16.
+	writes := map[uint64]Leaf{9: leaf(9, 256)}
+	span1 := NextPow2(10)
+	root1, err := tr.Publish(1, 1, root0, span0, span1, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old chunks still reachable through the grown tree.
+	slots, err := tr.Lookup(root1, span1, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range slots {
+		switch {
+		case s.Index < 4:
+			if !s.Present || s.Leaf.Key.ID != s.Index {
+				t.Errorf("grown tree lost old chunk %d", s.Index)
+			}
+		case s.Index == 9:
+			if !s.Present {
+				t.Error("grown tree missing new chunk 9")
+			}
+		default:
+			if s.Present {
+				t.Errorf("index %d unexpectedly present", s.Index)
+			}
+		}
+	}
+}
+
+func TestGrowthWithoutWrites(t *testing.T) {
+	tr, _ := newTree()
+	root0, span0 := publishAll(t, tr, 1, 0, 4)
+	root1, err := tr.Publish(1, 1, root0, span0, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, err := tr.Lookup(root1, 16, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range slots {
+		if !s.Present {
+			t.Errorf("chunk %d lost when growing without writes", s.Index)
+		}
+	}
+}
+
+func TestCloneSharesContent(t *testing.T) {
+	tr, store := newTree()
+	root0, span := publishAll(t, tr, 1, 0, 8)
+	nodesBefore := store.Len()
+
+	// Clone: blob 2's first version root is simply blob 1's root.
+	cloneRoot := root0
+
+	// Writes to the clone create nodes under blob 2 only.
+	writes := map[uint64]Leaf{0: {Providers: []string{"p"}, Key: chunkstore.Key{Blob: 2, ID: 500}, Size: 256}}
+	root2, err := tr.Publish(2, 1, cloneRoot, span, span, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len()-nodesBefore != 4 {
+		t.Errorf("clone write created %d nodes, want 4", store.Len()-nodesBefore)
+	}
+	// Clone sees its own write plus the origin's data.
+	s, err := tr.Lookup(root2, span, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Leaf.Key.ID != 500 {
+		t.Errorf("clone chunk 0 = %d, want 500", s[0].Leaf.Key.ID)
+	}
+	if s[1].Leaf.Key.ID != 1 {
+		t.Errorf("clone chunk 1 = %d, want 1 (sharing broken)", s[1].Leaf.Key.ID)
+	}
+	// Origin unaffected.
+	s0, err := tr.Lookup(root0, span, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0[0].Leaf.Key.ID != 0 {
+		t.Errorf("origin chunk 0 = %d, want 0", s0[0].Leaf.Key.ID)
+	}
+}
+
+func TestLookupBeyondSpanReturnsHoles(t *testing.T) {
+	tr, _ := newTree()
+	root, span := publishAll(t, tr, 1, 0, 4)
+	slots, err := tr.Lookup(root, span, 2, 6) // indices 2..7, span is 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 6 {
+		t.Fatalf("got %d slots, want 6", len(slots))
+	}
+	for _, s := range slots {
+		if s.Index >= 4 && s.Present {
+			t.Errorf("index %d beyond span reported present", s.Index)
+		}
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	tr, _ := newTree()
+	if _, err := tr.Publish(1, 0, NodeRef{}, 8, 4, nil); err == nil {
+		t.Error("shrinking span accepted")
+	}
+	if _, err := tr.Publish(1, 0, NodeRef{}, 0, 3, nil); err == nil {
+		t.Error("non-power-of-two span accepted")
+	}
+	if _, err := tr.Publish(1, 0, NodeRef{}, 0, 4, map[uint64]Leaf{7: leaf(7, 1)}); err == nil {
+		t.Error("out-of-span write accepted")
+	}
+}
+
+func TestWalkVisitsAllReachable(t *testing.T) {
+	tr, _ := newTree()
+	root, span := publishAll(t, tr, 1, 0, 8)
+	var leaves, inner int
+	err := tr.Walk(root, span, func(k NodeKey, isLeaf bool, l Leaf) error {
+		if isLeaf {
+			leaves++
+		} else {
+			inner++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves != 8 {
+		t.Errorf("walk saw %d leaves, want 8", leaves)
+	}
+	if inner != 7 { // full binary tree over 8 leaves
+		t.Errorf("walk saw %d inner nodes, want 7", inner)
+	}
+}
+
+func TestWalkDeduplicatesSharedSubtrees(t *testing.T) {
+	tr, _ := newTree()
+	root0, span := publishAll(t, tr, 1, 0, 8)
+	root1, err := tr.Publish(1, 1, root0, span, span, map[uint64]Leaf{0: leaf(99, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := tr.Walk(root1, span, func(NodeKey, bool, Leaf) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// v1 tree: 15 nodes total reachable (8 leaves + 7 inner), all distinct.
+	if count != 15 {
+		t.Errorf("walk visited %d nodes, want 15", count)
+	}
+}
+
+func TestManyVersionsRandomized(t *testing.T) {
+	// Property: after a random sequence of versions, each version observes
+	// exactly the chunks most recently written at or before it.
+	tr, _ := newTree()
+	rng := rand.New(rand.NewSource(42))
+	const span = 32
+	type versionState struct {
+		root NodeRef
+		view map[uint64]uint64 // chunk index -> chunk ID
+	}
+	var history []versionState
+	cur := make(map[uint64]uint64)
+	root := NodeRef{}
+	var nextID uint64 = 1000
+
+	for v := uint64(0); v < 20; v++ {
+		writes := make(map[uint64]Leaf)
+		for n := rng.Intn(6) + 1; n > 0; n-- {
+			idx := uint64(rng.Intn(span))
+			nextID++
+			writes[idx] = leaf(nextID, 256)
+			cur[idx] = nextID
+		}
+		var err error
+		root, err = tr.Publish(1, v, root, span, span, writes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := make(map[uint64]uint64, len(cur))
+		for k, val := range cur {
+			view[k] = val
+		}
+		history = append(history, versionState{root: root, view: view})
+	}
+	for v, st := range history {
+		slots, err := tr.Lookup(st.root, span, 0, span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range slots {
+			wantID, wantPresent := st.view[s.Index]
+			if s.Present != wantPresent {
+				t.Errorf("v%d idx %d present=%v want %v", v, s.Index, s.Present, wantPresent)
+				continue
+			}
+			if s.Present && s.Leaf.Key.ID != wantID {
+				t.Errorf("v%d idx %d = chunk %d, want %d", v, s.Index, s.Leaf.Key.ID, wantID)
+			}
+		}
+	}
+}
+
+func TestNodeEncodingRoundTrip(t *testing.T) {
+	l := Leaf{Providers: []string{"a", "b", "c"}, Key: chunkstore.Key{Blob: 9, ID: 77}, Size: 12345}
+	n1 := &node{isLeaf: true, leaf: l}
+	got, err := decodeNode(encodeNode(n1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.isLeaf || got.leaf.Size != 12345 || len(got.leaf.Providers) != 3 || got.leaf.Key.ID != 77 {
+		t.Errorf("leaf round-trip = %+v", got)
+	}
+	n2 := &node{left: NodeRef{Blob: 1, Version: 2, Valid: true}, right: NodeRef{}}
+	got2, err := decodeNode(encodeNode(n2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.isLeaf || got2.left != n2.left || got2.right != n2.right {
+		t.Errorf("inner round-trip = %+v", got2)
+	}
+	if _, err := decodeNode([]byte{99}); err == nil {
+		t.Error("decoding garbage succeeded")
+	}
+}

@@ -1,0 +1,310 @@
+// Package mirror implements the paper's mirroring module: the layer between
+// the hypervisor and the checkpoint repository.
+//
+// It exposes a BLOB snapshot as a raw block device (vdisk.Device). Reads of
+// content not yet present locally are fetched on demand from the repository
+// ("lazy transfer"); writes are stored locally as copy-on-write
+// modifications at chunk granularity. Two control operations mirror the
+// paper's ioctls:
+//
+//   - Clone: create the VM's checkpoint image as a clone of the base image
+//     (first checkpoint only);
+//   - Commit: publish the locally accumulated modifications as a new
+//     incremental snapshot of the checkpoint image.
+//
+// The module also records the order in which chunks are first accessed; the
+// restart path publishes this trace so slower instances can prefetch chunks
+// ahead of demand (the paper's adaptive prefetching).
+package mirror
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/vdisk"
+)
+
+// ErrNoCheckpointImage is returned by Commit before Clone has been called.
+var ErrNoCheckpointImage = errors.New("mirror: no checkpoint image (call Clone first)")
+
+// Module is one VM's mirroring module.
+type Module struct {
+	client *blobseer.Client
+
+	mu        sync.Mutex
+	srcBlob   uint64 // blob backing unfetched content (base image or snapshot)
+	srcVer    uint64
+	ckptBlob  uint64 // checkpoint image; 0 until Clone
+	hasCkpt   bool
+	chunkSize uint64
+	size      uint64 // virtual disk size in bytes
+
+	local map[uint64][]byte // chunk index -> locally available content
+	dirty map[uint64]bool   // modified since the last Commit
+	trace []uint64          // first-access order (for prefetch hints)
+
+	remoteReads uint64 // chunks fetched from the repository
+	localHits   uint64
+	commits     uint64
+	dirtyBytes  uint64 // bytes written since last commit (<= len(dirty)*chunkSize)
+}
+
+// Attach opens the given published snapshot (blob, version) as the device's
+// backing content. For a fresh VM this is the base image; on restart it is
+// the disk snapshot chosen for rollback.
+func Attach(c *blobseer.Client, blob, version uint64) (*Module, error) {
+	info, chunkSize, err := c.GetVersion(blob, version)
+	if err != nil {
+		return nil, fmt.Errorf("mirror: attach blob %d v%d: %w", blob, version, err)
+	}
+	return &Module{
+		client:    c,
+		srcBlob:   blob,
+		srcVer:    version,
+		chunkSize: chunkSize,
+		size:      info.Size,
+		local:     make(map[uint64][]byte),
+		dirty:     make(map[uint64]bool),
+	}, nil
+}
+
+// AttachCheckpoint reopens an existing checkpoint image at a specific
+// snapshot: further Commits will extend the same checkpoint image rather
+// than cloning a new one. Used when an application resumes checkpointing
+// after a restart.
+func AttachCheckpoint(c *blobseer.Client, ckptBlob, version uint64) (*Module, error) {
+	m, err := Attach(c, ckptBlob, version)
+	if err != nil {
+		return nil, err
+	}
+	m.ckptBlob = ckptBlob
+	m.hasCkpt = true
+	return m, nil
+}
+
+// Size implements vdisk.Device.
+func (m *Module) Size() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(m.size)
+}
+
+// Flush implements vdisk.Device. Local modifications are already durable in
+// memory; persistence happens at Commit, so Flush is a no-op, matching the
+// paper's model where the guest's sync(2) flushes the page cache to the
+// virtual disk (our writes are synchronous).
+func (m *Module) Flush() error { return nil }
+
+// ensureLocal makes chunk idx locally available, fetching from the
+// repository if needed. Caller holds m.mu.
+func (m *Module) ensureLocal(idx uint64) ([]byte, error) {
+	if data, ok := m.local[idx]; ok {
+		m.localHits++
+		return data, nil
+	}
+	m.remoteReads++
+	m.trace = append(m.trace, idx)
+	data, err := m.client.ReadVersion(m.srcBlob, m.srcVer, idx*m.chunkSize, m.chunkSize)
+	if err != nil {
+		return nil, fmt.Errorf("mirror: fetch chunk %d: %w", idx, err)
+	}
+	// Pad to full chunk size so in-place writes are simple; the tail chunk
+	// of the device may be short in the repository.
+	if uint64(len(data)) < m.chunkSize {
+		full := make([]byte, m.chunkSize)
+		copy(full, data)
+		data = full
+	}
+	m.local[idx] = data
+	return data, nil
+}
+
+// ReadAt implements vdisk.Device.
+func (m *Module) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off > int64(m.size) {
+		return 0, vdisk.ErrOutOfRange
+	}
+	total := len(p)
+	if off+int64(total) > int64(m.size) {
+		total = int(int64(m.size) - off)
+	}
+	read := 0
+	for read < total {
+		o := uint64(off) + uint64(read)
+		idx := o / m.chunkSize
+		inner := o % m.chunkSize
+		n := m.chunkSize - inner
+		if rem := uint64(total - read); n > rem {
+			n = rem
+		}
+		data, err := m.ensureLocal(idx)
+		if err != nil {
+			return read, err
+		}
+		copy(p[read:read+int(n)], data[inner:inner+n])
+		read += int(n)
+	}
+	if read < len(p) {
+		return read, io.EOF
+	}
+	return read, nil
+}
+
+// WriteAt implements vdisk.Device. Writes are stored locally at chunk
+// granularity; partially covered chunks are first filled from the backing
+// snapshot (copy-on-write).
+func (m *Module) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(m.size) {
+		return 0, vdisk.ErrOutOfRange
+	}
+	written := 0
+	for written < len(p) {
+		o := uint64(off) + uint64(written)
+		idx := o / m.chunkSize
+		inner := o % m.chunkSize
+		n := m.chunkSize - inner
+		if rem := uint64(len(p) - written); n > rem {
+			n = rem
+		}
+		var data []byte
+		if n == m.chunkSize {
+			// Whole-chunk overwrite: no fill needed.
+			if existing, ok := m.local[idx]; ok {
+				data = existing
+			} else {
+				data = make([]byte, m.chunkSize)
+				m.local[idx] = data
+				m.trace = append(m.trace, idx)
+			}
+		} else {
+			var err error
+			data, err = m.ensureLocal(idx)
+			if err != nil {
+				return written, err
+			}
+		}
+		copy(data[inner:inner+n], p[written:written+int(n)])
+		if !m.dirty[idx] {
+			m.dirty[idx] = true
+		}
+		m.dirtyBytes += n
+		written += int(n)
+	}
+	return written, nil
+}
+
+// Clone creates the checkpoint image as a clone of the backing snapshot.
+// Idempotent: calling it when the checkpoint image exists does nothing.
+// This is the CLONE ioctl.
+func (m *Module) Clone() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.hasCkpt {
+		return nil
+	}
+	ckpt, err := m.client.Clone(m.srcBlob, m.srcVer)
+	if err != nil {
+		return fmt.Errorf("mirror: clone: %w", err)
+	}
+	m.ckptBlob = ckpt
+	m.hasCkpt = true
+	return nil
+}
+
+// Commit publishes the dirty chunks as a new incremental snapshot of the
+// checkpoint image and returns the published version. This is the COMMIT
+// ioctl. The local cache is retained; the dirty set is cleared.
+func (m *Module) Commit() (blobseer.VersionInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.hasCkpt {
+		return blobseer.VersionInfo{}, ErrNoCheckpointImage
+	}
+	writes := make(map[uint64][]byte, len(m.dirty))
+	for idx := range m.dirty {
+		chunk := m.local[idx]
+		// The device's final chunk may extend past the virtual size; trim
+		// so the repository never stores bytes beyond the device.
+		end := (idx + 1) * m.chunkSize
+		if end > m.size {
+			chunk = chunk[:m.size-idx*m.chunkSize]
+		}
+		writes[idx] = chunk
+	}
+	info, err := m.client.WriteVersion(m.ckptBlob, writes, m.size)
+	if err != nil {
+		return blobseer.VersionInfo{}, fmt.Errorf("mirror: commit: %w", err)
+	}
+	m.dirty = make(map[uint64]bool)
+	m.dirtyBytes = 0
+	m.commits++
+	return info, nil
+}
+
+// CheckpointImage returns the checkpoint blob id, if Clone has happened.
+func (m *Module) CheckpointImage() (uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ckptBlob, m.hasCkpt
+}
+
+// DirtyChunks returns the number of chunks modified since the last commit.
+func (m *Module) DirtyChunks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.dirty)
+}
+
+// DirtyBytes returns the bytes that the next Commit will upload.
+func (m *Module) DirtyBytes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return uint64(len(m.dirty)) * m.chunkSize
+}
+
+// Stats returns (remote chunk fetches, local hits, commits).
+func (m *Module) Stats() (remoteReads, localHits, commits uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.remoteReads, m.localHits, m.commits
+}
+
+// AccessTrace returns chunk indices in first-access order. A restarting
+// deployment publishes the trace of the fastest instance so that slower
+// instances can prefetch (the paper's adaptive prefetching).
+func (m *Module) AccessTrace() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]uint64(nil), m.trace...)
+}
+
+// Prefetch fetches the given chunks into the local cache ahead of demand.
+// Already-local chunks are skipped.
+func (m *Module) Prefetch(indices []uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, idx := range indices {
+		if idx*m.chunkSize >= m.size {
+			continue
+		}
+		if _, ok := m.local[idx]; ok {
+			continue
+		}
+		if _, err := m.ensureLocal(idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChunkSize returns the device's chunk granularity.
+func (m *Module) ChunkSize() uint64 { return m.chunkSize }
+
+var _ vdisk.Device = (*Module)(nil)

@@ -1,0 +1,170 @@
+package mpi
+
+import (
+	"fmt"
+
+	"blobcr/internal/blcr"
+	"blobcr/internal/wire"
+)
+
+// pendingArena is the process arena under which the checkpoint protocol
+// stashes in-flight messages, so a blcr dump captures channel state.
+const pendingArena = "__mpi_pending"
+
+// CRHooks are the per-rank integration points of the coordinated checkpoint
+// protocol — the pieces the paper adds to mpich2.
+type CRHooks struct {
+	// Process is the rank's blcr process image. When set, in-flight
+	// messages drained from the channels are stored into it before
+	// SaveState runs, so they are part of the dump. Nil for
+	// application-level checkpointing (the application is quiescent at its
+	// own checkpoint call and owns its state format).
+	Process *blcr.Process
+	// SaveState dumps the rank's state into the guest file system: either
+	// the application's own writer or a blcr dump.
+	SaveState func() error
+	// Sync flushes the guest file system to the virtual disk (the sync
+	// system call the paper inserts to avoid snapshotting dirty caches).
+	Sync func() error
+	// Snapshot sends the checkpoint request to the co-located checkpointing
+	// proxy and returns the resulting disk snapshot version.
+	Snapshot func() (uint64, error)
+}
+
+// CheckpointCoordinated runs the paper's three-step coordinated protocol
+// plus its two extensions, and returns this rank's disk snapshot version:
+//
+//  1. drain the communication channels: every rank sends a marker to every
+//     other rank and waits for all markers; application messages received
+//     meanwhile are captured as channel state;
+//  2. dump the process state to the guest file system (SaveState);
+//  3. sync the file system (the paper's first extension);
+//  4. request a disk snapshot from the checkpointing proxy (the second
+//     extension);
+//  5. barrier, then resume the application.
+//
+// Every rank of the world must call this at the same logical point.
+func (c *Comm) CheckpointCoordinated(h CRHooks) (uint64, error) {
+	w := c.w
+	// Step 1: markers out...
+	for r := 0; r < w.n; r++ {
+		if r == c.rank {
+			continue
+		}
+		w.queues[r][c.rank].push(Message{Src: c.rank, Tag: tagMarker})
+	}
+	// ...markers in. From this rank's perspective the channels are now
+	// drained: everything sent to us before the checkpoint has arrived.
+	for r := 0; r < w.n; r++ {
+		if r == c.rank {
+			continue
+		}
+		if _, err := w.queues[c.rank][r].pop(tagMarker); err != nil {
+			return 0, fmt.Errorf("mpi: checkpoint marker from rank %d: %w", r, err)
+		}
+	}
+	// Capture in-flight application messages as process state. From here
+	// on, a local failure must not abandon the collective: every rank
+	// reaches the final barrier so the others resume, and the failing rank
+	// reports its error (the middleware discards the incomplete global
+	// checkpoint).
+	pending := c.drainPending()
+	var version uint64
+	var err error
+	if h.Process != nil {
+		encoded := encodePending(pending)
+		copy(h.Process.Alloc(pendingArena, len(encoded)), encoded)
+	} else if len(pending) > 0 {
+		// Application-level checkpointing requires a quiescent application.
+		err = fmt.Errorf("mpi: rank %d has %d undelivered messages at an application-level checkpoint", c.rank, len(pending))
+	}
+
+	// Step 2: dump process state.
+	if err == nil && h.SaveState != nil {
+		if derr := h.SaveState(); derr != nil {
+			err = fmt.Errorf("mpi: rank %d state dump: %w", c.rank, derr)
+		}
+	}
+	// Step 3: sync.
+	if err == nil && h.Sync != nil {
+		if serr := h.Sync(); serr != nil {
+			err = fmt.Errorf("mpi: rank %d sync: %w", c.rank, serr)
+		}
+	}
+	// Step 4: disk snapshot via the proxy.
+	if err == nil && h.Snapshot != nil {
+		v, serr := h.Snapshot()
+		if serr != nil {
+			err = fmt.Errorf("mpi: rank %d snapshot: %w", c.rank, serr)
+		} else {
+			version = v
+		}
+	}
+	// Step 5: all ranks finish before the application resumes.
+	c.Barrier()
+
+	// Undelivered messages go back into the queues — execution continues.
+	w.InjectPending(c.rank, pending)
+	if err != nil {
+		return 0, err
+	}
+	return version, nil
+}
+
+// drainPending pulls all undelivered application messages destined to this
+// rank out of the queues.
+func (c *Comm) drainPending() []Message {
+	var out []Message
+	for src := 0; src < c.w.n; src++ {
+		out = append(out, c.w.queues[c.rank][src].drain()...)
+	}
+	return out
+}
+
+// RestorePending re-injects channel state captured in a blcr dump into this
+// rank's receive queues. Call after restoring the process on restart.
+func (c *Comm) RestorePending(p *blcr.Process) error {
+	raw, ok := p.Arena(pendingArena)
+	if !ok {
+		return nil
+	}
+	msgs, err := decodePending(raw)
+	if err != nil {
+		return fmt.Errorf("mpi: rank %d: %w", c.rank, err)
+	}
+	c.w.InjectPending(c.rank, msgs)
+	p.Free(pendingArena)
+	return nil
+}
+
+func encodePending(msgs []Message) []byte {
+	w := wire.NewBuffer(64)
+	w.PutUvarint(uint64(len(msgs)))
+	for _, m := range msgs {
+		w.PutUvarint(uint64(m.Src))
+		w.PutUvarint(uint64(m.Tag))
+		w.PutBytes(m.Data)
+	}
+	return w.Bytes()
+}
+
+func decodePending(raw []byte) ([]Message, error) {
+	r := wire.NewReader(raw)
+	n := r.Uvarint()
+	if n > 1<<24 {
+		return nil, fmt.Errorf("mpi: implausible pending count %d", n)
+	}
+	msgs := make([]Message, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m := Message{
+			Src:  int(r.Uvarint()),
+			Tag:  int(r.Uvarint()),
+			Data: r.BytesCopy(),
+		}
+		msgs = append(msgs, m)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("mpi: decode pending messages: %w", err)
+	}
+	return msgs, nil
+}

@@ -1,0 +1,366 @@
+// Package mpi implements a message-passing runtime for tightly-coupled
+// applications: point-to-point sends/receives with tag matching, collectives
+// (barrier, broadcast, allreduce, gather), and — the part the paper modifies
+// in mpich2 — a coordinated checkpoint protocol that drains communication
+// channels with marker messages, dumps per-process state, syncs the guest
+// file system and requests a disk snapshot from the co-located checkpointing
+// proxy.
+//
+// Ranks run as goroutines inside one process; the runtime is the guest-side
+// library, not a network stack. Message payloads are copied on Send, so a
+// rank may reuse its buffers immediately, as with MPI_Send.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Reserved internal tags; applications must use tags in [0, 1<<30).
+const (
+	tagMarker = 1<<30 + iota // checkpoint channel-drain marker
+	tagBcast
+	tagReduce
+	tagGather
+	tagBarrier
+)
+
+// MaxAppTag is the largest tag available to applications.
+const MaxAppTag = 1<<30 - 1
+
+// Message is one in-flight point-to-point message.
+type Message struct {
+	Src  int
+	Tag  int
+	Data []byte
+}
+
+// msgQueue holds undelivered messages from one source to one destination.
+type msgQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Message
+	closed  bool
+}
+
+func newMsgQueue() *msgQueue {
+	q := &msgQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *msgQueue) push(m Message) {
+	q.mu.Lock()
+	q.pending = append(q.pending, m)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop removes and returns the first message with the given tag, blocking
+// until one arrives or the queue closes.
+func (q *msgQueue) pop(tag int) (Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for i, m := range q.pending {
+			if m.Tag == tag {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				return m, nil
+			}
+		}
+		if q.closed {
+			return Message{}, errors.New("mpi: world shut down while receiving")
+		}
+		q.cond.Wait()
+	}
+}
+
+// drain removes and returns all application messages (reserved-tag messages
+// stay queued). Used by the checkpoint protocol to capture channel state.
+func (q *msgQueue) drain() []Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var app, rest []Message
+	for _, m := range q.pending {
+		if m.Tag <= MaxAppTag {
+			app = append(app, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	q.pending = rest
+	return app
+}
+
+func (q *msgQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// World is one application's communication domain.
+type World struct {
+	n      int
+	queues [][]*msgQueue // queues[dst][src]
+
+	bmu  sync.Mutex
+	bcnt int
+	bgen int
+	bc   *sync.Cond
+}
+
+// NewWorld creates a world of n ranks.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic("mpi: world size must be >= 1")
+	}
+	w := &World{n: n}
+	w.bc = sync.NewCond(&w.bmu)
+	w.queues = make([][]*msgQueue, n)
+	for dst := range w.queues {
+		w.queues[dst] = make([]*msgQueue, n)
+		for src := range w.queues[dst] {
+			w.queues[dst][src] = newMsgQueue()
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Comm returns the communicator for one rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.n {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.n))
+	}
+	return &Comm{w: w, rank: rank}
+}
+
+// Close shuts the world down, unblocking all receivers with an error.
+func (w *World) Close() {
+	for _, row := range w.queues {
+		for _, q := range row {
+			q.close()
+		}
+	}
+	w.bmu.Lock()
+	w.bgen++ // release any barrier waiters
+	w.bmu.Unlock()
+	w.bc.Broadcast()
+}
+
+// InjectPending restores in-flight messages captured by a checkpoint into
+// rank's receive queues (restart path).
+func (w *World) InjectPending(rank int, msgs []Message) {
+	for _, m := range msgs {
+		w.queues[rank][m.Src].push(m)
+	}
+}
+
+// Run executes body once per rank, each in its own goroutine, and returns
+// the first error. The world is closed when Run returns.
+func Run(n int, body func(c *Comm) error) error {
+	w := NewWorld(n)
+	defer w.Close()
+	return w.Run(body)
+}
+
+// Run executes body once per rank on an existing world.
+func (w *World) Run(body func(c *Comm) error) error {
+	errs := make(chan error, w.n)
+	var wg sync.WaitGroup
+	for r := 0; r < w.n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs <- body(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's communicator.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.n }
+
+// Send delivers data to dst with the given tag. The payload is copied.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.w.n {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	if tag < 0 || tag > MaxAppTag {
+		return fmt.Errorf("mpi: tag %d out of application range", tag)
+	}
+	c.send(dst, tag, data)
+	return nil
+}
+
+func (c *Comm) send(dst, tag int, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.w.queues[dst][c.rank].push(Message{Src: c.rank, Tag: tag, Data: cp})
+}
+
+// Recv blocks until a message with the given tag arrives from src.
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	if src < 0 || src >= c.w.n {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
+	}
+	if tag < 0 || tag > MaxAppTag {
+		return nil, fmt.Errorf("mpi: tag %d out of application range", tag)
+	}
+	m, err := c.recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+func (c *Comm) recv(src, tag int) (Message, error) {
+	return c.w.queues[c.rank][src].pop(tag)
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.bmu.Lock()
+	gen := w.bgen
+	w.bcnt++
+	if w.bcnt == w.n {
+		w.bcnt = 0
+		w.bgen++
+		w.bmu.Unlock()
+		w.bc.Broadcast()
+		return
+	}
+	for w.bgen == gen {
+		w.bc.Wait()
+	}
+	w.bmu.Unlock()
+}
+
+// Bcast distributes root's buffer to all ranks; every rank passes its own
+// buffer of identical length and returns the root's content.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if c.rank == root {
+		for r := 0; r < c.w.n; r++ {
+			if r != root {
+				c.send(r, tagBcast, data)
+			}
+		}
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, nil
+	}
+	m, err := c.recv(root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// ReduceOp combines two float64 values.
+type ReduceOp func(a, b float64) float64
+
+// Standard reduce operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Allreduce combines one float64 per rank with op and returns the result on
+// every rank. Reduction order is rank order, so results are deterministic.
+func (c *Comm) Allreduce(value float64, op ReduceOp) (float64, error) {
+	// Gather to rank 0, reduce in rank order, broadcast.
+	if c.rank == 0 {
+		acc := value
+		for r := 1; r < c.w.n; r++ {
+			m, err := c.recv(r, tagReduce)
+			if err != nil {
+				return 0, err
+			}
+			acc = op(acc, f64FromBytes(m.Data))
+		}
+		for r := 1; r < c.w.n; r++ {
+			c.send(r, tagReduce, f64ToBytes(acc))
+		}
+		return acc, nil
+	}
+	c.send(0, tagReduce, f64ToBytes(value))
+	m, err := c.recv(0, tagReduce)
+	if err != nil {
+		return 0, err
+	}
+	return f64FromBytes(m.Data), nil
+}
+
+// Gather collects each rank's buffer at root; root receives a slice indexed
+// by rank, other ranks receive nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if c.rank == root {
+		out := make([][]byte, c.w.n)
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		out[root] = cp
+		for r := 0; r < c.w.n; r++ {
+			if r == root {
+				continue
+			}
+			m, err := c.recv(r, tagGather)
+			if err != nil {
+				return nil, err
+			}
+			out[r] = m.Data
+		}
+		return out, nil
+	}
+	c.send(root, tagGather, data)
+	return nil, nil
+}
+
+func f64ToBytes(v float64) []byte {
+	var b [8]byte
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	return b[:]
+}
+
+func f64FromBytes(b []byte) float64 {
+	var u uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(u)
+}

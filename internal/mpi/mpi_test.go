@@ -1,0 +1,417 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"blobcr/internal/blcr"
+)
+
+func TestSendRecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []byte("hello"))
+		}
+		data, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(data) != "hello" {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c0, c1 := w.Comm(0), w.Comm(1)
+	buf := []byte{1, 2, 3}
+	if err := c0.Send(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99
+	got, err := c1.Recv(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Error("Send aliased the caller's buffer")
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c0, c1 := w.Comm(0), w.Comm(1)
+	// Two messages with different tags, received out of order.
+	c0.Send(1, 5, []byte("five"))
+	c0.Send(1, 3, []byte("three"))
+	got3, err := c1.Recv(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got5, err := c1.Recv(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got3) != "three" || string(got5) != "five" {
+		t.Errorf("tag matching broken: %q %q", got3, got5)
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c := w.Comm(0)
+	if err := c.Send(5, 0, nil); err == nil {
+		t.Error("send to invalid rank accepted")
+	}
+	if err := c.Send(1, -1, nil); err == nil {
+		t.Error("negative tag accepted")
+	}
+	if err := c.Send(1, MaxAppTag+1, nil); err == nil {
+		t.Error("reserved tag accepted")
+	}
+	if _, err := c.Recv(9, 0); err == nil {
+		t.Error("recv from invalid rank accepted")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 8
+	var before, after atomic.Int32
+	err := Run(n, func(c *Comm) error {
+		before.Add(1)
+		c.Barrier()
+		if got := before.Load(); got != n {
+			return fmt.Errorf("rank %d passed barrier with only %d arrivals", c.Rank(), got)
+		}
+		after.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != n {
+		t.Errorf("after = %d", after.Load())
+	}
+}
+
+func TestRepeatedBarriers(t *testing.T) {
+	var mu sync.Mutex
+	counts := make([]int, 3)
+	err := Run(4, func(c *Comm) error {
+		for round := 0; round < 3; round++ {
+			mu.Lock()
+			counts[round]++
+			mine := counts[round]
+			mu.Unlock()
+			_ = mine
+			c.Barrier()
+			mu.Lock()
+			if counts[round] != 4 {
+				mu.Unlock()
+				return fmt.Errorf("round %d: %d arrivals after barrier", round, counts[round])
+			}
+			mu.Unlock()
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		var buf []byte
+		if c.Rank() == 2 {
+			buf = []byte("payload")
+		} else {
+			buf = make([]byte, 7)
+		}
+		got, err := c.Bcast(2, buf)
+		if err != nil {
+			return err
+		}
+		if string(got) != "payload" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	const n = 6
+	err := Run(n, func(c *Comm) error {
+		sum, err := c.Allreduce(float64(c.Rank()+1), OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != n*(n+1)/2 {
+			return fmt.Errorf("sum = %v", sum)
+		}
+		max, err := c.Allreduce(float64(c.Rank()), OpMax)
+		if err != nil {
+			return err
+		}
+		if max != n-1 {
+			return fmt.Errorf("max = %v", max)
+		}
+		min, err := c.Allreduce(float64(c.Rank()), OpMin)
+		if err != nil {
+			return err
+		}
+		if min != 0 {
+			return fmt.Errorf("min = %v", min)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		data := []byte{byte(c.Rank() * 10)}
+		got, err := c.Gather(1, data)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 1 {
+			if got != nil {
+				return fmt.Errorf("non-root got %v", got)
+			}
+			return nil
+		}
+		for r := 0; r < 4; r++ {
+			if len(got[r]) != 1 || got[r][0] != byte(r*10) {
+				return fmt.Errorf("gather[%d] = %v", r, got[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaloExchangePattern(t *testing.T) {
+	// The CM1-style neighbour exchange: every rank swaps borders with
+	// rank±1 for several iterations.
+	const n, iters = 6, 10
+	err := Run(n, func(c *Comm) error {
+		val := byte(c.Rank())
+		for it := 0; it < iters; it++ {
+			left, right := c.Rank()-1, c.Rank()+1
+			if right < n {
+				if err := c.Send(right, it, []byte{val}); err != nil {
+					return err
+				}
+			}
+			if left >= 0 {
+				if err := c.Send(left, it, []byte{val}); err != nil {
+					return err
+				}
+			}
+			if left >= 0 {
+				got, err := c.Recv(left, it)
+				if err != nil {
+					return err
+				}
+				if got[0] != byte(left)+byte(it) {
+					return fmt.Errorf("iter %d: left halo = %d", it, got[0])
+				}
+			}
+			if right < n {
+				got, err := c.Recv(right, it)
+				if err != nil {
+					return err
+				}
+				if got[0] != byte(right)+byte(it) {
+					return fmt.Errorf("iter %d: right halo = %d", it, got[0])
+				}
+			}
+			val++
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatedCheckpointRunsAllSteps(t *testing.T) {
+	const n = 4
+	var dumps, syncs, snaps atomic.Int32
+	err := Run(n, func(c *Comm) error {
+		v, err := c.CheckpointCoordinated(CRHooks{
+			SaveState: func() error { dumps.Add(1); return nil },
+			Sync:      func() error { syncs.Add(1); return nil },
+			Snapshot:  func() (uint64, error) { snaps.Add(1); return 7, nil },
+		})
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			return fmt.Errorf("version = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumps.Load() != n || syncs.Load() != n || snaps.Load() != n {
+		t.Errorf("steps ran %d/%d/%d times, want %d each", dumps.Load(), syncs.Load(), snaps.Load(), n)
+	}
+}
+
+func TestCheckpointDrainsInFlightMessages(t *testing.T) {
+	// Rank 0 sends a message that rank 1 will only receive AFTER the
+	// checkpoint. The blcr path must capture it as channel state and
+	// re-deliver it afterwards.
+	const payload = "in-flight"
+	err := Run(2, func(c *Comm) error {
+		proc := blcr.NewProcess(c.Rank())
+		if c.Rank() == 0 {
+			if err := c.Send(1, 9, []byte(payload)); err != nil {
+				return err
+			}
+		}
+		if _, err := c.CheckpointCoordinated(CRHooks{Process: proc}); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			// The in-flight message must have been captured in the dump...
+			if _, ok := proc.Arena("__mpi_pending"); !ok {
+				return fmt.Errorf("no pending arena in process image")
+			}
+			// ...and still be deliverable after the checkpoint.
+			got, err := c.Recv(0, 9)
+			if err != nil {
+				return err
+			}
+			if string(got) != payload {
+				return fmt.Errorf("got %q", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppLevelCheckpointRejectsInFlight(t *testing.T) {
+	// Application-level checkpointing with undelivered messages is an
+	// error: the application is supposed to be quiescent.
+	errCh := make(chan error, 2)
+	Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []byte("x"))
+		}
+		_, err := c.CheckpointCoordinated(CRHooks{})
+		errCh <- err
+		return nil
+	})
+	close(errCh)
+	var sawErr bool
+	for err := range errCh {
+		if err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("checkpoint with in-flight messages at app level did not error")
+	}
+}
+
+func TestPendingRoundTripThroughBlcrDump(t *testing.T) {
+	// Capture channel state in a dump, restore it in a new world: the
+	// message must arrive.
+	msgs := []Message{{Src: 0, Tag: 4, Data: []byte("restored")}}
+	p := blcr.NewProcess(1)
+	encoded := encodePending(msgs)
+	copy(p.Alloc("__mpi_pending", len(encoded)), encoded)
+	dump := p.Checkpoint()
+
+	restored, err := blcr.Restore(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(2)
+	defer w.Close()
+	c1 := w.Comm(1)
+	if err := c1.RestorePending(restored); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c1.Recv(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "restored" {
+		t.Errorf("got %q", got)
+	}
+	// Arena is consumed.
+	if _, ok := restored.Arena("__mpi_pending"); ok {
+		t.Error("pending arena not freed after restore")
+	}
+}
+
+func TestCheckpointBytesIdenticalAcrossRanks(t *testing.T) {
+	// Deterministic encode/decode of pending messages.
+	msgs := []Message{
+		{Src: 3, Tag: 1, Data: []byte("a")},
+		{Src: 0, Tag: 2, Data: nil},
+	}
+	decoded, err := decodePending(encodePending(msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 || decoded[0].Src != 3 || decoded[0].Tag != 1 ||
+		!bytes.Equal(decoded[0].Data, []byte("a")) || decoded[1].Src != 0 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if _, err := decodePending([]byte{0xFF}); err == nil {
+		t.Error("garbage pending blob accepted")
+	}
+}
+
+func TestWorldCloseUnblocksReceivers(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Comm(0).Recv(1, 0)
+		done <- err
+	}()
+	w.Close()
+	if err := <-done; err == nil {
+		t.Error("Recv returned nil after world close")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 failed")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("Run swallowed the error")
+	}
+}

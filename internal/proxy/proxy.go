@@ -1,0 +1,201 @@
+// Package proxy implements the checkpointing proxy: the per-compute-node
+// service that VM instances contact to request snapshots of their own
+// virtual disk.
+//
+// As in the paper, the proxy is not globally accessible — it only accepts
+// requests from instances registered as locally hosted, authenticated by a
+// per-VM token. On a checkpoint request it (1) suspends the instance,
+// (2) clones the base image into a checkpoint image if this is the first
+// checkpoint, (3) commits the locally accumulated modifications as a new
+// incremental snapshot, and (4) resumes the instance — resuming regardless
+// of success, and reporting the outcome to the caller.
+//
+// For maximum compatibility the protocol is a simple REST-ful text exchange:
+//
+//	request:  CHECKPOINT <vm-id> <token>
+//	response: OK <checkpoint-blob> <snapshot-version> | ERR <message>
+//
+//	request:  STATUS <vm-id> <token>
+//	response: OK <state> <dirty-chunks> | ERR <message>
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"blobcr/internal/mirror"
+	"blobcr/internal/transport"
+	"blobcr/internal/vm"
+)
+
+// Errors surfaced to callers.
+var (
+	ErrUnknownVM = errors.New("proxy: unknown VM instance")
+	ErrAuth      = errors.New("proxy: authentication failed")
+	ErrProto     = errors.New("proxy: malformed request")
+)
+
+// target is one locally hosted, checkpointable VM.
+type target struct {
+	inst   *vm.Instance
+	mirror *mirror.Module
+	token  string
+}
+
+// Proxy is one compute node's checkpointing proxy.
+type Proxy struct {
+	mu      sync.Mutex
+	targets map[string]*target
+}
+
+// New returns an empty proxy.
+func New() *Proxy {
+	return &Proxy{targets: make(map[string]*target)}
+}
+
+// Register makes a locally hosted instance checkpointable under the given
+// authentication token.
+func (p *Proxy) Register(vmID, token string, inst *vm.Instance, m *mirror.Module) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.targets[vmID] = &target{inst: inst, mirror: m, token: token}
+}
+
+// Unregister removes an instance (it terminated or migrated away).
+func (p *Proxy) Unregister(vmID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.targets, vmID)
+}
+
+// Serve binds the proxy to addr on n.
+func (p *Proxy) Serve(n transport.Network, addr string) (transport.Server, error) {
+	return n.Listen(addr, p.handle)
+}
+
+func (p *Proxy) lookup(vmID, token string) (*target, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.targets[vmID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownVM, vmID)
+	}
+	if t.token != token {
+		return nil, fmt.Errorf("%w: %s", ErrAuth, vmID)
+	}
+	return t, nil
+}
+
+func (p *Proxy) handle(req []byte) ([]byte, error) {
+	fields := strings.Fields(string(req))
+	if len(fields) != 3 {
+		return []byte("ERR malformed request"), nil
+	}
+	verb, vmID, token := fields[0], fields[1], fields[2]
+	t, err := p.lookup(vmID, token)
+	if err != nil {
+		return []byte("ERR " + err.Error()), nil
+	}
+	switch verb {
+	case "CHECKPOINT":
+		blob, version, err := p.checkpoint(t)
+		if err != nil {
+			return []byte("ERR " + err.Error()), nil
+		}
+		return []byte(fmt.Sprintf("OK %d %d", blob, version)), nil
+	case "STATUS":
+		return []byte(fmt.Sprintf("OK %s %d", t.inst.State(), t.mirror.DirtyChunks())), nil
+	default:
+		return []byte("ERR unknown verb " + verb), nil
+	}
+}
+
+// checkpoint performs the suspend-clone-commit-resume sequence.
+func (p *Proxy) checkpoint(t *target) (blob uint64, version uint64, err error) {
+	if err := t.inst.Suspend(); err != nil {
+		return 0, 0, err
+	}
+	// Resume whatever happens — the paper's proxy resumes the instance
+	// regardless and reports the outcome.
+	defer func() {
+		if rerr := t.inst.Resume(); rerr != nil && err == nil {
+			err = rerr
+		}
+	}()
+	if err := t.mirror.Clone(); err != nil {
+		return 0, 0, err
+	}
+	info, err := t.mirror.Commit()
+	if err != nil {
+		return 0, 0, err
+	}
+	b, _ := t.mirror.CheckpointImage()
+	return b, info.Version, nil
+}
+
+// Client is the guest-side stub that VM instances (or the modified MPI
+// library inside them) use to talk to their local proxy.
+type Client struct {
+	Net   transport.Network
+	Addr  string // the co-located proxy's address
+	VMID  string
+	Token string
+}
+
+// RequestCheckpoint asks the proxy to snapshot this instance's disk and
+// returns the checkpoint image id and the new snapshot version.
+func (c *Client) RequestCheckpoint() (blob uint64, version uint64, err error) {
+	resp, err := c.Net.Call(c.Addr, []byte(fmt.Sprintf("CHECKPOINT %s %s", c.VMID, c.Token)))
+	if err != nil {
+		return 0, 0, err
+	}
+	return parseOK2(resp)
+}
+
+// Status returns the instance state and dirty chunk count as the proxy
+// sees them.
+func (c *Client) Status() (state string, dirtyChunks int, err error) {
+	resp, err := c.Net.Call(c.Addr, []byte(fmt.Sprintf("STATUS %s %s", c.VMID, c.Token)))
+	if err != nil {
+		return "", 0, err
+	}
+	fields := strings.Fields(string(resp))
+	if len(fields) < 1 || fields[0] != "OK" {
+		return "", 0, errorFrom(resp)
+	}
+	if len(fields) != 3 {
+		return "", 0, fmt.Errorf("%w: %q", ErrProto, resp)
+	}
+	n, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: %q", ErrProto, resp)
+	}
+	return fields[1], n, nil
+}
+
+func parseOK2(resp []byte) (uint64, uint64, error) {
+	fields := strings.Fields(string(resp))
+	if len(fields) < 1 || fields[0] != "OK" {
+		return 0, 0, errorFrom(resp)
+	}
+	if len(fields) != 3 {
+		return 0, 0, fmt.Errorf("%w: %q", ErrProto, resp)
+	}
+	a, err1 := strconv.ParseUint(fields[1], 10, 64)
+	b, err2 := strconv.ParseUint(fields[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("%w: %q", ErrProto, resp)
+	}
+	return a, b, nil
+}
+
+func errorFrom(resp []byte) error {
+	s := string(resp)
+	if strings.HasPrefix(s, "ERR ") {
+		return errors.New(s[4:])
+	}
+	return fmt.Errorf("%w: %q", ErrProto, s)
+}

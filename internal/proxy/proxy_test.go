@@ -1,0 +1,193 @@
+package proxy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/mirror"
+	"blobcr/internal/transport"
+	"blobcr/internal/vm"
+)
+
+const cs = 512
+
+// env is a single-node test environment: repository, base image, one VM
+// with mirroring module, and a proxy.
+type env struct {
+	net    *transport.InProc
+	client *blobseer.Client
+	inst   *vm.Instance
+	mod    *mirror.Module
+	proxy  *Proxy
+	pc     *Client
+}
+
+func setup(t *testing.T) *env {
+	t.Helper()
+	net := transport.NewInProc()
+	d, err := blobseer.Deploy(net, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	c := d.Client()
+
+	// Base image: a formatted blank disk uploaded to the repository.
+	base, err := c.CreateBlob(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.WriteAt(base, 0, make([]byte, 256*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := mirror.Attach(c, base, info.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := vm.New("vm-1", mod, vm.Config{BootNoiseBytes: 8192, BlockSize: 512})
+	if err := inst.Boot(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := New()
+	p.Register("vm-1", "secret", inst, mod)
+	srv, err := p.Serve(net, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	return &env{
+		net:    net,
+		client: c,
+		inst:   inst,
+		mod:    mod,
+		proxy:  p,
+		pc:     &Client{Net: net, Addr: srv.Addr(), VMID: "vm-1", Token: "secret"},
+	}
+}
+
+func TestCheckpointHappyPath(t *testing.T) {
+	e := setup(t)
+	// Guest writes some state.
+	if err := e.inst.FS().WriteFile("/state", []byte("app state")); err != nil {
+		t.Fatal(err)
+	}
+	blob, version, err := e.pc.RequestCheckpoint()
+	if err != nil {
+		t.Fatalf("RequestCheckpoint: %v", err)
+	}
+	if blob == 0 {
+		t.Error("no checkpoint blob id")
+	}
+	// The instance is running again afterwards.
+	if e.inst.State() != vm.Running {
+		t.Errorf("state after checkpoint = %v", e.inst.State())
+	}
+	// The snapshot is a consistent disk image containing the state file.
+	snapData, err := e.client.ReadVersion(blob, version, 0, uint64(e.mod.Size()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(snapData, []byte("app state")) {
+		t.Error("snapshot does not contain the guest's file")
+	}
+}
+
+func TestSuccessiveCheckpointsBumpVersion(t *testing.T) {
+	e := setup(t)
+	_, v1, err := e.pc.RequestCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.inst.FS().WriteFile("/more", []byte("x"))
+	blob2, v2, err := e.pc.RequestCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 <= v1 {
+		t.Errorf("versions not monotonic: %d then %d", v1, v2)
+	}
+	blob1, _ := e.mod.CheckpointImage()
+	if blob1 != blob2 {
+		t.Error("successive checkpoints used different images")
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	e := setup(t)
+	bad := &Client{Net: e.pc.Net, Addr: e.pc.Addr, VMID: "vm-1", Token: "wrong"}
+	if _, _, err := bad.RequestCheckpoint(); err == nil {
+		t.Error("wrong token accepted")
+	} else if !strings.Contains(err.Error(), "authentication") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	unknown := &Client{Net: e.pc.Net, Addr: e.pc.Addr, VMID: "nope", Token: "secret"}
+	if _, _, err := unknown.RequestCheckpoint(); err == nil {
+		t.Error("unknown VM accepted")
+	}
+}
+
+func TestStatus(t *testing.T) {
+	e := setup(t)
+	state, dirty, err := e.pc.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != "running" {
+		t.Errorf("state = %q", state)
+	}
+	if dirty == 0 {
+		t.Error("boot noise produced no dirty chunks")
+	}
+	if _, _, err := e.pc.RequestCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	_, dirty, err = e.pc.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty != 0 {
+		t.Errorf("dirty after checkpoint = %d", dirty)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	e := setup(t)
+	for _, req := range []string{"", "CHECKPOINT", "CHECKPOINT vm-1", "BOGUS vm-1 secret", "CHECKPOINT vm-1 secret extra arg"} {
+		resp, err := e.net.Call(e.pc.Addr, []byte(req))
+		if err != nil {
+			t.Fatalf("%q: transport error %v", req, err)
+		}
+		if !strings.HasPrefix(string(resp), "ERR") {
+			t.Errorf("%q -> %q, want ERR", req, resp)
+		}
+	}
+}
+
+func TestCheckpointResumesOnFailure(t *testing.T) {
+	e := setup(t)
+	// Make Commit fail by partitioning the whole repository.
+	for _, b := range []string{e.client.VMAddr, e.client.PMAddr} {
+		e.net.Partition(b)
+	}
+	_, _, err := e.pc.RequestCheckpoint()
+	if err == nil {
+		t.Fatal("checkpoint with repository down succeeded")
+	}
+	// The crucial guarantee: the instance is running again.
+	if e.inst.State() != vm.Running {
+		t.Errorf("instance left %v after failed checkpoint", e.inst.State())
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	e := setup(t)
+	e.proxy.Unregister("vm-1")
+	if _, _, err := e.pc.RequestCheckpoint(); err == nil {
+		t.Error("checkpoint of unregistered VM succeeded")
+	}
+}

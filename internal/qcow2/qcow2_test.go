@@ -1,0 +1,530 @@
+package qcow2
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"blobcr/internal/vdisk"
+)
+
+const cs = 4096 // small cluster size keeps tests fast
+
+func newImage(t *testing.T, virtualSize int64, backing vdisk.Device) *Image {
+	t.Helper()
+	img, err := Create(vdisk.NewBuffer(), cs, virtualSize, backing, "base.raw")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return img
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(vdisk.NewBuffer(), 1000, 1<<20, nil, ""); err == nil {
+		t.Error("non-power-of-two cluster size accepted")
+	}
+	if _, err := Create(vdisk.NewBuffer(), 256, 1<<20, nil, ""); err == nil {
+		t.Error("cluster smaller than header accepted")
+	}
+	if _, err := Create(vdisk.NewBuffer(), cs, -1, nil, ""); err == nil {
+		t.Error("negative virtual size accepted")
+	}
+	big := vdisk.NewMem(1 << 20)
+	if _, err := Create(vdisk.NewBuffer(), cs, 1<<10, big, ""); err == nil {
+		t.Error("backing larger than virtual size accepted")
+	}
+}
+
+func TestReadUnallocatedIsZero(t *testing.T) {
+	img := newImage(t, 1<<20, nil)
+	buf := make([]byte, 8192)
+	buf[0] = 0xFF
+	if _, err := img.ReadAt(buf, 12345); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("unallocated byte %d = %#x", i, b)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	img := newImage(t, 1<<20, nil)
+	data := []byte("hello qcow2 world")
+	if _, err := img.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := img.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCrossClusterWrite(t *testing.T) {
+	img := newImage(t, 1<<20, nil)
+	data := bytes.Repeat([]byte{0xAB}, 3*cs)
+	off := int64(cs - 100) // crosses three cluster boundaries
+	if _, err := img.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := img.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-cluster content mismatch")
+	}
+	// Neighbouring bytes untouched (zero).
+	edge := make([]byte, 1)
+	if _, err := img.ReadAt(edge, off-1); err != nil {
+		t.Fatal(err)
+	}
+	if edge[0] != 0 {
+		t.Error("byte before write range modified")
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	img := newImage(t, 1<<16, nil)
+	if _, err := img.WriteAt([]byte{1}, 1<<16); err == nil {
+		t.Error("write past end accepted")
+	}
+	if _, err := img.WriteAt([]byte{1}, -1); err == nil {
+		t.Error("negative write offset accepted")
+	}
+	// Reads at the boundary return 0 bytes.
+	n, _ := img.ReadAt(make([]byte, 4), 1<<16)
+	if n != 0 {
+		t.Errorf("read at end returned %d bytes", n)
+	}
+}
+
+func TestBackingReadThrough(t *testing.T) {
+	base := vdisk.NewMem(1 << 18)
+	content := bytes.Repeat([]byte{0x5C}, 1<<18)
+	if _, err := base.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	img := newImage(t, 1<<20, base)
+	// Unwritten ranges come from the backing...
+	got := make([]byte, 1000)
+	if _, err := img.ReadAt(got, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x5C {
+		t.Error("backing not visible through unallocated cluster")
+	}
+	// ...and beyond the backing size, zeros.
+	if _, err := img.ReadAt(got, 1<<18); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Error("read past backing end not zero")
+	}
+}
+
+func TestCopyOnWritePreservesBackingNeighbourhood(t *testing.T) {
+	base := vdisk.NewMem(1 << 18)
+	content := bytes.Repeat([]byte{0x77}, 1<<18)
+	if _, err := base.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	img := newImage(t, 1<<18, base)
+	// A small write inside a cluster must preserve the rest of the cluster
+	// from the backing (COW fill).
+	if _, err := img.WriteAt([]byte{0x11}, int64(cs+10)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, cs)
+	if _, err := img.ReadAt(got, int64(cs)); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := byte(0x77)
+		if i == 10 {
+			want = 0x11
+		}
+		if b != want {
+			t.Fatalf("cluster byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+	// Backing itself untouched.
+	bGot := make([]byte, 1)
+	if _, err := base.ReadAt(bGot, int64(cs+10)); err != nil {
+		t.Fatal(err)
+	}
+	if bGot[0] != 0x77 {
+		t.Error("write leaked into backing device")
+	}
+}
+
+func TestFileGrowsWithAllocations(t *testing.T) {
+	img := newImage(t, 1<<22, nil)
+	initial := img.FileSize()
+	// Write 16 distinct clusters.
+	for i := 0; i < 16; i++ {
+		if _, err := img.WriteAt([]byte{1}, int64(i*cs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := img.FileSize() - initial
+	// 16 data clusters + 1 L2 table cluster.
+	want := int64(17 * cs)
+	if grown != want {
+		t.Errorf("file grew %d bytes, want %d", grown, want)
+	}
+	// Rewriting the same clusters must not grow the file.
+	before := img.FileSize()
+	for i := 0; i < 16; i++ {
+		if _, err := img.WriteAt([]byte{2}, int64(i*cs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if img.FileSize() != before {
+		t.Error("in-place rewrite grew the file")
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	backend := vdisk.NewBuffer()
+	img, err := Create(backend, cs, 1<<20, nil, "parent.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xD4}, 3*cs)
+	if _, err := img.WriteAt(data, 7777); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	img2, err := Open(backend, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if img2.BackingName() != "parent.img" {
+		t.Errorf("BackingName = %q", img2.BackingName())
+	}
+	got := make([]byte, len(data))
+	if _, err := img2.ReadAt(got, 7777); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("content lost across reopen")
+	}
+	// New writes after reopen work.
+	if _, err := img2.WriteAt([]byte{9}, 0); err != nil {
+		t.Errorf("write after reopen: %v", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	b := vdisk.NewBuffer()
+	b.WriteAt(bytes.Repeat([]byte{0x42}, 1024), 0)
+	if _, err := Open(b, nil); err == nil {
+		t.Error("Open accepted garbage")
+	}
+}
+
+func TestSnapshotAndRestore(t *testing.T) {
+	img := newImage(t, 1<<20, nil)
+	v1 := bytes.Repeat([]byte{1}, 2*cs)
+	if _, err := img.WriteAt(v1, 0); err != nil {
+		t.Fatal(err)
+	}
+	vmstate := []byte("cpu+ram state at t1")
+	if err := img.Snapshot("t1", vmstate); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Overwrite after the snapshot.
+	v2 := bytes.Repeat([]byte{2}, 2*cs)
+	if _, err := img.WriteAt(v2, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, cs)
+	img.ReadAt(got, 0)
+	if got[0] != 2 {
+		t.Fatal("current state lost")
+	}
+	// Restore: disk content rolls back, vmstate returned.
+	state, err := img.RestoreSnapshot("t1")
+	if err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if string(state) != string(vmstate) {
+		t.Errorf("vmstate = %q", state)
+	}
+	img.ReadAt(got, 0)
+	if got[0] != 1 {
+		t.Error("disk content not rolled back")
+	}
+	// The snapshot survives and can be restored again later.
+	if _, err := img.RestoreSnapshot("t1"); err != nil {
+		t.Errorf("second restore: %v", err)
+	}
+}
+
+func TestSnapshotCopyOnWriteIsolation(t *testing.T) {
+	img := newImage(t, 1<<20, nil)
+	if _, err := img.WriteAt(bytes.Repeat([]byte{0xAA}, 4*cs), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Snapshot("s", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Partial overwrite of one snapshotted cluster: COW must preserve the
+	// untouched part of the cluster in the new copy.
+	if _, err := img.WriteAt([]byte{0xBB}, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, cs)
+	img.ReadAt(got, 0)
+	if got[5] != 0xBB || got[6] != 0xAA || got[0] != 0xAA {
+		t.Errorf("COW merge wrong: %x %x %x", got[0], got[5], got[6])
+	}
+	// Restore shows the original.
+	if _, err := img.RestoreSnapshot("s"); err != nil {
+		t.Fatal(err)
+	}
+	img.ReadAt(got, 0)
+	if got[5] != 0xAA {
+		t.Error("snapshot content was damaged by post-snapshot write")
+	}
+}
+
+func TestMultipleSnapshots(t *testing.T) {
+	img := newImage(t, 1<<20, nil)
+	for i := 1; i <= 3; i++ {
+		if _, err := img.WriteAt(bytes.Repeat([]byte{byte(i)}, cs), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := img.Snapshot(string(rune('a'+i-1)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := img.Snapshots()
+	if len(infos) != 3 {
+		t.Fatalf("Snapshots = %d, want 3", len(infos))
+	}
+	if infos[0].Name != "c" || infos[2].Name != "a" {
+		t.Errorf("snapshot order: %+v", infos)
+	}
+	// Restore each in turn and verify contents.
+	for i := 1; i <= 3; i++ {
+		state, err := img.RestoreSnapshot(string(rune('a' + i - 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state[0] != byte(i) {
+			t.Errorf("snapshot %d vmstate = %d", i, state[0])
+		}
+		got := make([]byte, 1)
+		img.ReadAt(got, 0)
+		if got[0] != byte(i) {
+			t.Errorf("snapshot %d content = %d", i, got[0])
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	img := newImage(t, 1<<18, nil)
+	if err := img.Snapshot("dup", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Snapshot("dup", nil); err == nil {
+		t.Error("duplicate snapshot name accepted")
+	}
+	if err := img.Snapshot("", nil); err == nil {
+		t.Error("empty snapshot name accepted")
+	}
+	if _, err := img.RestoreSnapshot("missing"); err == nil {
+		t.Error("restore of missing snapshot succeeded")
+	}
+	if err := img.DeleteSnapshot("missing"); err == nil {
+		t.Error("delete of missing snapshot succeeded")
+	}
+}
+
+func TestDeleteSnapshotReclaimsSpace(t *testing.T) {
+	img := newImage(t, 1<<20, nil)
+	if _, err := img.WriteAt(bytes.Repeat([]byte{1}, 8*cs), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Snapshot("s", bytes.Repeat([]byte{9}, 2*cs)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite everything: snapshot holds the old clusters.
+	if _, err := img.WriteAt(bytes.Repeat([]byte{2}, 8*cs), 0); err != nil {
+		t.Fatal(err)
+	}
+	sizeWithSnap := img.FileSize()
+	if err := img.DeleteSnapshot("s"); err != nil {
+		t.Fatal(err)
+	}
+	// File does not shrink, but freed clusters are reused by new writes.
+	if img.FileSize() != sizeWithSnap {
+		t.Errorf("file size changed on delete: %d -> %d", sizeWithSnap, img.FileSize())
+	}
+	before := img.FileSize()
+	if _, err := img.WriteAt(bytes.Repeat([]byte{3}, 8*cs), int64(64*cs)); err != nil {
+		t.Fatal(err)
+	}
+	if img.FileSize() != before {
+		t.Errorf("freed clusters not reused: file grew %d bytes", img.FileSize()-before)
+	}
+	got := make([]byte, 1)
+	img.ReadAt(got, 0)
+	if got[0] != 2 {
+		t.Error("active content damaged by snapshot delete")
+	}
+}
+
+func TestSnapshotsPersistAcrossOpen(t *testing.T) {
+	backend := vdisk.NewBuffer()
+	img, err := Create(backend, cs, 1<<20, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.WriteAt(bytes.Repeat([]byte{7}, cs), 0)
+	if err := img.Snapshot("persisted", []byte("vm")); err != nil {
+		t.Fatal(err)
+	}
+	img.WriteAt(bytes.Repeat([]byte{8}, cs), 0)
+	if err := img.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	img2, err := Open(backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := img2.Snapshots()
+	if len(infos) != 1 || infos[0].Name != "persisted" {
+		t.Fatalf("snapshots after reopen: %+v", infos)
+	}
+	state, err := img2.RestoreSnapshot("persisted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(state) != "vm" {
+		t.Errorf("vmstate = %q", state)
+	}
+	got := make([]byte, 1)
+	img2.ReadAt(got, 0)
+	if got[0] != 7 {
+		t.Error("restored content wrong after reopen")
+	}
+}
+
+func TestRandomizedAgainstShadowModel(t *testing.T) {
+	const size = 1 << 18
+	base := vdisk.NewMem(size)
+	baseContent := make([]byte, size)
+	rng := rand.New(rand.NewSource(99))
+	rng.Read(baseContent)
+	base.WriteAt(baseContent, 0)
+
+	img := newImage(t, size, base)
+	shadow := append([]byte(nil), baseContent...)
+
+	for iter := 0; iter < 200; iter++ {
+		off := rng.Intn(size - 1)
+		n := rng.Intn(minInt(size-off, 3*cs)) + 1
+		if rng.Intn(3) == 0 {
+			// Random read check.
+			got := make([]byte, n)
+			if _, err := img.ReadAt(got, int64(off)); err != nil {
+				t.Fatalf("iter %d read: %v", iter, err)
+			}
+			if !bytes.Equal(got, shadow[off:off+n]) {
+				t.Fatalf("iter %d: read mismatch at %d+%d", iter, off, n)
+			}
+		} else {
+			patch := make([]byte, n)
+			rng.Read(patch)
+			if _, err := img.WriteAt(patch, int64(off)); err != nil {
+				t.Fatalf("iter %d write: %v", iter, err)
+			}
+			copy(shadow[off:], patch)
+		}
+	}
+	// Full sweep.
+	got := make([]byte, size)
+	if _, err := img.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, shadow) {
+		t.Fatal("final content diverged from shadow model")
+	}
+}
+
+func TestRandomizedWithSnapshotsAgainstShadowModel(t *testing.T) {
+	const size = 1 << 17
+	img := newImage(t, size, nil)
+	shadow := make([]byte, size)
+	rng := rand.New(rand.NewSource(123))
+	saved := map[string][]byte{}
+	var names []string
+
+	for iter := 0; iter < 120; iter++ {
+		switch rng.Intn(6) {
+		case 0:
+			name := string(rune('A' + len(names)))
+			if err := img.Snapshot(name, nil); err != nil {
+				t.Fatalf("iter %d snapshot: %v", iter, err)
+			}
+			saved[name] = append([]byte(nil), shadow...)
+			names = append(names, name)
+		case 1:
+			if len(names) > 0 {
+				name := names[rng.Intn(len(names))]
+				if _, err := img.RestoreSnapshot(name); err != nil {
+					t.Fatalf("iter %d restore %s: %v", iter, name, err)
+				}
+				copy(shadow, saved[name])
+			}
+		default:
+			off := rng.Intn(size - 1)
+			n := rng.Intn(minInt(size-off, 2*cs)) + 1
+			patch := make([]byte, n)
+			rng.Read(patch)
+			if _, err := img.WriteAt(patch, int64(off)); err != nil {
+				t.Fatalf("iter %d write: %v", iter, err)
+			}
+			copy(shadow[off:], patch)
+		}
+		if iter%20 == 19 {
+			got := make([]byte, size)
+			if _, err := img.ReadAt(got, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, shadow) {
+				t.Fatalf("iter %d: content diverged", iter)
+			}
+		}
+	}
+	// All snapshots must still match their saved states.
+	for _, name := range names {
+		if _, err := img.RestoreSnapshot(name); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, size)
+		if _, err := img.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, saved[name]) {
+			t.Errorf("snapshot %s content diverged", name)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package qcow2
+
+import (
+	"fmt"
+)
+
+// SnapshotInfo describes one internal snapshot.
+type SnapshotInfo struct {
+	Name       string
+	VMStateLen uint64
+}
+
+// Snapshots lists the image's internal snapshots, newest first.
+func (img *Image) Snapshots() []SnapshotInfo {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	out := make([]SnapshotInfo, 0, len(img.snaps))
+	for _, s := range img.snaps {
+		out = append(out, SnapshotInfo{Name: s.name, VMStateLen: s.vmstateLen})
+	}
+	return out
+}
+
+func (img *Image) findSnapshot(name string) (int, bool) {
+	for i, s := range img.snaps {
+		if s.name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot creates an internal snapshot of the current disk contents under
+// name, storing vmstate (the serialized VM device/RAM state for the savevm
+// path; may be nil for a disk-only internal snapshot) inside the image.
+// The current mapping becomes copy-on-write: subsequent guest writes
+// allocate new clusters, and the snapshot keeps the old ones — so the file
+// only ever grows, reproducing qcow2-full's storage behaviour.
+func (img *Image) Snapshot(name string, vmstate []byte) error {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if len(name) == 0 || len(name) > maxNameLen {
+		return fmt.Errorf("qcow2: invalid snapshot name %q", name)
+	}
+	if _, exists := img.findSnapshot(name); exists {
+		return fmt.Errorf("%w: %q", ErrSnapshotExists, name)
+	}
+
+	// Persist the active L1 before copying it.
+	if err := img.writeL1(); err != nil {
+		return err
+	}
+
+	// Copy the L1 table into fresh clusters.
+	l1Bytes := uint64(len(img.l1) * 8)
+	l1Clusters := ceilDiv(l1Bytes, img.clusterSize)
+	if l1Clusters == 0 {
+		l1Clusters = 1
+	}
+	l1CopyOff, err := img.allocExtent(l1Clusters)
+	if err != nil {
+		return err
+	}
+	if err := img.writeL1At(img.l1, l1CopyOff); err != nil {
+		return err
+	}
+
+	// Store the vmstate.
+	var vmOff, vmLen uint64
+	if len(vmstate) > 0 {
+		vmLen = uint64(len(vmstate))
+		vmOff, err = img.allocExtent(ceilDiv(vmLen, img.clusterSize))
+		if err != nil {
+			return err
+		}
+		if _, err := img.b.WriteAt(vmstate, int64(vmOff)); err != nil {
+			return fmt.Errorf("qcow2: write vmstate: %w", err)
+		}
+	}
+
+	// The snapshot's L1 copy references the same L2 tables the active
+	// mapping does; bumping their refcounts makes subsequent guest writes
+	// copy-on-write (the L2 copy in turn protects the data clusters).
+	img.addTableRefs(img.l1, 1)
+
+	// Write the snapshot record and link it at the head of the chain.
+	rec := snapshot{
+		name:       name,
+		l1Offset:   l1CopyOff,
+		vmstateOff: vmOff,
+		vmstateLen: vmLen,
+		next:       img.snapHead,
+	}
+	recLen := uint64(2 + len(name) + 32)
+	rec.recOffset, err = img.allocExtent(ceilDiv(recLen, img.clusterSize))
+	if err != nil {
+		return err
+	}
+	if err := img.writeSnapshotRecord(&rec); err != nil {
+		return err
+	}
+	img.snapHead = rec.recOffset
+	img.snaps = append([]snapshot{rec}, img.snaps...)
+	return img.writeHeader()
+}
+
+// RestoreSnapshot rolls the active disk contents back to the named snapshot
+// and returns its stored vmstate (nil if none was saved). The snapshot
+// itself is preserved and can be restored again.
+func (img *Image) RestoreSnapshot(name string) ([]byte, error) {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	i, ok := img.findSnapshot(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrSnapshotNotFound, name)
+	}
+	s := img.snaps[i]
+	snapL1, err := img.readL1Copy(s.l1Offset)
+	if err != nil {
+		return nil, err
+	}
+	// The snapshot's table becomes the active one: it gains a reference,
+	// the old active mapping loses its own.
+	img.addTableRefs(snapL1, 1)
+	oldL1 := img.l1
+	img.l1 = snapL1
+	for _, l2off := range oldL1 {
+		if l2off != 0 {
+			img.releaseL2(l2off)
+		}
+	}
+	if err := img.writeL1(); err != nil {
+		return nil, err
+	}
+	if err := img.writeHeader(); err != nil {
+		return nil, err
+	}
+	if s.vmstateLen == 0 {
+		return nil, nil
+	}
+	vmstate := make([]byte, s.vmstateLen)
+	if _, err := img.b.ReadAt(vmstate, int64(s.vmstateOff)); err != nil {
+		return nil, fmt.Errorf("qcow2: read vmstate: %w", err)
+	}
+	return vmstate, nil
+}
+
+// DeleteSnapshot removes the named snapshot, releasing the clusters only it
+// referenced (they are reused for future writes; the file does not shrink,
+// matching qcow2).
+func (img *Image) DeleteSnapshot(name string) error {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	i, ok := img.findSnapshot(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrSnapshotNotFound, name)
+	}
+	s := img.snaps[i]
+
+	// Drop the snapshot's references to the mapped clusters.
+	snapL1, err := img.readL1Copy(s.l1Offset)
+	if err != nil {
+		return err
+	}
+	for _, l2off := range snapL1 {
+		if l2off != 0 {
+			img.releaseL2(l2off)
+		}
+	}
+	// Free the L1 copy, vmstate and record storage.
+	img.freeClusterRange(s.l1Offset, uint64(len(img.l1)*8))
+	if s.vmstateLen > 0 {
+		img.freeClusterRange(s.vmstateOff, s.vmstateLen)
+	}
+	img.freeClusterRange(s.recOffset, uint64(2+len(s.name)+32))
+
+	// Unlink from the chain.
+	if i == 0 {
+		img.snapHead = s.next
+		if err := img.writeHeader(); err != nil {
+			return err
+		}
+	} else {
+		img.snaps[i-1].next = s.next
+		if err := img.writeSnapshotRecord(&img.snaps[i-1]); err != nil {
+			return err
+		}
+	}
+	img.snaps = append(img.snaps[:i], img.snaps[i+1:]...)
+	return nil
+}
+
+func (img *Image) freeClusterRange(off, length uint64) {
+	if length == 0 {
+		return
+	}
+	start := off / img.clusterSize * img.clusterSize
+	end := off + length
+	for c := start; c < end; c += img.clusterSize {
+		img.release(c)
+	}
+}

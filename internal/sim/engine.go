@@ -1,0 +1,433 @@
+// Package sim implements a deterministic discrete-event simulator with
+// flow-level bandwidth modeling.
+//
+// Simulated activities are written as ordinary blocking Go code: each
+// simulated process runs in its own goroutine, but the engine resumes exactly
+// one process at a time, so execution is sequential and deterministic.
+// Virtual time advances only when every process is blocked on a timer, a
+// transfer, or a signal.
+//
+// Bandwidth-bound work (disk and network transfers) is modeled at flow level:
+// a Flow consumes capacity on one or more Resources, and the engine assigns
+// rates by max-min fair sharing (progressive filling) across all resources.
+// This reproduces contention effects — e.g. 120 writers sharing one parallel
+// file system — without simulating individual packets.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Engine is a discrete-event simulation engine. Create one with NewEngine,
+// add root processes with Go, then call Run.
+type Engine struct {
+	now      float64 // virtual time, seconds
+	events   eventHeap
+	seq      int64 // tie-breaker for deterministic event ordering
+	flows    map[*Flow]struct{}
+	procs    int // live (not yet finished) processes
+	runnable []*Proc
+	maxTime  float64
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		flows:   make(map[*Flow]struct{}),
+		maxTime: math.Inf(1),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// SetDeadline makes Run stop (with an error) if virtual time exceeds t.
+// Useful to catch protocol livelocks in tests.
+func (e *Engine) SetDeadline(t float64) { e.maxTime = t }
+
+type event struct {
+	at     float64
+	seq    int64
+	fire   func()
+	cancel *bool // if non-nil and true, the event is skipped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// schedule registers fire to run at virtual time at. It returns a cancel
+// function that prevents the event from firing.
+func (e *Engine) schedule(at float64, fire func()) (cancel func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	flag := new(bool)
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fire: fire, cancel: flag})
+	return func() { *flag = true }
+}
+
+// Proc is a simulated process. All blocking methods must be called from the
+// goroutine that runs the process body.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Go starts a new simulated process running body. It may be called before
+// Run or from inside another process.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume
+		body(p)
+		p.done = true
+		p.yield <- struct{}{}
+	}()
+	e.runnable = append(e.runnable, p)
+	return p
+}
+
+// step transfers control to p and waits until it blocks or finishes.
+func (e *Engine) step(p *Proc) {
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.done {
+		e.procs--
+	}
+}
+
+// block suspends the calling process until the engine resumes it.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Run executes the simulation until no events remain and all processes have
+// finished, and returns the final virtual time. It returns an error if
+// processes remain blocked with no pending events (deadlock) or the deadline
+// set by SetDeadline is exceeded.
+func (e *Engine) Run() (float64, error) {
+	for {
+		// Drain the runnable set (processes started but not yet stepped).
+		for len(e.runnable) > 0 {
+			p := e.runnable[0]
+			e.runnable = e.runnable[1:]
+			e.step(p)
+		}
+		if e.events.Len() == 0 {
+			if e.procs > 0 {
+				return e.now, fmt.Errorf("sim: deadlock at t=%.6f: %d processes blocked with no pending events", e.now, e.procs)
+			}
+			return e.now, nil
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancel != nil && *ev.cancel {
+			continue
+		}
+		if ev.at > e.maxTime {
+			return e.now, fmt.Errorf("sim: deadline %.6f exceeded at t=%.6f", e.maxTime, ev.at)
+		}
+		e.now = ev.at
+		ev.fire()
+	}
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time in seconds.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Wait blocks the process for d seconds of virtual time. Negative d is
+// treated as zero.
+func (p *Proc) Wait(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now+d, func() {
+		p.eng.step(p)
+	})
+	p.block()
+}
+
+// Signal is a broadcast condition in virtual time: processes block on Wait
+// until another process calls Fire, which wakes all current waiters.
+// After Fire, future Wait calls return immediately.
+type Signal struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired Signal bound to the engine.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Fired reports whether the signal has been fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Wait blocks until the signal fires. Returns immediately if already fired.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.block()
+}
+
+// Fire wakes all waiters. Must be called from a running process or event.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	waiters := s.waiters
+	s.waiters = nil
+	for _, w := range waiters {
+		w := w
+		s.eng.schedule(s.eng.now, func() { s.eng.step(w) })
+	}
+}
+
+// WaitGroup counts down to zero in virtual time.
+type WaitGroup struct {
+	n    int
+	done *Signal
+}
+
+// NewWaitGroup returns a WaitGroup expecting n completions.
+func NewWaitGroup(e *Engine, n int) *WaitGroup {
+	wg := &WaitGroup{n: n, done: NewSignal(e)}
+	if n <= 0 {
+		wg.done.Fire()
+	}
+	return wg
+}
+
+// Done records one completion.
+func (wg *WaitGroup) Done() {
+	wg.n--
+	if wg.n == 0 {
+		wg.done.Fire()
+	}
+}
+
+// Wait blocks until the count reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) { wg.done.Wait(p) }
+
+// Semaphore limits concurrency in virtual time (FIFO hand-off).
+type Semaphore struct {
+	eng     *Engine
+	free    int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(e *Engine, n int) *Semaphore {
+	return &Semaphore{eng: e, free: n}
+}
+
+// Acquire takes one permit, blocking in virtual time if none are free.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.free > 0 {
+		s.free--
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.block()
+}
+
+// Release returns one permit, waking the oldest waiter if any.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.eng.schedule(s.eng.now, func() { s.eng.step(w) })
+		return
+	}
+	s.free++
+}
+
+// Resource models a bandwidth-limited device (a disk or a network link).
+// Concurrent flows over the same resource share its capacity max-min fairly.
+type Resource struct {
+	name     string
+	capacity float64 // bytes per second
+	flows    map[*Flow]struct{}
+}
+
+// NewResource creates a resource with the given capacity in bytes/second.
+func NewResource(e *Engine, name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{name: name, capacity: capacity, flows: make(map[*Flow]struct{})}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource capacity in bytes/second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// Load returns the number of flows currently using the resource.
+func (r *Resource) Load() int { return len(r.flows) }
+
+// Flow is an in-progress transfer across a set of resources.
+type Flow struct {
+	resources []*Resource
+	remaining float64
+	rate      float64
+	updatedAt float64
+	waiter    *Proc
+	cancelEv  func()
+}
+
+// Transfer moves size bytes across the given resources (its rate is the
+// max-min fair share of the most contended one) and blocks until complete.
+// A transfer across zero resources or of zero bytes completes immediately.
+func (p *Proc) Transfer(size float64, resources ...*Resource) {
+	if size <= 0 || len(resources) == 0 {
+		return
+	}
+	e := p.eng
+	f := &Flow{resources: resources, remaining: size, updatedAt: e.now, waiter: p}
+	e.flows[f] = struct{}{}
+	for _, r := range resources {
+		r.flows[f] = struct{}{}
+	}
+	e.reallocate()
+	p.block()
+}
+
+// finishFlow removes f from the system and wakes its waiter.
+func (e *Engine) finishFlow(f *Flow) {
+	delete(e.flows, f)
+	for _, r := range f.resources {
+		delete(r.flows, f)
+	}
+	waiter := f.waiter
+	e.reallocate()
+	e.step(waiter)
+}
+
+// reallocate recomputes max-min fair rates for every active flow and
+// reschedules completion events. Called whenever the flow set changes.
+func (e *Engine) reallocate() {
+	if len(e.flows) == 0 {
+		return
+	}
+	// Settle progress accrued at the old rates.
+	for f := range e.flows {
+		f.remaining -= f.rate * (e.now - f.updatedAt)
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.updatedAt = e.now
+		if f.cancelEv != nil {
+			f.cancelEv()
+			f.cancelEv = nil
+		}
+	}
+
+	// Progressive filling: repeatedly find the bottleneck resource, fix the
+	// fair share of its unfrozen flows, and remove them from consideration.
+	// Residual capacity and unfrozen-flow counts are maintained
+	// incrementally so each filling iteration is O(resources), not
+	// O(resources x flows).
+	unfrozen := make(map[*Flow]struct{}, len(e.flows))
+	for f := range e.flows {
+		unfrozen[f] = struct{}{}
+		f.rate = 0
+	}
+	residual := make(map[*Resource]float64)
+	unfrozenOn := make(map[*Resource]int)
+	resList := make([]*Resource, 0, 64)
+	for f := range e.flows {
+		for _, r := range f.resources {
+			if _, ok := residual[r]; !ok {
+				residual[r] = r.capacity
+				resList = append(resList, r)
+			}
+			unfrozenOn[r]++
+		}
+	}
+	// Deterministic iteration order.
+	sort.Slice(resList, func(i, j int) bool { return resList[i].name < resList[j].name })
+	for len(unfrozen) > 0 {
+		bottleneckShare := math.Inf(1)
+		var bottleneck *Resource
+		for _, r := range resList {
+			n := unfrozenOn[r]
+			if n == 0 {
+				continue
+			}
+			share := residual[r] / float64(n)
+			if share < bottleneckShare {
+				bottleneckShare = share
+				bottleneck = r
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		for f := range bottleneck.flows {
+			if _, ok := unfrozen[f]; !ok {
+				continue
+			}
+			f.rate = bottleneckShare
+			delete(unfrozen, f)
+			for _, r := range f.resources {
+				residual[r] -= bottleneckShare
+				if residual[r] < 0 {
+					residual[r] = 0
+				}
+				unfrozenOn[r]--
+			}
+		}
+	}
+
+	// Schedule completion events at the new rates.
+	for f := range e.flows {
+		f := f
+		if f.rate <= 0 {
+			// A flow starved by zero residual capacity would deadlock the
+			// run; give it a vanishing rate so it still completes.
+			f.rate = 1e-9
+		}
+		eta := e.now + f.remaining/f.rate
+		f.cancelEv = e.schedule(eta, func() { e.finishFlow(f) })
+	}
+}

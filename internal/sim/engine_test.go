@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+const eps = 1e-6
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-4 }
+
+func TestWaitAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var tick float64
+	e.Go("waiter", func(p *Proc) {
+		p.Wait(1.5)
+		tick = p.Now()
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tick, 1.5) || !almostEqual(end, 1.5) {
+		t.Errorf("tick=%v end=%v, want 1.5", tick, end)
+	}
+}
+
+func TestZeroAndNegativeWait(t *testing.T) {
+	e := NewEngine()
+	e.Go("p", func(p *Proc) {
+		p.Wait(0)
+		p.Wait(-3)
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 0 {
+		t.Errorf("end = %v, want 0", end)
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		for _, name := range []string{"a", "b", "c", "d"} {
+			name := name
+			e.Go(name, func(p *Proc) {
+				p.Wait(1) // all fire at the same virtual instant
+				order = append(order, name)
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); !equalStrings(got, first) {
+			t.Fatalf("run %d order %v != %v", i, got, first)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSingleTransferRate(t *testing.T) {
+	e := NewEngine()
+	disk := NewResource(e, "disk", 100) // 100 B/s
+	e.Go("writer", func(p *Proc) {
+		p.Transfer(250, disk)
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(end, 2.5) {
+		t.Errorf("end = %v, want 2.5", end)
+	}
+}
+
+func TestFairSharingTwoFlows(t *testing.T) {
+	// Two equal flows on one resource: each gets half the bandwidth, both
+	// finish at the same time = 2 * size / capacity.
+	e := NewEngine()
+	disk := NewResource(e, "disk", 100)
+	var finish []float64
+	for i := 0; i < 2; i++ {
+		e.Go("w", func(p *Proc) {
+			p.Transfer(100, disk)
+			finish = append(finish, p.Now())
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range finish {
+		if !almostEqual(f, 2.0) {
+			t.Errorf("finish = %v, want 2.0", finish)
+		}
+	}
+}
+
+func TestShortFlowReleasesBandwidth(t *testing.T) {
+	// Flow A: 300 bytes. Flow B: 100 bytes, starts together. Capacity 100.
+	// Phase 1: both at 50 B/s until B finishes at t=2 (B moved 100).
+	// Phase 2: A alone at 100 B/s, 200 bytes left -> finishes at t=4.
+	e := NewEngine()
+	disk := NewResource(e, "disk", 100)
+	var aEnd, bEnd float64
+	e.Go("a", func(p *Proc) {
+		p.Transfer(300, disk)
+		aEnd = p.Now()
+	})
+	e.Go("b", func(p *Proc) {
+		p.Transfer(100, disk)
+		bEnd = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(bEnd, 2.0) {
+		t.Errorf("bEnd = %v, want 2.0", bEnd)
+	}
+	if !almostEqual(aEnd, 4.0) {
+		t.Errorf("aEnd = %v, want 4.0", aEnd)
+	}
+}
+
+func TestMultiResourceBottleneck(t *testing.T) {
+	// A flow crossing a fast NIC (1000 B/s) and a slow disk (10 B/s) is
+	// limited by the disk.
+	e := NewEngine()
+	nic := NewResource(e, "nic", 1000)
+	disk := NewResource(e, "disk", 10)
+	e.Go("f", func(p *Proc) {
+		p.Transfer(100, nic, disk)
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(end, 10.0) {
+		t.Errorf("end = %v, want 10", end)
+	}
+}
+
+func TestMaxMinUnevenShares(t *testing.T) {
+	// Flow X uses only resource R1 (cap 100). Flows Y and Z use R1 and R2
+	// (cap 30). Max-min: Y and Z bottlenecked by R2 at 15 each; X gets the
+	// R1 residual, 100-30=70.
+	e := NewEngine()
+	r1 := NewResource(e, "r1", 100)
+	r2 := NewResource(e, "r2", 30)
+	var xEnd float64
+	e.Go("x", func(p *Proc) {
+		p.Transfer(70, r1) // at 70 B/s -> 1s if shares hold
+		xEnd = p.Now()
+	})
+	e.Go("y", func(p *Proc) { p.Transfer(1500, r1, r2) })
+	e.Go("z", func(p *Proc) { p.Transfer(1500, r1, r2) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(xEnd, 1.0) {
+		t.Errorf("xEnd = %v, want 1.0 (rate 70)", xEnd)
+	}
+}
+
+func TestNFlowsScaling(t *testing.T) {
+	// n identical flows on one resource all finish at n*size/cap.
+	for _, n := range []int{1, 4, 16, 64} {
+		e := NewEngine()
+		disk := NewResource(e, "disk", 1000)
+		var ends []float64
+		for i := 0; i < n; i++ {
+			e.Go("w", func(p *Proc) {
+				p.Transfer(500, disk)
+				ends = append(ends, p.Now())
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := float64(n) * 500 / 1000
+		for _, g := range ends {
+			if !almostEqual(g, want) {
+				t.Errorf("n=%d: end=%v want %v", n, g, want)
+			}
+		}
+	}
+}
+
+func TestSignal(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var woke []float64
+	for i := 0; i < 3; i++ {
+		e.Go("waiter", func(p *Proc) {
+			s.Wait(p)
+			woke = append(woke, p.Now())
+		})
+	}
+	e.Go("firer", func(p *Proc) {
+		p.Wait(5)
+		s.Fire()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(woke))
+	}
+	for _, w := range woke {
+		if !almostEqual(w, 5) {
+			t.Errorf("woke at %v, want 5", w)
+		}
+	}
+	// Waiting on a fired signal returns immediately.
+	e2 := NewEngine()
+	s2 := NewSignal(e2)
+	s2.Fire()
+	e2.Go("late", func(p *Proc) {
+		s2.Wait(p)
+		if p.Now() != 0 {
+			t.Error("late waiter blocked on fired signal")
+		}
+	})
+	if _, err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e, 3)
+	var end float64
+	for i := 1; i <= 3; i++ {
+		d := float64(i)
+		e.Go("worker", func(p *Proc) {
+			p.Wait(d)
+			wg.Done()
+		})
+	}
+	e.Go("joiner", func(p *Proc) {
+		wg.Wait(p)
+		end = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(end, 3) {
+		t.Errorf("join at %v, want 3", end)
+	}
+}
+
+func TestWaitGroupZero(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e, 0)
+	e.Go("j", func(p *Proc) { wg.Wait(p) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	// 4 jobs of 1s each through a 2-permit semaphore: finish at 1,1,2,2.
+	e := NewEngine()
+	sem := NewSemaphore(e, 2)
+	var ends []float64
+	for i := 0; i < 4; i++ {
+		e.Go("job", func(p *Proc) {
+			sem.Acquire(p)
+			p.Wait(1)
+			sem.Release()
+			ends = append(ends, p.Now())
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(ends)
+	want := []float64{1, 1, 2, 2}
+	for i := range want {
+		if !almostEqual(ends[i], want[i]) {
+			t.Errorf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	e.Go("stuck", func(p *Proc) { s.Wait(p) })
+	if _, err := e.Run(); err == nil {
+		t.Error("Run returned nil error for a deadlocked simulation")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	e := NewEngine()
+	e.SetDeadline(10)
+	e.Go("slow", func(p *Proc) { p.Wait(100) })
+	if _, err := e.Run(); err == nil {
+		t.Error("Run did not report deadline exceeded")
+	}
+}
+
+func TestZeroTransferCompletesInstantly(t *testing.T) {
+	e := NewEngine()
+	disk := NewResource(e, "disk", 10)
+	e.Go("p", func(p *Proc) {
+		p.Transfer(0, disk)
+		p.Transfer(5) // no resources
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 0 {
+		t.Errorf("end = %v, want 0", end)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := NewEngine()
+	disk := NewResource(e, "disk", 100)
+	var childEnd float64
+	e.Go("parent", func(p *Proc) {
+		p.Wait(1)
+		wg := NewWaitGroup(e, 1)
+		e.Go("child", func(c *Proc) {
+			c.Transfer(100, disk)
+			childEnd = c.Now()
+			wg.Done()
+		})
+		wg.Wait(p)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(childEnd, 2.0) {
+		t.Errorf("childEnd = %v, want 2.0", childEnd)
+	}
+}
+
+func TestResourceAccessors(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "d0", 55e6)
+	if r.Name() != "d0" || r.Capacity() != 55e6 || r.Load() != 0 {
+		t.Errorf("accessors wrong: %q %v %d", r.Name(), r.Capacity(), r.Load())
+	}
+}
+
+func TestConvergenceManyPhases(t *testing.T) {
+	// Staggered arrivals: flows arriving at t=0,1,2 on a cap-100 resource,
+	// each 300 bytes. Verifies settlement across several reallocations:
+	// total bytes = 900, so the last finish must be >= 9s; and conservation
+	// holds: sum of bytes equals capacity * integral of utilization.
+	e := NewEngine()
+	disk := NewResource(e, "disk", 100)
+	var last float64
+	for i := 0; i < 3; i++ {
+		d := float64(i)
+		e.Go("w", func(p *Proc) {
+			p.Wait(d)
+			p.Transfer(300, disk)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if last < 9-eps {
+		t.Errorf("last finish %v < 9 violates capacity conservation", last)
+	}
+	if last > 9+0.001 {
+		t.Errorf("last finish %v > 9: resource idled while work remained", last)
+	}
+}

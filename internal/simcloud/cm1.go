@@ -1,0 +1,51 @@
+package simcloud
+
+// CM1 workload geometry (Section 4.4): quad-core VM instances hosting 4 MPI
+// processes each, weak scaling with 50x50 subdomains. The per-process state
+// sizes are set so the per-VM snapshot sizes land on Table 1.
+type CM1Params struct {
+	ProcsPerVM       int
+	AppStatePerProc  float64 // prognostic fields dumped by CM1's own writer
+	BlcrStatePerProc float64 // full process image (fields + work arrays + code)
+	// SyncFactor scales the coordination cost: CM1's ranks take longer to
+	// drain channels than the synthetic benchmark (halo traffic in flight).
+	SyncFactor float64
+}
+
+// DefaultCM1 returns the calibrated CM1 workload.
+func DefaultCM1() CM1Params {
+	return CM1Params{
+		ProcsPerVM:       4,
+		AppStatePerProc:  9.8 * MB,
+		BlcrStatePerProc: 28.3 * MB,
+		SyncFactor:       1.6,
+	}
+}
+
+// stateBytesPerVM returns the application state per VM for the approach.
+func (c CM1Params) stateBytesPerVM(a Approach) float64 {
+	if a.IsBlcr() {
+		// blcr dumps the whole process image; DumpBytes adds only the
+		// small per-dump overhead, so fold the full image size here.
+		return float64(c.ProcsPerVM) * c.BlcrStatePerProc
+	}
+	return float64(c.ProcsPerVM) * c.AppStatePerProc
+}
+
+// CM1SnapshotBytes returns the per-VM disk snapshot size (Table 1).
+func CM1SnapshotBytes(p Params, c CM1Params, a Approach) float64 {
+	return p.SnapshotBytes(a, c.stateBytesPerVM(a), c.ProcsPerVM)
+}
+
+// CM1CheckpointTime returns the global checkpoint completion time for
+// nProcs MPI processes (nProcs/ProcsPerVM instances), Figure 6.
+func CM1CheckpointTime(p Params, c CM1Params, a Approach, nProcs int) float64 {
+	nVMs := nProcs / c.ProcsPerVM
+	if nVMs < 1 {
+		nVMs = 1
+	}
+	q := p
+	q.DrainBase *= c.SyncFactor
+	q.DrainPerProc *= c.SyncFactor
+	return CheckpointTime(q, a, nVMs, c.stateBytesPerVM(a), c.ProcsPerVM)
+}

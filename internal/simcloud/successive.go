@@ -1,0 +1,72 @@
+package simcloud
+
+// SuccessiveResult is one row of the Figure 5 experiment.
+type SuccessiveResult struct {
+	Round        int
+	TimeSeconds  float64
+	StorageBytes float64 // cumulative persistent storage used
+}
+
+// SuccessiveCheckpoints models Figure 5: one VM, `rounds` checkpoints of
+// the same stateBytes buffer (refilled with fresh data each round, so every
+// round dirties stateBytes anew). Returns per-round completion time and
+// cumulative storage.
+//
+// The mechanisms:
+//
+//   - BlobCR commits only the delta since the last snapshot, so time is
+//     flat and storage grows by ~stateBytes per round;
+//   - qcow2-disk must copy the whole local qcow2 file, which grows by
+//     ~stateBytes every round (the guest file system allocates fresh blocks
+//     for each dump), and every copy becomes a separate PVFS file, so
+//     storage accumulates duplicated content;
+//   - qcow2-full appends an internal snapshot (vmstate) to the image and
+//     copies the whole grown image; only the latest image file needs to be
+//     kept, so storage grows linearly but from a much larger base.
+func SuccessiveCheckpoints(p Params, a Approach, rounds int, stateBytes float64) []SuccessiveResult {
+	out := make([]SuccessiveResult, 0, rounds)
+	dump := p.DumpBytes(a, stateBytes)
+	dumpTime := dump / p.DiskBW
+	var cumStorage float64
+
+	for r := 1; r <= rounds; r++ {
+		var t, storage float64
+		switch a {
+		case BlobCRApp, BlobCRBlcr:
+			// Incremental: the delta is the rewritten state (+ OS noise on
+			// the first round).
+			delta := p.SnapshotBytes(a, stateBytes, 1)
+			if r > 1 {
+				delta -= p.BlobNoiseBytes()
+			}
+			reqs := delta / p.ChunkSize * p.MetaOpsPerChunk
+			t = dumpTime + p.CommitBaseTime + delta/p.BlobCommitRate + reqs*p.MetaSvcTime/float64(p.MetaProviders) + p.VMSuspendResume
+			cumStorage += delta
+			storage = cumStorage
+
+		case Qcow2DiskApp, Qcow2DiskBlcr:
+			// The local image holds every round's dump so far.
+			file := float64(r)*p.SnapshotBytes(a, stateBytes, 1) - float64(r-1)*p.Qcow2NoiseBytes()
+			reqs := file / p.ChunkSize
+			if a == Qcow2DiskBlcr {
+				reqs *= p.OpsFactorBlcr
+			}
+			svc := reqs * p.PVFSSvcTime / float64(p.PVFSServers)
+			t = dumpTime + file/p.PVFSCopyRate + svc + p.VMSuspendResume
+			cumStorage += file // each copy is a separate PVFS file
+			storage = cumStorage
+
+		case Qcow2Full:
+			// The image accumulates one vmstate per snapshot plus the
+			// dirtied disk content; only the latest image is kept.
+			vmstate := p.VMStateBytes(stateBytes)
+			file := stateBytes + p.Qcow2NoiseBytes() + float64(r)*vmstate
+			reqs := vmstate/p.VMStatePage + (file-vmstate)/p.ChunkSize
+			svc := reqs * p.PVFSSvcTime / float64(p.PVFSServers)
+			t = vmstate/p.SavevmRate + file/p.PVFSCopyRate + svc + p.VMSuspendResume
+			storage = file
+		}
+		out = append(out, SuccessiveResult{Round: r, TimeSeconds: t, StorageBytes: storage})
+	}
+	return out
+}

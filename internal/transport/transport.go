@@ -1,0 +1,303 @@
+// Package transport provides the request/response messaging substrate used
+// by the BlobSeer service, the PVFS baseline and the checkpointing proxy.
+//
+// A Network binds handlers to addresses and issues calls to them. Two
+// implementations are provided: an in-process network (for tests, examples
+// and single-machine deployments) and a TCP network (for the real daemons in
+// cmd/). Services are written once against the Network interface.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"blobcr/internal/wire"
+)
+
+// Handler processes one request and returns the response payload.
+// Returning an error sends a remote error to the caller.
+type Handler func(req []byte) ([]byte, error)
+
+// ErrUnreachable is returned by Call when no service is bound at the address.
+var ErrUnreachable = errors.New("transport: address unreachable")
+
+// RemoteError is an application-level error returned by a remote handler.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// Network binds services to addresses and routes calls between them.
+type Network interface {
+	// Listen binds h to addr. If addr is empty an address is assigned.
+	// The returned Server reports the bound address and stops the service
+	// when closed.
+	Listen(addr string, h Handler) (Server, error)
+	// Call sends req to the service at addr and returns its response.
+	Call(addr string, req []byte) ([]byte, error)
+}
+
+// Server is a bound service endpoint.
+type Server interface {
+	Addr() string
+	Close() error
+}
+
+// --- In-process network ---
+
+// InProc is an in-process Network: calls are direct function invocations.
+// It is safe for concurrent use. A fresh InProc is an isolated namespace,
+// so tests do not interfere with one another.
+type InProc struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	nextAuto int
+	// PartitionedAddrs simulates fail-stop node failures: calls to these
+	// addresses fail with ErrUnreachable.
+	partitioned map[string]bool
+}
+
+// NewInProc returns an empty in-process network.
+func NewInProc() *InProc {
+	return &InProc{
+		handlers:    make(map[string]Handler),
+		partitioned: make(map[string]bool),
+	}
+}
+
+type inprocServer struct {
+	n    *InProc
+	addr string
+}
+
+func (s *inprocServer) Addr() string { return s.addr }
+func (s *inprocServer) Close() error {
+	s.n.mu.Lock()
+	defer s.n.mu.Unlock()
+	delete(s.n.handlers, s.addr)
+	return nil
+}
+
+// Listen implements Network.
+func (n *InProc) Listen(addr string, h Handler) (Server, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" {
+		n.nextAuto++
+		addr = fmt.Sprintf("inproc-%d", n.nextAuto)
+	}
+	if _, exists := n.handlers[addr]; exists {
+		return nil, fmt.Errorf("transport: address %q already bound", addr)
+	}
+	n.handlers[addr] = h
+	return &inprocServer{n: n, addr: addr}, nil
+}
+
+// Call implements Network.
+func (n *InProc) Call(addr string, req []byte) ([]byte, error) {
+	n.mu.RLock()
+	h, ok := n.handlers[addr]
+	dead := n.partitioned[addr]
+	n.mu.RUnlock()
+	if !ok || dead {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+	}
+	resp, err := h(req)
+	if err != nil {
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+// Partition makes addr unreachable (fail-stop failure injection).
+func (n *InProc) Partition(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[addr] = true
+}
+
+// Heal makes addr reachable again.
+func (n *InProc) Heal(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned, addr)
+}
+
+// --- TCP network ---
+
+// TCP is a Network over real TCP sockets. Requests and responses are framed
+// with a 4-byte length prefix; the first response byte is a status code
+// (0 = ok, 1 = remote error with a UTF-8 message payload).
+type TCP struct {
+	mu    sync.Mutex
+	conns map[string][]net.Conn // idle connection pool per address
+}
+
+// NewTCP returns a TCP network with an empty connection pool.
+func NewTCP() *TCP {
+	return &TCP{conns: make(map[string][]net.Conn)}
+}
+
+type tcpServer struct {
+	ln     net.Listener
+	wg     sync.WaitGroup
+	once   sync.Once
+	mu     sync.Mutex
+	active map[net.Conn]struct{}
+	closed bool
+}
+
+func (s *tcpServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, force-closes every open connection (clients may
+// hold idle pooled connections indefinitely) and waits for handlers to exit.
+func (s *tcpServer) Close() error {
+	var err error
+	s.once.Do(func() {
+		err = s.ln.Close()
+		s.mu.Lock()
+		s.closed = true
+		for c := range s.active {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}
+
+// track registers conn; it reports false if the server is already closed.
+func (s *tcpServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.active[conn] = struct{}{}
+	return true
+}
+
+func (s *tcpServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.active, conn)
+}
+
+// Listen implements Network. An empty addr binds to 127.0.0.1 on an
+// ephemeral port.
+func (t *TCP) Listen(addr string, h Handler) (Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	srv := &tcpServer{ln: ln, active: make(map[net.Conn]struct{})}
+	srv.wg.Add(1)
+	go func() {
+		defer srv.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			if !srv.track(conn) {
+				conn.Close()
+				return
+			}
+			srv.wg.Add(1)
+			go func() {
+				defer srv.wg.Done()
+				defer srv.untrack(conn)
+				serveConn(conn, h)
+			}()
+		}
+	}()
+	return srv, nil
+}
+
+func serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	for {
+		req, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		resp, herr := h(req)
+		out := make([]byte, 0, len(resp)+1)
+		if herr != nil {
+			out = append(out, 1)
+			out = append(out, herr.Error()...)
+		} else {
+			out = append(out, 0)
+			out = append(out, resp...)
+		}
+		if err := wire.WriteFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// Call implements Network. Connections are pooled and reused.
+func (t *TCP) Call(addr string, req []byte) ([]byte, error) {
+	conn, err := t.getConn(addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	if err := wire.WriteFrame(conn, req); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: call %s: %w", addr, err)
+	}
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: call %s: %w", addr, err)
+	}
+	t.putConn(addr, conn)
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("transport: call %s: empty response frame", addr)
+	}
+	if frame[0] == 1 {
+		return nil, &RemoteError{Msg: string(frame[1:])}
+	}
+	return frame[1:], nil
+}
+
+func (t *TCP) getConn(addr string) (net.Conn, error) {
+	t.mu.Lock()
+	pool := t.conns[addr]
+	if n := len(pool); n > 0 {
+		conn := pool[n-1]
+		t.conns[addr] = pool[:n-1]
+		t.mu.Unlock()
+		return conn, nil
+	}
+	t.mu.Unlock()
+	return net.Dial("tcp", addr)
+}
+
+func (t *TCP) putConn(addr string, conn net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	const maxIdlePerAddr = 8
+	if len(t.conns[addr]) >= maxIdlePerAddr {
+		conn.Close()
+		return
+	}
+	t.conns[addr] = append(t.conns[addr], conn)
+}
+
+// Close closes all pooled connections.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for addr, pool := range t.conns {
+		for _, c := range pool {
+			c.Close()
+		}
+		delete(t.conns, addr)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// echoUpper is a trivial handler used across tests.
+func echoUpper(req []byte) ([]byte, error) {
+	out := make([]byte, len(req))
+	for i, b := range req {
+		if 'a' <= b && b <= 'z' {
+			b -= 'a' - 'A'
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+func failing(req []byte) ([]byte, error) {
+	return nil, errors.New("boom")
+}
+
+func testNetworkBasics(t *testing.T, n Network) {
+	t.Helper()
+	srv, err := n.Listen("", echoUpper)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	resp, err := n.Call(srv.Addr(), []byte("hello"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(resp) != "HELLO" {
+		t.Errorf("resp = %q, want HELLO", resp)
+	}
+
+	// Empty request and response round-trip.
+	resp, err = n.Call(srv.Addr(), nil)
+	if err != nil {
+		t.Fatalf("Call empty: %v", err)
+	}
+	if len(resp) != 0 {
+		t.Errorf("empty call resp = %q", resp)
+	}
+}
+
+func testNetworkRemoteError(t *testing.T, n Network) {
+	t.Helper()
+	srv, err := n.Listen("", failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, err = n.Call(srv.Addr(), []byte("x"))
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Msg != "boom" {
+		t.Errorf("remote msg = %q, want boom", re.Msg)
+	}
+}
+
+func testNetworkUnreachable(t *testing.T, n Network, badAddr string) {
+	t.Helper()
+	if _, err := n.Call(badAddr, []byte("x")); err == nil {
+		t.Error("Call to unbound address succeeded")
+	}
+}
+
+func testNetworkConcurrency(t *testing.T, n Network) {
+	t.Helper()
+	srv, err := n.Listen("", echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			want := []byte(fmt.Sprintf("MSG-%d", i))
+			resp, err := n.Call(srv.Addr(), msg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(resp, want) {
+				errs <- fmt.Errorf("resp %q want %q", resp, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestInProcBasics(t *testing.T)      { testNetworkBasics(t, NewInProc()) }
+func TestInProcRemoteError(t *testing.T) { testNetworkRemoteError(t, NewInProc()) }
+func TestInProcUnreachable(t *testing.T) {
+	testNetworkUnreachable(t, NewInProc(), "nowhere")
+}
+func TestInProcConcurrency(t *testing.T) { testNetworkConcurrency(t, NewInProc()) }
+
+func TestTCPBasics(t *testing.T)      { testNetworkBasics(t, NewTCP()) }
+func TestTCPRemoteError(t *testing.T) { testNetworkRemoteError(t, NewTCP()) }
+func TestTCPUnreachable(t *testing.T) {
+	testNetworkUnreachable(t, NewTCP(), "127.0.0.1:1") // port 1: nothing listens
+}
+func TestTCPConcurrency(t *testing.T) { testNetworkConcurrency(t, NewTCP()) }
+
+func TestInProcDuplicateBind(t *testing.T) {
+	n := NewInProc()
+	if _, err := n.Listen("a", echoUpper); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a", echoUpper); err == nil {
+		t.Error("duplicate bind succeeded")
+	}
+}
+
+func TestInProcCloseUnbinds(t *testing.T) {
+	n := NewInProc()
+	srv, err := n.Listen("svc", echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("svc", nil); err == nil {
+		t.Error("Call after Close succeeded")
+	}
+	// Address can be rebound after close.
+	if _, err := n.Listen("svc", echoUpper); err != nil {
+		t.Errorf("rebind after close: %v", err)
+	}
+}
+
+func TestInProcPartition(t *testing.T) {
+	n := NewInProc()
+	srv, err := n.Listen("node1", echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	n.Partition("node1")
+	if _, err := n.Call("node1", []byte("x")); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("partitioned call err = %v, want ErrUnreachable", err)
+	}
+	n.Heal("node1")
+	if _, err := n.Call("node1", []byte("x")); err != nil {
+		t.Errorf("healed call err = %v", err)
+	}
+}
+
+func TestTCPConnReuse(t *testing.T) {
+	n := NewTCP()
+	defer n.Close()
+	srv, err := n.Listen("", echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Sequential calls reuse the pooled connection.
+	for i := 0; i < 10; i++ {
+		if _, err := n.Call(srv.Addr(), []byte("ping")); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	n.mu.Lock()
+	idle := len(n.conns[srv.Addr()])
+	n.mu.Unlock()
+	if idle != 1 {
+		t.Errorf("idle pool size = %d, want 1 (connection reuse broken)", idle)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	n := NewTCP()
+	defer n.Close()
+	srv, err := n.Listen("", func(req []byte) ([]byte, error) { return req, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	payload := make([]byte, 1<<20) // 1 MiB
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	resp, err := n.Call(srv.Addr(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, payload) {
+		t.Error("large payload corrupted in transit")
+	}
+}
+
+func TestTCPServerCloseStopsService(t *testing.T) {
+	n := NewTCP()
+	defer n.Close()
+	srv, err := n.Listen("", echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if _, err := n.Call(addr, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n.Close() // drop pooled connections so the next call must redial
+	if _, err := n.Call(addr, []byte("a")); err == nil {
+		t.Error("Call succeeded after server close")
+	}
+}

@@ -1,0 +1,209 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"blobcr/internal/blcr"
+	"blobcr/internal/vdisk"
+)
+
+func newInstance(t *testing.T) *Instance {
+	t.Helper()
+	disk := vdisk.NewMem(4 << 20)
+	return New("vm-0", disk, Config{OSOverheadBytes: 100_000, BootNoiseBytes: 32 * 1024, BlockSize: 512})
+}
+
+func TestLifecycle(t *testing.T) {
+	i := newInstance(t)
+	if i.State() != Stopped {
+		t.Fatalf("initial state = %v", i.State())
+	}
+	if err := i.Suspend(); err == nil {
+		t.Error("Suspend while stopped accepted")
+	}
+	if err := i.Boot(); err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	if i.State() != Running || i.BootCount() != 1 {
+		t.Errorf("after boot: %v, boots=%d", i.State(), i.BootCount())
+	}
+	if err := i.Boot(); err == nil {
+		t.Error("double Boot accepted")
+	}
+	if err := i.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := i.Suspend(); err == nil {
+		t.Error("double Suspend accepted")
+	}
+	if err := i.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := i.Resume(); err == nil {
+		t.Error("Resume while running accepted")
+	}
+	i.Kill()
+	if i.State() != Stopped || i.FS() != nil {
+		t.Error("Kill did not stop the instance")
+	}
+}
+
+func TestBootWritesOSNoise(t *testing.T) {
+	i := newInstance(t)
+	if err := i.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	fs := i.FS()
+	entries, err := fs.ReadDir("/var/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Errorf("boot wrote %d log files, want 4", len(entries))
+	}
+	var total uint64
+	for _, e := range entries {
+		total += e.Size
+	}
+	if total < 30*1024 {
+		t.Errorf("boot noise = %d bytes, want ~32K", total)
+	}
+	conf, err := fs.ReadFile("/etc/hostname.conf")
+	if err != nil || len(conf) == 0 {
+		t.Errorf("hostname.conf: %v", err)
+	}
+}
+
+func TestRebootPreservesDiskState(t *testing.T) {
+	i := newInstance(t)
+	if err := i.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	i.FS().WriteFile("/data", []byte("survives"))
+	i.Kill()
+	if err := i.Boot(); err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	got, err := i.FS().ReadFile("/data")
+	if err != nil || string(got) != "survives" {
+		t.Errorf("data after reboot: %q, %v", got, err)
+	}
+	if i.BootCount() != 2 {
+		t.Errorf("BootCount = %d", i.BootCount())
+	}
+}
+
+func TestProcessRegistry(t *testing.T) {
+	i := newInstance(t)
+	p := blcr.NewProcess(42)
+	if err := i.AddProcess(p); err == nil {
+		t.Error("AddProcess on stopped instance accepted")
+	}
+	i.Boot()
+	if err := i.AddProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := i.Process(42)
+	if !ok || got != p {
+		t.Error("Process lookup failed")
+	}
+	if pids := i.Processes(); len(pids) != 1 || pids[0] != 42 {
+		t.Errorf("Processes = %v", pids)
+	}
+}
+
+func TestSaveVMRequiresSuspend(t *testing.T) {
+	i := newInstance(t)
+	i.Boot()
+	if _, err := i.SaveVM(); err == nil {
+		t.Error("SaveVM while running accepted")
+	}
+}
+
+func TestSaveVMSizeIncludesOSOverheadAndProcesses(t *testing.T) {
+	i := newInstance(t)
+	i.Boot()
+	p := blcr.NewProcess(1)
+	p.Alloc("data", 50_000)
+	i.AddProcess(p)
+	i.Suspend()
+	state, err := i.SaveVM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The savevm blob must carry both the OS overhead (100 KB) and the
+	// process arenas (50 KB) — the full-VM penalty the paper measures.
+	if len(state) < 150_000 {
+		t.Errorf("savevm blob = %d bytes, want >= 150000", len(state))
+	}
+}
+
+func TestSaveLoadVMRoundTrip(t *testing.T) {
+	disk := vdisk.NewMem(4 << 20)
+	i := New("vm-rt", disk, Config{OSOverheadBytes: 10_000, BootNoiseBytes: 8192, BlockSize: 512})
+	if err := i.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	p := blcr.NewProcess(7)
+	data := p.Alloc("heap", 1000)
+	for j := range data {
+		data[j] = byte(j)
+	}
+	p.SetRegisters(blcr.Registers{PC: 1234})
+	i.AddProcess(p)
+	i.FS().WriteFile("/progress", []byte("iteration 10"))
+	i.Suspend()
+	state, err := i.SaveVM()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh instance over the same disk (savevm resume does
+	// not reboot).
+	j := New("other", disk, Config{})
+	if err := j.LoadVM(state); err != nil {
+		t.Fatalf("LoadVM: %v", err)
+	}
+	if j.ID() != "vm-rt" {
+		t.Errorf("restored id = %q", j.ID())
+	}
+	if j.State() != Suspended {
+		t.Errorf("restored state = %v", j.State())
+	}
+	if err := j.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	q, ok := j.Process(7)
+	if !ok {
+		t.Fatal("process lost through savevm")
+	}
+	heap, _ := q.Arena("heap")
+	if !bytes.Equal(heap, data) {
+		t.Error("process memory corrupted")
+	}
+	if q.Registers().PC != 1234 {
+		t.Error("registers lost")
+	}
+	got, err := j.FS().ReadFile("/progress")
+	if err != nil || string(got) != "iteration 10" {
+		t.Errorf("guest fs after loadvm: %q, %v", got, err)
+	}
+	// No reboot happened.
+	if j.BootCount() != 1 {
+		t.Errorf("BootCount = %d, want 1 (savevm resume must not reboot)", j.BootCount())
+	}
+}
+
+func TestLoadVMRejectsGarbage(t *testing.T) {
+	i := newInstance(t)
+	if err := i.LoadVM([]byte("junk")); err == nil {
+		t.Error("LoadVM accepted garbage")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Stopped.String() != "stopped" || Running.String() != "running" || Suspended.String() != "suspended" {
+		t.Error("State strings wrong")
+	}
+}

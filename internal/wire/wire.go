@@ -1,0 +1,248 @@
+// Package wire provides compact binary encoding helpers shared by the
+// network transports and the on-disk image formats.
+//
+// The encoding is deliberately simple: little-endian fixed-width integers,
+// unsigned varints for lengths, and length-prefixed byte strings. A Buffer
+// accumulates an encoded message; a Reader consumes one. Both sides keep an
+// error latch so call sites can chain puts/gets and check the error once,
+// which keeps protocol code readable.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrTruncated is returned when a Reader runs out of bytes mid-field.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTooLarge is returned when a length prefix exceeds the configured limit.
+var ErrTooLarge = errors.New("wire: field exceeds size limit")
+
+// MaxFieldSize bounds a single length-prefixed field. Checkpoint commits move
+// chunk payloads of at most a few MB each; 1 GiB is far above any legitimate
+// field and small enough to reject corrupt prefixes before allocating.
+const MaxFieldSize = 1 << 30
+
+// Buffer accumulates an encoded message.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer returns a Buffer with the given initial capacity.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{b: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded message. The slice aliases the internal buffer.
+func (w *Buffer) Bytes() []byte { return w.b }
+
+// Len returns the number of encoded bytes.
+func (w *Buffer) Len() int { return len(w.b) }
+
+// Reset truncates the buffer for reuse.
+func (w *Buffer) Reset() { w.b = w.b[:0] }
+
+// PutU8 appends a single byte.
+func (w *Buffer) PutU8(v uint8) { w.b = append(w.b, v) }
+
+// PutU32 appends a little-endian uint32.
+func (w *Buffer) PutU32(v uint32) {
+	w.b = binary.LittleEndian.AppendUint32(w.b, v)
+}
+
+// PutU64 appends a little-endian uint64.
+func (w *Buffer) PutU64(v uint64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, v)
+}
+
+// PutI64 appends a little-endian int64.
+func (w *Buffer) PutI64(v int64) { w.PutU64(uint64(v)) }
+
+// PutUvarint appends an unsigned varint.
+func (w *Buffer) PutUvarint(v uint64) {
+	w.b = binary.AppendUvarint(w.b, v)
+}
+
+// PutBool appends a boolean as one byte.
+func (w *Buffer) PutBool(v bool) {
+	if v {
+		w.PutU8(1)
+	} else {
+		w.PutU8(0)
+	}
+}
+
+// PutF64 appends a float64 as its IEEE-754 bits.
+func (w *Buffer) PutF64(v float64) { w.PutU64(math.Float64bits(v)) }
+
+// PutBytes appends a varint length prefix followed by the bytes.
+func (w *Buffer) PutBytes(p []byte) {
+	w.PutUvarint(uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// PutString appends a varint length prefix followed by the string bytes.
+func (w *Buffer) PutString(s string) {
+	w.PutUvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Reader consumes an encoded message. Methods record the first decode error
+// and return zero values afterwards; check Err once at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over p. The Reader does not copy p.
+func NewReader(p []byte) *Reader { return &Reader{b: p} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// U8 decodes a single byte.
+func (r *Reader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// U32 decodes a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// U64 decodes a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// I64 decodes a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Uvarint decodes an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bool decodes a one-byte boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// F64 decodes an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes decodes a length-prefixed byte string. The returned slice aliases
+// the Reader's backing array.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxFieldSize {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// BytesCopy decodes a length-prefixed byte string into a fresh slice.
+func (r *Reader) BytesCopy() []byte {
+	p := r.Bytes()
+	if p == nil {
+		return nil
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	p := r.Bytes()
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// Frame I/O: a frame is a 4-byte little-endian length followed by that many
+// payload bytes. Used by the TCP transport.
+
+// WriteFrame writes one length-prefixed frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFieldSize {
+		return ErrTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFieldSize {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read frame payload: %w", err)
+	}
+	return payload, nil
+}

@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := NewBuffer(64)
+	w.PutU8(0xAB)
+	w.PutU32(0xDEADBEEF)
+	w.PutU64(1<<63 | 12345)
+	w.PutI64(-42)
+	w.PutUvarint(300)
+	w.PutBool(true)
+	w.PutBool(false)
+	w.PutF64(math.Pi)
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x, want 0xAB", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x, want 0xDEADBEEF", got)
+	}
+	if got := r.U64(); got != 1<<63|12345 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d, want -42", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d, want 300", got)
+	}
+	if got := r.Bool(); !got {
+		t.Error("Bool #1 = false, want true")
+	}
+	if got := r.Bool(); got {
+		t.Error("Bool #2 = true, want false")
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v, want Pi", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestRoundTripBytesAndString(t *testing.T) {
+	w := NewBuffer(0)
+	w.PutBytes([]byte("hello"))
+	w.PutString("world")
+	w.PutBytes(nil)
+	w.PutString("")
+
+	r := NewReader(w.Bytes())
+	if got := r.Bytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("empty Bytes = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestBytesCopyDoesNotAlias(t *testing.T) {
+	w := NewBuffer(0)
+	w.PutBytes([]byte{1, 2, 3})
+	r := NewReader(w.Bytes())
+	got := r.BytesCopy()
+	w.Bytes()[1] = 99 // mutate the backing array
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("BytesCopy aliased the source: %v", got)
+	}
+}
+
+func TestTruncatedReads(t *testing.T) {
+	w := NewBuffer(0)
+	w.PutU64(7)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64()
+		if r.Err() != ErrTruncated {
+			t.Errorf("cut=%d: Err = %v, want ErrTruncated", cut, r.Err())
+		}
+	}
+}
+
+func TestErrorLatchSticks(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U64() // fails
+	if r.Err() != ErrTruncated {
+		t.Fatalf("Err = %v", r.Err())
+	}
+	// Subsequent reads must return zero values and keep the first error.
+	if got := r.U8(); got != 0 {
+		t.Errorf("U8 after error = %d, want 0", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String after error = %q, want empty", got)
+	}
+	if r.Err() != ErrTruncated {
+		t.Errorf("Err changed to %v", r.Err())
+	}
+}
+
+func TestOversizedFieldRejected(t *testing.T) {
+	w := NewBuffer(0)
+	w.PutUvarint(MaxFieldSize + 1)
+	r := NewReader(w.Bytes())
+	if got := r.Bytes(); got != nil {
+		t.Errorf("Bytes = %v, want nil", got)
+	}
+	if r.Err() != ErrTooLarge {
+		t.Errorf("Err = %v, want ErrTooLarge", r.Err())
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("a"), {}, []byte("longer payload \x00 with zeros")}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame #%d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("ReadFrame at end = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("ReadFrame on truncated payload succeeded, want error")
+	}
+}
+
+func TestQuickVarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewBuffer(0)
+		w.PutUvarint(v)
+		r := NewReader(w.Bytes())
+		return r.Uvarint() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(a, b []byte, s string) bool {
+		w := NewBuffer(0)
+		w.PutBytes(a)
+		w.PutString(s)
+		w.PutBytes(b)
+		r := NewReader(w.Bytes())
+		ga := r.BytesCopy()
+		gs := r.String()
+		gb := r.BytesCopy()
+		return bytes.Equal(ga, a) && gs == s && bytes.Equal(gb, b) && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMixedSequence(t *testing.T) {
+	f := func(u8 uint8, u32 uint32, u64 uint64, i64 int64, bl bool, fv float64, bs []byte) bool {
+		if math.IsNaN(fv) {
+			fv = 0 // NaN != NaN; encoding is still exact but comparison is not
+		}
+		w := NewBuffer(0)
+		w.PutU8(u8)
+		w.PutU32(u32)
+		w.PutU64(u64)
+		w.PutI64(i64)
+		w.PutBool(bl)
+		w.PutF64(fv)
+		w.PutBytes(bs)
+		r := NewReader(w.Bytes())
+		ok := r.U8() == u8 && r.U32() == u32 && r.U64() == u64 &&
+			r.I64() == i64 && r.Bool() == bl && r.F64() == fv &&
+			bytes.Equal(r.BytesCopy(), bs)
+		return ok && r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	w := NewBuffer(8)
+	w.PutU64(1)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Errorf("Len after Reset = %d", w.Len())
+	}
+	w.PutU8(5)
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 5 {
+		t.Errorf("after reset U8 = %d", got)
+	}
+}
