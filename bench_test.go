@@ -97,6 +97,17 @@ func BenchmarkFig5bSuccessiveSpace(b *testing.B) {
 	b.ReportMetric(r.Values[4], "qcow2-full_MB@4")
 }
 
+func BenchmarkFig5cSuccessiveDedup(b *testing.B) {
+	var s bench.Series
+	for i := 0; i < b.N; i++ {
+		s = bench.Fig5cSuccessiveDedup(params)
+	}
+	r := last(s)
+	b.ReportMetric(r.Values[0], "logical_MB@4")
+	b.ReportMetric(r.Values[2], "storage_MB@4")
+	b.ReportMetric(r.Values[3], "hit_rate_pct@4")
+}
+
 func BenchmarkTable1CM1SnapshotSize(b *testing.B) {
 	var s bench.Series
 	for i := 0; i < b.N; i++ {

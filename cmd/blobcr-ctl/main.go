@@ -1,13 +1,19 @@
 // Command blobcr-ctl is the cloud client's tool for manipulating disk
 // images in the checkpoint repository: upload and download images, list
-// blobs and versions, clone images, and inspect the file system inside a
-// snapshot (the paper's standalone-checkpoint-inspection scenario).
+// blobs and versions, clone images, inspect the file system inside a
+// snapshot (the paper's standalone-checkpoint-inspection scenario), and
+// report the content-addressed repository's deduplication counters.
 //
 //	blobcr-ctl -vmanager ... -pmanager ... -meta ... upload  base.raw
 //	blobcr-ctl ... list
 //	blobcr-ctl ... download <blob> <version> out.raw
 //	blobcr-ctl ... clone    <blob> <version>
 //	blobcr-ctl ... inspect  <blob> <version> [path]
+//	blobcr-ctl ... stats
+//
+// With -dedup, uploads go through the content-addressed repository
+// (internal/cas): chunk bodies the repository already holds are neither
+// stored again nor shipped over the network.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 	pmAddr := flag.String("pmanager", "", "provider manager address")
 	meta := flag.String("meta", "", "comma-separated metadata provider addresses")
 	chunk := flag.Uint64("chunk", defaultChunkSize, "chunk size for uploads")
+	dedup := flag.Bool("dedup", false, "write through the content-addressed repository (dedup commits)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -45,6 +52,7 @@ func main() {
 		VMAddr:    *vmAddr,
 		PMAddr:    *pmAddr,
 		MetaAddrs: strings.Split(*meta, ","),
+		Dedup:     *dedup,
 	}
 
 	args := flag.Args()
@@ -145,6 +153,24 @@ func main() {
 			fmt.Printf("%s %10d  %s\n", kind, e.Size, e.Name)
 		}
 
+	case "stats":
+		providers, err := client.Providers()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := client.CasStats(providers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saved := int64(st.LogicalBytes) - int64(st.PhysicalBytes)
+		fmt.Printf("content-addressed repository (%d providers)\n", len(providers))
+		fmt.Printf("  chunk bodies      %12d\n", st.Chunks)
+		fmt.Printf("  live references   %12d\n", st.Refs)
+		fmt.Printf("  logical bytes     %12d\n", st.LogicalBytes)
+		fmt.Printf("  physical bytes    %12d  (dedup saves %d)\n", st.PhysicalBytes, saved)
+		fmt.Printf("  dedup hit-rate    %11.1f%%  (%d hits / %d misses)\n", 100*st.HitRate(), st.Hits, st.Misses)
+		fmt.Printf("  reclaimed by refcount %8d chunks / %d bytes\n", st.ReclaimedChunks, st.ReclaimedBytes)
+
 	default:
 		usage()
 	}
@@ -171,6 +197,8 @@ commands:
   list                                list blobs and versions
   download <blob> <version> <file>    fetch a snapshot as a raw image
   clone <blob> <version>              clone a snapshot into a new image
-  inspect <blob> <version> [path]     browse the guest fs inside a snapshot`)
+  inspect <blob> <version> [path]     browse the guest fs inside a snapshot
+  stats                               dedup hit-rate, logical vs physical bytes,
+                                      refcount reclamation (see -dedup)`)
 	os.Exit(2)
 }

@@ -8,7 +8,9 @@
 //	blobseerd -role data     -listen :7720 -pmanager host:7701 -dir /var/blobseer
 //
 // Data providers register themselves with the provider manager and store
-// chunks on the local disk (-dir) or in memory.
+// chunks on the local disk (-dir) or in memory, with the content-addressed
+// dedup index (internal/cas) layered on top; an existing chunk directory is
+// re-indexed on startup.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"syscall"
 
 	"blobcr/internal/blobseer"
+	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
 	"blobcr/internal/transport"
 )
@@ -44,14 +47,21 @@ func main() {
 	case "meta":
 		srv, err = blobseer.NewMetadataProvider().Serve(net, *listen)
 	case "data":
-		var store chunkstore.Store
+		var backend chunkstore.Store
 		if *dir != "" {
-			store, err = chunkstore.NewDisk(*dir)
+			backend, err = chunkstore.NewDisk(*dir)
 			if err != nil {
 				log.Fatalf("open chunk dir: %v", err)
 			}
 		} else {
-			store = chunkstore.NewMem()
+			backend = chunkstore.NewMem()
+		}
+		// Layer the content-addressed index over the engine so the provider
+		// serves dedup commits; reopening a chunk directory re-hashes the
+		// stored bodies to recover the index.
+		store, serr := cas.NewStore(backend)
+		if serr != nil {
+			log.Fatalf("recover cas index: %v", serr)
 		}
 		srv, err = blobseer.NewDataProvider(store).Serve(net, *listen)
 		if err == nil && *pmanager != "" {

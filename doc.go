@@ -9,4 +9,16 @@
 // experiment-scale performance model (internal/simcloud). Executables are
 // under cmd/ and runnable examples under examples/. See README.md for a
 // tour and EXPERIMENTS.md for the reproduced evaluation.
+//
+// Beyond the paper, the repository implements a content-addressed
+// deduplicated chunk store (internal/cas): committed chunks are
+// fingerprinted with SHA-256, placed by rendezvous hash of their content,
+// and stored once no matter how many snapshots — across checkpoints and
+// across VMs — reference them; a "have fingerprint?" round trip keeps
+// duplicate bodies off the network entirely. Retiring old snapshots then
+// reclaims space by decrementing per-chunk reference counts in O(retired
+// chunks), realizing the paper's proposed transparent snapshot garbage
+// collection (future work, Section 6) in incremental form; the
+// mark-and-sweep collector remains as the exhaustive fallback. Enable it
+// with blobseer.Client.Dedup or cloud.Config.Dedup.
 package blobcr

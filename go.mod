@@ -1,0 +1,3 @@
+module blobcr
+
+go 1.24

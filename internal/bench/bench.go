@@ -171,6 +171,31 @@ func successiveSeries(p simcloud.Params, title string, metric func(simcloud.Succ
 	return s
 }
 
+// Fig5cSuccessiveDedup extends the Figure 5 successive-checkpoint
+// experiment with the content-addressed repository (internal/cas): per
+// round, the logical commit volume, the bytes actually shipped after
+// fingerprint dedup, the cumulative physical storage, and the dedup hit
+// rate, at the calibrated chunk-overlap fraction.
+func Fig5cSuccessiveDedup(p simcloud.Params) Series {
+	s := Series{
+		Title:   "Figure 5(c): successive checkpoints with CAS dedup (200 MB buffer)",
+		XLabel:  "checkpoint #",
+		YLabel:  "MB (hit-rate in %)",
+		Columns: []string{"logical MB", "transfer MB", "storage MB", "hit-rate %"},
+	}
+	const rounds = 4
+	results := simcloud.SuccessiveDedupCheckpoints(p, rounds, 200*simcloud.MB, p.DedupOverlap)
+	for _, r := range results {
+		s.Rows = append(s.Rows, Row{X: float64(r.Round), Values: []float64{
+			r.LogicalBytes / simcloud.MB,
+			r.TransferBytes / simcloud.MB,
+			r.StorageBytes / simcloud.MB,
+			100 * r.HitRate,
+		}})
+	}
+	return s
+}
+
 // Table1CM1SnapshotSize reproduces Table 1: CM1 per-disk-snapshot size.
 func Table1CM1SnapshotSize(p simcloud.Params, c simcloud.CM1Params) Series {
 	s := Series{
@@ -216,6 +241,7 @@ func All(p simcloud.Params, c simcloud.CM1Params) []Series {
 		Fig4SnapshotSize(p),
 		Fig5aSuccessiveTime(p),
 		Fig5bSuccessiveSpace(p),
+		Fig5cSuccessiveDedup(p),
 		Table1CM1SnapshotSize(p, c),
 		Fig6CM1Checkpoint(p, c),
 	}

@@ -12,8 +12,8 @@ func TestAllSeriesWellFormed(t *testing.T) {
 	p := simcloud.Default()
 	c := simcloud.DefaultCM1()
 	series := All(p, c)
-	if len(series) != 9 {
-		t.Fatalf("All returned %d series, want 9 (every table and figure)", len(series))
+	if len(series) != 10 {
+		t.Fatalf("All returned %d series, want 10 (every table and figure, plus the CAS dedup extension)", len(series))
 	}
 	for _, s := range series {
 		if s.Title == "" || len(s.Columns) == 0 || len(s.Rows) == 0 {

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
 	"blobcr/internal/meta"
 	"blobcr/internal/transport"
@@ -25,6 +26,15 @@ type Client struct {
 	PMAddr      string   // provider manager
 	MetaAddrs   []string // metadata providers, hash-sharded
 	Replication int      // chunk replica count (default 1)
+
+	// Dedup routes commits through the content-addressed repository
+	// (internal/cas): chunks are fingerprinted, placed by rendezvous hash of
+	// their content, and a "have fingerprint?" round trip (opCasRef) skips
+	// the body transfer for content any snapshot already stored. Retire then
+	// releases the retired snapshots' references instead of relying on a
+	// whole-repository sweep. Requires CAS-capable data providers (Deploy
+	// creates them).
+	Dedup bool
 }
 
 func (c *Client) replication() int {
@@ -179,6 +189,25 @@ func (c *Client) ListBlobs() ([]BlobInfo, error) {
 	return out, r.Err()
 }
 
+// CommitStats reports what one WriteVersion moved and what deduplication
+// saved. LogicalBytes is what the commit would have shipped without the
+// content-addressed repository (payload times replication); TransferBytes is
+// what actually crossed the network. Without Dedup the two are equal.
+type CommitStats struct {
+	Chunks        int    // chunks written by the commit
+	DedupChunks   int    // chunks whose body was already held by every replica
+	LogicalBytes  uint64 // payload bytes x replication
+	TransferBytes uint64 // bytes actually shipped to data providers
+}
+
+// Add accumulates other into s (aggregation across commits or modules).
+func (s *CommitStats) Add(o CommitStats) {
+	s.Chunks += o.Chunks
+	s.DedupChunks += o.DedupChunks
+	s.LogicalBytes += o.LogicalBytes
+	s.TransferBytes += o.TransferBytes
+}
+
 // WriteVersion publishes a new version of blob consisting of the previous
 // version's content overlaid with the given whole-chunk writes, and resizes
 // the blob to newSize bytes (pass the previous size to keep it). The chunk
@@ -186,6 +215,14 @@ func (c *Client) ListBlobs() ([]BlobInfo, error) {
 // primitive of the paper: only the written chunks move; everything else is
 // shared with the previous version.
 func (c *Client) WriteVersion(blob uint64, writes map[uint64][]byte, newSize uint64) (VersionInfo, error) {
+	info, _, err := c.WriteVersionStats(blob, writes, newSize)
+	return info, err
+}
+
+// WriteVersionStats is WriteVersion returning per-commit transfer and dedup
+// accounting.
+func (c *Client) WriteVersionStats(blob uint64, writes map[uint64][]byte, newSize uint64) (VersionInfo, CommitStats, error) {
+	var stats CommitStats
 	// Previous version (absent for the first write).
 	var prev VersionInfo
 	var chunkSize uint64
@@ -197,14 +234,14 @@ func (c *Client) WriteVersion(blob uint64, writes map[uint64][]byte, newSize uin
 	case isNotFound(err):
 		chunkSize, err = c.ChunkSize(blob)
 		if err != nil {
-			return VersionInfo{}, err
+			return VersionInfo{}, stats, err
 		}
 	default:
-		return VersionInfo{}, err
+		return VersionInfo{}, stats, err
 	}
 	for idx, data := range writes {
 		if uint64(len(data)) > chunkSize {
-			return VersionInfo{}, fmt.Errorf("blobseer: chunk %d: %d bytes exceeds chunk size %d", idx, len(data), chunkSize)
+			return VersionInfo{}, stats, fmt.Errorf("blobseer: chunk %d: %d bytes exceeds chunk size %d", idx, len(data), chunkSize)
 		}
 	}
 
@@ -215,36 +252,12 @@ func (c *Client) WriteVersion(blob uint64, writes map[uint64][]byte, newSize uin
 	w.PutU64(uint64(len(writes)))
 	r, err := c.call(c.VMAddr, w)
 	if err != nil {
-		return VersionInfo{}, err
+		return VersionInfo{}, stats, err
 	}
 	version := r.U64()
 	firstID := r.U64()
 	if err := r.Err(); err != nil {
-		return VersionInfo{}, err
-	}
-
-	// Placement for each written chunk.
-	w = wire.NewBuffer(16)
-	w.PutU8(opPlacement)
-	w.PutUvarint(uint64(len(writes)))
-	w.PutUvarint(uint64(c.replication()))
-	r, err = c.call(c.PMAddr, w)
-	if err != nil {
-		c.abort(blob, version)
-		return VersionInfo{}, err
-	}
-	nPlaced := r.Uvarint()
-	placements := make([][]string, nPlaced)
-	for i := range placements {
-		k := r.Uvarint()
-		placements[i] = make([]string, k)
-		for j := range placements[i] {
-			placements[i][j] = r.String()
-		}
-	}
-	if err := r.Err(); err != nil {
-		c.abort(blob, version)
-		return VersionInfo{}, err
+		return VersionInfo{}, stats, err
 	}
 
 	// Deterministic order of chunk uploads.
@@ -254,21 +267,16 @@ func (c *Client) WriteVersion(blob uint64, writes map[uint64][]byte, newSize uin
 	}
 	sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
 
-	leaves := make(map[uint64]meta.Leaf, len(writes))
-	for i, idx := range indices {
-		key := chunkstore.Key{Blob: blob, ID: firstID + uint64(i)}
-		data := writes[idx]
-		for _, providerAddr := range placements[i] {
-			pw := wire.NewBuffer(32 + len(data))
-			pw.PutU8(opChunkPut)
-			putChunkKey(pw, key)
-			pw.PutBytes(data)
-			if _, err := c.Net.Call(providerAddr, pw.Bytes()); err != nil {
-				c.abort(blob, version)
-				return VersionInfo{}, fmt.Errorf("blobseer: put chunk to %s: %w", providerAddr, err)
-			}
-		}
-		leaves[idx] = meta.Leaf{Providers: placements[i], Key: key, Size: uint32(len(data))}
+	var leaves map[uint64]meta.Leaf
+	var manifest []manifestEntry
+	if c.Dedup {
+		leaves, manifest, err = c.uploadDedup(indices, writes, &stats)
+	} else {
+		leaves, err = c.uploadPlaced(blob, firstID, indices, writes, &stats)
+	}
+	if err != nil {
+		c.abort(blob, version)
+		return VersionInfo{}, stats, err
 	}
 
 	// Metadata tree for the new version.
@@ -287,20 +295,236 @@ func (c *Client) WriteVersion(blob uint64, writes map[uint64][]byte, newSize uin
 	}
 	root, err := c.tree().Publish(blob, version, prev.Root, prev.Span, newSpan, leaves)
 	if err != nil {
+		c.releaseRefs(manifest)
 		c.abort(blob, version)
-		return VersionInfo{}, err
+		return VersionInfo{}, stats, err
 	}
 
-	// Commit.
+	// Commit. A dedup commit carries the write manifest so the version
+	// manager can track which write supersedes which (refcount GC).
 	info := VersionInfo{Version: version, Size: newSize, Span: newSpan, Root: root}
 	w = wire.NewBuffer(64)
 	w.PutU8(opCommit)
 	w.PutU64(blob)
 	putVersionInfo(w, info)
-	if _, err := c.call(c.VMAddr, w); err != nil {
-		return VersionInfo{}, err
+	w.PutBool(len(manifest) > 0)
+	if len(manifest) > 0 {
+		putManifest(w, manifest)
 	}
-	return info, nil
+	if _, err := c.call(c.VMAddr, w); err != nil {
+		return VersionInfo{}, stats, err
+	}
+	return info, stats, nil
+}
+
+// uploadPlaced is the classic (blob, id)-addressed upload path: placement
+// from the provider manager, every body shipped.
+func (c *Client) uploadPlaced(blob, firstID uint64, indices []uint64, writes map[uint64][]byte, stats *CommitStats) (map[uint64]meta.Leaf, error) {
+	w := wire.NewBuffer(16)
+	w.PutU8(opPlacement)
+	w.PutUvarint(uint64(len(writes)))
+	w.PutUvarint(uint64(c.replication()))
+	r, err := c.call(c.PMAddr, w)
+	if err != nil {
+		return nil, err
+	}
+	nPlaced := r.Uvarint()
+	placements := make([][]string, nPlaced)
+	for i := range placements {
+		k := r.Uvarint()
+		placements[i] = make([]string, k)
+		for j := range placements[i] {
+			placements[i][j] = r.String()
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+
+	leaves := make(map[uint64]meta.Leaf, len(writes))
+	for i, idx := range indices {
+		key := chunkstore.Key{Blob: blob, ID: firstID + uint64(i)}
+		data := writes[idx]
+		for _, providerAddr := range placements[i] {
+			pw := wire.NewBuffer(32 + len(data))
+			pw.PutU8(opChunkPut)
+			putChunkKey(pw, key)
+			pw.PutBytes(data)
+			if _, err := c.Net.Call(providerAddr, pw.Bytes()); err != nil {
+				return nil, fmt.Errorf("blobseer: put chunk to %s: %w", providerAddr, err)
+			}
+			stats.LogicalBytes += uint64(len(data))
+			stats.TransferBytes += uint64(len(data))
+		}
+		stats.Chunks++
+		leaves[idx] = meta.Leaf{Providers: placements[i], Key: key, Size: uint32(len(data))}
+	}
+	return leaves, nil
+}
+
+// uploadDedup is the content-addressed upload path: each chunk is
+// fingerprinted, placed on the providers that rendezvous-hashing assigns to
+// its content (so identical content always lands on the same providers,
+// cluster-wide), and shipped only if the provider does not already hold the
+// fingerprint. Returns the leaves and the commit's write manifest.
+func (c *Client) uploadDedup(indices []uint64, writes map[uint64][]byte, stats *CommitStats) (map[uint64]meta.Leaf, []manifestEntry, error) {
+	leaves := make(map[uint64]meta.Leaf, len(writes))
+	manifest := make([]manifestEntry, 0, len(writes))
+	if len(writes) == 0 {
+		return leaves, nil, nil
+	}
+	providers, err := c.Providers()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(providers) == 0 {
+		return nil, nil, errors.New("blobseer: no data providers registered")
+	}
+	for _, idx := range indices {
+		data := writes[idx]
+		fp := cas.Sum(data)
+		targets := casPlacement(fp, providers, c.replication())
+		shipped := false
+		var taken []string // replicas that already hold a ref for this chunk
+		fail := func(err error) (map[uint64]meta.Leaf, []manifestEntry, error) {
+			c.releaseRefs(append(manifest, manifestEntry{fp: fp, providers: taken}))
+			return nil, nil, err
+		}
+		for _, addr := range targets {
+			held, err := c.casRef(addr, fp)
+			if err != nil {
+				return fail(err)
+			}
+			if !held {
+				// The body crosses the network here even if a concurrent
+				// writer wins the race and the provider reports a duplicate,
+				// so it always counts as transferred.
+				if _, err := c.casPut(addr, fp, data); err != nil {
+					return fail(err)
+				}
+				stats.TransferBytes += uint64(len(data))
+				shipped = true
+			}
+			taken = append(taken, addr)
+			stats.LogicalBytes += uint64(len(data))
+		}
+		stats.Chunks++
+		if !shipped {
+			stats.DedupChunks++
+		}
+		leaves[idx] = meta.Leaf{Providers: targets, Key: fp.Key(), Size: uint32(len(data))}
+		manifest = append(manifest, manifestEntry{index: idx, fp: fp, providers: targets})
+	}
+	return leaves, manifest, nil
+}
+
+// casPlacement picks replication providers for a fingerprint by rendezvous
+// (highest-random-weight) hashing: every writer maps the same content to the
+// same providers, which is what makes dedup global, and the mapping is
+// stable when a provider leaves the rotation.
+func casPlacement(fp cas.Fingerprint, providers []string, replication int) []string {
+	if replication > len(providers) {
+		replication = len(providers)
+	}
+	type scored struct {
+		addr  string
+		score uint64
+	}
+	scores := make([]scored, len(providers))
+	for i, addr := range providers {
+		h := fnv.New64a()
+		h.Write(fp[:])
+		h.Write([]byte(addr))
+		scores[i] = scored{addr: addr, score: h.Sum64()}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].score != scores[j].score {
+			return scores[i].score > scores[j].score
+		}
+		return scores[i].addr < scores[j].addr
+	})
+	out := make([]string, replication)
+	for i := range out {
+		out[i] = scores[i].addr
+	}
+	return out
+}
+
+// casRef performs the "have fingerprint?" round trip against one provider:
+// true means the provider holds the body and took a reference on it.
+func (c *Client) casRef(addr string, fp cas.Fingerprint) (bool, error) {
+	w := wire.NewBuffer(40)
+	w.PutU8(opCasRef)
+	putFingerprint(w, fp)
+	resp, err := c.Net.Call(addr, w.Bytes())
+	if err != nil {
+		return false, fmt.Errorf("blobseer: cas ref on %s: %w", addr, err)
+	}
+	r := wire.NewReader(resp)
+	held := r.Bool()
+	return held, r.Err()
+}
+
+// casPut uploads a body under its fingerprint; dup reports that the provider
+// already held it (a concurrent writer raced us) and only took a reference.
+func (c *Client) casPut(addr string, fp cas.Fingerprint, data []byte) (bool, error) {
+	w := wire.NewBuffer(48 + len(data))
+	w.PutU8(opCasPut)
+	putFingerprint(w, fp)
+	w.PutBytes(data)
+	resp, err := c.Net.Call(addr, w.Bytes())
+	if err != nil {
+		return false, fmt.Errorf("blobseer: cas put to %s: %w", addr, err)
+	}
+	r := wire.NewReader(resp)
+	dup := r.Bool()
+	return dup, r.Err()
+}
+
+// casRelease drops one reference on fp at one provider.
+func (c *Client) casRelease(addr string, fp cas.Fingerprint) (reclaimedBytes uint64, err error) {
+	w := wire.NewBuffer(40)
+	w.PutU8(opCasRelease)
+	putFingerprint(w, fp)
+	resp, err := c.Net.Call(addr, w.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp)
+	r.U64() // remaining count, unused here
+	reclaimed := r.U64()
+	return reclaimed, r.Err()
+}
+
+// releaseRefs undoes the references a failed commit acquired (best effort;
+// anything missed is picked up by the mark-and-sweep fallback GC).
+func (c *Client) releaseRefs(manifest []manifestEntry) {
+	for _, e := range manifest {
+		for _, addr := range e.providers {
+			c.casRelease(addr, e.fp) //nolint:errcheck // best effort
+		}
+	}
+}
+
+// CasStats aggregates the content-addressed repository counters across the
+// given data providers: dedup hit rate, logical vs physical bytes, and
+// refcount reclamation.
+func (c *Client) CasStats(dataProviders []string) (cas.Stats, error) {
+	var total cas.Stats
+	for _, addr := range dataProviders {
+		w := wire.NewBuffer(8)
+		w.PutU8(opCasStats)
+		r, err := c.call(addr, w)
+		if err != nil {
+			return total, err
+		}
+		s := getCasStats(r)
+		if err := r.Err(); err != nil {
+			return total, err
+		}
+		total.Add(s)
+	}
+	return total, nil
 }
 
 func (c *Client) abort(blob, version uint64) {
@@ -483,14 +707,73 @@ func (c *Client) Clone(srcBlob, srcVersion uint64) (uint64, error) {
 	return id, r.Err()
 }
 
+// ReclaimStats reports what a Retire released through the content-addressed
+// repository's reference counting.
+type ReclaimStats struct {
+	ReleasedRefs    int    // references dropped (per chunk write, per replica)
+	ReclaimedChunks int    // bodies whose count reached zero and were deleted
+	ReclaimedBytes  uint64 // payload bytes those bodies held
+	Failed          int    // release calls that could not reach their provider
+}
+
 // Retire marks all versions of blob below `before` as garbage-collectable.
 func (c *Client) Retire(blob, before uint64) error {
+	_, err := c.RetireStats(blob, before)
+	return err
+}
+
+// RetireStats retires versions below `before` and immediately releases the
+// content-addressed references held by the superseded chunk writes of the
+// retired snapshots — incremental garbage collection in O(retired chunks),
+// no repository sweep. For blobs written without Dedup there is nothing to
+// release and the stats come back zero (the mark-and-sweep GC still applies).
+// Releases to unreachable providers are counted in Failed and left for the
+// sweep to reconcile.
+func (c *Client) RetireStats(blob, before uint64) (ReclaimStats, error) {
+	var stats ReclaimStats
 	w := wire.NewBuffer(24)
 	w.PutU8(opRetire)
 	w.PutU64(blob)
 	w.PutU64(before)
-	_, err := c.call(c.VMAddr, w)
-	return err
+	r, err := c.call(c.VMAddr, w)
+	if err != nil {
+		return stats, err
+	}
+	r.U64() // retired horizon
+	n := r.Uvarint()
+	type release struct {
+		fp        cas.Fingerprint
+		providers []string
+	}
+	releases := make([]release, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		var rel release
+		rel.fp = getFingerprint(r)
+		np := r.Uvarint()
+		rel.providers = make([]string, np)
+		for j := range rel.providers {
+			rel.providers[j] = r.String()
+		}
+		releases = append(releases, rel)
+	}
+	if err := r.Err(); err != nil {
+		return stats, err
+	}
+	for _, rel := range releases {
+		for _, addr := range rel.providers {
+			reclaimed, err := c.casRelease(addr, rel.fp)
+			if err != nil {
+				stats.Failed++
+				continue
+			}
+			stats.ReleasedRefs++
+			if reclaimed > 0 {
+				stats.ReclaimedChunks++
+				stats.ReclaimedBytes += reclaimed
+			}
+		}
+	}
+	return stats, nil
 }
 
 // liveRoot is one entry of the version manager's live set.
@@ -529,7 +812,15 @@ type GCStats struct {
 // and chunk reachable from a non-retired version survives; everything else
 // is deleted from the metadata and data providers. This implements the
 // paper's proposed future-work extension (transparent snapshot garbage
-// collection).
+// collection) in its exhaustive form.
+//
+// With Dedup enabled, RetireStats already reclaims retired snapshots' chunk
+// bodies incrementally through the content-addressed repository's reference
+// counts, in O(retired chunks); this sweep remains the full-fidelity
+// fallback — it also collects metadata-tree nodes, chunks orphaned by failed
+// commits, and references leaked past unreachable providers. Sweeping a
+// CAS-held chunk deletes its body and dedup index entry together, so the two
+// collectors compose safely.
 func (c *Client) GC(dataProviders []string) (GCStats, error) {
 	var stats GCStats
 	live, err := c.listLive()

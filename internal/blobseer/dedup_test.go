@@ -1,0 +1,437 @@
+package blobseer
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"blobcr/internal/cas"
+	"blobcr/internal/transport"
+)
+
+// dedupDeploy starts a deployment and returns a dedup-enabled client.
+func dedupDeploy(t *testing.T, nMeta, nData int) (*Deployment, *Client) {
+	t.Helper()
+	d, err := Deploy(transport.NewInProc(), nMeta, nData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	c := d.Client()
+	c.Dedup = true
+	return d, c
+}
+
+func chunkOf(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
+
+// TestDedupSecondCommitShipsNothing is the headline property: committing the
+// same chunk content twice — here across two snapshots of one blob — stores
+// exactly one body and skips the duplicate's network transfer.
+func TestDedupSecondCommitShipsNothing(t *testing.T) {
+	const chunk = 4096
+	d, c := dedupDeploy(t, 2, 3)
+	blob, err := c.CreateBlob(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := chunkOf('x', chunk)
+
+	_, cs1, err := c.WriteVersionStats(blob, map[uint64][]byte{0: content}, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs1.DedupChunks != 0 || cs1.TransferBytes != chunk {
+		t.Fatalf("first commit: %+v, want full transfer", cs1)
+	}
+
+	// Same content again, at a different chunk index, in a new snapshot.
+	_, cs2, err := c.WriteVersionStats(blob, map[uint64][]byte{1: content}, 2*chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.DedupChunks != 1 || cs2.TransferBytes != 0 {
+		t.Fatalf("duplicate commit shipped bytes: %+v", cs2)
+	}
+	if cs2.LogicalBytes != chunk {
+		t.Fatalf("LogicalBytes = %d, want %d", cs2.LogicalBytes, chunk)
+	}
+
+	// Exactly one body in the whole repository.
+	_, chunks, err := c.Usage(d.DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks != 1 {
+		t.Fatalf("repository holds %d chunk bodies, want 1", chunks)
+	}
+
+	// Both snapshots read back correctly through the shared body.
+	for v := uint64(0); v < 2; v++ {
+		got, err := c.ReadVersion(blob, v, 0, chunk)
+		if err != nil || !bytes.Equal(got, content) {
+			t.Fatalf("version %d read mismatch: %v", v, err)
+		}
+	}
+
+	st, err := c.CasStats(d.DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cas stats hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	if st.LogicalBytes != 2*chunk || st.PhysicalBytes != chunk {
+		t.Errorf("logical/physical = %d/%d, want %d/%d", st.LogicalBytes, st.PhysicalBytes, 2*chunk, chunk)
+	}
+}
+
+// TestDedupAcrossBlobs: two mirrored devices (two checkpoint images)
+// committing identical content share one body.
+func TestDedupAcrossBlobs(t *testing.T) {
+	const chunk = 2048
+	d, c := dedupDeploy(t, 2, 4)
+	content := chunkOf('s', chunk)
+
+	var blobs []uint64
+	for i := 0; i < 2; i++ {
+		blob, err := c.CreateBlob(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	_, cs, err := c.WriteVersionStats(blobs[0], map[uint64][]byte{0: content}, chunk)
+	if err != nil || cs.TransferBytes != chunk {
+		t.Fatalf("blob A commit: %+v err=%v", cs, err)
+	}
+	_, cs, err = c.WriteVersionStats(blobs[1], map[uint64][]byte{0: content}, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.DedupChunks != 1 || cs.TransferBytes != 0 {
+		t.Fatalf("blob B duplicate commit shipped bytes: %+v", cs)
+	}
+	_, chunks, err := c.Usage(d.DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks != 1 {
+		t.Fatalf("repository holds %d bodies for identical cross-blob content, want 1", chunks)
+	}
+}
+
+// TestDedupReplicationPlacesPerContent: with replication, all replicas of
+// identical content land on the same (rendezvous-chosen) providers, and the
+// duplicate commit skips every replica transfer.
+func TestDedupReplicationPlacesPerContent(t *testing.T) {
+	const chunk = 1024
+	d, c := dedupDeploy(t, 2, 5)
+	c.Replication = 2
+	content := chunkOf('r', chunk)
+
+	blob, err := c.CreateBlob(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cs, err := c.WriteVersionStats(blob, map[uint64][]byte{0: content}, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.TransferBytes != 2*chunk || cs.LogicalBytes != 2*chunk {
+		t.Fatalf("first replicated commit: %+v", cs)
+	}
+	_, cs, err = c.WriteVersionStats(blob, map[uint64][]byte{1: content}, 2*chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.TransferBytes != 0 || cs.DedupChunks != 1 {
+		t.Fatalf("replicated duplicate shipped bytes: %+v", cs)
+	}
+	_, chunks, err := c.Usage(d.DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks != 2 { // one body per replica provider
+		t.Fatalf("repository holds %d bodies, want 2 (replication)", chunks)
+	}
+}
+
+// TestRetireReleasesByRefcount: retiring snapshots reclaims exactly the
+// superseded chunk writes through reference counts — no repository sweep —
+// while the live snapshot stays readable.
+func TestRetireReleasesByRefcount(t *testing.T) {
+	const chunk = 4096
+	const rounds = 6
+	d, c := dedupDeploy(t, 2, 3)
+	blob, err := c.CreateBlob(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each round overwrites chunk 0 with distinct content.
+	for v := 0; v < rounds; v++ {
+		content := chunkOf(byte('0'+v), chunk)
+		if _, err := c.WriteVersion(blob, map[uint64][]byte{0: content}, chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, chunksBefore, err := c.Usage(d.DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunksBefore != rounds {
+		t.Fatalf("stored %d bodies before retire, want %d", chunksBefore, rounds)
+	}
+
+	stats, err := c.RetireStats(blob, rounds-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReleasedRefs != rounds-1 || stats.ReclaimedChunks != rounds-1 {
+		t.Fatalf("retire reclaimed %+v, want %d refs and chunks", stats, rounds-1)
+	}
+	if stats.ReclaimedBytes != uint64((rounds-1)*chunk) {
+		t.Fatalf("ReclaimedBytes = %d, want %d", stats.ReclaimedBytes, (rounds-1)*chunk)
+	}
+	_, chunksAfter, err := c.Usage(d.DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunksAfter != 1 {
+		t.Fatalf("%d bodies after retire, want 1", chunksAfter)
+	}
+	got, err := c.ReadVersion(blob, rounds-1, 0, chunk)
+	if err != nil || !bytes.Equal(got, chunkOf(byte('0'+rounds-1), chunk)) {
+		t.Fatalf("live snapshot unreadable after refcount retire: %v", err)
+	}
+
+	// Retiring again releases nothing new (exactly-once release).
+	stats, err = c.RetireStats(blob, rounds-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReleasedRefs != 0 {
+		t.Fatalf("second retire released %d refs, want 0", stats.ReleasedRefs)
+	}
+}
+
+// TestSharedContentSurvivesOtherBlobsRetire: blob B references content blob A
+// wrote; retiring A's snapshot must decrement, not delete, the shared body.
+func TestSharedContentSurvivesOtherBlobsRetire(t *testing.T) {
+	const chunk = 2048
+	_, c := dedupDeploy(t, 2, 3)
+	shared := chunkOf('S', chunk)
+
+	a, err := c.CreateBlob(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.CreateBlob(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteVersion(a, map[uint64][]byte{0: shared}, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteVersion(b, map[uint64][]byte{0: shared}, chunk); err != nil {
+		t.Fatal(err)
+	}
+	// A supersedes its write, then retires it.
+	if _, err := c.WriteVersion(a, map[uint64][]byte{0: chunkOf('T', chunk)}, chunk); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.RetireStats(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReleasedRefs != 1 || stats.ReclaimedChunks != 0 {
+		t.Fatalf("retire of shared content: %+v, want 1 release, 0 reclaims", stats)
+	}
+	got, err := c.ReadVersion(b, 0, 0, chunk)
+	if err != nil || !bytes.Equal(got, shared) {
+		t.Fatalf("blob B lost shared content after A's retire: %v", err)
+	}
+}
+
+// TestClonePinPreventsRelease: content shared with a clone is never released
+// by the origin's retire, so the clone stays readable.
+func TestClonePinPreventsRelease(t *testing.T) {
+	const chunk = 4096
+	_, c := dedupDeploy(t, 2, 3)
+	blob, err := c.CreateBlob(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := chunkOf('c', chunk)
+	if _, err := c.WriteVersion(blob, map[uint64][]byte{0: orig}, chunk); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := c.Clone(blob, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Supersede and retire the cloned-from version in the origin.
+	if _, err := c.WriteVersion(blob, map[uint64][]byte{0: chunkOf('d', chunk)}, chunk); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.RetireStats(blob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReleasedRefs != 0 {
+		t.Fatalf("retire released %d refs pinned by a clone", stats.ReleasedRefs)
+	}
+	got, err := c.ReadVersion(clone, 0, 0, chunk)
+	if err != nil || !bytes.Equal(got, orig) {
+		t.Fatalf("clone lost pinned content: %v", err)
+	}
+}
+
+// TestMarkSweepGCComposesWithDedup: the full mark-and-sweep fallback still
+// works over content-addressed chunks — it never touches live CAS bodies,
+// and it collects references the refcount path leaked (here: a manually
+// leaked extra reference keeping a dead body alive past its retire).
+func TestMarkSweepGCComposesWithDedup(t *testing.T) {
+	const chunk = 4096
+	d, c := dedupDeploy(t, 2, 3)
+	blob, err := c.CreateBlob(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		if _, err := c.WriteVersion(blob, map[uint64][]byte{0: chunkOf(byte('a'+v), chunk)}, chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	providers, err := c.Providers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leak one extra reference on version 2's content, the way a crashed
+	// commit would: refcount retire alone can no longer reclaim that body.
+	leakedFP := cas.Sum(chunkOf('c', chunk))
+	leakedAddr := casPlacement(leakedFP, providers, 1)[0]
+	held, err := c.casRef(leakedAddr, leakedFP)
+	if err != nil || !held {
+		t.Fatalf("leak ref: held=%v err=%v", held, err)
+	}
+
+	stats, err := c.RetireStats(blob, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReclaimedChunks != 2 {
+		t.Fatalf("refcount retire reclaimed %d chunks, want 2 (one leaked)", stats.ReclaimedChunks)
+	}
+	_, chunks, err := c.Usage(d.DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks != 2 { // live body + leaked body
+		t.Fatalf("%d bodies before sweep, want 2", chunks)
+	}
+
+	// The sweep collects the leaked body (unreachable from live roots) and
+	// leaves the live one alone.
+	gcStats, err := c.GC(d.DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcStats.DeletedChunks != 1 {
+		t.Fatalf("sweep deleted %d chunks, want 1 (the leaked body)", gcStats.DeletedChunks)
+	}
+	got, err := c.ReadVersion(blob, 3, 0, chunk)
+	if err != nil || !bytes.Equal(got, chunkOf('d', chunk)) {
+		t.Fatalf("live version unreadable after sweep: %v", err)
+	}
+	// The sweep dropped the dedup index entry too: re-committing the swept
+	// content stores a fresh body rather than resurrecting a stale count.
+	_, cs, err := c.WriteVersionStats(blob, map[uint64][]byte{0: chunkOf('c', chunk)}, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.TransferBytes != chunk {
+		t.Fatalf("re-commit after sweep shipped %d bytes, want %d", cs.TransferBytes, chunk)
+	}
+}
+
+// TestDedupCommitRetireRaceStress races parallel dedup commits sharing a
+// small content pool against concurrent snapshot retires (refcount GC),
+// in the style of internal/core/stress_test.go. A chunk referenced by any
+// live snapshot must never be reclaimed: every writer re-reads its latest
+// snapshot in full after each commit. Run with -race.
+func TestDedupCommitRetireRaceStress(t *testing.T) {
+	const (
+		chunk   = 1024
+		writers = 6
+		rounds  = 25
+		stripes = 4 // chunks per commit
+		pool    = 3 // distinct contents — heavy cross-writer sharing
+	)
+	_, c := dedupDeploy(t, 3, 4)
+
+	contents := make([][]byte, pool)
+	for i := range contents {
+		contents[i] = chunkOf(byte('A'+i), chunk)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One checkpoint image per writer, as in the checkpoint workload.
+			blob, err := c.CreateBlob(chunk)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				writes := make(map[uint64][]byte, stripes)
+				want := make([]byte, 0, stripes*chunk)
+				for s := 0; s < stripes; s++ {
+					body := contents[(w+r+s)%pool]
+					writes[uint64(s)] = body
+					want = append(want, body...)
+				}
+				info, _, err := c.WriteVersionStats(blob, writes, stripes*chunk)
+				if err != nil {
+					errs <- fmt.Errorf("writer %d round %d: commit: %w", w, r, err)
+					return
+				}
+				// The snapshot just published must be fully readable even
+				// while other writers retire snapshots sharing its chunks.
+				got, err := c.ReadVersion(blob, info.Version, 0, stripes*chunk)
+				if err != nil {
+					errs <- fmt.Errorf("writer %d round %d: read: %w", w, r, err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("writer %d round %d: snapshot corrupted", w, r)
+					return
+				}
+				// Retire everything older than the snapshot just taken.
+				if _, err := c.RetireStats(blob, info.Version); err != nil {
+					errs <- fmt.Errorf("writer %d round %d: retire: %w", w, r, err)
+					return
+				}
+			}
+			// Final snapshot still intact after all retires settle.
+			info, _, err := c.Latest(blob)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := c.ReadVersion(blob, info.Version, 0, stripes*chunk); err != nil {
+				errs <- fmt.Errorf("writer %d: final snapshot lost: %w", w, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package blobseer
 import (
 	"fmt"
 
+	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
 	"blobcr/internal/transport"
 )
@@ -63,7 +64,9 @@ func Deploy(n transport.Network, nMeta, nData int) (*Deployment, error) {
 
 	client := d.Client()
 	for i := 0; i < nData; i++ {
-		dp := NewDataProvider(chunkstore.NewMem())
+		// Every provider is CAS-capable: a cas.Store implements the plain
+		// chunkstore interface, so non-dedup clients see no difference.
+		dp := NewDataProvider(cas.NewMem())
 		srv, err := dp.Serve(n, "")
 		if err != nil {
 			return fail(err)

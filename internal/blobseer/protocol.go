@@ -24,6 +24,7 @@ package blobseer
 import (
 	"fmt"
 
+	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
 	"blobcr/internal/meta"
 	"blobcr/internal/wire"
@@ -59,6 +60,14 @@ const (
 	opChunkList
 	opChunkUsage
 	opChunkHas
+
+	// Content-addressed repository ops (internal/cas). opCasRef is the
+	// "have fingerprint?" round trip: it takes a reference if the body is
+	// held, so a writer that gets `true` back never ships the body at all.
+	opCasRef
+	opCasPut
+	opCasRelease
+	opCasStats
 )
 
 // Op codes for metadata providers.
@@ -112,6 +121,85 @@ func getNodeKey(r *wire.Reader) meta.NodeKey {
 	k.Offset = r.U64()
 	k.Span = r.U64()
 	return k
+}
+
+func putFingerprint(w *wire.Buffer, fp cas.Fingerprint) {
+	w.PutBytes(fp[:])
+}
+
+func getFingerprint(r *wire.Reader) cas.Fingerprint {
+	var fp cas.Fingerprint
+	copy(fp[:], r.Bytes())
+	return fp
+}
+
+func putCasStats(w *wire.Buffer, s cas.Stats) {
+	w.PutU64(s.Chunks)
+	w.PutU64(s.Refs)
+	w.PutU64(s.PhysicalBytes)
+	w.PutU64(s.LogicalBytes)
+	w.PutU64(s.Hits)
+	w.PutU64(s.Misses)
+	w.PutU64(s.ReclaimedChunks)
+	w.PutU64(s.ReclaimedBytes)
+}
+
+func getCasStats(r *wire.Reader) cas.Stats {
+	var s cas.Stats
+	s.Chunks = r.U64()
+	s.Refs = r.U64()
+	s.PhysicalBytes = r.U64()
+	s.LogicalBytes = r.U64()
+	s.Hits = r.U64()
+	s.Misses = r.U64()
+	s.ReclaimedChunks = r.U64()
+	s.ReclaimedBytes = r.U64()
+	return s
+}
+
+// manifestEntry records one chunk write of a published version: the index it
+// covers, the content fingerprint, and the replica providers holding the
+// body. The version manager uses manifests to track which write supersedes
+// which, so Retire can release exactly the references retired snapshots held.
+type manifestEntry struct {
+	index     uint64
+	fp        cas.Fingerprint
+	providers []string
+}
+
+func putManifest(w *wire.Buffer, m []manifestEntry) {
+	w.PutUvarint(uint64(len(m)))
+	for _, e := range m {
+		w.PutUvarint(e.index)
+		putFingerprint(w, e.fp)
+		w.PutUvarint(uint64(len(e.providers)))
+		for _, p := range e.providers {
+			w.PutString(p)
+		}
+	}
+}
+
+func getManifest(r *wire.Reader) []manifestEntry {
+	n := r.Uvarint()
+	if n > 1<<24 {
+		return nil // implausible; the reader's error latch will surface it
+	}
+	out := make([]manifestEntry, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		var e manifestEntry
+		e.index = r.Uvarint()
+		e.fp = getFingerprint(r)
+		np := r.Uvarint()
+		if np > 1024 {
+			return nil
+		}
+		e.providers = make([]string, np)
+		for j := range e.providers {
+			e.providers[j] = r.String()
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 func putChunkKey(w *wire.Buffer, k chunkstore.Key) {

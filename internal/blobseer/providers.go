@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
 	"blobcr/internal/meta"
 	"blobcr/internal/transport"
@@ -209,10 +210,72 @@ func (dp *DataProvider) handle(req []byte) ([]byte, error) {
 		w.PutU64(uint64(dp.store.UsedBytes()))
 		w.PutU64(uint64(dp.store.Len()))
 
+	case opCasRef:
+		fp := getFingerprint(r)
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		cs, err := dp.casStore()
+		if err != nil {
+			return nil, err
+		}
+		w.PutBool(cs.Ref(fp))
+
+	case opCasPut:
+		fp := getFingerprint(r)
+		data := r.Bytes()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		cs, err := dp.casStore()
+		if err != nil {
+			return nil, err
+		}
+		dup, err := cs.PutContent(fp, data)
+		if err != nil {
+			return nil, err
+		}
+		w.PutBool(dup)
+
+	case opCasRelease:
+		fp := getFingerprint(r)
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		cs, err := dp.casStore()
+		if err != nil {
+			return nil, err
+		}
+		remaining, reclaimed, err := cs.Release(fp)
+		if err != nil {
+			return nil, err
+		}
+		w.PutU64(remaining)
+		w.PutU64(reclaimed)
+
+	case opCasStats:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		cs, err := dp.casStore()
+		if err != nil {
+			return nil, err
+		}
+		putCasStats(w, cs.Stats())
+
 	default:
 		return nil, fmt.Errorf("blobseer: data provider: unknown op %d", op)
 	}
 	return w.Bytes(), nil
+}
+
+// casStore returns the provider's content-addressed store, or an error for a
+// provider running a plain chunk store.
+func (dp *DataProvider) casStore() (*cas.Store, error) {
+	if cs, ok := dp.store.(*cas.Store); ok {
+		return cs, nil
+	}
+	return nil, errors.New("blobseer: data provider is not content-addressed")
 }
 
 // chunkLister is implemented by stores that can enumerate their keys.

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"blobcr/internal/cas"
 	"blobcr/internal/transport"
 	"blobcr/internal/wire"
 )
@@ -25,6 +26,57 @@ type blobState struct {
 	nextChunk uint64                  // next chunk ID to hand out
 	pending   map[uint64]*VersionInfo // committed out of order, awaiting predecessors
 	retired   uint64                  // versions < retired are eligible for GC
+
+	// Content-addressed bookkeeping (dedup commits only). Manifests arrive
+	// with opCommit and are applied in publish order: each write event at a
+	// chunk index supersedes the previous event at the same index. A
+	// superseded event's content is visible in versions [event, supersededAt),
+	// so once `retired` reaches supersededAt the event's references can be
+	// released — this is what makes Retire O(retired chunks).
+	manifests  map[uint64][]manifestEntry // committed, awaiting publication
+	lastWrite  map[uint64]writeEvent      // chunk index -> latest published write
+	superseded []supersededEvent          // released (returned) by opRetire
+	pins       []uint64                   // versions cloned from; their content is shared forever
+}
+
+// writeEvent is one published chunk write.
+type writeEvent struct {
+	version   uint64
+	fp        cas.Fingerprint
+	providers []string
+}
+
+// supersededEvent is a write whose index was overwritten at supersededAt.
+type supersededEvent struct {
+	writeEvent
+	supersededAt uint64
+}
+
+// applyManifestLocked folds version v's manifest (if any) into the supersede
+// tracking. Called exactly once per version, in publish order.
+func (b *blobState) applyManifestLocked(v uint64) {
+	m, ok := b.manifests[v]
+	if !ok {
+		return
+	}
+	delete(b.manifests, v)
+	for _, e := range m {
+		if prev, ok := b.lastWrite[e.index]; ok {
+			b.superseded = append(b.superseded, supersededEvent{writeEvent: prev, supersededAt: v})
+		}
+		b.lastWrite[e.index] = writeEvent{version: v, fp: e.fp, providers: e.providers}
+	}
+}
+
+// pinnedIn reports whether any cloned-from version lies in [from, until):
+// the clone shares the content visible there, so it must never be released.
+func (b *blobState) pinnedIn(from, until uint64) bool {
+	for _, p := range b.pins {
+		if p >= from && p < until {
+			return true
+		}
+	}
+	return false
 }
 
 // VersionManager serializes version publication and stores per-version
@@ -39,6 +91,16 @@ type VersionManager struct {
 // NewVersionManager returns an empty version manager.
 func NewVersionManager() *VersionManager {
 	return &VersionManager{blobs: make(map[uint64]*blobState), nextBlob: 1}
+}
+
+func newBlobState(id, chunkSize uint64) *blobState {
+	return &blobState{
+		id:        id,
+		chunkSize: chunkSize,
+		pending:   make(map[uint64]*VersionInfo),
+		manifests: make(map[uint64][]manifestEntry),
+		lastWrite: make(map[uint64]writeEvent),
+	}
 }
 
 // Serve binds the version manager to addr on n.
@@ -66,7 +128,7 @@ func (vm *VersionManager) handle(req []byte) ([]byte, error) {
 		}
 		id := vm.nextBlob
 		vm.nextBlob++
-		vm.blobs[id] = &blobState{id: id, chunkSize: chunkSize, pending: make(map[uint64]*VersionInfo)}
+		vm.blobs[id] = newBlobState(id, chunkSize)
 		w.PutU64(id)
 
 	case opTicket:
@@ -89,6 +151,10 @@ func (vm *VersionManager) handle(req []byte) ([]byte, error) {
 	case opCommit:
 		blob := r.U64()
 		info := getVersionInfo(r)
+		var manifest []manifestEntry
+		if r.Bool() { // dedup commit: per-chunk write manifest attached
+			manifest = getManifest(r)
+		}
 		if err := reqErr(op, r); err != nil {
 			return nil, err
 		}
@@ -104,6 +170,9 @@ func (vm *VersionManager) handle(req []byte) ([]byte, error) {
 		}
 		cp := info
 		b.pending[info.Version] = &cp
+		if len(manifest) > 0 {
+			b.manifests[info.Version] = manifest
+		}
 		// Publish in order: drain the pending queue while the next expected
 		// version is present. Commits arriving out of ticket order wait.
 		for {
@@ -113,6 +182,7 @@ func (vm *VersionManager) handle(req []byte) ([]byte, error) {
 			}
 			delete(b.pending, next.Version)
 			b.versions = append(b.versions, *next)
+			b.applyManifestLocked(next.Version)
 		}
 		w.PutU64(uint64(len(b.versions))) // published horizon
 
@@ -143,6 +213,7 @@ func (vm *VersionManager) handle(req []byte) ([]byte, error) {
 				}
 				delete(b.pending, next.Version)
 				b.versions = append(b.versions, *next)
+				b.applyManifestLocked(next.Version)
 			}
 		}
 
@@ -193,14 +264,14 @@ func (vm *VersionManager) handle(req []byte) ([]byte, error) {
 		id := vm.nextBlob
 		vm.nextBlob++
 		srcInfo := src.versions[srcVersion]
-		clone := &blobState{
-			id:        id,
-			chunkSize: src.chunkSize,
-			pending:   make(map[uint64]*VersionInfo),
-			nextTkt:   1,
-			// Chunk IDs are namespaced by the writing blob, so the clone can
-			// start from zero without colliding with the origin's chunks.
-		}
+		// The clone shares the origin's content at srcVersion forever: pin
+		// that version so retiring the origin never releases chunks the
+		// clone's tree still reaches.
+		src.pins = append(src.pins, srcVersion)
+		clone := newBlobState(id, src.chunkSize)
+		clone.nextTkt = 1
+		// Chunk IDs are namespaced by the writing blob, so the clone can
+		// start from zero without colliding with the origin's chunks.
 		clone.versions = []VersionInfo{{
 			Version: 0,
 			Size:    srcInfo.Size,
@@ -258,6 +329,32 @@ func (vm *VersionManager) handle(req []byte) ([]byte, error) {
 			b.retired = before
 		}
 		w.PutU64(b.retired)
+		// Collect the write events whose entire visibility window now falls
+		// below the retired horizon: those references can be released on the
+		// data providers. Events a clone still shares are dropped without
+		// release (pinned forever). This is O(superseded events), i.e.
+		// O(chunks written by retired versions) — no repository sweep.
+		var releasable []supersededEvent
+		keep := b.superseded[:0]
+		for _, ev := range b.superseded {
+			switch {
+			case ev.supersededAt > b.retired:
+				keep = append(keep, ev)
+			case b.pinnedIn(ev.version, ev.supersededAt):
+				// dropped: shared with a clone
+			default:
+				releasable = append(releasable, ev)
+			}
+		}
+		b.superseded = keep
+		w.PutUvarint(uint64(len(releasable)))
+		for _, ev := range releasable {
+			putFingerprint(w, ev.fp)
+			w.PutUvarint(uint64(len(ev.providers)))
+			for _, p := range ev.providers {
+				w.PutString(p)
+			}
+		}
 
 	case opListBlobs:
 		if err := reqErr(op, r); err != nil {

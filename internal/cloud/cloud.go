@@ -76,6 +76,7 @@ type Cloud struct {
 	net         *transport.InProc
 	repo        *blobseer.Deployment
 	replication int
+	dedup       bool
 
 	mu      sync.Mutex
 	nodes   []*Node
@@ -90,6 +91,12 @@ type Config struct {
 	MetaProviders int
 	Replication   int // chunk replica count for checkpoint data (default 1)
 	Seed          int64
+	// Dedup routes all repository writes through the content-addressed
+	// chunk repository (internal/cas): identical chunk content — across
+	// snapshots, across VMs — is stored once and never re-shipped, and
+	// pruning old checkpoints reclaims space by reference counting instead
+	// of a whole-repository sweep.
+	Dedup bool
 }
 
 // New builds a cloud: an in-process network, a BlobSeer deployment with one
@@ -122,13 +129,16 @@ func New(cfg Config) (*Cloud, error) {
 		})
 	}
 	c.replication = cfg.Replication
+	c.dedup = cfg.Dedup
 	return c, nil
 }
 
-// Client returns a repository client (replication configured at New).
+// Client returns a repository client (replication and dedup configured at
+// New).
 func (c *Cloud) Client() *blobseer.Client {
 	cl := c.repo.Client()
 	cl.Replication = c.replication
+	cl.Dedup = c.dedup
 	return cl
 }
 

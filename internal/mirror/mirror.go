@@ -50,6 +50,11 @@ type Module struct {
 	localHits   uint64
 	commits     uint64
 	dirtyBytes  uint64 // bytes written since last commit (<= len(dirty)*chunkSize)
+
+	// Cumulative commit accounting across all Commits. With a dedup-enabled
+	// client, committed chunks are fingerprinted and bodies the repository
+	// already holds are never shipped; these counters expose the savings.
+	commitStats blobseer.CommitStats
 }
 
 // Attach opens the given published snapshot (blob, version) as the device's
@@ -238,14 +243,24 @@ func (m *Module) Commit() (blobseer.VersionInfo, error) {
 		}
 		writes[idx] = chunk
 	}
-	info, err := m.client.WriteVersion(m.ckptBlob, writes, m.size)
+	info, cs, err := m.client.WriteVersionStats(m.ckptBlob, writes, m.size)
 	if err != nil {
 		return blobseer.VersionInfo{}, fmt.Errorf("mirror: commit: %w", err)
 	}
+	m.commitStats.Add(cs)
 	m.dirty = make(map[uint64]bool)
 	m.dirtyBytes = 0
 	m.commits++
 	return info, nil
+}
+
+// CommitStats returns the cumulative commit accounting: chunks committed,
+// chunks deduplicated away by the content-addressed repository, and logical
+// vs actually-transferred bytes.
+func (m *Module) CommitStats() blobseer.CommitStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commitStats
 }
 
 // CheckpointImage returns the checkpoint blob id, if Clone has happened.

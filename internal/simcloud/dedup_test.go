@@ -1,0 +1,65 @@
+package simcloud
+
+import "testing"
+
+func TestSuccessiveDedupSavesTransferAndStorage(t *testing.T) {
+	p := Default()
+	const rounds = 4
+	state := 200 * MB
+
+	plain := SuccessiveCheckpoints(p, BlobCRApp, rounds, state)
+	dedup := SuccessiveDedupCheckpoints(p, rounds, state, p.DedupOverlap)
+	if len(dedup) != rounds {
+		t.Fatalf("got %d rounds, want %d", len(dedup), rounds)
+	}
+
+	for i, r := range dedup {
+		if r.TransferBytes >= r.LogicalBytes {
+			t.Errorf("round %d: transfer %.0f >= logical %.0f", r.Round, r.TransferBytes, r.LogicalBytes)
+		}
+		if r.HitRate <= 0 || r.HitRate >= 1 {
+			t.Errorf("round %d: hit rate %.2f outside (0, 1)", r.Round, r.HitRate)
+		}
+		if i > 0 && r.StorageBytes <= dedup[i-1].StorageBytes {
+			t.Errorf("round %d: storage did not grow", r.Round)
+		}
+	}
+	// Steady-state hit rate exceeds the first round's (only the base image
+	// to dedup against initially).
+	if dedup[1].HitRate <= dedup[0].HitRate {
+		t.Error("steady-state hit rate not above first round")
+	}
+	// The dedup repository stores strictly less than plain BlobCR for the
+	// same workload, and the saving compounds across rounds.
+	if dedup[rounds-1].StorageBytes >= plain[rounds-1].StorageBytes {
+		t.Errorf("dedup storage %.0f MB >= plain %.0f MB",
+			dedup[rounds-1].StorageBytes/MB, plain[rounds-1].StorageBytes/MB)
+	}
+	saved := plain[rounds-1].StorageBytes - dedup[rounds-1].StorageBytes
+	if saved < 0.3*plain[rounds-1].StorageBytes {
+		t.Errorf("dedup saved only %.0f%% storage at overlap %.2f",
+			100*saved/plain[rounds-1].StorageBytes, p.DedupOverlap)
+	}
+	// Checkpoint time stays flat: fingerprinting costs are paid back by the
+	// smaller transfer, so dedup rounds are no slower than plain rounds.
+	for i := 1; i < rounds; i++ {
+		if dedup[i].TimeSeconds > plain[i].TimeSeconds {
+			t.Errorf("round %d: dedup %.2fs slower than plain %.2fs",
+				i+1, dedup[i].TimeSeconds, plain[i].TimeSeconds)
+		}
+	}
+}
+
+func TestSuccessiveDedupOverlapBounds(t *testing.T) {
+	p := Default()
+	zero := SuccessiveDedupCheckpoints(p, 2, 50*MB, 0)
+	for _, r := range zero {
+		if r.TransferBytes != r.LogicalBytes {
+			t.Errorf("overlap 0: round %d transferred %.0f of %.0f", r.Round, r.TransferBytes, r.LogicalBytes)
+		}
+	}
+	clamped := SuccessiveDedupCheckpoints(p, 2, 50*MB, 1.5)
+	if clamped[1].TransferBytes != 0 {
+		t.Errorf("overlap clamped to 1: steady-state round still transferred %.0f", clamped[1].TransferBytes)
+	}
+}

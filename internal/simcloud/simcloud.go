@@ -130,6 +130,14 @@ type Params struct {
 	BootCompute     float64 // guest OS boot CPU time
 	BootReadBytes   float64 // image bytes read while booting
 
+	// Content-addressed repository (internal/cas) costs.
+	HashRate      float64 // SHA-256 fingerprinting throughput per client
+	CasRefSvcTime float64 // per-chunk "have fingerprint?" round trip
+	// DedupOverlap is the default fraction of dirty chunks whose content the
+	// repository already holds (stdchk measures 0.25-0.80 for successive
+	// checkpoints of the same application).
+	DedupOverlap float64
+
 	// Replication is the checkpoint chunk replica count (ablation knob;
 	// the paper's experiments run with 1). Each extra replica multiplies
 	// the bytes a BlobCR commit pushes into the repository.
@@ -169,6 +177,10 @@ func Default() Params {
 		NoiseFiles:      50,
 		Qcow2Cluster:    4 * 1024,
 		BlcrExtraBytes:  1.8 * MB,
+
+		HashRate:      400 * MB, // SHA-256 on one 2009-era core
+		CasRefSvcTime: 0.00015,  // fingerprint lookup + refcount bump, pipelined
+		DedupOverlap:  0.4,
 
 		DrainBase:       0.15,
 		DrainPerProc:    0.004,
