@@ -15,6 +15,7 @@ package blobcr_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"testing"
 
@@ -31,12 +32,15 @@ const (
 	bImgSize = 1 << 20
 )
 
+// bctx is the default context for baseline test operations.
+var bctx = context.Background()
+
 // copyToPVFS stores a qcow2 image file in PVFS as path (the qcow2-disk
 // checkpoint operation: "the checkpointing proxy simply copies the locally
 // stored qcow2 image to PVFS as a new file").
 func copyToPVFS(t *testing.T, c *pvfs.Client, backend *vdisk.Buffer, path string) int64 {
 	t.Helper()
-	f, err := c.Create(path, 0)
+	f, err := c.Create(bctx, path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +64,7 @@ func copyToPVFS(t *testing.T, c *pvfs.Client, backend *vdisk.Buffer, path string
 // fetchFromPVFS loads a PVFS file back into a fresh image backend.
 func fetchFromPVFS(t *testing.T, c *pvfs.Client, path string) *vdisk.Buffer {
 	t.Helper()
-	f, err := c.Open(path)
+	f, err := c.Open(bctx, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +182,7 @@ func TestBaselineQcow2DiskFileGrowsAcrossCheckpoints(t *testing.T) {
 			t.Errorf("qcow2 file did not grow: checkpoint %d is %d bytes, previous %d", i+1, sizes[i], sizes[i-1])
 		}
 	}
-	cumulative, err = pc.Usage()
+	cumulative, err = pc.Usage(bctx)
 	if err != nil {
 		t.Fatal(err)
 	}

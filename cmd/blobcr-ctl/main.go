@@ -4,7 +4,7 @@
 // snapshot (the paper's standalone-checkpoint-inspection scenario), and
 // report the content-addressed repository's deduplication counters.
 //
-//	blobcr-ctl -vmanager ... -pmanager ... -meta ... upload  base.raw
+//	blobcr-ctl -vmanager ... -pmanager ... -meta ... [-timeout 30s] upload base.raw
 //	blobcr-ctl ... list
 //	blobcr-ctl ... download <blob> <version> out.raw
 //	blobcr-ctl ... clone    <blob> <version>
@@ -14,9 +14,13 @@
 // With -dedup, uploads go through the content-addressed repository
 // (internal/cas): chunk bodies the repository already holds are neither
 // stored again nor shipped over the network.
+//
+// With -timeout, every repository operation runs under a context deadline:
+// a hung daemon fails the command fast instead of blocking forever.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +42,7 @@ func main() {
 	meta := flag.String("meta", "", "comma-separated metadata provider addresses")
 	chunk := flag.Uint64("chunk", defaultChunkSize, "chunk size for uploads")
 	dedup := flag.Bool("dedup", false, "write through the content-addressed repository (dedup commits)")
+	timeout := flag.Duration("timeout", 0, "deadline for repository operations (0 = none); hung daemons fail fast")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -54,6 +59,12 @@ func main() {
 		MetaAddrs: strings.Split(*meta, ","),
 		Dedup:     *dedup,
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	args := flag.Args()
 	switch args[0] {
@@ -63,18 +74,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		blob, err := client.CreateBlob(*chunk)
+		blob, err := client.CreateBlob(ctx, *chunk)
 		if err != nil {
 			log.Fatal(err)
 		}
-		info, err := client.WriteAt(blob, 0, raw)
+		info, err := client.WriteAt(ctx, blob, 0, raw)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("uploaded %s: blob=%d version=%d size=%d\n", args[1], blob, info.Version, info.Size)
 
 	case "list":
-		blobs, err := client.ListBlobs()
+		blobs, err := client.ListBlobs(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,7 +93,7 @@ func main() {
 		for _, b := range blobs {
 			size := "-"
 			if b.Versions > 0 {
-				if info, _, err := client.Latest(b.ID); err == nil {
+				if info, _, err := client.Latest(ctx, b.ID); err == nil {
 					size = strconv.FormatUint(info.Size, 10)
 				}
 			}
@@ -91,33 +102,33 @@ func main() {
 
 	case "download":
 		need(args, 4)
-		blob, version := parseU64(args[1]), parseU64(args[2])
-		info, _, err := client.GetVersion(blob, version)
+		ref := blobseer.SnapshotRef{Blob: parseU64(args[1]), Version: parseU64(args[2])}
+		info, _, err := client.GetVersion(ctx, ref)
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := client.ReadVersion(blob, version, 0, info.Size)
+		data, err := client.ReadVersion(ctx, ref, 0, info.Size)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if err := os.WriteFile(args[3], data, 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("downloaded blob=%d version=%d (%d bytes) to %s\n", blob, version, len(data), args[3])
+		fmt.Printf("downloaded %s (%d bytes) to %s\n", ref, len(data), args[3])
 
 	case "clone":
 		need(args, 3)
-		blob, version := parseU64(args[1]), parseU64(args[2])
-		id, err := client.Clone(blob, version)
+		ref := blobseer.SnapshotRef{Blob: parseU64(args[1]), Version: parseU64(args[2])}
+		id, err := client.Clone(ctx, ref)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("cloned blob=%d version=%d -> blob=%d\n", blob, version, id)
+		fmt.Printf("cloned %s -> blob=%d\n", ref, id)
 
 	case "inspect":
 		need(args, 3)
-		blob, version := parseU64(args[1]), parseU64(args[2])
-		mod, err := mirror.Attach(client, blob, version)
+		ref := blobseer.SnapshotRef{Blob: parseU64(args[1]), Version: parseU64(args[2])}
+		mod, err := mirror.Attach(ctx, client, ref)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -154,11 +165,11 @@ func main() {
 		}
 
 	case "stats":
-		providers, err := client.Providers()
+		providers, err := client.Providers(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, err := client.CasStats(providers)
+		st, err := client.CasStats(ctx, providers)
 		if err != nil {
 			log.Fatal(err)
 		}

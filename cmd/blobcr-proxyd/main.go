@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"flag"
@@ -58,8 +59,9 @@ func main() {
 	}
 	log.Printf("checkpointing proxy listening on %s", srv.Addr())
 
+	ctx := context.Background()
 	for i := 0; i < *instances; i++ {
-		mod, err := mirror.Attach(client, *base, *version)
+		mod, err := mirror.Attach(ctx, client, blobseer.SnapshotRef{Blob: *base, Version: *version})
 		if err != nil {
 			log.Fatalf("attach base image: %v", err)
 		}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -70,7 +71,7 @@ func main() {
 				addr = srv.Addr()
 			}
 			client := &blobseer.Client{Net: net, PMAddr: *pmanager}
-			if rerr := client.RegisterProvider(addr); rerr != nil {
+			if rerr := client.RegisterProvider(context.Background(), addr); rerr != nil {
 				log.Fatalf("register with provider manager: %v", rerr)
 			}
 			log.Printf("registered %s with provider manager %s", addr, *pmanager)

@@ -21,4 +21,33 @@
 // collection (future work, Section 6) in incremental form; the
 // mark-and-sweep collector remains as the exhaustive fallback. Enable it
 // with blobseer.Client.Dedup or cloud.Config.Dedup.
+//
+// # Asynchronous checkpoint handles
+//
+// The checkpoint lifecycle is asynchronous end to end: the proxy's
+// CHECKPOINT verb resumes the VM as soon as its dirty chunks are captured
+// locally, and the commit to the repository proceeds in the background
+// behind a handle (mirror.PendingCommit / core.PendingCheckpoint) that
+// WAIT or POLL resolve. Every operation takes a context.Context —
+// cancelling an in-flight commit runs the abort path and returns every
+// content-addressed reference it took — and snapshot identity is the one
+// blobseer.SnapshotRef value type at every layer.
+//
+// Migration from the old synchronous API:
+//
+//	Old (synchronous, bare pairs)               New (handles, contexts, refs)
+//	-----------------------------               -----------------------------
+//	transport.Network.Call(addr, req)           Call(ctx, addr, req)
+//	blobseer GetVersion(blob, ver)              GetVersion(ctx, SnapshotRef{blob, ver})
+//	blobseer ReadVersion(blob, ver, off, n)     ReadVersion(ctx, ref, off, n)
+//	blobseer Clone(blob, ver)                   Clone(ctx, ref)
+//	mirror.Attach(c, blob, ver)                 Attach(ctx, c, ref)
+//	mirror Commit()                             Commit(ctx), or CommitAsync(ctx) -> *PendingCommit
+//	proxy RequestCheckpoint() (blob, ver)       RequestCheckpoint(ctx) (SnapshotRef) — or
+//	                                            RequestCheckpointAsync(ctx) + WaitCheckpoint/PollCheckpoint
+//	cloud UploadBaseImage(raw, cs) (b, v)       UploadBaseImage(ctx, raw, cs) (SnapshotRef)
+//	core NewJob(cl, blob, ver, cfg)             NewJob(ctx, cl, ref, cfg)
+//	core Rank.Checkpoint(save)                  Checkpoint(ctx, save), or
+//	                                            CheckpointAsync(ctx, save) -> *PendingCheckpoint
+//	string-matching "not found" errors          errors.Is(err, transport.ErrNotFound)
 package blobcr

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,6 +24,7 @@ import (
 
 func main() {
 	fmt.Println("== CM1 hurricane simulation with BlobCR checkpointing ==")
+	ctx := context.Background()
 
 	cl, err := cloud.New(cloud.Config{Nodes: 4, MetaProviders: 2, Replication: 2})
 	if err != nil {
@@ -30,7 +32,7 @@ func main() {
 	}
 	defer cl.Close()
 
-	base, baseVer, err := cl.UploadBaseImage(make([]byte, 4<<20), 4096)
+	base, err := cl.UploadBaseImage(ctx, make([]byte, 4<<20), 4096)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func main() {
 	fmt.Printf("subdomain %dx%dx%d, %d variables: %d KB state, %d KB allocated per rank\n",
 		cfg.NX, cfg.NY, cfg.NZ, cfg.Vars, cfg.StateBytes()/1024, cfg.AllocBytes()/1024)
 
-	job, err := core.NewJob(cl, base, baseVer, core.JobConfig{
+	job, err := core.NewJob(ctx, cl, base, core.JobConfig{
 		Instances:  2,
 		RanksPerVM: 2,
 		Mode:       core.AppLevel,
@@ -71,7 +73,7 @@ func main() {
 				}
 			}
 		}
-		id, err := r.Checkpoint(func(fs *guestfs.FS) error {
+		id, err := r.Checkpoint(ctx, func(fs *guestfs.FS) error {
 			return sim.WriteCheckpoint(fs, r.StatePath())
 		})
 		if err != nil {
@@ -96,12 +98,12 @@ func main() {
 
 	// Node failure.
 	victim := job.Deployment().Instances[1].Node.Name
-	cl.FailNode(victim)
+	cl.FailNode(ctx, victim)
 	cl.KillDeploymentInstancesOn(job.Deployment())
 	fmt.Printf("node %s failed; restarting from checkpoint %d\n", victim, ckptID)
 
 	// Phase 2: restart and re-integrate; the result must be bit-identical.
-	err = job.Restart(ckptID, func(r *core.Rank) error {
+	err = job.Restart(ctx, ckptID, func(r *core.Rank) error {
 		sim, err := cm1.New(cfg, r.Comm, r.Proc)
 		if err != nil {
 			return err

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -29,17 +30,18 @@ const (
 
 func main() {
 	fmt.Println("== transparent checkpoint-restart (blcr mode) under repeated failures ==")
+	ctx := context.Background()
 
 	cl, err := cloud.New(cloud.Config{Nodes: 6, MetaProviders: 2, Replication: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
-	base, baseVer, err := cl.UploadBaseImage(make([]byte, 2<<20), 4096)
+	base, err := cl.UploadBaseImage(ctx, make([]byte, 2<<20), 4096)
 	if err != nil {
 		log.Fatal(err)
 	}
-	job, err := core.NewJob(cl, base, baseVer, core.JobConfig{
+	job, err := core.NewJob(ctx, cl, base, core.JobConfig{
 		Instances: 3,
 		Mode:      core.ProcessLevel,
 		VMConfig:  vm.Config{BlockSize: 512, BootNoiseBytes: 8 * 1024},
@@ -73,7 +75,7 @@ func main() {
 			binary.LittleEndian.PutUint64(counter, iter)
 			r.Proc.SetRegisters(blcr.Registers{PC: iter})
 			if iter%ckptEvery == 0 {
-				if _, err := r.Checkpoint(nil); err != nil {
+				if _, err := r.Checkpoint(ctx, nil); err != nil {
 					return err
 				}
 				if r.Comm.Rank() == 0 {
@@ -91,7 +93,7 @@ func main() {
 	// Now keep breaking nodes and restarting from the latest checkpoint.
 	for round := 1; round <= 2; round++ {
 		victim := job.Deployment().Instances[round%3].Node.Name
-		if err := cl.FailNode(victim); err != nil {
+		if err := cl.FailNode(ctx, victim); err != nil {
 			log.Fatal(err)
 		}
 		cl.KillDeploymentInstancesOn(job.Deployment())
@@ -100,7 +102,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("failure round %d: node %s down, rolling back to checkpoint %d\n", round, victim, ckpt)
-		if err := job.Restart(ckpt, body); err != nil {
+		if err := job.Restart(ctx, ckpt, body); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("failure round %d: job completed after rollback\n", round)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,17 +24,18 @@ import (
 
 func main() {
 	fmt.Println("== inspecting checkpoint snapshots as standalone images ==")
+	ctx := context.Background()
 
 	cl, err := cloud.New(cloud.Config{Nodes: 3, MetaProviders: 2, Replication: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
-	base, baseVer, err := cl.UploadBaseImage(make([]byte, 2<<20), 4096)
+	base, err := cl.UploadBaseImage(ctx, make([]byte, 2<<20), 4096)
 	if err != nil {
 		log.Fatal(err)
 	}
-	job, err := core.NewJob(cl, base, baseVer, core.JobConfig{
+	job, err := core.NewJob(ctx, cl, base, core.JobConfig{
 		Instances: 1,
 		Mode:      core.AppLevel,
 		VMConfig:  vm.Config{BlockSize: 512, BootNoiseBytes: 8 * 1024},
@@ -57,7 +59,7 @@ func main() {
 			if _, err := f.Append([]byte(logLine)); err != nil {
 				return err
 			}
-			if _, err := r.Checkpoint(func(fs *guestfs.FS) error {
+			if _, err := r.Checkpoint(ctx, func(fs *guestfs.FS) error {
 				return fs.WriteFile(r.StatePath(), []byte(state))
 			}); err != nil {
 				return err
@@ -74,7 +76,7 @@ func main() {
 
 	for _, cp := range cps {
 		for vmID, ref := range cp.Snapshots {
-			fs, err := core.InspectSnapshot(cl, ref)
+			fs, err := core.InspectSnapshot(ctx, cl, ref)
 			if err != nil {
 				log.Fatal(err)
 			}

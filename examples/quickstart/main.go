@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 
 func main() {
 	fmt.Println("== BlobCR quickstart ==")
+	ctx := context.Background()
 
 	// 1. Deploy the cloud: 4 compute nodes, each contributing its local
 	// disk to the checkpoint repository, chunk replication 2.
@@ -35,14 +37,14 @@ func main() {
 	fmt.Printf("deployed cloud: %d nodes\n", len(cl.Nodes()))
 
 	// 2. Upload a 2 MB base disk image.
-	base, baseVer, err := cl.UploadBaseImage(make([]byte, 2<<20), 4096)
+	base, err := cl.UploadBaseImage(ctx, make([]byte, 2<<20), 4096)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("uploaded base image: blob=%d version=%d\n", base, baseVer)
+	fmt.Printf("uploaded base image: %s\n", base)
 
 	// 3. Boot a 2-instance MPI job with application-level checkpointing.
-	job, err := core.NewJob(cl, base, baseVer, core.JobConfig{
+	job, err := core.NewJob(ctx, cl, base, core.JobConfig{
 		Instances: 2,
 		Mode:      core.AppLevel,
 		VMConfig:  vm.Config{BlockSize: 512, BootNoiseBytes: 16 * 1024},
@@ -52,7 +54,10 @@ func main() {
 	}
 	fmt.Printf("booted %d instances (%d MPI ranks)\n", 2, job.Ranks())
 
-	// 4. Run: compute to iteration 1000, checkpoint, compute further.
+	// 4. Run: compute to iteration 1000, checkpoint asynchronously —
+	// the VMs resume as soon as their dirty chunks are captured, and the
+	// upload overlaps with the computation that follows — then resolve the
+	// handle.
 	var ckptID int
 	err = job.Run(func(r *core.Rank) error {
 		iter := uint64(1000)
@@ -60,7 +65,7 @@ func main() {
 		if _, err := r.Comm.Allreduce(float64(iter), mpi.OpMax); err != nil {
 			return err
 		}
-		id, err := r.Checkpoint(func(fs *guestfs.FS) error {
+		pending, err := r.CheckpointAsync(ctx, func(fs *guestfs.FS) error {
 			buf := make([]byte, 8)
 			binary.LittleEndian.PutUint64(buf, iter)
 			return fs.WriteFile(r.StatePath(), buf)
@@ -68,9 +73,18 @@ func main() {
 		if err != nil {
 			return err
 		}
+		// Compute while the snapshots commit in the background...
+		if _, err := r.Comm.Allreduce(float64(iter+1), mpi.OpMax); err != nil {
+			return err
+		}
+		// ...then resolve the handle into the recorded checkpoint id.
+		id, err := pending.Wait()
+		if err != nil {
+			return err
+		}
 		if r.Comm.Rank() == 0 {
 			ckptID = id
-			fmt.Printf("global checkpoint %d recorded\n", id)
+			fmt.Printf("global checkpoint %d recorded (committed while computing)\n", id)
 		}
 		// Work past the checkpoint; these writes must be rolled back.
 		return r.FS().WriteFile("/scratch.log", []byte("will be rolled back"))
@@ -81,14 +95,14 @@ func main() {
 
 	// 5. Fail-stop a node hosting one of the instances.
 	victim := job.Deployment().Instances[0].Node.Name
-	if err := cl.FailNode(victim); err != nil {
+	if err := cl.FailNode(ctx, victim); err != nil {
 		log.Fatal(err)
 	}
 	dead := cl.KillDeploymentInstancesOn(job.Deployment())
 	fmt.Printf("injected fail-stop on %s (killed %v)\n", victim, dead)
 
 	// 6. Restart from the checkpoint.
-	err = job.Restart(ckptID, func(r *core.Rank) error {
+	err = job.Restart(ctx, ckptID, func(r *core.Rank) error {
 		buf, err := r.FS().ReadFile(r.StatePath())
 		if err != nil {
 			return fmt.Errorf("rank %d: state missing after rollback: %w", r.Comm.Rank(), err)

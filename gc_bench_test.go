@@ -7,11 +7,14 @@ package blobcr_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"blobcr/internal/blobseer"
 	"blobcr/internal/transport"
 )
+
+var gctx = context.Background()
 
 func BenchmarkGCReclaim(b *testing.B) {
 	const chunk = 4096
@@ -22,7 +25,7 @@ func BenchmarkGCReclaim(b *testing.B) {
 			b.Fatal(err)
 		}
 		c := d.Client()
-		blob, err := c.CreateBlob(chunk)
+		blob, err := c.CreateBlob(gctx, chunk)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -32,15 +35,15 @@ func BenchmarkGCReclaim(b *testing.B) {
 			for idx := uint64(0); idx < 32; idx++ {
 				writes[idx] = bytes.Repeat([]byte{byte(v)}, chunk)
 			}
-			if _, err := c.WriteVersion(blob, writes, 32*chunk); err != nil {
+			if _, err := c.WriteVersion(gctx, blob, writes, 32*chunk); err != nil {
 				b.Fatal(err)
 			}
 		}
-		if err := c.Retire(blob, 7); err != nil {
+		if err := c.Retire(gctx, blob, 7); err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		stats, err := c.GC(d.DataAddrs)
+		stats, err := c.GC(gctx, d.DataAddrs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,7 +62,7 @@ func BenchmarkGCReclaim(b *testing.B) {
 // state) and the rest are fresh. Returns cumulative commit stats.
 func successiveCommits(b *testing.B, c *blobseer.Client, rounds, chunks, chunk int, overlap float64) blobseer.CommitStats {
 	b.Helper()
-	blob, err := c.CreateBlob(uint64(chunk))
+	blob, err := c.CreateBlob(gctx, uint64(chunk))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -76,7 +79,7 @@ func successiveCommits(b *testing.B, c *blobseer.Client, rounds, chunks, chunk i
 			}
 			writes[uint64(idx)] = bytes.Repeat([]byte{fill}, chunk)
 		}
-		_, cs, err := c.WriteVersionStats(blob, writes, uint64(chunks*chunk))
+		_, cs, err := c.WriteVersionStats(gctx, blob, writes, uint64(chunks*chunk))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +149,7 @@ func BenchmarkRetireRefcountReclaim(b *testing.B) {
 		}
 		c := d.Client()
 		c.Dedup = true
-		blob, err := c.CreateBlob(chunk)
+		blob, err := c.CreateBlob(gctx, chunk)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,12 +160,12 @@ func BenchmarkRetireRefcountReclaim(b *testing.B) {
 			for idx := uint64(0); idx < 32; idx++ {
 				writes[idx] = bytes.Repeat([]byte{byte(v)}, chunk)
 			}
-			if _, err := c.WriteVersion(blob, writes, 32*chunk); err != nil {
+			if _, err := c.WriteVersion(gctx, blob, writes, 32*chunk); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.StartTimer()
-		stats, err = c.RetireStats(blob, 7)
+		stats, err = c.RetireStats(gctx, blob, 7)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,6 +7,7 @@ package blobcr_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,8 +21,10 @@ import (
 
 const itChunk = 4096
 
+var itCtx = context.Background()
+
 // tcpStack deploys BlobSeer over TCP and uploads a formatted base image.
-func tcpStack(t *testing.T) (*transport.TCP, *blobseer.Deployment, *blobseer.Client, uint64, uint64) {
+func tcpStack(t *testing.T) (*transport.TCP, *blobseer.Deployment, *blobseer.Client, blobseer.SnapshotRef) {
 	t.Helper()
 	net := transport.NewTCP()
 	t.Cleanup(func() { net.Close() })
@@ -31,22 +34,22 @@ func tcpStack(t *testing.T) (*transport.TCP, *blobseer.Deployment, *blobseer.Cli
 	}
 	t.Cleanup(d.Close)
 	c := d.Client()
-	base, err := c.CreateBlob(itChunk)
+	base, err := c.CreateBlob(itCtx, itChunk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := c.WriteAt(base, 0, make([]byte, 1<<20))
+	info, err := c.WriteAt(itCtx, base, 0, make([]byte, 1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return net, d, c, base, info.Version
+	return net, d, c, blobseer.SnapshotRef{Blob: base, Version: info.Version}
 }
 
 func TestTCPEndToEndCheckpointRestart(t *testing.T) {
-	net, _, c, base, baseVer := tcpStack(t)
+	net, _, c, baseRef := tcpStack(t)
 
 	// Node agent: attach mirror, boot VM, register with a TCP proxy.
-	mod, err := mirror.Attach(c, base, baseVer)
+	mod, err := mirror.Attach(itCtx, c, baseRef)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +70,7 @@ func TestTCPEndToEndCheckpointRestart(t *testing.T) {
 	if err := inst.FS().WriteFile("/result", []byte("computed over TCP")); err != nil {
 		t.Fatal(err)
 	}
-	blob, version, err := pc.RequestCheckpoint()
+	ref, err := pc.RequestCheckpoint(itCtx)
 	if err != nil {
 		t.Fatalf("checkpoint over TCP: %v", err)
 	}
@@ -77,7 +80,7 @@ func TestTCPEndToEndCheckpointRestart(t *testing.T) {
 	inst.Kill()
 
 	// Restart on a "different node": new mirror over TCP from the snapshot.
-	mod2, err := mirror.AttachCheckpoint(c, blob, version)
+	mod2, err := mirror.AttachCheckpoint(itCtx, c, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +101,10 @@ func TestTCPEndToEndCheckpointRestart(t *testing.T) {
 }
 
 func TestTCPSnapshotDownloadAndInspect(t *testing.T) {
-	net, _, c, base, baseVer := tcpStack(t)
+	net, _, c, baseRef := tcpStack(t)
 	_ = net
 
-	mod, err := mirror.Attach(c, base, baseVer)
+	mod, err := mirror.Attach(itCtx, c, baseRef)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,17 +114,17 @@ func TestTCPSnapshotDownloadAndInspect(t *testing.T) {
 	}
 	inst.FS().MkdirAll("/data")
 	inst.FS().WriteFile("/data/answer", []byte("42"))
-	if err := mod.Clone(); err != nil {
+	if err := mod.Clone(itCtx); err != nil {
 		t.Fatal(err)
 	}
-	info, err := mod.Commit()
+	info, err := mod.Commit(itCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ckpt, _ := mod.CheckpointImage()
 
 	// Download the snapshot as a standalone raw image (blobcr-ctl download).
-	raw, err := c.ReadVersion(ckpt, info.Version, 0, uint64(mod.Size()))
+	raw, err := c.ReadVersion(itCtx, blobseer.SnapshotRef{Blob: ckpt, Version: info.Version}, 0, uint64(mod.Size()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +163,7 @@ func (d *deviceBytes) Size() int64  { return int64(len(d.b)) }
 func (d *deviceBytes) Flush() error { return nil }
 
 func TestTCPMultiVMConcurrentCheckpoints(t *testing.T) {
-	net, _, c, base, baseVer := tcpStack(t)
+	net, _, c, baseRef := tcpStack(t)
 
 	const nVMs = 4
 	type unit struct {
@@ -175,7 +178,7 @@ func TestTCPMultiVMConcurrentCheckpoints(t *testing.T) {
 	}
 	defer srv.Close()
 	for i := 0; i < nVMs; i++ {
-		mod, err := mirror.Attach(c, base, baseVer)
+		mod, err := mirror.Attach(itCtx, c, baseRef)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,15 +194,15 @@ func TestTCPMultiVMConcurrentCheckpoints(t *testing.T) {
 
 	// Concurrent checkpoint requests, as a global checkpoint issues them.
 	type result struct {
-		blob, version uint64
-		err           error
+		ref blobseer.SnapshotRef
+		err error
 	}
 	results := make(chan result, nVMs)
 	for _, u := range units {
 		u := u
 		go func() {
-			b, v, err := u.pc.RequestCheckpoint()
-			results <- result{b, v, err}
+			ref, err := u.pc.RequestCheckpoint(itCtx)
+			results <- result{ref, err}
 		}()
 	}
 	seen := map[uint64]bool{}
@@ -208,12 +211,12 @@ func TestTCPMultiVMConcurrentCheckpoints(t *testing.T) {
 		if r.err != nil {
 			t.Fatalf("concurrent checkpoint: %v", r.err)
 		}
-		if seen[r.blob] {
-			t.Errorf("two VMs share checkpoint image %d", r.blob)
+		if seen[r.ref.Blob] {
+			t.Errorf("two VMs share checkpoint image %d", r.ref.Blob)
 		}
-		seen[r.blob] = true
+		seen[r.ref.Blob] = true
 		// Each snapshot holds its own VM's rank file.
-		raw, err := c.ReadVersion(r.blob, r.version, 0, 1<<20)
+		raw, err := c.ReadVersion(itCtx, r.ref, 0, 1<<20)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -224,10 +227,10 @@ func TestTCPMultiVMConcurrentCheckpoints(t *testing.T) {
 }
 
 func TestTCPGarbageCollectionAfterCheckpoints(t *testing.T) {
-	net, d, c, base, baseVer := tcpStack(t)
+	net, d, c, baseRef := tcpStack(t)
 	_ = net
 
-	mod, err := mirror.Attach(c, base, baseVer)
+	mod, err := mirror.Attach(itCtx, c, baseRef)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,34 +238,34 @@ func TestTCPGarbageCollectionAfterCheckpoints(t *testing.T) {
 	if err := inst.Boot(); err != nil {
 		t.Fatal(err)
 	}
-	if err := mod.Clone(); err != nil {
+	if err := mod.Clone(itCtx); err != nil {
 		t.Fatal(err)
 	}
 	var last blobseer.VersionInfo
 	for i := 0; i < 5; i++ {
 		inst.FS().WriteFile("/state", bytes.Repeat([]byte{byte(i + 1)}, 64*1024))
 		inst.FS().Sync()
-		last, err = mod.Commit()
+		last, err = mod.Commit(itCtx)
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
 	ckpt, _ := mod.CheckpointImage()
-	_, chunksBefore, err := c.Usage(d.DataAddrs)
+	_, chunksBefore, err := c.Usage(itCtx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Retire(ckpt, last.Version); err != nil {
+	if err := c.Retire(itCtx, ckpt, last.Version); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := c.GC(d.DataAddrs)
+	stats, err := c.GC(itCtx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.DeletedChunks == 0 {
 		t.Error("GC over TCP reclaimed nothing")
 	}
-	_, chunksAfter, err := c.Usage(d.DataAddrs)
+	_, chunksAfter, err := c.Usage(itCtx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +273,7 @@ func TestTCPGarbageCollectionAfterCheckpoints(t *testing.T) {
 		t.Errorf("chunks %d -> %d", chunksBefore, chunksAfter)
 	}
 	// The surviving snapshot still boots.
-	mod2, err := mirror.AttachCheckpoint(c, ckpt, last.Version)
+	mod2, err := mirror.AttachCheckpoint(itCtx, c, blobseer.SnapshotRef{Blob: ckpt, Version: last.Version})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,13 +283,6 @@ func TestTCPGarbageCollectionAfterCheckpoints(t *testing.T) {
 	}
 	got, err := inst2.FS().ReadFile("/state")
 	if err != nil || got[0] != 5 {
-		t.Errorf("state after GC: %v, %v", got[:minI(4, len(got))], err)
+		t.Errorf("state after GC: %v, %v", got[:min(4, len(got))], err)
 	}
-}
-
-func minI(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -244,5 +244,6 @@ func All(p simcloud.Params, c simcloud.CM1Params) []Series {
 		Fig5cSuccessiveDedup(p),
 		Table1CM1SnapshotSize(p, c),
 		Fig6CM1Checkpoint(p, c),
+		FigDowntime(),
 	}
 }

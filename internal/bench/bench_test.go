@@ -12,8 +12,8 @@ func TestAllSeriesWellFormed(t *testing.T) {
 	p := simcloud.Default()
 	c := simcloud.DefaultCM1()
 	series := All(p, c)
-	if len(series) != 10 {
-		t.Fatalf("All returned %d series, want 10 (every table and figure, plus the CAS dedup extension)", len(series))
+	if len(series) != 11 {
+		t.Fatalf("All returned %d series, want 11 (every table and figure, the CAS dedup extension, and the downtime experiment)", len(series))
 	}
 	for _, s := range series {
 		if s.Title == "" || len(s.Columns) == 0 || len(s.Rows) == 0 {
@@ -120,5 +120,35 @@ func TestAblationGranularityTaxSmallAndShrinking(t *testing.T) {
 	}
 	if s.Rows[0].Values[2] <= s.Rows[len(s.Rows)-1].Values[2] {
 		t.Error("relative overhead should shrink as buffers grow")
+	}
+}
+
+// TestDowntimeAsyncIndependentOfDirtySet is the acceptance check for the
+// asynchronous checkpoint pipeline: the number of network round trips that
+// land inside the suspend window is constant for async commits regardless
+// of the dirty-set size, while the synchronous path grows with it — and at
+// the largest dirty set the async downtime is strictly smaller.
+func TestDowntimeAsyncIndependentOfDirtySet(t *testing.T) {
+	results, err := RunDowntime([]int{8, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		// The async window holds the CHECKPOINT exchange (1 round trip); the
+		// background upload may race one extra call onto the shared counter.
+		// What matters is a constant bound, independent of the dirty set.
+		if r.AsyncNetCalls > 3 {
+			t.Errorf("async round trips under suspend scale with dirty set: %d at %v MB", r.AsyncNetCalls, r.DirtyMB)
+		}
+		if i > 0 && r.SyncNetCalls < results[i-1].SyncNetCalls+10 {
+			t.Errorf("sync round trips did not grow with dirty set: %d then %d", results[i-1].SyncNetCalls, r.SyncNetCalls)
+		}
+	}
+	last := results[len(results)-1]
+	if last.AsyncMillis >= last.SyncMillis {
+		t.Errorf("async downtime %.2fms not below sync %.2fms at %v MB dirty", last.AsyncMillis, last.SyncMillis, last.DirtyMB)
 	}
 }

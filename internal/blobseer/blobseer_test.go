@@ -2,6 +2,7 @@ package blobseer
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -9,6 +10,9 @@ import (
 
 	"blobcr/internal/transport"
 )
+
+// ctx is the default context for test operations.
+var ctx = context.Background()
 
 const testChunkSize = 256
 
@@ -25,7 +29,7 @@ func deploy(t *testing.T, nMeta, nData int) (*Deployment, *Client) {
 
 func TestCreateAndWriteRead(t *testing.T) {
 	_, c := deploy(t, 3, 4)
-	blob, err := c.CreateBlob(testChunkSize)
+	blob, err := c.CreateBlob(ctx, testChunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,14 +37,14 @@ func TestCreateAndWriteRead(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i % 251)
 	}
-	info, err := c.WriteAt(blob, 0, data)
+	info, err := c.WriteAt(ctx, blob, 0, data)
 	if err != nil {
 		t.Fatalf("WriteAt: %v", err)
 	}
 	if info.Size != uint64(len(data)) {
 		t.Errorf("Size = %d, want %d", info.Size, len(data))
 	}
-	got, err := c.ReadVersion(blob, info.Version, 0, uint64(len(data)))
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, uint64(len(data)))
 	if err != nil {
 		t.Fatalf("ReadVersion: %v", err)
 	}
@@ -51,18 +55,18 @@ func TestCreateAndWriteRead(t *testing.T) {
 
 func TestUnalignedWriteReadModifyWrite(t *testing.T) {
 	_, c := deploy(t, 2, 3)
-	blob, _ := c.CreateBlob(testChunkSize)
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
 	base := bytes.Repeat([]byte{0xAA}, 2*testChunkSize)
-	if _, err := c.WriteAt(blob, 0, base); err != nil {
+	if _, err := c.WriteAt(ctx, blob, 0, base); err != nil {
 		t.Fatal(err)
 	}
 	// Overwrite a range crossing the chunk boundary, unaligned on both ends.
 	patch := bytes.Repeat([]byte{0xBB}, 100)
-	info, err := c.WriteAt(blob, testChunkSize-50, patch)
+	info, err := c.WriteAt(ctx, blob, testChunkSize-50, patch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.ReadVersion(blob, info.Version, 0, 2*testChunkSize)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, 2*testChunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,20 +79,20 @@ func TestUnalignedWriteReadModifyWrite(t *testing.T) {
 
 func TestVersioningIsolation(t *testing.T) {
 	_, c := deploy(t, 2, 3)
-	blob, _ := c.CreateBlob(testChunkSize)
-	v0, err := c.WriteAt(blob, 0, bytes.Repeat([]byte{1}, testChunkSize))
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
+	v0, err := c.WriteAt(ctx, blob, 0, bytes.Repeat([]byte{1}, testChunkSize))
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := c.WriteAt(blob, 0, bytes.Repeat([]byte{2}, testChunkSize))
+	v1, err := c.WriteAt(ctx, blob, 0, bytes.Repeat([]byte{2}, testChunkSize))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got0, err := c.ReadVersion(blob, v0.Version, 0, testChunkSize)
+	got0, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: v0.Version}, 0, testChunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got1, err := c.ReadVersion(blob, v1.Version, 0, testChunkSize)
+	got1, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: v1.Version}, 0, testChunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,14 +103,14 @@ func TestVersioningIsolation(t *testing.T) {
 
 func TestHolesReadAsZeros(t *testing.T) {
 	_, c := deploy(t, 2, 3)
-	blob, _ := c.CreateBlob(testChunkSize)
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
 	// Write only chunk 3; chunks 0-2 are holes.
 	writes := map[uint64][]byte{3: bytes.Repeat([]byte{7}, testChunkSize)}
-	info, err := c.WriteVersion(blob, writes, 4*testChunkSize)
+	info, err := c.WriteVersion(ctx, blob, writes, 4*testChunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.ReadVersion(blob, info.Version, 0, 4*testChunkSize)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, 4*testChunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,19 +128,19 @@ func TestHolesReadAsZeros(t *testing.T) {
 
 func TestReadPastEndTruncates(t *testing.T) {
 	_, c := deploy(t, 2, 2)
-	blob, _ := c.CreateBlob(testChunkSize)
-	info, err := c.WriteAt(blob, 0, []byte("hello"))
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
+	info, err := c.WriteAt(ctx, blob, 0, []byte("hello"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.ReadVersion(blob, info.Version, 0, 1000)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(got) != "hello" {
 		t.Errorf("got %q", got)
 	}
-	got, err = c.ReadVersion(blob, info.Version, 100, 10)
+	got, err = c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 100, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,16 +151,16 @@ func TestReadPastEndTruncates(t *testing.T) {
 
 func TestIncrementalCommitMovesOnlyDiffs(t *testing.T) {
 	d, c := deploy(t, 2, 3)
-	blob, _ := c.CreateBlob(testChunkSize)
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
 	// Version 0: 64 chunks.
 	full := make(map[uint64][]byte)
 	for i := uint64(0); i < 64; i++ {
 		full[i] = bytes.Repeat([]byte{byte(i)}, testChunkSize)
 	}
-	if _, err := c.WriteVersion(blob, full, 64*testChunkSize); err != nil {
+	if _, err := c.WriteVersion(ctx, blob, full, 64*testChunkSize); err != nil {
 		t.Fatal(err)
 	}
-	bytesAfterV0, chunksAfterV0, err := c.Usage(d.DataAddrs)
+	bytesAfterV0, chunksAfterV0, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,10 +172,10 @@ func TestIncrementalCommitMovesOnlyDiffs(t *testing.T) {
 		10: bytes.Repeat([]byte{0xFF}, testChunkSize),
 		20: bytes.Repeat([]byte{0xFE}, testChunkSize),
 	}
-	if _, err := c.WriteVersion(blob, delta, 64*testChunkSize); err != nil {
+	if _, err := c.WriteVersion(ctx, blob, delta, 64*testChunkSize); err != nil {
 		t.Fatal(err)
 	}
-	bytesAfterV1, chunksAfterV1, err := c.Usage(d.DataAddrs)
+	bytesAfterV1, chunksAfterV1, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,30 +189,30 @@ func TestIncrementalCommitMovesOnlyDiffs(t *testing.T) {
 
 func TestCloneSharesAndDiverges(t *testing.T) {
 	d, c := deploy(t, 2, 3)
-	src, _ := c.CreateBlob(testChunkSize)
+	src, _ := c.CreateBlob(ctx, testChunkSize)
 	content := bytes.Repeat([]byte{0x5A}, 8*testChunkSize)
-	v0, err := c.WriteAt(src, 0, content)
+	v0, err := c.WriteAt(ctx, src, 0, content)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, chunksBefore, err := c.Usage(d.DataAddrs)
+	_, chunksBefore, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	clone, err := c.Clone(src, v0.Version)
+	clone, err := c.Clone(ctx, SnapshotRef{Blob: src, Version: v0.Version})
 	if err != nil {
 		t.Fatalf("Clone: %v", err)
 	}
 	// Clone is readable immediately and identical (shares all content).
-	got, err := c.ReadVersion(clone, 0, 0, uint64(len(content)))
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: clone, Version: 0}, 0, uint64(len(content)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, content) {
 		t.Error("clone content differs from origin")
 	}
-	_, chunksAfterClone, err := c.Usage(d.DataAddrs)
+	_, chunksAfterClone, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,18 +222,18 @@ func TestCloneSharesAndDiverges(t *testing.T) {
 
 	// Writes to the clone do not affect the origin.
 	patch := bytes.Repeat([]byte{0x11}, testChunkSize)
-	cv, err := c.WriteAt(clone, 0, patch)
+	cv, err := c.WriteAt(ctx, clone, 0, patch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cloneGot, err := c.ReadVersion(clone, cv.Version, 0, testChunkSize)
+	cloneGot, err := c.ReadVersion(ctx, SnapshotRef{Blob: clone, Version: cv.Version}, 0, testChunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cloneGot[0] != 0x11 {
 		t.Error("clone write not visible in clone")
 	}
-	srcGot, err := c.ReadVersion(src, v0.Version, 0, testChunkSize)
+	srcGot, err := c.ReadVersion(ctx, SnapshotRef{Blob: src, Version: v0.Version}, 0, testChunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,19 +246,19 @@ func TestReplication(t *testing.T) {
 	d, _ := deploy(t, 2, 3)
 	c := d.Client()
 	c.Replication = 2
-	blob, _ := c.CreateBlob(testChunkSize)
-	info, err := c.WriteAt(blob, 0, bytes.Repeat([]byte{9}, 4*testChunkSize))
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
+	info, err := c.WriteAt(ctx, blob, 0, bytes.Repeat([]byte{9}, 4*testChunkSize))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, chunks, err := c.Usage(d.DataAddrs)
+	_, chunks, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if chunks != 8 { // 4 chunks x 2 replicas
 		t.Errorf("stored %d chunk copies, want 8", chunks)
 	}
-	got, err := c.ReadVersion(blob, info.Version, 0, 4*testChunkSize)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, 4*testChunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,14 +276,14 @@ func TestReplicaFailover(t *testing.T) {
 	defer d.Close()
 	c := d.Client()
 	c.Replication = 2
-	blob, _ := c.CreateBlob(testChunkSize)
-	info, err := c.WriteAt(blob, 0, bytes.Repeat([]byte{3}, 6*testChunkSize))
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
+	info, err := c.WriteAt(ctx, blob, 0, bytes.Repeat([]byte{3}, 6*testChunkSize))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Kill one data provider; every chunk still has a replica elsewhere.
 	net.Partition(d.DataAddrs[0])
-	got, err := c.ReadVersion(blob, info.Version, 0, 6*testChunkSize)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, 6*testChunkSize)
 	if err != nil {
 		t.Fatalf("read with one provider down: %v", err)
 	}
@@ -293,7 +297,7 @@ func TestConcurrentWritersDistinctBlobs(t *testing.T) {
 	const writers = 16
 	blobs := make([]uint64, writers)
 	for i := range blobs {
-		id, err := c.CreateBlob(testChunkSize)
+		id, err := c.CreateBlob(ctx, testChunkSize)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,12 +310,12 @@ func TestConcurrentWritersDistinctBlobs(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			data := bytes.Repeat([]byte{byte(i + 1)}, 8*testChunkSize)
-			info, err := c.WriteAt(blobs[i], 0, data)
+			info, err := c.WriteAt(ctx, blobs[i], 0, data)
 			if err != nil {
 				errs <- fmt.Errorf("writer %d: %w", i, err)
 				return
 			}
-			got, err := c.ReadVersion(blobs[i], info.Version, 0, uint64(len(data)))
+			got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blobs[i], Version: info.Version}, 0, uint64(len(data)))
 			if err != nil {
 				errs <- fmt.Errorf("reader %d: %w", i, err)
 				return
@@ -330,8 +334,8 @@ func TestConcurrentWritersDistinctBlobs(t *testing.T) {
 
 func TestConcurrentVersionsSameBlobSerialize(t *testing.T) {
 	_, c := deploy(t, 2, 4)
-	blob, _ := c.CreateBlob(testChunkSize)
-	if _, err := c.WriteAt(blob, 0, bytes.Repeat([]byte{1}, 4*testChunkSize)); err != nil {
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
+	if _, err := c.WriteAt(ctx, blob, 0, bytes.Repeat([]byte{1}, 4*testChunkSize)); err != nil {
 		t.Fatal(err)
 	}
 	// Concurrent whole-chunk writers to disjoint chunks of the same blob.
@@ -341,13 +345,13 @@ func TestConcurrentVersionsSameBlobSerialize(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			writes := map[uint64][]byte{uint64(i): bytes.Repeat([]byte{byte(0x10 + i)}, testChunkSize)}
-			if _, err := c.WriteVersion(blob, writes, 4*testChunkSize); err != nil {
+			if _, err := c.WriteVersion(ctx, blob, writes, 4*testChunkSize); err != nil {
 				t.Errorf("writer %d: %v", i, err)
 			}
 		}(i)
 	}
 	wg.Wait()
-	info, _, err := c.Latest(blob)
+	info, _, err := c.Latest(ctx, blob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,18 +362,18 @@ func TestConcurrentVersionsSameBlobSerialize(t *testing.T) {
 
 func TestGCReclaimsRetiredVersions(t *testing.T) {
 	d, c := deploy(t, 2, 3)
-	blob, _ := c.CreateBlob(testChunkSize)
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
 	// 5 versions, each rewriting all 8 chunks: 40 chunks stored.
 	for v := 0; v < 5; v++ {
 		writes := make(map[uint64][]byte)
 		for i := uint64(0); i < 8; i++ {
 			writes[i] = bytes.Repeat([]byte{byte(v*16 + int(i))}, testChunkSize)
 		}
-		if _, err := c.WriteVersion(blob, writes, 8*testChunkSize); err != nil {
+		if _, err := c.WriteVersion(ctx, blob, writes, 8*testChunkSize); err != nil {
 			t.Fatal(err)
 		}
 	}
-	_, chunksBefore, err := c.Usage(d.DataAddrs)
+	_, chunksBefore, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,17 +381,17 @@ func TestGCReclaimsRetiredVersions(t *testing.T) {
 		t.Fatalf("stored %d chunks, want 40", chunksBefore)
 	}
 	// Retire versions 0-3, keep only version 4.
-	if err := c.Retire(blob, 4); err != nil {
+	if err := c.Retire(ctx, blob, 4); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := c.GC(d.DataAddrs)
+	stats, err := c.GC(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatalf("GC: %v", err)
 	}
 	if stats.DeletedChunks != 32 {
 		t.Errorf("GC deleted %d chunks, want 32", stats.DeletedChunks)
 	}
-	_, chunksAfter, err := c.Usage(d.DataAddrs)
+	_, chunksAfter, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +399,7 @@ func TestGCReclaimsRetiredVersions(t *testing.T) {
 		t.Errorf("after GC %d chunks remain, want 8", chunksAfter)
 	}
 	// The surviving version is intact.
-	got, err := c.ReadVersion(blob, 4, 0, 8*testChunkSize)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: 4}, 0, 8*testChunkSize)
 	if err != nil {
 		t.Fatalf("read after GC: %v", err)
 	}
@@ -408,24 +412,24 @@ func TestGCReclaimsRetiredVersions(t *testing.T) {
 
 func TestGCKeepsSharedChunksOfClones(t *testing.T) {
 	d, c := deploy(t, 2, 3)
-	src, _ := c.CreateBlob(testChunkSize)
-	v0, err := c.WriteAt(src, 0, bytes.Repeat([]byte{1}, 8*testChunkSize))
+	src, _ := c.CreateBlob(ctx, testChunkSize)
+	v0, err := c.WriteAt(ctx, src, 0, bytes.Repeat([]byte{1}, 8*testChunkSize))
 	if err != nil {
 		t.Fatal(err)
 	}
-	clone, err := c.Clone(src, v0.Version)
+	clone, err := c.Clone(ctx, SnapshotRef{Blob: src, Version: v0.Version})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Retire ALL versions of the source; the clone still references its
 	// chunks, so GC must not delete them.
-	if err := c.Retire(src, v0.Version+1); err != nil {
+	if err := c.Retire(ctx, src, v0.Version+1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.GC(d.DataAddrs); err != nil {
+	if _, err := c.GC(ctx, d.DataAddrs); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.ReadVersion(clone, 0, 0, 8*testChunkSize)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: clone, Version: 0}, 0, 8*testChunkSize)
 	if err != nil {
 		t.Fatalf("clone read after origin GC: %v", err)
 	}
@@ -437,11 +441,11 @@ func TestGCKeepsSharedChunksOfClones(t *testing.T) {
 func TestLargeRandomizedReadsAcrossVersions(t *testing.T) {
 	_, c := deploy(t, 4, 6)
 	rng := rand.New(rand.NewSource(7))
-	blob, _ := c.CreateBlob(testChunkSize)
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
 	const size = 40 * testChunkSize
 	shadow := make([]byte, size)
 	rng.Read(shadow)
-	if _, err := c.WriteAt(blob, 0, shadow); err != nil {
+	if _, err := c.WriteAt(ctx, blob, 0, shadow); err != nil {
 		t.Fatal(err)
 	}
 	for iter := 0; iter < 15; iter++ {
@@ -449,15 +453,15 @@ func TestLargeRandomizedReadsAcrossVersions(t *testing.T) {
 		n := uint64(rng.Intn(size-int(off))) + 1
 		patch := make([]byte, n)
 		rng.Read(patch)
-		if _, err := c.WriteAt(blob, off, patch); err != nil {
+		if _, err := c.WriteAt(ctx, blob, off, patch); err != nil {
 			t.Fatalf("iter %d: %v", iter, err)
 		}
 		copy(shadow[off:], patch)
-		info, _, err := c.Latest(blob)
+		info, _, err := c.Latest(ctx, blob)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := c.ReadVersion(blob, info.Version, 0, size)
+		got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, size)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -469,12 +473,12 @@ func TestLargeRandomizedReadsAcrossVersions(t *testing.T) {
 
 func TestListBlobs(t *testing.T) {
 	_, c := deploy(t, 2, 2)
-	b1, _ := c.CreateBlob(128)
-	b2, _ := c.CreateBlob(512)
-	if _, err := c.WriteAt(b2, 0, []byte("x")); err != nil {
+	b1, _ := c.CreateBlob(ctx, 128)
+	b2, _ := c.CreateBlob(ctx, 512)
+	if _, err := c.WriteAt(ctx, b2, 0, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	blobs, err := c.ListBlobs()
+	blobs, err := c.ListBlobs(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -498,16 +502,16 @@ func TestTCPDeployment(t *testing.T) {
 	}
 	defer d.Close()
 	c := d.Client()
-	blob, err := c.CreateBlob(testChunkSize)
+	blob, err := c.CreateBlob(ctx, testChunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte{0xC3}, 3*testChunkSize)
-	info, err := c.WriteAt(blob, 0, data)
+	info, err := c.WriteAt(ctx, blob, 0, data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.ReadVersion(blob, info.Version, 0, uint64(len(data)))
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, uint64(len(data)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,22 +524,22 @@ func TestMetaUsageGrowsSublinearlyForIncrementalCommits(t *testing.T) {
 	// The whole point of shadowing: metadata for an incremental commit is
 	// O(log span), not O(span).
 	_, c := deploy(t, 2, 2)
-	blob, _ := c.CreateBlob(testChunkSize)
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
 	full := make(map[uint64][]byte)
 	for i := uint64(0); i < 256; i++ {
 		full[i] = bytes.Repeat([]byte{1}, testChunkSize)
 	}
-	if _, err := c.WriteVersion(blob, full, 256*testChunkSize); err != nil {
+	if _, err := c.WriteVersion(ctx, blob, full, 256*testChunkSize); err != nil {
 		t.Fatal(err)
 	}
-	_, nodesFull, err := c.MetaUsage()
+	_, nodesFull, err := c.MetaUsage(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.WriteVersion(blob, map[uint64][]byte{13: bytes.Repeat([]byte{2}, testChunkSize)}, 256*testChunkSize); err != nil {
+	if _, err := c.WriteVersion(ctx, blob, map[uint64][]byte{13: bytes.Repeat([]byte{2}, testChunkSize)}, 256*testChunkSize); err != nil {
 		t.Fatal(err)
 	}
-	_, nodesIncr, err := c.MetaUsage()
+	_, nodesIncr, err := c.MetaUsage(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -547,10 +551,10 @@ func TestMetaUsageGrowsSublinearlyForIncrementalCommits(t *testing.T) {
 
 func TestUnregisterProviderLeavesPlacement(t *testing.T) {
 	d, c := deploy(t, 2, 3)
-	if err := c.UnregisterProvider(d.DataAddrs[0]); err != nil {
+	if err := c.UnregisterProvider(ctx, d.DataAddrs[0]); err != nil {
 		t.Fatal(err)
 	}
-	provs, err := c.Providers()
+	provs, err := c.Providers(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -563,12 +567,12 @@ func TestUnregisterProviderLeavesPlacement(t *testing.T) {
 		}
 	}
 	// Writes after unregister succeed and land only on live providers.
-	blob, _ := c.CreateBlob(testChunkSize)
-	info, err := c.WriteAt(blob, 0, bytes.Repeat([]byte{1}, 8*testChunkSize))
+	blob, _ := c.CreateBlob(ctx, testChunkSize)
+	info, err := c.WriteAt(ctx, blob, 0, bytes.Repeat([]byte{1}, 8*testChunkSize))
 	if err != nil {
 		t.Fatalf("write after unregister: %v", err)
 	}
-	got, err := c.ReadVersion(blob, info.Version, 0, 8*testChunkSize)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, 8*testChunkSize)
 	if err != nil || got[0] != 1 {
 		t.Errorf("read after unregister: %v", err)
 	}
@@ -576,7 +580,7 @@ func TestUnregisterProviderLeavesPlacement(t *testing.T) {
 		t.Error("unregistered provider received chunks")
 	}
 	// Unregistering an unknown address is a no-op.
-	if err := c.UnregisterProvider("nonexistent"); err != nil {
+	if err := c.UnregisterProvider(ctx, "nonexistent"); err != nil {
 		t.Errorf("unregister unknown: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package blobseer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -15,6 +16,12 @@ import (
 
 // Client accesses a BlobSeer deployment. A Client is stateless apart from
 // the deployment addresses; it is safe to create one per goroutine.
+//
+// Every operation takes a context.Context: cancelling it abandons the
+// operation. A cancelled commit runs its abort path under a detached context
+// (context.WithoutCancel), releasing the version ticket and every
+// content-addressed reference the commit had taken, so dedup refcounts never
+// leak.
 //
 // Concurrent writers to *different* blobs are fully supported (that is the
 // checkpoint workload: one checkpoint image per VM). Concurrent writers to
@@ -45,23 +52,29 @@ func (c *Client) replication() int {
 }
 
 // call issues one request and decodes errors.
-func (c *Client) call(addr string, w *wire.Buffer) (*wire.Reader, error) {
-	resp, err := c.Net.Call(addr, w.Bytes())
+func (c *Client) call(ctx context.Context, addr string, w *wire.Buffer) (*wire.Reader, error) {
+	resp, err := c.Net.Call(ctx, addr, w.Bytes())
 	if err != nil {
 		return nil, err
 	}
 	return wire.NewReader(resp), nil
 }
 
-// nodeStore returns the remote metadata NodeStore view.
-func (c *Client) nodeStore() *remoteNodeStore {
-	return &remoteNodeStore{net: c.Net, addrs: c.MetaAddrs}
+// nodeStore returns the remote metadata NodeStore view, bound to ctx for the
+// duration of one tree operation.
+func (c *Client) nodeStore(ctx context.Context) *remoteNodeStore {
+	return &remoteNodeStore{ctx: ctx, net: c.Net, addrs: c.MetaAddrs}
 }
 
-func (c *Client) tree() *meta.Tree { return &meta.Tree{Store: c.nodeStore()} }
+func (c *Client) tree(ctx context.Context) *meta.Tree {
+	return &meta.Tree{Store: c.nodeStore(ctx)}
+}
 
 // remoteNodeStore shards tree nodes across metadata providers by key hash.
+// It is a request-scoped view: the context is the operation's, captured when
+// the store is created, because meta.NodeStore is context-free.
 type remoteNodeStore struct {
+	ctx   context.Context
 	net   transport.Network
 	addrs []string
 }
@@ -87,7 +100,7 @@ func (s *remoteNodeStore) PutNode(k meta.NodeKey, encoded []byte) error {
 	w.PutU8(opNodePut)
 	putNodeKey(w, k)
 	w.PutBytes(encoded)
-	_, err := s.net.Call(s.shard(k), w.Bytes())
+	_, err := s.net.Call(s.ctx, s.shard(k), w.Bytes())
 	return err
 }
 
@@ -95,7 +108,7 @@ func (s *remoteNodeStore) GetNode(k meta.NodeKey) ([]byte, error) {
 	w := wire.NewBuffer(64)
 	w.PutU8(opNodeGet)
 	putNodeKey(w, k)
-	resp, err := s.net.Call(s.shard(k), w.Bytes())
+	resp, err := s.net.Call(s.ctx, s.shard(k), w.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -109,11 +122,11 @@ func (s *remoteNodeStore) GetNode(k meta.NodeKey) ([]byte, error) {
 
 // CreateBlob registers a new empty BLOB with the given chunk size and
 // returns its id.
-func (c *Client) CreateBlob(chunkSize uint64) (uint64, error) {
+func (c *Client) CreateBlob(ctx context.Context, chunkSize uint64) (uint64, error) {
 	w := wire.NewBuffer(16)
 	w.PutU8(opCreate)
 	w.PutU64(chunkSize)
-	r, err := c.call(c.VMAddr, w)
+	r, err := c.call(ctx, c.VMAddr, w)
 	if err != nil {
 		return 0, err
 	}
@@ -123,11 +136,11 @@ func (c *Client) CreateBlob(chunkSize uint64) (uint64, error) {
 
 // Latest returns the most recent published version of the blob and the
 // blob's chunk size.
-func (c *Client) Latest(blob uint64) (VersionInfo, uint64, error) {
+func (c *Client) Latest(ctx context.Context, blob uint64) (VersionInfo, uint64, error) {
 	w := wire.NewBuffer(16)
 	w.PutU8(opLatest)
 	w.PutU64(blob)
-	r, err := c.call(c.VMAddr, w)
+	r, err := c.call(ctx, c.VMAddr, w)
 	if err != nil {
 		return VersionInfo{}, 0, err
 	}
@@ -136,13 +149,14 @@ func (c *Client) Latest(blob uint64) (VersionInfo, uint64, error) {
 	return info, cs, r.Err()
 }
 
-// GetVersion returns a specific published version and the blob's chunk size.
-func (c *Client) GetVersion(blob, version uint64) (VersionInfo, uint64, error) {
+// GetVersion returns the referenced published version and the blob's chunk
+// size.
+func (c *Client) GetVersion(ctx context.Context, ref SnapshotRef) (VersionInfo, uint64, error) {
 	w := wire.NewBuffer(24)
 	w.PutU8(opGetVersion)
-	w.PutU64(blob)
-	w.PutU64(version)
-	r, err := c.call(c.VMAddr, w)
+	w.PutU64(ref.Blob)
+	w.PutU64(ref.Version)
+	r, err := c.call(ctx, c.VMAddr, w)
 	if err != nil {
 		return VersionInfo{}, 0, err
 	}
@@ -153,8 +167,8 @@ func (c *Client) GetVersion(blob, version uint64) (VersionInfo, uint64, error) {
 
 // ChunkSize returns the blob's chunk size (works for blobs with no
 // published versions).
-func (c *Client) ChunkSize(blob uint64) (uint64, error) {
-	blobs, err := c.ListBlobs()
+func (c *Client) ChunkSize(ctx context.Context, blob uint64) (uint64, error) {
+	blobs, err := c.ListBlobs(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -174,10 +188,10 @@ type BlobInfo struct {
 }
 
 // ListBlobs enumerates all blobs known to the version manager.
-func (c *Client) ListBlobs() ([]BlobInfo, error) {
+func (c *Client) ListBlobs(ctx context.Context) ([]BlobInfo, error) {
 	w := wire.NewBuffer(8)
 	w.PutU8(opListBlobs)
-	r, err := c.call(c.VMAddr, w)
+	r, err := c.call(ctx, c.VMAddr, w)
 	if err != nil {
 		return nil, err
 	}
@@ -214,25 +228,30 @@ func (s *CommitStats) Add(o CommitStats) {
 // data slices must each be at most chunkSize long. This is the COMMIT
 // primitive of the paper: only the written chunks move; everything else is
 // shared with the previous version.
-func (c *Client) WriteVersion(blob uint64, writes map[uint64][]byte, newSize uint64) (VersionInfo, error) {
-	info, _, err := c.WriteVersionStats(blob, writes, newSize)
+func (c *Client) WriteVersion(ctx context.Context, blob uint64, writes map[uint64][]byte, newSize uint64) (VersionInfo, error) {
+	info, _, err := c.WriteVersionStats(ctx, blob, writes, newSize)
 	return info, err
 }
 
 // WriteVersionStats is WriteVersion returning per-commit transfer and dedup
-// accounting.
-func (c *Client) WriteVersionStats(blob uint64, writes map[uint64][]byte, newSize uint64) (VersionInfo, CommitStats, error) {
+// accounting. If ctx is cancelled mid-commit, the abort path runs under a
+// detached context: the version ticket is released and every
+// content-addressed reference the commit took is returned, so refcounts stay
+// balanced.
+func (c *Client) WriteVersionStats(ctx context.Context, blob uint64, writes map[uint64][]byte, newSize uint64) (VersionInfo, CommitStats, error) {
 	var stats CommitStats
+	// Cleanup must run even when ctx is already cancelled.
+	cleanupCtx := context.WithoutCancel(ctx)
 	// Previous version (absent for the first write).
 	var prev VersionInfo
 	var chunkSize uint64
-	prevInfo, cs, err := c.Latest(blob)
+	prevInfo, cs, err := c.Latest(ctx, blob)
 	switch {
 	case err == nil:
 		prev = prevInfo
 		chunkSize = cs
-	case isNotFound(err):
-		chunkSize, err = c.ChunkSize(blob)
+	case IsNotFound(err):
+		chunkSize, err = c.ChunkSize(ctx, blob)
 		if err != nil {
 			return VersionInfo{}, stats, err
 		}
@@ -250,7 +269,7 @@ func (c *Client) WriteVersionStats(blob uint64, writes map[uint64][]byte, newSiz
 	w.PutU8(opTicket)
 	w.PutU64(blob)
 	w.PutU64(uint64(len(writes)))
-	r, err := c.call(c.VMAddr, w)
+	r, err := c.call(ctx, c.VMAddr, w)
 	if err != nil {
 		return VersionInfo{}, stats, err
 	}
@@ -270,12 +289,12 @@ func (c *Client) WriteVersionStats(blob uint64, writes map[uint64][]byte, newSiz
 	var leaves map[uint64]meta.Leaf
 	var manifest []manifestEntry
 	if c.Dedup {
-		leaves, manifest, err = c.uploadDedup(indices, writes, &stats)
+		leaves, manifest, err = c.uploadDedup(ctx, indices, writes, &stats)
 	} else {
-		leaves, err = c.uploadPlaced(blob, firstID, indices, writes, &stats)
+		leaves, err = c.uploadPlaced(ctx, blob, firstID, indices, writes, &stats)
 	}
 	if err != nil {
-		c.abort(blob, version)
+		c.abort(cleanupCtx, blob, version)
 		return VersionInfo{}, stats, err
 	}
 
@@ -293,10 +312,10 @@ func (c *Client) WriteVersionStats(blob uint64, writes map[uint64][]byte, newSiz
 	if newSpan < prev.Span {
 		newSpan = prev.Span
 	}
-	root, err := c.tree().Publish(blob, version, prev.Root, prev.Span, newSpan, leaves)
+	root, err := c.tree(ctx).Publish(blob, version, prev.Root, prev.Span, newSpan, leaves)
 	if err != nil {
-		c.releaseRefs(manifest)
-		c.abort(blob, version)
+		c.releaseRefs(cleanupCtx, manifest)
+		c.abort(cleanupCtx, blob, version)
 		return VersionInfo{}, stats, err
 	}
 
@@ -311,7 +330,10 @@ func (c *Client) WriteVersionStats(blob uint64, writes map[uint64][]byte, newSiz
 	if len(manifest) > 0 {
 		putManifest(w, manifest)
 	}
-	if _, err := c.call(c.VMAddr, w); err != nil {
+	if _, err := c.call(ctx, c.VMAddr, w); err != nil {
+		// The commit may or may not have landed; releasing refs here could
+		// double-release a published version's chunks. Leave reconciliation
+		// to the mark-and-sweep fallback.
 		return VersionInfo{}, stats, err
 	}
 	return info, stats, nil
@@ -319,12 +341,12 @@ func (c *Client) WriteVersionStats(blob uint64, writes map[uint64][]byte, newSiz
 
 // uploadPlaced is the classic (blob, id)-addressed upload path: placement
 // from the provider manager, every body shipped.
-func (c *Client) uploadPlaced(blob, firstID uint64, indices []uint64, writes map[uint64][]byte, stats *CommitStats) (map[uint64]meta.Leaf, error) {
+func (c *Client) uploadPlaced(ctx context.Context, blob, firstID uint64, indices []uint64, writes map[uint64][]byte, stats *CommitStats) (map[uint64]meta.Leaf, error) {
 	w := wire.NewBuffer(16)
 	w.PutU8(opPlacement)
 	w.PutUvarint(uint64(len(writes)))
 	w.PutUvarint(uint64(c.replication()))
-	r, err := c.call(c.PMAddr, w)
+	r, err := c.call(ctx, c.PMAddr, w)
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +372,7 @@ func (c *Client) uploadPlaced(blob, firstID uint64, indices []uint64, writes map
 			pw.PutU8(opChunkPut)
 			putChunkKey(pw, key)
 			pw.PutBytes(data)
-			if _, err := c.Net.Call(providerAddr, pw.Bytes()); err != nil {
+			if _, err := c.Net.Call(ctx, providerAddr, pw.Bytes()); err != nil {
 				return nil, fmt.Errorf("blobseer: put chunk to %s: %w", providerAddr, err)
 			}
 			stats.LogicalBytes += uint64(len(data))
@@ -366,14 +388,16 @@ func (c *Client) uploadPlaced(blob, firstID uint64, indices []uint64, writes map
 // fingerprinted, placed on the providers that rendezvous-hashing assigns to
 // its content (so identical content always lands on the same providers,
 // cluster-wide), and shipped only if the provider does not already hold the
-// fingerprint. Returns the leaves and the commit's write manifest.
-func (c *Client) uploadDedup(indices []uint64, writes map[uint64][]byte, stats *CommitStats) (map[uint64]meta.Leaf, []manifestEntry, error) {
+// fingerprint. Returns the leaves and the commit's write manifest. On any
+// failure — including ctx cancellation — every reference taken so far is
+// released under a detached context before returning.
+func (c *Client) uploadDedup(ctx context.Context, indices []uint64, writes map[uint64][]byte, stats *CommitStats) (map[uint64]meta.Leaf, []manifestEntry, error) {
 	leaves := make(map[uint64]meta.Leaf, len(writes))
 	manifest := make([]manifestEntry, 0, len(writes))
 	if len(writes) == 0 {
 		return leaves, nil, nil
 	}
-	providers, err := c.Providers()
+	providers, err := c.Providers(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -387,11 +411,11 @@ func (c *Client) uploadDedup(indices []uint64, writes map[uint64][]byte, stats *
 		shipped := false
 		var taken []string // replicas that already hold a ref for this chunk
 		fail := func(err error) (map[uint64]meta.Leaf, []manifestEntry, error) {
-			c.releaseRefs(append(manifest, manifestEntry{fp: fp, providers: taken}))
+			c.releaseRefs(context.WithoutCancel(ctx), append(manifest, manifestEntry{fp: fp, providers: taken}))
 			return nil, nil, err
 		}
 		for _, addr := range targets {
-			held, err := c.casRef(addr, fp)
+			held, err := c.casRef(ctx, addr, fp)
 			if err != nil {
 				return fail(err)
 			}
@@ -399,7 +423,7 @@ func (c *Client) uploadDedup(indices []uint64, writes map[uint64][]byte, stats *
 				// The body crosses the network here even if a concurrent
 				// writer wins the race and the provider reports a duplicate,
 				// so it always counts as transferred.
-				if _, err := c.casPut(addr, fp, data); err != nil {
+				if _, err := c.casPut(ctx, addr, fp, data); err != nil {
 					return fail(err)
 				}
 				stats.TransferBytes += uint64(len(data))
@@ -452,11 +476,11 @@ func casPlacement(fp cas.Fingerprint, providers []string, replication int) []str
 
 // casRef performs the "have fingerprint?" round trip against one provider:
 // true means the provider holds the body and took a reference on it.
-func (c *Client) casRef(addr string, fp cas.Fingerprint) (bool, error) {
+func (c *Client) casRef(ctx context.Context, addr string, fp cas.Fingerprint) (bool, error) {
 	w := wire.NewBuffer(40)
 	w.PutU8(opCasRef)
 	putFingerprint(w, fp)
-	resp, err := c.Net.Call(addr, w.Bytes())
+	resp, err := c.Net.Call(ctx, addr, w.Bytes())
 	if err != nil {
 		return false, fmt.Errorf("blobseer: cas ref on %s: %w", addr, err)
 	}
@@ -467,12 +491,12 @@ func (c *Client) casRef(addr string, fp cas.Fingerprint) (bool, error) {
 
 // casPut uploads a body under its fingerprint; dup reports that the provider
 // already held it (a concurrent writer raced us) and only took a reference.
-func (c *Client) casPut(addr string, fp cas.Fingerprint, data []byte) (bool, error) {
+func (c *Client) casPut(ctx context.Context, addr string, fp cas.Fingerprint, data []byte) (bool, error) {
 	w := wire.NewBuffer(48 + len(data))
 	w.PutU8(opCasPut)
 	putFingerprint(w, fp)
 	w.PutBytes(data)
-	resp, err := c.Net.Call(addr, w.Bytes())
+	resp, err := c.Net.Call(ctx, addr, w.Bytes())
 	if err != nil {
 		return false, fmt.Errorf("blobseer: cas put to %s: %w", addr, err)
 	}
@@ -482,11 +506,11 @@ func (c *Client) casPut(addr string, fp cas.Fingerprint, data []byte) (bool, err
 }
 
 // casRelease drops one reference on fp at one provider.
-func (c *Client) casRelease(addr string, fp cas.Fingerprint) (reclaimedBytes uint64, err error) {
+func (c *Client) casRelease(ctx context.Context, addr string, fp cas.Fingerprint) (reclaimedBytes uint64, err error) {
 	w := wire.NewBuffer(40)
 	w.PutU8(opCasRelease)
 	putFingerprint(w, fp)
-	resp, err := c.Net.Call(addr, w.Bytes())
+	resp, err := c.Net.Call(ctx, addr, w.Bytes())
 	if err != nil {
 		return 0, err
 	}
@@ -497,11 +521,12 @@ func (c *Client) casRelease(addr string, fp cas.Fingerprint) (reclaimedBytes uin
 }
 
 // releaseRefs undoes the references a failed commit acquired (best effort;
-// anything missed is picked up by the mark-and-sweep fallback GC).
-func (c *Client) releaseRefs(manifest []manifestEntry) {
+// anything missed is picked up by the mark-and-sweep fallback GC). Callers
+// pass a detached context so releases run even after cancellation.
+func (c *Client) releaseRefs(ctx context.Context, manifest []manifestEntry) {
 	for _, e := range manifest {
 		for _, addr := range e.providers {
-			c.casRelease(addr, e.fp) //nolint:errcheck // best effort
+			c.casRelease(ctx, addr, e.fp) //nolint:errcheck // best effort
 		}
 	}
 }
@@ -509,12 +534,12 @@ func (c *Client) releaseRefs(manifest []manifestEntry) {
 // CasStats aggregates the content-addressed repository counters across the
 // given data providers: dedup hit rate, logical vs physical bytes, and
 // refcount reclamation.
-func (c *Client) CasStats(dataProviders []string) (cas.Stats, error) {
+func (c *Client) CasStats(ctx context.Context, dataProviders []string) (cas.Stats, error) {
 	var total cas.Stats
 	for _, addr := range dataProviders {
 		w := wire.NewBuffer(8)
 		w.PutU8(opCasStats)
-		r, err := c.call(addr, w)
+		r, err := c.call(ctx, addr, w)
 		if err != nil {
 			return total, err
 		}
@@ -527,43 +552,19 @@ func (c *Client) CasStats(dataProviders []string) (cas.Stats, error) {
 	return total, nil
 }
 
-func (c *Client) abort(blob, version uint64) {
+func (c *Client) abort(ctx context.Context, blob, version uint64) {
 	w := wire.NewBuffer(24)
 	w.PutU8(opAbort)
 	w.PutU64(blob)
 	w.PutU64(version)
-	c.call(c.VMAddr, w) // best effort; the version slot is released
+	c.call(ctx, c.VMAddr, w) // best effort; the version slot is released
 }
 
-func isNotFound(err error) bool {
-	if errors.Is(err, ErrVersionNotFound) || errors.Is(err, ErrBlobNotFound) {
-		return true
-	}
-	var re *transport.RemoteError
-	if errors.As(err, &re) {
-		return containsNotFound(re.Msg)
-	}
-	return false
-}
-
-func containsNotFound(s string) bool {
-	return contains(s, "not found") || contains(s, "no versions")
-}
-
-func contains(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
-	}
-	return false
-}
-
-// ReadVersion reads size bytes at offset from the given version into a new
-// buffer. Holes (never-written ranges) read as zeros. Reads past the version
-// size are truncated.
-func (c *Client) ReadVersion(blob, version uint64, offset, size uint64) ([]byte, error) {
-	info, chunkSize, err := c.GetVersion(blob, version)
+// ReadVersion reads size bytes at offset from the referenced snapshot into a
+// new buffer. Holes (never-written ranges) read as zeros. Reads past the
+// version size are truncated.
+func (c *Client) ReadVersion(ctx context.Context, ref SnapshotRef, offset, size uint64) ([]byte, error) {
+	info, chunkSize, err := c.GetVersion(ctx, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -579,7 +580,7 @@ func (c *Client) ReadVersion(blob, version uint64, offset, size uint64) ([]byte,
 	}
 	firstChunk := offset / chunkSize
 	lastChunk := (offset + size - 1) / chunkSize
-	slots, err := c.tree().Lookup(info.Root, info.Span, firstChunk, lastChunk-firstChunk+1)
+	slots, err := c.tree(ctx).Lookup(info.Root, info.Span, firstChunk, lastChunk-firstChunk+1)
 	if err != nil {
 		return nil, err
 	}
@@ -587,14 +588,14 @@ func (c *Client) ReadVersion(blob, version uint64, offset, size uint64) ([]byte,
 		if !slot.Present {
 			continue // zeros
 		}
-		data, err := c.fetchChunk(slot.Leaf)
+		data, err := c.fetchChunk(ctx, slot.Leaf)
 		if err != nil {
 			return nil, err
 		}
 		chunkStart := slot.Index * chunkSize
 		// Overlap of [chunkStart, chunkStart+len(data)) with [offset, offset+size).
-		lo := maxU64(chunkStart, offset)
-		hi := minU64(chunkStart+uint64(len(data)), offset+size)
+		lo := max(chunkStart, offset)
+		hi := min(chunkStart+uint64(len(data)), offset+size)
 		if lo < hi {
 			copy(buf[lo-offset:hi-offset], data[lo-chunkStart:hi-chunkStart])
 		}
@@ -603,13 +604,13 @@ func (c *Client) ReadVersion(blob, version uint64, offset, size uint64) ([]byte,
 }
 
 // fetchChunk retrieves one chunk, trying replicas in order.
-func (c *Client) fetchChunk(l meta.Leaf) ([]byte, error) {
+func (c *Client) fetchChunk(ctx context.Context, l meta.Leaf) ([]byte, error) {
 	var lastErr error
 	for _, addr := range l.Providers {
 		w := wire.NewBuffer(24)
 		w.PutU8(opChunkGet)
 		putChunkKey(w, l.Key)
-		resp, err := c.Net.Call(addr, w.Bytes())
+		resp, err := c.Net.Call(ctx, addr, w.Bytes())
 		if err != nil {
 			lastErr = err
 			continue
@@ -627,10 +628,10 @@ func (c *Client) fetchChunk(l meta.Leaf) ([]byte, error) {
 
 // WriteAt publishes a new version with data written at offset, performing
 // read-modify-write for partially covered boundary chunks.
-func (c *Client) WriteAt(blob uint64, offset uint64, data []byte) (VersionInfo, error) {
+func (c *Client) WriteAt(ctx context.Context, blob uint64, offset uint64, data []byte) (VersionInfo, error) {
 	if len(data) == 0 {
-		prev, _, err := c.Latest(blob)
-		if err != nil && !isNotFound(err) {
+		prev, _, err := c.Latest(ctx, blob)
+		if err != nil && !IsNotFound(err) {
 			return VersionInfo{}, err
 		}
 		return prev, nil
@@ -639,12 +640,12 @@ func (c *Client) WriteAt(blob uint64, offset uint64, data []byte) (VersionInfo, 
 	var prevSize uint64
 	var prevVersion uint64
 	var havePrev bool
-	prev, cs, err := c.Latest(blob)
+	prev, cs, err := c.Latest(ctx, blob)
 	switch {
 	case err == nil:
 		chunkSize, prevSize, prevVersion, havePrev = cs, prev.Size, prev.Version, true
-	case isNotFound(err):
-		chunkSize, err = c.ChunkSize(blob)
+	case IsNotFound(err):
+		chunkSize, err = c.ChunkSize(ctx, blob)
 		if err != nil {
 			return VersionInfo{}, err
 		}
@@ -663,8 +664,8 @@ func (c *Client) WriteAt(blob uint64, offset uint64, data []byte) (VersionInfo, 
 	for idx := firstChunk; idx <= lastChunk; idx++ {
 		chunkStart := idx * chunkSize
 		chunkEnd := chunkStart + chunkSize
-		lo := maxU64(chunkStart, offset)
-		hi := minU64(chunkEnd, end)
+		lo := max(chunkStart, offset)
+		hi := min(chunkEnd, end)
 		full := lo == chunkStart && hi == chunkEnd
 		var chunk []byte
 		if full {
@@ -679,7 +680,7 @@ func (c *Client) WriteAt(blob uint64, offset uint64, data []byte) (VersionInfo, 
 			}
 			chunk = make([]byte, chunkLen)
 			if havePrev && chunkStart < prevSize {
-				old, err := c.ReadVersion(blob, prevVersion, chunkStart, chunkSize)
+				old, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: prevVersion}, chunkStart, chunkSize)
 				if err != nil {
 					return VersionInfo{}, err
 				}
@@ -689,17 +690,17 @@ func (c *Client) WriteAt(blob uint64, offset uint64, data []byte) (VersionInfo, 
 		}
 		writes[idx] = chunk
 	}
-	return c.WriteVersion(blob, writes, newSize)
+	return c.WriteVersion(ctx, blob, writes, newSize)
 }
 
-// Clone creates a new blob whose version 0 is the given version of the
+// Clone creates a new blob whose version 0 is the referenced snapshot of the
 // source blob, sharing all content. This is the CLONE primitive.
-func (c *Client) Clone(srcBlob, srcVersion uint64) (uint64, error) {
+func (c *Client) Clone(ctx context.Context, src SnapshotRef) (uint64, error) {
 	w := wire.NewBuffer(24)
 	w.PutU8(opClone)
-	w.PutU64(srcBlob)
-	w.PutU64(srcVersion)
-	r, err := c.call(c.VMAddr, w)
+	w.PutU64(src.Blob)
+	w.PutU64(src.Version)
+	r, err := c.call(ctx, c.VMAddr, w)
 	if err != nil {
 		return 0, err
 	}
@@ -717,8 +718,8 @@ type ReclaimStats struct {
 }
 
 // Retire marks all versions of blob below `before` as garbage-collectable.
-func (c *Client) Retire(blob, before uint64) error {
-	_, err := c.RetireStats(blob, before)
+func (c *Client) Retire(ctx context.Context, blob, before uint64) error {
+	_, err := c.RetireStats(ctx, blob, before)
 	return err
 }
 
@@ -729,13 +730,13 @@ func (c *Client) Retire(blob, before uint64) error {
 // release and the stats come back zero (the mark-and-sweep GC still applies).
 // Releases to unreachable providers are counted in Failed and left for the
 // sweep to reconcile.
-func (c *Client) RetireStats(blob, before uint64) (ReclaimStats, error) {
+func (c *Client) RetireStats(ctx context.Context, blob, before uint64) (ReclaimStats, error) {
 	var stats ReclaimStats
 	w := wire.NewBuffer(24)
 	w.PutU8(opRetire)
 	w.PutU64(blob)
 	w.PutU64(before)
-	r, err := c.call(c.VMAddr, w)
+	r, err := c.call(ctx, c.VMAddr, w)
 	if err != nil {
 		return stats, err
 	}
@@ -759,9 +760,13 @@ func (c *Client) RetireStats(blob, before uint64) (ReclaimStats, error) {
 	if err := r.Err(); err != nil {
 		return stats, err
 	}
+	// The version manager already dropped its supersede records: finish the
+	// releases even if ctx is cancelled meanwhile, or the refs would leak
+	// until the sweep.
+	releaseCtx := context.WithoutCancel(ctx)
 	for _, rel := range releases {
 		for _, addr := range rel.providers {
-			reclaimed, err := c.casRelease(addr, rel.fp)
+			reclaimed, err := c.casRelease(releaseCtx, addr, rel.fp)
 			if err != nil {
 				stats.Failed++
 				continue
@@ -782,10 +787,10 @@ type liveRoot struct {
 	info VersionInfo
 }
 
-func (c *Client) listLive() ([]liveRoot, error) {
+func (c *Client) listLive(ctx context.Context) ([]liveRoot, error) {
 	w := wire.NewBuffer(8)
 	w.PutU8(opListLive)
-	r, err := c.call(c.VMAddr, w)
+	r, err := c.call(ctx, c.VMAddr, w)
 	if err != nil {
 		return nil, err
 	}
@@ -821,15 +826,15 @@ type GCStats struct {
 // commits, and references leaked past unreachable providers. Sweeping a
 // CAS-held chunk deletes its body and dedup index entry together, so the two
 // collectors compose safely.
-func (c *Client) GC(dataProviders []string) (GCStats, error) {
+func (c *Client) GC(ctx context.Context, dataProviders []string) (GCStats, error) {
 	var stats GCStats
-	live, err := c.listLive()
+	live, err := c.listLive(ctx)
 	if err != nil {
 		return stats, err
 	}
 	liveNodes := make(map[meta.NodeKey]struct{})
 	liveChunks := make(map[chunkstore.Key]struct{})
-	tr := c.tree()
+	tr := c.tree(ctx)
 	for _, lr := range live {
 		if !lr.info.Root.Valid {
 			continue
@@ -852,7 +857,7 @@ func (c *Client) GC(dataProviders []string) (GCStats, error) {
 	for _, addr := range c.MetaAddrs {
 		w := wire.NewBuffer(8)
 		w.PutU8(opNodeList)
-		r, err := c.call(addr, w)
+		r, err := c.call(ctx, addr, w)
 		if err != nil {
 			return stats, err
 		}
@@ -871,7 +876,7 @@ func (c *Client) GC(dataProviders []string) (GCStats, error) {
 			w := wire.NewBuffer(40)
 			w.PutU8(opNodeDelete)
 			putNodeKey(w, k)
-			if _, err := c.call(addr, w); err != nil {
+			if _, err := c.call(ctx, addr, w); err != nil {
 				return stats, err
 			}
 			stats.DeletedNodes++
@@ -882,7 +887,7 @@ func (c *Client) GC(dataProviders []string) (GCStats, error) {
 	for _, addr := range dataProviders {
 		w := wire.NewBuffer(8)
 		w.PutU8(opChunkList)
-		r, err := c.call(addr, w)
+		r, err := c.call(ctx, addr, w)
 		if err != nil {
 			return stats, err
 		}
@@ -901,7 +906,7 @@ func (c *Client) GC(dataProviders []string) (GCStats, error) {
 			w := wire.NewBuffer(24)
 			w.PutU8(opChunkDelete)
 			putChunkKey(w, k)
-			if _, err := c.call(addr, w); err != nil {
+			if _, err := c.call(ctx, addr, w); err != nil {
 				return stats, err
 			}
 			stats.DeletedChunks++
@@ -911,10 +916,10 @@ func (c *Client) GC(dataProviders []string) (GCStats, error) {
 }
 
 // Providers returns the registered data provider addresses.
-func (c *Client) Providers() ([]string, error) {
+func (c *Client) Providers(ctx context.Context) ([]string, error) {
 	w := wire.NewBuffer(8)
 	w.PutU8(opProviders)
-	r, err := c.call(c.PMAddr, w)
+	r, err := c.call(ctx, c.PMAddr, w)
 	if err != nil {
 		return nil, err
 	}
@@ -927,30 +932,30 @@ func (c *Client) Providers() ([]string, error) {
 }
 
 // RegisterProvider announces a data provider to the provider manager.
-func (c *Client) RegisterProvider(addr string) error {
+func (c *Client) RegisterProvider(ctx context.Context, addr string) error {
 	w := wire.NewBuffer(32)
 	w.PutU8(opRegister)
 	w.PutString(addr)
-	_, err := c.call(c.PMAddr, w)
+	_, err := c.call(ctx, c.PMAddr, w)
 	return err
 }
 
 // UnregisterProvider removes a (failed) data provider from placement. Data
 // it held remains readable only through replicas on other providers.
-func (c *Client) UnregisterProvider(addr string) error {
+func (c *Client) UnregisterProvider(ctx context.Context, addr string) error {
 	w := wire.NewBuffer(32)
 	w.PutU8(opUnregister)
 	w.PutString(addr)
-	_, err := c.call(c.PMAddr, w)
+	_, err := c.call(ctx, c.PMAddr, w)
 	return err
 }
 
 // Usage sums storage used across the given data providers.
-func (c *Client) Usage(dataProviders []string) (bytes uint64, chunks uint64, err error) {
+func (c *Client) Usage(ctx context.Context, dataProviders []string) (bytes uint64, chunks uint64, err error) {
 	for _, addr := range dataProviders {
 		w := wire.NewBuffer(8)
 		w.PutU8(opChunkUsage)
-		r, cerr := c.call(addr, w)
+		r, cerr := c.call(ctx, addr, w)
 		if cerr != nil {
 			return 0, 0, cerr
 		}
@@ -964,11 +969,11 @@ func (c *Client) Usage(dataProviders []string) (bytes uint64, chunks uint64, err
 }
 
 // MetaUsage sums metadata bytes across the metadata providers.
-func (c *Client) MetaUsage() (bytes uint64, nodes uint64, err error) {
+func (c *Client) MetaUsage(ctx context.Context) (bytes uint64, nodes uint64, err error) {
 	for _, addr := range c.MetaAddrs {
 		w := wire.NewBuffer(8)
 		w.PutU8(opNodeUsage)
-		r, cerr := c.call(addr, w)
+		r, cerr := c.call(ctx, addr, w)
 		if cerr != nil {
 			return 0, 0, cerr
 		}
@@ -979,18 +984,4 @@ func (c *Client) MetaUsage() (bytes uint64, nodes uint64, err error) {
 		}
 	}
 	return bytes, nodes, nil
-}
-
-func minU64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

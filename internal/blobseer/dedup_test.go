@@ -31,13 +31,13 @@ func chunkOf(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
 func TestDedupSecondCommitShipsNothing(t *testing.T) {
 	const chunk = 4096
 	d, c := dedupDeploy(t, 2, 3)
-	blob, err := c.CreateBlob(chunk)
+	blob, err := c.CreateBlob(ctx, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
 	content := chunkOf('x', chunk)
 
-	_, cs1, err := c.WriteVersionStats(blob, map[uint64][]byte{0: content}, chunk)
+	_, cs1, err := c.WriteVersionStats(ctx, blob, map[uint64][]byte{0: content}, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestDedupSecondCommitShipsNothing(t *testing.T) {
 	}
 
 	// Same content again, at a different chunk index, in a new snapshot.
-	_, cs2, err := c.WriteVersionStats(blob, map[uint64][]byte{1: content}, 2*chunk)
+	_, cs2, err := c.WriteVersionStats(ctx, blob, map[uint64][]byte{1: content}, 2*chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestDedupSecondCommitShipsNothing(t *testing.T) {
 	}
 
 	// Exactly one body in the whole repository.
-	_, chunks, err := c.Usage(d.DataAddrs)
+	_, chunks, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,13 +68,13 @@ func TestDedupSecondCommitShipsNothing(t *testing.T) {
 
 	// Both snapshots read back correctly through the shared body.
 	for v := uint64(0); v < 2; v++ {
-		got, err := c.ReadVersion(blob, v, 0, chunk)
+		got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: v}, 0, chunk)
 		if err != nil || !bytes.Equal(got, content) {
 			t.Fatalf("version %d read mismatch: %v", v, err)
 		}
 	}
 
-	st, err := c.CasStats(d.DataAddrs)
+	st, err := c.CasStats(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,24 +95,24 @@ func TestDedupAcrossBlobs(t *testing.T) {
 
 	var blobs []uint64
 	for i := 0; i < 2; i++ {
-		blob, err := c.CreateBlob(chunk)
+		blob, err := c.CreateBlob(ctx, chunk)
 		if err != nil {
 			t.Fatal(err)
 		}
 		blobs = append(blobs, blob)
 	}
-	_, cs, err := c.WriteVersionStats(blobs[0], map[uint64][]byte{0: content}, chunk)
+	_, cs, err := c.WriteVersionStats(ctx, blobs[0], map[uint64][]byte{0: content}, chunk)
 	if err != nil || cs.TransferBytes != chunk {
 		t.Fatalf("blob A commit: %+v err=%v", cs, err)
 	}
-	_, cs, err = c.WriteVersionStats(blobs[1], map[uint64][]byte{0: content}, chunk)
+	_, cs, err = c.WriteVersionStats(ctx, blobs[1], map[uint64][]byte{0: content}, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cs.DedupChunks != 1 || cs.TransferBytes != 0 {
 		t.Fatalf("blob B duplicate commit shipped bytes: %+v", cs)
 	}
-	_, chunks, err := c.Usage(d.DataAddrs)
+	_, chunks, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,25 +130,25 @@ func TestDedupReplicationPlacesPerContent(t *testing.T) {
 	c.Replication = 2
 	content := chunkOf('r', chunk)
 
-	blob, err := c.CreateBlob(chunk)
+	blob, err := c.CreateBlob(ctx, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cs, err := c.WriteVersionStats(blob, map[uint64][]byte{0: content}, chunk)
+	_, cs, err := c.WriteVersionStats(ctx, blob, map[uint64][]byte{0: content}, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cs.TransferBytes != 2*chunk || cs.LogicalBytes != 2*chunk {
 		t.Fatalf("first replicated commit: %+v", cs)
 	}
-	_, cs, err = c.WriteVersionStats(blob, map[uint64][]byte{1: content}, 2*chunk)
+	_, cs, err = c.WriteVersionStats(ctx, blob, map[uint64][]byte{1: content}, 2*chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cs.TransferBytes != 0 || cs.DedupChunks != 1 {
 		t.Fatalf("replicated duplicate shipped bytes: %+v", cs)
 	}
-	_, chunks, err := c.Usage(d.DataAddrs)
+	_, chunks, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,18 +164,18 @@ func TestRetireReleasesByRefcount(t *testing.T) {
 	const chunk = 4096
 	const rounds = 6
 	d, c := dedupDeploy(t, 2, 3)
-	blob, err := c.CreateBlob(chunk)
+	blob, err := c.CreateBlob(ctx, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Each round overwrites chunk 0 with distinct content.
 	for v := 0; v < rounds; v++ {
 		content := chunkOf(byte('0'+v), chunk)
-		if _, err := c.WriteVersion(blob, map[uint64][]byte{0: content}, chunk); err != nil {
+		if _, err := c.WriteVersion(ctx, blob, map[uint64][]byte{0: content}, chunk); err != nil {
 			t.Fatal(err)
 		}
 	}
-	_, chunksBefore, err := c.Usage(d.DataAddrs)
+	_, chunksBefore, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestRetireReleasesByRefcount(t *testing.T) {
 		t.Fatalf("stored %d bodies before retire, want %d", chunksBefore, rounds)
 	}
 
-	stats, err := c.RetireStats(blob, rounds-1)
+	stats, err := c.RetireStats(ctx, blob, rounds-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,20 +193,20 @@ func TestRetireReleasesByRefcount(t *testing.T) {
 	if stats.ReclaimedBytes != uint64((rounds-1)*chunk) {
 		t.Fatalf("ReclaimedBytes = %d, want %d", stats.ReclaimedBytes, (rounds-1)*chunk)
 	}
-	_, chunksAfter, err := c.Usage(d.DataAddrs)
+	_, chunksAfter, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if chunksAfter != 1 {
 		t.Fatalf("%d bodies after retire, want 1", chunksAfter)
 	}
-	got, err := c.ReadVersion(blob, rounds-1, 0, chunk)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: rounds - 1}, 0, chunk)
 	if err != nil || !bytes.Equal(got, chunkOf(byte('0'+rounds-1), chunk)) {
 		t.Fatalf("live snapshot unreadable after refcount retire: %v", err)
 	}
 
 	// Retiring again releases nothing new (exactly-once release).
-	stats, err = c.RetireStats(blob, rounds-1)
+	stats, err = c.RetireStats(ctx, blob, rounds-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,32 +222,32 @@ func TestSharedContentSurvivesOtherBlobsRetire(t *testing.T) {
 	_, c := dedupDeploy(t, 2, 3)
 	shared := chunkOf('S', chunk)
 
-	a, err := c.CreateBlob(chunk)
+	a, err := c.CreateBlob(ctx, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.CreateBlob(chunk)
+	b, err := c.CreateBlob(ctx, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.WriteVersion(a, map[uint64][]byte{0: shared}, chunk); err != nil {
+	if _, err := c.WriteVersion(ctx, a, map[uint64][]byte{0: shared}, chunk); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.WriteVersion(b, map[uint64][]byte{0: shared}, chunk); err != nil {
+	if _, err := c.WriteVersion(ctx, b, map[uint64][]byte{0: shared}, chunk); err != nil {
 		t.Fatal(err)
 	}
 	// A supersedes its write, then retires it.
-	if _, err := c.WriteVersion(a, map[uint64][]byte{0: chunkOf('T', chunk)}, chunk); err != nil {
+	if _, err := c.WriteVersion(ctx, a, map[uint64][]byte{0: chunkOf('T', chunk)}, chunk); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := c.RetireStats(a, 1)
+	stats, err := c.RetireStats(ctx, a, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.ReleasedRefs != 1 || stats.ReclaimedChunks != 0 {
 		t.Fatalf("retire of shared content: %+v, want 1 release, 0 reclaims", stats)
 	}
-	got, err := c.ReadVersion(b, 0, 0, chunk)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: b, Version: 0}, 0, chunk)
 	if err != nil || !bytes.Equal(got, shared) {
 		t.Fatalf("blob B lost shared content after A's retire: %v", err)
 	}
@@ -258,30 +258,30 @@ func TestSharedContentSurvivesOtherBlobsRetire(t *testing.T) {
 func TestClonePinPreventsRelease(t *testing.T) {
 	const chunk = 4096
 	_, c := dedupDeploy(t, 2, 3)
-	blob, err := c.CreateBlob(chunk)
+	blob, err := c.CreateBlob(ctx, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
 	orig := chunkOf('c', chunk)
-	if _, err := c.WriteVersion(blob, map[uint64][]byte{0: orig}, chunk); err != nil {
+	if _, err := c.WriteVersion(ctx, blob, map[uint64][]byte{0: orig}, chunk); err != nil {
 		t.Fatal(err)
 	}
-	clone, err := c.Clone(blob, 0)
+	clone, err := c.Clone(ctx, SnapshotRef{Blob: blob, Version: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Supersede and retire the cloned-from version in the origin.
-	if _, err := c.WriteVersion(blob, map[uint64][]byte{0: chunkOf('d', chunk)}, chunk); err != nil {
+	if _, err := c.WriteVersion(ctx, blob, map[uint64][]byte{0: chunkOf('d', chunk)}, chunk); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := c.RetireStats(blob, 1)
+	stats, err := c.RetireStats(ctx, blob, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.ReleasedRefs != 0 {
 		t.Fatalf("retire released %d refs pinned by a clone", stats.ReleasedRefs)
 	}
-	got, err := c.ReadVersion(clone, 0, 0, chunk)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: clone, Version: 0}, 0, chunk)
 	if err != nil || !bytes.Equal(got, orig) {
 		t.Fatalf("clone lost pinned content: %v", err)
 	}
@@ -294,16 +294,16 @@ func TestClonePinPreventsRelease(t *testing.T) {
 func TestMarkSweepGCComposesWithDedup(t *testing.T) {
 	const chunk = 4096
 	d, c := dedupDeploy(t, 2, 3)
-	blob, err := c.CreateBlob(chunk)
+	blob, err := c.CreateBlob(ctx, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < 4; v++ {
-		if _, err := c.WriteVersion(blob, map[uint64][]byte{0: chunkOf(byte('a'+v), chunk)}, chunk); err != nil {
+		if _, err := c.WriteVersion(ctx, blob, map[uint64][]byte{0: chunkOf(byte('a'+v), chunk)}, chunk); err != nil {
 			t.Fatal(err)
 		}
 	}
-	providers, err := c.Providers()
+	providers, err := c.Providers(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,19 +311,19 @@ func TestMarkSweepGCComposesWithDedup(t *testing.T) {
 	// commit would: refcount retire alone can no longer reclaim that body.
 	leakedFP := cas.Sum(chunkOf('c', chunk))
 	leakedAddr := casPlacement(leakedFP, providers, 1)[0]
-	held, err := c.casRef(leakedAddr, leakedFP)
+	held, err := c.casRef(ctx, leakedAddr, leakedFP)
 	if err != nil || !held {
 		t.Fatalf("leak ref: held=%v err=%v", held, err)
 	}
 
-	stats, err := c.RetireStats(blob, 3)
+	stats, err := c.RetireStats(ctx, blob, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.ReclaimedChunks != 2 {
 		t.Fatalf("refcount retire reclaimed %d chunks, want 2 (one leaked)", stats.ReclaimedChunks)
 	}
-	_, chunks, err := c.Usage(d.DataAddrs)
+	_, chunks, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,20 +333,20 @@ func TestMarkSweepGCComposesWithDedup(t *testing.T) {
 
 	// The sweep collects the leaked body (unreachable from live roots) and
 	// leaves the live one alone.
-	gcStats, err := c.GC(d.DataAddrs)
+	gcStats, err := c.GC(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if gcStats.DeletedChunks != 1 {
 		t.Fatalf("sweep deleted %d chunks, want 1 (the leaked body)", gcStats.DeletedChunks)
 	}
-	got, err := c.ReadVersion(blob, 3, 0, chunk)
+	got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: 3}, 0, chunk)
 	if err != nil || !bytes.Equal(got, chunkOf('d', chunk)) {
 		t.Fatalf("live version unreadable after sweep: %v", err)
 	}
 	// The sweep dropped the dedup index entry too: re-committing the swept
 	// content stores a fresh body rather than resurrecting a stale count.
-	_, cs, err := c.WriteVersionStats(blob, map[uint64][]byte{0: chunkOf('c', chunk)}, chunk)
+	_, cs, err := c.WriteVersionStats(ctx, blob, map[uint64][]byte{0: chunkOf('c', chunk)}, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +383,7 @@ func TestDedupCommitRetireRaceStress(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			// One checkpoint image per writer, as in the checkpoint workload.
-			blob, err := c.CreateBlob(chunk)
+			blob, err := c.CreateBlob(ctx, chunk)
 			if err != nil {
 				errs <- err
 				return
@@ -396,14 +396,14 @@ func TestDedupCommitRetireRaceStress(t *testing.T) {
 					writes[uint64(s)] = body
 					want = append(want, body...)
 				}
-				info, _, err := c.WriteVersionStats(blob, writes, stripes*chunk)
+				info, _, err := c.WriteVersionStats(ctx, blob, writes, stripes*chunk)
 				if err != nil {
 					errs <- fmt.Errorf("writer %d round %d: commit: %w", w, r, err)
 					return
 				}
 				// The snapshot just published must be fully readable even
 				// while other writers retire snapshots sharing its chunks.
-				got, err := c.ReadVersion(blob, info.Version, 0, stripes*chunk)
+				got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, stripes*chunk)
 				if err != nil {
 					errs <- fmt.Errorf("writer %d round %d: read: %w", w, r, err)
 					return
@@ -413,18 +413,18 @@ func TestDedupCommitRetireRaceStress(t *testing.T) {
 					return
 				}
 				// Retire everything older than the snapshot just taken.
-				if _, err := c.RetireStats(blob, info.Version); err != nil {
+				if _, err := c.RetireStats(ctx, blob, info.Version); err != nil {
 					errs <- fmt.Errorf("writer %d round %d: retire: %w", w, r, err)
 					return
 				}
 			}
 			// Final snapshot still intact after all retires settle.
-			info, _, err := c.Latest(blob)
+			info, _, err := c.Latest(ctx, blob)
 			if err != nil {
 				errs <- err
 				return
 			}
-			if _, err := c.ReadVersion(blob, info.Version, 0, stripes*chunk); err != nil {
+			if _, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, stripes*chunk); err != nil {
 				errs <- fmt.Errorf("writer %d: final snapshot lost: %w", w, err)
 			}
 		}()

@@ -1,6 +1,7 @@
 package blobseer
 
 import (
+	"context"
 	"fmt"
 
 	"blobcr/internal/cas"
@@ -74,7 +75,7 @@ func Deploy(n transport.Network, nMeta, nData int) (*Deployment, error) {
 		d.servers = append(d.servers, srv)
 		d.dataProviders = append(d.dataProviders, dp)
 		d.DataAddrs = append(d.DataAddrs, srv.Addr())
-		if err := client.RegisterProvider(srv.Addr()); err != nil {
+		if err := client.RegisterProvider(context.Background(), srv.Addr()); err != nil {
 			return fail(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package blobseer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -52,7 +53,7 @@ func (pm *ProviderManager) placeLocked(replication int) ([]string, error) {
 	return out, nil
 }
 
-func (pm *ProviderManager) handle(req []byte) ([]byte, error) {
+func (pm *ProviderManager) handle(_ context.Context, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	op := int(r.U8())
 	if err := r.Err(); err != nil {
@@ -148,7 +149,7 @@ func (dp *DataProvider) Serve(n transport.Network, addr string) (transport.Serve
 	return n.Listen(addr, dp.handle)
 }
 
-func (dp *DataProvider) handle(req []byte) ([]byte, error) {
+func (dp *DataProvider) handle(_ context.Context, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	op := int(r.U8())
 	if err := r.Err(); err != nil {
@@ -307,7 +308,7 @@ func (mp *MetadataProvider) Serve(n transport.Network, addr string) (transport.S
 	return n.Listen(addr, mp.handle)
 }
 
-func (mp *MetadataProvider) handle(req []byte) ([]byte, error) {
+func (mp *MetadataProvider) handle(_ context.Context, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	op := int(r.U8())
 	if err := r.Err(); err != nil {

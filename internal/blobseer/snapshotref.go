@@ -1,0 +1,48 @@
+package blobseer
+
+import (
+	"errors"
+	"fmt"
+
+	"blobcr/internal/transport"
+	"blobcr/internal/wire"
+)
+
+// SnapshotRef names one published snapshot: a (blob, version) pair. It is
+// the single currency for snapshot identity across every layer — the
+// repository client, the mirroring module, the checkpointing proxy, the
+// cloud middleware and the BlobCR core all speak SnapshotRef instead of bare
+// uint64 pairs.
+type SnapshotRef struct {
+	Blob    uint64
+	Version uint64
+}
+
+// String renders the ref as "blob@vN".
+func (r SnapshotRef) String() string { return fmt.Sprintf("%d@v%d", r.Blob, r.Version) }
+
+// IsZero reports whether the ref is the zero value (blob ids start at 1, so
+// the zero ref never names a real snapshot).
+func (r SnapshotRef) IsZero() bool { return r == SnapshotRef{} }
+
+// Marshal encodes the ref for transmission (16 bytes, little-endian).
+func (r SnapshotRef) Marshal() []byte {
+	w := wire.NewBuffer(16)
+	w.PutU64(r.Blob)
+	w.PutU64(r.Version)
+	return w.Bytes()
+}
+
+// UnmarshalSnapshotRef decodes a ref produced by Marshal.
+func UnmarshalSnapshotRef(raw []byte) (SnapshotRef, error) {
+	rd := wire.NewReader(raw)
+	ref := SnapshotRef{Blob: rd.U64(), Version: rd.U64()}
+	if err := rd.Err(); err != nil {
+		return SnapshotRef{}, fmt.Errorf("blobseer: decode snapshot ref: %w", err)
+	}
+	return ref, nil
+}
+
+// IsNotFound reports whether err is any not-found condition — a local
+// sentinel or a remote error that carried the mark across the wire.
+func IsNotFound(err error) bool { return errors.Is(err, transport.ErrNotFound) }

@@ -1,6 +1,7 @@
 package blobseer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -11,11 +12,14 @@ import (
 	"blobcr/internal/wire"
 )
 
-// ErrVersionNotFound is returned for lookups of unpublished versions.
-var ErrVersionNotFound = errors.New("blobseer: version not found")
+// ErrVersionNotFound is returned for lookups of unpublished versions. It
+// satisfies errors.Is(err, transport.ErrNotFound), so the condition survives
+// the wire without string matching.
+var ErrVersionNotFound error = transport.NotFoundError("blobseer: version not found")
 
-// ErrBlobNotFound is returned for operations on unknown blobs.
-var ErrBlobNotFound = errors.New("blobseer: blob not found")
+// ErrBlobNotFound is returned for operations on unknown blobs. Like
+// ErrVersionNotFound it is marked as a transport-level not-found condition.
+var ErrBlobNotFound error = transport.NotFoundError("blobseer: blob not found")
 
 // blobState is the version manager's record of one BLOB.
 type blobState struct {
@@ -108,7 +112,7 @@ func (vm *VersionManager) Serve(n transport.Network, addr string) (transport.Ser
 	return n.Listen(addr, vm.handle)
 }
 
-func (vm *VersionManager) handle(req []byte) ([]byte, error) {
+func (vm *VersionManager) handle(_ context.Context, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	op := int(r.U8())
 	if err := r.Err(); err != nil {

@@ -6,6 +6,7 @@
 package cloud
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -39,11 +40,10 @@ type Node struct {
 // Failed reports whether the node has fail-stopped.
 func (n *Node) Failed() bool { return n.failed }
 
-// SnapshotRef names one VM's disk snapshot in the repository.
-type SnapshotRef struct {
-	Blob    uint64
-	Version uint64
-}
+// SnapshotRef names one VM's disk snapshot in the repository. It is an
+// alias of blobseer.SnapshotRef — the one snapshot-identity type every
+// layer shares.
+type SnapshotRef = blobseer.SnapshotRef
 
 // GlobalCheckpoint is a consistent set of per-instance snapshots.
 type GlobalCheckpoint struct {
@@ -62,10 +62,9 @@ type Instance struct {
 
 // Deployment is one application's set of instances.
 type Deployment struct {
-	ID          string
-	BaseBlob    uint64
-	BaseVersion uint64
-	Instances   []*Instance
+	ID        string
+	Base      SnapshotRef // the base image the deployment booted from
+	Instances []*Instance
 
 	mu          sync.Mutex
 	checkpoints []GlobalCheckpoint
@@ -157,17 +156,17 @@ func (c *Cloud) Repository() *blobseer.Deployment { return c.repo }
 
 // UploadBaseImage stores a raw disk image in the repository and returns its
 // blob id and version — the user's "put image" operation.
-func (c *Cloud) UploadBaseImage(raw []byte, chunkSize uint64) (uint64, uint64, error) {
+func (c *Cloud) UploadBaseImage(ctx context.Context, raw []byte, chunkSize uint64) (SnapshotRef, error) {
 	cl := c.Client()
-	blob, err := cl.CreateBlob(chunkSize)
+	blob, err := cl.CreateBlob(ctx, chunkSize)
 	if err != nil {
-		return 0, 0, err
+		return SnapshotRef{}, err
 	}
-	info, err := cl.WriteAt(blob, 0, raw)
+	info, err := cl.WriteAt(ctx, blob, 0, raw)
 	if err != nil {
-		return 0, 0, err
+		return SnapshotRef{}, err
 	}
-	return blob, info.Version, nil
+	return SnapshotRef{Blob: blob, Version: info.Version}, nil
 }
 
 // healthyNodesLocked returns non-failed nodes.
@@ -202,14 +201,14 @@ func (c *Cloud) placeLocked(avoid map[string]bool) (*Node, error) {
 }
 
 // deployOne attaches, boots and registers one instance from a snapshot.
-func (c *Cloud) deployOne(vmID string, node *Node, blob, version uint64, vmCfg vm.Config, resumeCkpt bool) (*Instance, error) {
+func (c *Cloud) deployOne(ctx context.Context, vmID string, node *Node, ref SnapshotRef, vmCfg vm.Config, resumeCkpt bool) (*Instance, error) {
 	cl := c.Client()
 	var mod *mirror.Module
 	var err error
 	if resumeCkpt {
-		mod, err = mirror.AttachCheckpoint(cl, blob, version)
+		mod, err = mirror.AttachCheckpoint(ctx, cl, ref)
 	} else {
-		mod, err = mirror.Attach(cl, blob, version)
+		mod, err = mirror.Attach(ctx, cl, ref)
 	}
 	if err != nil {
 		return nil, err
@@ -231,14 +230,13 @@ func (c *Cloud) deployOne(vmID string, node *Node, blob, version uint64, vmCfg v
 
 // Deploy boots n instances from the same base image (multi-deployment),
 // placing them round-robin across healthy nodes.
-func (c *Cloud) Deploy(n int, baseBlob, baseVersion uint64, vmCfg vm.Config) (*Deployment, error) {
+func (c *Cloud) Deploy(ctx context.Context, n int, base SnapshotRef, vmCfg vm.Config) (*Deployment, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextDep++
 	dep := &Deployment{
-		ID:          fmt.Sprintf("dep-%d", c.nextDep),
-		BaseBlob:    baseBlob,
-		BaseVersion: baseVersion,
+		ID:   fmt.Sprintf("dep-%d", c.nextDep),
+		Base: base,
 	}
 	for i := 0; i < n; i++ {
 		node, err := c.placeLocked(nil)
@@ -246,7 +244,7 @@ func (c *Cloud) Deploy(n int, baseBlob, baseVersion uint64, vmCfg vm.Config) (*D
 			return nil, err
 		}
 		vmID := fmt.Sprintf("%s-vm-%03d", dep.ID, i)
-		inst, err := c.deployOne(vmID, node, baseBlob, baseVersion, vmCfg, false)
+		inst, err := c.deployOne(ctx, vmID, node, base, vmCfg, false)
 		if err != nil {
 			return nil, fmt.Errorf("cloud: deploy %s: %w", vmID, err)
 		}
@@ -296,7 +294,7 @@ func (dep *Deployment) LatestCheckpoint() (GlobalCheckpoint, bool) {
 // FailNode fail-stops a node: all hosted instances die and the co-located
 // data provider becomes unreachable (its locally stored chunk replicas are
 // lost to the deployment).
-func (c *Cloud) FailNode(name string) error {
+func (c *Cloud) FailNode(ctx context.Context, name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, n := range c.nodes {
@@ -308,7 +306,7 @@ func (c *Cloud) FailNode(name string) error {
 		c.net.Partition(n.DataAddr)
 		// Take the dead data provider out of the placement rotation so
 		// future commits go to live providers only.
-		if err := c.Client().UnregisterProvider(n.DataAddr); err != nil {
+		if err := c.Client().UnregisterProvider(ctx, n.DataAddr); err != nil {
 			return fmt.Errorf("cloud: deregister failed provider: %w", err)
 		}
 		return nil
@@ -334,7 +332,7 @@ func (c *Cloud) KillDeploymentInstancesOn(dep *Deployment) []string {
 // (the paper redeploys on different nodes to avoid cache effects; here it
 // also sidesteps failed nodes). The old instances are discarded. The
 // returned deployment reuses the same checkpoint history.
-func (c *Cloud) Restart(dep *Deployment, ckptID int) (*Deployment, error) {
+func (c *Cloud) Restart(ctx context.Context, dep *Deployment, ckptID int) (*Deployment, error) {
 	dep.mu.Lock()
 	var target *GlobalCheckpoint
 	for i := range dep.checkpoints {
@@ -352,8 +350,7 @@ func (c *Cloud) Restart(dep *Deployment, ckptID int) (*Deployment, error) {
 	defer c.mu.Unlock()
 	newDep := &Deployment{
 		ID:          dep.ID,
-		BaseBlob:    dep.BaseBlob,
-		BaseVersion: dep.BaseVersion,
+		Base:        dep.Base,
 		checkpoints: dep.Checkpoints(),
 	}
 	for _, old := range dep.Instances {
@@ -367,7 +364,7 @@ func (c *Cloud) Restart(dep *Deployment, ckptID int) (*Deployment, error) {
 		if err != nil {
 			return nil, err
 		}
-		inst, err := c.deployOne(old.VMID, node, ref.Blob, ref.Version, vm.Config{BlockSize: 512}, true)
+		inst, err := c.deployOne(ctx, old.VMID, node, ref, vm.Config{BlockSize: 512}, true)
 		if err != nil {
 			return nil, fmt.Errorf("cloud: restart %s: %w", old.VMID, err)
 		}
@@ -380,7 +377,7 @@ func (c *Cloud) Restart(dep *Deployment, ckptID int) (*Deployment, error) {
 // checkpoint and garbage-collects the repository — the paper's future-work
 // extension, kept as a middleware operation because only the middleware
 // knows which snapshots checkpoints still reference.
-func (c *Cloud) Prune(dep *Deployment, keepFromCkptID int) (blobseer.GCStats, error) {
+func (c *Cloud) Prune(ctx context.Context, dep *Deployment, keepFromCkptID int) (blobseer.GCStats, error) {
 	dep.mu.Lock()
 	var keep *GlobalCheckpoint
 	for i := range dep.checkpoints {
@@ -395,11 +392,11 @@ func (c *Cloud) Prune(dep *Deployment, keepFromCkptID int) (blobseer.GCStats, er
 	}
 	cl := c.Client()
 	for _, ref := range keep.Snapshots {
-		if err := cl.Retire(ref.Blob, ref.Version); err != nil {
+		if err := cl.Retire(ctx, ref.Blob, ref.Version); err != nil {
 			return blobseer.GCStats{}, err
 		}
 	}
-	return cl.GC(c.repo.DataAddrs)
+	return cl.GC(ctx, c.repo.DataAddrs)
 }
 
 // Close shuts the cloud down.

@@ -2,11 +2,15 @@ package cloud
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
 	"blobcr/internal/vm"
 )
+
+// ctx is the default context for test operations.
+var ctx = context.Background()
 
 const chunkSize = 512
 
@@ -20,19 +24,19 @@ func newCloud(t *testing.T, nodes int) *Cloud {
 	return c
 }
 
-func uploadBase(t *testing.T, c *Cloud, size int) (uint64, uint64) {
+func uploadBase(t *testing.T, c *Cloud, size int) SnapshotRef {
 	t.Helper()
-	blob, version, err := c.UploadBaseImage(make([]byte, size), chunkSize)
+	base, err := c.UploadBaseImage(ctx, make([]byte, size), chunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return blob, version
+	return base
 }
 
 func TestDeployMultipleInstances(t *testing.T) {
 	c := newCloud(t, 4)
-	base, ver := uploadBase(t, c, 128*1024)
-	dep, err := c.Deploy(4, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 4, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,8 +57,8 @@ func TestDeployMultipleInstances(t *testing.T) {
 
 func TestInstancesAreIndependent(t *testing.T) {
 	c := newCloud(t, 2)
-	base, ver := uploadBase(t, c, 128*1024)
-	dep, err := c.Deploy(2, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 2, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,19 +74,19 @@ func TestInstancesAreIndependent(t *testing.T) {
 
 func TestCheckpointViaProxyAndRecord(t *testing.T) {
 	c := newCloud(t, 3)
-	base, ver := uploadBase(t, c, 128*1024)
-	dep, err := c.Deploy(3, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 3, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
 	snaps := make(map[string]SnapshotRef)
 	for i, inst := range dep.Instances {
 		inst.VM.FS().WriteFile("/state", []byte(fmt.Sprintf("rank %d", i)))
-		blob, version, err := inst.Proxy.RequestCheckpoint()
+		ref, err := inst.Proxy.RequestCheckpoint(ctx)
 		if err != nil {
 			t.Fatalf("%s checkpoint: %v", inst.VMID, err)
 		}
-		snaps[inst.VMID] = SnapshotRef{Blob: blob, Version: version}
+		snaps[inst.VMID] = ref
 	}
 	id, err := c.RecordCheckpoint(dep, snaps)
 	if err != nil {
@@ -99,8 +103,8 @@ func TestCheckpointViaProxyAndRecord(t *testing.T) {
 
 func TestRecordCheckpointRejectsIncomplete(t *testing.T) {
 	c := newCloud(t, 2)
-	base, ver := uploadBase(t, c, 128*1024)
-	dep, err := c.Deploy(2, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 2, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,8 +118,8 @@ func TestRecordCheckpointRejectsIncomplete(t *testing.T) {
 
 func TestFailureAndRestartRollsBack(t *testing.T) {
 	c := newCloud(t, 4)
-	base, ver := uploadBase(t, c, 128*1024)
-	dep, err := c.Deploy(2, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 2, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,11 +128,11 @@ func TestFailureAndRestartRollsBack(t *testing.T) {
 	snaps := make(map[string]SnapshotRef)
 	for i, inst := range dep.Instances {
 		inst.VM.FS().WriteFile("/progress", []byte(fmt.Sprintf("iter-100-rank-%d", i)))
-		blob, version, err := inst.Proxy.RequestCheckpoint()
+		ref, err := inst.Proxy.RequestCheckpoint(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		snaps[inst.VMID] = SnapshotRef{Blob: blob, Version: version}
+		snaps[inst.VMID] = ref
 	}
 	ckptID, err := c.RecordCheckpoint(dep, snaps)
 	if err != nil {
@@ -144,7 +148,7 @@ func TestFailureAndRestartRollsBack(t *testing.T) {
 
 	// Fail the node hosting instance 0.
 	failedNode := dep.Instances[0].Node.Name
-	if err := c.FailNode(failedNode); err != nil {
+	if err := c.FailNode(ctx, failedNode); err != nil {
 		t.Fatal(err)
 	}
 	dead := c.KillDeploymentInstancesOn(dep)
@@ -153,7 +157,7 @@ func TestFailureAndRestartRollsBack(t *testing.T) {
 	}
 
 	// Restart from the recorded checkpoint.
-	newDep, err := c.Restart(dep, ckptID)
+	newDep, err := c.Restart(ctx, dep, ckptID)
 	if err != nil {
 		t.Fatalf("Restart: %v", err)
 	}
@@ -181,56 +185,56 @@ func TestFailureAndRestartRollsBack(t *testing.T) {
 
 func TestRestartUnknownCheckpoint(t *testing.T) {
 	c := newCloud(t, 2)
-	base, ver := uploadBase(t, c, 128*1024)
-	dep, err := c.Deploy(1, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 1, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Restart(dep, 99); err == nil {
+	if _, err := c.Restart(ctx, dep, 99); err == nil {
 		t.Error("restart from unknown checkpoint succeeded")
 	}
 }
 
 func TestCheckpointAfterRestartContinues(t *testing.T) {
 	c := newCloud(t, 3)
-	base, ver := uploadBase(t, c, 128*1024)
-	dep, err := c.Deploy(1, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 1, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
 	inst := dep.Instances[0]
 	inst.VM.FS().WriteFile("/s", []byte("v1"))
-	blob, version, err := inst.Proxy.RequestCheckpoint()
+	ref, err := inst.Proxy.RequestCheckpoint(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ckptID, err := c.RecordCheckpoint(dep, map[string]SnapshotRef{inst.VMID: {Blob: blob, Version: version}})
+	ckptID, err := c.RecordCheckpoint(dep, map[string]SnapshotRef{inst.VMID: ref})
 	if err != nil {
 		t.Fatal(err)
 	}
-	newDep, err := c.Restart(dep, ckptID)
+	newDep, err := c.Restart(ctx, dep, ckptID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	inst2 := newDep.Instances[0]
 	inst2.VM.FS().WriteFile("/s", []byte("v2"))
-	blob2, version2, err := inst2.Proxy.RequestCheckpoint()
+	ref2, err := inst2.Proxy.RequestCheckpoint(ctx)
 	if err != nil {
 		t.Fatalf("checkpoint after restart: %v", err)
 	}
-	if blob2 != blob {
-		t.Errorf("restarted instance checkpoints into new image %d (was %d)", blob2, blob)
+	if ref2.Blob != ref.Blob {
+		t.Errorf("restarted instance checkpoints into new image %d (was %d)", ref2.Blob, ref.Blob)
 	}
-	if version2 <= version {
-		t.Errorf("version did not advance: %d then %d", version, version2)
+	if ref2.Version <= ref.Version {
+		t.Errorf("version did not advance: %d then %d", ref.Version, ref2.Version)
 	}
 	// Both snapshots readable.
 	cl := c.Client()
-	s1, err := cl.ReadVersion(blob, version, 0, 128*1024)
+	s1, err := cl.ReadVersion(ctx, ref, 0, 128*1024)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := cl.ReadVersion(blob2, version2, 0, 128*1024)
+	s2, err := cl.ReadVersion(ctx, ref2, 0, 128*1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,8 +245,8 @@ func TestCheckpointAfterRestartContinues(t *testing.T) {
 
 func TestPruneReclaimsOldCheckpoints(t *testing.T) {
 	c := newCloud(t, 2)
-	base, ver := uploadBase(t, c, 256*1024)
-	dep, err := c.Deploy(1, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	base := uploadBase(t, c, 256*1024)
+	dep, err := c.Deploy(ctx, 1, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,28 +257,28 @@ func TestPruneReclaimsOldCheckpoints(t *testing.T) {
 		// exclusive chunks.
 		data := bytes.Repeat([]byte{byte(i + 1)}, 64*1024)
 		inst.VM.FS().WriteFile("/state", data)
-		blob, version, err := inst.Proxy.RequestCheckpoint()
+		ref, err := inst.Proxy.RequestCheckpoint(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		lastID, err = c.RecordCheckpoint(dep, map[string]SnapshotRef{inst.VMID: {Blob: blob, Version: version}})
+		lastID, err = c.RecordCheckpoint(dep, map[string]SnapshotRef{inst.VMID: ref})
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
 	cl := c.Client()
-	_, chunksBefore, err := cl.Usage(c.Repository().DataAddrs)
+	_, chunksBefore, err := cl.Usage(ctx, c.Repository().DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := c.Prune(dep, lastID)
+	stats, err := c.Prune(ctx, dep, lastID)
 	if err != nil {
 		t.Fatalf("Prune: %v", err)
 	}
 	if stats.DeletedChunks == 0 {
 		t.Error("Prune reclaimed nothing")
 	}
-	_, chunksAfter, err := cl.Usage(c.Repository().DataAddrs)
+	_, chunksAfter, err := cl.Usage(ctx, c.Repository().DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +286,7 @@ func TestPruneReclaimsOldCheckpoints(t *testing.T) {
 		t.Errorf("chunks %d -> %d after prune", chunksBefore, chunksAfter)
 	}
 	// The kept checkpoint must still be restorable.
-	if _, err := c.Restart(dep, lastID); err != nil {
+	if _, err := c.Restart(ctx, dep, lastID); err != nil {
 		t.Fatalf("restart after prune: %v", err)
 	}
 }
@@ -291,27 +295,27 @@ func TestReplicationSurvivesNodeLoss(t *testing.T) {
 	// With replication 2, losing one node's data provider must not make
 	// snapshots unreadable.
 	c := newCloud(t, 4)
-	base, ver := uploadBase(t, c, 128*1024)
-	dep, err := c.Deploy(1, base, ver, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 1, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
 	inst := dep.Instances[0]
 	inst.VM.FS().WriteFile("/important", []byte("replicated state"))
-	blob, version, err := inst.Proxy.RequestCheckpoint()
+	ref, err := inst.Proxy.RequestCheckpoint(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ckptID, err := c.RecordCheckpoint(dep, map[string]SnapshotRef{inst.VMID: {Blob: blob, Version: version}})
+	ckptID, err := c.RecordCheckpoint(dep, map[string]SnapshotRef{inst.VMID: ref})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Fail the instance's own node (its data provider had replicas too).
-	if err := c.FailNode(inst.Node.Name); err != nil {
+	if err := c.FailNode(ctx, inst.Node.Name); err != nil {
 		t.Fatal(err)
 	}
 	c.KillDeploymentInstancesOn(dep)
-	newDep, err := c.Restart(dep, ckptID)
+	newDep, err := c.Restart(ctx, dep, ckptID)
 	if err != nil {
 		t.Fatalf("restart with one data provider lost: %v", err)
 	}

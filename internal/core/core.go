@@ -14,6 +14,13 @@
 //   - process level (BlobCR-blcr): the framework dumps each rank's whole
 //     process image with internal/blcr, transparently to the application.
 //
+// Checkpoints are asynchronous end to end: the proxy resumes each VM as
+// soon as its dirty chunks are captured locally, and the upload to the
+// repository overlaps with computation. Rank.Checkpoint hides this behind
+// the classic synchronous call; Rank.CheckpointAsync exposes the
+// PendingCheckpoint handle so the application can compute while the global
+// checkpoint commits, resolving it at the next natural pause.
+//
 // A Job maps MPI ranks onto VM instances (several ranks per multi-core
 // instance, as in the CM1 experiments), coordinates the global checkpoint,
 // records the snapshot set with the middleware, and restarts from any
@@ -21,11 +28,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"blobcr/internal/blcr"
+	"blobcr/internal/blobseer"
 	"blobcr/internal/cloud"
 	"blobcr/internal/guestfs"
 	"blobcr/internal/mirror"
@@ -47,8 +56,9 @@ const (
 
 // Errors.
 var (
-	ErrNoCheckpoint = errors.New("core: no checkpoint recorded")
-	ErrBadConfig    = errors.New("core: invalid job configuration")
+	ErrNoCheckpoint   = errors.New("core: no checkpoint recorded")
+	ErrBadConfig      = errors.New("core: invalid job configuration")
+	ErrCkptIncomplete = errors.New("core: global checkpoint failed on another rank")
 )
 
 // JobConfig describes an MPI job.
@@ -87,11 +97,11 @@ type Job struct {
 
 // NewJob deploys cfg.Instances VMs from the base image and prepares the
 // rank mapping. The instances boot immediately.
-func NewJob(cl *cloud.Cloud, baseBlob, baseVersion uint64, cfg JobConfig) (*Job, error) {
+func NewJob(ctx context.Context, cl *cloud.Cloud, base cloud.SnapshotRef, cfg JobConfig) (*Job, error) {
 	if cfg.Instances < 1 {
 		return nil, fmt.Errorf("%w: %d instances", ErrBadConfig, cfg.Instances)
 	}
-	dep, err := cl.Deploy(cfg.Instances, baseBlob, baseVersion, cfg.VMConfig)
+	dep, err := cl.Deploy(ctx, cfg.Instances, base, cfg.VMConfig)
 	if err != nil {
 		return nil, err
 	}
@@ -194,14 +204,109 @@ func (j *Job) run(body func(r *Rank) error, restored bool) error {
 	})
 }
 
-// Checkpoint takes a coordinated global checkpoint. In AppLevel mode, save
-// must write the rank's state into the guest file system (typically at
-// StatePath); in ProcessLevel mode save is ignored and the framework dumps
-// the rank's process image transparently. It returns the recorded global
-// checkpoint id (the same on every rank).
+// PendingCheckpoint is an asynchronous global checkpoint handle: the
+// coordinated line is established (state dumped, file systems synced, disk
+// snapshots initiated, VMs resumed), but the uploads may still be in
+// flight. Wait resolves it to the recorded global checkpoint id.
 //
-// Every rank must call Checkpoint at the same logical point.
-func (r *Rank) Checkpoint(save func(fs *guestfs.FS) error) (int, error) {
+// Wait is a collective: every rank must resolve its handle exactly once,
+// at the same logical point, before issuing the next checkpoint.
+type PendingCheckpoint struct {
+	rank *Rank
+	wait mpi.SnapshotWait
+	err  error // pre-barrier failure on this rank, reported at Wait
+}
+
+// Wait blocks until every instance's snapshot has been committed, records
+// the global checkpoint with the middleware, and returns its id (the same
+// on every rank).
+func (pc *PendingCheckpoint) Wait() (int, error) {
+	r := pc.rank
+	j := r.job
+
+	var ref cloud.SnapshotRef
+	waitErr := pc.err
+	if waitErr == nil && pc.wait != nil {
+		version, err := pc.wait()
+		if err != nil {
+			waitErr = err
+		} else {
+			blob, _ := r.inst.Mirror.CheckpointImage()
+			ref = cloud.SnapshotRef{Blob: blob, Version: version}
+		}
+	}
+
+	// Gather the per-VM snapshot refs at rank 0 — every rank participates,
+	// flagging whether its snapshot succeeded, so one rank's failure cannot
+	// wedge the collective.
+	payload := make([]byte, 0, 17)
+	if waitErr == nil {
+		payload = append(payload, 1)
+	} else {
+		payload = append(payload, 0)
+	}
+	payload = append(payload, ref.Marshal()...)
+	gathered, err := r.Comm.Gather(0, payload)
+	if err != nil {
+		return 0, err
+	}
+	var ckptID int
+	var recordErr error // rank 0 only: why the checkpoint was not recorded
+	if r.Comm.Rank() == 0 {
+		snaps := make(map[string]cloud.SnapshotRef, len(j.dep.Instances))
+		complete := true
+		for rank, raw := range gathered {
+			if len(raw) < 17 || raw[0] == 0 {
+				complete = false
+				continue
+			}
+			gref, err := blobseer.UnmarshalSnapshotRef(raw[1:17])
+			if err != nil {
+				complete = false
+				continue
+			}
+			vmID := j.dep.Instances[j.instanceOf(rank)].VMID
+			snaps[vmID] = gref
+		}
+		if complete {
+			id, err := j.cloud.RecordCheckpoint(j.dep, snaps)
+			if err != nil {
+				recordErr = err
+			} else {
+				ckptID = id
+			}
+		}
+	}
+	// Share the checkpoint id with every rank; zero means the global
+	// checkpoint was not recorded.
+	idBytes, err := r.Comm.Bcast(0, []byte{byte(ckptID), byte(ckptID >> 8), byte(ckptID >> 16), byte(ckptID >> 24)})
+	if err != nil {
+		return 0, err
+	}
+	id := int(uint32(idBytes[0]) | uint32(idBytes[1])<<8 | uint32(idBytes[2])<<16 | uint32(idBytes[3])<<24)
+	if waitErr != nil {
+		return 0, waitErr
+	}
+	if recordErr != nil {
+		return 0, recordErr // rank 0 knows the real cause
+	}
+	if id == 0 {
+		return 0, ErrCkptIncomplete
+	}
+	return id, nil
+}
+
+// CheckpointAsync establishes a coordinated global checkpoint line and
+// returns a PendingCheckpoint handle without waiting for the snapshot
+// uploads: each VM resumes as soon as its dirty chunks are captured, and
+// the application may compute while the repository absorbs the commits.
+// In AppLevel mode, save must write the rank's state into the guest file
+// system (typically at StatePath); in ProcessLevel mode save is ignored and
+// the framework dumps the rank's process image transparently.
+//
+// Every rank must call CheckpointAsync at the same logical point and must
+// resolve the returned handle with Wait before checkpointing again.
+func (r *Rank) CheckpointAsync(ctx context.Context, save func(fs *guestfs.FS) error) (*PendingCheckpoint, error) {
 	j := r.job
 	hooks := mpi.CRHooks{
 		Sync: func() error { return r.FS().Sync() },
@@ -209,7 +314,7 @@ func (r *Rank) Checkpoint(save func(fs *guestfs.FS) error) (int, error) {
 	switch j.cfg.Mode {
 	case AppLevel:
 		if save == nil {
-			return 0, fmt.Errorf("%w: AppLevel checkpoint needs a save callback", ErrBadConfig)
+			return nil, fmt.Errorf("%w: AppLevel checkpoint needs a save callback", ErrBadConfig)
 		}
 		hooks.SaveState = func() error { return save(r.FS()) }
 	case ProcessLevel:
@@ -219,71 +324,46 @@ func (r *Rank) Checkpoint(save func(fs *guestfs.FS) error) (int, error) {
 			return err
 		}
 	default:
-		return 0, fmt.Errorf("%w: unknown mode %d", ErrBadConfig, j.cfg.Mode)
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrBadConfig, j.cfg.Mode)
 	}
 
 	// One disk snapshot per VM: the first rank of each VM issues the proxy
-	// request once all co-located ranks have dumped and synced.
+	// request once all co-located ranks have dumped and synced. The request
+	// returns a handle as soon as the VM has resumed; every co-located rank
+	// then waits on the same handle.
 	barrier := j.barriers[r.vmIdx]
-	hooks.Snapshot = func() (uint64, error) {
-		return barrier.snapshotOnce(func() (uint64, uint64, error) {
-			return r.inst.Proxy.RequestCheckpoint()
+	hooks.Snapshot = func() (mpi.SnapshotWait, error) {
+		handle, err := barrier.snapshotOnce(func() (uint64, error) {
+			return r.inst.Proxy.RequestCheckpointAsync(ctx)
 		})
-	}
-
-	version, err := r.Comm.CheckpointCoordinated(hooks)
-	if err != nil {
-		return 0, err
-	}
-
-	// Gather the per-VM snapshot refs at rank 0 and record the global
-	// checkpoint with the middleware.
-	blob, _ := r.inst.Mirror.CheckpointImage()
-	refBytes := encodeRef(blob, version)
-	gathered, err := r.Comm.Gather(0, refBytes)
-	if err != nil {
-		return 0, err
-	}
-	var ckptID int
-	if r.Comm.Rank() == 0 {
-		snaps := make(map[string]cloud.SnapshotRef, len(j.dep.Instances))
-		for rank, raw := range gathered {
-			b, v := decodeRef(raw)
-			vmID := j.dep.Instances[j.instanceOf(rank)].VMID
-			snaps[vmID] = cloud.SnapshotRef{Blob: b, Version: v}
-		}
-		id, err := j.cloud.RecordCheckpoint(j.dep, snaps)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		ckptID = id
+		return func() (uint64, error) {
+			ref, err := r.inst.Proxy.WaitCheckpoint(ctx, handle)
+			if err != nil {
+				return 0, err
+			}
+			return ref.Version, nil
+		}, nil
 	}
-	// Share the checkpoint id with every rank.
-	idBytes, err := r.Comm.Bcast(0, []byte{byte(ckptID), byte(ckptID >> 8), byte(ckptID >> 16), byte(ckptID >> 24)})
+
+	wait, err := r.Comm.CheckpointCoordinatedAsync(hooks)
+	return &PendingCheckpoint{rank: r, wait: wait, err: err}, nil
+}
+
+// Checkpoint takes a coordinated global checkpoint and waits for it to be
+// recorded: CheckpointAsync immediately resolved. The VMs still resume
+// before the uploads — only the calling ranks block. It returns the
+// recorded global checkpoint id (the same on every rank).
+//
+// Every rank must call Checkpoint at the same logical point.
+func (r *Rank) Checkpoint(ctx context.Context, save func(fs *guestfs.FS) error) (int, error) {
+	pc, err := r.CheckpointAsync(ctx, save)
 	if err != nil {
 		return 0, err
 	}
-	return int(uint32(idBytes[0]) | uint32(idBytes[1])<<8 | uint32(idBytes[2])<<16 | uint32(idBytes[3])<<24), nil
-}
-
-func encodeRef(blob, version uint64) []byte {
-	out := make([]byte, 16)
-	for i := 0; i < 8; i++ {
-		out[i] = byte(blob >> (8 * i))
-		out[8+i] = byte(version >> (8 * i))
-	}
-	return out
-}
-
-func decodeRef(raw []byte) (uint64, uint64) {
-	var b, v uint64
-	for i := 0; i < 8 && i < len(raw); i++ {
-		b |= uint64(raw[i]) << (8 * i)
-	}
-	for i := 0; i < 8 && 8+i < len(raw); i++ {
-		v |= uint64(raw[8+i]) << (8 * i)
-	}
-	return b, v
+	return pc.Wait()
 }
 
 // LatestCheckpoint returns the id of the most recent recorded global
@@ -300,8 +380,8 @@ func (j *Job) LatestCheckpoint() (int, error) {
 // instances are redeployed from their disk snapshots on healthy nodes,
 // rebooted, and body runs again with Restored=true. In ProcessLevel mode
 // the framework restores each rank's process image before body runs.
-func (j *Job) Restart(ckptID int, body func(r *Rank) error) error {
-	newDep, err := j.cloud.Restart(j.dep, ckptID)
+func (j *Job) Restart(ctx context.Context, ckptID int, body func(r *Rank) error) error {
+	newDep, err := j.cloud.Restart(ctx, j.dep, ckptID)
 	if err != nil {
 		return err
 	}
@@ -320,8 +400,7 @@ type vmBarrier struct {
 
 	arrived int
 	gen     int
-	version uint64
-	blob    uint64
+	handle  uint64
 	err     error
 }
 
@@ -332,37 +411,38 @@ func newVMBarrier(size int) *vmBarrier {
 }
 
 // snapshotOnce blocks until all ranks of the VM arrive; the last arrival
-// issues the snapshot request and the resulting version is returned to all.
-func (b *vmBarrier) snapshotOnce(request func() (uint64, uint64, error)) (uint64, error) {
+// issues the snapshot request and the resulting checkpoint handle is
+// returned to all.
+func (b *vmBarrier) snapshotOnce(request func() (uint64, error)) (uint64, error) {
 	b.mu.Lock()
 	gen := b.gen
 	b.arrived++
 	if b.arrived == b.size {
-		blob, version, err := func() (uint64, uint64, error) {
+		handle, err := func() (uint64, error) {
 			b.mu.Unlock()
 			defer b.mu.Lock()
 			return request()
 		}()
-		b.blob, b.version, b.err = blob, version, err
+		b.handle, b.err = handle, err
 		b.arrived = 0
 		b.gen++
 		b.mu.Unlock()
 		b.cond.Broadcast()
-		return version, err
+		return handle, err
 	}
 	for b.gen == gen {
 		b.cond.Wait()
 	}
-	version, err := b.version, b.err
+	handle, err := b.handle, b.err
 	b.mu.Unlock()
-	return version, err
+	return handle, err
 }
 
 // InspectSnapshot mounts a disk snapshot from the repository read-only and
 // returns its guest file system — the paper's scenario of downloading and
 // inspecting checkpoint images as standalone entities.
-func InspectSnapshot(cl *cloud.Cloud, ref cloud.SnapshotRef) (*guestfs.FS, error) {
-	mod, err := mirror.Attach(cl.Client(), ref.Blob, ref.Version)
+func InspectSnapshot(ctx context.Context, cl *cloud.Cloud, ref cloud.SnapshotRef) (*guestfs.FS, error) {
+	mod, err := mirror.Attach(ctx, cl.Client(), ref)
 	if err != nil {
 		return nil, err
 	}

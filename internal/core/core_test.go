@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -15,6 +16,9 @@ import (
 
 const chunkSize = 512
 
+// ctx is the default context for test operations.
+var ctx = context.Background()
+
 func newCloud(t *testing.T, nodes int) *cloud.Cloud {
 	t.Helper()
 	c, err := cloud.New(cloud.Config{Nodes: nodes, MetaProviders: 2, Replication: 2, Seed: 3})
@@ -25,13 +29,13 @@ func newCloud(t *testing.T, nodes int) *cloud.Cloud {
 	return c
 }
 
-func baseImage(t *testing.T, c *cloud.Cloud, size int) (uint64, uint64) {
+func baseImage(t *testing.T, c *cloud.Cloud, size int) cloud.SnapshotRef {
 	t.Helper()
-	blob, ver, err := c.UploadBaseImage(make([]byte, size), chunkSize)
+	base, err := c.UploadBaseImage(ctx, make([]byte, size), chunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return blob, ver
+	return base
 }
 
 func vmCfg() vm.Config {
@@ -40,16 +44,16 @@ func vmCfg() vm.Config {
 
 func TestJobValidation(t *testing.T) {
 	c := newCloud(t, 2)
-	base, ver := baseImage(t, c, 256*1024)
-	if _, err := NewJob(c, base, ver, JobConfig{Instances: 0}); err == nil {
+	base := baseImage(t, c, 256*1024)
+	if _, err := NewJob(ctx, c, base, JobConfig{Instances: 0}); err == nil {
 		t.Error("zero instances accepted")
 	}
 }
 
 func TestAppLevelCheckpointRestart(t *testing.T) {
 	c := newCloud(t, 4)
-	base, ver := baseImage(t, c, 512*1024)
-	job, err := NewJob(c, base, ver, JobConfig{Instances: 2, Mode: AppLevel, VMConfig: vmCfg()})
+	base := baseImage(t, c, 512*1024)
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 2, Mode: AppLevel, VMConfig: vmCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +63,7 @@ func TestAppLevelCheckpointRestart(t *testing.T) {
 	var mu sync.Mutex
 	err = job.Run(func(r *Rank) error {
 		iter := uint64(50) // computed 50 iterations
-		id, err := r.Checkpoint(func(fs *guestfs.FS) error {
+		id, err := r.Checkpoint(ctx, func(fs *guestfs.FS) error {
 			buf := make([]byte, 8)
 			binary.LittleEndian.PutUint64(buf, iter)
 			return fs.WriteFile(r.StatePath(), buf)
@@ -85,13 +89,13 @@ func TestAppLevelCheckpointRestart(t *testing.T) {
 	}
 
 	// Fail one node hosting an instance.
-	if err := c.FailNode(job.Deployment().Instances[0].Node.Name); err != nil {
+	if err := c.FailNode(ctx, job.Deployment().Instances[0].Node.Name); err != nil {
 		t.Fatal(err)
 	}
 	c.KillDeploymentInstancesOn(job.Deployment())
 
 	// Phase 2: restart from the checkpoint; application reloads its state.
-	err = job.Restart(ckptID, func(r *Rank) error {
+	err = job.Restart(ctx, ckptID, func(r *Rank) error {
 		if !r.Restored {
 			return fmt.Errorf("rank %d: Restored flag not set", r.Comm.Rank())
 		}
@@ -116,8 +120,8 @@ func TestAppLevelCheckpointRestart(t *testing.T) {
 
 func TestProcessLevelTransparentRestart(t *testing.T) {
 	c := newCloud(t, 4)
-	base, ver := baseImage(t, c, 512*1024)
-	job, err := NewJob(c, base, ver, JobConfig{Instances: 2, Mode: ProcessLevel, VMConfig: vmCfg()})
+	base := baseImage(t, c, 512*1024)
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 2, Mode: ProcessLevel, VMConfig: vmCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +136,7 @@ func TestProcessLevelTransparentRestart(t *testing.T) {
 		}
 		r.Proc.SetRegisters(blcrRegs(77))
 		// Transparent checkpoint: no save callback.
-		id, err := r.Checkpoint(nil)
+		id, err := r.Checkpoint(ctx, nil)
 		if err != nil {
 			return err
 		}
@@ -145,7 +149,7 @@ func TestProcessLevelTransparentRestart(t *testing.T) {
 		t.Fatalf("Run: %v", err)
 	}
 
-	err = job.Restart(ckptID, func(r *Rank) error {
+	err = job.Restart(ctx, ckptID, func(r *Rank) error {
 		// The framework restored the process image: memory and registers.
 		heap, ok := r.Proc.Arena("solution")
 		if !ok {
@@ -167,8 +171,8 @@ func TestProcessLevelTransparentRestart(t *testing.T) {
 
 func TestMultipleRanksPerVMSingleSnapshot(t *testing.T) {
 	c := newCloud(t, 2)
-	base, ver := baseImage(t, c, 512*1024)
-	job, err := NewJob(c, base, ver, JobConfig{
+	base := baseImage(t, c, 512*1024)
+	job, err := NewJob(ctx, c, base, JobConfig{
 		Instances: 2, RanksPerVM: 4, Mode: ProcessLevel, VMConfig: vmCfg(),
 	})
 	if err != nil {
@@ -180,7 +184,7 @@ func TestMultipleRanksPerVMSingleSnapshot(t *testing.T) {
 	err = job.Run(func(r *Rank) error {
 		buf := r.Proc.Alloc("x", 512)
 		buf[0] = byte(r.Comm.Rank())
-		_, err := r.Checkpoint(nil)
+		_, err := r.Checkpoint(ctx, nil)
 		return err
 	})
 	if err != nil {
@@ -198,7 +202,7 @@ func TestMultipleRanksPerVMSingleSnapshot(t *testing.T) {
 	}
 	cl := c.Client()
 	for vmID, ref := range cps[0].Snapshots {
-		info, _, err := cl.Latest(ref.Blob)
+		info, _, err := cl.Latest(ctx, ref.Blob)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,7 +210,7 @@ func TestMultipleRanksPerVMSingleSnapshot(t *testing.T) {
 			t.Errorf("%s: image has later version %d than recorded %d (extra snapshots taken)", vmID, info.Version, ref.Version)
 		}
 		// All 4 ranks' dumps are inside the one snapshot.
-		fs, err := InspectSnapshot(c, ref)
+		fs, err := InspectSnapshot(ctx, c, ref)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,8 +226,8 @@ func TestMultipleRanksPerVMSingleSnapshot(t *testing.T) {
 
 func TestSuccessiveCheckpointsRecordHistory(t *testing.T) {
 	c := newCloud(t, 2)
-	base, ver := baseImage(t, c, 512*1024)
-	job, err := NewJob(c, base, ver, JobConfig{Instances: 1, Mode: ProcessLevel, VMConfig: vmCfg()})
+	base := baseImage(t, c, 512*1024)
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 1, Mode: ProcessLevel, VMConfig: vmCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +235,7 @@ func TestSuccessiveCheckpointsRecordHistory(t *testing.T) {
 		state := r.Proc.Alloc("iter", 8)
 		for i := 0; i < 3; i++ {
 			state[0] = byte(i)
-			if _, err := r.Checkpoint(nil); err != nil {
+			if _, err := r.Checkpoint(ctx, nil); err != nil {
 				return err
 			}
 		}
@@ -245,7 +249,7 @@ func TestSuccessiveCheckpointsRecordHistory(t *testing.T) {
 		t.Fatalf("%d checkpoints", len(cps))
 	}
 	// Restart from the FIRST checkpoint (not just the latest).
-	err = job.Restart(cps[0].ID, func(r *Rank) error {
+	err = job.Restart(ctx, cps[0].ID, func(r *Rank) error {
 		st, _ := r.Proc.Arena("iter")
 		if st[0] != 0 {
 			return fmt.Errorf("restored iter = %d, want 0", st[0])
@@ -259,8 +263,8 @@ func TestSuccessiveCheckpointsRecordHistory(t *testing.T) {
 
 func TestLatestCheckpoint(t *testing.T) {
 	c := newCloud(t, 2)
-	base, ver := baseImage(t, c, 512*1024)
-	job, err := NewJob(c, base, ver, JobConfig{Instances: 1, Mode: ProcessLevel, VMConfig: vmCfg()})
+	base := baseImage(t, c, 512*1024)
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 1, Mode: ProcessLevel, VMConfig: vmCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +273,7 @@ func TestLatestCheckpoint(t *testing.T) {
 	}
 	job.Run(func(r *Rank) error {
 		r.Proc.Alloc("a", 16)
-		_, err := r.Checkpoint(nil)
+		_, err := r.Checkpoint(ctx, nil)
 		return err
 	})
 	id, err := job.LatestCheckpoint()
@@ -280,13 +284,13 @@ func TestLatestCheckpoint(t *testing.T) {
 
 func TestAppLevelRequiresSaveCallback(t *testing.T) {
 	c := newCloud(t, 2)
-	base, ver := baseImage(t, c, 512*1024)
-	job, err := NewJob(c, base, ver, JobConfig{Instances: 1, Mode: AppLevel, VMConfig: vmCfg()})
+	base := baseImage(t, c, 512*1024)
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 1, Mode: AppLevel, VMConfig: vmCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	err = job.Run(func(r *Rank) error {
-		_, err := r.Checkpoint(nil)
+		_, err := r.Checkpoint(ctx, nil)
 		if err == nil {
 			return fmt.Errorf("nil save callback accepted in AppLevel mode")
 		}
@@ -299,13 +303,13 @@ func TestAppLevelRequiresSaveCallback(t *testing.T) {
 
 func TestInspectSnapshotIsStandalone(t *testing.T) {
 	c := newCloud(t, 2)
-	base, ver := baseImage(t, c, 512*1024)
-	job, err := NewJob(c, base, ver, JobConfig{Instances: 1, Mode: AppLevel, VMConfig: vmCfg()})
+	base := baseImage(t, c, 512*1024)
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 1, Mode: AppLevel, VMConfig: vmCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	err = job.Run(func(r *Rank) error {
-		_, err := r.Checkpoint(func(fs *guestfs.FS) error {
+		_, err := r.Checkpoint(ctx, func(fs *guestfs.FS) error {
 			return fs.WriteFile(r.StatePath(), []byte("inspectable state"))
 		})
 		return err
@@ -315,7 +319,7 @@ func TestInspectSnapshotIsStandalone(t *testing.T) {
 	}
 	cp, _ := job.Deployment().LatestCheckpoint()
 	for _, ref := range cp.Snapshots {
-		fs, err := InspectSnapshot(c, ref)
+		fs, err := InspectSnapshot(ctx, c, ref)
 		if err != nil {
 			t.Fatalf("InspectSnapshot: %v", err)
 		}

@@ -20,11 +20,11 @@ func TestDedupJobCheckpointRestartPrune(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
-	base, ver, err := c.UploadBaseImage(make([]byte, 512*1024), chunkSize)
+	base, err := c.UploadBaseImage(ctx, make([]byte, 512*1024), chunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := NewJob(c, base, ver, JobConfig{Instances: 2, Mode: AppLevel, VMConfig: vmCfg()})
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 2, Mode: AppLevel, VMConfig: vmCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestDedupJobCheckpointRestartPrune(t *testing.T) {
 	state := bytes.Repeat([]byte{0xAB}, 64*1024)
 	err = job.Run(func(r *Rank) error {
 		for round := 0; round < 2; round++ {
-			_, err := r.Checkpoint(func(fs *guestfs.FS) error {
+			_, err := r.Checkpoint(ctx, func(fs *guestfs.FS) error {
 				return fs.WriteFile(r.StatePath(), state)
 			})
 			if err != nil {
@@ -65,7 +65,7 @@ func TestDedupJobCheckpointRestartPrune(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = job.Restart(ckpt, func(r *Rank) error {
+	err = job.Restart(ctx, ckpt, func(r *Rank) error {
 		got, err := r.FS().ReadFile(r.StatePath())
 		if err != nil {
 			return err
@@ -74,7 +74,7 @@ func TestDedupJobCheckpointRestartPrune(t *testing.T) {
 			return fmt.Errorf("rank %d: state corrupted after restart", r.Comm.Rank())
 		}
 		// One more checkpoint after restart, then prune below it.
-		_, err = r.Checkpoint(func(fs *guestfs.FS) error {
+		_, err = r.Checkpoint(ctx, func(fs *guestfs.FS) error {
 			return fs.WriteFile(r.StatePath(), state)
 		})
 		return err
@@ -87,10 +87,10 @@ func TestDedupJobCheckpointRestartPrune(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Prune(job.Deployment(), latest); err != nil {
+	if _, err := c.Prune(ctx, job.Deployment(), latest); err != nil {
 		t.Fatalf("prune on dedup repository: %v", err)
 	}
-	err = job.Restart(latest, func(r *Rank) error {
+	err = job.Restart(ctx, latest, func(r *Rank) error {
 		got, err := r.FS().ReadFile(r.StatePath())
 		if err != nil {
 			return fmt.Errorf("rank %d after prune: %w", r.Comm.Rank(), err)

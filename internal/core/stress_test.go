@@ -18,11 +18,11 @@ func TestRepeatedFailuresAndRollbacks(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
-	base, ver, err := c.UploadBaseImage(make([]byte, 512*1024), chunkSize)
+	base, err := c.UploadBaseImage(ctx, make([]byte, 512*1024), chunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := NewJob(c, base, ver, JobConfig{Instances: 2, Mode: ProcessLevel, VMConfig: vmCfg()})
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 2, Mode: ProcessLevel, VMConfig: vmCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestRepeatedFailuresAndRollbacks(t *testing.T) {
 		v := binary.LittleEndian.Uint64(counter)
 		binary.LittleEndian.PutUint64(counter, v+perPhase)
 		r.Proc.SetRegisters(blcr.Registers{PC: v + perPhase})
-		_, err := r.Checkpoint(nil)
+		_, err := r.Checkpoint(ctx, nil)
 		return err
 	}
 
@@ -51,7 +51,7 @@ func TestRepeatedFailuresAndRollbacks(t *testing.T) {
 	}
 	for round := 1; round <= 3; round++ {
 		victim := job.Deployment().Instances[round%2].Node.Name
-		if err := c.FailNode(victim); err != nil {
+		if err := c.FailNode(ctx, victim); err != nil {
 			t.Fatal(err)
 		}
 		c.KillDeploymentInstancesOn(job.Deployment())
@@ -59,7 +59,7 @@ func TestRepeatedFailuresAndRollbacks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := job.Restart(ckpt, body); err != nil {
+		if err := job.Restart(ctx, ckpt, body); err != nil {
 			t.Fatalf("round %d restart: %v", round, err)
 		}
 	}
@@ -67,7 +67,7 @@ func TestRepeatedFailuresAndRollbacks(t *testing.T) {
 	ckpt, _ := job.LatestCheckpoint()
 	cp := job.Deployment().Checkpoints()[ckpt-1]
 	for vmID, ref := range cp.Snapshots {
-		fs, err := InspectSnapshot(c, ref)
+		fs, err := InspectSnapshot(ctx, c, ref)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,11 +99,11 @@ func TestPruneDuringJobKeepsRestartable(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
-	base, ver, err := c.UploadBaseImage(make([]byte, 512*1024), chunkSize)
+	base, err := c.UploadBaseImage(ctx, make([]byte, 512*1024), chunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := NewJob(c, base, ver, JobConfig{Instances: 2, Mode: ProcessLevel, VMConfig: vmCfg()})
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 2, Mode: ProcessLevel, VMConfig: vmCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestPruneDuringJobKeepsRestartable(t *testing.T) {
 		buf := r.Proc.Alloc("x", 32*1024)
 		for i := 0; i < 4; i++ {
 			buf[0] = byte(i + 1)
-			if _, err := r.Checkpoint(nil); err != nil {
+			if _, err := r.Checkpoint(ctx, nil); err != nil {
 				return err
 			}
 		}
@@ -121,14 +121,14 @@ func TestPruneDuringJobKeepsRestartable(t *testing.T) {
 		t.Fatal(err)
 	}
 	latest, _ := job.LatestCheckpoint()
-	stats, err := c.Prune(job.Deployment(), latest)
+	stats, err := c.Prune(ctx, job.Deployment(), latest)
 	if err != nil {
 		t.Fatalf("Prune: %v", err)
 	}
 	if stats.DeletedChunks == 0 {
 		t.Error("prune reclaimed nothing after 4 checkpoints")
 	}
-	err = job.Restart(latest, func(r *Rank) error {
+	err = job.Restart(ctx, latest, func(r *Rank) error {
 		buf, ok := r.Proc.Arena("x")
 		if !ok || buf[0] != 4 {
 			return fmt.Errorf("rank %d: wrong state after prune+restart", r.Comm.Rank())
@@ -148,11 +148,11 @@ func TestManyRanksManyVMs(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
-	base, ver, err := c.UploadBaseImage(make([]byte, 512*1024), chunkSize)
+	base, err := c.UploadBaseImage(ctx, make([]byte, 512*1024), chunkSize)
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := NewJob(c, base, ver, JobConfig{Instances: 4, RanksPerVM: 2, Mode: ProcessLevel, VMConfig: vmCfg()})
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 4, RanksPerVM: 2, Mode: ProcessLevel, VMConfig: vmCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,14 +169,14 @@ func TestManyRanksManyVMs(t *testing.T) {
 		if _, err := r.Comm.Recv(prev, 1); err != nil {
 			return err
 		}
-		_, err := r.Checkpoint(nil)
+		_, err := r.Checkpoint(ctx, nil)
 		return err
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ckpt, _ := job.LatestCheckpoint()
-	err = job.Restart(ckpt, func(r *Rank) error {
+	err = job.Restart(ctx, ckpt, func(r *Rank) error {
 		buf, ok := r.Proc.Arena("id")
 		if !ok {
 			return fmt.Errorf("rank %d: no id arena", r.Comm.Rank())

@@ -285,7 +285,7 @@ func (t *Tree) lookupRange(ref NodeRef, offset, span, lo, hi uint64, out *[]Leaf
 	}
 	if !ref.Valid {
 		// Hole subtree: report holes for the overlap.
-		start, end := maxU64(offset, lo), minU64(offset+span, hi)
+		start, end := max(offset, lo), min(offset+span, hi)
 		for idx := start; idx < end; idx++ {
 			*out = append(*out, LeafSlot{Index: idx})
 		}
@@ -346,20 +346,6 @@ func (t *Tree) walk(ref NodeRef, offset, span uint64, fn func(NodeKey, bool, Lea
 		return err
 	}
 	return t.walk(n.right, offset+half, half, fn, visited)
-}
-
-func minU64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // MemNodeStore is an in-memory NodeStore for tests and single-process use.

@@ -9,8 +9,15 @@
 //
 //   - Clone: create the VM's checkpoint image as a clone of the base image
 //     (first checkpoint only);
-//   - Commit: publish the locally accumulated modifications as a new
-//     incremental snapshot of the checkpoint image.
+//   - CommitAsync: capture the locally accumulated modifications (a local
+//     copy, the only part that must happen while the VM is suspended) and
+//     publish them as a new incremental snapshot in the background, through
+//     a bounded per-module pipeline. The returned PendingCommit is the
+//     checkpoint handle: Wait/Done/Err observe completion, and cancelling
+//     the commit's context runs the repository abort path so dedup
+//     refcounts never leak.
+//
+// Commit is the synchronous convenience wrapper (CommitAsync + Wait).
 //
 // The module also records the order in which chunks are first accessed; the
 // restart path publishes this trace so slower instances can prefetch chunks
@@ -18,6 +25,7 @@
 package mirror
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,14 +38,19 @@ import (
 // ErrNoCheckpointImage is returned by Commit before Clone has been called.
 var ErrNoCheckpointImage = errors.New("mirror: no checkpoint image (call Clone first)")
 
+// DefaultPipelineDepth bounds how many commits may be in flight per module:
+// the capture step blocks once this many snapshots are queued or uploading,
+// which is the backpressure that keeps a slow repository from accumulating
+// unbounded dirty-set copies.
+const DefaultPipelineDepth = 4
+
 // Module is one VM's mirroring module.
 type Module struct {
 	client *blobseer.Client
 
 	mu        sync.Mutex
-	srcBlob   uint64 // blob backing unfetched content (base image or snapshot)
-	srcVer    uint64
-	ckptBlob  uint64 // checkpoint image; 0 until Clone
+	src       blobseer.SnapshotRef // backing snapshot for unfetched content
+	ckptBlob  uint64               // checkpoint image; 0 until Clone
 	hasCkpt   bool
 	chunkSize uint64
 	size      uint64 // virtual disk size in bytes
@@ -49,30 +62,42 @@ type Module struct {
 	remoteReads uint64 // chunks fetched from the repository
 	localHits   uint64
 	commits     uint64
-	dirtyBytes  uint64 // bytes written since last commit (<= len(dirty)*chunkSize)
 
 	// Cumulative commit accounting across all Commits. With a dedup-enabled
 	// client, committed chunks are fingerprinted and bodies the repository
 	// already holds are never shipped; these counters expose the savings.
 	commitStats blobseer.CommitStats
+
+	// Commit pipeline. sem bounds in-flight commits; queue holds captures
+	// FIFO for a lazily started worker (a slice, not a channel, so the
+	// failure path can fold a failed capture's writes into the captures
+	// queued behind it). captureMu serializes capture+enqueue so concurrent
+	// CommitAsync calls keep version order.
+	pipelineDepth int
+	captureMu     sync.Mutex
+	pipeOnce      sync.Once
+	sem           chan struct{}
+	queue         []*PendingCommit
+	workerRunning bool
+	inFlight      int // commits captured but not yet completed
 }
 
-// Attach opens the given published snapshot (blob, version) as the device's
-// backing content. For a fresh VM this is the base image; on restart it is
-// the disk snapshot chosen for rollback.
-func Attach(c *blobseer.Client, blob, version uint64) (*Module, error) {
-	info, chunkSize, err := c.GetVersion(blob, version)
+// Attach opens the given published snapshot as the device's backing content.
+// For a fresh VM this is the base image; on restart it is the disk snapshot
+// chosen for rollback.
+func Attach(ctx context.Context, c *blobseer.Client, ref blobseer.SnapshotRef) (*Module, error) {
+	info, chunkSize, err := c.GetVersion(ctx, ref)
 	if err != nil {
-		return nil, fmt.Errorf("mirror: attach blob %d v%d: %w", blob, version, err)
+		return nil, fmt.Errorf("mirror: attach %s: %w", ref, err)
 	}
 	return &Module{
-		client:    c,
-		srcBlob:   blob,
-		srcVer:    version,
-		chunkSize: chunkSize,
-		size:      info.Size,
-		local:     make(map[uint64][]byte),
-		dirty:     make(map[uint64]bool),
+		client:        c,
+		src:           ref,
+		chunkSize:     chunkSize,
+		size:          info.Size,
+		local:         make(map[uint64][]byte),
+		dirty:         make(map[uint64]bool),
+		pipelineDepth: DefaultPipelineDepth,
 	}, nil
 }
 
@@ -80,12 +105,12 @@ func Attach(c *blobseer.Client, blob, version uint64) (*Module, error) {
 // snapshot: further Commits will extend the same checkpoint image rather
 // than cloning a new one. Used when an application resumes checkpointing
 // after a restart.
-func AttachCheckpoint(c *blobseer.Client, ckptBlob, version uint64) (*Module, error) {
-	m, err := Attach(c, ckptBlob, version)
+func AttachCheckpoint(ctx context.Context, c *blobseer.Client, ref blobseer.SnapshotRef) (*Module, error) {
+	m, err := Attach(ctx, c, ref)
 	if err != nil {
 		return nil, err
 	}
-	m.ckptBlob = ckptBlob
+	m.ckptBlob = ref.Blob
 	m.hasCkpt = true
 	return m, nil
 }
@@ -112,7 +137,9 @@ func (m *Module) ensureLocal(idx uint64) ([]byte, error) {
 	}
 	m.remoteReads++
 	m.trace = append(m.trace, idx)
-	data, err := m.client.ReadVersion(m.srcBlob, m.srcVer, idx*m.chunkSize, m.chunkSize)
+	// vdisk.Device has no context parameter, so demand fetches run under the
+	// background context; cancellation applies to commits, not page-ins.
+	data, err := m.client.ReadVersion(context.Background(), m.src, idx*m.chunkSize, m.chunkSize)
 	if err != nil {
 		return nil, fmt.Errorf("mirror: fetch chunk %d: %w", idx, err)
 	}
@@ -199,7 +226,6 @@ func (m *Module) WriteAt(p []byte, off int64) (int, error) {
 		if !m.dirty[idx] {
 			m.dirty[idx] = true
 		}
-		m.dirtyBytes += n
 		written += int(n)
 	}
 	return written, nil
@@ -208,13 +234,13 @@ func (m *Module) WriteAt(p []byte, off int64) (int, error) {
 // Clone creates the checkpoint image as a clone of the backing snapshot.
 // Idempotent: calling it when the checkpoint image exists does nothing.
 // This is the CLONE ioctl.
-func (m *Module) Clone() error {
+func (m *Module) Clone(ctx context.Context) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.hasCkpt {
 		return nil
 	}
-	ckpt, err := m.client.Clone(m.srcBlob, m.srcVer)
+	ckpt, err := m.client.Clone(ctx, m.src)
 	if err != nil {
 		return fmt.Errorf("mirror: clone: %w", err)
 	}
@@ -223,16 +249,132 @@ func (m *Module) Clone() error {
 	return nil
 }
 
-// Commit publishes the dirty chunks as a new incremental snapshot of the
-// checkpoint image and returns the published version. This is the COMMIT
-// ioctl. The local cache is retained; the dirty set is cleared.
-func (m *Module) Commit() (blobseer.VersionInfo, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.hasCkpt {
-		return blobseer.VersionInfo{}, ErrNoCheckpointImage
+// PendingCommit is an asynchronous checkpoint handle: one dirty-set capture
+// travelling through the module's commit pipeline. It is safe to share
+// across goroutines; any number may Wait on it.
+type PendingCommit struct {
+	ctx context.Context // the commit's context; cancelling aborts the upload
+
+	writes  map[uint64][]byte
+	indices []uint64
+	size    uint64
+
+	done chan struct{}
+	// Set before done closes, immutable afterwards.
+	info blobseer.VersionInfo
+	ref  blobseer.SnapshotRef
+	err  error
+}
+
+// Done returns a channel closed when the commit has completed (successfully
+// or not).
+func (p *PendingCommit) Done() <-chan struct{} { return p.done }
+
+// Err returns the commit's outcome: nil while in flight and after success,
+// the commit error after a failure. Check it after Done is closed.
+func (p *PendingCommit) Err() error {
+	select {
+	case <-p.done:
+		return p.err
+	default:
+		return nil
 	}
-	writes := make(map[uint64][]byte, len(m.dirty))
+}
+
+// Ref returns the published snapshot and true once the commit has succeeded.
+func (p *PendingCommit) Ref() (blobseer.SnapshotRef, bool) {
+	select {
+	case <-p.done:
+		return p.ref, p.err == nil
+	default:
+		return blobseer.SnapshotRef{}, false
+	}
+}
+
+// Info returns the published version descriptor and true once the commit
+// has succeeded.
+func (p *PendingCommit) Info() (blobseer.VersionInfo, bool) {
+	select {
+	case <-p.done:
+		return p.info, p.err == nil
+	default:
+		return blobseer.VersionInfo{}, false
+	}
+}
+
+// Wait blocks until the commit completes or ctx is cancelled, and returns
+// the published snapshot. ctx here only bounds the wait; to abort the
+// commit itself, cancel the context passed to CommitAsync.
+func (p *PendingCommit) Wait(ctx context.Context) (blobseer.SnapshotRef, error) {
+	select {
+	case <-p.done:
+		if p.err != nil {
+			return blobseer.SnapshotRef{}, p.err
+		}
+		return p.ref, nil
+	case <-ctx.Done():
+		return blobseer.SnapshotRef{}, ctx.Err()
+	}
+}
+
+// CommitAsync captures the dirty chunks — the local copy-on-write clone that
+// is the only work done while the VM is suspended — clears the dirty set and
+// returns a PendingCommit that publishes the capture as a new incremental
+// snapshot of the checkpoint image in the background. This is the COMMIT
+// ioctl split in two: capture now, publish later.
+//
+// The pipeline is bounded (DefaultPipelineDepth in-flight commits): when it
+// is full, CommitAsync blocks until a slot frees or ctx is cancelled. The
+// same ctx governs the background upload; cancelling it aborts the commit
+// through the repository's abort path (ticket released, CAS references
+// returned) and re-marks the captured chunks dirty so the next commit
+// retries them.
+func (m *Module) CommitAsync(ctx context.Context) (*PendingCommit, error) {
+	return m.commitAsync(ctx, ctx)
+}
+
+// CommitAsyncDetached is CommitAsync with the upload detached from ctx's
+// cancellation: ctx governs only the bounded admission (so a caller holding
+// a VM suspended can still bail out when the pipeline is full), while the
+// background upload runs under context.WithoutCancel(ctx) and outlives the
+// request. This is what the checkpointing proxy uses: the CHECKPOINT
+// exchange must not drag the commit down with it when the client hangs up.
+func (m *Module) CommitAsyncDetached(ctx context.Context) (*PendingCommit, error) {
+	return m.commitAsync(ctx, context.WithoutCancel(ctx))
+}
+
+// commitAsync implements both admission policies: admitCtx bounds the wait
+// for a pipeline slot, uploadCtx governs the background publish.
+func (m *Module) commitAsync(admitCtx, uploadCtx context.Context) (*PendingCommit, error) {
+	m.pipeOnce.Do(func() {
+		depth := m.pipelineDepth
+		if depth < 1 {
+			depth = DefaultPipelineDepth
+		}
+		m.sem = make(chan struct{}, depth)
+	})
+	// Bounded admission, outside m.mu so reads/writes proceed meanwhile.
+	select {
+	case m.sem <- struct{}{}:
+	case <-admitCtx.Done():
+		return nil, admitCtx.Err()
+	}
+	// Serialize capture+enqueue: pipeline order is version order.
+	m.captureMu.Lock()
+	defer m.captureMu.Unlock()
+	m.mu.Lock()
+	if !m.hasCkpt {
+		m.mu.Unlock()
+		<-m.sem
+		return nil, ErrNoCheckpointImage
+	}
+	pc := &PendingCommit{
+		ctx:     uploadCtx,
+		writes:  make(map[uint64][]byte, len(m.dirty)),
+		indices: make([]uint64, 0, len(m.dirty)),
+		size:    m.size,
+		done:    make(chan struct{}),
+	}
 	for idx := range m.dirty {
 		chunk := m.local[idx]
 		// The device's final chunk may extend past the virtual size; trim
@@ -241,16 +383,93 @@ func (m *Module) Commit() (blobseer.VersionInfo, error) {
 		if end > m.size {
 			chunk = chunk[:m.size-idx*m.chunkSize]
 		}
-		writes[idx] = chunk
+		// Copy: the VM resumes writing to the local cache immediately, and
+		// the capture must publish the suspended state.
+		cp := make([]byte, len(chunk))
+		copy(cp, chunk)
+		pc.writes[idx] = cp
+		pc.indices = append(pc.indices, idx)
 	}
-	info, cs, err := m.client.WriteVersionStats(m.ckptBlob, writes, m.size)
-	if err != nil {
-		return blobseer.VersionInfo{}, fmt.Errorf("mirror: commit: %w", err)
-	}
-	m.commitStats.Add(cs)
 	m.dirty = make(map[uint64]bool)
-	m.dirtyBytes = 0
-	m.commits++
+	m.inFlight++
+	m.queue = append(m.queue, pc)
+	if !m.workerRunning {
+		m.workerRunning = true
+		go m.commitWorker()
+	}
+	m.mu.Unlock()
+	return pc, nil
+}
+
+// commitWorker drains the pipeline FIFO and exits when it runs dry; the
+// next CommitAsync restarts it.
+func (m *Module) commitWorker() {
+	for {
+		m.mu.Lock()
+		if len(m.queue) == 0 {
+			m.workerRunning = false
+			m.mu.Unlock()
+			return
+		}
+		pc := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		m.runCommit(pc)
+		<-m.sem
+	}
+}
+
+// runCommit publishes one captured dirty set.
+func (m *Module) runCommit(pc *PendingCommit) {
+	info, cs, err := m.client.WriteVersionStats(pc.ctx, m.ckptBlob, pc.writes, pc.size)
+	m.mu.Lock()
+	m.inFlight--
+	if err != nil {
+		// The capture is lost to the repository but not to the VM. Captures
+		// already queued behind this one were taken with the dirty set
+		// cleared, so without help their snapshots would silently miss this
+		// commit's writes: fold the failed writes into every queued capture
+		// that does not overwrite the same chunk (a later capture's copy is
+		// always at least as new). For future captures, re-mark the chunks
+		// dirty — the local cache still holds current content for them.
+		for _, q := range m.queue {
+			for idx, data := range pc.writes {
+				if _, ok := q.writes[idx]; !ok {
+					q.writes[idx] = data
+					q.indices = append(q.indices, idx)
+				}
+			}
+		}
+		for _, idx := range pc.indices {
+			if _, ok := m.local[idx]; ok {
+				m.dirty[idx] = true
+			}
+		}
+		pc.err = fmt.Errorf("mirror: commit: %w", err)
+	} else {
+		m.commitStats.Add(cs)
+		m.commits++
+		pc.info = info
+		pc.ref = blobseer.SnapshotRef{Blob: m.ckptBlob, Version: info.Version}
+	}
+	m.mu.Unlock()
+	pc.writes = nil // release the capture
+	close(pc.done)
+}
+
+// Commit publishes the dirty chunks as a new incremental snapshot of the
+// checkpoint image and returns the published version: the synchronous
+// convenience wrapper around CommitAsync + Wait. The local cache is
+// retained; the dirty set is cleared.
+func (m *Module) Commit(ctx context.Context) (blobseer.VersionInfo, error) {
+	pc, err := m.CommitAsync(ctx)
+	if err != nil {
+		return blobseer.VersionInfo{}, err
+	}
+	if _, err := pc.Wait(ctx); err != nil {
+		return blobseer.VersionInfo{}, err
+	}
+	info, _ := pc.Info()
 	return info, nil
 }
 
@@ -270,6 +489,13 @@ func (m *Module) CheckpointImage() (uint64, bool) {
 	return m.ckptBlob, m.hasCkpt
 }
 
+// Source returns the snapshot backing unfetched content.
+func (m *Module) Source() blobseer.SnapshotRef {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.src
+}
+
 // DirtyChunks returns the number of chunks modified since the last commit.
 func (m *Module) DirtyChunks() int {
 	m.mu.Lock()
@@ -282,6 +508,14 @@ func (m *Module) DirtyBytes() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return uint64(len(m.dirty)) * m.chunkSize
+}
+
+// PendingCommits returns how many commits are captured but not yet
+// completed (queued or uploading).
+func (m *Module) PendingCommits() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inFlight
 }
 
 // Stats returns (remote chunk fetches, local hits, commits).
@@ -302,10 +536,13 @@ func (m *Module) AccessTrace() []uint64 {
 
 // Prefetch fetches the given chunks into the local cache ahead of demand.
 // Already-local chunks are skipped.
-func (m *Module) Prefetch(indices []uint64) error {
+func (m *Module) Prefetch(ctx context.Context, indices []uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, idx := range indices {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if idx*m.chunkSize >= m.size {
 			continue
 		}

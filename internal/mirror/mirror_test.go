@@ -2,12 +2,16 @@ package mirror
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
 	"blobcr/internal/blobseer"
 	"blobcr/internal/transport"
 )
+
+// ctx is the default context for test operations.
+var ctx = context.Background()
 
 const cs = 256 // chunk size for tests
 
@@ -20,18 +24,18 @@ func setup(t *testing.T, imageSize int) (*blobseer.Deployment, *blobseer.Client,
 	}
 	t.Cleanup(d.Close)
 	c := d.Client()
-	base, err := c.CreateBlob(cs)
+	base, err := c.CreateBlob(ctx, cs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	content := make([]byte, imageSize)
 	rng := rand.New(rand.NewSource(5))
 	rng.Read(content)
-	info, err := c.WriteAt(base, 0, content)
+	info, err := c.WriteAt(ctx, base, 0, content)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Attach(c, base, info.Version)
+	m, err := Attach(ctx, c, blobseer.SnapshotRef{Blob: base, Version: info.Version})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +112,7 @@ func TestWholeChunkWriteSkipsFetch(t *testing.T) {
 
 func TestCommitRequiresClone(t *testing.T) {
 	_, _, m, _ := setup(t, 8*cs)
-	if _, err := m.Commit(); err != ErrNoCheckpointImage {
+	if _, err := m.Commit(ctx); err != ErrNoCheckpointImage {
 		t.Errorf("Commit before Clone = %v, want ErrNoCheckpointImage", err)
 	}
 }
@@ -119,10 +123,10 @@ func TestCloneCommitRoundTrip(t *testing.T) {
 	if _, err := m.WriteAt(patch, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Clone(); err != nil {
+	if err := m.Clone(ctx); err != nil {
 		t.Fatal(err)
 	}
-	info, err := m.Commit()
+	info, err := m.Commit(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +137,7 @@ func TestCloneCommitRoundTrip(t *testing.T) {
 	// The snapshot seen from the repository equals base + patch.
 	want := append([]byte(nil), content...)
 	copy(want, patch)
-	got, err := c.ReadVersion(ckpt, info.Version, 0, uint64(len(content)))
+	got, err := c.ReadVersion(ctx, blobseer.SnapshotRef{Blob: ckpt, Version: info.Version}, 0, uint64(len(content)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +148,11 @@ func TestCloneCommitRoundTrip(t *testing.T) {
 
 func TestCloneIsIdempotent(t *testing.T) {
 	_, _, m, _ := setup(t, 8*cs)
-	if err := m.Clone(); err != nil {
+	if err := m.Clone(ctx); err != nil {
 		t.Fatal(err)
 	}
 	first, _ := m.CheckpointImage()
-	if err := m.Clone(); err != nil {
+	if err := m.Clone(ctx); err != nil {
 		t.Fatal(err)
 	}
 	second, _ := m.CheckpointImage()
@@ -159,10 +163,10 @@ func TestCloneIsIdempotent(t *testing.T) {
 
 func TestSuccessiveCommitsAreIncremental(t *testing.T) {
 	d, c, m, _ := setup(t, 64*cs)
-	if err := m.Clone(); err != nil {
+	if err := m.Clone(ctx); err != nil {
 		t.Fatal(err)
 	}
-	_, baseChunks, err := c.Usage(d.DataAddrs)
+	_, baseChunks, err := c.Usage(ctx, d.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,12 +179,12 @@ func TestSuccessiveCommitsAreIncremental(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		info, err := m.Commit()
+		info, err := m.Commit(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
 		versions = append(versions, info.Version)
-		_, chunks, err := c.Usage(d.DataAddrs)
+		_, chunks, err := c.Usage(ctx, d.DataAddrs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -194,7 +198,7 @@ func TestSuccessiveCommitsAreIncremental(t *testing.T) {
 	// contain later checkpoints' writes.
 	ckpt, _ := m.CheckpointImage()
 	for i, v := range versions {
-		got, err := c.ReadVersion(ckpt, v, uint64(3*i)*cs, cs)
+		got, err := c.ReadVersion(ctx, blobseer.SnapshotRef{Blob: ckpt, Version: v}, uint64(3*i)*cs, cs)
 		if err != nil {
 			t.Fatalf("snapshot %d unreadable: %v", i, err)
 		}
@@ -202,7 +206,7 @@ func TestSuccessiveCommitsAreIncremental(t *testing.T) {
 			t.Errorf("snapshot %d chunk %d = %d, want %d", i, 3*i, got[0], i+1)
 		}
 		if i+1 < len(versions) {
-			later, err := c.ReadVersion(ckpt, v, uint64(3*(i+1))*cs, cs)
+			later, err := c.ReadVersion(ctx, blobseer.SnapshotRef{Blob: ckpt, Version: v}, uint64(3*(i+1))*cs, cs)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -215,14 +219,14 @@ func TestSuccessiveCommitsAreIncremental(t *testing.T) {
 
 func TestEmptyCommit(t *testing.T) {
 	_, _, m, _ := setup(t, 8*cs)
-	if err := m.Clone(); err != nil {
+	if err := m.Clone(ctx); err != nil {
 		t.Fatal(err)
 	}
-	info1, err := m.Commit()
+	info1, err := m.Commit(ctx)
 	if err != nil {
 		t.Fatalf("empty commit: %v", err)
 	}
-	info2, err := m.Commit()
+	info2, err := m.Commit(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,8 +241,8 @@ func TestRestartFromSnapshot(t *testing.T) {
 	if _, err := m.WriteAt(state, 0); err != nil {
 		t.Fatal(err)
 	}
-	m.Clone()
-	info, err := m.Commit()
+	m.Clone(ctx)
+	info, err := m.Commit(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +254,7 @@ func TestRestartFromSnapshot(t *testing.T) {
 	}
 
 	// "Failure": redeploy a fresh module from the snapshot on another node.
-	m2, err := AttachCheckpoint(c, ckpt, info.Version)
+	m2, err := AttachCheckpoint(ctx, c, blobseer.SnapshotRef{Blob: ckpt, Version: info.Version})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +272,7 @@ func TestRestartFromSnapshot(t *testing.T) {
 	if _, err := m2.WriteAt(bytes.Repeat([]byte{0x99}, cs), 8*cs); err != nil {
 		t.Fatal(err)
 	}
-	info2, err := m2.Commit()
+	info2, err := m2.Commit(ctx)
 	if err != nil {
 		t.Fatalf("commit after restart: %v", err)
 	}
@@ -293,15 +297,15 @@ func TestAccessTraceAndPrefetch(t *testing.T) {
 	}
 
 	// A second instance prefetches using the first's trace.
-	info, _, err := c.Latest(1)
+	info, _, err := c.Latest(ctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := Attach(c, 1, info.Version)
+	m2, err := Attach(ctx, c, blobseer.SnapshotRef{Blob: 1, Version: info.Version})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m2.Prefetch(trace); err != nil {
+	if err := m2.Prefetch(ctx, trace); err != nil {
 		t.Fatal(err)
 	}
 	remoteBefore, _, _ := m2.Stats()
@@ -333,8 +337,8 @@ func TestDirtyAccounting(t *testing.T) {
 	if m.DirtyBytes() != 2*cs {
 		t.Errorf("DirtyBytes = %d, want %d", m.DirtyBytes(), 2*cs)
 	}
-	m.Clone()
-	if _, err := m.Commit(); err != nil {
+	m.Clone(ctx)
+	if _, err := m.Commit(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if m.DirtyChunks() != 0 || m.DirtyBytes() != 0 {
@@ -351,13 +355,13 @@ func TestTailChunkTrimOnCommit(t *testing.T) {
 	}
 	t.Cleanup(d.Close)
 	c := d.Client()
-	base, _ := c.CreateBlob(cs)
+	base, _ := c.CreateBlob(ctx, cs)
 	content := bytes.Repeat([]byte{0x3C}, 5*cs+77)
-	info, err := c.WriteAt(base, 0, content)
+	info, err := c.WriteAt(ctx, base, 0, content)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Attach(c, base, info.Version)
+	m, err := Attach(ctx, c, blobseer.SnapshotRef{Blob: base, Version: info.Version})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,13 +369,13 @@ func TestTailChunkTrimOnCommit(t *testing.T) {
 	if _, err := m.WriteAt([]byte{0xEE}, int64(len(content)-1)); err != nil {
 		t.Fatal(err)
 	}
-	m.Clone()
-	ci, err := m.Commit()
+	m.Clone(ctx)
+	ci, err := m.Commit(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ckpt, _ := m.CheckpointImage()
-	got, err := c.ReadVersion(ckpt, ci.Version, 0, uint64(len(content)))
+	got, err := c.ReadVersion(ctx, blobseer.SnapshotRef{Blob: ckpt, Version: ci.Version}, 0, uint64(len(content)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +391,7 @@ func TestRandomizedShadowModel(t *testing.T) {
 	_, c, m, content := setup(t, 32*cs)
 	shadow := append([]byte(nil), content...)
 	rng := rand.New(rand.NewSource(44))
-	m.Clone()
+	m.Clone(ctx)
 	ckpt, _ := m.CheckpointImage()
 	type snap struct {
 		version uint64
@@ -396,7 +400,7 @@ func TestRandomizedShadowModel(t *testing.T) {
 	var snaps []snap
 	for iter := 0; iter < 60; iter++ {
 		if rng.Intn(8) == 0 {
-			info, err := m.Commit()
+			info, err := m.Commit(ctx)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -404,7 +408,7 @@ func TestRandomizedShadowModel(t *testing.T) {
 			continue
 		}
 		off := rng.Intn(len(shadow) - 1)
-		n := rng.Intn(minInt(len(shadow)-off, 3*cs)) + 1
+		n := rng.Intn(min(len(shadow)-off, 3*cs)) + 1
 		patch := make([]byte, n)
 		rng.Read(patch)
 		if _, err := m.WriteAt(patch, int64(off)); err != nil {
@@ -422,7 +426,7 @@ func TestRandomizedShadowModel(t *testing.T) {
 	}
 	// Every committed snapshot matches its recorded state.
 	for i, s := range snaps {
-		got, err := c.ReadVersion(ckpt, s.version, 0, uint64(len(s.state)))
+		got, err := c.ReadVersion(ctx, blobseer.SnapshotRef{Blob: ckpt, Version: s.version}, 0, uint64(len(s.state)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -430,13 +434,6 @@ func TestRandomizedShadowModel(t *testing.T) {
 			t.Errorf("snapshot %d diverged", i)
 		}
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // TestCommitDedupAccounting drives the mirroring module against a
@@ -451,19 +448,19 @@ func TestCommitDedupAccounting(t *testing.T) {
 	t.Cleanup(d.Close)
 	c := d.Client()
 	c.Dedup = true
-	base, err := c.CreateBlob(cs)
+	base, err := c.CreateBlob(ctx, cs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := c.WriteAt(base, 0, make([]byte, 8*cs))
+	info, err := c.WriteAt(ctx, base, 0, make([]byte, 8*cs))
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Attach(c, base, info.Version)
+	m, err := Attach(ctx, c, blobseer.SnapshotRef{Blob: base, Version: info.Version})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Clone(); err != nil {
+	if err := m.Clone(ctx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -473,7 +470,7 @@ func TestCommitDedupAccounting(t *testing.T) {
 		if _, err := m.WriteAt(state, 0); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := m.Commit(); err != nil {
+		if _, err := m.Commit(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -495,11 +492,11 @@ func TestCommitDedupAccounting(t *testing.T) {
 
 	// The snapshots remain byte-correct.
 	ckpt, _ := m.CheckpointImage()
-	latest, _, err := c.Latest(ckpt)
+	latest, _, err := c.Latest(ctx, ckpt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.ReadVersion(ckpt, latest.Version, 0, uint64(len(state)))
+	got, err := c.ReadVersion(ctx, blobseer.SnapshotRef{Blob: ckpt, Version: latest.Version}, 0, uint64(len(state)))
 	if err != nil || !bytes.Equal(got, state) {
 		t.Fatalf("dedup snapshot diverged: %v", err)
 	}

@@ -11,6 +11,10 @@ import (
 // stashes in-flight messages, so a blcr dump captures channel state.
 const pendingArena = "__mpi_pending"
 
+// SnapshotWait resolves an initiated disk snapshot to its published version.
+// It blocks until the checkpointing proxy's background commit completes.
+type SnapshotWait func() (uint64, error)
+
 // CRHooks are the per-rank integration points of the coordinated checkpoint
 // protocol — the pieces the paper adds to mpich2.
 type CRHooks struct {
@@ -26,25 +30,33 @@ type CRHooks struct {
 	// Sync flushes the guest file system to the virtual disk (the sync
 	// system call the paper inserts to avoid snapshotting dirty caches).
 	Sync func() error
-	// Snapshot sends the checkpoint request to the co-located checkpointing
-	// proxy and returns the resulting disk snapshot version.
-	Snapshot func() (uint64, error)
+	// Snapshot initiates the disk snapshot through the co-located
+	// checkpointing proxy and returns a wait that resolves to the snapshot
+	// version once the background commit publishes. The initiation returns
+	// as soon as the VM has resumed — only suspend + local capture happen
+	// inside it — which is what lets the upload overlap with computation.
+	Snapshot func() (SnapshotWait, error)
 }
 
-// CheckpointCoordinated runs the paper's three-step coordinated protocol
-// plus its two extensions, and returns this rank's disk snapshot version:
+// CheckpointCoordinatedAsync runs the initiation half of the paper's
+// coordinated protocol and returns a wait for the disk snapshot version:
 //
 //  1. drain the communication channels: every rank sends a marker to every
 //     other rank and waits for all markers; application messages received
 //     meanwhile are captured as channel state;
 //  2. dump the process state to the guest file system (SaveState);
 //  3. sync the file system (the paper's first extension);
-//  4. request a disk snapshot from the checkpointing proxy (the second
-//     extension);
-//  5. barrier, then resume the application.
+//  4. initiate the disk snapshot via the checkpointing proxy (the second
+//     extension) — the VM resumes as soon as its dirty chunks are captured
+//     locally, before any byte reaches the repository;
+//  5. barrier, then the application resumes; the returned wait resolves the
+//     snapshot version once the background upload completes.
 //
-// Every rank of the world must call this at the same logical point.
-func (c *Comm) CheckpointCoordinated(h CRHooks) (uint64, error) {
+// Every rank of the world must call this at the same logical point, and
+// every rank must eventually resolve the returned wait (it is non-nil even
+// when err is non-nil, resolving to the same error) so higher layers can
+// run their own collectives after it.
+func (c *Comm) CheckpointCoordinatedAsync(h CRHooks) (SnapshotWait, error) {
 	w := c.w
 	// Step 1: markers out...
 	for r := 0; r < w.n; r++ {
@@ -60,7 +72,7 @@ func (c *Comm) CheckpointCoordinated(h CRHooks) (uint64, error) {
 			continue
 		}
 		if _, err := w.queues[c.rank][r].pop(tagMarker); err != nil {
-			return 0, fmt.Errorf("mpi: checkpoint marker from rank %d: %w", r, err)
+			return nil, fmt.Errorf("mpi: checkpoint marker from rank %d: %w", r, err)
 		}
 	}
 	// Capture in-flight application messages as process state. From here
@@ -69,7 +81,7 @@ func (c *Comm) CheckpointCoordinated(h CRHooks) (uint64, error) {
 	// reports its error (the middleware discards the incomplete global
 	// checkpoint).
 	pending := c.drainPending()
-	var version uint64
+	var wait SnapshotWait
 	var err error
 	if h.Process != nil {
 		encoded := encodePending(pending)
@@ -91,13 +103,14 @@ func (c *Comm) CheckpointCoordinated(h CRHooks) (uint64, error) {
 			err = fmt.Errorf("mpi: rank %d sync: %w", c.rank, serr)
 		}
 	}
-	// Step 4: disk snapshot via the proxy.
+	// Step 4: initiate the disk snapshot; the VM is back to running when
+	// this returns, with the upload in flight.
 	if err == nil && h.Snapshot != nil {
-		v, serr := h.Snapshot()
+		sw, serr := h.Snapshot()
 		if serr != nil {
 			err = fmt.Errorf("mpi: rank %d snapshot: %w", c.rank, serr)
 		} else {
-			version = v
+			wait = sw
 		}
 	}
 	// Step 5: all ranks finish before the application resumes.
@@ -106,9 +119,31 @@ func (c *Comm) CheckpointCoordinated(h CRHooks) (uint64, error) {
 	// Undelivered messages go back into the queues — execution continues.
 	w.InjectPending(c.rank, pending)
 	if err != nil {
+		ferr := err
+		return func() (uint64, error) { return 0, ferr }, err
+	}
+	if wait == nil {
+		return func() (uint64, error) { return 0, nil }, nil
+	}
+	rank := c.rank
+	return func() (uint64, error) {
+		v, werr := wait()
+		if werr != nil {
+			return 0, fmt.Errorf("mpi: rank %d snapshot: %w", rank, werr)
+		}
+		return v, nil
+	}, nil
+}
+
+// CheckpointCoordinated is the synchronous protocol: initiation immediately
+// followed by the snapshot wait. The VM still resumes before the upload —
+// only this rank's control flow blocks until the snapshot publishes.
+func (c *Comm) CheckpointCoordinated(h CRHooks) (uint64, error) {
+	wait, err := c.CheckpointCoordinatedAsync(h)
+	if err != nil {
 		return 0, err
 	}
-	return version, nil
+	return wait()
 }
 
 // drainPending pulls all undelivered application messages destined to this

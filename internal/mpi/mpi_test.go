@@ -262,7 +262,10 @@ func TestCoordinatedCheckpointRunsAllSteps(t *testing.T) {
 		v, err := c.CheckpointCoordinated(CRHooks{
 			SaveState: func() error { dumps.Add(1); return nil },
 			Sync:      func() error { syncs.Add(1); return nil },
-			Snapshot:  func() (uint64, error) { snaps.Add(1); return 7, nil },
+			Snapshot: func() (SnapshotWait, error) {
+				snaps.Add(1)
+				return func() (uint64, error) { return 7, nil }, nil
+			},
 		})
 		if err != nil {
 			return err
@@ -413,5 +416,44 @@ func TestRunPropagatesError(t *testing.T) {
 	})
 	if err == nil {
 		t.Error("Run swallowed the error")
+	}
+}
+
+// TestCoordinatedCheckpointAsyncOverlap verifies the split protocol: every
+// rank returns from initiation (the line is established, VMs resumed) while
+// the snapshot commits are still in flight, and the wait resolves them.
+func TestCoordinatedCheckpointAsyncOverlap(t *testing.T) {
+	const n = 3
+	release := make(chan struct{})
+	var initiated atomic.Int32
+	err := Run(n, func(c *Comm) error {
+		wait, err := c.CheckpointCoordinatedAsync(CRHooks{
+			Snapshot: func() (SnapshotWait, error) {
+				initiated.Add(1)
+				return func() (uint64, error) { <-release; return 42, nil }, nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		// Initiation returned on every rank while no snapshot has resolved:
+		// this is the overlap window where the application computes.
+		if c.Rank() == 0 {
+			if got := initiated.Load(); got != n {
+				return fmt.Errorf("initiated = %d before any wait, want %d", got, n)
+			}
+			close(release)
+		}
+		v, err := wait()
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			return fmt.Errorf("version = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

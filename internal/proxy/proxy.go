@@ -6,26 +6,40 @@
 // requests from instances registered as locally hosted, authenticated by a
 // per-VM token. On a checkpoint request it (1) suspends the instance,
 // (2) clones the base image into a checkpoint image if this is the first
-// checkpoint, (3) commits the locally accumulated modifications as a new
-// incremental snapshot, and (4) resumes the instance — resuming regardless
-// of success, and reporting the outcome to the caller.
+// checkpoint, (3) captures the locally accumulated modifications (the local
+// copy-on-write clone) and (4) resumes the instance — so VM downtime covers
+// only suspend + clone + local capture, independent of the dirty-set size.
+// The commit of the captured chunks to the repository proceeds in the
+// background after resume; the response carries an asynchronous checkpoint
+// handle that WAIT or POLL resolve to the published snapshot once the
+// upload completes.
 //
 // For maximum compatibility the protocol is a simple REST-ful text exchange:
 //
 //	request:  CHECKPOINT <vm-id> <token>
+//	response: OK <handle> | ERR <message>
+//
+//	request:  WAIT <vm-id> <token> <handle>
 //	response: OK <checkpoint-blob> <snapshot-version> | ERR <message>
 //
+//	request:  POLL <vm-id> <token> <handle>
+//	response: OK PENDING | OK DONE <checkpoint-blob> <snapshot-version> | ERR <message>
+//
 //	request:  STATUS <vm-id> <token>
-//	response: OK <state> <dirty-chunks> | ERR <message>
+//	response: OK <state> <dirty-chunks> <pending-commits> | ERR <message>
 package proxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"blobcr/internal/blobseer"
 	"blobcr/internal/mirror"
 	"blobcr/internal/transport"
 	"blobcr/internal/vm"
@@ -33,9 +47,10 @@ import (
 
 // Errors surfaced to callers.
 var (
-	ErrUnknownVM = errors.New("proxy: unknown VM instance")
-	ErrAuth      = errors.New("proxy: authentication failed")
-	ErrProto     = errors.New("proxy: malformed request")
+	ErrUnknownVM     = errors.New("proxy: unknown VM instance")
+	ErrAuth          = errors.New("proxy: authentication failed")
+	ErrProto         = errors.New("proxy: malformed request")
+	ErrUnknownHandle = errors.New("proxy: unknown checkpoint handle")
 )
 
 // target is one locally hosted, checkpointable VM.
@@ -43,10 +58,25 @@ type target struct {
 	inst   *vm.Instance
 	mirror *mirror.Module
 	token  string
+
+	mu         sync.Mutex
+	nextHandle uint64
+	pending    map[uint64]*mirror.PendingCommit
 }
+
+// DefaultAdmitTimeout bounds how long a CHECKPOINT request may hold the VM
+// suspended waiting for a commit-pipeline slot. When the repository wedges
+// and the pipeline is full, the request fails (and the VM resumes) after
+// this long instead of staying suspended indefinitely — the request context
+// alone cannot be relied on for this, because over TCP the handler receives
+// the server's lifetime context, not the caller's.
+const DefaultAdmitTimeout = 10 * time.Second
 
 // Proxy is one compute node's checkpointing proxy.
 type Proxy struct {
+	// AdmitTimeout overrides DefaultAdmitTimeout when positive.
+	AdmitTimeout time.Duration
+
 	mu      sync.Mutex
 	targets map[string]*target
 }
@@ -56,12 +86,19 @@ func New() *Proxy {
 	return &Proxy{targets: make(map[string]*target)}
 }
 
+func (p *Proxy) admitTimeout() time.Duration {
+	if p.AdmitTimeout > 0 {
+		return p.AdmitTimeout
+	}
+	return DefaultAdmitTimeout
+}
+
 // Register makes a locally hosted instance checkpointable under the given
 // authentication token.
 func (p *Proxy) Register(vmID, token string, inst *vm.Instance, m *mirror.Module) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.targets[vmID] = &target{inst: inst, mirror: m, token: token}
+	p.targets[vmID] = &target{inst: inst, mirror: m, token: token, pending: make(map[uint64]*mirror.PendingCommit)}
 }
 
 // Unregister removes an instance (it terminated or migrated away).
@@ -89,9 +126,9 @@ func (p *Proxy) lookup(vmID, token string) (*target, error) {
 	return t, nil
 }
 
-func (p *Proxy) handle(req []byte) ([]byte, error) {
+func (p *Proxy) handle(ctx context.Context, req []byte) ([]byte, error) {
 	fields := strings.Fields(string(req))
-	if len(fields) != 3 {
+	if len(fields) < 3 {
 		return []byte("ERR malformed request"), nil
 	}
 	verb, vmID, token := fields[0], fields[1], fields[2]
@@ -101,22 +138,51 @@ func (p *Proxy) handle(req []byte) ([]byte, error) {
 	}
 	switch verb {
 	case "CHECKPOINT":
-		blob, version, err := p.checkpoint(t)
+		if len(fields) != 3 {
+			return []byte("ERR malformed request"), nil
+		}
+		handle, err := p.checkpoint(ctx, t)
 		if err != nil {
 			return []byte("ERR " + err.Error()), nil
 		}
-		return []byte(fmt.Sprintf("OK %d %d", blob, version)), nil
+		return []byte(fmt.Sprintf("OK %d", handle)), nil
+	case "WAIT":
+		if len(fields) != 4 {
+			return []byte("ERR malformed request"), nil
+		}
+		ref, err := p.wait(ctx, t, fields[3])
+		if err != nil {
+			return []byte("ERR " + err.Error()), nil
+		}
+		return []byte(fmt.Sprintf("OK %d %d", ref.Blob, ref.Version)), nil
+	case "POLL":
+		if len(fields) != 4 {
+			return []byte("ERR malformed request"), nil
+		}
+		ref, done, err := p.poll(t, fields[3])
+		if err != nil {
+			return []byte("ERR " + err.Error()), nil
+		}
+		if !done {
+			return []byte("OK PENDING"), nil
+		}
+		return []byte(fmt.Sprintf("OK DONE %d %d", ref.Blob, ref.Version)), nil
 	case "STATUS":
-		return []byte(fmt.Sprintf("OK %s %d", t.inst.State(), t.mirror.DirtyChunks())), nil
+		if len(fields) != 3 {
+			return []byte("ERR malformed request"), nil
+		}
+		return []byte(fmt.Sprintf("OK %s %d %d", t.inst.State(), t.mirror.DirtyChunks(), t.mirror.PendingCommits())), nil
 	default:
 		return []byte("ERR unknown verb " + verb), nil
 	}
 }
 
-// checkpoint performs the suspend-clone-commit-resume sequence.
-func (p *Proxy) checkpoint(t *target) (blob uint64, version uint64, err error) {
+// checkpoint performs the suspend-clone-capture-resume sequence and returns
+// the handle of the in-flight commit. The VM resumes before any chunk is
+// uploaded: only the local capture happens under suspend.
+func (p *Proxy) checkpoint(ctx context.Context, t *target) (handle uint64, err error) {
 	if err := t.inst.Suspend(); err != nil {
-		return 0, 0, err
+		return 0, err
 	}
 	// Resume whatever happens — the paper's proxy resumes the instance
 	// regardless and reports the outcome.
@@ -125,15 +191,100 @@ func (p *Proxy) checkpoint(t *target) (blob uint64, version uint64, err error) {
 			err = rerr
 		}
 	}()
-	if err := t.mirror.Clone(); err != nil {
-		return 0, 0, err
+	// Everything that runs while the VM is suspended — the CLONE round trip
+	// and admission into the bounded pipeline — is bounded by a deadline on
+	// top of the request context: if the repository or the pipeline wedges,
+	// the VM must resume after at most the admit timeout instead of sitting
+	// suspended behind an unbounded wait. (Over TCP the handler context is
+	// the server's, so the deadline — not caller cancellation — is what
+	// guarantees the bound.) The upload itself is detached and unaffected.
+	admitCtx, cancel := context.WithTimeout(ctx, p.admitTimeout())
+	defer cancel()
+	if err := t.mirror.Clone(admitCtx); err != nil {
+		return 0, err
 	}
-	info, err := t.mirror.Commit()
+	pc, err := t.mirror.CommitAsyncDetached(admitCtx)
 	if err != nil {
-		return 0, 0, err
+		return 0, err
 	}
-	b, _ := t.mirror.CheckpointImage()
-	return b, info.Version, nil
+	t.mu.Lock()
+	t.nextHandle++
+	handle = t.nextHandle
+	t.pending[handle] = pc
+	t.pruneHandlesLocked()
+	t.mu.Unlock()
+	return handle, nil
+}
+
+// maxRetainedHandles bounds target.pending in a long-running proxy:
+// completed commits beyond this many are dropped oldest-first (in-flight
+// handles are never dropped). Clients wait or poll a handle promptly after
+// taking the checkpoint, so a small retention window is plenty.
+const maxRetainedHandles = 64
+
+// pruneHandlesLocked evicts the oldest completed handles past the retention
+// bound. Caller holds t.mu.
+func (t *target) pruneHandlesLocked() {
+	if len(t.pending) <= maxRetainedHandles {
+		return
+	}
+	handles := make([]uint64, 0, len(t.pending))
+	for h := range t.pending {
+		handles = append(handles, h)
+	}
+	slices.Sort(handles)
+	for _, h := range handles {
+		if len(t.pending) <= maxRetainedHandles {
+			break
+		}
+		select {
+		case <-t.pending[h].Done():
+			delete(t.pending, h)
+		default:
+		}
+	}
+}
+
+func (t *target) commit(handleStr string) (*mirror.PendingCommit, error) {
+	h, err := strconv.ParseUint(handleStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad handle %q", ErrProto, handleStr)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pc, ok := t.pending[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownHandle, h)
+	}
+	return pc, nil
+}
+
+// wait blocks until the commit behind handle completes, then returns the
+// published snapshot.
+func (p *Proxy) wait(ctx context.Context, t *target, handleStr string) (blobseer.SnapshotRef, error) {
+	pc, err := t.commit(handleStr)
+	if err != nil {
+		return blobseer.SnapshotRef{}, err
+	}
+	return pc.Wait(ctx)
+}
+
+// poll reports the commit's state without blocking.
+func (p *Proxy) poll(t *target, handleStr string) (blobseer.SnapshotRef, bool, error) {
+	pc, err := t.commit(handleStr)
+	if err != nil {
+		return blobseer.SnapshotRef{}, false, err
+	}
+	select {
+	case <-pc.Done():
+		if err := pc.Err(); err != nil {
+			return blobseer.SnapshotRef{}, true, err
+		}
+		ref, _ := pc.Ref()
+		return ref, true, nil
+	default:
+		return blobseer.SnapshotRef{}, false, nil
+	}
 }
 
 // Client is the guest-side stub that VM instances (or the modified MPI
@@ -145,51 +296,113 @@ type Client struct {
 	Token string
 }
 
-// RequestCheckpoint asks the proxy to snapshot this instance's disk and
-// returns the checkpoint image id and the new snapshot version.
-func (c *Client) RequestCheckpoint() (blob uint64, version uint64, err error) {
-	resp, err := c.Net.Call(c.Addr, []byte(fmt.Sprintf("CHECKPOINT %s %s", c.VMID, c.Token)))
+// RequestCheckpointAsync asks the proxy to snapshot this instance's disk.
+// It returns as soon as the instance has resumed: the commit proceeds in
+// the background, identified by the returned handle, which WaitCheckpoint
+// or PollCheckpoint resolve to the published snapshot.
+func (c *Client) RequestCheckpointAsync(ctx context.Context) (handle uint64, err error) {
+	resp, err := c.Net.Call(ctx, c.Addr, []byte(fmt.Sprintf("CHECKPOINT %s %s", c.VMID, c.Token)))
 	if err != nil {
-		return 0, 0, err
-	}
-	return parseOK2(resp)
-}
-
-// Status returns the instance state and dirty chunk count as the proxy
-// sees them.
-func (c *Client) Status() (state string, dirtyChunks int, err error) {
-	resp, err := c.Net.Call(c.Addr, []byte(fmt.Sprintf("STATUS %s %s", c.VMID, c.Token)))
-	if err != nil {
-		return "", 0, err
+		return 0, err
 	}
 	fields := strings.Fields(string(resp))
 	if len(fields) < 1 || fields[0] != "OK" {
-		return "", 0, errorFrom(resp)
+		return 0, errorFrom(resp)
 	}
-	if len(fields) != 3 {
-		return "", 0, fmt.Errorf("%w: %q", ErrProto, resp)
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("%w: %q", ErrProto, resp)
 	}
-	n, err := strconv.Atoi(fields[2])
+	h, err := strconv.ParseUint(fields[1], 10, 64)
 	if err != nil {
-		return "", 0, fmt.Errorf("%w: %q", ErrProto, resp)
+		return 0, fmt.Errorf("%w: %q", ErrProto, resp)
 	}
-	return fields[1], n, nil
+	return h, nil
 }
 
-func parseOK2(resp []byte) (uint64, uint64, error) {
+// WaitCheckpoint blocks until the checkpoint behind handle has been
+// committed to the repository and returns the published snapshot.
+func (c *Client) WaitCheckpoint(ctx context.Context, handle uint64) (blobseer.SnapshotRef, error) {
+	resp, err := c.Net.Call(ctx, c.Addr, []byte(fmt.Sprintf("WAIT %s %s %d", c.VMID, c.Token, handle)))
+	if err != nil {
+		return blobseer.SnapshotRef{}, err
+	}
+	return parseRef(resp)
+}
+
+// PollCheckpoint reports without blocking whether the checkpoint behind
+// handle has completed, and if so returns the published snapshot.
+func (c *Client) PollCheckpoint(ctx context.Context, handle uint64) (ref blobseer.SnapshotRef, done bool, err error) {
+	resp, err := c.Net.Call(ctx, c.Addr, []byte(fmt.Sprintf("POLL %s %s %d", c.VMID, c.Token, handle)))
+	if err != nil {
+		return blobseer.SnapshotRef{}, false, err
+	}
 	fields := strings.Fields(string(resp))
 	if len(fields) < 1 || fields[0] != "OK" {
-		return 0, 0, errorFrom(resp)
+		return blobseer.SnapshotRef{}, false, errorFrom(resp)
 	}
-	if len(fields) != 3 {
-		return 0, 0, fmt.Errorf("%w: %q", ErrProto, resp)
+	switch {
+	case len(fields) == 2 && fields[1] == "PENDING":
+		return blobseer.SnapshotRef{}, false, nil
+	case len(fields) == 4 && fields[1] == "DONE":
+		blob, err1 := strconv.ParseUint(fields[2], 10, 64)
+		version, err2 := strconv.ParseUint(fields[3], 10, 64)
+		if err1 != nil || err2 != nil {
+			return blobseer.SnapshotRef{}, false, fmt.Errorf("%w: %q", ErrProto, resp)
+		}
+		return blobseer.SnapshotRef{Blob: blob, Version: version}, true, nil
+	default:
+		return blobseer.SnapshotRef{}, false, fmt.Errorf("%w: %q", ErrProto, resp)
 	}
-	a, err1 := strconv.ParseUint(fields[1], 10, 64)
-	b, err2 := strconv.ParseUint(fields[2], 10, 64)
+}
+
+// RequestCheckpoint is the synchronous convenience wrapper: it requests the
+// snapshot and waits for the background commit to publish. The instance
+// itself still resumes as soon as the capture is done — only this caller
+// blocks for the upload.
+func (c *Client) RequestCheckpoint(ctx context.Context) (blobseer.SnapshotRef, error) {
+	handle, err := c.RequestCheckpointAsync(ctx)
+	if err != nil {
+		return blobseer.SnapshotRef{}, err
+	}
+	return c.WaitCheckpoint(ctx, handle)
+}
+
+// Status returns the instance state, dirty chunk count and in-flight commit
+// count as the proxy sees them.
+func (c *Client) Status(ctx context.Context) (state string, dirtyChunks, pendingCommits int, err error) {
+	resp, err := c.Net.Call(ctx, c.Addr, []byte(fmt.Sprintf("STATUS %s %s", c.VMID, c.Token)))
+	if err != nil {
+		return "", 0, 0, err
+	}
+	fields := strings.Fields(string(resp))
+	if len(fields) < 1 || fields[0] != "OK" {
+		return "", 0, 0, errorFrom(resp)
+	}
+	if len(fields) != 4 {
+		return "", 0, 0, fmt.Errorf("%w: %q", ErrProto, resp)
+	}
+	dirty, err1 := strconv.Atoi(fields[2])
+	pending, err2 := strconv.Atoi(fields[3])
 	if err1 != nil || err2 != nil {
-		return 0, 0, fmt.Errorf("%w: %q", ErrProto, resp)
+		return "", 0, 0, fmt.Errorf("%w: %q", ErrProto, resp)
 	}
-	return a, b, nil
+	return fields[1], dirty, pending, nil
+}
+
+func parseRef(resp []byte) (blobseer.SnapshotRef, error) {
+	fields := strings.Fields(string(resp))
+	if len(fields) < 1 || fields[0] != "OK" {
+		return blobseer.SnapshotRef{}, errorFrom(resp)
+	}
+	if len(fields) != 3 {
+		return blobseer.SnapshotRef{}, fmt.Errorf("%w: %q", ErrProto, resp)
+	}
+	blob, err1 := strconv.ParseUint(fields[1], 10, 64)
+	version, err2 := strconv.ParseUint(fields[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		return blobseer.SnapshotRef{}, fmt.Errorf("%w: %q", ErrProto, resp)
+	}
+	return blobseer.SnapshotRef{Blob: blob, Version: version}, nil
 }
 
 func errorFrom(resp []byte) error {

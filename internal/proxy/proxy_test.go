@@ -2,8 +2,10 @@ package proxy
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"blobcr/internal/blobseer"
 	"blobcr/internal/mirror"
@@ -12,6 +14,9 @@ import (
 )
 
 const cs = 512
+
+// ctx is the default context for test operations.
+var ctx = context.Background()
 
 // env is a single-node test environment: repository, base image, one VM
 // with mirroring module, and a proxy.
@@ -35,15 +40,15 @@ func setup(t *testing.T) *env {
 	c := d.Client()
 
 	// Base image: a formatted blank disk uploaded to the repository.
-	base, err := c.CreateBlob(cs)
+	base, err := c.CreateBlob(ctx, cs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := c.WriteAt(base, 0, make([]byte, 256*1024))
+	info, err := c.WriteAt(ctx, base, 0, make([]byte, 256*1024))
 	if err != nil {
 		t.Fatal(err)
 	}
-	mod, err := mirror.Attach(c, base, info.Version)
+	mod, err := mirror.Attach(ctx, c, blobseer.SnapshotRef{Blob: base, Version: info.Version})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +81,11 @@ func TestCheckpointHappyPath(t *testing.T) {
 	if err := e.inst.FS().WriteFile("/state", []byte("app state")); err != nil {
 		t.Fatal(err)
 	}
-	blob, version, err := e.pc.RequestCheckpoint()
+	ref, err := e.pc.RequestCheckpoint(ctx)
 	if err != nil {
 		t.Fatalf("RequestCheckpoint: %v", err)
 	}
-	if blob == 0 {
+	if ref.Blob == 0 {
 		t.Error("no checkpoint blob id")
 	}
 	// The instance is running again afterwards.
@@ -88,7 +93,7 @@ func TestCheckpointHappyPath(t *testing.T) {
 		t.Errorf("state after checkpoint = %v", e.inst.State())
 	}
 	// The snapshot is a consistent disk image containing the state file.
-	snapData, err := e.client.ReadVersion(blob, version, 0, uint64(e.mod.Size()))
+	snapData, err := e.client.ReadVersion(ctx, ref, 0, uint64(e.mod.Size()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,22 +102,80 @@ func TestCheckpointHappyPath(t *testing.T) {
 	}
 }
 
+// TestCheckpointResumesBeforeUpload is the headline property of the async
+// redesign: the CHECKPOINT verb brings the VM back to Running even though
+// the commit is still in flight behind the returned handle.
+func TestCheckpointResumesBeforeUpload(t *testing.T) {
+	e := setup(t)
+	if err := e.inst.FS().WriteFile("/state", []byte("async state")); err != nil {
+		t.Fatal(err)
+	}
+	handle, err := e.pc.RequestCheckpointAsync(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.inst.State() != vm.Running {
+		t.Fatalf("instance %v right after async checkpoint, want running", e.inst.State())
+	}
+	// POLL until done, then WAIT returns the same snapshot.
+	var ref blobseer.SnapshotRef
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, done, err := e.pc.PollCheckpoint(ctx, handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			ref = r
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wref, err := e.pc.WaitCheckpoint(ctx, handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wref != ref {
+		t.Errorf("WAIT ref %v != POLL ref %v", wref, ref)
+	}
+	snapData, err := e.client.ReadVersion(ctx, ref, 0, uint64(e.mod.Size()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(snapData, []byte("async state")) {
+		t.Error("async snapshot does not contain the guest's file")
+	}
+}
+
+func TestWaitUnknownHandle(t *testing.T) {
+	e := setup(t)
+	if _, err := e.pc.WaitCheckpoint(ctx, 999); err == nil {
+		t.Error("WAIT on unknown handle succeeded")
+	}
+	if _, _, err := e.pc.PollCheckpoint(ctx, 999); err == nil {
+		t.Error("POLL on unknown handle succeeded")
+	}
+}
+
 func TestSuccessiveCheckpointsBumpVersion(t *testing.T) {
 	e := setup(t)
-	_, v1, err := e.pc.RequestCheckpoint()
+	ref1, err := e.pc.RequestCheckpoint(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e.inst.FS().WriteFile("/more", []byte("x"))
-	blob2, v2, err := e.pc.RequestCheckpoint()
+	ref2, err := e.pc.RequestCheckpoint(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v2 <= v1 {
-		t.Errorf("versions not monotonic: %d then %d", v1, v2)
+	if ref2.Version <= ref1.Version {
+		t.Errorf("versions not monotonic: %d then %d", ref1.Version, ref2.Version)
 	}
 	blob1, _ := e.mod.CheckpointImage()
-	if blob1 != blob2 {
+	if blob1 != ref2.Blob {
 		t.Error("successive checkpoints used different images")
 	}
 }
@@ -120,20 +183,20 @@ func TestSuccessiveCheckpointsBumpVersion(t *testing.T) {
 func TestAuthRequired(t *testing.T) {
 	e := setup(t)
 	bad := &Client{Net: e.pc.Net, Addr: e.pc.Addr, VMID: "vm-1", Token: "wrong"}
-	if _, _, err := bad.RequestCheckpoint(); err == nil {
+	if _, err := bad.RequestCheckpoint(ctx); err == nil {
 		t.Error("wrong token accepted")
 	} else if !strings.Contains(err.Error(), "authentication") {
 		t.Errorf("unexpected error: %v", err)
 	}
 	unknown := &Client{Net: e.pc.Net, Addr: e.pc.Addr, VMID: "nope", Token: "secret"}
-	if _, _, err := unknown.RequestCheckpoint(); err == nil {
+	if _, err := unknown.RequestCheckpoint(ctx); err == nil {
 		t.Error("unknown VM accepted")
 	}
 }
 
 func TestStatus(t *testing.T) {
 	e := setup(t)
-	state, dirty, err := e.pc.Status()
+	state, dirty, _, err := e.pc.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,22 +206,29 @@ func TestStatus(t *testing.T) {
 	if dirty == 0 {
 		t.Error("boot noise produced no dirty chunks")
 	}
-	if _, _, err := e.pc.RequestCheckpoint(); err != nil {
+	if _, err := e.pc.RequestCheckpoint(ctx); err != nil {
 		t.Fatal(err)
 	}
-	_, dirty, err = e.pc.Status()
+	_, dirty, pending, err := e.pc.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dirty != 0 {
 		t.Errorf("dirty after checkpoint = %d", dirty)
 	}
+	if pending != 0 {
+		t.Errorf("pending commits after waited checkpoint = %d", pending)
+	}
 }
 
 func TestMalformedRequests(t *testing.T) {
 	e := setup(t)
-	for _, req := range []string{"", "CHECKPOINT", "CHECKPOINT vm-1", "BOGUS vm-1 secret", "CHECKPOINT vm-1 secret extra arg"} {
-		resp, err := e.net.Call(e.pc.Addr, []byte(req))
+	for _, req := range []string{
+		"", "CHECKPOINT", "CHECKPOINT vm-1", "BOGUS vm-1 secret",
+		"CHECKPOINT vm-1 secret extra", "WAIT vm-1 secret", "WAIT vm-1 secret nonsense",
+		"POLL vm-1 secret", "STATUS vm-1 secret extra",
+	} {
+		resp, err := e.net.Call(ctx, e.pc.Addr, []byte(req))
 		if err != nil {
 			t.Fatalf("%q: transport error %v", req, err)
 		}
@@ -170,11 +240,11 @@ func TestMalformedRequests(t *testing.T) {
 
 func TestCheckpointResumesOnFailure(t *testing.T) {
 	e := setup(t)
-	// Make Commit fail by partitioning the whole repository.
+	// Make the commit fail by partitioning the whole repository.
 	for _, b := range []string{e.client.VMAddr, e.client.PMAddr} {
 		e.net.Partition(b)
 	}
-	_, _, err := e.pc.RequestCheckpoint()
+	_, err := e.pc.RequestCheckpoint(ctx)
 	if err == nil {
 		t.Fatal("checkpoint with repository down succeeded")
 	}
@@ -187,7 +257,7 @@ func TestCheckpointResumesOnFailure(t *testing.T) {
 func TestUnregister(t *testing.T) {
 	e := setup(t)
 	e.proxy.Unregister("vm-1")
-	if _, _, err := e.pc.RequestCheckpoint(); err == nil {
+	if _, err := e.pc.RequestCheckpoint(ctx); err == nil {
 		t.Error("checkpoint of unregistered VM succeeded")
 	}
 }

@@ -10,6 +10,7 @@
 package pvfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,10 +24,11 @@ import (
 // DefaultStripeSize matches the paper's configuration (256 KB).
 const DefaultStripeSize = 256 * 1024
 
-// Errors returned by the client.
+// Errors returned by the client. ErrNotFound satisfies
+// errors.Is(err, transport.ErrNotFound), so the condition survives the wire.
 var (
-	ErrNotFound = errors.New("pvfs: file not found")
-	ErrExists   = errors.New("pvfs: file already exists")
+	ErrNotFound error = transport.NotFoundError("pvfs: file not found")
+	ErrExists         = errors.New("pvfs: file already exists")
 )
 
 // Op codes: metadata server.
@@ -76,7 +78,7 @@ func (ms *MetadataServer) Serve(n transport.Network, addr string) (transport.Ser
 	return n.Listen(addr, ms.handle)
 }
 
-func (ms *MetadataServer) handle(req []byte) ([]byte, error) {
+func (ms *MetadataServer) handle(_ context.Context, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	op := int(r.U8())
 	if err := r.Err(); err != nil {
@@ -209,7 +211,7 @@ func (ds *DataServer) UsedBytes() int64 {
 	return ds.bytes
 }
 
-func (ds *DataServer) handle(req []byte) ([]byte, error) {
+func (ds *DataServer) handle(_ context.Context, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	op := int(r.U8())
 	if err := r.Err(); err != nil {
@@ -290,8 +292,8 @@ type File struct {
 	meta fileMeta
 }
 
-func (c *Client) callMeta(w *wire.Buffer) (*wire.Reader, error) {
-	resp, err := c.Net.Call(c.MetaAddr, w.Bytes())
+func (c *Client) callMeta(ctx context.Context, w *wire.Buffer) (*wire.Reader, error) {
+	resp, err := c.Net.Call(ctx, c.MetaAddr, w.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -299,12 +301,12 @@ func (c *Client) callMeta(w *wire.Buffer) (*wire.Reader, error) {
 }
 
 // Create creates a new file (stripeSize 0 selects the default).
-func (c *Client) Create(path string, stripeSize uint64) (*File, error) {
+func (c *Client) Create(ctx context.Context, path string, stripeSize uint64) (*File, error) {
 	w := wire.NewBuffer(64)
 	w.PutU8(opCreate)
 	w.PutString(path)
 	w.PutU64(stripeSize)
-	r, err := c.callMeta(w)
+	r, err := c.callMeta(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -316,11 +318,11 @@ func (c *Client) Create(path string, stripeSize uint64) (*File, error) {
 }
 
 // Open opens an existing file.
-func (c *Client) Open(path string) (*File, error) {
+func (c *Client) Open(ctx context.Context, path string) (*File, error) {
 	w := wire.NewBuffer(64)
 	w.PutU8(opStat)
 	w.PutString(path)
-	r, err := c.callMeta(w)
+	r, err := c.callMeta(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -332,11 +334,11 @@ func (c *Client) Open(path string) (*File, error) {
 }
 
 // Unlink removes a file and its stripes.
-func (c *Client) Unlink(path string) error {
+func (c *Client) Unlink(ctx context.Context, path string) error {
 	w := wire.NewBuffer(64)
 	w.PutU8(opUnlink)
 	w.PutString(path)
-	r, err := c.callMeta(w)
+	r, err := c.callMeta(ctx, w)
 	if err != nil {
 		return err
 	}
@@ -348,7 +350,7 @@ func (c *Client) Unlink(path string) error {
 		dw := wire.NewBuffer(16)
 		dw.PutU8(opStripeDel)
 		dw.PutU64(m.id)
-		if _, err := c.Net.Call(addr, dw.Bytes()); err != nil {
+		if _, err := c.Net.Call(ctx, addr, dw.Bytes()); err != nil {
 			return err
 		}
 	}
@@ -362,10 +364,10 @@ type DirEntry struct {
 }
 
 // Readdir lists all files.
-func (c *Client) Readdir() ([]DirEntry, error) {
+func (c *Client) Readdir(ctx context.Context) ([]DirEntry, error) {
 	w := wire.NewBuffer(8)
 	w.PutU8(opReaddir)
-	r, err := c.callMeta(w)
+	r, err := c.callMeta(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -378,12 +380,12 @@ func (c *Client) Readdir() ([]DirEntry, error) {
 }
 
 // Usage sums stored bytes across all data servers.
-func (c *Client) Usage() (uint64, error) {
+func (c *Client) Usage(ctx context.Context) (uint64, error) {
 	var total uint64
 	for _, addr := range c.DataAddrs {
 		w := wire.NewBuffer(8)
 		w.PutU8(opUsage)
-		resp, err := c.Net.Call(addr, w.Bytes())
+		resp, err := c.Net.Call(ctx, addr, w.Bytes())
 		if err != nil {
 			return 0, err
 		}
@@ -423,7 +425,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		w.PutU64(stripe)
 		w.PutU64(inner)
 		w.PutBytes(p[written : written+int(n)])
-		if _, err := f.c.Net.Call(f.server(stripe), w.Bytes()); err != nil {
+		if _, err := f.c.Net.Call(context.Background(), f.server(stripe), w.Bytes()); err != nil {
 			return written, err
 		}
 		written += int(n)
@@ -434,7 +436,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		w.PutU8(opSetSize)
 		w.PutString(f.path)
 		w.PutU64(end)
-		r, err := f.c.callMeta(w)
+		r, err := f.c.callMeta(context.Background(), w)
 		if err != nil {
 			return written, err
 		}
@@ -473,7 +475,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		w.PutU8(opStripeGet)
 		w.PutU64(f.meta.id)
 		w.PutU64(stripe)
-		resp, err := f.c.Net.Call(f.server(stripe), w.Bytes())
+		resp, err := f.c.Net.Call(context.Background(), f.server(stripe), w.Bytes())
 		if err != nil {
 			return read, err
 		}
@@ -504,7 +506,7 @@ func (f *File) Size() int64 { return int64(f.meta.size) }
 // Refresh re-reads the file metadata (size may have grown via other
 // handles).
 func (f *File) Refresh() error {
-	nf, err := f.c.Open(f.path)
+	nf, err := f.c.Open(context.Background(), f.path)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package pvfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"math/rand"
@@ -10,6 +11,9 @@ import (
 
 	"blobcr/internal/transport"
 )
+
+// ctx is the default context for test operations.
+var ctx = context.Background()
 
 const ss = 1024 // small stripe size for tests
 
@@ -25,7 +29,7 @@ func deploy(t *testing.T, nData int) (*Deployment, *Client) {
 
 func TestCreateWriteRead(t *testing.T) {
 	_, c := deploy(t, 4)
-	f, err := c.Create("/ckpt/rank0.dat", ss)
+	f, err := c.Create(ctx, "/ckpt/rank0.dat", ss)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +51,7 @@ func TestCreateWriteRead(t *testing.T) {
 
 func TestStripingDistributesData(t *testing.T) {
 	d, c := deploy(t, 4)
-	f, err := c.Create("/big", ss)
+	f, err := c.Create(ctx, "/big", ss)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +68,7 @@ func TestStripingDistributesData(t *testing.T) {
 
 func TestUnalignedWriteAcrossStripes(t *testing.T) {
 	_, c := deploy(t, 3)
-	f, err := c.Create("/u", ss)
+	f, err := c.Create(ctx, "/u", ss)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,27 +93,27 @@ func TestUnalignedWriteAcrossStripes(t *testing.T) {
 
 func TestOpenExistingAndMissing(t *testing.T) {
 	_, c := deploy(t, 2)
-	if _, err := c.Create("/x", ss); err != nil {
+	if _, err := c.Create(ctx, "/x", ss); err != nil {
 		t.Fatal(err)
 	}
-	f, err := c.Open("/x")
+	f, err := c.Open(ctx, "/x")
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
 	if f.Size() != 0 {
 		t.Errorf("new file size = %d", f.Size())
 	}
-	if _, err := c.Open("/missing"); err == nil {
+	if _, err := c.Open(ctx, "/missing"); err == nil {
 		t.Error("Open of missing file succeeded")
 	}
-	if _, err := c.Create("/x", ss); err == nil {
+	if _, err := c.Create(ctx, "/x", ss); err == nil {
 		t.Error("duplicate Create succeeded")
 	}
 }
 
 func TestReadPastEnd(t *testing.T) {
 	_, c := deploy(t, 2)
-	f, _ := c.Create("/s", ss)
+	f, _ := c.Create(ctx, "/s", ss)
 	f.WriteAt([]byte("abc"), 0)
 	buf := make([]byte, 10)
 	n, err := f.ReadAt(buf, 0)
@@ -123,7 +127,7 @@ func TestReadPastEnd(t *testing.T) {
 
 func TestSparseRegionsReadZero(t *testing.T) {
 	_, c := deploy(t, 3)
-	f, _ := c.Create("/sparse", ss)
+	f, _ := c.Create(ctx, "/sparse", ss)
 	// Write at stripe 5 only; stripes 0-4 are holes.
 	if _, err := f.WriteAt([]byte{0x9C}, int64(5*ss)); err != nil {
 		t.Fatal(err)
@@ -144,36 +148,36 @@ func TestSparseRegionsReadZero(t *testing.T) {
 
 func TestUnlinkFreesSpace(t *testing.T) {
 	_, c := deploy(t, 2)
-	f, _ := c.Create("/del", ss)
+	f, _ := c.Create(ctx, "/del", ss)
 	f.WriteAt(bytes.Repeat([]byte{1}, 4*ss), 0)
-	used, err := c.Usage()
+	used, err := c.Usage(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if used != 4*ss {
 		t.Fatalf("usage = %d", used)
 	}
-	if err := c.Unlink("/del"); err != nil {
+	if err := c.Unlink(ctx, "/del"); err != nil {
 		t.Fatal(err)
 	}
-	used, err = c.Usage()
+	used, err = c.Usage(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if used != 0 {
 		t.Errorf("usage after unlink = %d", used)
 	}
-	if err := c.Unlink("/del"); !errors.Is(err, ErrNotFound) && err == nil {
+	if err := c.Unlink(ctx, "/del"); !errors.Is(err, ErrNotFound) && err == nil {
 		t.Error("double unlink succeeded")
 	}
 }
 
 func TestReaddir(t *testing.T) {
 	_, c := deploy(t, 2)
-	c.Create("/b", ss)
-	fa, _ := c.Create("/a", ss)
+	c.Create(ctx, "/b", ss)
+	fa, _ := c.Create(ctx, "/a", ss)
 	fa.WriteAt([]byte("12345"), 0)
-	entries, err := c.Readdir()
+	entries, err := c.Readdir(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,8 +188,8 @@ func TestReaddir(t *testing.T) {
 
 func TestRefreshSeesOtherHandleGrowth(t *testing.T) {
 	_, c := deploy(t, 2)
-	f1, _ := c.Create("/g", ss)
-	f2, _ := c.Open("/g")
+	f1, _ := c.Create(ctx, "/g", ss)
+	f2, _ := c.Open(ctx, "/g")
 	f1.WriteAt(bytes.Repeat([]byte{1}, 2*ss), 0)
 	if f2.Size() != 0 {
 		t.Error("stale handle saw growth without Refresh")
@@ -206,7 +210,7 @@ func TestConcurrentWritersDistinctFiles(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			path := string(rune('a'+i)) + "-file"
-			f, err := c.Create(path, ss)
+			f, err := c.Create(ctx, path, ss)
 			if err != nil {
 				t.Errorf("create %s: %v", path, err)
 				return
@@ -231,7 +235,7 @@ func TestConcurrentWritersDistinctFiles(t *testing.T) {
 
 func TestRandomizedShadowModel(t *testing.T) {
 	_, c := deploy(t, 5)
-	f, err := c.Create("/rand", ss)
+	f, err := c.Create(ctx, "/rand", ss)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +244,7 @@ func TestRandomizedShadowModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	for iter := 0; iter < 100; iter++ {
 		off := rng.Intn(size - 1)
-		n := rng.Intn(minInt(size-off, 4*ss)) + 1
+		n := rng.Intn(min(size-off, 4*ss)) + 1
 		patch := make([]byte, n)
 		rng.Read(patch)
 		if _, err := f.WriteAt(patch, int64(off)); err != nil {
@@ -261,18 +265,11 @@ func TestRandomizedShadowModel(t *testing.T) {
 
 func TestDefaultStripeSize(t *testing.T) {
 	_, c := deploy(t, 2)
-	f, err := c.Create("/def", 0)
+	f, err := c.Create(ctx, "/def", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f.meta.stripeSize != DefaultStripeSize {
 		t.Errorf("stripeSize = %d, want %d", f.meta.stripeSize, DefaultStripeSize)
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -433,7 +433,7 @@ func TestRandomizedAgainstShadowModel(t *testing.T) {
 
 	for iter := 0; iter < 200; iter++ {
 		off := rng.Intn(size - 1)
-		n := rng.Intn(minInt(size-off, 3*cs)) + 1
+		n := rng.Intn(min(size-off, 3*cs)) + 1
 		if rng.Intn(3) == 0 {
 			// Random read check.
 			got := make([]byte, n)
@@ -489,7 +489,7 @@ func TestRandomizedWithSnapshotsAgainstShadowModel(t *testing.T) {
 			}
 		default:
 			off := rng.Intn(size - 1)
-			n := rng.Intn(minInt(size-off, 2*cs)) + 1
+			n := rng.Intn(min(size-off, 2*cs)) + 1
 			patch := make([]byte, n)
 			rng.Read(patch)
 			if _, err := img.WriteAt(patch, int64(off)); err != nil {
@@ -520,11 +520,4 @@ func TestRandomizedWithSnapshotsAgainstShadowModel(t *testing.T) {
 			t.Errorf("snapshot %s content diverged", name)
 		}
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

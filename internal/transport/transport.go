@@ -5,28 +5,62 @@
 // implementations are provided: an in-process network (for tests, examples
 // and single-machine deployments) and a TCP network (for the real daemons in
 // cmd/). Services are written once against the Network interface.
+//
+// Every call carries a context.Context: cancelling it abandons the call
+// (in-flight TCP calls close their connection; in-process handlers receive
+// the context and may observe the cancellation themselves). Handlers that
+// fail because the requested entity does not exist should return an error
+// wrapping ErrNotFound; the condition survives the wire, so callers can test
+// it with errors.Is instead of matching message strings.
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"blobcr/internal/wire"
 )
 
 // Handler processes one request and returns the response payload.
-// Returning an error sends a remote error to the caller.
-type Handler func(req []byte) ([]byte, error)
+// Returning an error sends a remote error to the caller. The context is the
+// caller's (in-process) or the server's (TCP); long-blocking handlers should
+// honour its cancellation.
+type Handler func(ctx context.Context, req []byte) ([]byte, error)
 
 // ErrUnreachable is returned by Call when no service is bound at the address.
 var ErrUnreachable = errors.New("transport: address unreachable")
 
+// ErrNotFound marks handler errors for entities that do not exist. The mark
+// is preserved across the wire: a RemoteError produced from a handler error
+// wrapping ErrNotFound satisfies errors.Is(err, ErrNotFound) on the caller's
+// side too.
+var ErrNotFound = errors.New("transport: not found")
+
+// NotFoundError is a convenience sentinel for services: it renders as its
+// message and satisfies errors.Is(err, ErrNotFound), so handlers can define
+// typed not-found sentinels whose mark survives the wire.
+type NotFoundError string
+
+func (e NotFoundError) Error() string { return string(e) }
+
+// Is marks the sentinel as a transport-level not-found condition.
+func (e NotFoundError) Is(target error) bool { return target == ErrNotFound }
+
 // RemoteError is an application-level error returned by a remote handler.
-type RemoteError struct{ Msg string }
+type RemoteError struct {
+	Msg string
+	// NotFound records that the remote error wrapped ErrNotFound.
+	NotFound bool
+}
 
 func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// Is lets errors.Is(err, ErrNotFound) see through the wire boundary.
+func (e *RemoteError) Is(target error) bool { return target == ErrNotFound && e.NotFound }
 
 // Network binds services to addresses and routes calls between them.
 type Network interface {
@@ -34,14 +68,21 @@ type Network interface {
 	// The returned Server reports the bound address and stops the service
 	// when closed.
 	Listen(addr string, h Handler) (Server, error)
-	// Call sends req to the service at addr and returns its response.
-	Call(addr string, req []byte) ([]byte, error)
+	// Call sends req to the service at addr and returns its response. A
+	// cancelled or expired context abandons the call and returns ctx.Err().
+	Call(ctx context.Context, addr string, req []byte) ([]byte, error)
 }
 
 // Server is a bound service endpoint.
 type Server interface {
 	Addr() string
 	Close() error
+}
+
+// remoteErrorFrom wraps a handler error for transmission, preserving the
+// not-found mark.
+func remoteErrorFrom(err error) *RemoteError {
+	return &RemoteError{Msg: err.Error(), NotFound: errors.Is(err, ErrNotFound)}
 }
 
 // --- In-process network ---
@@ -95,7 +136,10 @@ func (n *InProc) Listen(addr string, h Handler) (Server, error) {
 }
 
 // Call implements Network.
-func (n *InProc) Call(addr string, req []byte) ([]byte, error) {
+func (n *InProc) Call(ctx context.Context, addr string, req []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n.mu.RLock()
 	h, ok := n.handlers[addr]
 	dead := n.partitioned[addr]
@@ -103,9 +147,9 @@ func (n *InProc) Call(addr string, req []byte) ([]byte, error) {
 	if !ok || dead {
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
 	}
-	resp, err := h(req)
+	resp, err := h(ctx, req)
 	if err != nil {
-		return nil, &RemoteError{Msg: err.Error()}
+		return nil, remoteErrorFrom(err)
 	}
 	return resp, nil
 }
@@ -126,9 +170,17 @@ func (n *InProc) Heal(addr string) {
 
 // --- TCP network ---
 
+// Response status bytes on the wire.
+const (
+	statusOK       = 0
+	statusErr      = 1
+	statusNotFound = 2 // remote error that wrapped ErrNotFound
+)
+
 // TCP is a Network over real TCP sockets. Requests and responses are framed
 // with a 4-byte length prefix; the first response byte is a status code
-// (0 = ok, 1 = remote error with a UTF-8 message payload).
+// (0 = ok, 1 = remote error with a UTF-8 message payload, 2 = remote
+// not-found error).
 type TCP struct {
 	mu    sync.Mutex
 	conns map[string][]net.Conn // idle connection pool per address
@@ -143,6 +195,8 @@ type tcpServer struct {
 	ln     net.Listener
 	wg     sync.WaitGroup
 	once   sync.Once
+	cancel context.CancelFunc
+	ctx    context.Context
 	mu     sync.Mutex
 	active map[net.Conn]struct{}
 	closed bool
@@ -150,12 +204,14 @@ type tcpServer struct {
 
 func (s *tcpServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting, force-closes every open connection (clients may
-// hold idle pooled connections indefinitely) and waits for handlers to exit.
+// Close stops accepting, cancels the context in-flight handlers received,
+// force-closes every open connection (clients may hold idle pooled
+// connections indefinitely) and waits for handlers to exit.
 func (s *tcpServer) Close() error {
 	var err error
 	s.once.Do(func() {
 		err = s.ln.Close()
+		s.cancel()
 		s.mu.Lock()
 		s.closed = true
 		for c := range s.active {
@@ -194,7 +250,8 @@ func (t *TCP) Listen(addr string, h Handler) (Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	srv := &tcpServer{ln: ln, active: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &tcpServer{ln: ln, active: make(map[net.Conn]struct{}), ctx: ctx, cancel: cancel}
 	srv.wg.Add(1)
 	go func() {
 		defer srv.wg.Done()
@@ -211,27 +268,31 @@ func (t *TCP) Listen(addr string, h Handler) (Server, error) {
 			go func() {
 				defer srv.wg.Done()
 				defer srv.untrack(conn)
-				serveConn(conn, h)
+				serveConn(srv.ctx, conn, h)
 			}()
 		}
 	}()
 	return srv, nil
 }
 
-func serveConn(conn net.Conn, h Handler) {
+func serveConn(ctx context.Context, conn net.Conn, h Handler) {
 	defer conn.Close()
 	for {
 		req, err := wire.ReadFrame(conn)
 		if err != nil {
 			return
 		}
-		resp, herr := h(req)
+		resp, herr := h(ctx, req)
 		out := make([]byte, 0, len(resp)+1)
 		if herr != nil {
-			out = append(out, 1)
+			if errors.Is(herr, ErrNotFound) {
+				out = append(out, statusNotFound)
+			} else {
+				out = append(out, statusErr)
+			}
 			out = append(out, herr.Error()...)
 		} else {
-			out = append(out, 0)
+			out = append(out, statusOK)
 			out = append(out, resp...)
 		}
 		if err := wire.WriteFrame(conn, out); err != nil {
@@ -240,27 +301,69 @@ func serveConn(conn net.Conn, h Handler) {
 	}
 }
 
-// Call implements Network. Connections are pooled and reused.
-func (t *TCP) Call(addr string, req []byte) ([]byte, error) {
+// Call implements Network. Connections are pooled and reused. A context
+// deadline becomes the connection deadline; cancellation closes the
+// connection, abandoning the in-flight exchange.
+func (t *TCP) Call(ctx context.Context, addr string, req []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	conn, err := t.getConn(addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
-	if err := wire.WriteFrame(conn, req); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("transport: call %s: %w", addr, err)
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	} else {
+		conn.SetDeadline(time.Time{})
 	}
-	frame, err := wire.ReadFrame(conn)
+	// Watch for cancellation while the exchange is in flight.
+	watchDone := make(chan struct{})
+	watchErr := make(chan struct{})
+	go func() {
+		defer close(watchErr)
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+	frame, err := func() ([]byte, error) {
+		if err := wire.WriteFrame(conn, req); err != nil {
+			return nil, err
+		}
+		return wire.ReadFrame(conn)
+	}()
+	close(watchDone)
+	<-watchErr
 	if err != nil {
 		conn.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("transport: call %s: %w", addr, err)
 	}
+	if ctx.Err() != nil {
+		// Cancellation raced the successful exchange: the watcher may have
+		// closed the connection, so it must not go back in the pool. The
+		// response arrived intact, so still return it.
+		conn.Close()
+		return decodeResponse(addr, frame)
+	}
 	t.putConn(addr, conn)
+	return decodeResponse(addr, frame)
+}
+
+// decodeResponse unpacks the status byte of a response frame.
+func decodeResponse(addr string, frame []byte) ([]byte, error) {
 	if len(frame) == 0 {
 		return nil, fmt.Errorf("transport: call %s: empty response frame", addr)
 	}
-	if frame[0] == 1 {
+	switch frame[0] {
+	case statusErr:
 		return nil, &RemoteError{Msg: string(frame[1:])}
+	case statusNotFound:
+		return nil, &RemoteError{Msg: string(frame[1:]), NotFound: true}
 	}
 	return frame[1:], nil
 }
@@ -286,6 +389,7 @@ func (t *TCP) putConn(addr string, conn net.Conn) {
 		conn.Close()
 		return
 	}
+	conn.SetDeadline(time.Time{}) // clear any call-scoped deadline
 	t.conns[addr] = append(t.conns[addr], conn)
 }
 

@@ -2,14 +2,16 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // echoUpper is a trivial handler used across tests.
-func echoUpper(req []byte) ([]byte, error) {
+func echoUpper(_ context.Context, req []byte) ([]byte, error) {
 	out := make([]byte, len(req))
 	for i, b := range req {
 		if 'a' <= b && b <= 'z' {
@@ -20,7 +22,7 @@ func echoUpper(req []byte) ([]byte, error) {
 	return out, nil
 }
 
-func failing(req []byte) ([]byte, error) {
+func failing(_ context.Context, req []byte) ([]byte, error) {
 	return nil, errors.New("boom")
 }
 
@@ -32,7 +34,7 @@ func testNetworkBasics(t *testing.T, n Network) {
 	}
 	defer srv.Close()
 
-	resp, err := n.Call(srv.Addr(), []byte("hello"))
+	resp, err := n.Call(context.Background(), srv.Addr(), []byte("hello"))
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
@@ -41,7 +43,7 @@ func testNetworkBasics(t *testing.T, n Network) {
 	}
 
 	// Empty request and response round-trip.
-	resp, err = n.Call(srv.Addr(), nil)
+	resp, err = n.Call(context.Background(), srv.Addr(), nil)
 	if err != nil {
 		t.Fatalf("Call empty: %v", err)
 	}
@@ -57,7 +59,7 @@ func testNetworkRemoteError(t *testing.T, n Network) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	_, err = n.Call(srv.Addr(), []byte("x"))
+	_, err = n.Call(context.Background(), srv.Addr(), []byte("x"))
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("err = %v, want RemoteError", err)
@@ -69,7 +71,7 @@ func testNetworkRemoteError(t *testing.T, n Network) {
 
 func testNetworkUnreachable(t *testing.T, n Network, badAddr string) {
 	t.Helper()
-	if _, err := n.Call(badAddr, []byte("x")); err == nil {
+	if _, err := n.Call(context.Background(), badAddr, []byte("x")); err == nil {
 		t.Error("Call to unbound address succeeded")
 	}
 }
@@ -89,7 +91,7 @@ func testNetworkConcurrency(t *testing.T, n Network) {
 			defer wg.Done()
 			msg := []byte(fmt.Sprintf("msg-%d", i))
 			want := []byte(fmt.Sprintf("MSG-%d", i))
-			resp, err := n.Call(srv.Addr(), msg)
+			resp, err := n.Call(context.Background(), srv.Addr(), msg)
 			if err != nil {
 				errs <- err
 				return
@@ -139,7 +141,7 @@ func TestInProcCloseUnbinds(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Call("svc", nil); err == nil {
+	if _, err := n.Call(context.Background(), "svc", nil); err == nil {
 		t.Error("Call after Close succeeded")
 	}
 	// Address can be rebound after close.
@@ -156,11 +158,11 @@ func TestInProcPartition(t *testing.T) {
 	}
 	defer srv.Close()
 	n.Partition("node1")
-	if _, err := n.Call("node1", []byte("x")); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Call(context.Background(), "node1", []byte("x")); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("partitioned call err = %v, want ErrUnreachable", err)
 	}
 	n.Heal("node1")
-	if _, err := n.Call("node1", []byte("x")); err != nil {
+	if _, err := n.Call(context.Background(), "node1", []byte("x")); err != nil {
 		t.Errorf("healed call err = %v", err)
 	}
 }
@@ -175,7 +177,7 @@ func TestTCPConnReuse(t *testing.T) {
 	defer srv.Close()
 	// Sequential calls reuse the pooled connection.
 	for i := 0; i < 10; i++ {
-		if _, err := n.Call(srv.Addr(), []byte("ping")); err != nil {
+		if _, err := n.Call(context.Background(), srv.Addr(), []byte("ping")); err != nil {
 			t.Fatalf("call %d: %v", i, err)
 		}
 	}
@@ -190,7 +192,7 @@ func TestTCPConnReuse(t *testing.T) {
 func TestTCPLargePayload(t *testing.T) {
 	n := NewTCP()
 	defer n.Close()
-	srv, err := n.Listen("", func(req []byte) ([]byte, error) { return req, nil })
+	srv, err := n.Listen("", func(_ context.Context, req []byte) ([]byte, error) { return req, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +201,7 @@ func TestTCPLargePayload(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
-	resp, err := n.Call(srv.Addr(), payload)
+	resp, err := n.Call(context.Background(), srv.Addr(), payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,14 +218,106 @@ func TestTCPServerCloseStopsService(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := srv.Addr()
-	if _, err := n.Call(addr, []byte("a")); err != nil {
+	if _, err := n.Call(context.Background(), addr, []byte("a")); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
 	n.Close() // drop pooled connections so the next call must redial
-	if _, err := n.Call(addr, []byte("a")); err == nil {
+	if _, err := n.Call(context.Background(), addr, []byte("a")); err == nil {
 		t.Error("Call succeeded after server close")
+	}
+}
+
+// notFoundHandler returns an error wrapping ErrNotFound.
+func notFoundHandler(_ context.Context, req []byte) ([]byte, error) {
+	return nil, fmt.Errorf("missing thing: %w", ErrNotFound)
+}
+
+func testNetworkNotFound(t *testing.T, n Network) {
+	t.Helper()
+	srv, err := n.Listen("", notFoundHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, err = n.Call(context.Background(), srv.Addr(), []byte("x"))
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want errors.Is(err, ErrNotFound)", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || !re.NotFound {
+		t.Errorf("err = %#v, want RemoteError with NotFound", err)
+	}
+}
+
+func TestInProcNotFoundMark(t *testing.T) { testNetworkNotFound(t, NewInProc()) }
+func TestTCPNotFoundMark(t *testing.T) {
+	n := NewTCP()
+	defer n.Close()
+	testNetworkNotFound(t, n)
+}
+
+func TestCallCancelledContext(t *testing.T) {
+	n := NewInProc()
+	srv, err := n.Listen("", echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.Call(ctx, srv.Addr(), []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTCPCallDeadline(t *testing.T) {
+	n := NewTCP()
+	defer n.Close()
+	block := make(chan struct{})
+	srv, err := n.Listen("", func(ctx context.Context, req []byte) ([]byte, error) {
+		<-block
+		return req, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(block); srv.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = n.Call(ctx, srv.Addr(), []byte("x"))
+	if err == nil {
+		t.Fatal("call to blocking handler succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline not enforced: call took %v", elapsed)
+	}
+}
+
+func TestTCPCallCancelMidFlight(t *testing.T) {
+	n := NewTCP()
+	defer n.Close()
+	block := make(chan struct{})
+	srv, err := n.Listen("", func(ctx context.Context, req []byte) ([]byte, error) {
+		<-block
+		return req, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(block); srv.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := n.Call(ctx, srv.Addr(), []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
