@@ -21,24 +21,25 @@ import (
 
 func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
-	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime)")
+	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, availability)")
 	flag.Parse()
 
 	p := simcloud.Default()
 	c := simcloud.DefaultCM1()
 
 	byName := map[string]func() bench.Series{
-		"fig2a":    func() bench.Series { return bench.Fig2aCheckpoint50MB(p) },
-		"fig2b":    func() bench.Series { return bench.Fig2bCheckpoint200MB(p) },
-		"fig3a":    func() bench.Series { return bench.Fig3aRestart50MB(p) },
-		"fig3b":    func() bench.Series { return bench.Fig3bRestart200MB(p) },
-		"fig4":     func() bench.Series { return bench.Fig4SnapshotSize(p) },
-		"fig5a":    func() bench.Series { return bench.Fig5aSuccessiveTime(p) },
-		"fig5b":    func() bench.Series { return bench.Fig5bSuccessiveSpace(p) },
-		"fig5c":    func() bench.Series { return bench.Fig5cSuccessiveDedup(p) },
-		"table1":   func() bench.Series { return bench.Table1CM1SnapshotSize(p, c) },
-		"fig6":     func() bench.Series { return bench.Fig6CM1Checkpoint(p, c) },
-		"downtime": func() bench.Series { return bench.FigDowntime() },
+		"fig2a":        func() bench.Series { return bench.Fig2aCheckpoint50MB(p) },
+		"fig2b":        func() bench.Series { return bench.Fig2bCheckpoint200MB(p) },
+		"fig3a":        func() bench.Series { return bench.Fig3aRestart50MB(p) },
+		"fig3b":        func() bench.Series { return bench.Fig3bRestart200MB(p) },
+		"fig4":         func() bench.Series { return bench.Fig4SnapshotSize(p) },
+		"fig5a":        func() bench.Series { return bench.Fig5aSuccessiveTime(p) },
+		"fig5b":        func() bench.Series { return bench.Fig5bSuccessiveSpace(p) },
+		"fig5c":        func() bench.Series { return bench.Fig5cSuccessiveDedup(p) },
+		"table1":       func() bench.Series { return bench.Table1CM1SnapshotSize(p, c) },
+		"fig6":         func() bench.Series { return bench.Fig6CM1Checkpoint(p, c) },
+		"downtime":     func() bench.Series { return bench.FigDowntime() },
+		"availability": func() bench.Series { return bench.FigAvailability() },
 	}
 
 	if *only != "" {

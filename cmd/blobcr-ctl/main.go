@@ -10,6 +10,9 @@
 //	blobcr-ctl ... clone    <blob> <version>
 //	blobcr-ctl ... inspect  <blob> <version> [path]
 //	blobcr-ctl ... stats
+//	blobcr-ctl -supervisor ADDR events [since-seq]
+//	blobcr-ctl -supervisor ADDR status
+//	blobcr-ctl supervise
 //
 // With -dedup, uploads go through the content-addressed repository
 // (internal/cas): chunk bodies the repository already holds are neither
@@ -17,6 +20,14 @@
 //
 // With -timeout, every repository operation runs under a context deadline:
 // a hung daemon fails the command fast instead of blocking forever.
+//
+// The events and status commands stream a running supervisor's structured
+// event log and recovery accounting from its introspection endpoint
+// (supervisor.Serve). supervise runs a self-contained demonstration: an
+// in-process cloud under the autonomous supervisor rides out a two-node
+// failure storm, printing every event — failure detection, rollback
+// planning to the durability watermark, self-healing partial restarts —
+// and the final MTTR summary.
 package main
 
 import (
@@ -27,11 +38,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"blobcr/internal/blobseer"
+	"blobcr/internal/cloud"
 	"blobcr/internal/guestfs"
 	"blobcr/internal/mirror"
+	"blobcr/internal/supervisor"
 	"blobcr/internal/transport"
+	"blobcr/internal/vm"
 )
 
 const defaultChunkSize = 256 * 1024
@@ -43,10 +58,23 @@ func main() {
 	chunk := flag.Uint64("chunk", defaultChunkSize, "chunk size for uploads")
 	dedup := flag.Bool("dedup", false, "write through the content-addressed repository (dedup commits)")
 	timeout := flag.Duration("timeout", 0, "deadline for repository operations (0 = none); hung daemons fail fast")
+	supAddr := flag.String("supervisor", "", "supervisor introspection endpoint (for events/status)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
 		usage()
+	}
+	switch flag.Arg(0) {
+	case "supervise":
+		superviseDemo()
+		return
+	case "events", "status":
+		if *supAddr == "" {
+			fmt.Fprintln(os.Stderr, "blobcr-ctl: -supervisor is required for", flag.Arg(0))
+			os.Exit(2)
+		}
+		supervisorQuery(*supAddr, *timeout, flag.Args())
+		return
 	}
 	if *vmAddr == "" || *pmAddr == "" || *meta == "" {
 		fmt.Fprintln(os.Stderr, "blobcr-ctl: -vmanager, -pmanager and -meta are required")
@@ -187,6 +215,132 @@ func main() {
 	}
 }
 
+// supervisorQuery fetches a running supervisor's event stream or status
+// summary from its introspection endpoint over TCP.
+func supervisorQuery(addr string, timeout time.Duration, args []string) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req := "STATUS"
+	if args[0] == "events" {
+		since := 0
+		if len(args) > 1 {
+			since = int(parseU64(args[1]))
+		}
+		req = fmt.Sprintf("EVENTS %d", since)
+	}
+	resp, err := transport.NewTCP().Call(ctx, addr, []byte(req))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := string(resp)
+	if !strings.HasPrefix(s, "OK") {
+		log.Fatalf("supervisor: %s", s)
+	}
+	if args[0] == "status" {
+		fmt.Println(strings.TrimPrefix(strings.TrimPrefix(s, "OK"), " "))
+		return
+	}
+	if _, body, found := strings.Cut(s, "\n"); found {
+		fmt.Println(body)
+	}
+}
+
+// superviseDemo runs the autonomous checkpoint-restart loop end to end on an
+// in-process cloud: deploy, compute, and survive a two-node failure storm
+// with zero manual Restart calls, printing the live event stream.
+func superviseDemo() {
+	ctx := context.Background()
+	fmt.Println("== autonomous checkpoint-restart supervisor demo ==")
+	net := transport.WithLatency(transport.NewInProc(), 200*time.Microsecond)
+	// Replication 3 keeps every chunk readable through a two-node storm.
+	cl, err := cloud.New(cloud.Config{Nodes: 6, MetaProviders: 2, Replication: 3, Dedup: true, Net: net})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	base, err := cl.UploadBaseImage(ctx, make([]byte, 512*1024), 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := cl.Deploy(ctx, 3, base, vm.Config{BlockSize: 512, BootNoiseBytes: 8192})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup := supervisor.New(cl, dep, supervisor.Config{
+		HeartbeatEvery: 5 * time.Millisecond,
+		PingTimeout:    25 * time.Millisecond,
+		SuspectAfter:   2,
+		MTBF:           2 * time.Second,
+		MinInterval:    50 * time.Millisecond,
+		MaxInterval:    200 * time.Millisecond,
+		PartialRestart: true,
+	})
+	events, unsubscribe := sup.Events().Subscribe()
+	defer unsubscribe()
+	go func() {
+		for e := range events {
+			fmt.Println(" ", e)
+		}
+	}()
+	runCtx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sup.Run(runCtx)
+	}()
+
+	work := func(round int) {
+		d, _ := sup.Deployment()
+		for _, inst := range d.Instances {
+			if fs := inst.VM.FS(); fs != nil {
+				fs.WriteFile("/progress", []byte(strconv.Itoa(round)))
+			}
+		}
+	}
+	waitGen := func(want int) {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if _, gen := sup.Deployment(); gen >= want {
+				return
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("recovery %d never completed; supervisor metrics: %+v", want, sup.Metrics())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for round := 1; round <= 2; round++ {
+		work(round)
+		if _, err := sup.CheckpointNow(ctx); err != nil {
+			log.Fatal(err)
+		}
+		d, _ := sup.Deployment()
+		victim := d.Instances[round%len(d.Instances)].Node
+		time.Sleep(100 * time.Millisecond) // let the checkpoint publish
+		fmt.Printf("injecting failure: node %s goes dark (no manual Restart will follow)\n", victim.Name)
+		net.Partition(victim.ProxyAddr)
+		net.Partition(victim.DataAddr)
+		for _, inst := range d.Instances {
+			if inst.Node == victim {
+				inst.VM.Kill()
+			}
+		}
+		waitGen(round)
+	}
+	cancel()
+	<-done
+	m := sup.Metrics()
+	fmt.Printf("\nsurvived %d failures unattended: %d recoveries, mean MTTR %s, max %s, work lost %s\n",
+		m.FailuresDetected, m.Recoveries, m.MeanMTTR().Round(time.Millisecond),
+		m.MaxMTTR.Round(time.Millisecond), m.WorkLost.Round(time.Millisecond))
+	fmt.Printf("checkpoints: %d initiated, %d durable; restarts: %d VMs redeployed, %d rolled back in place\n",
+		m.CheckpointsInitiated, m.CheckpointsDurable, m.RedeployedVMs, m.InPlaceVMs)
+}
+
 func need(args []string, n int) {
 	if len(args) < n {
 		usage()
@@ -210,6 +364,9 @@ commands:
   clone <blob> <version>              clone a snapshot into a new image
   inspect <blob> <version> [path]     browse the guest fs inside a snapshot
   stats                               dedup hit-rate, logical vs physical bytes,
-                                      refcount reclamation (see -dedup)`)
+                                      refcount reclamation (see -dedup)
+  events [since]                      stream a supervisor's event log (-supervisor)
+  status                              supervisor recovery summary (-supervisor)
+  supervise                           run the autonomous-recovery demo in-process`)
 	os.Exit(2)
 }

@@ -22,6 +22,25 @@
 // mark-and-sweep collector remains as the exhaustive fallback. Enable it
 // with blobseer.Client.Dedup or cloud.Config.Dedup.
 //
+// # Autonomous checkpoint-restart supervisor
+//
+// internal/supervisor closes the checkpoint-restart control loop: a
+// heartbeat failure detector over the proxies' PING verb, periodic global
+// checkpoints on the Young/Daly interval computed from the observed
+// checkpoint cost and a configured MTBF (simcloud.OptimalInterval),
+// rollback planning restricted to the newest globally durable checkpoint
+// (cloud.Deployment's durability watermark — with asynchronous commits the
+// newest recorded checkpoint may still be publishing and is refused with
+// cloud.ErrNotDurable), and self-healing restarts with bounded retries,
+// exponential backoff and spare-node placement. Partial restart
+// (cloud.PartialRestart, core.Job.RestartPartial) redeploys only the
+// members that died while healthy members roll back in place
+// (mirror.RollbackTo), and commits fail over to live providers when a data
+// provider dies mid-commit. The supervisor's structured event stream (MTTR
+// and lost-work accounting included) is served over the transport for
+// blobcr-ctl events/status; blobcr-ctl supervise demonstrates the loop and
+// blobcr-bench -only availability measures it.
+//
 // # Asynchronous checkpoint handles
 //
 // The checkpoint lifecycle is asynchronous end to end: the proxy's

@@ -231,7 +231,8 @@ func Fig6CM1Checkpoint(p simcloud.Params, c simcloud.CM1Params) Series {
 	return s
 }
 
-// All returns every paper experiment in order.
+// All returns every paper experiment in order, plus the functional
+// downtime and availability experiments that ride the real stack.
 func All(p simcloud.Params, c simcloud.CM1Params) []Series {
 	return []Series{
 		Fig2aCheckpoint50MB(p),
@@ -245,5 +246,6 @@ func All(p simcloud.Params, c simcloud.CM1Params) []Series {
 		Table1CM1SnapshotSize(p, c),
 		Fig6CM1Checkpoint(p, c),
 		FigDowntime(),
+		FigAvailability(),
 	}
 }

@@ -12,8 +12,8 @@ func TestAllSeriesWellFormed(t *testing.T) {
 	p := simcloud.Default()
 	c := simcloud.DefaultCM1()
 	series := All(p, c)
-	if len(series) != 11 {
-		t.Fatalf("All returned %d series, want 11 (every table and figure, the CAS dedup extension, and the downtime experiment)", len(series))
+	if len(series) != 12 {
+		t.Fatalf("All returned %d series, want 12 (every table and figure, the CAS dedup extension, and the downtime and availability experiments)", len(series))
 	}
 	for _, s := range series {
 		if s.Title == "" || len(s.Columns) == 0 || len(s.Rows) == 0 {
@@ -150,5 +150,48 @@ func TestDowntimeAsyncIndependentOfDirtySet(t *testing.T) {
 	last := results[len(results)-1]
 	if last.AsyncMillis >= last.SyncMillis {
 		t.Errorf("async downtime %.2fms not below sync %.2fms at %v MB dirty", last.AsyncMillis, last.SyncMillis, last.DirtyMB)
+	}
+}
+
+// TestAvailabilityPartialBeatsFull is the acceptance check for the
+// autonomous supervisor: both recovery modes ride out an unannounced
+// single-node failure with MTTR accounted, and partial restart — which
+// re-deploys only the failed member while healthy members roll back in
+// place — resumes the job faster than tearing everything down. The gap is
+// structural (one cold redeploy instead of three) and the injected 500µs
+// per round trip makes it wide, so the comparison is robust to scheduler
+// noise.
+func TestAvailabilityPartialBeatsFull(t *testing.T) {
+	full, err := RunAvailability(false, 1)
+	if err != nil {
+		t.Fatalf("full restart run: %v", err)
+	}
+	partial, err := RunAvailability(true, 1)
+	if err != nil {
+		t.Fatalf("partial restart run: %v", err)
+	}
+	for _, r := range []AvailabilityResult{full, partial} {
+		if len(r.MTTRMillis) != 1 || r.MeanMTTRMillis <= 0 {
+			t.Fatalf("%s: MTTR not accounted: %+v", r.Mode, r)
+		}
+		if r.UsefulWorkFraction <= 0 || r.UsefulWorkFraction >= 1 {
+			t.Errorf("%s: useful-work fraction %.2f, want in (0, 1) with lost rounds re-done", r.Mode, r.UsefulWorkFraction)
+		}
+		if r.CheckpointsDurable < 2 {
+			t.Errorf("%s: only %d durable checkpoints", r.Mode, r.CheckpointsDurable)
+		}
+	}
+	// Structural: partial redeploys only the failed member.
+	if full.RedeployedVMs != availInstances {
+		t.Errorf("full restart redeployed %d VMs, want %d", full.RedeployedVMs, availInstances)
+	}
+	if partial.RedeployedVMs != 1 || partial.InPlaceVMs != availInstances-1 {
+		t.Errorf("partial restart redeployed %d / in-place %d, want 1 / %d",
+			partial.RedeployedVMs, partial.InPlaceVMs, availInstances-1)
+	}
+	// Time-to-resume: partial beats full for a single-node failure.
+	if partial.MeanMTTRMillis >= full.MeanMTTRMillis {
+		t.Errorf("partial restart MTTR %.2fms not below full restart %.2fms",
+			partial.MeanMTTRMillis, full.MeanMTTRMillis)
 	}
 }

@@ -12,7 +12,6 @@ package bench
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"blobcr/internal/blobseer"
@@ -21,27 +20,6 @@ import (
 	"blobcr/internal/transport"
 	"blobcr/internal/vm"
 )
-
-// latencyNet wraps a Network, sleeping perCall on every Call and counting
-// calls, so network cost is visible in wall time and deterministically in
-// the call counter.
-type latencyNet struct {
-	inner   transport.Network
-	perCall time.Duration
-	calls   atomic.Uint64
-}
-
-func (l *latencyNet) Listen(addr string, h transport.Handler) (transport.Server, error) {
-	return l.inner.Listen(addr, h)
-}
-
-func (l *latencyNet) Call(ctx context.Context, addr string, req []byte) ([]byte, error) {
-	l.calls.Add(1)
-	if l.perCall > 0 {
-		time.Sleep(l.perCall)
-	}
-	return l.inner.Call(ctx, addr, req)
-}
 
 // DowntimeResult is one sweep point of the downtime experiment.
 type DowntimeResult struct {
@@ -66,7 +44,7 @@ const (
 // the proxy's CHECKPOINT verb, which resumes the VM before any upload.
 func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 	ctx := context.Background()
-	net := &latencyNet{inner: transport.NewInProc(), perCall: downtimeLatency}
+	net := transport.WithLatency(transport.NewInProc(), downtimeLatency)
 	repo, err := blobseer.Deploy(net, 1, 4)
 	if err != nil {
 		return nil, err
@@ -153,7 +131,7 @@ func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 		if err := dirty(syncMod, chunks); err != nil {
 			return nil, err
 		}
-		calls0 := net.calls.Load()
+		calls0 := net.Calls()
 		t0 := time.Now()
 		if err := syncInst.Suspend(); err != nil {
 			return nil, err
@@ -166,7 +144,7 @@ func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 			return nil, commitErr
 		}
 		r.SyncMillis = float64(time.Since(t0).Microseconds()) / 1000
-		r.SyncNetCalls = net.calls.Load() - calls0
+		r.SyncNetCalls = net.Calls() - calls0
 
 		// Asynchronous: the proxy resumes the VM after the local capture;
 		// the upload happens outside the measured window.
@@ -178,14 +156,14 @@ func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 		// moment the capture is enqueued, so the shared counter may also see
 		// its first call before this goroutine samples it: the count is
 		// bounded by a small constant, never by the dirty-set size.
-		calls0 = net.calls.Load()
+		calls0 = net.Calls()
 		t0 = time.Now()
 		handle, err := asyncClient.RequestCheckpointAsync(ctx)
 		if err != nil {
 			return nil, err
 		}
 		r.AsyncMillis = float64(time.Since(t0).Microseconds()) / 1000
-		r.AsyncNetCalls = net.calls.Load() - calls0
+		r.AsyncNetCalls = net.Calls() - calls0
 		// Drain the pipeline before the next round so rounds don't overlap.
 		if _, err := asyncClient.WaitCheckpoint(ctx, handle); err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"slices"
 	"sort"
 
 	"blobcr/internal/cas"
@@ -239,24 +240,59 @@ func (c *Client) WriteVersion(ctx context.Context, blob uint64, writes map[uint6
 // content-addressed reference the commit took is returned, so refcounts stay
 // balanced.
 func (c *Client) WriteVersionStats(ctx context.Context, blob uint64, writes map[uint64][]byte, newSize uint64) (VersionInfo, CommitStats, error) {
+	return c.writeVersion(ctx, blob, nil, writes, newSize)
+}
+
+// WriteVersionFrom publishes a new version of base.Blob whose unwritten
+// content comes from the given published base snapshot rather than from the
+// blob's latest version. This is the rollback-safe COMMIT: after a
+// deployment rolls back to an older snapshot, a newer orphaned version (a
+// commit that was publishing when the failure hit) may still be the blob's
+// latest — basing the next commit on it would silently resurrect the very
+// writes the rollback undid. The mirroring module commits through this path,
+// passing the snapshot its device actually exposes.
+func (c *Client) WriteVersionFrom(ctx context.Context, base SnapshotRef, writes map[uint64][]byte, newSize uint64) (VersionInfo, error) {
+	info, _, err := c.WriteVersionStatsFrom(ctx, base, writes, newSize)
+	return info, err
+}
+
+// WriteVersionStatsFrom is WriteVersionFrom returning per-commit transfer
+// and dedup accounting.
+func (c *Client) WriteVersionStatsFrom(ctx context.Context, base SnapshotRef, writes map[uint64][]byte, newSize uint64) (VersionInfo, CommitStats, error) {
+	return c.writeVersion(ctx, base.Blob, &base, writes, newSize)
+}
+
+// writeVersion implements both commit flavors: with base == nil the new
+// version overlays the blob's latest published version; otherwise it
+// overlays the explicitly named base snapshot.
+func (c *Client) writeVersion(ctx context.Context, blob uint64, base *SnapshotRef, writes map[uint64][]byte, newSize uint64) (VersionInfo, CommitStats, error) {
 	var stats CommitStats
 	// Cleanup must run even when ctx is already cancelled.
 	cleanupCtx := context.WithoutCancel(ctx)
 	// Previous version (absent for the first write).
 	var prev VersionInfo
 	var chunkSize uint64
-	prevInfo, cs, err := c.Latest(ctx, blob)
-	switch {
-	case err == nil:
+	if base != nil {
+		prevInfo, cs, err := c.GetVersion(ctx, *base)
+		if err != nil {
+			return VersionInfo{}, stats, fmt.Errorf("blobseer: commit base %s: %w", *base, err)
+		}
 		prev = prevInfo
 		chunkSize = cs
-	case IsNotFound(err):
-		chunkSize, err = c.ChunkSize(ctx, blob)
-		if err != nil {
+	} else {
+		prevInfo, cs, err := c.Latest(ctx, blob)
+		switch {
+		case err == nil:
+			prev = prevInfo
+			chunkSize = cs
+		case IsNotFound(err):
+			chunkSize, err = c.ChunkSize(ctx, blob)
+			if err != nil {
+				return VersionInfo{}, stats, err
+			}
+		default:
 			return VersionInfo{}, stats, err
 		}
-	default:
-		return VersionInfo{}, stats, err
 	}
 	for idx, data := range writes {
 		if uint64(len(data)) > chunkSize {
@@ -364,24 +400,78 @@ func (c *Client) uploadPlaced(ctx context.Context, blob, firstID uint64, indices
 	}
 
 	leaves := make(map[uint64]meta.Leaf, len(writes))
+	// Write-path failover: alternates for chunks whose assigned provider dies
+	// mid-commit, fetched lazily on the first failure.
+	var alternates []string
 	for i, idx := range indices {
 		key := chunkstore.Key{Blob: blob, ID: firstID + uint64(i)}
 		data := writes[idx]
+		placed := make([]string, 0, len(placements[i]))
 		for _, providerAddr := range placements[i] {
-			pw := wire.NewBuffer(32 + len(data))
-			pw.PutU8(opChunkPut)
-			putChunkKey(pw, key)
-			pw.PutBytes(data)
-			if _, err := c.Net.Call(ctx, providerAddr, pw.Bytes()); err != nil {
-				return nil, fmt.Errorf("blobseer: put chunk to %s: %w", providerAddr, err)
+			addr := providerAddr
+			if err := c.putChunk(ctx, addr, key, data); err != nil {
+				// The provider died mid-commit: retry the PUT on an alternate
+				// live provider instead of failing the whole commit. The leaf
+				// records where the replica actually landed, so the read path
+				// (which already tries replicas in order) finds it. Every
+				// planned placement for this chunk — tried or not — is
+				// excluded, so the alternate never collides with a replica a
+				// later loop iteration will place: the chunk keeps its full
+				// count of *distinct* physical replicas.
+				used := append(append([]string(nil), placed...), placements[i]...)
+				addr, err = c.putChunkFailover(ctx, key, data, &alternates, used)
+				if err != nil {
+					return nil, err
+				}
 			}
 			stats.LogicalBytes += uint64(len(data))
 			stats.TransferBytes += uint64(len(data))
+			placed = append(placed, addr)
 		}
 		stats.Chunks++
-		leaves[idx] = meta.Leaf{Providers: placements[i], Key: key, Size: uint32(len(data))}
+		leaves[idx] = meta.Leaf{Providers: placed, Key: key, Size: uint32(len(data))}
 	}
 	return leaves, nil
+}
+
+// putChunk ships one (blob, id)-addressed chunk replica to one provider.
+func (c *Client) putChunk(ctx context.Context, addr string, key chunkstore.Key, data []byte) error {
+	pw := wire.NewBuffer(32 + len(data))
+	pw.PutU8(opChunkPut)
+	putChunkKey(pw, key)
+	pw.PutBytes(data)
+	if _, err := c.Net.Call(ctx, addr, pw.Bytes()); err != nil {
+		return fmt.Errorf("blobseer: put chunk to %s: %w", addr, err)
+	}
+	return nil
+}
+
+// putChunkFailover retries a failed chunk PUT on the registered providers
+// not yet holding a replica of this chunk, returning the address that took
+// it. *alternates caches the provider list across a commit's failovers.
+func (c *Client) putChunkFailover(ctx context.Context, key chunkstore.Key, data []byte, alternates *[]string, used []string) (string, error) {
+	if *alternates == nil {
+		ps, err := c.Providers(ctx)
+		if err != nil {
+			return "", err
+		}
+		*alternates = ps
+	}
+	var lastErr error
+	for _, addr := range *alternates {
+		if slices.Contains(used, addr) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		if err := c.putChunk(ctx, addr, key, data); err != nil {
+			lastErr = err
+			continue
+		}
+		return addr, nil
+	}
+	return "", fmt.Errorf("blobseer: chunk %v: no live provider took the replica: %w", key, lastErr)
 }
 
 // uploadDedup is the content-addressed upload path: each chunk is
@@ -407,24 +497,37 @@ func (c *Client) uploadDedup(ctx context.Context, indices []uint64, writes map[u
 	for _, idx := range indices {
 		data := writes[idx]
 		fp := cas.Sum(data)
-		targets := casPlacement(fp, providers, c.replication())
+		// Rendezvous ranks every provider for this content; the first
+		// `replication` live ones take the replicas. When a ranked provider
+		// dies mid-commit, the next-ranked one steps in (write-path
+		// failover) — the leaf and manifest record where replicas actually
+		// landed, so reads and refcount releases find them.
+		ranked := casPlacementRanked(fp, providers)
+		want := c.replication()
+		if want > len(ranked) {
+			want = len(ranked)
+		}
 		shipped := false
 		var taken []string // replicas that already hold a ref for this chunk
-		fail := func(err error) (map[uint64]meta.Leaf, []manifestEntry, error) {
-			c.releaseRefs(context.WithoutCancel(ctx), append(manifest, manifestEntry{fp: fp, providers: taken}))
-			return nil, nil, err
-		}
-		for _, addr := range targets {
+		var lastErr error
+		for next := 0; len(taken) < want && next < len(ranked); next++ {
+			addr := ranked[next]
+			if err := ctx.Err(); err != nil {
+				lastErr = err
+				break
+			}
 			held, err := c.casRef(ctx, addr, fp)
 			if err != nil {
-				return fail(err)
+				lastErr = err
+				continue // failover: try the next-ranked provider
 			}
 			if !held {
 				// The body crosses the network here even if a concurrent
 				// writer wins the race and the provider reports a duplicate,
 				// so it always counts as transferred.
 				if _, err := c.casPut(ctx, addr, fp, data); err != nil {
-					return fail(err)
+					lastErr = err
+					continue // no reference was taken; safe to move on
 				}
 				stats.TransferBytes += uint64(len(data))
 				shipped = true
@@ -432,24 +535,27 @@ func (c *Client) uploadDedup(ctx context.Context, indices []uint64, writes map[u
 			taken = append(taken, addr)
 			stats.LogicalBytes += uint64(len(data))
 		}
+		if len(taken) < want {
+			c.releaseRefs(context.WithoutCancel(ctx), append(manifest, manifestEntry{fp: fp, providers: taken}))
+			return nil, nil, fmt.Errorf("blobseer: chunk %d: placed %d of %d replicas: %w", idx, len(taken), want, lastErr)
+		}
 		stats.Chunks++
 		if !shipped {
 			stats.DedupChunks++
 		}
-		leaves[idx] = meta.Leaf{Providers: targets, Key: fp.Key(), Size: uint32(len(data))}
-		manifest = append(manifest, manifestEntry{index: idx, fp: fp, providers: targets})
+		leaves[idx] = meta.Leaf{Providers: taken, Key: fp.Key(), Size: uint32(len(data))}
+		manifest = append(manifest, manifestEntry{index: idx, fp: fp, providers: taken})
 	}
 	return leaves, manifest, nil
 }
 
-// casPlacement picks replication providers for a fingerprint by rendezvous
-// (highest-random-weight) hashing: every writer maps the same content to the
-// same providers, which is what makes dedup global, and the mapping is
-// stable when a provider leaves the rotation.
-func casPlacement(fp cas.Fingerprint, providers []string, replication int) []string {
-	if replication > len(providers) {
-		replication = len(providers)
-	}
+// casPlacementRanked returns every provider ordered by rendezvous
+// (highest-random-weight) preference for the fingerprint: every writer maps
+// the same content to the same ranking, which is what makes dedup global,
+// and the order is stable when a provider leaves the rotation. The first
+// `replication` entries are the canonical placement; the write-path
+// failover walks down the ranking when a preferred provider is unreachable.
+func casPlacementRanked(fp cas.Fingerprint, providers []string) []string {
 	type scored struct {
 		addr  string
 		score uint64
@@ -467,7 +573,7 @@ func casPlacement(fp cas.Fingerprint, providers []string, replication int) []str
 		}
 		return scores[i].addr < scores[j].addr
 	})
-	out := make([]string, replication)
+	out := make([]string, len(scores))
 	for i := range out {
 		out[i] = scores[i].addr
 	}

@@ -310,7 +310,7 @@ func TestMarkSweepGCComposesWithDedup(t *testing.T) {
 	// Leak one extra reference on version 2's content, the way a crashed
 	// commit would: refcount retire alone can no longer reclaim that body.
 	leakedFP := cas.Sum(chunkOf('c', chunk))
-	leakedAddr := casPlacement(leakedFP, providers, 1)[0]
+	leakedAddr := casPlacementRanked(leakedFP, providers)[0]
 	held, err := c.casRef(ctx, leakedAddr, leakedFP)
 	if err != nil || !held {
 		t.Fatalf("leak ref: held=%v err=%v", held, err)

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"blobcr/internal/blobseer"
 	"blobcr/internal/mirror"
@@ -25,6 +27,11 @@ var (
 	ErrUnknownNode    = errors.New("cloud: unknown node")
 	ErrNoSuchCkpt     = errors.New("cloud: unknown checkpoint")
 	ErrIncompleteCkpt = errors.New("cloud: checkpoint does not cover all instances")
+	// ErrNotDurable rejects rollback to a checkpoint whose member snapshots
+	// have not all published — with asynchronous commits, the newest recorded
+	// checkpoint may still be uploading, and restarting from it would pin the
+	// job to a snapshot set that can never be completed.
+	ErrNotDurable = errors.New("cloud: checkpoint not globally durable")
 )
 
 // Node is one compute node.
@@ -34,11 +41,11 @@ type Node struct {
 	DataAddr  string // the co-located BlobSeer data provider
 
 	proxy  *proxy.Proxy
-	failed bool
+	failed atomic.Bool
 }
 
 // Failed reports whether the node has fail-stopped.
-func (n *Node) Failed() bool { return n.failed }
+func (n *Node) Failed() bool { return n.failed.Load() }
 
 // SnapshotRef names one VM's disk snapshot in the repository. It is an
 // alias of blobseer.SnapshotRef — the one snapshot-identity type every
@@ -46,9 +53,17 @@ func (n *Node) Failed() bool { return n.failed }
 type SnapshotRef = blobseer.SnapshotRef
 
 // GlobalCheckpoint is a consistent set of per-instance snapshots.
+//
+// Durable reports whether every member's snapshot has published to the
+// repository. With asynchronous commits a checkpoint is recorded the moment
+// the coordinated capture line is established, while the uploads are still
+// in flight; only once every member resolves does the checkpoint become a
+// safe rollback target. The rollback planner (internal/supervisor) only ever
+// picks durable checkpoints.
 type GlobalCheckpoint struct {
 	ID        int
 	Snapshots map[string]SnapshotRef // VM id -> snapshot
+	Durable   bool
 }
 
 // Instance is one deployed VM with its node-side attachments.
@@ -72,7 +87,7 @@ type Deployment struct {
 
 // Cloud is the middleware instance.
 type Cloud struct {
-	net         *transport.InProc
+	net         transport.FaultNetwork
 	repo        *blobseer.Deployment
 	replication int
 	dedup       bool
@@ -96,6 +111,11 @@ type Config struct {
 	// pruning old checkpoints reclaims space by reference counting instead
 	// of a whole-repository sweep.
 	Dedup bool
+	// Net overrides the cloud's network. It must support fail-stop
+	// partitioning (FailNode injects failures through it); nil means a fresh
+	// in-process network. The availability experiments pass a
+	// latency-injecting wrapper so restarts cost real wall time.
+	Net transport.FaultNetwork
 }
 
 // New builds a cloud: an in-process network, a BlobSeer deployment with one
@@ -107,7 +127,10 @@ func New(cfg Config) (*Cloud, error) {
 	if cfg.MetaProviders < 1 {
 		cfg.MetaProviders = 1
 	}
-	net := transport.NewInProc()
+	net := cfg.Net
+	if net == nil {
+		net = transport.NewInProc()
+	}
 	repo, err := blobseer.Deploy(net, cfg.MetaProviders, cfg.Nodes)
 	if err != nil {
 		return nil, err
@@ -148,8 +171,9 @@ func (c *Cloud) Nodes() []*Node {
 	return append([]*Node(nil), c.nodes...)
 }
 
-// Network returns the cloud's network (examples wire extra services on it).
-func (c *Cloud) Network() *transport.InProc { return c.net }
+// Network returns the cloud's network (examples wire extra services on it;
+// the supervisor pings proxies and serves its event endpoint through it).
+func (c *Cloud) Network() transport.FaultNetwork { return c.net }
 
 // Repository exposes the BlobSeer deployment (space accounting, GC).
 func (c *Cloud) Repository() *blobseer.Deployment { return c.repo }
@@ -173,7 +197,7 @@ func (c *Cloud) UploadBaseImage(ctx context.Context, raw []byte, chunkSize uint6
 func (c *Cloud) healthyNodesLocked() []*Node {
 	var out []*Node
 	for _, n := range c.nodes {
-		if !n.failed {
+		if !n.Failed() {
 			out = append(out, n)
 		}
 	}
@@ -200,8 +224,23 @@ func (c *Cloud) placeLocked(avoid map[string]bool) (*Node, error) {
 	return n, nil
 }
 
-// deployOne attaches, boots and registers one instance from a snapshot.
-func (c *Cloud) deployOne(ctx context.Context, vmID string, node *Node, ref SnapshotRef, vmCfg vm.Config, resumeCkpt bool) (*Instance, error) {
+// tokenLocked mints a per-VM authentication token. Caller holds c.mu (the
+// rng is guarded by it).
+func (c *Cloud) tokenLocked() string {
+	return fmt.Sprintf("tok-%08x", c.rng.Uint32())
+}
+
+// placement is one planned instance deployment: the bookkeeping decided
+// under c.mu, executed (network I/O: attach, boot, register) outside it.
+type placement struct {
+	node  *Node
+	token string
+}
+
+// deployOne attaches, boots and registers one instance from a snapshot on
+// the planned node. It performs network I/O and must not be called holding
+// c.mu — placement and token assignment happen under the lock beforehand.
+func (c *Cloud) deployOne(ctx context.Context, vmID string, pl placement, ref SnapshotRef, vmCfg vm.Config, resumeCkpt bool) (*Instance, error) {
 	cl := c.Client()
 	var mod *mirror.Module
 	var err error
@@ -217,34 +256,49 @@ func (c *Cloud) deployOne(ctx context.Context, vmID string, node *Node, ref Snap
 	if err := inst.Boot(); err != nil {
 		return nil, err
 	}
-	token := fmt.Sprintf("tok-%08x", c.rng.Uint32())
-	node.proxy.Register(vmID, token, inst, mod)
+	pl.node.proxy.Register(vmID, pl.token, inst, mod)
 	return &Instance{
 		VMID:   vmID,
-		Node:   node,
+		Node:   pl.node,
 		VM:     inst,
 		Mirror: mod,
-		Proxy:  &proxy.Client{Net: c.net, Addr: node.ProxyAddr, VMID: vmID, Token: token},
+		Proxy:  &proxy.Client{Net: c.net, Addr: pl.node.ProxyAddr, VMID: vmID, Token: pl.token},
 	}, nil
 }
 
-// Deploy boots n instances from the same base image (multi-deployment),
-// placing them round-robin across healthy nodes.
-func (c *Cloud) Deploy(ctx context.Context, n int, base SnapshotRef, vmCfg vm.Config) (*Deployment, error) {
+// plan picks nodes and tokens for n instances under the lock, preferring
+// nodes not in the avoid set.
+func (c *Cloud) plan(n int, avoid map[string]bool) ([]placement, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.nextDep++
-	dep := &Deployment{
-		ID:   fmt.Sprintf("dep-%d", c.nextDep),
-		Base: base,
-	}
+	out := make([]placement, 0, n)
 	for i := 0; i < n; i++ {
-		node, err := c.placeLocked(nil)
+		node, err := c.placeLocked(avoid)
 		if err != nil {
 			return nil, err
 		}
+		out = append(out, placement{node: node, token: c.tokenLocked()})
+	}
+	return out, nil
+}
+
+// Deploy boots n instances from the same base image (multi-deployment),
+// placing them round-robin across healthy nodes. The lock covers only the
+// placement bookkeeping; the per-instance attach/boot network I/O runs
+// outside it.
+func (c *Cloud) Deploy(ctx context.Context, n int, base SnapshotRef, vmCfg vm.Config) (*Deployment, error) {
+	c.mu.Lock()
+	c.nextDep++
+	id := fmt.Sprintf("dep-%d", c.nextDep)
+	c.mu.Unlock()
+	plans, err := c.plan(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	dep := &Deployment{ID: id, Base: base}
+	for i := 0; i < n; i++ {
 		vmID := fmt.Sprintf("%s-vm-%03d", dep.ID, i)
-		inst, err := c.deployOne(ctx, vmID, node, base, vmCfg, false)
+		inst, err := c.deployOne(ctx, vmID, plans[i], base, vmCfg, false)
 		if err != nil {
 			return nil, fmt.Errorf("cloud: deploy %s: %w", vmID, err)
 		}
@@ -256,7 +310,9 @@ func (c *Cloud) Deploy(ctx context.Context, n int, base SnapshotRef, vmCfg vm.Co
 // RecordCheckpoint stores the mapping between a completed global checkpoint
 // and the per-instance snapshots, as the middleware in Section 3.2 does. It
 // fails if the snapshot set does not cover every instance (an incomplete
-// checkpoint cannot be rolled back to).
+// checkpoint cannot be rolled back to). The snapshots are published refs —
+// callers resolve their commit handles first — so the checkpoint is durable
+// from the start.
 func (c *Cloud) RecordCheckpoint(dep *Deployment, snaps map[string]SnapshotRef) (int, error) {
 	dep.mu.Lock()
 	defer dep.mu.Unlock()
@@ -266,7 +322,7 @@ func (c *Cloud) RecordCheckpoint(dep *Deployment, snaps map[string]SnapshotRef) 
 		}
 	}
 	id := len(dep.checkpoints) + 1
-	cp := GlobalCheckpoint{ID: id, Snapshots: make(map[string]SnapshotRef, len(snaps))}
+	cp := GlobalCheckpoint{ID: id, Snapshots: make(map[string]SnapshotRef, len(snaps)), Durable: true}
 	for k, v := range snaps {
 		cp.Snapshots[k] = v
 	}
@@ -274,21 +330,126 @@ func (c *Cloud) RecordCheckpoint(dep *Deployment, snaps map[string]SnapshotRef) 
 	return id, nil
 }
 
-// Checkpoints returns the recorded global checkpoints, oldest first.
+// RecordPendingCheckpoint registers a provisional global checkpoint whose
+// member snapshots are still publishing: the coordinated capture line is
+// established but the async commits are in flight. ResolveSnapshot fills in
+// each member's ref as its commit publishes, and MarkDurable promotes the
+// checkpoint to a rollback target once all have. Until then the checkpoint
+// is visible in the history but Restart refuses it.
+func (c *Cloud) RecordPendingCheckpoint(dep *Deployment) int {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	id := len(dep.checkpoints) + 1
+	dep.checkpoints = append(dep.checkpoints, GlobalCheckpoint{
+		ID:        id,
+		Snapshots: make(map[string]SnapshotRef, len(dep.Instances)),
+	})
+	return id
+}
+
+// findLocked returns the checkpoint record with the given id. Caller holds
+// dep.mu.
+func (dep *Deployment) findLocked(ckptID int) *GlobalCheckpoint {
+	for i := range dep.checkpoints {
+		if dep.checkpoints[i].ID == ckptID {
+			return &dep.checkpoints[i]
+		}
+	}
+	return nil
+}
+
+// clone deep-copies the record. Every checkpoint that escapes dep.mu must
+// be a clone: ResolveSnapshot keeps mutating the live Snapshots map while
+// a provisional checkpoint's commits publish, and a shared map would race
+// readers (and leak across the Deployments a restart creates).
+func (cp GlobalCheckpoint) clone() GlobalCheckpoint {
+	out := cp
+	out.Snapshots = make(map[string]SnapshotRef, len(cp.Snapshots))
+	for k, v := range cp.Snapshots {
+		out.Snapshots[k] = v
+	}
+	return out
+}
+
+// ResolveSnapshot records that vmID's snapshot for the provisional
+// checkpoint has published.
+func (dep *Deployment) ResolveSnapshot(ckptID int, vmID string, ref SnapshotRef) error {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	cp := dep.findLocked(ckptID)
+	if cp == nil {
+		return fmt.Errorf("%w: %d", ErrNoSuchCkpt, ckptID)
+	}
+	cp.Snapshots[vmID] = ref
+	return nil
+}
+
+// MarkDurable promotes a provisional checkpoint to a rollback target. It
+// fails if any current member's snapshot is still unresolved.
+func (dep *Deployment) MarkDurable(ckptID int) error {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	cp := dep.findLocked(ckptID)
+	if cp == nil {
+		return fmt.Errorf("%w: %d", ErrNoSuchCkpt, ckptID)
+	}
+	for _, inst := range dep.Instances {
+		if _, ok := cp.Snapshots[inst.VMID]; !ok {
+			return fmt.Errorf("%w: missing %s", ErrIncompleteCkpt, inst.VMID)
+		}
+	}
+	cp.Durable = true
+	return nil
+}
+
+// Checkpoints returns deep copies of the recorded global checkpoints,
+// oldest first.
 func (dep *Deployment) Checkpoints() []GlobalCheckpoint {
 	dep.mu.Lock()
 	defer dep.mu.Unlock()
-	return append([]GlobalCheckpoint(nil), dep.checkpoints...)
+	out := make([]GlobalCheckpoint, len(dep.checkpoints))
+	for i, cp := range dep.checkpoints {
+		out[i] = cp.clone()
+	}
+	return out
 }
 
-// LatestCheckpoint returns the most recent recorded global checkpoint.
+// LatestCheckpoint returns the most recent recorded global checkpoint,
+// durable or not.
 func (dep *Deployment) LatestCheckpoint() (GlobalCheckpoint, bool) {
 	dep.mu.Lock()
 	defer dep.mu.Unlock()
 	if len(dep.checkpoints) == 0 {
 		return GlobalCheckpoint{}, false
 	}
-	return dep.checkpoints[len(dep.checkpoints)-1], true
+	return dep.checkpoints[len(dep.checkpoints)-1].clone(), true
+}
+
+// LatestDurableCheckpoint returns the most recent checkpoint whose every
+// member snapshot has published — the durability watermark, and the only
+// safe rollback target while commits are in flight.
+func (dep *Deployment) LatestDurableCheckpoint() (GlobalCheckpoint, bool) {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	for i := len(dep.checkpoints) - 1; i >= 0; i-- {
+		if dep.checkpoints[i].Durable {
+			return dep.checkpoints[i].clone(), true
+		}
+	}
+	return GlobalCheckpoint{}, false
+}
+
+// DurableWatermark returns the id of the newest durable checkpoint, or 0.
+// It is cheap — no snapshot-map copy — because pollers sit on it.
+func (dep *Deployment) DurableWatermark() int {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	for i := len(dep.checkpoints) - 1; i >= 0; i-- {
+		if dep.checkpoints[i].Durable {
+			return dep.checkpoints[i].ID
+		}
+	}
+	return 0
 }
 
 // FailNode fail-stops a node: all hosted instances die and the co-located
@@ -301,7 +462,7 @@ func (c *Cloud) FailNode(ctx context.Context, name string) error {
 		if n.Name != name {
 			continue
 		}
-		n.failed = true
+		n.failed.Store(true)
 		c.net.Partition(n.ProxyAddr)
 		c.net.Partition(n.DataAddr)
 		// Take the dead data provider out of the placement rotation so
@@ -319,7 +480,7 @@ func (c *Cloud) FailNode(ctx context.Context, name string) error {
 func (c *Cloud) KillDeploymentInstancesOn(dep *Deployment) []string {
 	var dead []string
 	for _, inst := range dep.Instances {
-		if inst.Node.failed && inst.VM.State() != vm.Stopped {
+		if inst.Node.Failed() && inst.VM.State() != vm.Stopped {
 			inst.VM.Kill()
 			dead = append(dead, inst.VMID)
 		}
@@ -327,50 +488,193 @@ func (c *Cloud) KillDeploymentInstancesOn(dep *Deployment) []string {
 	return dead
 }
 
+// rollbackTarget returns the checkpoint to roll back to, requiring it to be
+// globally durable.
+func (dep *Deployment) rollbackTarget(ckptID int) (GlobalCheckpoint, error) {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	cp := dep.findLocked(ckptID)
+	if cp == nil {
+		return GlobalCheckpoint{}, fmt.Errorf("%w: %d", ErrNoSuchCkpt, ckptID)
+	}
+	if !cp.Durable {
+		return GlobalCheckpoint{}, fmt.Errorf("%w: %d", ErrNotDurable, ckptID)
+	}
+	return cp.clone(), nil
+}
+
 // Restart re-deploys every instance of dep from the given recorded global
 // checkpoint, each on a healthy node different from where it previously ran
 // (the paper redeploys on different nodes to avoid cache effects; here it
-// also sidesteps failed nodes). The old instances are discarded. The
+// also sidesteps failed nodes). The checkpoint must be globally durable —
+// with async commits, a newer recorded checkpoint may still be publishing
+// and is refused with ErrNotDurable. The old instances are discarded. The
 // returned deployment reuses the same checkpoint history.
+//
+// c.mu covers only the placement bookkeeping: the per-instance teardown and
+// redeploy network I/O runs outside it, so a slow redeploy cannot stall
+// unrelated cloud operations.
 func (c *Cloud) Restart(ctx context.Context, dep *Deployment, ckptID int) (*Deployment, error) {
-	dep.mu.Lock()
-	var target *GlobalCheckpoint
-	for i := range dep.checkpoints {
-		if dep.checkpoints[i].ID == ckptID {
-			target = &dep.checkpoints[i]
-			break
-		}
-	}
-	dep.mu.Unlock()
-	if target == nil {
-		return nil, fmt.Errorf("%w: %d", ErrNoSuchCkpt, ckptID)
+	target, err := dep.rollbackTarget(ckptID)
+	if err != nil {
+		return nil, err
 	}
 
+	// Placement bookkeeping under the lock; everything else outside it.
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	plans := make([]placement, 0, len(dep.Instances))
+	for _, old := range dep.Instances {
+		node, err := c.placeLocked(map[string]bool{old.Node.Name: true})
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		plans = append(plans, placement{node: node, token: c.tokenLocked()})
+	}
+	c.mu.Unlock()
+
 	newDep := &Deployment{
 		ID:          dep.ID,
 		Base:        dep.Base,
 		checkpoints: dep.Checkpoints(),
 	}
-	for _, old := range dep.Instances {
+	for i, old := range dep.Instances {
 		// Tear down the previous incarnation.
 		old.VM.Kill()
 		old.Node.proxy.Unregister(old.VMID)
 
-		ref := target.Snapshots[old.VMID]
-		avoid := map[string]bool{old.Node.Name: true}
-		node, err := c.placeLocked(avoid)
+		inst, err := c.deployOne(ctx, old.VMID, plans[i], target.Snapshots[old.VMID], vm.Config{BlockSize: 512}, true)
 		if err != nil {
-			return nil, err
-		}
-		inst, err := c.deployOne(ctx, old.VMID, node, ref, vm.Config{BlockSize: 512}, true)
-		if err != nil {
+			// Unwind this attempt's instances: a retry redeploys every
+			// member from scratch, and abandoned VMs must not linger booted
+			// and registered on their nodes.
+			teardown(newDep.Instances)
 			return nil, fmt.Errorf("cloud: restart %s: %w", old.VMID, err)
 		}
 		newDep.Instances = append(newDep.Instances, inst)
 	}
 	return newDep, nil
+}
+
+// teardown kills and unregisters instances a failed restart attempt had
+// already deployed.
+func teardown(instances []*Instance) {
+	for _, inst := range instances {
+		inst.VM.Kill()
+		inst.Node.proxy.Unregister(inst.VMID)
+	}
+}
+
+// inPlaceDrainTimeout bounds how long PartialRestart waits for a healthy
+// member's in-flight commits before giving up on the in-place rollback and
+// re-deploying it like a failed member.
+const inPlaceDrainTimeout = 5 * time.Second
+
+// RestartStats reports how a PartialRestart recovered each member.
+type RestartStats struct {
+	Redeployed int // members re-deployed from their snapshots on other nodes
+	InPlace    int // members rolled back in place (warm local cache kept)
+}
+
+// PartialRestart rolls dep back to the given durable checkpoint, but unlike
+// Restart it tears down only the members that actually died: instances on
+// failed nodes are re-deployed from their snapshots on healthy spare nodes,
+// while instances on healthy nodes roll back in place — the VM restarts on
+// its own node from its mirror module reverted to the snapshot
+// (mirror.RollbackTo), keeping the module's warm local cache instead of
+// re-fetching the image over the network. For single-node failures this
+// makes time-to-resume proportional to the failed fraction of the
+// deployment, not its size.
+//
+// A healthy member whose commit pipeline will not drain within
+// inPlaceDrainTimeout (e.g. an upload wedged on a dead provider) falls back
+// to the re-deploy path.
+func (c *Cloud) PartialRestart(ctx context.Context, dep *Deployment, ckptID int) (*Deployment, RestartStats, error) {
+	var stats RestartStats
+	target, err := dep.rollbackTarget(ckptID)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Placement bookkeeping under the lock: failed members get a healthy
+	// node (sparing their old one); healthy members get no plan — they stay.
+	c.mu.Lock()
+	plans := make([]*placement, len(dep.Instances))
+	for i, old := range dep.Instances {
+		if !old.Node.Failed() {
+			continue
+		}
+		node, err := c.placeLocked(map[string]bool{old.Node.Name: true})
+		if err != nil {
+			c.mu.Unlock()
+			return nil, stats, err
+		}
+		plans[i] = &placement{node: node, token: c.tokenLocked()}
+	}
+	c.mu.Unlock()
+
+	newDep := &Deployment{
+		ID:          dep.ID,
+		Base:        dep.Base,
+		checkpoints: dep.Checkpoints(),
+	}
+	// Redeployed (not in-place) members of this attempt, torn down on
+	// failure: an in-place member stays a valid instance of the old
+	// deployment, but an abandoned redeploy would linger booted and
+	// registered on its node.
+	var redeployed []*Instance
+	for i, old := range dep.Instances {
+		ref := target.Snapshots[old.VMID]
+		if plans[i] == nil {
+			if err := c.rollbackInPlace(ctx, old, ref); err == nil {
+				stats.InPlace++
+				newDep.Instances = append(newDep.Instances, old)
+				continue
+			}
+			// In-place rollback did not work (commits wedged in flight, or
+			// the reboot failed): fall back to a re-deploy like a dead
+			// member.
+			pl, perr := c.plan(1, map[string]bool{old.Node.Name: true})
+			if perr != nil {
+				teardown(redeployed)
+				return nil, stats, perr
+			}
+			plans[i] = &pl[0]
+		}
+		old.VM.Kill()
+		old.Node.proxy.Unregister(old.VMID)
+		inst, err := c.deployOne(ctx, old.VMID, *plans[i], ref, vm.Config{BlockSize: 512}, true)
+		if err != nil {
+			teardown(redeployed)
+			return nil, stats, fmt.Errorf("cloud: partial restart %s: %w", old.VMID, err)
+		}
+		stats.Redeployed++
+		redeployed = append(redeployed, inst)
+		newDep.Instances = append(newDep.Instances, inst)
+	}
+	return newDep, stats, nil
+}
+
+// rollbackInPlace reverts one healthy member to the snapshot without
+// re-deploying it: kill the VM (its volatile state is post-checkpoint), roll
+// the mirror module back, reboot. The proxy registration, token and node
+// stay as they are.
+func (c *Cloud) rollbackInPlace(ctx context.Context, inst *Instance, ref SnapshotRef) error {
+	deadline := time.Now().Add(inPlaceDrainTimeout)
+	for inst.Mirror.PendingCommits() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cloud: %s: %w", inst.VMID, mirror.ErrCommitsInFlight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	inst.VM.Kill()
+	if err := inst.Mirror.RollbackTo(ctx, ref); err != nil {
+		return err
+	}
+	return inst.VM.Boot()
 }
 
 // Prune retires all snapshot versions older than the given recorded global
@@ -380,11 +684,9 @@ func (c *Cloud) Restart(ctx context.Context, dep *Deployment, ckptID int) (*Depl
 func (c *Cloud) Prune(ctx context.Context, dep *Deployment, keepFromCkptID int) (blobseer.GCStats, error) {
 	dep.mu.Lock()
 	var keep *GlobalCheckpoint
-	for i := range dep.checkpoints {
-		if dep.checkpoints[i].ID == keepFromCkptID {
-			keep = &dep.checkpoints[i]
-			break
-		}
+	if cp := dep.findLocked(keepFromCkptID); cp != nil {
+		c := cp.clone()
+		keep = &c
 	}
 	dep.mu.Unlock()
 	if keep == nil {
@@ -396,7 +698,20 @@ func (c *Cloud) Prune(ctx context.Context, dep *Deployment, keepFromCkptID int) 
 			return blobseer.GCStats{}, err
 		}
 	}
-	return cl.GC(ctx, c.repo.DataAddrs)
+	// Sweep only live providers: a fail-stopped node's co-located provider is
+	// unreachable, and whatever it held is already lost to the deployment.
+	return cl.GC(ctx, c.liveDataAddrs())
+}
+
+// liveDataAddrs returns the data providers on non-failed nodes.
+func (c *Cloud) liveDataAddrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, n := range c.healthyNodesLocked() {
+		out = append(out, n.DataAddr)
+	}
+	return out
 }
 
 // Close shuts the cloud down.

@@ -3,6 +3,7 @@ package cloud
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -322,5 +323,147 @@ func TestReplicationSurvivesNodeLoss(t *testing.T) {
 	got, err := newDep.Instances[0].VM.FS().ReadFile("/important")
 	if err != nil || string(got) != "replicated state" {
 		t.Errorf("state after node loss: %q, %v", got, err)
+	}
+}
+
+func TestDurabilityWatermark(t *testing.T) {
+	c := newCloud(t, 3)
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 2, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.DurableWatermark() != 0 {
+		t.Errorf("fresh deployment watermark = %d", dep.DurableWatermark())
+	}
+
+	// A provisional checkpoint is recorded but refused as a rollback target
+	// until every member resolves.
+	id := c.RecordPendingCheckpoint(dep)
+	if _, err := c.Restart(ctx, dep, id); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Restart to pending checkpoint: %v, want ErrNotDurable", err)
+	}
+	if _, _, err := c.PartialRestart(ctx, dep, id); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("PartialRestart to pending checkpoint: %v, want ErrNotDurable", err)
+	}
+	if err := dep.MarkDurable(id); !errors.Is(err, ErrIncompleteCkpt) {
+		t.Fatalf("MarkDurable with unresolved members: %v, want ErrIncompleteCkpt", err)
+	}
+
+	// Resolve the members (with real published snapshots) and promote.
+	for _, inst := range dep.Instances {
+		ref, err := inst.Proxy.RequestCheckpoint(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.ResolveSnapshot(id, inst.VMID, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dep.MarkDurable(id); err != nil {
+		t.Fatal(err)
+	}
+	if dep.DurableWatermark() != id {
+		t.Errorf("watermark = %d, want %d", dep.DurableWatermark(), id)
+	}
+	if _, err := c.Restart(ctx, dep, id); err != nil {
+		t.Fatalf("Restart to durable checkpoint: %v", err)
+	}
+
+	// The watermark skips over a newer still-pending checkpoint.
+	id2 := c.RecordPendingCheckpoint(dep)
+	if dep.DurableWatermark() != id {
+		t.Errorf("watermark advanced to pending checkpoint %d", id2)
+	}
+	cp, ok := dep.LatestDurableCheckpoint()
+	if !ok || cp.ID != id {
+		t.Errorf("LatestDurableCheckpoint = %+v, %v", cp, ok)
+	}
+}
+
+func TestPartialRestartRedeploysOnlyFailedMembers(t *testing.T) {
+	c := newCloud(t, 4)
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 3, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := make(map[string]SnapshotRef)
+	for i, inst := range dep.Instances {
+		inst.VM.FS().WriteFile("/progress", []byte(fmt.Sprintf("ckpt-rank-%d", i)))
+		ref, err := inst.Proxy.RequestCheckpoint(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[inst.VMID] = ref
+	}
+	ckptID, err := c.RecordCheckpoint(dep, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint damage everywhere, then one node dies.
+	for _, inst := range dep.Instances {
+		inst.VM.FS().WriteFile("/progress", []byte("dirty"))
+		inst.VM.FS().WriteFile("/junk", []byte("post-checkpoint"))
+	}
+	victim := dep.Instances[1].Node
+	if err := c.FailNode(ctx, victim.Name); err != nil {
+		t.Fatal(err)
+	}
+	c.KillDeploymentInstancesOn(dep)
+
+	healthy0 := dep.Instances[0]
+	newDep, stats, err := c.PartialRestart(ctx, dep, ckptID)
+	if err != nil {
+		t.Fatalf("PartialRestart: %v", err)
+	}
+	if stats.Redeployed != 1 || stats.InPlace != 2 {
+		t.Errorf("stats = %+v, want 1 redeployed / 2 in place", stats)
+	}
+	for i, inst := range newDep.Instances {
+		if inst.VM.State() != vm.Running {
+			t.Errorf("%s not running", inst.VMID)
+		}
+		if i != 1 {
+			// Healthy members keep their node, instance and proxy binding.
+			if inst != dep.Instances[i] {
+				t.Errorf("healthy member %d was replaced", i)
+			}
+		} else {
+			if inst.Node == victim {
+				t.Error("failed member redeployed on its dead node")
+			}
+			if inst == dep.Instances[i] {
+				t.Error("failed member not redeployed")
+			}
+		}
+		got, err := inst.VM.FS().ReadFile("/progress")
+		if err != nil || string(got) != fmt.Sprintf("ckpt-rank-%d", i) {
+			t.Errorf("%s progress after partial restart = %q, %v", inst.VMID, got, err)
+		}
+		if _, err := inst.VM.FS().ReadFile("/junk"); err == nil {
+			t.Errorf("%s: post-checkpoint file survived the in-place rollback", inst.VMID)
+		}
+	}
+	if newDep.Instances[0].Node != healthy0.Node {
+		t.Error("in-place member changed node")
+	}
+
+	// The partially restarted deployment checkpoints and fully restarts fine.
+	snaps2 := make(map[string]SnapshotRef)
+	for _, inst := range newDep.Instances {
+		inst.VM.FS().WriteFile("/progress", []byte("after"))
+		ref, err := inst.Proxy.RequestCheckpoint(ctx)
+		if err != nil {
+			t.Fatalf("%s checkpoint after partial restart: %v", inst.VMID, err)
+		}
+		snaps2[inst.VMID] = ref
+	}
+	id2, err := c.RecordCheckpoint(newDep, snaps2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Restart(ctx, newDep, id2); err != nil {
+		t.Fatalf("full restart after partial restart: %v", err)
 	}
 }

@@ -390,6 +390,22 @@ func (j *Job) Restart(ctx context.Context, ckptID int, body func(r *Rank) error)
 	return j.run(body, true)
 }
 
+// RestartPartial rolls the job back like Restart, but tears down only the
+// members that actually died: instances on failed nodes are redeployed from
+// their snapshots elsewhere, while instances on healthy nodes roll back in
+// place, keeping their warm local chunk caches (cloud.PartialRestart). For
+// single-node failures this makes time-to-resume proportional to the failed
+// fraction of the job, not its size.
+func (j *Job) RestartPartial(ctx context.Context, ckptID int, body func(r *Rank) error) error {
+	newDep, _, err := j.cloud.PartialRestart(ctx, j.dep, ckptID)
+	if err != nil {
+		return err
+	}
+	j.dep = newDep
+	j.resetBarriers()
+	return j.run(body, true)
+}
+
 // vmBarrier coordinates the ranks sharing one VM so exactly one disk
 // snapshot per VM is taken per global checkpoint, after all co-located
 // ranks have dumped their state.

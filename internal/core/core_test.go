@@ -342,3 +342,61 @@ func blcrRegs(pc uint64) (r blcr.Registers) {
 	r.PC = pc
 	return
 }
+
+func TestAppLevelPartialRestart(t *testing.T) {
+	c := newCloud(t, 4)
+	base := baseImage(t, c, 512*1024)
+	job, err := NewJob(ctx, c, base, JobConfig{Instances: 3, Mode: AppLevel, VMConfig: vmCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ckptID int
+	var mu sync.Mutex
+	err = job.Run(func(r *Rank) error {
+		id, err := r.Checkpoint(ctx, func(fs *guestfs.FS) error {
+			return fs.WriteFile(r.StatePath(), []byte{42})
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		ckptID = id
+		mu.Unlock()
+		return r.FS().WriteFile("/scratch.tmp", []byte("post-ckpt"))
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// One member dies; the healthy members must roll back in place.
+	before := append([]*cloud.Instance(nil), job.Deployment().Instances...)
+	if err := c.FailNode(ctx, before[1].Node.Name); err != nil {
+		t.Fatal(err)
+	}
+	c.KillDeploymentInstancesOn(job.Deployment())
+
+	err = job.RestartPartial(ctx, ckptID, func(r *Rank) error {
+		if !r.Restored {
+			return fmt.Errorf("rank %d: Restored flag not set", r.Comm.Rank())
+		}
+		buf, err := r.FS().ReadFile(r.StatePath())
+		if err != nil || len(buf) != 1 || buf[0] != 42 {
+			return fmt.Errorf("rank %d: restored state %v, %v", r.Comm.Rank(), buf, err)
+		}
+		if _, err := r.FS().ReadFile("/scratch.tmp"); err == nil {
+			return fmt.Errorf("rank %d: post-checkpoint file survived in-place rollback", r.Comm.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RestartPartial: %v", err)
+	}
+	after := job.Deployment().Instances
+	if after[0] != before[0] || after[2] != before[2] {
+		t.Error("healthy members were replaced instead of rolled back in place")
+	}
+	if after[1] == before[1] || after[1].Node == before[1].Node {
+		t.Error("failed member was not redeployed on a spare node")
+	}
+}

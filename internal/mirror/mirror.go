@@ -38,6 +38,15 @@ import (
 // ErrNoCheckpointImage is returned by Commit before Clone has been called.
 var ErrNoCheckpointImage = errors.New("mirror: no checkpoint image (call Clone first)")
 
+// ErrCommitsInFlight is returned by RollbackTo while captures are still
+// travelling through the commit pipeline: rolling back under them would race
+// the published chain.
+var ErrCommitsInFlight = errors.New("mirror: commits in flight")
+
+// ErrBadRollback is returned by RollbackTo for snapshots the module cannot
+// roll back to in place (a different blob than its own chain).
+var ErrBadRollback = errors.New("mirror: snapshot is not on this module's chain")
+
 // DefaultPipelineDepth bounds how many commits may be in flight per module:
 // the capture step blocks once this many snapshots are queued or uploading,
 // which is the backpressure that keeps a slow repository from accumulating
@@ -55,9 +64,18 @@ type Module struct {
 	chunkSize uint64
 	size      uint64 // virtual disk size in bytes
 
-	local map[uint64][]byte // chunk index -> locally available content
-	dirty map[uint64]bool   // modified since the last Commit
-	trace []uint64          // first-access order (for prefetch hints)
+	// base is the published snapshot the next commit overlays: the chain this
+	// module actually exposes, advanced on every successful commit and moved
+	// by RollbackTo. Committing relative to it — rather than to the blob's
+	// latest version — is what keeps a rollback from resurrecting writes held
+	// in a newer orphaned version (e.g. a commit that was still publishing
+	// when its deployment failed over).
+	base blobseer.SnapshotRef
+
+	local   map[uint64][]byte // chunk index -> locally available content
+	dirty   map[uint64]bool   // modified since the last Commit
+	written map[uint64]bool   // ever locally modified: dropped on RollbackTo
+	trace   []uint64          // first-access order (for prefetch hints)
 
 	remoteReads uint64 // chunks fetched from the repository
 	localHits   uint64
@@ -97,6 +115,7 @@ func Attach(ctx context.Context, c *blobseer.Client, ref blobseer.SnapshotRef) (
 		size:          info.Size,
 		local:         make(map[uint64][]byte),
 		dirty:         make(map[uint64]bool),
+		written:       make(map[uint64]bool),
 		pipelineDepth: DefaultPipelineDepth,
 	}, nil
 }
@@ -112,6 +131,7 @@ func AttachCheckpoint(ctx context.Context, c *blobseer.Client, ref blobseer.Snap
 	}
 	m.ckptBlob = ref.Blob
 	m.hasCkpt = true
+	m.base = ref
 	return m, nil
 }
 
@@ -226,6 +246,7 @@ func (m *Module) WriteAt(p []byte, off int64) (int, error) {
 		if !m.dirty[idx] {
 			m.dirty[idx] = true
 		}
+		m.written[idx] = true
 		written += int(n)
 	}
 	return written, nil
@@ -246,6 +267,48 @@ func (m *Module) Clone(ctx context.Context) error {
 	}
 	m.ckptBlob = ckpt
 	m.hasCkpt = true
+	// The clone's version 0 is the backing snapshot's content: the first
+	// commit overlays it.
+	m.base = blobseer.SnapshotRef{Blob: ckpt, Version: 0}
+	return nil
+}
+
+// RollbackTo reverts the module in place to the given published snapshot of
+// its own chain — the checkpoint image (any version this module committed)
+// or the backing source itself. Every chunk locally modified since attach is
+// dropped (its content may differ in the rollback target) and the dirty set
+// is cleared, while chunks that were only ever read stay cached: their
+// content is identical in every version this module produced, so the warm
+// cache survives the rollback. Subsequent commits overlay the rollback
+// target, never a newer orphaned version. Partial restart uses this to roll
+// healthy members back without re-deploying them.
+//
+// RollbackTo fails with ErrCommitsInFlight while captures are still in the
+// commit pipeline; callers drain (or time out and re-deploy) first.
+func (m *Module) RollbackTo(ctx context.Context, ref blobseer.SnapshotRef) error {
+	info, chunkSize, err := m.client.GetVersion(ctx, ref)
+	if err != nil {
+		return fmt.Errorf("mirror: rollback to %s: %w", ref, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.inFlight > 0 {
+		return fmt.Errorf("%w: %d pending", ErrCommitsInFlight, m.inFlight)
+	}
+	if !(m.hasCkpt && ref.Blob == m.ckptBlob) && ref != m.src {
+		return fmt.Errorf("%w: %s", ErrBadRollback, ref)
+	}
+	if chunkSize != m.chunkSize {
+		return fmt.Errorf("mirror: rollback to %s: chunk size %d != %d", ref, chunkSize, m.chunkSize)
+	}
+	for idx := range m.written {
+		delete(m.local, idx)
+	}
+	m.written = make(map[uint64]bool)
+	m.dirty = make(map[uint64]bool)
+	m.src = ref
+	m.base = ref
+	m.size = info.Size
 	return nil
 }
 
@@ -421,7 +484,14 @@ func (m *Module) commitWorker() {
 
 // runCommit publishes one captured dirty set.
 func (m *Module) runCommit(pc *PendingCommit) {
-	info, cs, err := m.client.WriteVersionStats(pc.ctx, m.ckptBlob, pc.writes, pc.size)
+	// Overlay the module's own chain (the last snapshot it published, or the
+	// rollback target), not the blob's latest version: after a rollback the
+	// latest version may be an orphan holding exactly the writes that were
+	// rolled back.
+	m.mu.Lock()
+	base := m.base
+	m.mu.Unlock()
+	info, cs, err := m.client.WriteVersionStatsFrom(pc.ctx, base, pc.writes, pc.size)
 	m.mu.Lock()
 	m.inFlight--
 	if err != nil {
@@ -451,6 +521,7 @@ func (m *Module) runCommit(pc *PendingCommit) {
 		m.commits++
 		pc.info = info
 		pc.ref = blobseer.SnapshotRef{Blob: m.ckptBlob, Version: info.Version}
+		m.base = pc.ref
 	}
 	m.mu.Unlock()
 	pc.writes = nil // release the capture

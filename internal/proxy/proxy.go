@@ -27,6 +27,13 @@
 //
 //	request:  STATUS <vm-id> <token>
 //	response: OK <state> <dirty-chunks> <pending-commits> | ERR <message>
+//
+//	request:  PING
+//	response: OK PONG <registered-instances>
+//
+// PING is the liveness probe of the failure detector (internal/supervisor):
+// it needs no VM id or token — the round trip itself is the health signal —
+// and it touches no instance, so probing never perturbs a checkpoint.
 package proxy
 
 import (
@@ -128,6 +135,12 @@ func (p *Proxy) lookup(vmID, token string) (*target, error) {
 
 func (p *Proxy) handle(ctx context.Context, req []byte) ([]byte, error) {
 	fields := strings.Fields(string(req))
+	if len(fields) == 1 && fields[0] == "PING" {
+		p.mu.Lock()
+		n := len(p.targets)
+		p.mu.Unlock()
+		return []byte(fmt.Sprintf("OK PONG %d", n)), nil
+	}
 	if len(fields) < 3 {
 		return []byte("ERR malformed request"), nil
 	}
@@ -387,6 +400,26 @@ func (c *Client) Status(ctx context.Context) (state string, dirtyChunks, pending
 		return "", 0, 0, fmt.Errorf("%w: %q", ErrProto, resp)
 	}
 	return fields[1], dirty, pending, nil
+}
+
+// Ping probes the proxy at addr for liveness and returns how many instances
+// it hosts. No VM id or token is needed: the failure detector pings nodes,
+// not instances. An unreachable or partitioned proxy returns the transport
+// error.
+func Ping(ctx context.Context, n transport.Network, addr string) (instances int, err error) {
+	resp, err := n.Call(ctx, addr, []byte("PING"))
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(string(resp))
+	if len(fields) != 3 || fields[0] != "OK" || fields[1] != "PONG" {
+		return 0, fmt.Errorf("%w: %q", ErrProto, resp)
+	}
+	k, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrProto, resp)
+	}
+	return k, nil
 }
 
 func parseRef(resp []byte) (blobseer.SnapshotRef, error) {

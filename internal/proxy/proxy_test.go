@@ -261,3 +261,27 @@ func TestUnregister(t *testing.T) {
 		t.Error("checkpoint of unregistered VM succeeded")
 	}
 }
+
+func TestPingLiveness(t *testing.T) {
+	e := setup(t)
+	n, err := Ping(ctx, e.net, e.pc.Addr)
+	if err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("Ping reports %d instances, want 1", n)
+	}
+	// PING needs no token and does not touch the instance.
+	if got := e.inst.State(); got != vm.Running {
+		t.Errorf("instance %s after ping", got)
+	}
+	// A partitioned proxy fails the probe with the transport error.
+	e.net.Partition(e.pc.Addr)
+	if _, err := Ping(ctx, e.net, e.pc.Addr); err == nil {
+		t.Fatal("ping to partitioned proxy succeeded")
+	}
+	e.net.Heal(e.pc.Addr)
+	if _, err := Ping(ctx, e.net, e.pc.Addr); err != nil {
+		t.Fatalf("ping after heal: %v", err)
+	}
+}

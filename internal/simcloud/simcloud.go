@@ -142,6 +142,12 @@ type Params struct {
 	// the paper's experiments run with 1). Each extra replica multiplies
 	// the bytes a BlobCR commit pushes into the repository.
 	Replication int
+
+	// MTBF is the deployment's mean time between failures in seconds — the
+	// knob the autonomous supervisor (internal/supervisor) tunes its
+	// checkpoint interval against. Grid'5000-era clusters of this size see
+	// node failures every few hours; the default models 4 hours.
+	MTBF float64
 }
 
 // Default returns the paper-calibrated parameters.
@@ -188,7 +194,43 @@ func Default() Params {
 		PlacementDelay:  0.5,
 		BootCompute:     9.0,
 		BootReadBytes:   140 * MB,
+
+		MTBF: 4 * 3600,
 	}
+}
+
+// OptimalInterval returns the optimal time between checkpoints for a
+// per-checkpoint cost ckptCost and a mean time between failures mtbf (both
+// in seconds), using Daly's higher-order refinement of Young's
+// sqrt(2*C*MTBF) formula:
+//
+//	T = sqrt(2*C*M) * (1 + (1/3)*sqrt(C/(2M)) + (1/9)*(C/(2M))) - C   for C < 2M
+//	T = M                                                            otherwise
+//
+// The supervisor computes its live checkpoint cadence from this function
+// with the cost it actually observes, and the simulator prices the same
+// formula with modelled costs — the sim and the live system agree by
+// construction.
+func OptimalInterval(ckptCost, mtbf float64) float64 {
+	if ckptCost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	if ckptCost >= 2*mtbf {
+		return mtbf
+	}
+	r := ckptCost / (2 * mtbf)
+	t := math.Sqrt(2*ckptCost*mtbf)*(1+math.Sqrt(r)/3+r/9) - ckptCost
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// OptimalCheckpointInterval prices the Daly interval for one approach at
+// experiment scale: the per-checkpoint cost is the simulated completion time
+// of a global checkpoint of nVMs instances, and the MTBF is p.MTBF.
+func (p Params) OptimalCheckpointInterval(a Approach, nVMs int, stateBytes float64, procsPerVM int) float64 {
+	return OptimalInterval(CheckpointTime(p, a, nVMs, stateBytes, procsPerVM), p.MTBF)
 }
 
 // roundUp rounds bytes up to a multiple of gran.

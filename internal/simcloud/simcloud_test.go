@@ -273,3 +273,45 @@ func TestZeroVMs(t *testing.T) {
 		t.Error("zero VMs restart should cost zero")
 	}
 }
+
+func TestOptimalInterval(t *testing.T) {
+	// Young/Daly: for C << M the interval is close to sqrt(2*C*M) - C and
+	// grows with both inputs.
+	c, m := 10.0, 4*3600.0
+	got := OptimalInterval(c, m)
+	young := math.Sqrt(2*c*m) - c
+	if got < young || got > young*1.1 {
+		t.Errorf("OptimalInterval(%v, %v) = %v, want within 10%% above Young's %v", c, m, got, young)
+	}
+	if OptimalInterval(4*c, m) <= got {
+		t.Error("interval did not grow with checkpoint cost")
+	}
+	if OptimalInterval(c, 4*m) <= got {
+		t.Error("interval did not grow with MTBF")
+	}
+	// Degenerate regimes.
+	if OptimalInterval(0, m) != 0 || OptimalInterval(c, 0) != 0 {
+		t.Error("nonpositive inputs must yield 0")
+	}
+	if OptimalInterval(3*m, m) != m {
+		t.Error("cost >= 2*MTBF must fall back to the MTBF")
+	}
+}
+
+func TestOptimalCheckpointIntervalAtScale(t *testing.T) {
+	p := Default()
+	iv := p.OptimalCheckpointInterval(BlobCRApp, 120, 200*MB, 1)
+	cost := CheckpointTime(p, BlobCRApp, 120, 200*MB, 1)
+	if iv <= 0 {
+		t.Fatalf("interval = %v", iv)
+	}
+	// Sanity: the interval dwarfs the checkpoint cost for a 4h MTBF, and
+	// BlobCR's cheaper checkpoints buy a shorter (more protective) interval
+	// than qcow2-full's expensive ones.
+	if iv < 10*cost {
+		t.Errorf("interval %v suspiciously close to cost %v", iv, cost)
+	}
+	if full := p.OptimalCheckpointInterval(Qcow2Full, 120, 200*MB, 1); full <= iv {
+		t.Errorf("qcow2-full interval %v not longer than BlobCR's %v", full, iv)
+	}
+}

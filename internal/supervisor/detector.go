@@ -1,0 +1,45 @@
+package supervisor
+
+// detector is the heartbeat suspicion tracker of the failure detector: a
+// node missing `threshold` consecutive pings is confirmed failed. One
+// successful ping clears the suspicion — transient hiccups (a dropped
+// heartbeat under load) never trigger a recovery, only a sustained silence
+// does. This is the classic suspicion-based fail-stop detector: over an
+// asynchronous network it cannot be both perfectly accurate and complete,
+// so the threshold trades detection latency against false positives.
+type detector struct {
+	threshold int
+	misses    map[string]int
+}
+
+func newDetector(threshold int) *detector {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &detector{threshold: threshold, misses: make(map[string]int)}
+}
+
+// observe records one ping outcome for the node. suspected reports the
+// first miss of a streak; confirmed reports that the miss streak has
+// reached the threshold (and resets it, so one failure is confirmed once).
+func (d *detector) observe(node string, ok bool) (suspected, confirmed bool) {
+	if ok {
+		delete(d.misses, node)
+		return false, false
+	}
+	d.misses[node]++
+	switch {
+	case d.misses[node] == 1 && d.threshold > 1:
+		return true, false
+	case d.misses[node] >= d.threshold:
+		delete(d.misses, node)
+		return d.threshold == 1, true
+	default:
+		return false, false
+	}
+}
+
+// forget drops any suspicion state for the node (it was recovered away).
+func (d *detector) forget(node string) {
+	delete(d.misses, node)
+}

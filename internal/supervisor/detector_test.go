@@ -1,0 +1,45 @@
+package supervisor
+
+import "testing"
+
+func TestDetectorSuspicionThreshold(t *testing.T) {
+	d := newDetector(3)
+	if s, c := d.observe("n1", false); !s || c {
+		t.Fatalf("first miss: suspected=%v confirmed=%v", s, c)
+	}
+	if s, c := d.observe("n1", false); s || c {
+		t.Fatalf("second miss: suspected=%v confirmed=%v", s, c)
+	}
+	if _, c := d.observe("n1", false); !c {
+		t.Fatal("third consecutive miss not confirmed")
+	}
+	// Confirmation resets the streak: one failure is confirmed once.
+	if _, c := d.observe("n1", false); c {
+		t.Fatal("confirmed again immediately after confirmation")
+	}
+}
+
+func TestDetectorRecoversOnSuccess(t *testing.T) {
+	d := newDetector(2)
+	d.observe("n1", false)
+	// A successful ping clears the suspicion: transient hiccups never
+	// trigger recovery.
+	d.observe("n1", true)
+	if _, c := d.observe("n1", false); c {
+		t.Fatal("single miss after success confirmed a failure")
+	}
+	if _, c := d.observe("n1", false); !c {
+		t.Fatal("two consecutive misses not confirmed")
+	}
+}
+
+func TestDetectorThresholdOne(t *testing.T) {
+	d := newDetector(1)
+	if s, c := d.observe("n1", false); !s || !c {
+		t.Fatalf("threshold 1: suspected=%v confirmed=%v, want both", s, c)
+	}
+	d.forget("n1")
+	if _, c := d.observe("n2", false); !c {
+		t.Fatal("independent node not confirmed at threshold 1")
+	}
+}

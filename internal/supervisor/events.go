@@ -1,0 +1,144 @@
+package supervisor
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventType classifies one entry of the supervisor's event stream.
+type EventType string
+
+// The event stream vocabulary: the full life of a failure, from first
+// missed heartbeat to recovered deployment, plus the checkpoint cadence.
+const (
+	EventNodeSuspected       EventType = "node-suspected"
+	EventFailureDetected     EventType = "failure-detected"
+	EventNodeRetired         EventType = "node-retired"
+	EventCheckpointInitiated EventType = "checkpoint-initiated"
+	EventCheckpointDurable   EventType = "checkpoint-durable"
+	EventCheckpointFailed    EventType = "checkpoint-failed"
+	EventRollbackPlanned     EventType = "rollback-planned"
+	EventRestartAttempt      EventType = "restart-attempt"
+	EventRestartDone         EventType = "restart-done"
+	EventRecoveryFailed      EventType = "recovery-failed"
+)
+
+// Event is one structured entry of the supervisor's event stream.
+type Event struct {
+	Seq  int
+	Time time.Time
+	Type EventType
+
+	Node    string        // the node concerned (failure events)
+	Ckpt    int           // the checkpoint concerned (checkpoint/rollback events)
+	Attempt int           // restart attempt number (restart events)
+	MTTR    time.Duration // time from detection to resumed job (restart-done)
+	// WorkLost estimates the computation discarded by the rollback: the time
+	// elapsed since the rollback target became durable (rollback-planned).
+	WorkLost time.Duration
+	Detail   string
+}
+
+// String renders the event as one line, the format the EVENTS endpoint and
+// blobcr-ctl print.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%04d %s %s", e.Seq, e.Time.Format("15:04:05.000"), e.Type)
+	if e.Node != "" {
+		fmt.Fprintf(&b, " node=%s", e.Node)
+	}
+	if e.Ckpt != 0 {
+		fmt.Fprintf(&b, " ckpt=%d", e.Ckpt)
+	}
+	if e.Attempt != 0 {
+		fmt.Fprintf(&b, " attempt=%d", e.Attempt)
+	}
+	if e.MTTR != 0 {
+		fmt.Fprintf(&b, " mttr=%s", e.MTTR.Round(time.Microsecond))
+	}
+	if e.WorkLost != 0 {
+		fmt.Fprintf(&b, " work-lost=%s", e.WorkLost.Round(time.Microsecond))
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
+}
+
+// defaultEventBuffer bounds the retained event history.
+const defaultEventBuffer = 1024
+
+// EventLog is the supervisor's bounded event history plus live
+// subscriptions. Appends never block: a subscriber that falls behind loses
+// events from its channel (the bounded history is the reliable record).
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int
+	next   int // next sequence number
+	subs   map[int]chan Event
+	nextID int
+}
+
+// newEventLog returns an event log retaining up to limit events.
+func newEventLog(limit int) *EventLog {
+	if limit <= 0 {
+		limit = defaultEventBuffer
+	}
+	return &EventLog{limit: limit, next: 1, subs: make(map[int]chan Event)}
+}
+
+// append stamps and stores the event, fanning it out to subscribers. The
+// sends happen under the lock — they are non-blocking, and doing them
+// inside the critical section is what keeps each subscriber's channel in
+// sequence order across concurrent appenders.
+func (l *EventLog) append(e Event) Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.next
+	l.next++
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.events = append(l.events, e)
+	if len(l.events) > l.limit {
+		l.events = l.events[len(l.events)-l.limit:]
+	}
+	for _, ch := range l.subs {
+		select {
+		case ch <- e:
+		default: // slow subscriber: drop, the history keeps the record
+		}
+	}
+	return e
+}
+
+// Since returns the retained events with Seq > seq, oldest first.
+func (l *EventLog) Since(seq int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := 0
+	for i < len(l.events) && l.events[i].Seq <= seq {
+		i++
+	}
+	return append([]Event(nil), l.events[i:]...)
+}
+
+// Subscribe returns a channel receiving every event appended from now on,
+// and a cancel function releasing it. The channel is buffered; a subscriber
+// that stops draining loses events rather than blocking the supervisor.
+func (l *EventLog) Subscribe() (<-chan Event, func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := l.nextID
+	l.nextID++
+	ch := make(chan Event, 256)
+	l.subs[id] = ch
+	return ch, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		delete(l.subs, id)
+	}
+}

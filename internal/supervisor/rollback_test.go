@@ -1,0 +1,291 @@
+package supervisor_test
+
+// Restart-while-commit-in-flight: a failure is injected while a
+// PendingCommit is still publishing. The supervisor must roll back to the
+// last durable checkpoint — never the half-published one — and the CAS
+// reference counts must balance exactly afterwards.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/cloud"
+	"blobcr/internal/supervisor"
+	"blobcr/internal/transport"
+)
+
+// gateNet wraps the in-process network: once armed, the (skip+1)th
+// chunk-body upload (spotted by request size) blocks until released or its
+// context is cancelled — a commit caught mid-publish.
+type gateNet struct {
+	*transport.InProc
+
+	mu      sync.Mutex
+	armed   bool
+	skip    int
+	blocked chan struct{} // closed when an upload is stuck on the gate
+	release chan struct{}
+}
+
+const gateBodyThreshold = 2048
+
+func newGateNet() *gateNet {
+	return &gateNet{
+		InProc:  transport.NewInProc(),
+		blocked: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (g *gateNet) Call(ctx context.Context, addr string, req []byte) ([]byte, error) {
+	if len(req) >= gateBodyThreshold {
+		g.mu.Lock()
+		trip := false
+		if g.armed {
+			if g.skip > 0 {
+				g.skip--
+			} else {
+				trip = true
+				g.armed = false
+				close(g.blocked)
+			}
+		}
+		rel := g.release
+		g.mu.Unlock()
+		if trip {
+			select {
+			case <-rel:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return g.InProc.Call(ctx, addr, req)
+}
+
+// arm trips the gate on the (skip+1)th chunk-body upload.
+func (g *gateNet) arm(skip int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.armed = true
+	g.skip = skip
+	g.blocked = make(chan struct{})
+	g.release = make(chan struct{})
+}
+
+func (g *gateNet) open() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case <-g.release:
+	default:
+		close(g.release)
+	}
+}
+
+// commitGateConfig disables automatic checkpoints (tests drive them) and
+// uses full restarts, so a wedged commit never delays the in-place drain.
+func commitGateConfig() supervisor.Config {
+	return supervisor.Config{
+		HeartbeatEvery: 2 * time.Millisecond,
+		PingTimeout:    10 * time.Millisecond,
+		SuspectAfter:   2,
+		MinInterval:    time.Hour,
+		MaxInterval:    time.Hour,
+		BackoffBase:    2 * time.Millisecond,
+	}
+}
+
+// TestRecoveryRollsBackToDurableNotHalfPublished wedges a checkpoint's
+// async commit mid-upload, kills a node, and asserts the supervisor plans
+// the rollback to the durable watermark while the half-published checkpoint
+// stays refused forever — even after its orphaned snapshot eventually
+// publishes, later checkpoints never absorb its content (the rollback-safe
+// commit base).
+func TestRecoveryRollsBackToDurableNotHalfPublished(t *testing.T) {
+	g := newGateNet()
+	h := newHarness(t, commitGateConfig(), 5, 2, g)
+	dep, _ := h.sup.Deployment()
+
+	// Round 1 everywhere, durable checkpoint.
+	writeRound(t, dep, 1)
+	id1 := h.checkpointDurable()
+
+	// Fresh post-checkpoint state on member 0, then a checkpoint whose
+	// upload wedges on the gate.
+	instA := dep.Instances[0]
+	wedged := bytes.Repeat([]byte("WEDGED-WRITE."), 1024) // > 3 chunks of distinctive content
+	if err := instA.VM.FS().WriteFile("/fresh", wedged); err != nil {
+		t.Fatal(err)
+	}
+	g.arm(0)
+	id2, err := h.sup.CheckpointNow(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.blocked // a body upload is stuck: checkpoint id2 is half-published
+
+	// Failure hits member 1's node while id2 is in flight.
+	h.kill(dep.Instances[1].Node)
+	newDep := h.waitGeneration(1)
+
+	// The rollback target was the durable watermark, not the in-flight
+	// checkpoint.
+	if got := newDep.DurableWatermark(); got != id1 {
+		t.Fatalf("watermark after recovery = %d, want %d", got, id1)
+	}
+	var planned *supervisor.Event
+	for _, e := range h.sup.Events().Since(0) {
+		if e.Type == supervisor.EventRollbackPlanned {
+			planned = &e
+		}
+	}
+	if planned == nil || planned.Ckpt != id1 {
+		t.Fatalf("rollback planned to %+v, want checkpoint %d\n%s", planned, id1, h.eventDump())
+	}
+	for _, inst := range newDep.Instances {
+		if _, err := inst.VM.FS().ReadFile("/fresh"); err == nil {
+			t.Fatalf("%s: half-published state visible after rollback", inst.VMID)
+		}
+	}
+
+	// Let the wedged upload finish: the orphaned snapshot publishes (write
+	// failover routes around the dead provider), but the checkpoint record
+	// can never complete — its dead member's handle is gone.
+	g.open()
+	ckptA := id1Snapshot(t, dep, id1, instA.VMID)
+	waitOrphan(t, h, ckptA.Blob, ckptA.Version)
+	if cps := newDep.Checkpoints(); cps[id2-1].Durable {
+		t.Fatal("half-published checkpoint became durable")
+	}
+
+	// Post-recovery work and a fresh durable checkpoint: it must not
+	// resurrect the orphan's content even though the orphan is the newest
+	// version of member 0's checkpoint image.
+	writeRound(t, newDep, 2)
+	id3 := h.checkpointDurable()
+	cp := checkpointByID(t, newDep, id3)
+	refA := cp.Snapshots[instA.VMID]
+	img, err := h.cl.Client().ReadVersion(ctx, refA, 0, 512*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(img, []byte("WEDGED-WRITE.")) {
+		t.Fatal("post-recovery snapshot absorbed the orphaned half-published writes")
+	}
+
+	// Pruning to the new checkpoint works with a dead provider in the
+	// cluster (live-provider sweep).
+	if _, err := h.cl.Prune(ctx, newDep, id3); err != nil {
+		t.Fatalf("prune after recovery: %v", err)
+	}
+	if _, err := h.cl.Restart(ctx, newDep, id3); err != nil {
+		t.Fatalf("restart from pruned checkpoint: %v", err)
+	}
+}
+
+// TestFailureDuringCommitExactRefcountBalance overlaps an application-level
+// async commit with a node failure and recovery, then cancels the commit:
+// every CAS reference the whole dance touched must balance exactly — the
+// live providers end with the same reference and body counts they had
+// before the commit started.
+func TestFailureDuringCommitExactRefcountBalance(t *testing.T) {
+	g := newGateNet()
+	h := newHarness(t, commitGateConfig(), 5, 2, g)
+	dep, _ := h.sup.Deployment()
+
+	writeRound(t, dep, 1)
+	h.checkpointDurable()
+
+	// The victim is chosen up front so the measured provider set is stable
+	// across the failure.
+	victim := dep.Instances[1].Node
+	var live []string
+	for _, n := range h.cl.Nodes() {
+		if n != victim {
+			live = append(live, n.DataAddr)
+		}
+	}
+	cl := h.cl.Client()
+	before, err := cl.CasStats(ctx, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An application-driven commit on the healthy member, wedged before its
+	// first body lands (no reference taken yet).
+	instA := dep.Instances[0]
+	if err := instA.VM.FS().WriteFile("/fresh", bytes.Repeat([]byte{0xEF}, 3*e2eChunk)); err != nil {
+		t.Fatal(err)
+	}
+	g.arm(0)
+	cctx, cancel := context.WithCancel(ctx)
+	pc, err := instA.Mirror.CommitAsync(cctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.blocked
+
+	// Failure and unattended recovery while the commit is still in flight.
+	h.kill(victim)
+	newDep := h.waitGeneration(1)
+
+	// The commit aborts; its abort path must return every reference.
+	cancel()
+	<-pc.Done()
+	if err := pc.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("wedged commit err = %v, want context.Canceled", err)
+	}
+	after, err := cl.CasStats(ctx, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Refs != before.Refs || after.Chunks != before.Chunks {
+		t.Fatalf("CAS refcounts unbalanced: refs %d -> %d, bodies %d -> %d",
+			before.Refs, after.Refs, before.Chunks, after.Chunks)
+	}
+
+	// The aborted ticket does not wedge the version chain: the recovered
+	// deployment still reaches a new durable checkpoint.
+	writeRound(t, newDep, 2)
+	h.checkpointDurable()
+}
+
+// id1Snapshot fetches a member's snapshot ref out of a recorded checkpoint.
+func id1Snapshot(t *testing.T, dep *cloud.Deployment, id int, vmID string) blobseer.SnapshotRef {
+	t.Helper()
+	return checkpointByID(t, dep, id).Snapshots[vmID]
+}
+
+func checkpointByID(t *testing.T, dep *cloud.Deployment, id int) cloud.GlobalCheckpoint {
+	t.Helper()
+	for _, cp := range dep.Checkpoints() {
+		if cp.ID == id {
+			return cp
+		}
+	}
+	t.Fatalf("checkpoint %d not recorded", id)
+	return cloud.GlobalCheckpoint{}
+}
+
+// waitOrphan polls until the blob's latest version moves past v — the
+// wedged commit published its orphan.
+func waitOrphan(t *testing.T, h *harness, blob, v uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		info, _, err := h.cl.Client().Latest(ctx, blob)
+		if err == nil && info.Version > v {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("orphan never published (latest %v, %v)", info, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,60 @@
+package supervisor
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"blobcr/internal/transport"
+)
+
+// Serve binds the supervisor's introspection endpoint on the network, for
+// blobcr-ctl events and external dashboards. The protocol is the same
+// REST-ful text style as the checkpointing proxy:
+//
+//	request:  EVENTS <since-seq>
+//	response: OK <n>\n<one event line per event> | ERR <message>
+//
+//	request:  STATUS
+//	response: OK gen=<generation> watermark=<ckpt-id> interval=<duration>
+//	             recoveries=<n> mean-mttr=<duration> work-lost=<duration>
+func (s *Supervisor) Serve(n transport.Network, addr string) (transport.Server, error) {
+	return n.Listen(addr, s.handle)
+}
+
+func (s *Supervisor) handle(_ context.Context, req []byte) ([]byte, error) {
+	fields := strings.Fields(string(req))
+	if len(fields) == 0 {
+		return []byte("ERR malformed request"), nil
+	}
+	switch fields[0] {
+	case "EVENTS":
+		since := 0
+		if len(fields) > 2 {
+			return []byte("ERR malformed request"), nil
+		}
+		if len(fields) == 2 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return []byte("ERR bad sequence number"), nil
+			}
+			since = v
+		}
+		events := s.log.Since(since)
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK %d", len(events))
+		for _, e := range events {
+			b.WriteByte('\n')
+			b.WriteString(e.String())
+		}
+		return []byte(b.String()), nil
+	case "STATUS":
+		dep, gen := s.Deployment()
+		m := s.Metrics()
+		return []byte(fmt.Sprintf("OK gen=%d watermark=%d interval=%s recoveries=%d mean-mttr=%s work-lost=%s",
+			gen, dep.DurableWatermark(), s.Interval(), m.Recoveries, m.MeanMTTR(), m.WorkLost)), nil
+	default:
+		return []byte("ERR unknown verb " + fields[0]), nil
+	}
+}

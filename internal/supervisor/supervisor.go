@@ -1,0 +1,579 @@
+// Package supervisor closes BlobCR's checkpoint-restart control loop: it
+// turns the hand-driven recovery primitives of internal/cloud into an
+// autonomous service, so a deployment survives failure storms with zero
+// operator action.
+//
+// The supervisor runs four responsibilities in one control loop:
+//
+//   - Failure detection: a heartbeat/suspicion detector pings every node's
+//     checkpointing proxy (the lightweight PING verb); a node missing
+//     SuspectAfter consecutive pings is confirmed fail-stopped.
+//   - Checkpoint cadence: periodic global checkpoints on the Young/Daly
+//     interval sqrt(2*C*MTBF)-C (simcloud.OptimalInterval, so the simulator
+//     and the live system price the same formula), where C is an EWMA of
+//     the observed time-to-durable checkpoint cost and MTBF is configured.
+//   - Rollback planning: with asynchronous commits the newest recorded
+//     checkpoint may still be publishing, so recovery targets the newest
+//     *globally durable* checkpoint — the durability watermark that
+//     cloud.Deployment tracks as commit handles resolve.
+//   - Self-healing restart: bounded retries with exponential backoff,
+//     placement on spare nodes, and — when Config.PartialRestart is set —
+//     partial restart: only the members that died are re-deployed from
+//     their snapshots, healthy members roll back in place with their warm
+//     local caches.
+//
+// Every decision is emitted on a structured event stream (EventLog) with
+// MTTR and lost-work accounting; Serve exposes it over the transport for
+// blobcr-ctl supervise/events.
+package supervisor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blobcr/internal/cloud"
+	"blobcr/internal/proxy"
+	"blobcr/internal/simcloud"
+	"blobcr/internal/vm"
+)
+
+// ErrNoDurableCheckpoint is returned when a failure hits before any global
+// checkpoint has become durable: there is nothing to roll back to.
+var ErrNoDurableCheckpoint = errors.New("supervisor: no durable checkpoint to roll back to")
+
+// Config tunes the supervisor.
+type Config struct {
+	// HeartbeatEvery is the failure detector's ping period (default 50ms).
+	HeartbeatEvery time.Duration
+	// PingTimeout bounds each liveness probe (default: 4x HeartbeatEvery,
+	// so a loaded machine must stay silent, not merely slow, to register a
+	// miss).
+	PingTimeout time.Duration
+	// SuspectAfter is how many consecutive missed pings confirm a node
+	// failure (default 3).
+	SuspectAfter int
+
+	// MTBF is the expected mean time between failures, the Daly formula's
+	// second input (default 1h).
+	MTBF time.Duration
+	// InitialCkptCost seeds the checkpoint-cost EWMA before the first
+	// observation (default 1s).
+	InitialCkptCost time.Duration
+	// CostSmoothing is the EWMA weight of the newest observation, in (0, 1]
+	// (default 0.3).
+	CostSmoothing float64
+	// MinInterval / MaxInterval clamp the computed checkpoint interval
+	// (defaults 100ms / 1h).
+	MinInterval time.Duration
+	MaxInterval time.Duration
+
+	// MaxRestartRetries bounds restart attempts per recovery episode
+	// (default 5). An exhausted episode is not the end: while the
+	// deployment stays down, a fresh episode starts every BackoffMax.
+	MaxRestartRetries int
+	// BackoffBase is the first retry delay, doubling per attempt up to
+	// BackoffMax (defaults 50ms / 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// PartialRestart re-deploys only failed members, rolling healthy ones
+	// back in place, instead of tearing down the whole deployment.
+	PartialRestart bool
+
+	// EventBuffer bounds the retained event history (default 1024).
+	EventBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 50 * time.Millisecond
+	}
+	if c.PingTimeout <= 0 {
+		// Wider than the ping period: a loaded machine must miss several
+		// beats in a row, not merely respond slowly, before recovery fires.
+		c.PingTimeout = 4 * c.HeartbeatEvery
+	}
+	if c.SuspectAfter < 1 {
+		c.SuspectAfter = 3
+	}
+	if c.MTBF <= 0 {
+		c.MTBF = time.Hour
+	}
+	if c.InitialCkptCost <= 0 {
+		c.InitialCkptCost = time.Second
+	}
+	if c.CostSmoothing <= 0 || c.CostSmoothing > 1 {
+		c.CostSmoothing = 0.3
+	}
+	if c.MinInterval <= 0 {
+		c.MinInterval = 100 * time.Millisecond
+	}
+	if c.MaxInterval <= 0 {
+		c.MaxInterval = time.Hour
+	}
+	if c.MaxRestartRetries < 1 {
+		c.MaxRestartRetries = 5
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	return c
+}
+
+// Metrics is the supervisor's cumulative accounting. MTTR (mean time to
+// repair: failure detection to resumed deployment) is a first-class output,
+// alongside how much computed work rollbacks discarded.
+type Metrics struct {
+	HeartbeatsSent   uint64
+	HeartbeatsMissed uint64
+	FailuresDetected int
+	Recoveries       int
+	RestartAttempts  int
+	RedeployedVMs    int
+	InPlaceVMs       int
+
+	CheckpointsInitiated int
+	CheckpointsDurable   int
+	CheckpointsFailed    int
+
+	LastMTTR  time.Duration
+	TotalMTTR time.Duration
+	MaxMTTR   time.Duration
+	WorkLost  time.Duration
+}
+
+// MeanMTTR returns the mean time-to-repair across recoveries.
+func (m Metrics) MeanMTTR() time.Duration {
+	if m.Recoveries == 0 {
+		return 0
+	}
+	return m.TotalMTTR / time.Duration(m.Recoveries)
+}
+
+// Supervisor is the autonomous checkpoint-restart controller of one
+// deployment.
+type Supervisor struct {
+	cl  *cloud.Cloud
+	cfg Config
+	log *EventLog
+
+	mu          sync.Mutex
+	dep         *cloud.Deployment
+	gen         int // deployment generation; bumps on every recovery
+	det         *detector
+	ckptCost    float64   // EWMA of observed time-to-durable, seconds
+	lastDurable time.Time // when the newest durable checkpoint completed
+	metrics     Metrics
+
+	// An exhausted recovery episode leaves the deployment down; the loop
+	// starts a fresh episode once retryRecoveryAt passes. downSince anchors
+	// the outage: MTTR spans from the first detection to the restart that
+	// finally succeeds, across however many episodes that takes.
+	pendingRecovery bool
+	retryRecoveryAt time.Time
+	downSince       time.Time
+}
+
+// New builds a supervisor for the deployment. Run starts the control loop.
+func New(cl *cloud.Cloud, dep *cloud.Deployment, cfg Config) *Supervisor {
+	cfg = cfg.withDefaults()
+	return &Supervisor{
+		cl:  cl,
+		cfg: cfg,
+		log: newEventLog(cfg.EventBuffer),
+		dep: dep,
+		det: newDetector(cfg.SuspectAfter),
+	}
+}
+
+// Events returns the supervisor's event stream.
+func (s *Supervisor) Events() *EventLog { return s.log }
+
+// Deployment returns the current deployment and its generation; the
+// generation bumps every time a recovery replaces the instance set, so a
+// workload can detect that it must re-bind to the new instances.
+func (s *Supervisor) Deployment() (*cloud.Deployment, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dep, s.gen
+}
+
+// Metrics returns a snapshot of the cumulative accounting.
+func (s *Supervisor) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}
+
+// Interval returns the checkpoint interval currently in effect: the
+// Young/Daly optimum for the observed checkpoint cost and the configured
+// MTBF, clamped to [MinInterval, MaxInterval].
+func (s *Supervisor) Interval() time.Duration {
+	s.mu.Lock()
+	cost := s.ckptCost
+	s.mu.Unlock()
+	if cost == 0 {
+		cost = s.cfg.InitialCkptCost.Seconds()
+	}
+	t := simcloud.OptimalInterval(cost, s.cfg.MTBF.Seconds())
+	d := time.Duration(t * float64(time.Second))
+	if d < s.cfg.MinInterval {
+		d = s.cfg.MinInterval
+	}
+	if d > s.cfg.MaxInterval {
+		d = s.cfg.MaxInterval
+	}
+	return d
+}
+
+// Run drives the control loop — heartbeats, Daly-interval checkpoints,
+// recoveries — until ctx is cancelled. It returns nil on cancellation;
+// individual failures are handled (and evented), not returned.
+func (s *Supervisor) Run(ctx context.Context) error {
+	hb := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer hb.Stop()
+	ck := time.NewTimer(s.Interval())
+	defer ck.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-hb.C:
+			failed := s.heartbeat(ctx)
+			s.mu.Lock()
+			retry := s.pendingRecovery && time.Now().After(s.retryRecoveryAt)
+			s.mu.Unlock()
+			if len(failed) > 0 || retry {
+				s.recover(ctx, failed) //nolint:errcheck // evented; the loop keeps running
+			}
+		case <-ck.C:
+			s.CheckpointNow(ctx) //nolint:errcheck // evented; failures surface via heartbeats too
+			ck.Reset(s.Interval())
+		}
+	}
+}
+
+// heartbeat pings every non-failed node of the cloud — not just the ones
+// hosting instances: a node may carry only a data provider, and its death
+// still matters (placement must skip it, Prune must not sweep through it).
+// Pings run concurrently, so one round costs one PingTimeout no matter how
+// many nodes hang. It returns the names of nodes the detector confirmed
+// failed this round.
+func (s *Supervisor) heartbeat(ctx context.Context) []string {
+	var nodes []*cloud.Node
+	for _, node := range s.cl.Nodes() {
+		if !node.Failed() {
+			nodes = append(nodes, node)
+		}
+	}
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(i int, node *cloud.Node) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, s.cfg.PingTimeout)
+			defer cancel()
+			_, errs[i] = proxy.Ping(pctx, s.cl.Network(), node.ProxyAddr)
+		}(i, node)
+	}
+	wg.Wait()
+	var confirmed []string
+	for i, node := range nodes {
+		err := errs[i]
+		s.mu.Lock()
+		s.metrics.HeartbeatsSent++
+		if err != nil {
+			s.metrics.HeartbeatsMissed++
+		}
+		suspected, conf := s.det.observe(node.Name, err == nil)
+		s.mu.Unlock()
+		if suspected {
+			s.log.append(Event{Type: EventNodeSuspected, Node: node.Name, Detail: fmt.Sprintf("ping: %v", err)})
+		}
+		if conf {
+			confirmed = append(confirmed, node.Name)
+		}
+	}
+	return confirmed
+}
+
+// CheckpointNow initiates a global checkpoint of the current deployment:
+// every member captures its dirty chunks (the VM resumes immediately) and
+// the checkpoint is recorded provisionally; a background watcher resolves
+// the commit handles and promotes the checkpoint to durable. It returns the
+// provisional checkpoint id.
+func (s *Supervisor) CheckpointNow(ctx context.Context) (int, error) {
+	s.mu.Lock()
+	dep, gen := s.dep, s.gen
+	s.mu.Unlock()
+	start := time.Now()
+
+	type member struct {
+		inst   *cloud.Instance
+		handle uint64
+	}
+	members := make([]member, len(dep.Instances))
+	errs := make([]error, len(dep.Instances))
+	var wg sync.WaitGroup
+	for i, inst := range dep.Instances {
+		wg.Add(1)
+		go func(i int, inst *cloud.Instance) {
+			defer wg.Done()
+			h, err := inst.Proxy.RequestCheckpointAsync(ctx)
+			members[i] = member{inst: inst, handle: h}
+			errs[i] = err
+		}(i, inst)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			s.mu.Lock()
+			s.metrics.CheckpointsFailed++
+			s.mu.Unlock()
+			s.log.append(Event{Type: EventCheckpointFailed, Node: members[i].inst.Node.Name,
+				Detail: fmt.Sprintf("initiate %s: %v", members[i].inst.VMID, err)})
+			return 0, err
+		}
+	}
+
+	id := s.cl.RecordPendingCheckpoint(dep)
+	s.mu.Lock()
+	s.metrics.CheckpointsInitiated++
+	s.mu.Unlock()
+	s.log.append(Event{Type: EventCheckpointInitiated, Ckpt: id,
+		Detail: fmt.Sprintf("%d members, commits in flight", len(members))})
+
+	go func() {
+		for _, m := range members {
+			ref, err := m.inst.Proxy.WaitCheckpoint(ctx, m.handle)
+			if err != nil {
+				s.mu.Lock()
+				s.metrics.CheckpointsFailed++
+				s.mu.Unlock()
+				s.log.append(Event{Type: EventCheckpointFailed, Ckpt: id, Node: m.inst.Node.Name,
+					Detail: fmt.Sprintf("commit %s: %v", m.inst.VMID, err)})
+				return
+			}
+			if err := dep.ResolveSnapshot(id, m.inst.VMID, ref); err != nil {
+				s.log.append(Event{Type: EventCheckpointFailed, Ckpt: id, Detail: err.Error()})
+				return
+			}
+		}
+		if err := dep.MarkDurable(id); err != nil {
+			s.log.append(Event{Type: EventCheckpointFailed, Ckpt: id, Detail: err.Error()})
+			return
+		}
+		cost := time.Since(start)
+		s.mu.Lock()
+		if s.gen != gen {
+			// A recovery replaced the deployment while this checkpoint was
+			// publishing: the record just promoted belongs to the discarded
+			// incarnation and the active deployment's watermark never
+			// includes it. Don't let the phantom into the durable
+			// accounting or the lost-work anchor.
+			s.mu.Unlock()
+			s.log.append(Event{Type: EventCheckpointFailed, Ckpt: id,
+				Detail: "published into a deployment already replaced by recovery"})
+			return
+		}
+		if s.ckptCost == 0 {
+			s.ckptCost = cost.Seconds()
+		} else {
+			a := s.cfg.CostSmoothing
+			s.ckptCost = a*cost.Seconds() + (1-a)*s.ckptCost
+		}
+		s.lastDurable = time.Now()
+		s.metrics.CheckpointsDurable++
+		s.mu.Unlock()
+		s.log.append(Event{Type: EventCheckpointDurable, Ckpt: id,
+			Detail: fmt.Sprintf("cost=%s interval=%s", cost.Round(time.Microsecond), s.Interval().Round(time.Millisecond))})
+	}()
+	return id, nil
+}
+
+// recover handles one confirmed failure: mark the nodes failed with the
+// middleware, kill their instances, plan a rollback to the durability
+// watermark, and execute the restart with bounded retries and exponential
+// backoff. On success the supervisor swaps in the new deployment and bumps
+// the generation.
+func (s *Supervisor) recover(ctx context.Context, failed []string) error {
+	s.mu.Lock()
+	dep := s.dep
+	lastDurable := s.lastDurable
+	if s.downSince.IsZero() {
+		s.downSince = time.Now()
+	}
+	downSince := s.downSince
+	s.metrics.FailuresDetected += len(failed)
+	s.mu.Unlock()
+
+	for _, name := range failed {
+		s.log.append(Event{Type: EventFailureDetected, Node: name,
+			Detail: fmt.Sprintf("%d consecutive heartbeats missed", s.cfg.SuspectAfter)})
+		if err := s.cl.FailNode(ctx, name); err != nil {
+			s.log.append(Event{Type: EventFailureDetected, Node: name, Detail: "fail-stop: " + err.Error()})
+		}
+	}
+	dead := s.cl.KillDeploymentInstancesOn(dep)
+
+	// A failed node that hosted no member (a data-provider-only node, or a
+	// spare) needs no rollback: FailNode already took it out of placement
+	// and the provider rotation, and the job never stopped. Only roll back
+	// when a member actually died.
+	memberDown := false
+	for _, inst := range dep.Instances {
+		if inst.Node.Failed() || inst.VM.State() == vm.Stopped {
+			memberDown = true
+			break
+		}
+	}
+	if !memberDown {
+		s.mu.Lock()
+		if !s.pendingRecovery {
+			s.downSince = time.Time{}
+		}
+		s.mu.Unlock()
+		for _, name := range failed {
+			s.log.append(Event{Type: EventNodeRetired, Node: name,
+				Detail: "hosted no members; removed from placement, no rollback needed"})
+		}
+		return nil
+	}
+
+	cp, ok := dep.LatestDurableCheckpoint()
+	if !ok {
+		// Nothing to roll back to *yet* — an in-flight checkpoint may still
+		// become durable (its surviving members' commits resolve on their
+		// own). Re-arm rather than giving up, like an exhausted episode.
+		s.mu.Lock()
+		s.pendingRecovery = true
+		s.retryRecoveryAt = time.Now().Add(s.cfg.BackoffMax)
+		s.mu.Unlock()
+		s.log.append(Event{Type: EventRecoveryFailed,
+			Detail: fmt.Sprintf("%s (new episode in %s)", ErrNoDurableCheckpoint, s.cfg.BackoffMax)})
+		return ErrNoDurableCheckpoint
+	}
+	// Work lost = computation discarded by the rollback: from the rollback
+	// target becoming durable until the failure took the deployment down.
+	var workLost time.Duration
+	if !lastDurable.IsZero() && downSince.After(lastDurable) {
+		workLost = downSince.Sub(lastDurable)
+	}
+	mode := "full"
+	if s.cfg.PartialRestart {
+		mode = "partial"
+	}
+	s.log.append(Event{Type: EventRollbackPlanned, Ckpt: cp.ID, WorkLost: workLost,
+		Detail: fmt.Sprintf("watermark=%d dead=%v mode=%s", dep.DurableWatermark(), dead, mode)})
+
+	backoff := s.cfg.BackoffBase
+	var lastErr error
+	for attempt := 1; attempt <= s.cfg.MaxRestartRetries; attempt++ {
+		s.mu.Lock()
+		s.metrics.RestartAttempts++
+		s.mu.Unlock()
+		s.log.append(Event{Type: EventRestartAttempt, Ckpt: cp.ID, Attempt: attempt})
+
+		var newDep *cloud.Deployment
+		var stats cloud.RestartStats
+		var err error
+		if s.cfg.PartialRestart {
+			newDep, stats, err = s.cl.PartialRestart(ctx, dep, cp.ID)
+		} else {
+			newDep, err = s.cl.Restart(ctx, dep, cp.ID)
+			if err == nil {
+				stats = cloud.RestartStats{Redeployed: len(newDep.Instances)}
+			}
+		}
+		if err == nil {
+			// MTTR spans the whole outage, prior exhausted episodes and
+			// inter-episode waits included.
+			mttr := time.Since(downSince)
+			s.mu.Lock()
+			s.dep = newDep
+			s.gen++
+			s.pendingRecovery = false
+			s.downSince = time.Time{}
+			for _, name := range failed {
+				s.det.forget(name)
+			}
+			// Work since the resumed checkpoint is what the next failure
+			// would lose.
+			s.lastDurable = time.Now()
+			s.metrics.Recoveries++
+			s.metrics.RedeployedVMs += stats.Redeployed
+			s.metrics.InPlaceVMs += stats.InPlace
+			s.metrics.LastMTTR = mttr
+			s.metrics.TotalMTTR += mttr
+			if mttr > s.metrics.MaxMTTR {
+				s.metrics.MaxMTTR = mttr
+			}
+			s.metrics.WorkLost += workLost
+			s.mu.Unlock()
+			s.log.append(Event{Type: EventRestartDone, Ckpt: cp.ID, Attempt: attempt, MTTR: mttr,
+				Detail: fmt.Sprintf("mode=%s redeployed=%d in-place=%d", mode, stats.Redeployed, stats.InPlace)})
+			return nil
+		}
+		lastErr = err
+		s.log.append(Event{Type: EventRestartAttempt, Ckpt: cp.ID, Attempt: attempt, Detail: "failed: " + err.Error()})
+		// A retry may be failing because more nodes died mid-restart: sweep
+		// once so placement avoids them on the next attempt.
+		s.sweepFailures(ctx, dep)
+		select {
+		case <-ctx.Done():
+			s.log.append(Event{Type: EventRecoveryFailed, Ckpt: cp.ID, Detail: ctx.Err().Error()})
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > s.cfg.BackoffMax {
+			backoff = s.cfg.BackoffMax
+		}
+	}
+	// The deployment is still down: schedule a fresh episode rather than
+	// giving up for good — transient conditions (a provider mid-recovery, a
+	// second failure racing the restart) clear with time.
+	s.mu.Lock()
+	s.pendingRecovery = true
+	s.retryRecoveryAt = time.Now().Add(s.cfg.BackoffMax)
+	s.mu.Unlock()
+	s.log.append(Event{Type: EventRecoveryFailed, Ckpt: cp.ID,
+		Detail: fmt.Sprintf("%d attempts (new episode in %s): %v", s.cfg.MaxRestartRetries, s.cfg.BackoffMax, lastErr)})
+	return lastErr
+}
+
+// sweepFailures pings every node of the deployment once and immediately
+// fail-stops the unreachable ones — used between restart attempts, where a
+// failure is already in progress and waiting out the full suspicion window
+// would only stretch the MTTR.
+func (s *Supervisor) sweepFailures(ctx context.Context, dep *cloud.Deployment) {
+	seen := make(map[string]bool)
+	for _, inst := range dep.Instances {
+		node := inst.Node
+		if seen[node.Name] || node.Failed() {
+			continue
+		}
+		seen[node.Name] = true
+		pctx, cancel := context.WithTimeout(ctx, s.cfg.PingTimeout)
+		_, err := proxy.Ping(pctx, s.cl.Network(), node.ProxyAddr)
+		cancel()
+		if err == nil {
+			continue
+		}
+		s.mu.Lock()
+		s.metrics.FailuresDetected++
+		s.det.forget(node.Name)
+		s.mu.Unlock()
+		s.log.append(Event{Type: EventFailureDetected, Node: node.Name, Detail: "died during recovery"})
+		if ferr := s.cl.FailNode(ctx, node.Name); ferr != nil {
+			s.log.append(Event{Type: EventFailureDetected, Node: node.Name, Detail: "fail-stop: " + ferr.Error()})
+		}
+		s.cl.KillDeploymentInstancesOn(dep)
+	}
+}

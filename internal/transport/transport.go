@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blobcr/internal/wire"
@@ -71,6 +72,16 @@ type Network interface {
 	// Call sends req to the service at addr and returns its response. A
 	// cancelled or expired context abandons the call and returns ctx.Err().
 	Call(ctx context.Context, addr string, req []byte) ([]byte, error)
+}
+
+// FaultNetwork is a Network with fail-stop failure injection: calls to a
+// partitioned address fail with ErrUnreachable until the address is healed.
+// InProc implements it directly; Latency forwards to a fault-capable inner
+// network.
+type FaultNetwork interface {
+	Network
+	Partition(addr string)
+	Heal(addr string)
 }
 
 // Server is a bound service endpoint.
@@ -167,6 +178,59 @@ func (n *InProc) Heal(addr string) {
 	defer n.mu.Unlock()
 	delete(n.partitioned, addr)
 }
+
+// --- Latency-injecting network ---
+
+// Latency wraps a Network, sleeping PerCall before every Call and counting
+// calls, so network cost shows up in wall time and deterministically in the
+// call counter. The downtime and availability experiments use it to make
+// round trips cost something on an in-process network; tests use the counter
+// to assert how many round trips land inside a measured window.
+type Latency struct {
+	Inner   Network
+	PerCall time.Duration
+	calls   atomic.Uint64
+}
+
+// WithLatency wraps inner with a per-call delay.
+func WithLatency(inner Network, perCall time.Duration) *Latency {
+	return &Latency{Inner: inner, PerCall: perCall}
+}
+
+// Listen implements Network.
+func (l *Latency) Listen(addr string, h Handler) (Server, error) {
+	return l.Inner.Listen(addr, h)
+}
+
+// Call implements Network.
+func (l *Latency) Call(ctx context.Context, addr string, req []byte) ([]byte, error) {
+	l.calls.Add(1)
+	if l.PerCall > 0 {
+		time.Sleep(l.PerCall)
+	}
+	return l.Inner.Call(ctx, addr, req)
+}
+
+// Calls returns how many calls have been issued through the wrapper.
+func (l *Latency) Calls() uint64 { return l.calls.Load() }
+
+// Partition forwards fail-stop injection to the inner network; it is a no-op
+// when the inner network is not fault-capable.
+func (l *Latency) Partition(addr string) {
+	if fn, ok := l.Inner.(FaultNetwork); ok {
+		fn.Partition(addr)
+	}
+}
+
+// Heal forwards to the inner network; no-op when it is not fault-capable.
+func (l *Latency) Heal(addr string) {
+	if fn, ok := l.Inner.(FaultNetwork); ok {
+		fn.Heal(addr)
+	}
+}
+
+var _ FaultNetwork = (*InProc)(nil)
+var _ FaultNetwork = (*Latency)(nil)
 
 // --- TCP network ---
 

@@ -321,3 +321,34 @@ func TestTCPCallCancelMidFlight(t *testing.T) {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
+
+func TestLatencyWrapperCountsAndForwardsFaults(t *testing.T) {
+	inner := NewInProc()
+	net := WithLatency(inner, 0)
+	srv, err := net.Listen("", func(_ context.Context, req []byte) ([]byte, error) {
+		return append([]byte("pong:"), req...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := net.Call(context.Background(), srv.Addr(), []byte("x"))
+	if err != nil || string(resp) != "pong:x" {
+		t.Fatalf("call through latency wrapper: %q, %v", resp, err)
+	}
+	if net.Calls() != 1 {
+		t.Errorf("Calls = %d, want 1", net.Calls())
+	}
+	// Fault injection reaches the inner network through the wrapper.
+	net.Partition(srv.Addr())
+	if _, err := net.Call(context.Background(), srv.Addr(), []byte("x")); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to partitioned addr = %v, want ErrUnreachable", err)
+	}
+	net.Heal(srv.Addr())
+	if _, err := net.Call(context.Background(), srv.Addr(), []byte("x")); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+	if net.Calls() != 3 {
+		t.Errorf("Calls = %d, want 3", net.Calls())
+	}
+}
