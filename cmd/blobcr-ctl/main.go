@@ -57,6 +57,7 @@ func main() {
 	meta := flag.String("meta", "", "comma-separated metadata provider addresses")
 	chunk := flag.Uint64("chunk", defaultChunkSize, "chunk size for uploads")
 	dedup := flag.Bool("dedup", false, "write through the content-addressed repository (dedup commits)")
+	parallel := flag.Int("parallel", 0, "concurrent per-provider streams for uploads/downloads (0 = client default)")
 	timeout := flag.Duration("timeout", 0, "deadline for repository operations (0 = none); hung daemons fail fast")
 	supAddr := flag.String("supervisor", "", "supervisor introspection endpoint (for events/status)")
 	flag.Parse()
@@ -81,11 +82,12 @@ func main() {
 		os.Exit(2)
 	}
 	client := &blobseer.Client{
-		Net:       transport.NewTCP(),
-		VMAddr:    *vmAddr,
-		PMAddr:    *pmAddr,
-		MetaAddrs: strings.Split(*meta, ","),
-		Dedup:     *dedup,
+		Net:         transport.NewTCP(),
+		VMAddr:      *vmAddr,
+		PMAddr:      *pmAddr,
+		MetaAddrs:   strings.Split(*meta, ","),
+		Dedup:       *dedup,
+		Parallelism: *parallel,
 	}
 	ctx := context.Background()
 	if *timeout > 0 {

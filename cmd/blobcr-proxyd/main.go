@@ -38,6 +38,7 @@ func main() {
 	instances := flag.Int("instances", 1, "VM instances to host")
 	listen := flag.String("listen", "127.0.0.1:0", "proxy listen address")
 	node := flag.String("node", "node-0", "node name used in VM ids")
+	parallel := flag.Int("parallel", 0, "concurrent per-provider streams for commits and restores (0 = client default)")
 	flag.Parse()
 
 	if *vmAddr == "" || *pmAddr == "" || *meta == "" || *base == 0 {
@@ -46,10 +47,11 @@ func main() {
 	}
 	net := transport.NewTCP()
 	client := &blobseer.Client{
-		Net:       net,
-		VMAddr:    *vmAddr,
-		PMAddr:    *pmAddr,
-		MetaAddrs: strings.Split(*meta, ","),
+		Net:         net,
+		VMAddr:      *vmAddr,
+		PMAddr:      *pmAddr,
+		MetaAddrs:   strings.Split(*meta, ","),
+		Parallelism: *parallel,
 	}
 
 	p := proxy.New()

@@ -41,6 +41,26 @@
 // blobcr-ctl events/status; blobcr-ctl supervise demonstrates the loop and
 // blobcr-bench -only availability measures it.
 //
+// # Parallel striped I/O engine
+//
+// The whole data path — commit upload, dedup probing, restore reads, and
+// metadata-tree traffic — moves whole per-provider sets per round trip and
+// runs the per-provider streams concurrently. The wire protocol's batch
+// verbs (opChunkPutBatch/GetBatch, opCasRefBatch/PutBatch,
+// opNodePutBatch/GetBatch; see internal/blobseer's package comment) carry
+// many items per frame, so a dedup commit issues one "have these
+// fingerprints?" round trip per provider instead of one per chunk, a
+// Publish flushes its whole metadata-node set in one frame per shard, and a
+// restore's lookup descends the tree level by level in O(depth) round trips.
+// blobseer.Client.Parallelism bounds the concurrent per-provider streams
+// (default blobseer.DefaultParallelism, currently 8; deployments striping
+// wider set it to at least their provider count — cloud.Config.Parallelism
+// and the -parallel flags of blobcr-ctl and blobcr-proxyd thread it
+// through). Replica reads rotate their starting replica by chunk-key hash,
+// spreading restore load across the replica set while keeping in-order
+// failover. blobcr-bench -only throughput measures commit/restore MB/s
+// against provider count.
+//
 // # Asynchronous checkpoint handles
 //
 // The checkpoint lifecycle is asynchronous end to end: the proxy's

@@ -232,7 +232,8 @@ func Fig6CM1Checkpoint(p simcloud.Params, c simcloud.CM1Params) Series {
 }
 
 // All returns every paper experiment in order, plus the functional
-// downtime and availability experiments that ride the real stack.
+// downtime, availability and throughput experiments that ride the real
+// stack.
 func All(p simcloud.Params, c simcloud.CM1Params) []Series {
 	return []Series{
 		Fig2aCheckpoint50MB(p),
@@ -247,5 +248,6 @@ func All(p simcloud.Params, c simcloud.CM1Params) []Series {
 		Fig6CM1Checkpoint(p, c),
 		FigDowntime(),
 		FigAvailability(),
+		FigThroughput(),
 	}
 }

@@ -2,11 +2,16 @@
 // (suspend-clone-commit-resume, the pre-redesign CHECKPOINT verb) versus
 // the asynchronous pipeline (suspend-clone-capture-resume with the upload
 // in the background). It runs the real stack — blobseer deployment, mirror
-// module, vm instance, checkpointing proxy — over a latency-injecting
-// in-process network, and reports both wall time and the number of network
-// round trips that land inside the suspend window. The async column stays
-// flat as the dirty set grows because no chunk upload happens under
-// suspend; the sync column grows linearly with it.
+// module, vm instance, checkpointing proxy — over a latency- and
+// bandwidth-injecting in-process network, and reports both wall time and
+// the number of network round trips that land inside the suspend window.
+// The async column stays flat as the dirty set grows because no chunk
+// upload happens under suspend; the sync column grows with the dirty bytes
+// that must cross the bandwidth-limited pipes under suspend. The round-trip
+// counts show the batched wire protocol at work: since the parallel I/O
+// engine groups a commit's chunks into per-provider frames, even the sync
+// column's round trips stay constant as the dirty set grows — only its
+// transfer time scales.
 package bench
 
 import (
@@ -33,9 +38,10 @@ type DowntimeResult struct {
 // downtimeConfig sizes the experiment; small enough to run in tests, large
 // enough that the sync suspend window is dominated by chunk uploads.
 const (
-	downtimeChunk   = 64 * 1024
-	downtimeDiskMB  = 32
-	downtimeLatency = 50 * time.Microsecond
+	downtimeChunk     = 64 * 1024
+	downtimeDiskMB    = 32
+	downtimeLatency   = 50 * time.Microsecond
+	downtimeBandwidth = 64 << 20 // bytes/s per provider pipe
 )
 
 // RunDowntime measures effective downtime for the given dirty-set sizes
@@ -44,7 +50,8 @@ const (
 // the proxy's CHECKPOINT verb, which resumes the VM before any upload.
 func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 	ctx := context.Background()
-	net := transport.WithLatency(transport.NewInProc(), downtimeLatency)
+	lat := transport.WithLatency(transport.NewInProc(), downtimeLatency)
+	net := transport.WithBandwidth(lat, downtimeBandwidth)
 	repo, err := blobseer.Deploy(net, 1, 4)
 	if err != nil {
 		return nil, err
@@ -131,7 +138,7 @@ func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 		if err := dirty(syncMod, chunks); err != nil {
 			return nil, err
 		}
-		calls0 := net.Calls()
+		calls0 := lat.Calls()
 		t0 := time.Now()
 		if err := syncInst.Suspend(); err != nil {
 			return nil, err
@@ -144,7 +151,7 @@ func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 			return nil, commitErr
 		}
 		r.SyncMillis = float64(time.Since(t0).Microseconds()) / 1000
-		r.SyncNetCalls = net.Calls() - calls0
+		r.SyncNetCalls = lat.Calls() - calls0
 
 		// Asynchronous: the proxy resumes the VM after the local capture;
 		// the upload happens outside the measured window.
@@ -156,14 +163,14 @@ func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 		// moment the capture is enqueued, so the shared counter may also see
 		// its first call before this goroutine samples it: the count is
 		// bounded by a small constant, never by the dirty-set size.
-		calls0 = net.Calls()
+		calls0 = lat.Calls()
 		t0 = time.Now()
 		handle, err := asyncClient.RequestCheckpointAsync(ctx)
 		if err != nil {
 			return nil, err
 		}
 		r.AsyncMillis = float64(time.Since(t0).Microseconds()) / 1000
-		r.AsyncNetCalls = net.Calls() - calls0
+		r.AsyncNetCalls = lat.Calls() - calls0
 		// Drain the pipeline before the next round so rounds don't overlap.
 		if _, err := asyncClient.WaitCheckpoint(ctx, handle); err != nil {
 			return nil, err

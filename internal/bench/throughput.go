@@ -1,0 +1,132 @@
+// Throughput experiment: commit and restore bandwidth of the parallel
+// striped I/O engine as the number of data providers grows. It runs the
+// real stack — blobseer deployment, batched wire protocol, per-provider
+// concurrent streams — over an in-process network that models each provider
+// as a bandwidth-limited pipe (stdchk's striping model: aggregate write
+// bandwidth scales with the striping width). A fixed dirty set is committed
+// and then restored against 1, 2, 4 and 8 providers; because the client
+// groups chunks by provider and moves each group in batched frames over its
+// own stream, wall time divides by the provider count until the Parallelism
+// bound or the metadata path dominates.
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/transport"
+)
+
+// ThroughputResult is one sweep point of the throughput experiment.
+type ThroughputResult struct {
+	Providers     int
+	CommitMillis  float64
+	CommitMBps    float64
+	RestoreMillis float64
+	RestoreMBps   float64
+}
+
+// throughputConfig sizes the experiment. The modeled pipe bandwidth is kept
+// well below the in-process copy speed so the measured wall time is
+// dominated by the deterministic bandwidth model, not by allocator or
+// scheduler noise: the experiment is about how the engine's striping divides
+// the bytes-on-the-wire term, which is the term that dominates on real
+// networks.
+const (
+	tpChunk     = 64 * 1024
+	tpChunks    = 256      // 16 MiB dirty set
+	tpBandwidth = 64 << 20 // bytes/s per provider pipe
+	tpLatency   = 50 * time.Microsecond
+)
+
+// RunThroughput measures commit and restore bandwidth on a fixed dirty set
+// for each provider count.
+func RunThroughput(providerCounts []int) ([]ThroughputResult, error) {
+	ctx := context.Background()
+	const totalBytes = tpChunk * tpChunks
+	var out []ThroughputResult
+	for _, np := range providerCounts {
+		if np < 1 {
+			return nil, fmt.Errorf("bench: provider count %d", np)
+		}
+		net := transport.WithBandwidth(transport.WithLatency(transport.NewInProc(), tpLatency), tpBandwidth)
+		repo, err := blobseer.Deploy(net, 2, np)
+		if err != nil {
+			return nil, err
+		}
+		client := repo.Client()
+		client.Parallelism = 16
+
+		blob, err := client.CreateBlob(ctx, tpChunk)
+		if err != nil {
+			repo.Close()
+			return nil, err
+		}
+		writes := make(map[uint64][]byte, tpChunks)
+		for i := uint64(0); i < tpChunks; i++ {
+			writes[i] = bytes.Repeat([]byte{byte(i), byte(i >> 8)}, tpChunk/2)
+		}
+
+		runtime.GC() // keep collector pauses out of the measured window
+		t0 := time.Now()
+		info, err := client.WriteVersion(ctx, blob, writes, totalBytes)
+		if err != nil {
+			repo.Close()
+			return nil, err
+		}
+		commit := time.Since(t0)
+
+		runtime.GC()
+		t0 = time.Now()
+		data, err := client.ReadVersion(ctx, blobseer.SnapshotRef{Blob: blob, Version: info.Version}, 0, totalBytes)
+		if err != nil {
+			repo.Close()
+			return nil, err
+		}
+		restore := time.Since(t0)
+		repo.Close()
+		if len(data) != totalBytes {
+			return nil, fmt.Errorf("bench: restore returned %d of %d bytes", len(data), totalBytes)
+		}
+
+		const mb = 1 << 20
+		out = append(out, ThroughputResult{
+			Providers:     np,
+			CommitMillis:  float64(commit.Microseconds()) / 1000,
+			CommitMBps:    float64(totalBytes) / mb / commit.Seconds(),
+			RestoreMillis: float64(restore.Microseconds()) / 1000,
+			RestoreMBps:   float64(totalBytes) / mb / restore.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// FigThroughput renders the throughput experiment: commit and restore
+// wall time and bandwidth for a fixed 16 MiB dirty set as the repository
+// stripes across 1, 2, 4 and 8 data providers.
+func FigThroughput() Series {
+	s := Series{
+		Title:   "Throughput: parallel striped commit/restore vs provider count (16 MiB dirty set)",
+		XLabel:  "providers",
+		YLabel:  "ms / MB/s",
+		Columns: []string{"commit ms", "commit MB/s", "restore ms", "restore MB/s"},
+	}
+	results, err := RunThroughput([]int{1, 2, 4, 8})
+	if err != nil {
+		s.Title += fmt.Sprintf(" — FAILED: %v", err)
+		return s
+	}
+	for _, r := range results {
+		s.Rows = append(s.Rows, Row{X: float64(r.Providers), Values: []float64{
+			r.CommitMillis,
+			r.CommitMBps,
+			r.RestoreMillis,
+			r.RestoreMBps,
+		}})
+	}
+	return s
+}

@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"slices"
 	"sort"
+	"sync"
 
 	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
@@ -37,12 +38,20 @@ type Client struct {
 
 	// Dedup routes commits through the content-addressed repository
 	// (internal/cas): chunks are fingerprinted, placed by rendezvous hash of
-	// their content, and a "have fingerprint?" round trip (opCasRef) skips
-	// the body transfer for content any snapshot already stored. Retire then
-	// releases the retired snapshots' references instead of relying on a
+	// their content, and a "have these fingerprints?" round trip
+	// (opCasRefBatch, one per provider per commit) skips the body transfer
+	// for content any snapshot already stored. Retire then releases the
+	// retired snapshots' references instead of relying on a
 	// whole-repository sweep. Requires CAS-capable data providers (Deploy
 	// creates them).
 	Dedup bool
+
+	// Parallelism bounds how many per-provider streams a commit or restore
+	// runs concurrently. The data path groups chunks by provider and moves
+	// each group in batched frames over its own stream, so wall time scales
+	// down with the striping width up to this bound. Zero means
+	// DefaultParallelism.
+	Parallelism int
 }
 
 func (c *Client) replication() int {
@@ -64,7 +73,7 @@ func (c *Client) call(ctx context.Context, addr string, w *wire.Buffer) (*wire.R
 // nodeStore returns the remote metadata NodeStore view, bound to ctx for the
 // duration of one tree operation.
 func (c *Client) nodeStore(ctx context.Context) *remoteNodeStore {
-	return &remoteNodeStore{ctx: ctx, net: c.Net, addrs: c.MetaAddrs}
+	return &remoteNodeStore{ctx: ctx, net: c.Net, addrs: c.MetaAddrs, par: c.parallelism()}
 }
 
 func (c *Client) tree(ctx context.Context) *meta.Tree {
@@ -73,11 +82,14 @@ func (c *Client) tree(ctx context.Context) *meta.Tree {
 
 // remoteNodeStore shards tree nodes across metadata providers by key hash.
 // It is a request-scoped view: the context is the operation's, captured when
-// the store is created, because meta.NodeStore is context-free.
+// the store is created, because meta.NodeStore is context-free. Node sets
+// are grouped by shard and moved with one batched round trip per metadata
+// provider, the shard calls running concurrently up to par streams.
 type remoteNodeStore struct {
 	ctx   context.Context
 	net   transport.Network
 	addrs []string
+	par   int
 }
 
 func (s *remoteNodeStore) shard(k meta.NodeKey) string {
@@ -96,29 +108,76 @@ func (s *remoteNodeStore) shard(k meta.NodeKey) string {
 	return s.addrs[h.Sum64()%uint64(len(s.addrs))]
 }
 
-func (s *remoteNodeStore) PutNode(k meta.NodeKey, encoded []byte) error {
-	w := wire.NewBuffer(64 + len(encoded))
-	w.PutU8(opNodePut)
-	putNodeKey(w, k)
-	w.PutBytes(encoded)
-	_, err := s.net.Call(s.ctx, s.shard(k), w.Bytes())
-	return err
+// PutNodes implements meta.NodeStore: the staged node set is grouped by
+// shard and flushed with one opNodePutBatch frame per metadata provider.
+func (s *remoteNodeStore) PutNodes(puts []meta.NodePut) error {
+	if len(puts) == 0 {
+		return nil
+	}
+	groups := make(map[string][]meta.NodePut)
+	for _, p := range puts {
+		addr := s.shard(p.Key)
+		groups[addr] = append(groups[addr], p)
+	}
+	return runGroups(s.ctx, s.par, groups, func(ctx context.Context, addr string, batch []meta.NodePut) error {
+		return splitByBytes(len(batch), func(i int) int { return 40 + len(batch[i].Encoded) }, func(start, end int) error {
+			size := 16
+			for _, p := range batch[start:end] {
+				size += 40 + len(p.Encoded)
+			}
+			w := wire.NewBuffer(size)
+			w.PutU8(opNodePutBatch)
+			w.PutUvarint(uint64(end - start))
+			for _, p := range batch[start:end] {
+				putNodeKey(w, p.Key)
+				w.PutBytes(p.Encoded)
+			}
+			if _, err := s.net.Call(ctx, addr, w.Bytes()); err != nil {
+				return fmt.Errorf("blobseer: put %d nodes to %s: %w", end-start, addr, err)
+			}
+			return nil
+		})
+	})
 }
 
-func (s *remoteNodeStore) GetNode(k meta.NodeKey) ([]byte, error) {
-	w := wire.NewBuffer(64)
-	w.PutU8(opNodeGet)
-	putNodeKey(w, k)
-	resp, err := s.net.Call(s.ctx, s.shard(k), w.Bytes())
+// GetNodes implements meta.NodeStore: keys are grouped by shard, fetched
+// with one opNodeGetBatch frame per metadata provider, and returned aligned
+// with the input (missing nodes are nil entries).
+func (s *remoteNodeStore) GetNodes(keys []meta.NodeKey) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	groups := make(map[string][]int) // shard -> positions in keys
+	for i, k := range keys {
+		addr := s.shard(k)
+		groups[addr] = append(groups[addr], i)
+	}
+	out := make([][]byte, len(keys))
+	err := runGroups(s.ctx, s.par, groups, func(ctx context.Context, addr string, positions []int) error {
+		return splitByBytes(len(positions), func(int) int { return 40 }, func(start, end int) error {
+			w := wire.NewBuffer(16 + 40*(end-start))
+			w.PutU8(opNodeGetBatch)
+			w.PutUvarint(uint64(end - start))
+			for _, pos := range positions[start:end] {
+				putNodeKey(w, keys[pos])
+			}
+			resp, err := s.net.Call(ctx, addr, w.Bytes())
+			if err != nil {
+				return fmt.Errorf("blobseer: get %d nodes from %s: %w", end-start, addr, err)
+			}
+			r := wire.NewReader(resp)
+			for _, pos := range positions[start:end] {
+				if r.Bool() {
+					out[pos] = r.BytesCopy()
+				}
+			}
+			return r.Err()
+		})
+	})
 	if err != nil {
 		return nil, err
 	}
-	r := wire.NewReader(resp)
-	val := r.BytesCopy()
-	if err := r.Err(); err != nil {
-		return nil, err
-	}
-	return val, nil
+	return out, nil
 }
 
 // CreateBlob registers a new empty BLOB with the given chunk size and
@@ -205,13 +264,15 @@ func (c *Client) ListBlobs(ctx context.Context) ([]BlobInfo, error) {
 }
 
 // CommitStats reports what one WriteVersion moved and what deduplication
-// saved. LogicalBytes is what the commit would have shipped without the
-// content-addressed repository (payload times replication); TransferBytes is
-// what actually crossed the network. Without Dedup the two are equal.
+// saved. LogicalBytes is the commit's payload — each written chunk counted
+// once, independent of replication — so dedup hit-rate math is not skewed by
+// the replica count; TransferBytes is what actually crossed the network,
+// including replica copies. With Dedup off and Replication 1 the two are
+// equal.
 type CommitStats struct {
 	Chunks        int    // chunks written by the commit
 	DedupChunks   int    // chunks whose body was already held by every replica
-	LogicalBytes  uint64 // payload bytes x replication
+	LogicalBytes  uint64 // payload bytes, counted once per chunk
 	TransferBytes uint64 // bytes actually shipped to data providers
 }
 
@@ -376,7 +437,10 @@ func (c *Client) writeVersion(ctx context.Context, blob uint64, base *SnapshotRe
 }
 
 // uploadPlaced is the classic (blob, id)-addressed upload path: placement
-// from the provider manager, every body shipped.
+// from the provider manager, every body shipped. Replicas are grouped by
+// provider and each provider's set moves in batched frames over bounded
+// concurrent streams; chunks whose provider dies mid-commit fall back to the
+// serial per-chunk failover, preserving the distinct-replica guarantee.
 func (c *Client) uploadPlaced(ctx context.Context, blob, firstID uint64, indices []uint64, writes map[uint64][]byte, stats *CommitStats) (map[uint64]meta.Leaf, error) {
 	w := wire.NewBuffer(16)
 	w.PutU8(opPlacement)
@@ -387,9 +451,15 @@ func (c *Client) uploadPlaced(ctx context.Context, blob, firstID uint64, indices
 		return nil, err
 	}
 	nPlaced := r.Uvarint()
+	if int(nPlaced) != len(indices) {
+		return nil, fmt.Errorf("blobseer: placement returned %d entries for %d chunks", nPlaced, len(indices))
+	}
 	placements := make([][]string, nPlaced)
 	for i := range placements {
 		k := r.Uvarint()
+		if k > 1024 {
+			return nil, fmt.Errorf("blobseer: implausible replica count %d", k)
+		}
 		placements[i] = make([]string, k)
 		for j := range placements[i] {
 			placements[i][j] = r.String()
@@ -399,17 +469,67 @@ func (c *Client) uploadPlaced(ctx context.Context, blob, firstID uint64, indices
 		return nil, err
 	}
 
+	keys := make([]chunkstore.Key, len(indices))
+	for i := range indices {
+		keys[i] = chunkstore.Key{Blob: blob, ID: firstID + uint64(i)}
+	}
+
+	// Group replica PUTs by provider: one stream per provider, each split
+	// into frames of at most batchBytesLimit.
+	type slot struct{ chunk, replica int }
+	groups := make(map[string][]slot)
+	for i := range indices {
+		for j, addr := range placements[i] {
+			groups[addr] = append(groups[addr], slot{chunk: i, replica: j})
+		}
+	}
+	// landed[i][j] records that replica j of chunk i reached its planned
+	// provider. Slots are disjoint across goroutines, so no lock is needed.
+	landed := make([][]bool, len(indices))
+	for i := range landed {
+		landed[i] = make([]bool, len(placements[i]))
+	}
+	err = runGroups(ctx, c.parallelism(), groups, func(ctx context.Context, addr string, slots []slot) error {
+		err := splitByBytes(len(slots), func(i int) int { return len(writes[indices[slots[i].chunk]]) }, func(start, end int) error {
+			bkeys := make([]chunkstore.Key, 0, end-start)
+			bodies := make([][]byte, 0, end-start)
+			for _, s := range slots[start:end] {
+				bkeys = append(bkeys, keys[s.chunk])
+				bodies = append(bodies, writes[indices[s.chunk]])
+			}
+			if err := c.putChunkBatch(ctx, addr, bkeys, bodies); err != nil {
+				// The provider is unreachable: leave this provider's
+				// remaining slots unlanded for the failover pass instead of
+				// failing the commit. A cancelled commit does fail here.
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				return errStopGroup
+			}
+			for _, s := range slots[start:end] {
+				landed[s.chunk][s.replica] = true
+			}
+			return nil
+		})
+		if errors.Is(err, errStopGroup) {
+			return nil
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	leaves := make(map[uint64]meta.Leaf, len(writes))
-	// Write-path failover: alternates for chunks whose assigned provider dies
+	// Write-path failover: alternates for chunks whose assigned provider died
 	// mid-commit, fetched lazily on the first failure.
 	var alternates []string
 	for i, idx := range indices {
-		key := chunkstore.Key{Blob: blob, ID: firstID + uint64(i)}
 		data := writes[idx]
 		placed := make([]string, 0, len(placements[i]))
-		for _, providerAddr := range placements[i] {
+		for j, providerAddr := range placements[i] {
 			addr := providerAddr
-			if err := c.putChunk(ctx, addr, key, data); err != nil {
+			if !landed[i][j] {
 				// The provider died mid-commit: retry the PUT on an alternate
 				// live provider instead of failing the whole commit. The leaf
 				// records where the replica actually landed, so the read path
@@ -419,17 +539,18 @@ func (c *Client) uploadPlaced(ctx context.Context, blob, firstID uint64, indices
 				// later loop iteration will place: the chunk keeps its full
 				// count of *distinct* physical replicas.
 				used := append(append([]string(nil), placed...), placements[i]...)
-				addr, err = c.putChunkFailover(ctx, key, data, &alternates, used)
+				var err error
+				addr, err = c.putChunkFailover(ctx, keys[i], data, &alternates, used)
 				if err != nil {
 					return nil, err
 				}
 			}
-			stats.LogicalBytes += uint64(len(data))
 			stats.TransferBytes += uint64(len(data))
 			placed = append(placed, addr)
 		}
 		stats.Chunks++
-		leaves[idx] = meta.Leaf{Providers: placed, Key: key, Size: uint32(len(data))}
+		stats.LogicalBytes += uint64(len(data))
+		leaves[idx] = meta.Leaf{Providers: placed, Key: keys[i], Size: uint32(len(data))}
 	}
 	return leaves, nil
 }
@@ -481,6 +602,15 @@ func (c *Client) putChunkFailover(ctx context.Context, key chunkstore.Key, data 
 // fingerprint. Returns the leaves and the commit's write manifest. On any
 // failure — including ctx cancellation — every reference taken so far is
 // released under a detached context before returning.
+//
+// The probe/upload traffic is batched per provider: each round issues one
+// "have these fingerprints?" round trip (opCasRefBatch) and at most one body
+// upload pass (opCasPutBatch frames) per provider, the providers proceeding
+// concurrently — O(providers) round trips per commit instead of O(chunks).
+// When a ranked provider is unreachable, its chunks move to the next-ranked
+// provider in the following round (write-path failover); the leaf and
+// manifest record where replicas actually landed, so reads and refcount
+// releases find them.
 func (c *Client) uploadDedup(ctx context.Context, indices []uint64, writes map[uint64][]byte, stats *CommitStats) (map[uint64]meta.Leaf, []manifestEntry, error) {
 	leaves := make(map[uint64]meta.Leaf, len(writes))
 	manifest := make([]manifestEntry, 0, len(writes))
@@ -494,57 +624,210 @@ func (c *Client) uploadDedup(ctx context.Context, indices []uint64, writes map[u
 	if len(providers) == 0 {
 		return nil, nil, errors.New("blobseer: no data providers registered")
 	}
-	for _, idx := range indices {
+
+	type casChunk struct {
+		idx     uint64
+		data    []byte
+		fp      cas.Fingerprint
+		ranked  []string
+		next    int      // next rank to try
+		want    int      // replicas required
+		taken   []string // providers holding a reference for this chunk
+		shipped int      // replica bodies that crossed the network
+		lastErr error
+	}
+	chunks := make([]*casChunk, len(indices))
+	for i, idx := range indices {
 		data := writes[idx]
 		fp := cas.Sum(data)
-		// Rendezvous ranks every provider for this content; the first
-		// `replication` live ones take the replicas. When a ranked provider
-		// dies mid-commit, the next-ranked one steps in (write-path
-		// failover) — the leaf and manifest record where replicas actually
-		// landed, so reads and refcount releases find them.
 		ranked := casPlacementRanked(fp, providers)
 		want := c.replication()
 		if want > len(ranked) {
 			want = len(ranked)
 		}
-		shipped := false
-		var taken []string // replicas that already hold a ref for this chunk
-		var lastErr error
-		for next := 0; len(taken) < want && next < len(ranked); next++ {
-			addr := ranked[next]
-			if err := ctx.Err(); err != nil {
-				lastErr = err
-				break
+		chunks[i] = &casChunk{idx: idx, data: data, fp: fp, ranked: ranked, want: want}
+	}
+
+	// abort releases every reference taken so far under a detached context,
+	// so refcounts stay exactly balanced even on cancellation.
+	abort := func() {
+		rel := make([]manifestEntry, 0, len(chunks))
+		for _, ch := range chunks {
+			if len(ch.taken) > 0 {
+				rel = append(rel, manifestEntry{fp: ch.fp, providers: ch.taken})
 			}
-			held, err := c.casRef(ctx, addr, fp)
-			if err != nil {
-				lastErr = err
-				continue // failover: try the next-ranked provider
+		}
+		c.releaseRefs(context.WithoutCancel(ctx), rel)
+	}
+
+	failed := make(map[string]bool) // providers seen unreachable this commit
+	var mu sync.Mutex               // guards failed and per-chunk result fields
+
+	for {
+		// Assign every unsatisfied chunk to its next-ranked live provider.
+		assign := make(map[string][]*casChunk)
+		for _, ch := range chunks {
+			if len(ch.taken) >= ch.want {
+				continue
 			}
-			if !held {
-				// The body crosses the network here even if a concurrent
-				// writer wins the race and the provider reports a duplicate,
-				// so it always counts as transferred.
-				if _, err := c.casPut(ctx, addr, fp, data); err != nil {
-					lastErr = err
-					continue // no reference was taken; safe to move on
+			for ch.next < len(ch.ranked) && failed[ch.ranked[ch.next]] {
+				ch.next++
+			}
+			if ch.next >= len(ch.ranked) {
+				abort()
+				lastErr := ch.lastErr
+				if lastErr == nil {
+					// The chunk's remaining ranks were all skipped via the
+					// shared failed set: the frame that failed belonged to
+					// other chunks, so this one never recorded an error.
+					lastErr = fmt.Errorf("%w: every remaining ranked provider failed earlier in this commit", transport.ErrUnreachable)
 				}
-				stats.TransferBytes += uint64(len(data))
-				shipped = true
+				return nil, nil, fmt.Errorf("blobseer: chunk %d: placed %d of %d replicas: %w", ch.idx, len(ch.taken), ch.want, lastErr)
 			}
-			taken = append(taken, addr)
-			stats.LogicalBytes += uint64(len(data))
+			addr := ch.ranked[ch.next]
+			ch.next++
+			assign[addr] = append(assign[addr], ch)
 		}
-		if len(taken) < want {
-			c.releaseRefs(context.WithoutCancel(ctx), append(manifest, manifestEntry{fp: fp, providers: taken}))
-			return nil, nil, fmt.Errorf("blobseer: chunk %d: placed %d of %d replicas: %w", idx, len(taken), want, lastErr)
+		if len(assign) == 0 {
+			break // every chunk holds its full replica count
 		}
+		err := runGroups(ctx, c.parallelism(), assign, func(ctx context.Context, addr string, batch []*casChunk) error {
+			fps := make([]cas.Fingerprint, len(batch))
+			for i, ch := range batch {
+				fps[i] = ch.fp
+			}
+			// One "have these fingerprints?" probe for the whole batch; a
+			// held fingerprint has taken its reference the moment the
+			// response lands, so record it immediately — an error later in
+			// the commit must release exactly these. On a mid-probe error
+			// the completed frames' references are recorded first (valid
+			// bounds them), then the rest of the batch fails over.
+			held, valid, err := c.casRefBatch(ctx, addr, fps)
+			if err != nil {
+				mu.Lock()
+				for i, ch := range batch {
+					if i < valid && held[i] {
+						ch.taken = append(ch.taken, addr)
+					} else {
+						ch.lastErr = err
+					}
+				}
+				failed[addr] = true
+				mu.Unlock()
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				return nil // failover: chunks retry on their next rank
+			}
+			// Split the misses into one representative per distinct
+			// fingerprint (its body must ship) and duplicates (same content
+			// at another chunk index: once the representative's body lands,
+			// a second probe turns them into dedup hits — no redundant body
+			// in the frame).
+			var missing, dupes []*casChunk
+			seen := make(map[cas.Fingerprint]bool)
+			mu.Lock()
+			for i, ch := range batch {
+				switch {
+				case held[i]:
+					ch.taken = append(ch.taken, addr)
+				case seen[ch.fp]:
+					dupes = append(dupes, ch)
+				default:
+					seen[ch.fp] = true
+					missing = append(missing, ch)
+				}
+			}
+			mu.Unlock()
+			// Upload the bodies the provider lacks, in frames of at most
+			// batchBytesLimit. The body crosses the network even if a
+			// concurrent writer wins the race and the provider reports a
+			// duplicate, so it always counts as transferred.
+			err = splitByBytes(len(missing), func(i int) int { return len(missing[i].data) }, func(start, end int) error {
+				bfps := make([]cas.Fingerprint, 0, end-start)
+				bodies := make([][]byte, 0, end-start)
+				for _, ch := range missing[start:end] {
+					bfps = append(bfps, ch.fp)
+					bodies = append(bodies, ch.data)
+				}
+				if err := c.casPutBatch(ctx, addr, bfps, bodies); err != nil {
+					if cerr := ctx.Err(); cerr != nil {
+						return cerr
+					}
+					mu.Lock()
+					failed[addr] = true
+					for _, ch := range missing[start:] {
+						ch.lastErr = err
+					}
+					for _, ch := range dupes {
+						ch.lastErr = err
+					}
+					mu.Unlock()
+					return errStopGroup // earlier frames' references stand; rest fail over
+				}
+				mu.Lock()
+				for _, ch := range missing[start:end] {
+					ch.taken = append(ch.taken, addr)
+					ch.shipped++
+				}
+				mu.Unlock()
+				return nil
+			})
+			if errors.Is(err, errStopGroup) {
+				return nil // the dupes' lastErr is marked; they fail over too
+			}
+			if err != nil {
+				return err
+			}
+			if len(dupes) > 0 {
+				// The representatives' bodies are stored now: a second probe
+				// takes the duplicates' references as dedup hits.
+				dfps := make([]cas.Fingerprint, len(dupes))
+				for i, ch := range dupes {
+					dfps[i] = ch.fp
+				}
+				dheld, dvalid, err := c.casRefBatch(ctx, addr, dfps)
+				mu.Lock()
+				for i, ch := range dupes {
+					switch {
+					case i < dvalid && dheld[i]:
+						ch.taken = append(ch.taken, addr)
+					case err != nil:
+						ch.lastErr = err
+					default:
+						// A body swept between the put and this probe is
+						// rare; the chunk simply retries on its next-ranked
+						// provider.
+					}
+				}
+				if err != nil {
+					failed[addr] = true
+				}
+				mu.Unlock()
+				if err != nil {
+					if cerr := ctx.Err(); cerr != nil {
+						return cerr
+					}
+					return nil
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			abort()
+			return nil, nil, err
+		}
+	}
+
+	for _, ch := range chunks {
 		stats.Chunks++
-		if !shipped {
+		stats.LogicalBytes += uint64(len(ch.data))
+		stats.TransferBytes += uint64(ch.shipped) * uint64(len(ch.data))
+		if ch.shipped == 0 {
 			stats.DedupChunks++
 		}
-		leaves[idx] = meta.Leaf{Providers: taken, Key: fp.Key(), Size: uint32(len(data))}
-		manifest = append(manifest, manifestEntry{index: idx, fp: fp, providers: taken})
+		leaves[ch.idx] = meta.Leaf{Providers: ch.taken, Key: ch.fp.Key(), Size: uint32(len(ch.data))}
+		manifest = append(manifest, manifestEntry{index: ch.idx, fp: ch.fp, providers: ch.taken})
 	}
 	return leaves, manifest, nil
 }
@@ -593,22 +876,6 @@ func (c *Client) casRef(ctx context.Context, addr string, fp cas.Fingerprint) (b
 	r := wire.NewReader(resp)
 	held := r.Bool()
 	return held, r.Err()
-}
-
-// casPut uploads a body under its fingerprint; dup reports that the provider
-// already held it (a concurrent writer raced us) and only took a reference.
-func (c *Client) casPut(ctx context.Context, addr string, fp cas.Fingerprint, data []byte) (bool, error) {
-	w := wire.NewBuffer(48 + len(data))
-	w.PutU8(opCasPut)
-	putFingerprint(w, fp)
-	w.PutBytes(data)
-	resp, err := c.Net.Call(ctx, addr, w.Bytes())
-	if err != nil {
-		return false, fmt.Errorf("blobseer: cas put to %s: %w", addr, err)
-	}
-	r := wire.NewReader(resp)
-	dup := r.Bool()
-	return dup, r.Err()
 }
 
 // casRelease drops one reference on fp at one provider.
@@ -669,6 +936,12 @@ func (c *Client) abort(ctx context.Context, blob, version uint64) {
 // ReadVersion reads size bytes at offset from the referenced snapshot into a
 // new buffer. Holes (never-written ranges) read as zeros. Reads past the
 // version size are truncated.
+//
+// The data transfer is striped: chunks are grouped by the replica provider
+// chosen for each (see replicaOrder) and every provider's set moves in
+// batched frames over bounded concurrent streams (Client.Parallelism). A
+// chunk whose provider is unreachable or no longer holds it fails over to
+// its next replica in the following pass.
 func (c *Client) ReadVersion(ctx context.Context, ref SnapshotRef, offset, size uint64) ([]byte, error) {
 	info, chunkSize, err := c.GetVersion(ctx, ref)
 	if err != nil {
@@ -690,46 +963,115 @@ func (c *Client) ReadVersion(ctx context.Context, ref SnapshotRef, offset, size 
 	if err != nil {
 		return nil, err
 	}
+
+	type readChunk struct {
+		slot    meta.LeafSlot
+		order   []string // replica attempt order (rotated)
+		next    int
+		lastErr error
+	}
+	var work []*readChunk
 	for _, slot := range slots {
 		if !slot.Present {
 			continue // zeros
 		}
-		data, err := c.fetchChunk(ctx, slot.Leaf)
+		work = append(work, &readChunk{slot: slot, order: replicaOrder(slot.Leaf)})
+	}
+	for len(work) > 0 {
+		// Group each chunk under its current replica provider.
+		groups := make(map[string][]*readChunk)
+		for _, rc := range work {
+			if rc.next >= len(rc.order) {
+				lastErr := rc.lastErr
+				if lastErr == nil {
+					lastErr = transport.ErrNotFound
+				}
+				return nil, fmt.Errorf("blobseer: chunk %v unavailable on all replicas: %w", rc.slot.Leaf.Key, lastErr)
+			}
+			groups[rc.order[rc.next]] = append(groups[rc.order[rc.next]], rc)
+		}
+		var mu sync.Mutex
+		var retry []*readChunk
+		err := runGroups(ctx, c.parallelism(), groups, func(ctx context.Context, addr string, batch []*readChunk) error {
+			// Bound each frame by its expected response size.
+			err := splitByBytes(len(batch), func(int) int { return int(chunkSize) }, func(start, end int) error {
+				keys := make([]chunkstore.Key, 0, end-start)
+				for _, rc := range batch[start:end] {
+					keys = append(keys, rc.slot.Leaf.Key)
+				}
+				bodies, err := c.getChunkBatch(ctx, addr, keys)
+				if err != nil {
+					if cerr := ctx.Err(); cerr != nil {
+						return cerr
+					}
+					// Provider unreachable: all its remaining chunks fail
+					// over to their next replica.
+					mu.Lock()
+					for _, rc := range batch[start:] {
+						rc.next++
+						rc.lastErr = err
+						retry = append(retry, rc)
+					}
+					mu.Unlock()
+					return errStopGroup
+				}
+				for i, rc := range batch[start:end] {
+					data := bodies[i]
+					if data == nil {
+						mu.Lock()
+						rc.next++
+						retry = append(retry, rc)
+						mu.Unlock()
+						continue
+					}
+					chunkStart := rc.slot.Index * chunkSize
+					// Overlap of [chunkStart, chunkStart+len(data)) with
+					// [offset, offset+size). Distinct chunks cover disjoint
+					// buf ranges, so concurrent copies need no lock.
+					lo := max(chunkStart, offset)
+					hi := min(chunkStart+uint64(len(data)), offset+size)
+					if lo < hi {
+						copy(buf[lo-offset:hi-offset], data[lo-chunkStart:hi-chunkStart])
+					}
+				}
+				return nil
+			})
+			if errors.Is(err, errStopGroup) {
+				return nil
+			}
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
-		chunkStart := slot.Index * chunkSize
-		// Overlap of [chunkStart, chunkStart+len(data)) with [offset, offset+size).
-		lo := max(chunkStart, offset)
-		hi := min(chunkStart+uint64(len(data)), offset+size)
-		if lo < hi {
-			copy(buf[lo-offset:hi-offset], data[lo-chunkStart:hi-chunkStart])
-		}
+		work = retry
 	}
 	return buf, nil
 }
 
-// fetchChunk retrieves one chunk, trying replicas in order.
-func (c *Client) fetchChunk(ctx context.Context, l meta.Leaf) ([]byte, error) {
-	var lastErr error
-	for _, addr := range l.Providers {
-		w := wire.NewBuffer(24)
-		w.PutU8(opChunkGet)
-		putChunkKey(w, l.Key)
-		resp, err := c.Net.Call(ctx, addr, w.Bytes())
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		r := wire.NewReader(resp)
-		data := r.BytesCopy()
-		if err := r.Err(); err != nil {
-			lastErr = err
-			continue
-		}
-		return data, nil
+// replicaOrder returns the order in which a reader tries a leaf's replicas:
+// the deterministic rotation of the placement order that starts at the
+// replica picked by the chunk key's hash. Readers of different chunks start
+// at different replicas — spreading a restore's load across the whole
+// replica set instead of hot-spotting the first-placed provider — while any
+// single chunk keeps a fixed, in-order failover sequence.
+func replicaOrder(l meta.Leaf) []string {
+	n := len(l.Providers)
+	if n <= 1 {
+		return l.Providers
 	}
-	return nil, fmt.Errorf("blobseer: chunk %v unavailable on all replicas: %w", l.Key, lastErr)
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(l.Key.Blob >> (8 * i))
+		buf[8+i] = byte(l.Key.ID >> (8 * i))
+	}
+	h.Write(buf[:])
+	start := int(h.Sum64() % uint64(n))
+	out := make([]string, 0, n)
+	out = append(out, l.Providers[start:]...)
+	out = append(out, l.Providers[:start]...)
+	return out
 }
 
 // WriteAt publishes a new version with data written at offset, performing

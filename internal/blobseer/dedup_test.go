@@ -138,7 +138,9 @@ func TestDedupReplicationPlacesPerContent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cs.TransferBytes != 2*chunk || cs.LogicalBytes != 2*chunk {
+	// Both replica bodies cross the network, but the commit's payload is one
+	// chunk: LogicalBytes counts once per chunk, independent of replication.
+	if cs.TransferBytes != 2*chunk || cs.LogicalBytes != chunk {
 		t.Fatalf("first replicated commit: %+v", cs)
 	}
 	_, cs, err = c.WriteVersionStats(ctx, blob, map[uint64][]byte{1: content}, 2*chunk)

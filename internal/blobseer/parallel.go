@@ -1,0 +1,229 @@
+package blobseer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"blobcr/internal/cas"
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/wire"
+)
+
+// DefaultParallelism is the number of concurrent per-provider streams a
+// commit or restore fans out to when Client.Parallelism is unset. One stream
+// per provider saturates up to this many providers; deployments striping
+// wider set Parallelism to at least their provider count.
+const DefaultParallelism = 8
+
+// batchBytesLimit caps the payload bytes of one batched frame. A commit or
+// restore splits a provider's chunk set into frames of at most this size, so
+// a single frame never monopolizes a connection and stays far below
+// wire.MaxFieldSize.
+const batchBytesLimit = 4 << 20
+
+// maxFrameItems caps the item count of one batched frame (body-less frames
+// like fingerprint probes and node sets are not bounded by bytes). It stays
+// well under the server's maxBatchItems guard, so a legitimate frame is
+// never mistaken for a corrupt count.
+const maxFrameItems = 1 << 16
+
+func (c *Client) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return DefaultParallelism
+}
+
+// runLimited runs fn(i) for i in [0, n) on at most limit goroutines,
+// errgroup-style: the first error cancels the context the remaining calls
+// run under, and is returned after all started calls finish.
+func runLimited(ctx context.Context, limit, n int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if limit > n {
+		limit = n
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first error
+	for i := 0; i < n; i++ {
+		if gctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(gctx, i); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}
+
+// runGroups runs fn once per provider group, the groups proceeding
+// concurrently on at most limit streams (errgroup-style cancellation via
+// runLimited). This is the one fan-out shape the whole data path uses:
+// group items by provider, run one stream per provider.
+func runGroups[T any](ctx context.Context, limit int, groups map[string][]T, fn func(ctx context.Context, addr string, items []T) error) error {
+	addrs := make([]string, 0, len(groups))
+	for addr := range groups {
+		addrs = append(addrs, addr)
+	}
+	return runLimited(ctx, limit, len(addrs), func(ctx context.Context, i int) error {
+		return fn(ctx, addrs[i], groups[addrs[i]])
+	})
+}
+
+// errStopGroup is returned by a frame callback to abandon the rest of a
+// provider's frames without failing the whole operation — the provider died
+// and its remaining items go to the failover path. Callers translate it to
+// nil after splitByBytes returns.
+var errStopGroup = errors.New("blobseer: provider stream abandoned")
+
+// splitByBytes calls fn over consecutive [start, end) windows of n items
+// whose summed sizes stay within batchBytesLimit and whose count stays
+// within maxFrameItems (always at least one item per window), stopping at
+// the first error.
+func splitByBytes(n int, size func(i int) int, fn func(start, end int) error) error {
+	for start := 0; start < n; {
+		end, bytes := start, 0
+		for end < n && end-start < maxFrameItems && (end == start || bytes+size(end) <= batchBytesLimit) {
+			bytes += size(end)
+			end++
+		}
+		if err := fn(start, end); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// putChunkBatch ships a set of (blob, id)-addressed chunk replicas to one
+// provider in a single round trip.
+func (c *Client) putChunkBatch(ctx context.Context, addr string, keys []chunkstore.Key, bodies [][]byte) error {
+	size := 16
+	for _, b := range bodies {
+		size += 24 + len(b)
+	}
+	w := wire.NewBuffer(size)
+	w.PutU8(opChunkPutBatch)
+	w.PutUvarint(uint64(len(keys)))
+	for i, k := range keys {
+		putChunkKey(w, k)
+		w.PutBytes(bodies[i])
+	}
+	if _, err := c.Net.Call(ctx, addr, w.Bytes()); err != nil {
+		return fmt.Errorf("blobseer: put %d chunks to %s: %w", len(keys), addr, err)
+	}
+	return nil
+}
+
+// getChunkBatch fetches a set of chunks from one provider in a single round
+// trip. The result is aligned with keys; a chunk the provider does not hold
+// yields a nil entry (the caller fails over to another replica).
+func (c *Client) getChunkBatch(ctx context.Context, addr string, keys []chunkstore.Key) ([][]byte, error) {
+	w := wire.NewBuffer(16 + 16*len(keys))
+	w.PutU8(opChunkGetBatch)
+	w.PutUvarint(uint64(len(keys)))
+	for _, k := range keys {
+		putChunkKey(w, k)
+	}
+	resp, err := c.Net.Call(ctx, addr, w.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("blobseer: get %d chunks from %s: %w", len(keys), addr, err)
+	}
+	r := wire.NewReader(resp)
+	out := make([][]byte, len(keys))
+	for i := range keys {
+		if r.Bool() {
+			out[i] = r.BytesCopy()
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// casRefBatch performs the "have these fingerprints?" round trip against one
+// provider: one reference is taken for every fingerprint reported held. Very
+// large probe sets split into frames of maxFrameItems. On error, the
+// already-completed frames' results are still returned — valid counts how
+// many leading entries of held are meaningful — so the caller can record the
+// references those frames took (they must be released on abort).
+func (c *Client) casRefBatch(ctx context.Context, addr string, fps []cas.Fingerprint) (held []bool, valid int, err error) {
+	held = make([]bool, len(fps))
+	for start := 0; start < len(fps); start += maxFrameItems {
+		end := min(start+maxFrameItems, len(fps))
+		w := wire.NewBuffer(16 + 40*(end-start))
+		w.PutU8(opCasRefBatch)
+		w.PutUvarint(uint64(end - start))
+		for _, fp := range fps[start:end] {
+			putFingerprint(w, fp)
+		}
+		resp, err := c.Net.Call(ctx, addr, w.Bytes())
+		if err != nil {
+			return held, start, fmt.Errorf("blobseer: cas ref batch on %s: %w", addr, err)
+		}
+		r := wire.NewReader(resp)
+		for i := start; i < end; i++ {
+			v := r.Bool()
+			if err := r.Err(); err != nil {
+				// Truncated response: the flags decoded so far are real —
+				// the server processed the whole frame — so count them into
+				// valid; the caller must record (and eventually release)
+				// those references.
+				return held, i, err
+			}
+			held[i] = v
+		}
+	}
+	return held, len(fps), nil
+}
+
+// casPutBatch uploads a set of bodies under their fingerprints to one
+// provider in a single round trip, taking one reference each.
+func (c *Client) casPutBatch(ctx context.Context, addr string, fps []cas.Fingerprint, bodies [][]byte) error {
+	size := 16
+	for _, b := range bodies {
+		size += 48 + len(b)
+	}
+	w := wire.NewBuffer(size)
+	w.PutU8(opCasPutBatch)
+	w.PutUvarint(uint64(len(fps)))
+	for i, fp := range fps {
+		putFingerprint(w, fp)
+		w.PutBytes(bodies[i])
+	}
+	resp, err := c.Net.Call(ctx, addr, w.Bytes())
+	if err != nil {
+		return fmt.Errorf("blobseer: cas put batch to %s: %w", addr, err)
+	}
+	r := wire.NewReader(resp)
+	for range fps {
+		r.Bool() // dup flag, unused: transfer already happened either way
+	}
+	return r.Err()
+}

@@ -1,0 +1,438 @@
+package blobseer
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"blobcr/internal/cas"
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/meta"
+	"blobcr/internal/transport"
+	"blobcr/internal/wire"
+)
+
+// TestPlacedReplicationCountsLogicalBytesOncePerChunk is the regression test
+// for the LogicalBytes accounting fix: a replicated placed commit ships one
+// body per replica (TransferBytes) but its payload is each chunk once —
+// before the fix, LogicalBytes was inflated by the replica count, skewing
+// the dedup hit-rate math.
+func TestPlacedReplicationCountsLogicalBytesOncePerChunk(t *testing.T) {
+	const chunk = 512
+	d, err := Deploy(transport.NewInProc(), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	c := d.Client()
+	c.Replication = 2
+
+	blob, err := c.CreateBlob(ctx, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := make(map[uint64][]byte)
+	for i := uint64(0); i < 4; i++ {
+		writes[i] = bytes.Repeat([]byte{byte('p' + i)}, chunk)
+	}
+	_, cs, err := c.WriteVersionStats(ctx, blob, writes, 4*chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Chunks != 4 {
+		t.Errorf("Chunks = %d, want 4", cs.Chunks)
+	}
+	if cs.LogicalBytes != 4*chunk {
+		t.Errorf("LogicalBytes = %d, want %d (once per chunk, not per replica)", cs.LogicalBytes, 4*chunk)
+	}
+	if cs.TransferBytes != 8*chunk {
+		t.Errorf("TransferBytes = %d, want %d (both replica bodies cross the network)", cs.TransferBytes, 8*chunk)
+	}
+}
+
+// TestDedupCommitProbesPerProviderNotPerChunk is the acceptance test for the
+// batched CAS probe: a dedup commit must issue O(providers) round trips —
+// one "have these fingerprints?" frame and one body-upload frame per
+// provider — never O(chunks). 64 fresh chunks against 2 providers and 1
+// metadata shard fit in a dozen round trips; the pre-batch protocol needed
+// well over 128 (one probe + one put per chunk) plus one metadata put per
+// tree node.
+func TestDedupCommitProbesPerProviderNotPerChunk(t *testing.T) {
+	const chunks = 64
+	lat := transport.WithLatency(transport.NewInProc(), 0)
+	d, err := Deploy(lat, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	c := d.Client()
+	c.Dedup = true
+
+	blob, err := c.CreateBlob(ctx, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := make(map[uint64][]byte)
+	for i := uint64(0); i < chunks; i++ {
+		writes[i] = bytes.Repeat([]byte{byte(i), byte(i + 1)}, 512)
+	}
+	calls0 := lat.Calls()
+	if _, _, err := c.WriteVersionStats(ctx, blob, writes, chunks*1024); err != nil {
+		t.Fatal(err)
+	}
+	commitCalls := lat.Calls() - calls0
+	if commitCalls > 16 {
+		t.Errorf("fresh dedup commit of %d chunks issued %d round trips, want O(providers) (<= 16)", chunks, commitCalls)
+	}
+
+	// A fully deduplicated re-commit (same bodies, new snapshot) ships no
+	// body frames: probes plus the level-order metadata reads of the
+	// previous version's paths — O(providers + log span), still nowhere
+	// near O(chunks).
+	calls0 = lat.Calls()
+	if _, _, err := c.WriteVersionStats(ctx, blob, writes, chunks*1024); err != nil {
+		t.Fatal(err)
+	}
+	dedupCalls := lat.Calls() - calls0
+	if dedupCalls > 20 {
+		t.Errorf("dedup re-commit issued %d round trips, want O(providers + log span) (<= 20)", dedupCalls)
+	}
+}
+
+// addrCountNet counts calls per address, for asserting which providers
+// serve read traffic.
+type addrCountNet struct {
+	*transport.InProc
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func (n *addrCountNet) Call(ctx context.Context, addr string, req []byte) ([]byte, error) {
+	n.mu.Lock()
+	n.calls[addr]++
+	n.mu.Unlock()
+	return n.InProc.Call(ctx, addr, req)
+}
+
+func (n *addrCountNet) reset() {
+	n.mu.Lock()
+	n.calls = make(map[string]int)
+	n.mu.Unlock()
+}
+
+func (n *addrCountNet) count(addr string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.calls[addr]
+}
+
+// TestReadSpreadsAcrossReplicas: with two replicas on two providers, a
+// restore must draw chunks from both — the replica rotation (by chunk key
+// hash) spreads read load instead of hot-spotting the first-placed replica.
+// In-order failover per chunk is preserved: partitioning one provider leaves
+// every chunk readable through the other.
+func TestReadSpreadsAcrossReplicas(t *testing.T) {
+	const chunk = 1024
+	const chunks = 16
+	net := &addrCountNet{InProc: transport.NewInProc(), calls: make(map[string]int)}
+	d, err := Deploy(net, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	c := d.Client()
+	c.Replication = 2 // every chunk on both providers
+
+	blob, err := c.CreateBlob(ctx, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := make(map[uint64][]byte)
+	want := make([]byte, 0, chunks*chunk)
+	for i := uint64(0); i < chunks; i++ {
+		body := bytes.Repeat([]byte{byte('r' + i)}, chunk)
+		writes[i] = body
+		want = append(want, body...)
+	}
+	info, err := c.WriteVersion(ctx, blob, writes, chunks*chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := SnapshotRef{Blob: blob, Version: info.Version}
+
+	net.reset()
+	got, err := c.ReadVersion(ctx, ref, 0, chunks*chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restore corrupted")
+	}
+	for _, addr := range d.DataAddrs {
+		if net.count(addr) == 0 {
+			t.Errorf("provider %s served no reads: replica rotation not spreading load", addr)
+		}
+	}
+
+	// In-order failover survives the rotation: with one provider dark, the
+	// full restore still succeeds through the remaining replicas.
+	net.InProc.Partition(d.DataAddrs[0])
+	got, err = c.ReadVersion(ctx, ref, 0, chunks*chunk)
+	if err != nil {
+		t.Fatalf("restore with one replica provider dark: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("failover restore corrupted")
+	}
+}
+
+// TestParallelCommitRetireRaceStress is the concurrent-commit-vs-Retire
+// stress run over the *parallel* upload path: several writers with
+// Parallelism > 1 and replication 2 share a small content pool while
+// retiring superseded snapshots. Every published snapshot must stay fully
+// readable and refcounts must never double-free. Run with -race.
+func TestParallelCommitRetireRaceStress(t *testing.T) {
+	const (
+		chunk   = 1024
+		writers = 5
+		rounds  = 20
+		stripes = 4
+		pool    = 3
+	)
+	d, err := Deploy(transport.NewInProc(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	c := d.Client()
+	c.Dedup = true
+	c.Replication = 2
+	c.Parallelism = 4
+
+	contents := make([][]byte, pool)
+	for i := range contents {
+		contents[i] = bytes.Repeat([]byte{byte('A' + i)}, chunk)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blob, err := c.CreateBlob(ctx, chunk)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				writes := make(map[uint64][]byte, stripes)
+				want := make([]byte, 0, stripes*chunk)
+				for s := 0; s < stripes; s++ {
+					body := contents[(w+r+s)%pool]
+					writes[uint64(s)] = body
+					want = append(want, body...)
+				}
+				info, _, err := c.WriteVersionStats(ctx, blob, writes, stripes*chunk)
+				if err != nil {
+					errs <- fmt.Errorf("writer %d round %d: commit: %w", w, r, err)
+					return
+				}
+				got, err := c.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, stripes*chunk)
+				if err != nil {
+					errs <- fmt.Errorf("writer %d round %d: read: %w", w, r, err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("writer %d round %d: snapshot corrupted", w, r)
+					return
+				}
+				if _, err := c.RetireStats(ctx, blob, info.Version); err != nil {
+					errs <- fmt.Errorf("writer %d round %d: retire: %w", w, r, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// --- batch frame decoding (satellite: malformed frames fail cleanly) ---
+
+// batchFrames builds one valid frame per batch verb, against matching
+// server state where needed.
+func batchFrames() map[string][]byte {
+	frames := make(map[string][]byte)
+
+	key := chunkstore.Key{Blob: 7, ID: 9}
+	body := bytes.Repeat([]byte{0xAB}, 32)
+	fp := cas.Sum(body)
+
+	w := wire.NewBuffer(64)
+	w.PutU8(opChunkPutBatch)
+	w.PutUvarint(2)
+	putChunkKey(w, key)
+	w.PutBytes(body)
+	putChunkKey(w, chunkstore.Key{Blob: 7, ID: 10})
+	w.PutBytes(body)
+	frames["opChunkPutBatch"] = append([]byte(nil), w.Bytes()...)
+
+	w = wire.NewBuffer(64)
+	w.PutU8(opChunkGetBatch)
+	w.PutUvarint(2)
+	putChunkKey(w, key)
+	putChunkKey(w, chunkstore.Key{Blob: 7, ID: 10})
+	frames["opChunkGetBatch"] = append([]byte(nil), w.Bytes()...)
+
+	w = wire.NewBuffer(64)
+	w.PutU8(opCasRefBatch)
+	w.PutUvarint(2)
+	putFingerprint(w, fp)
+	putFingerprint(w, cas.Sum([]byte("other")))
+	frames["opCasRefBatch"] = append([]byte(nil), w.Bytes()...)
+
+	w = wire.NewBuffer(128)
+	w.PutU8(opCasPutBatch)
+	w.PutUvarint(1)
+	putFingerprint(w, fp)
+	w.PutBytes(body)
+	frames["opCasPutBatch"] = append([]byte(nil), w.Bytes()...)
+
+	nk := meta.NodeKey{Blob: 1, Version: 2, Offset: 3, Span: 4}
+	w = wire.NewBuffer(64)
+	w.PutU8(opNodePutBatch)
+	w.PutUvarint(2)
+	putNodeKey(w, nk)
+	w.PutBytes([]byte("node-a"))
+	putNodeKey(w, meta.NodeKey{Blob: 1, Version: 2, Offset: 4, Span: 4})
+	w.PutBytes([]byte("node-b"))
+	frames["opNodePutBatch"] = append([]byte(nil), w.Bytes()...)
+
+	w = wire.NewBuffer(64)
+	w.PutU8(opNodeGetBatch)
+	w.PutUvarint(2)
+	putNodeKey(w, nk)
+	putNodeKey(w, meta.NodeKey{Blob: 9, Version: 9, Offset: 0, Span: 1})
+	frames["opNodeGetBatch"] = append([]byte(nil), w.Bytes()...)
+
+	return frames
+}
+
+// handlerFor routes a frame to the right daemon handler.
+func handlerFor(t *testing.T, verb string) func(context.Context, []byte) ([]byte, error) {
+	t.Helper()
+	switch verb {
+	case "opNodePutBatch", "opNodeGetBatch":
+		return NewMetadataProvider().handle
+	default:
+		return NewDataProvider(cas.NewMem()).handle
+	}
+}
+
+// TestBatchFramesDecodeCleanly: every batch verb accepts its well-formed
+// frame and rejects every truncation and an implausible item count with a
+// clean error — no panic, no partial application.
+func TestBatchFramesDecodeCleanly(t *testing.T) {
+	for verb, frame := range batchFrames() {
+		t.Run(verb, func(t *testing.T) {
+			h := handlerFor(t, verb)
+			if _, err := h(ctx, frame); err != nil {
+				t.Fatalf("well-formed frame rejected: %v", err)
+			}
+			// Every strict prefix must fail cleanly: the item count promises
+			// more than the frame holds.
+			for cut := 1; cut < len(frame); cut++ {
+				if _, err := h(ctx, frame[:cut]); err == nil {
+					t.Fatalf("truncated frame (%d of %d bytes) accepted", cut, len(frame))
+				}
+			}
+			// An implausible item count is rejected before any allocation
+			// or application.
+			w := wire.NewBuffer(16)
+			w.PutU8(frame[0])
+			w.PutUvarint(1 << 40)
+			if _, err := h(ctx, w.Bytes()); err == nil {
+				t.Fatal("implausible batch count accepted")
+			}
+		})
+	}
+}
+
+// TestCasPutBatchCorruptBodyTakesNoRefs: a batch whose body does not hash to
+// its claimed fingerprint is rejected whole — no reference is taken for any
+// item, including the valid ones before it.
+func TestCasPutBatchCorruptBodyTakesNoRefs(t *testing.T) {
+	store := cas.NewMem()
+	dp := NewDataProvider(store)
+	good := bytes.Repeat([]byte{0x01}, 16)
+	w := wire.NewBuffer(128)
+	w.PutU8(opCasPutBatch)
+	w.PutUvarint(2)
+	putFingerprint(w, cas.Sum(good))
+	w.PutBytes(good)
+	putFingerprint(w, cas.Sum([]byte("claimed")))
+	w.PutBytes([]byte("actual")) // mismatch
+	if _, err := dp.handle(ctx, w.Bytes()); err == nil {
+		t.Fatal("corrupt batch accepted")
+	}
+	st := store.Stats()
+	if st.Refs != 0 || st.Chunks != 0 {
+		t.Fatalf("corrupt batch applied partially: %d refs, %d chunks", st.Refs, st.Chunks)
+	}
+}
+
+// TestSingularNodeVerbsRemainServed: the pre-batch opNodePut/opNodeGet verbs
+// stay on the wire for older clients; the metadata provider must keep
+// serving them alongside the batch path.
+func TestSingularNodeVerbsRemainServed(t *testing.T) {
+	mp := NewMetadataProvider()
+	nk := meta.NodeKey{Blob: 5, Version: 1, Offset: 0, Span: 2}
+
+	w := wire.NewBuffer(64)
+	w.PutU8(opNodePut)
+	putNodeKey(w, nk)
+	w.PutBytes([]byte("legacy-node"))
+	if _, err := mp.handle(ctx, w.Bytes()); err != nil {
+		t.Fatalf("opNodePut: %v", err)
+	}
+
+	w = wire.NewBuffer(64)
+	w.PutU8(opNodeGet)
+	putNodeKey(w, nk)
+	resp, err := mp.handle(ctx, w.Bytes())
+	if err != nil {
+		t.Fatalf("opNodeGet: %v", err)
+	}
+	r := wire.NewReader(resp)
+	if got := string(r.Bytes()); got != "legacy-node" || r.Err() != nil {
+		t.Fatalf("opNodeGet returned %q (err %v)", got, r.Err())
+	}
+
+	// A singular put is visible to the batch get, and vice versa absence is
+	// an error on the singular path (not a presence flag).
+	w = wire.NewBuffer(64)
+	w.PutU8(opNodeGetBatch)
+	w.PutUvarint(1)
+	putNodeKey(w, nk)
+	resp, err = mp.handle(ctx, w.Bytes())
+	if err != nil {
+		t.Fatalf("opNodeGetBatch after singular put: %v", err)
+	}
+	r = wire.NewReader(resp)
+	if !r.Bool() || string(r.Bytes()) != "legacy-node" {
+		t.Fatal("batch get does not see singular put")
+	}
+	w = wire.NewBuffer(64)
+	w.PutU8(opNodeGet)
+	putNodeKey(w, meta.NodeKey{Blob: 9})
+	if _, err := mp.handle(ctx, w.Bytes()); err == nil {
+		t.Fatal("opNodeGet of missing node succeeded")
+	}
+}

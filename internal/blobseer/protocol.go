@@ -19,6 +19,32 @@
 // All services speak a compact binary protocol over transport.Network, so a
 // deployment can run in-process (tests, examples) or across machines
 // (cmd/blobseerd).
+//
+// # Batch verbs
+//
+// The hot data paths move whole per-provider sets per round trip instead of
+// one item per call. Every batch frame starts with the op byte and a uvarint
+// item count, followed by the items back to back:
+//
+//   - opChunkPutBatch: n x (chunk key, body). Response: empty. One frame
+//     ships every chunk a commit assigns to one data provider.
+//   - opChunkGetBatch: n x chunk key. Response: n x (present bool, body if
+//     present). Absent chunks are reported per item, not as a frame error,
+//     so the reader fails over only the chunks that need it.
+//   - opCasRefBatch: n x fingerprint. Response: n x held bool. One "have
+//     these fingerprints?" round trip per provider per commit; a reference
+//     is taken for every held fingerprint, exactly as opCasRef does singly.
+//   - opCasPutBatch: n x (fingerprint, body). Response: n x dup bool. All
+//     fingerprints are validated against their bodies before any item is
+//     applied, so a corrupt frame takes no references.
+//   - opNodePutBatch: n x (node key, encoded node). Response: empty. A
+//     Publish flushes its whole staged node set in one frame per shard.
+//   - opNodeGetBatch: n x node key. Response: n x (present bool, encoded
+//     node if present). Missing nodes are per-item, letting the tree layer
+//     distinguish holes from corruption.
+//
+// A malformed batch frame (truncated mid-item, implausible count) is
+// rejected before any item is applied.
 package blobseer
 
 import (
@@ -68,6 +94,13 @@ const (
 	opCasPut
 	opCasRelease
 	opCasStats
+
+	// Batch verbs (see the package comment): many items per frame, one
+	// frame per provider per commit or restore pass.
+	opChunkPutBatch
+	opChunkGetBatch
+	opCasRefBatch
+	opCasPutBatch
 )
 
 // Op codes for metadata providers.
@@ -77,7 +110,27 @@ const (
 	opNodeList
 	opNodeDelete
 	opNodeUsage
+	opNodePutBatch
+	opNodeGetBatch
 )
+
+// maxBatchItems bounds the item count of one batch frame: far above any
+// legitimate batch (the client splits its frames by batchBytesLimit and
+// maxFrameItems, both well below this) and small enough to reject a corrupt
+// count before allocating.
+const maxBatchItems = 1 << 20
+
+// batchCount decodes and sanity-checks a batch frame's item count.
+func batchCount(op int, r *wire.Reader) (uint64, error) {
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, fmt.Errorf("blobseer: bad request for op %d: %w", op, err)
+	}
+	if n > maxBatchItems {
+		return 0, fmt.Errorf("blobseer: op %d: implausible batch of %d items", op, n)
+	}
+	return n, nil
+}
 
 // VersionInfo describes one published version of a BLOB.
 type VersionInfo struct {

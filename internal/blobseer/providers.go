@@ -211,6 +211,71 @@ func (dp *DataProvider) handle(_ context.Context, req []byte) ([]byte, error) {
 		w.PutU64(uint64(dp.store.UsedBytes()))
 		w.PutU64(uint64(dp.store.Len()))
 
+	case opChunkPutBatch:
+		n, err := batchCount(op, r)
+		if err != nil {
+			return nil, err
+		}
+		// Decode the whole frame before applying anything: a truncated or
+		// corrupt batch stores no chunks.
+		keys := make([]chunkstore.Key, 0, n)
+		bodies := make([][]byte, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			keys = append(keys, getChunkKey(r))
+			bodies = append(bodies, r.Bytes())
+		}
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		// All-or-nothing application: the client treats a failed frame as
+		// nothing-landed and re-places every slot elsewhere, so chunks
+		// stored before a mid-frame backend failure would be orphans no
+		// leaf ever references — unwind them. Only keys this frame actually
+		// inserted are deleted: a re-delivered replica of a chunk an
+		// earlier commit published must survive the unwind.
+		inserted := make([]chunkstore.Key, 0, len(keys))
+		for i := range keys {
+			existed := dp.store.Has(keys[i])
+			if err := dp.store.Put(keys[i], bodies[i]); err != nil {
+				for _, k := range inserted {
+					dp.store.Delete(k) //nolint:errcheck // best effort unwind
+				}
+				return nil, err
+			}
+			if !existed {
+				inserted = append(inserted, keys[i])
+			}
+		}
+
+	case opChunkGetBatch:
+		n, err := batchCount(op, r)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]chunkstore.Key, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			keys = append(keys, getChunkKey(r))
+		}
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		for _, k := range keys {
+			data, err := dp.store.Get(k)
+			switch {
+			case errors.Is(err, chunkstore.ErrNotFound):
+				// Per-item absence: the reader fails over this chunk only.
+				w.PutBool(false)
+			case err != nil:
+				// A real backend failure (unreadable file, I/O error) must
+				// not masquerade as absence: fail the frame so the reader
+				// records the true cause while failing over.
+				return nil, err
+			default:
+				w.PutBool(true)
+				w.PutBytes(data)
+			}
+		}
+
 	case opCasRef:
 		fp := getFingerprint(r)
 		if err := reqErr(op, r); err != nil {
@@ -221,6 +286,63 @@ func (dp *DataProvider) handle(_ context.Context, req []byte) ([]byte, error) {
 			return nil, err
 		}
 		w.PutBool(cs.Ref(fp))
+
+	case opCasRefBatch:
+		n, err := batchCount(op, r)
+		if err != nil {
+			return nil, err
+		}
+		fps := make([]cas.Fingerprint, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			fps = append(fps, getFingerprint(r))
+		}
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		cs, err := dp.casStore()
+		if err != nil {
+			return nil, err
+		}
+		for _, fp := range fps {
+			w.PutBool(cs.Ref(fp))
+		}
+
+	case opCasPutBatch:
+		n, err := batchCount(op, r)
+		if err != nil {
+			return nil, err
+		}
+		fps := make([]cas.Fingerprint, 0, n)
+		bodies := make([][]byte, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			fps = append(fps, getFingerprint(r))
+			bodies = append(bodies, r.Bytes())
+		}
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		cs, err := dp.casStore()
+		if err != nil {
+			return nil, err
+		}
+		// The frame is all-or-nothing: the client treats a failed frame as
+		// "no references taken" and fails the chunks over to other
+		// providers, so on any mid-frame failure — a body that does not
+		// hash to its claimed fingerprint (PutContent validates) or a
+		// backend error — the references already taken by earlier items
+		// are returned before erroring out.
+		applied := make([]cas.Fingerprint, 0, len(fps))
+		for i := range fps {
+			dup, err := cs.PutContent(fps[i], bodies[i])
+			if err != nil {
+				for _, fp := range applied {
+					cs.Release(fp) //nolint:errcheck // best effort unwind
+				}
+				return nil, err
+			}
+			applied = append(applied, fps[i])
+			w.PutBool(dup)
+		}
 
 	case opCasPut:
 		fp := getFingerprint(r)
@@ -376,6 +498,51 @@ func (mp *MetadataProvider) handle(_ context.Context, req []byte) ([]byte, error
 		mp.mu.RLock()
 		w.PutU64(uint64(mp.bytes))
 		w.PutU64(uint64(len(mp.nodes)))
+		mp.mu.RUnlock()
+
+	case opNodePutBatch:
+		n, err := batchCount(op, r)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]meta.NodeKey, 0, n)
+		vals := make([][]byte, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			keys = append(keys, getNodeKey(r))
+			vals = append(vals, r.BytesCopy())
+		}
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		mp.mu.Lock()
+		for i, key := range keys {
+			if _, exists := mp.nodes[key]; !exists {
+				mp.nodes[key] = vals[i]
+				mp.bytes += int64(len(vals[i]))
+			}
+		}
+		mp.mu.Unlock()
+
+	case opNodeGetBatch:
+		n, err := batchCount(op, r)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]meta.NodeKey, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			keys = append(keys, getNodeKey(r))
+		}
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		mp.mu.RLock()
+		for _, key := range keys {
+			val, ok := mp.nodes[key]
+			w.PutBool(ok)
+			if ok {
+				w.PutBytes(val)
+			}
+		}
 		mp.mu.RUnlock()
 
 	default:

@@ -91,6 +91,7 @@ type Cloud struct {
 	repo        *blobseer.Deployment
 	replication int
 	dedup       bool
+	parallelism int
 
 	mu      sync.Mutex
 	nodes   []*Node
@@ -111,6 +112,12 @@ type Config struct {
 	// pruning old checkpoints reclaims space by reference counting instead
 	// of a whole-repository sweep.
 	Dedup bool
+	// Parallelism bounds the concurrent per-provider streams every
+	// repository client the cloud hands out runs during commits and
+	// restores (blobseer.Client.Parallelism). Zero means the client
+	// default; deployments striping checkpoints across many nodes set it
+	// to at least Nodes.
+	Parallelism int
 	// Net overrides the cloud's network. It must support fail-stop
 	// partitioning (FailNode injects failures through it); nil means a fresh
 	// in-process network. The availability experiments pass a
@@ -152,15 +159,17 @@ func New(cfg Config) (*Cloud, error) {
 	}
 	c.replication = cfg.Replication
 	c.dedup = cfg.Dedup
+	c.parallelism = cfg.Parallelism
 	return c, nil
 }
 
-// Client returns a repository client (replication and dedup configured at
-// New).
+// Client returns a repository client (replication, dedup and parallelism
+// configured at New).
 func (c *Cloud) Client() *blobseer.Client {
 	cl := c.repo.Client()
 	cl.Replication = c.replication
 	cl.Dedup = c.dedup
+	cl.Parallelism = c.parallelism
 	return cl
 }
 

@@ -14,11 +14,20 @@
 // references the origin blob's tree; the clone's subsequent writes create
 // nodes under its own blob id whose unmodified children still point into the
 // origin's nodes.
+//
+// Node I/O is batched: the NodeStore interface moves whole node sets per
+// call. Publish stages every node it creates and flushes them in a single
+// PutNodes call, and Publish's reads of the previous version's paths as well
+// as Lookup's descent proceed level by level, fetching each level's node set
+// in one GetNodes call — so a tree operation costs O(tree depth) round trips
+// per metadata provider instead of O(nodes touched).
 package meta
 
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"sort"
 
 	"blobcr/internal/chunkstore"
 	"blobcr/internal/wire"
@@ -57,14 +66,27 @@ type LeafSlot struct {
 	Present bool
 }
 
-// NodeStore is the storage backend for tree nodes. Implementations shard
-// keys across metadata providers.
-type NodeStore interface {
-	PutNode(k NodeKey, encoded []byte) error
-	GetNode(k NodeKey) ([]byte, error)
+// NodePut is one staged node write.
+type NodePut struct {
+	Key     NodeKey
+	Encoded []byte
 }
 
-// ErrNodeNotFound is returned by NodeStore implementations for missing nodes.
+// NodeStore is the storage backend for tree nodes. Implementations shard
+// keys across metadata providers; both methods move whole node sets so a
+// remote implementation can group by shard and issue one round trip per
+// metadata provider.
+type NodeStore interface {
+	// PutNodes stores the staged nodes. Nodes are immutable: re-putting an
+	// existing key is an idempotent no-op.
+	PutNodes(puts []NodePut) error
+	// GetNodes fetches the encoded nodes for keys, aligned by index. A
+	// missing node yields a nil entry, not an error: callers decide whether
+	// absence is a hole or corruption.
+	GetNodes(keys []NodeKey) ([][]byte, error)
+}
+
+// ErrNodeNotFound is returned for tree descents that hit a missing node.
 var ErrNodeNotFound = errors.New("meta: node not found")
 
 // Tree provides segment-tree operations over a NodeStore.
@@ -140,12 +162,53 @@ func decodeNode(p []byte) (*node, error) {
 	return n, nil
 }
 
-func (t *Tree) getNode(ref NodeRef, offset, span uint64) (*node, error) {
-	raw, err := t.Store.GetNode(NodeKey{Blob: ref.Blob, Version: ref.Version, Offset: offset, Span: span})
+// treePos names one node position being fetched during a level-order
+// descent: the reference to follow and the range it covers.
+type treePos struct {
+	ref          NodeRef
+	offset, span uint64
+}
+
+// getLevel fetches and decodes one descent level's nodes in a single
+// GetNodes call, aligned with items. A missing node is wrapped in
+// ErrNodeNotFound and a decode failure in the given verb's context, so both
+// level-order traversals (Publish's prefetch and Lookup) report errors the
+// same way.
+func (t *Tree) getLevel(verb string, items []treePos) ([]*node, error) {
+	keys := make([]NodeKey, len(items))
+	for i, it := range items {
+		keys[i] = NodeKey{Blob: it.ref.Blob, Version: it.ref.Version, Offset: it.offset, Span: it.span}
+	}
+	raws, err := t.Store.GetNodes(keys)
 	if err != nil {
 		return nil, err
 	}
-	return decodeNode(raw)
+	out := make([]*node, len(items))
+	for i, it := range items {
+		if raws[i] == nil {
+			return nil, fmt.Errorf("meta: %s (off=%d span=%d): %w: %+v", verb, it.offset, it.span, ErrNodeNotFound, keys[i])
+		}
+		n, err := decodeNode(raws[i])
+		if err != nil {
+			return nil, fmt.Errorf("meta: %s (off=%d span=%d): %w", verb, it.offset, it.span, err)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// getNode fetches and decodes one node (single-node convenience over
+// GetNodes, used where batching has nothing to gain).
+func (t *Tree) getNode(ref NodeRef, offset, span uint64) (*node, error) {
+	key := NodeKey{Blob: ref.Blob, Version: ref.Version, Offset: offset, Span: span}
+	raws, err := t.Store.GetNodes([]NodeKey{key})
+	if err != nil {
+		return nil, err
+	}
+	if len(raws) != 1 || raws[0] == nil {
+		return nil, fmt.Errorf("%w: %+v", ErrNodeNotFound, key)
+	}
+	return decodeNode(raws[0])
 }
 
 // NextPow2 returns the smallest power of two >= n (and >= 1).
@@ -166,6 +229,11 @@ func NextPow2(n uint64) uint64 {
 // It returns the new root reference. If writes is empty and the span does
 // not grow, the previous root is returned unchanged (an empty commit shares
 // everything).
+//
+// I/O is batched: the previous version's nodes along the modified paths are
+// prefetched level by level (one GetNodes per level) and every node created
+// is staged and flushed in one PutNodes call, so the store sees O(depth)
+// reads and exactly one write per Publish.
 func (t *Tree) Publish(blob, version uint64, prev NodeRef, prevSpan, newSpan uint64, writes map[uint64]Leaf) (NodeRef, error) {
 	if newSpan < prevSpan {
 		return NodeRef{}, fmt.Errorf("meta: tree span cannot shrink (%d < %d)", newSpan, prevSpan)
@@ -181,13 +249,33 @@ func (t *Tree) Publish(blob, version uint64, prev NodeRef, prevSpan, newSpan uin
 			return NodeRef{}, fmt.Errorf("meta: write index %d outside span %d", idx, newSpan)
 		}
 	}
-	b := &builder{tree: t, blob: blob, version: version, prevRoot: prev, prevSpan: prevSpan, writes: writes}
+	indices := make([]uint64, 0, len(writes))
+	for idx := range writes {
+		indices = append(indices, idx)
+	}
+	slices.Sort(indices)
+	b := &builder{
+		tree:     t,
+		blob:     blob,
+		version:  version,
+		prevRoot: prev,
+		prevSpan: prevSpan,
+		writes:   writes,
+		indices:  indices,
+		cache:    make(map[NodeKey]*node),
+	}
 	var prevHere NodeRef
 	if prev.Valid && newSpan == prevSpan {
 		prevHere = prev
 	}
+	if err := b.prefetch(prevHere, newSpan); err != nil {
+		return NodeRef{}, err
+	}
 	ref, err := b.build(prevHere, 0, newSpan)
 	if err != nil {
+		return NodeRef{}, err
+	}
+	if err := t.Store.PutNodes(b.pending); err != nil {
 		return NodeRef{}, err
 	}
 	return ref, nil
@@ -201,6 +289,82 @@ type builder struct {
 	prevRoot NodeRef
 	prevSpan uint64
 	writes   map[uint64]Leaf
+	indices  []uint64 // sorted write indices
+
+	cache   map[NodeKey]*node // prefetched previous-version nodes
+	pending []NodePut         // staged writes, flushed once
+}
+
+// touched reports whether any write index falls in [offset, offset+span).
+func (b *builder) touched(offset, span uint64) bool {
+	i := sort.Search(len(b.indices), func(i int) bool { return b.indices[i] >= offset })
+	return i < len(b.indices) && b.indices[i] < offset+span
+}
+
+// wrapsOldRoot reports whether the range must be materialized solely to keep
+// the grown tree connected to the old root at (0, prevSpan).
+func (b *builder) wrapsOldRoot(offset, span uint64) bool {
+	return b.prevRoot.Valid && span > b.prevSpan && offset == 0
+}
+
+// prefetch walks the previous version's nodes that build is about to read —
+// the inner nodes covering touched ranges, plus the leftmost spine of a
+// grown tree — level by level, fetching each level's set in one GetNodes
+// call and priming the cache.
+func (b *builder) prefetch(root NodeRef, span uint64) error {
+	frontier := []treePos{{ref: root, offset: 0, span: span}}
+	for len(frontier) > 0 {
+		var next []treePos
+		var fetch []treePos
+		for _, it := range frontier {
+			touched := b.touched(it.offset, it.span)
+			wraps := b.wrapsOldRoot(it.offset, it.span)
+			if (!touched && !wraps) || it.span == 1 {
+				continue
+			}
+			half := it.span / 2
+			switch {
+			case it.ref.Valid:
+				fetch = append(fetch, it)
+			case wraps && half == b.prevSpan:
+				// Left child is exactly the old root.
+				next = append(next, treePos{ref: b.prevRoot, offset: it.offset, span: half})
+			case wraps:
+				// Keep descending the leftmost spine toward the old root.
+				next = append(next, treePos{offset: it.offset, span: half})
+			}
+		}
+		nodes, err := b.tree.getLevel("fetch previous node", fetch)
+		if err != nil {
+			return err
+		}
+		for i, it := range fetch {
+			n := nodes[i]
+			b.cache[NodeKey{Blob: it.ref.Blob, Version: it.ref.Version, Offset: it.offset, Span: it.span}] = n
+			if n.isLeaf {
+				continue // build will reject it with a proper error
+			}
+			half := it.span / 2
+			if n.left.Valid {
+				next = append(next, treePos{ref: n.left, offset: it.offset, span: half})
+			}
+			if n.right.Valid {
+				next = append(next, treePos{ref: n.right, offset: it.offset + half, span: half})
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// getPrev returns the previous version's node for the range, from the
+// prefetch cache (with a single-fetch fallback for safety).
+func (b *builder) getPrev(ref NodeRef, offset, span uint64) (*node, error) {
+	key := NodeKey{Blob: ref.Blob, Version: ref.Version, Offset: offset, Span: span}
+	if n, ok := b.cache[key]; ok {
+		return n, nil
+	}
+	return b.tree.getNode(ref, offset, span)
 }
 
 // build constructs the node covering [offset, offset+span). prevHere is the
@@ -208,17 +372,11 @@ type builder struct {
 // exist or was a hole). It returns the previous node's reference when the
 // range is untouched, achieving structural sharing.
 func (b *builder) build(prevHere NodeRef, offset, span uint64) (NodeRef, error) {
-	touched := false
-	for idx := range b.writes {
-		if idx >= offset && idx < offset+span {
-			touched = true
-			break
-		}
-	}
+	touched := b.touched(offset, span)
 	// When the tree grows, the old root sits at (0, prevSpan) inside the new
 	// tree; the subtrees above it must be materialized even if untouched so
 	// the new root reaches the old data.
-	wrapsOldRoot := b.prevRoot.Valid && span > b.prevSpan && offset == 0
+	wrapsOldRoot := b.wrapsOldRoot(offset, span)
 	if !touched && !wrapsOldRoot {
 		return prevHere, nil // share previous subtree, or keep a hole
 	}
@@ -230,7 +388,7 @@ func (b *builder) build(prevHere NodeRef, offset, span uint64) (NodeRef, error) 
 	var prevLeft, prevRight NodeRef
 	switch {
 	case prevHere.Valid:
-		pn, err := b.tree.getNode(prevHere, offset, span)
+		pn, err := b.getPrev(prevHere, offset, span)
 		if err != nil {
 			return NodeRef{}, fmt.Errorf("meta: fetch previous node (off=%d span=%d): %w", offset, span, err)
 		}
@@ -253,22 +411,64 @@ func (b *builder) build(prevHere NodeRef, offset, span uint64) (NodeRef, error) 
 	return b.put(offset, span, &node{left: left, right: right})
 }
 
+// put stages one node write; the whole set is flushed by Publish in one
+// PutNodes call.
 func (b *builder) put(offset, span uint64, n *node) (NodeRef, error) {
 	key := NodeKey{Blob: b.blob, Version: b.version, Offset: offset, Span: span}
-	if err := b.tree.Store.PutNode(key, encodeNode(n)); err != nil {
-		return NodeRef{}, err
-	}
+	b.pending = append(b.pending, NodePut{Key: key, Encoded: encodeNode(n)})
 	return NodeRef{Blob: b.blob, Version: b.version, Valid: true}, nil
 }
 
 // Lookup returns the leaf slots for chunk indices [first, first+count) in
-// the tree rooted at root with the given span. Indices beyond the span are
-// reported as holes.
+// the tree rooted at root with the given span, in index order. Indices
+// beyond the span are reported as holes.
+//
+// The descent is level-order: each level's node set is fetched in one
+// GetNodes call, so a lookup costs O(tree depth) round trips per metadata
+// provider no matter how many chunks it covers.
 func (t *Tree) Lookup(root NodeRef, span uint64, first, count uint64) ([]LeafSlot, error) {
+	lo, hi := first, first+count
 	out := make([]LeafSlot, 0, count)
-	err := t.lookupRange(root, 0, span, first, first+count, &out)
-	if err != nil {
-		return nil, err
+	frontier := []treePos{{ref: root, offset: 0, span: span}}
+	for len(frontier) > 0 {
+		var next []treePos
+		var fetch []treePos
+		for _, it := range frontier {
+			if it.offset >= hi || it.offset+it.span <= lo {
+				continue // disjoint
+			}
+			if !it.ref.Valid {
+				// Hole subtree: report holes for the overlap.
+				start, end := max(it.offset, lo), min(it.offset+it.span, hi)
+				for idx := start; idx < end; idx++ {
+					out = append(out, LeafSlot{Index: idx})
+				}
+				continue
+			}
+			fetch = append(fetch, it)
+		}
+		nodes, err := t.getLevel("lookup node", fetch)
+		if err != nil {
+			return nil, err
+		}
+		for i, it := range fetch {
+			n := nodes[i]
+			if it.span == 1 {
+				if !n.isLeaf {
+					return nil, fmt.Errorf("meta: inner node at span 1")
+				}
+				out = append(out, LeafSlot{Index: it.offset, Leaf: n.leaf, Present: true})
+				continue
+			}
+			if n.isLeaf {
+				return nil, fmt.Errorf("meta: leaf node at span %d", it.span)
+			}
+			half := it.span / 2
+			next = append(next,
+				treePos{ref: n.left, offset: it.offset, span: half},
+				treePos{ref: n.right, offset: it.offset + half, span: half})
+		}
+		frontier = next
 	}
 	// Fill any indices beyond the tree span as holes.
 	for idx := first; idx < first+count; idx++ {
@@ -276,40 +476,16 @@ func (t *Tree) Lookup(root NodeRef, span uint64, first, count uint64) ([]LeafSlo
 			out = append(out, LeafSlot{Index: idx})
 		}
 	}
+	slices.SortFunc(out, func(a, b LeafSlot) int {
+		switch {
+		case a.Index < b.Index:
+			return -1
+		case a.Index > b.Index:
+			return 1
+		}
+		return 0
+	})
 	return out, nil
-}
-
-func (t *Tree) lookupRange(ref NodeRef, offset, span, lo, hi uint64, out *[]LeafSlot) error {
-	if offset >= hi || offset+span <= lo {
-		return nil // disjoint
-	}
-	if !ref.Valid {
-		// Hole subtree: report holes for the overlap.
-		start, end := max(offset, lo), min(offset+span, hi)
-		for idx := start; idx < end; idx++ {
-			*out = append(*out, LeafSlot{Index: idx})
-		}
-		return nil
-	}
-	n, err := t.getNode(ref, offset, span)
-	if err != nil {
-		return fmt.Errorf("meta: lookup node (off=%d span=%d): %w", offset, span, err)
-	}
-	if span == 1 {
-		if !n.isLeaf {
-			return fmt.Errorf("meta: inner node at span 1")
-		}
-		*out = append(*out, LeafSlot{Index: offset, Leaf: n.leaf, Present: true})
-		return nil
-	}
-	if n.isLeaf {
-		return fmt.Errorf("meta: leaf node at span %d", span)
-	}
-	half := span / 2
-	if err := t.lookupRange(n.left, offset, half, lo, hi, out); err != nil {
-		return err
-	}
-	return t.lookupRange(n.right, offset+half, half, lo, hi, out)
 }
 
 // Walk visits every node reachable from root (covering [0, span)), calling
@@ -358,7 +534,26 @@ func NewMemNodeStore() *MemNodeStore {
 	return &MemNodeStore{m: make(map[NodeKey][]byte)}
 }
 
-// PutNode implements NodeStore.
+// PutNodes implements NodeStore.
+func (s *MemNodeStore) PutNodes(puts []NodePut) error {
+	for _, p := range puts {
+		if err := s.PutNode(p.Key, p.Encoded); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetNodes implements NodeStore: missing nodes yield nil entries.
+func (s *MemNodeStore) GetNodes(keys []NodeKey) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	return out, nil
+}
+
+// PutNode stores one node (single-node convenience).
 func (s *MemNodeStore) PutNode(k NodeKey, encoded []byte) error {
 	if _, exists := s.m[k]; exists {
 		return nil // nodes are immutable; re-put is idempotent
@@ -369,7 +564,7 @@ func (s *MemNodeStore) PutNode(k NodeKey, encoded []byte) error {
 	return nil
 }
 
-// GetNode implements NodeStore.
+// GetNode returns one node (single-node convenience).
 func (s *MemNodeStore) GetNode(k NodeKey) ([]byte, error) {
 	v, ok := s.m[k]
 	if !ok {

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sync"
 
 	"blobcr/internal/blobseer"
@@ -606,23 +607,87 @@ func (m *Module) AccessTrace() []uint64 {
 }
 
 // Prefetch fetches the given chunks into the local cache ahead of demand.
-// Already-local chunks are skipped.
+// Already-local chunks are skipped. Missing chunks are grouped into
+// contiguous runs, each fetched with one ReadVersion call — which the
+// repository client stripes across providers in batched frames — instead of
+// one round trip per chunk. The module lock is not held across the network
+// reads, so guest I/O proceeds while a (possibly large) trace is warming;
+// chunks the guest writes or pages in meanwhile are left untouched, and a
+// rollback mid-prefetch discards the stale data.
 func (m *Module) Prefetch(ctx context.Context, indices []uint64) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	src := m.src
+	// Collect the chunks that actually need fetching, deduplicated, sorted
+	// so contiguous index runs group into single striped reads.
+	need := make([]uint64, 0, len(indices))
+	seen := make(map[uint64]bool, len(indices))
 	for _, idx := range indices {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if idx*m.chunkSize >= m.size {
+		if idx*m.chunkSize >= m.size || seen[idx] {
 			continue
 		}
 		if _, ok := m.local[idx]; ok {
 			continue
 		}
-		if _, err := m.ensureLocal(idx); err != nil {
+		seen[idx] = true
+		need = append(need, idx)
+	}
+	m.mu.Unlock()
+	slices.Sort(need)
+	// Cap each run so one striped read never materializes more than
+	// prefetchRunBytes at once (a sequential boot trace over a large disk
+	// would otherwise collapse into a single whole-disk read).
+	maxRun := prefetchRunBytes / m.chunkSize
+	if maxRun < 1 {
+		maxRun = 1
+	}
+	for start := 0; start < len(need); {
+		end := start + 1
+		for end < len(need) && need[end] == need[end-1]+1 && uint64(end-start) < maxRun {
+			end++
+		}
+		if err := m.fetchRun(ctx, src, need[start:end]); err != nil {
 			return err
 		}
+		start = end
+	}
+	return nil
+}
+
+// prefetchRunBytes bounds how many bytes one Prefetch run fetches (and
+// buffers) per repository read.
+const prefetchRunBytes = 4 << 20
+
+// fetchRun pages a contiguous run of chunks into the local cache with one
+// striped repository read against the snapshot captured at Prefetch entry.
+// The fetch runs without m.mu; installation re-checks under the lock that
+// the module still exposes that snapshot (rollback discards the run) and
+// that the chunk is still absent (a concurrent guest write wins).
+func (m *Module) fetchRun(ctx context.Context, src blobseer.SnapshotRef, run []uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	first := run[0]
+	data, err := m.client.ReadVersion(ctx, src, first*m.chunkSize, uint64(len(run))*m.chunkSize)
+	if err != nil {
+		return fmt.Errorf("mirror: prefetch chunks %d..%d: %w", first, run[len(run)-1], err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.src != src {
+		return nil // rolled back mid-prefetch: this data is stale, drop it
+	}
+	for _, idx := range run {
+		if _, ok := m.local[idx]; ok {
+			continue // written or paged in while we fetched
+		}
+		m.remoteReads++
+		m.trace = append(m.trace, idx)
+		chunk := make([]byte, m.chunkSize)
+		lo := (idx - first) * m.chunkSize
+		if lo < uint64(len(data)) {
+			copy(chunk, data[lo:min(uint64(len(data)), lo+m.chunkSize)])
+		}
+		m.local[idx] = chunk
 	}
 	return nil
 }

@@ -28,8 +28,16 @@
 //	request:  STATUS <vm-id> <token>
 //	response: OK <state> <dirty-chunks> <pending-commits> | ERR <message>
 //
+//	request:  PREFETCH <vm-id> <token> <idx,idx,...>
+//	response: OK <count> | ERR <message>
+//
 //	request:  PING
 //	response: OK PONG <registered-instances>
+//
+// PREFETCH pages the listed chunks into the instance's local mirror cache
+// ahead of demand (the paper's adaptive prefetching on restart): the module
+// groups them into contiguous runs and the repository client stripes each
+// run across data providers in batched frames.
 //
 // PING is the liveness probe of the failure detector (internal/supervisor):
 // it needs no VM id or token — the round trip itself is the health signal —
@@ -185,9 +193,38 @@ func (p *Proxy) handle(ctx context.Context, req []byte) ([]byte, error) {
 			return []byte("ERR malformed request"), nil
 		}
 		return []byte(fmt.Sprintf("OK %s %d %d", t.inst.State(), t.mirror.DirtyChunks(), t.mirror.PendingCommits())), nil
+	case "PREFETCH":
+		if len(fields) != 4 {
+			return []byte("ERR malformed request"), nil
+		}
+		indices, err := parseIndices(fields[3])
+		if err != nil {
+			return []byte("ERR " + err.Error()), nil
+		}
+		if err := t.mirror.Prefetch(ctx, indices); err != nil {
+			return []byte("ERR " + err.Error()), nil
+		}
+		return []byte(fmt.Sprintf("OK %d", len(indices))), nil
 	default:
 		return []byte("ERR unknown verb " + verb), nil
 	}
+}
+
+// parseIndices decodes a PREFETCH request's comma-separated chunk list.
+func parseIndices(s string) ([]uint64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]uint64, 0, len(parts))
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad chunk index %q", ErrProto, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // checkpoint performs the suspend-clone-capture-resume sequence and returns
@@ -400,6 +437,32 @@ func (c *Client) Status(ctx context.Context) (state string, dirtyChunks, pending
 		return "", 0, 0, fmt.Errorf("%w: %q", ErrProto, resp)
 	}
 	return fields[1], dirty, pending, nil
+}
+
+// Prefetch asks the proxy to page the given chunks of this instance's disk
+// into the mirroring module's local cache ahead of demand — the restart
+// path's adaptive prefetching, driven by another instance's access trace.
+// The module groups the chunks into contiguous runs and the repository
+// client stripes each run across the data providers in batched frames, so a
+// large trace costs O(providers) round trips, not O(chunks).
+func (c *Client) Prefetch(ctx context.Context, indices []uint64) error {
+	if len(indices) == 0 {
+		return nil
+	}
+	parts := make([]string, len(indices))
+	for i, idx := range indices {
+		parts[i] = strconv.FormatUint(idx, 10)
+	}
+	req := fmt.Sprintf("PREFETCH %s %s %s", c.VMID, c.Token, strings.Join(parts, ","))
+	resp, err := c.Net.Call(ctx, c.Addr, []byte(req))
+	if err != nil {
+		return err
+	}
+	fields := strings.Fields(string(resp))
+	if len(fields) < 1 || fields[0] != "OK" {
+		return errorFrom(resp)
+	}
+	return nil
 }
 
 // Ping probes the proxy at addr for liveness and returns how many instances

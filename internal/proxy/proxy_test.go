@@ -285,3 +285,59 @@ func TestPingLiveness(t *testing.T) {
 		t.Fatalf("ping after heal: %v", err)
 	}
 }
+
+// TestPrefetchWarmsLocalCache: the PREFETCH verb pages the requested chunks
+// into the mirroring module's local cache (adaptive prefetching on restart),
+// so subsequent device reads of those chunks hit locally.
+func TestPrefetchWarmsLocalCache(t *testing.T) {
+	e := setup(t)
+	// A second instance attaches the same base cold (its own module) and is
+	// told to prefetch the chunks the first instance's boot touched.
+	mod2, err := mirror.Attach(ctx, e.client, e.mod.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefetch happens before the instance boots — warming the cache is what
+	// lets the boot's demand reads hit locally.
+	inst2 := vm.New("vm-2", mod2, vm.Config{BlockSize: 512})
+	e.proxy.Register("vm-2", "secret2", inst2, mod2)
+	pc2 := &Client{Net: e.net, Addr: e.pc.Addr, VMID: "vm-2", Token: "secret2"}
+
+	trace := e.mod.AccessTrace()
+	if len(trace) == 0 {
+		t.Fatal("first instance has no access trace")
+	}
+	remote0, _, _ := mod2.Stats()
+	if err := pc2.Prefetch(ctx, trace); err != nil {
+		t.Fatalf("Prefetch: %v", err)
+	}
+	remote1, hits1, _ := mod2.Stats()
+	if remote1 == remote0 {
+		t.Error("prefetch fetched nothing")
+	}
+	// Re-reading the prefetched chunks is now local: remoteReads stays put.
+	buf := make([]byte, 512)
+	if _, err := mod2.ReadAt(buf, int64(trace[0])*int64(mod2.ChunkSize())); err != nil {
+		t.Fatal(err)
+	}
+	remote2, hits2, _ := mod2.Stats()
+	if remote2 != remote1 {
+		t.Errorf("read after prefetch went remote: %d -> %d", remote1, remote2)
+	}
+	if hits2 <= hits1 {
+		t.Error("read after prefetch did not hit the local cache")
+	}
+
+	// A bad token is rejected; malformed indices are rejected.
+	bad := &Client{Net: e.net, Addr: e.pc.Addr, VMID: "vm-2", Token: "wrong"}
+	if err := bad.Prefetch(ctx, []uint64{0}); err == nil {
+		t.Error("prefetch with bad token succeeded")
+	}
+	resp, err := e.net.Call(ctx, e.pc.Addr, []byte("PREFETCH vm-2 secret2 1,x,3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(resp), "ERR") {
+		t.Errorf("malformed index list accepted: %q", resp)
+	}
+}

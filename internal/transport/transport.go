@@ -229,8 +229,85 @@ func (l *Latency) Heal(addr string) {
 	}
 }
 
+// --- Bandwidth-modelling network ---
+
+// Bandwidth wraps a Network, modelling every address as a pipe of finite
+// bandwidth: calls to one address are serialized and charged
+// (len(request)+len(response))/BytesPerSec of wall time while holding the
+// pipe. Independent addresses proceed in parallel, so striping a transfer
+// across N providers divides its wall time by up to N — which is what the
+// throughput experiments measure. Stack it over Latency to model both
+// per-round-trip and per-byte cost.
+type Bandwidth struct {
+	Inner       Network
+	BytesPerSec float64
+
+	mu    sync.Mutex
+	pipes map[string]*sync.Mutex
+}
+
+// WithBandwidth wraps inner with a per-address bandwidth model.
+func WithBandwidth(inner Network, bytesPerSec float64) *Bandwidth {
+	return &Bandwidth{Inner: inner, BytesPerSec: bytesPerSec, pipes: make(map[string]*sync.Mutex)}
+}
+
+// Listen implements Network.
+func (b *Bandwidth) Listen(addr string, h Handler) (Server, error) {
+	return b.Inner.Listen(addr, h)
+}
+
+func (b *Bandwidth) pipe(addr string) *sync.Mutex {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.pipes[addr]
+	if !ok {
+		p = &sync.Mutex{}
+		b.pipes[addr] = p
+	}
+	return p
+}
+
+// Call implements Network: a successful exchange holds addr's pipe for the
+// time the moved bytes would need at BytesPerSec. Failed calls are not
+// charged (nothing moved), and cancellation interrupts the modeled transfer
+// mid-flight.
+func (b *Bandwidth) Call(ctx context.Context, addr string, req []byte) ([]byte, error) {
+	p := b.pipe(addr)
+	p.Lock()
+	defer p.Unlock()
+	resp, err := b.Inner.Call(ctx, addr, req)
+	if err != nil || b.BytesPerSec <= 0 {
+		return resp, err
+	}
+	moved := len(req) + len(resp)
+	t := time.NewTimer(time.Duration(float64(moved) / b.BytesPerSec * float64(time.Second)))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return resp, nil
+}
+
+// Partition forwards fail-stop injection to the inner network; it is a no-op
+// when the inner network is not fault-capable.
+func (b *Bandwidth) Partition(addr string) {
+	if fn, ok := b.Inner.(FaultNetwork); ok {
+		fn.Partition(addr)
+	}
+}
+
+// Heal forwards to the inner network; no-op when it is not fault-capable.
+func (b *Bandwidth) Heal(addr string) {
+	if fn, ok := b.Inner.(FaultNetwork); ok {
+		fn.Heal(addr)
+	}
+}
+
 var _ FaultNetwork = (*InProc)(nil)
 var _ FaultNetwork = (*Latency)(nil)
+var _ FaultNetwork = (*Bandwidth)(nil)
 
 // --- TCP network ---
 
