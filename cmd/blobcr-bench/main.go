@@ -21,7 +21,7 @@ import (
 
 func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
-	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, availability, throughput)")
+	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, availability, throughput, repair)")
 	flag.Parse()
 
 	p := simcloud.Default()
@@ -41,6 +41,7 @@ func main() {
 		"downtime":     func() bench.Series { return bench.FigDowntime() },
 		"availability": func() bench.Series { return bench.FigAvailability() },
 		"throughput":   func() bench.Series { return bench.FigThroughput() },
+		"repair":       func() bench.Series { return bench.FigRepair() },
 	}
 
 	if *only != "" {

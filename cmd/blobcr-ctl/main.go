@@ -10,6 +10,10 @@
 //	blobcr-ctl ... clone    <blob> <version>
 //	blobcr-ctl ... inspect  <blob> <version> [path]
 //	blobcr-ctl ... stats
+//	blobcr-ctl ... providers
+//	blobcr-ctl ... [-replication N] scrub
+//	blobcr-ctl ... [-replication N] repair
+//	blobcr-ctl ... decommission <provider-addr>
 //	blobcr-ctl -supervisor ADDR events [since-seq]
 //	blobcr-ctl -supervisor ADDR status
 //	blobcr-ctl supervise
@@ -44,6 +48,7 @@ import (
 	"blobcr/internal/cloud"
 	"blobcr/internal/guestfs"
 	"blobcr/internal/mirror"
+	"blobcr/internal/repair"
 	"blobcr/internal/supervisor"
 	"blobcr/internal/transport"
 	"blobcr/internal/vm"
@@ -57,6 +62,7 @@ func main() {
 	meta := flag.String("meta", "", "comma-separated metadata provider addresses")
 	chunk := flag.Uint64("chunk", defaultChunkSize, "chunk size for uploads")
 	dedup := flag.Bool("dedup", false, "write through the content-addressed repository (dedup commits)")
+	replication := flag.Int("replication", 0, "chunk replica count; the scrub/repair target factor (0 = 1)")
 	parallel := flag.Int("parallel", 0, "concurrent per-provider streams for uploads/downloads (0 = client default)")
 	timeout := flag.Duration("timeout", 0, "deadline for repository operations (0 = none); hung daemons fail fast")
 	supAddr := flag.String("supervisor", "", "supervisor introspection endpoint (for events/status)")
@@ -87,6 +93,7 @@ func main() {
 		PMAddr:      *pmAddr,
 		MetaAddrs:   strings.Split(*meta, ","),
 		Dedup:       *dedup,
+		Replication: *replication,
 		Parallelism: *parallel,
 	}
 	ctx := context.Background()
@@ -194,6 +201,51 @@ func main() {
 			fmt.Printf("%s %10d  %s\n", kind, e.Size, e.Name)
 		}
 
+	case "providers":
+		m, err := client.Membership(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("storage membership (epoch %d)\n", m.Epoch)
+		fmt.Printf("%-24s %s\n", "PROVIDER", "STATE")
+		for _, p := range m.Providers {
+			fmt.Printf("%-24s %s\n", p.Addr, p.State)
+		}
+
+	case "scrub":
+		warnDefaultReplication(*replication)
+		rep, err := repair.New(repair.Config{Client: client}).Scrub(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("scrub:", rep)
+		if !rep.Clean() {
+			fmt.Println("storage plane NEEDS REPAIR (run `blobcr-ctl ... repair`)")
+			os.Exit(1)
+		}
+		fmt.Println("storage plane healthy")
+
+	case "repair":
+		warnDefaultReplication(*replication)
+		rep, err := repair.New(repair.Config{Client: client}).Repair(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("repair:", rep)
+		if !rep.Post.Clean() {
+			fmt.Println("repair DID NOT CONVERGE; re-run once transient failures clear")
+			os.Exit(1)
+		}
+
+	case "decommission":
+		need(args, 2)
+		warnDefaultReplication(*replication)
+		rep, err := repair.New(repair.Config{Client: client}).Drain(ctx, args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("decommissioned %s: %s\n", args[1], rep)
+
 	case "stats":
 		providers, err := client.Providers(ctx)
 		if err != nil {
@@ -272,6 +324,9 @@ func superviseDemo() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The storage plane self-heals too: every confirmed failure triggers a
+	// background scrub + re-replication pass.
+	rep := repair.New(repair.Config{Client: cl.Client()})
 	sup := supervisor.New(cl, dep, supervisor.Config{
 		HeartbeatEvery: 5 * time.Millisecond,
 		PingTimeout:    25 * time.Millisecond,
@@ -280,6 +335,7 @@ func superviseDemo() {
 		MinInterval:    50 * time.Millisecond,
 		MaxInterval:    200 * time.Millisecond,
 		PartialRestart: true,
+		Repair:         rep,
 	})
 	events, unsubscribe := sup.Events().Subscribe()
 	defer unsubscribe()
@@ -341,6 +397,20 @@ func superviseDemo() {
 		m.MaxMTTR.Round(time.Millisecond), m.WorkLost.Round(time.Millisecond))
 	fmt.Printf("checkpoints: %d initiated, %d durable; restarts: %d VMs redeployed, %d rolled back in place\n",
 		m.CheckpointsInitiated, m.CheckpointsDurable, m.RedeployedVMs, m.InPlaceVMs)
+	if scrub, err := rep.Scrub(ctx); err == nil {
+		fmt.Printf("storage plane: %d repairs restored %d replicas (%d bytes); final scrub clean=%v\n",
+			m.StorageRepairs, m.ReplicasRestored, m.BytesRestored, scrub.Clean())
+	}
+}
+
+// warnDefaultReplication flags a scrub/repair against the default target of
+// one replica: on a deployment written with replication N > 1, that target
+// would declare a half-replicated plane "healthy" — the very decay these
+// commands exist to catch.
+func warnDefaultReplication(replication int) {
+	if replication == 0 {
+		fmt.Fprintln(os.Stderr, "blobcr-ctl: warning: -replication not set; verifying against a target of 1 replica per chunk")
+	}
 }
 
 func need(args []string, n int) {
@@ -367,6 +437,13 @@ commands:
   inspect <blob> <version> [path]     browse the guest fs inside a snapshot
   stats                               dedup hit-rate, logical vs physical bytes,
                                       refcount reclamation (see -dedup)
+  providers                           storage membership: provider states + epoch
+  scrub                               anti-entropy pass: verify every replica's
+                                      SHA-256, report under-replicated/corrupt
+                                      chunks against -replication
+  repair                              re-replicate until a scrub comes back clean
+  decommission <provider-addr>        drain a provider (replicas re-placed
+                                      elsewhere), then retire it from membership
   events [since]                      stream a supervisor's event log (-supervisor)
   status                              supervisor recovery summary (-supervisor)
   supervise                           run the autonomous-recovery demo in-process`)

@@ -41,6 +41,33 @@
 // blobcr-ctl events/status; blobcr-ctl supervise demonstrates the loop and
 // blobcr-bench -only availability measures it.
 //
+// # Elastic self-healing storage plane
+//
+// internal/repair keeps the repository durable while data providers come
+// and go, the way the supervisor keeps the deployment available while
+// compute nodes fail. The provider membership is dynamic: providers JOIN
+// at runtime (blobseer.Client.RegisterProvider, cloud.AddNode) and become
+// placement-eligible immediately, and DECOMMISSION is two-phase —
+// DrainProvider parks a provider out of placement while it keeps serving
+// reads, and RetireProvider removes it once the repair plane has re-placed
+// its replicas; every transition bumps a membership epoch. An anti-entropy
+// scrubber (repair.Repairer.Scrub) walks the metadata trees of all live
+// versions and re-verifies every replica's SHA-256 against its content key
+// in batched per-provider streams; the read path performs the same check
+// inline, failing a corrupt replica over like a missing one
+// (blobseer.ReadStats counts both). Background re-replication
+// (Repairer.Repair) restores under-replicated chunks onto the
+// rendezvous-ranked active providers — the same ranking the write path
+// places by and readers fall back to when a leaf's recorded replicas are
+// all gone — with exact CAS reference accounting: the version manager's
+// write-event references are relocated (blobseer.Client.RelocateWrites,
+// precount / pre-install / apply / settle), so Retire releases precisely
+// at the new homes even when repair races in-flight commits. Supervisors
+// trigger repairs automatically on confirmed failures
+// (supervisor.Config.Repair); blobcr-ctl providers/scrub/repair/
+// decommission drive the plane by hand, and blobcr-bench -only repair
+// measures storage MTTR and re-replication throughput vs provider count.
+//
 // # Parallel striped I/O engine
 //
 // The whole data path — commit upload, dedup probing, restore reads, and

@@ -249,5 +249,6 @@ func All(p simcloud.Params, c simcloud.CM1Params) []Series {
 		FigDowntime(),
 		FigAvailability(),
 		FigThroughput(),
+		FigRepair(),
 	}
 }

@@ -12,8 +12,8 @@ func TestAllSeriesWellFormed(t *testing.T) {
 	p := simcloud.Default()
 	c := simcloud.DefaultCM1()
 	series := All(p, c)
-	if len(series) != 13 {
-		t.Fatalf("All returned %d series, want 13 (every table and figure, the CAS dedup extension, and the downtime, availability and throughput experiments)", len(series))
+	if len(series) != 14 {
+		t.Fatalf("All returned %d series, want 14 (every table and figure, the CAS dedup extension, and the downtime, availability, throughput and repair experiments)", len(series))
 	}
 	for _, s := range series {
 		if s.Title == "" || len(s.Columns) == 0 || len(s.Rows) == 0 {
@@ -230,5 +230,31 @@ func TestAvailabilityPartialBeatsFull(t *testing.T) {
 	if partial.MeanMTTRMillis >= full.MeanMTTRMillis {
 		t.Errorf("partial restart MTTR %.2fms not below full restart %.2fms",
 			partial.MeanMTTRMillis, full.MeanMTTRMillis)
+	}
+}
+
+// TestRepairMTTRShrinksWithProviders: the repair experiment converges to a
+// clean scrub at every sweep point, and storage MTTR drops as the provider
+// count grows — each provider holds a smaller share of the replicas, and
+// both the survey fetches and the re-replication streams spread wider.
+func TestRepairMTTRShrinksWithProviders(t *testing.T) {
+	results, err := RunRepair([]int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	two, eight := results[0], results[1]
+	if two.ReplicasRestored == 0 || eight.ReplicasRestored == 0 {
+		t.Fatalf("repair restored nothing: %+v %+v", two, eight)
+	}
+	if two.StorageMTTRMs <= eight.StorageMTTRMs {
+		t.Errorf("storage MTTR did not shrink with providers: %.1fms at 2 -> %.1fms at 8",
+			two.StorageMTTRMs, eight.StorageMTTRMs)
+	}
+	if two.UnderReplicated <= eight.UnderReplicated {
+		t.Errorf("chunks lost per provider should shrink with providers: %d at 2 -> %d at 8",
+			two.UnderReplicated, eight.UnderReplicated)
 	}
 }

@@ -832,35 +832,15 @@ func (c *Client) uploadDedup(ctx context.Context, indices []uint64, writes map[u
 	return leaves, manifest, nil
 }
 
-// casPlacementRanked returns every provider ordered by rendezvous
-// (highest-random-weight) preference for the fingerprint: every writer maps
-// the same content to the same ranking, which is what makes dedup global,
-// and the order is stable when a provider leaves the rotation. The first
+// casPlacementRanked ranks every provider by rendezvous preference for the
+// fingerprint. The ranking is keyed by the fingerprint-derived storage key
+// (see PlacementRanked): every writer maps the same content to the same
+// ranking, which is what makes dedup global, and readers and the repair
+// plane recompute the same ranking from a leaf's key alone. The first
 // `replication` entries are the canonical placement; the write-path
 // failover walks down the ranking when a preferred provider is unreachable.
 func casPlacementRanked(fp cas.Fingerprint, providers []string) []string {
-	type scored struct {
-		addr  string
-		score uint64
-	}
-	scores := make([]scored, len(providers))
-	for i, addr := range providers {
-		h := fnv.New64a()
-		h.Write(fp[:])
-		h.Write([]byte(addr))
-		scores[i] = scored{addr: addr, score: h.Sum64()}
-	}
-	sort.Slice(scores, func(i, j int) bool {
-		if scores[i].score != scores[j].score {
-			return scores[i].score > scores[j].score
-		}
-		return scores[i].addr < scores[j].addr
-	})
-	out := make([]string, len(scores))
-	for i := range out {
-		out[i] = scores[i].addr
-	}
-	return out
+	return PlacementRanked(fp.Key(), providers)
 }
 
 // casRef performs the "have fingerprint?" round trip against one provider:
@@ -933,42 +913,82 @@ func (c *Client) abort(ctx context.Context, blob, version uint64) {
 	c.call(ctx, c.VMAddr, w) // best effort; the version slot is released
 }
 
+// ReadStats reports what one ReadVersion had to do beyond the happy path:
+// replicas failed over (provider unreachable or body absent), corrupt
+// replicas detected (a body that no longer hashes to its content key — only
+// detectable in dedup mode) and skipped, and chunks that exhausted their
+// leaf-recorded replicas and were served through the rendezvous-ranked
+// fallback over the current membership (a replica re-homed by the repair
+// plane).
+type ReadStats struct {
+	Chunks          int // chunks read (holes excluded)
+	FailedOver      int // replica attempts that moved to the next replica
+	CorruptReplicas int // replicas skipped because their content hash mismatched
+	RankedFallbacks int // chunks served from ranked-membership fallback providers
+}
+
+// Add accumulates other into s (aggregation across reads).
+func (s *ReadStats) Add(o ReadStats) {
+	s.Chunks += o.Chunks
+	s.FailedOver += o.FailedOver
+	s.CorruptReplicas += o.CorruptReplicas
+	s.RankedFallbacks += o.RankedFallbacks
+}
+
 // ReadVersion reads size bytes at offset from the referenced snapshot into a
 // new buffer. Holes (never-written ranges) read as zeros. Reads past the
 // version size are truncated.
+func (c *Client) ReadVersion(ctx context.Context, ref SnapshotRef, offset, size uint64) ([]byte, error) {
+	data, _, err := c.ReadVersionStats(ctx, ref, offset, size)
+	return data, err
+}
+
+// ReadVersionStats is ReadVersion returning failover and integrity
+// accounting.
 //
 // The data transfer is striped: chunks are grouped by the replica provider
 // chosen for each (see replicaOrder) and every provider's set moves in
 // batched frames over bounded concurrent streams (Client.Parallelism). A
 // chunk whose provider is unreachable or no longer holds it fails over to
 // its next replica in the following pass.
-func (c *Client) ReadVersion(ctx context.Context, ref SnapshotRef, offset, size uint64) ([]byte, error) {
+//
+// In dedup mode every received body is verified against the leaf's
+// content-derived key (the first 128 bits of the chunk's SHA-256): a
+// mismatch is treated exactly like a missing replica — the read fails over
+// to the next replica and the corruption is counted — so a rotted or
+// tampered replica can never reach the caller. A chunk whose leaf-recorded
+// replicas are all gone falls back to the rendezvous ranking over the
+// current membership, which is where the repair plane re-homes lost
+// replicas.
+func (c *Client) ReadVersionStats(ctx context.Context, ref SnapshotRef, offset, size uint64) ([]byte, ReadStats, error) {
+	var stats ReadStats
 	info, chunkSize, err := c.GetVersion(ctx, ref)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	if offset >= info.Size {
-		return nil, nil
+		return nil, stats, nil
 	}
 	if offset+size > info.Size {
 		size = info.Size - offset
 	}
 	buf := make([]byte, size)
 	if size == 0 {
-		return buf, nil
+		return buf, stats, nil
 	}
 	firstChunk := offset / chunkSize
 	lastChunk := (offset + size - 1) / chunkSize
 	slots, err := c.tree(ctx).Lookup(info.Root, info.Span, firstChunk, lastChunk-firstChunk+1)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 
 	type readChunk struct {
-		slot    meta.LeafSlot
-		order   []string // replica attempt order (rotated)
-		next    int
-		lastErr error
+		slot     meta.LeafSlot
+		order    []string // replica attempt order (rotated)
+		next     int
+		extended bool // order already widened with the ranked fallback
+		lastErr  error
 	}
 	var work []*readChunk
 	for _, slot := range slots {
@@ -977,16 +997,40 @@ func (c *Client) ReadVersion(ctx context.Context, ref SnapshotRef, offset, size 
 		}
 		work = append(work, &readChunk{slot: slot, order: replicaOrder(slot.Leaf)})
 	}
+	stats.Chunks = len(work)
+	var members []string // ranked-fallback candidates, fetched once on demand
 	for len(work) > 0 {
 		// Group each chunk under its current replica provider.
 		groups := make(map[string][]*readChunk)
 		for _, rc := range work {
+			if rc.next >= len(rc.order) && !rc.extended {
+				// Every leaf-recorded replica is gone. The repair plane
+				// re-homes lost replicas on the rendezvous-ranked providers
+				// of the current membership — try those before giving up.
+				rc.extended = true
+				if members == nil {
+					m, err := c.Membership(ctx)
+					if err != nil {
+						return nil, stats, fmt.Errorf("blobseer: chunk %v unavailable on all replicas (membership fallback: %v): %w",
+							rc.slot.Leaf.Key, err, rc.lastErr)
+					}
+					members = m.Addrs() // draining providers still serve reads
+				}
+				for _, addr := range PlacementRanked(rc.slot.Leaf.Key, members) {
+					if !slices.Contains(rc.order, addr) {
+						rc.order = append(rc.order, addr)
+					}
+				}
+				if rc.next < len(rc.order) {
+					stats.RankedFallbacks++
+				}
+			}
 			if rc.next >= len(rc.order) {
 				lastErr := rc.lastErr
 				if lastErr == nil {
 					lastErr = transport.ErrNotFound
 				}
-				return nil, fmt.Errorf("blobseer: chunk %v unavailable on all replicas: %w", rc.slot.Leaf.Key, lastErr)
+				return nil, stats, fmt.Errorf("blobseer: chunk %v unavailable on all replicas: %w", rc.slot.Leaf.Key, lastErr)
 			}
 			groups[rc.order[rc.next]] = append(groups[rc.order[rc.next]], rc)
 		}
@@ -1010,6 +1054,7 @@ func (c *Client) ReadVersion(ctx context.Context, ref SnapshotRef, offset, size 
 					for _, rc := range batch[start:] {
 						rc.next++
 						rc.lastErr = err
+						stats.FailedOver++
 						retry = append(retry, rc)
 					}
 					mu.Unlock()
@@ -1020,6 +1065,19 @@ func (c *Client) ReadVersion(ctx context.Context, ref SnapshotRef, offset, size 
 					if data == nil {
 						mu.Lock()
 						rc.next++
+						stats.FailedOver++
+						retry = append(retry, rc)
+						mu.Unlock()
+						continue
+					}
+					if c.Dedup && cas.Sum(data).Key() != rc.slot.Leaf.Key {
+						// The replica no longer matches its content key:
+						// deliver from another replica, never bad bytes.
+						mu.Lock()
+						rc.next++
+						rc.lastErr = fmt.Errorf("blobseer: chunk %v: corrupt replica on %s", rc.slot.Leaf.Key, addr)
+						stats.CorruptReplicas++
+						stats.FailedOver++
 						retry = append(retry, rc)
 						mu.Unlock()
 						continue
@@ -1042,11 +1100,11 @@ func (c *Client) ReadVersion(ctx context.Context, ref SnapshotRef, offset, size 
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 		work = retry
 	}
-	return buf, nil
+	return buf, stats, nil
 }
 
 // replicaOrder returns the order in which a reader tries a leaf's replicas:
@@ -1229,30 +1287,6 @@ func (c *Client) RetireStats(ctx context.Context, blob, before uint64) (ReclaimS
 	return stats, nil
 }
 
-// liveRoot is one entry of the version manager's live set.
-type liveRoot struct {
-	blob uint64
-	info VersionInfo
-}
-
-func (c *Client) listLive(ctx context.Context) ([]liveRoot, error) {
-	w := wire.NewBuffer(8)
-	w.PutU8(opListLive)
-	r, err := c.call(ctx, c.VMAddr, w)
-	if err != nil {
-		return nil, err
-	}
-	n := r.Uvarint()
-	out := make([]liveRoot, 0, n)
-	for i := uint64(0); i < n; i++ {
-		blob := r.U64()
-		info := getVersionInfo(r)
-		r.U64() // chunk size, unused here
-		out = append(out, liveRoot{blob: blob, info: info})
-	}
-	return out, r.Err()
-}
-
 // GCStats reports what a garbage collection pass reclaimed.
 type GCStats struct {
 	LiveChunks    int
@@ -1276,7 +1310,7 @@ type GCStats struct {
 // collectors compose safely.
 func (c *Client) GC(ctx context.Context, dataProviders []string) (GCStats, error) {
 	var stats GCStats
-	live, err := c.listLive(ctx)
+	live, err := c.LiveVersions(ctx)
 	if err != nil {
 		return stats, err
 	}
@@ -1284,10 +1318,10 @@ func (c *Client) GC(ctx context.Context, dataProviders []string) (GCStats, error
 	liveChunks := make(map[chunkstore.Key]struct{})
 	tr := c.tree(ctx)
 	for _, lr := range live {
-		if !lr.info.Root.Valid {
+		if !lr.Info.Root.Valid {
 			continue
 		}
-		err := tr.Walk(lr.info.Root, lr.info.Span, func(k meta.NodeKey, isLeaf bool, l meta.Leaf) error {
+		err := tr.Walk(lr.Info.Root, lr.Info.Span, func(k meta.NodeKey, isLeaf bool, l meta.Leaf) error {
 			liveNodes[k] = struct{}{}
 			if isLeaf {
 				liveChunks[l.Key] = struct{}{}
@@ -1295,7 +1329,7 @@ func (c *Client) GC(ctx context.Context, dataProviders []string) (GCStats, error
 			return nil
 		})
 		if err != nil {
-			return stats, fmt.Errorf("blobseer: gc mark blob %d v%d: %w", lr.blob, lr.info.Version, err)
+			return stats, fmt.Errorf("blobseer: gc mark blob %d v%d: %w", lr.Blob, lr.Info.Version, err)
 		}
 	}
 	stats.LiveChunks = len(liveChunks)

@@ -82,6 +82,27 @@ func Deploy(n transport.Network, nMeta, nData int) (*Deployment, error) {
 	return d, nil
 }
 
+// AddDataProvider starts one more CAS-capable in-memory data provider and
+// JOINs it to the provider manager: from the moment the join registers, new
+// chunk placements may land on it — the elasticity the repair plane relies
+// on for spare storage capacity after a provider loss. Returns the new
+// provider's address.
+func (d *Deployment) AddDataProvider(ctx context.Context) (string, error) {
+	dp := NewDataProvider(cas.NewMem())
+	srv, err := dp.Serve(d.net, "")
+	if err != nil {
+		return "", err
+	}
+	if err := d.Client().RegisterProvider(ctx, srv.Addr()); err != nil {
+		srv.Close()
+		return "", err
+	}
+	d.servers = append(d.servers, srv)
+	d.dataProviders = append(d.dataProviders, dp)
+	d.DataAddrs = append(d.DataAddrs, srv.Addr())
+	return srv.Addr(), nil
+}
+
 // Client returns a client bound to this deployment with replication 1.
 func (d *Deployment) Client() *Client {
 	return &Client{

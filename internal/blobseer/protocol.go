@@ -68,14 +68,32 @@ const (
 	opListLive
 	opRetire
 	opListBlobs
+
+	// opRelocate rewrites the provider entries of the version manager's
+	// write events (lastWrite, superseded, unpublished manifests): every
+	// occurrence of `from` on events carrying the given fingerprint becomes
+	// `to`, and the occurrence count is returned. With apply=false it only
+	// counts — the repair plane pre-installs exactly that many references at
+	// the new provider before committing the rewrite, so Retire's releases
+	// stay exact through a re-replication.
+	opRelocate
 )
 
 // Op codes for the provider manager.
 const (
-	opRegister = iota + 32
+	opRegister = iota + 32 // JOIN: the provider becomes placement-eligible
 	opPlacement
 	opProviders
 	opUnregister
+
+	// Dynamic-membership verbs (internal/repair). opDrain marks a provider
+	// DRAINING: it leaves the placement rotation but keeps serving reads
+	// while the repair plane re-places its replicas; opRetireProvider
+	// removes a drained provider for good; opMembership reports the full
+	// membership with states and the epoch that bumps on every change.
+	opMembership
+	opDrain
+	opRetireProvider
 )
 
 // Op codes for data providers.
@@ -101,6 +119,12 @@ const (
 	opChunkGetBatch
 	opCasRefBatch
 	opCasPutBatch
+
+	// opCasReleaseN drops n references on one fingerprint in a single
+	// round trip — the repair plane settles relocation diffs and releases a
+	// drained provider's whole reference count per chunk without one call
+	// per reference.
+	opCasReleaseN
 )
 
 // Op codes for metadata providers.
@@ -253,6 +277,25 @@ func getManifest(r *wire.Reader) []manifestEntry {
 		out = append(out, e)
 	}
 	return out
+}
+
+// Relocation asks the version manager to move one fingerprint's write-event
+// references from one provider to another (see opRelocate).
+type Relocation struct {
+	FP   cas.Fingerprint
+	From string
+	To   string
+}
+
+func putRelocations(w *wire.Buffer, apply bool, relocs []Relocation) {
+	w.PutU8(opRelocate)
+	w.PutBool(apply)
+	w.PutUvarint(uint64(len(relocs)))
+	for _, rl := range relocs {
+		putFingerprint(w, rl.FP)
+		w.PutString(rl.From)
+		w.PutString(rl.To)
+	}
 }
 
 func putChunkKey(w *wire.Buffer, k chunkstore.Key) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -14,15 +15,77 @@ import (
 	"blobcr/internal/wire"
 )
 
+// ProviderState is one provider's membership state.
+type ProviderState uint8
+
+const (
+	// ProviderActive providers are placement-eligible: new chunk replicas
+	// may land on them.
+	ProviderActive ProviderState = iota
+	// ProviderDraining providers have left the placement rotation but keep
+	// serving reads while the repair plane re-places their replicas
+	// elsewhere (the first half of a DECOMMISSION).
+	ProviderDraining
+)
+
+func (s ProviderState) String() string {
+	if s == ProviderDraining {
+		return "draining"
+	}
+	return "active"
+}
+
+// ProviderInfo is one membership entry.
+type ProviderInfo struct {
+	Addr  string
+	State ProviderState
+}
+
+// Membership is the provider manager's full membership view. Epoch bumps on
+// every change (JOIN, fail-stop unregister, drain, retire), so a scrub or
+// repair pass can detect churn between its survey and its fixes.
+type Membership struct {
+	Epoch     uint64
+	Providers []ProviderInfo
+}
+
+// Active returns the placement-eligible provider addresses.
+func (m Membership) Active() []string {
+	var out []string
+	for _, p := range m.Providers {
+		if p.State == ProviderActive {
+			out = append(out, p.Addr)
+		}
+	}
+	return out
+}
+
+// Addrs returns every member address (active and draining).
+func (m Membership) Addrs() []string {
+	out := make([]string, len(m.Providers))
+	for i, p := range m.Providers {
+		out[i] = p.Addr
+	}
+	return out
+}
+
 // ProviderManager tracks data providers and assigns chunk placements.
 // Placement is round-robin over registered providers, skewed away from the
 // most loaded ones, which evens out the global I/O workload the way the
 // paper's striping scheme intends.
+//
+// Membership is dynamic: providers JOIN at any time (opRegister) and leave
+// either abruptly (opUnregister, fail-stop) or gracefully via DECOMMISSION —
+// opDrain takes the provider out of placement while it keeps serving reads,
+// and opRetireProvider removes it once the repair plane has re-placed its
+// replicas. Every change bumps the membership epoch.
 type ProviderManager struct {
 	mu        sync.Mutex
-	providers []string
+	providers []string          // placement-eligible (active), sorted
+	draining  []string          // decommissioning, still readable, sorted
 	load      map[string]uint64 // chunks assigned
 	rr        int
+	epoch     uint64
 }
 
 // NewProviderManager returns an empty provider manager.
@@ -73,8 +136,11 @@ func (pm *ProviderManager) handle(_ context.Context, req []byte) ([]byte, error)
 				return w.Bytes(), nil // already registered
 			}
 		}
+		// A draining provider that re-joins is reactivated.
+		pm.draining = removeAddr(pm.draining, addr)
 		pm.providers = append(pm.providers, addr)
 		sort.Strings(pm.providers) // deterministic placement order
+		pm.epoch++
 
 	case opPlacement:
 		nChunks := r.Uvarint()
@@ -116,18 +182,71 @@ func (pm *ProviderManager) handle(_ context.Context, req []byte) ([]byte, error)
 		if err := reqErr(op, r); err != nil {
 			return nil, err
 		}
-		for i, p := range pm.providers {
-			if p == addr {
-				pm.providers = append(pm.providers[:i], pm.providers[i+1:]...)
-				delete(pm.load, addr)
-				break
-			}
+		pm.providers = removeAddr(pm.providers, addr)
+		pm.draining = removeAddr(pm.draining, addr)
+		delete(pm.load, addr)
+		pm.epoch++
+
+	case opMembership:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
 		}
+		w.PutU64(pm.epoch)
+		w.PutUvarint(uint64(len(pm.providers) + len(pm.draining)))
+		for _, p := range pm.providers {
+			w.PutString(p)
+			w.PutU8(uint8(ProviderActive))
+		}
+		for _, p := range pm.draining {
+			w.PutString(p)
+			w.PutU8(uint8(ProviderDraining))
+		}
+
+	case opDrain:
+		addr := r.String()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		if slices.Contains(pm.draining, addr) {
+			break // already draining
+		}
+		if !slices.Contains(pm.providers, addr) {
+			return nil, fmt.Errorf("blobseer: drain of unknown provider %s", addr)
+		}
+		pm.providers = removeAddr(pm.providers, addr)
+		pm.draining = append(pm.draining, addr)
+		sort.Strings(pm.draining)
+		pm.epoch++
+
+	case opRetireProvider:
+		addr := r.String()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		if slices.Contains(pm.providers, addr) {
+			return nil, fmt.Errorf("blobseer: provider %s must drain before retiring", addr)
+		}
+		if !slices.Contains(pm.draining, addr) {
+			break // already gone: retiring twice is idempotent
+		}
+		pm.draining = removeAddr(pm.draining, addr)
+		delete(pm.load, addr)
+		pm.epoch++
 
 	default:
 		return nil, fmt.Errorf("blobseer: provider manager: unknown op %d", op)
 	}
 	return w.Bytes(), nil
+}
+
+// removeAddr returns list without addr, preserving order.
+func removeAddr(list []string, addr string) []string {
+	for i, p := range list {
+		if p == addr {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
 }
 
 // DataProvider serves chunk storage over the network, backed by any
@@ -375,6 +494,34 @@ func (dp *DataProvider) handle(_ context.Context, req []byte) ([]byte, error) {
 		}
 		w.PutU64(remaining)
 		w.PutU64(reclaimed)
+
+	case opCasReleaseN:
+		fp := getFingerprint(r)
+		n := r.Uvarint()
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		if n > maxBatchItems {
+			return nil, fmt.Errorf("blobseer: op %d: implausible release of %d references", op, n)
+		}
+		cs, err := dp.casStore()
+		if err != nil {
+			return nil, err
+		}
+		var remaining, totalReclaimed uint64
+		for i := uint64(0); i < n; i++ {
+			rem, reclaimed, err := cs.Release(fp)
+			if err != nil {
+				return nil, err
+			}
+			remaining = rem
+			totalReclaimed += reclaimed
+			if rem == 0 && reclaimed == 0 {
+				break // fingerprint unknown (or pinned floor): further releases are no-ops
+			}
+		}
+		w.PutU64(remaining)
+		w.PutU64(totalReclaimed)
 
 	case opCasStats:
 		if err := reqErr(op, r); err != nil {

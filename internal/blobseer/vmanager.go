@@ -83,6 +83,53 @@ func (b *blobState) pinnedIn(from, until uint64) bool {
 	return false
 }
 
+// relocateLocked counts — and with apply, rewrites — the provider entries of
+// every write event carrying one of the relocations' fingerprints: each
+// occurrence of From on such an event becomes To. Events are scanned in all
+// three stores (published lastWrite, superseded-awaiting-release, and
+// committed-but-unpublished manifests), so a repair that moves a replica
+// redirects exactly the releases a later Retire will issue. Returns the
+// occurrence count per relocation, aligned with the input. Relocations must
+// name distinct (FP, From) pairs; a duplicate pair counts on the last entry.
+// Caller holds vm.mu (via handle).
+func (vm *VersionManager) relocateLocked(apply bool, relocs []Relocation) []uint64 {
+	counts := make([]uint64, len(relocs))
+	type fromKey struct {
+		fp   cas.Fingerprint
+		from string
+	}
+	byKey := make(map[fromKey]int, len(relocs))
+	for i, rl := range relocs {
+		byKey[fromKey{fp: rl.FP, from: rl.From}] = i
+	}
+	visit := func(fp cas.Fingerprint, providers []string) {
+		for j, p := range providers {
+			i, ok := byKey[fromKey{fp: fp, from: p}]
+			if !ok {
+				continue
+			}
+			counts[i]++
+			if apply {
+				providers[j] = relocs[i].To
+			}
+		}
+	}
+	for _, b := range vm.blobs {
+		for _, ev := range b.lastWrite {
+			visit(ev.fp, ev.providers)
+		}
+		for _, ev := range b.superseded {
+			visit(ev.fp, ev.providers)
+		}
+		for _, m := range b.manifests {
+			for _, e := range m {
+				visit(e.fp, e.providers)
+			}
+		}
+	}
+	return counts
+}
+
 // VersionManager serializes version publication and stores per-version
 // descriptors. It is the only sequential point of the system, and it handles
 // only small metadata records, exactly as in BlobSeer's design.
@@ -358,6 +405,28 @@ func (vm *VersionManager) handle(_ context.Context, req []byte) ([]byte, error) 
 			for _, p := range ev.providers {
 				w.PutString(p)
 			}
+		}
+
+	case opRelocate:
+		apply := r.Bool()
+		n, err := batchCount(op, r)
+		if err != nil {
+			return nil, err
+		}
+		relocs := make([]Relocation, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			var rl Relocation
+			rl.FP = getFingerprint(r)
+			rl.From = r.String()
+			rl.To = r.String()
+			relocs = append(relocs, rl)
+		}
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		counts := vm.relocateLocked(apply, relocs)
+		for _, c := range counts {
+			w.PutUvarint(c)
 		}
 
 	case opListBlobs:

@@ -187,6 +187,38 @@ func (c *Cloud) Network() transport.FaultNetwork { return c.net }
 // Repository exposes the BlobSeer deployment (space accounting, GC).
 func (c *Cloud) Repository() *blobseer.Deployment { return c.repo }
 
+// AddNode brings one more compute node into the cloud after deploy: a fresh
+// checkpointing proxy plus a co-located data provider that JOINs the
+// repository's placement rotation the moment it registers. This is the
+// elasticity the self-healing storage plane leans on — spare storage
+// capacity can be added while the deployment runs, and the repair plane
+// (internal/repair) re-replicates onto it.
+func (c *Cloud) AddNode(ctx context.Context) (*Node, error) {
+	dataAddr, err := c.repo.AddDataProvider(ctx)
+	if err != nil {
+		return nil, err
+	}
+	p := proxy.New()
+	srv, err := p.Serve(c.net, "")
+	if err != nil {
+		// The data provider already JOINed placement; take it back out so a
+		// failed AddNode leaves no orphan in the rotation (its server is
+		// torn down with the repository).
+		c.Client().UnregisterProvider(ctx, dataAddr) //nolint:errcheck // best effort rollback
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	node := &Node{
+		Name:      fmt.Sprintf("node-%03d", len(c.nodes)),
+		ProxyAddr: srv.Addr(),
+		DataAddr:  dataAddr,
+		proxy:     p,
+	}
+	c.nodes = append(c.nodes, node)
+	return node, nil
+}
+
 // UploadBaseImage stores a raw disk image in the repository and returns its
 // blob id and version — the user's "put image" operation.
 func (c *Cloud) UploadBaseImage(ctx context.Context, raw []byte, chunkSize uint64) (SnapshotRef, error) {
@@ -707,20 +739,16 @@ func (c *Cloud) Prune(ctx context.Context, dep *Deployment, keepFromCkptID int) 
 			return blobseer.GCStats{}, err
 		}
 	}
-	// Sweep only live providers: a fail-stopped node's co-located provider is
-	// unreachable, and whatever it held is already lost to the deployment.
-	return cl.GC(ctx, c.liveDataAddrs())
-}
-
-// liveDataAddrs returns the data providers on non-failed nodes.
-func (c *Cloud) liveDataAddrs() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []string
-	for _, n := range c.healthyNodesLocked() {
-		out = append(out, n.DataAddr)
+	// Sweep the repository's *current* live membership, not the deploy-time
+	// node snapshot: providers that JOINed after deploy are swept too, and
+	// decommissioned or fail-stopped ones (removed from the membership by
+	// RetireProvider / FailNode) are skipped. Draining providers still hold
+	// live chunks mid-drain and stay in the sweep.
+	m, err := cl.Membership(ctx)
+	if err != nil {
+		return blobseer.GCStats{}, err
 	}
-	return out
+	return cl.GC(ctx, m.Addrs())
 }
 
 // Close shuts the cloud down.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"testing"
 
+	"blobcr/internal/repair"
 	"blobcr/internal/vm"
 )
 
@@ -465,5 +466,71 @@ func TestPartialRestartRedeploysOnlyFailedMembers(t *testing.T) {
 	}
 	if _, err := c.Restart(ctx, newDep, id2); err != nil {
 		t.Fatalf("full restart after partial restart: %v", err)
+	}
+}
+
+// TestPruneSweepsCurrentMembership: the mark-and-sweep prune follows the
+// repository's live membership — a provider decommissioned after deploy is
+// skipped even once it goes dark, and a provider that JOINed after deploy is
+// swept — instead of the deploy-time node snapshot.
+func TestPruneSweepsCurrentMembership(t *testing.T) {
+	c, err := New(Config{Nodes: 3, MetaProviders: 2, Replication: 2, Dedup: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	base := uploadBase(t, c, 128*1024)
+	dep, err := c.Deploy(ctx, 1, base, vm.Config{BlockSize: 512, BootNoiseBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := dep.Instances[0]
+	checkpoint := func(i int) int {
+		t.Helper()
+		inst.VM.FS().WriteFile("/state", bytes.Repeat([]byte{byte(i + 1)}, 32*1024))
+		ref, err := inst.Proxy.RequestCheckpoint(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := c.RecordCheckpoint(dep, map[string]SnapshotRef{inst.VMID: ref})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	for i := 0; i < 3; i++ {
+		checkpoint(i)
+	}
+
+	// Decommission a non-hosting node's provider and take it dark, then
+	// JOIN a fresh node.
+	var victim *Node
+	for _, n := range c.Nodes() {
+		if n != inst.Node {
+			victim = n
+			break
+		}
+	}
+	r := repair.New(repair.Config{Client: c.Client()})
+	if _, err := r.Drain(ctx, victim.DataAddr); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	c.Network().Partition(victim.DataAddr)
+	if _, err := c.AddNode(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// More checkpoints land on the membership that now includes the joined
+	// provider; prune must sweep it and skip the dark decommissioned one.
+	lastID := checkpoint(3)
+	stats, err := c.Prune(ctx, dep, lastID)
+	if err != nil {
+		t.Fatalf("Prune across churned membership: %v", err)
+	}
+	if stats.LiveChunks == 0 {
+		t.Error("prune marked nothing live")
+	}
+	if _, err := c.Restart(ctx, dep, lastID); err != nil {
+		t.Fatalf("restart after prune: %v", err)
 	}
 }

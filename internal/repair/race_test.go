@@ -1,0 +1,170 @@
+package repair
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/cas"
+)
+
+// TestRepairCommitRetireRaceStress drives dedup commits, Retires and repair
+// passes concurrently — with a provider killed mid-stream — and asserts the
+// CAS reference counts balance exactly once everything quiesces: after a
+// final repair and a Retire of everything but each blob's latest version,
+// the live providers hold precisely one reference per replica of each
+// blob's surviving write events. This is the composition guarantee: a
+// scrub/re-replication pass racing in-flight commits and concurrent Retires
+// neither leaks references nor releases ones that are still needed.
+func TestRepairCommitRetireRaceStress(t *testing.T) {
+	const (
+		chunk   = 1024
+		writers = 4
+		rounds  = 15
+		stripes = 4 // chunk indexes per blob, rewritten every round
+		pool    = 3 // distinct contents — heavy cross-writer sharing
+	)
+	net, d, c := deploy(t, 5)
+	c.Parallelism = 4
+
+	contents := make([][]byte, pool)
+	for i := range contents {
+		contents[i] = bytes.Repeat([]byte{byte('A' + i)}, chunk)
+	}
+
+	r := New(Config{Client: c})
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+2)
+	blobs := make([]uint64, writers)
+
+	// The repair loop runs continuously against the churning repository
+	// until the writers are done (it joins after wg.Wait, not through it).
+	repairDone := make(chan struct{})
+	go func() {
+		defer close(repairDone)
+		for !done.Load() {
+			if _, err := r.Repair(ctx); err != nil {
+				errs <- fmt.Errorf("repair loop: %w", err)
+				return
+			}
+		}
+	}()
+	// One provider dies part-way through the storm.
+	killed := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-killed
+		killProvider(t, net, c, d.DataAddrs[0])
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			blob, err := c.CreateBlob(ctx, chunk)
+			if err != nil {
+				errs <- err
+				return
+			}
+			blobs[w] = blob
+			for round := 0; round < rounds; round++ {
+				if w == 0 && round == rounds/3 {
+					close(killed)
+				}
+				writes := make(map[uint64][]byte, stripes)
+				want := make([]byte, 0, stripes*chunk)
+				for s := 0; s < stripes; s++ {
+					body := contents[(w+round+s)%pool]
+					writes[uint64(s)] = body
+					want = append(want, body...)
+				}
+				info, err := c.WriteVersion(ctx, blob, writes, stripes*chunk)
+				if err != nil {
+					errs <- fmt.Errorf("writer %d round %d: commit: %w", w, round, err)
+					return
+				}
+				got, err := c.ReadVersion(ctx, blobseer.SnapshotRef{Blob: blob, Version: info.Version}, 0, stripes*chunk)
+				if err != nil {
+					errs <- fmt.Errorf("writer %d round %d: read: %w", w, round, err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("writer %d round %d: snapshot corrupted", w, round)
+					return
+				}
+				if _, err := c.RetireStats(ctx, blob, info.Version); err != nil {
+					errs <- fmt.Errorf("writer %d round %d: retire: %w", w, round, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	done.Store(true)
+	<-repairDone
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesce: one final repair must converge to a clean scrub.
+	rep, err := r.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Post.Clean() {
+		t.Fatalf("final repair did not converge: %s", rep.Post)
+	}
+
+	// Retire everything below each blob's latest version; with the storm
+	// over and every reference relocated to live providers, no release may
+	// fail and the remaining counts must balance exactly: stripes write
+	// events per blob, two replicas each.
+	for _, blob := range blobs {
+		latest, _, err := c.Latest(ctx, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := c.RetireStats(ctx, blob, latest.Version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Failed != 0 {
+			t.Fatalf("blob %d: %d releases failed after repair: %+v", blob, stats.Failed, stats)
+		}
+	}
+	var totalRefs uint64
+	for i, store := range d.DataProviderStores() {
+		if i == 0 {
+			continue // the killed provider's references died with it
+		}
+		totalRefs += store.(*cas.Store).Stats().Refs
+	}
+	if want := uint64(writers * stripes * 2); totalRefs != want {
+		t.Fatalf("refs after quiesce = %d, want exactly %d", totalRefs, want)
+	}
+
+	// Every blob's final snapshot is still whole.
+	for w, blob := range blobs {
+		latest, _, err := c.Latest(ctx, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 0, stripes*chunk)
+		for s := 0; s < stripes; s++ {
+			want = append(want, contents[(w+rounds-1+s)%pool]...)
+		}
+		got, err := c.ReadVersion(ctx, blobseer.SnapshotRef{Blob: blob, Version: latest.Version}, 0, stripes*chunk)
+		if err != nil {
+			t.Fatalf("writer %d: final snapshot: %v", w, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("writer %d: final snapshot corrupted", w)
+		}
+	}
+}

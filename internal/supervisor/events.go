@@ -23,6 +23,13 @@ const (
 	EventRestartAttempt      EventType = "restart-attempt"
 	EventRestartDone         EventType = "restart-done"
 	EventRecoveryFailed      EventType = "recovery-failed"
+
+	// Storage-plane self-healing (Config.Repair): a confirmed node failure
+	// triggers a background scrub + re-replication pass; repair-done's MTTR
+	// field carries the storage MTTR (trigger to clean scrub).
+	EventRepairStarted EventType = "storage-repair-started"
+	EventRepairDone    EventType = "storage-repair-done"
+	EventRepairFailed  EventType = "storage-repair-failed"
 )
 
 // Event is one structured entry of the supervisor's event stream.

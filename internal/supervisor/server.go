@@ -19,6 +19,7 @@ import (
 //	request:  STATUS
 //	response: OK gen=<generation> watermark=<ckpt-id> interval=<duration>
 //	             recoveries=<n> mean-mttr=<duration> work-lost=<duration>
+//	             repairs=<n> replicas-restored=<n> storage-mttr=<duration>
 func (s *Supervisor) Serve(n transport.Network, addr string) (transport.Server, error) {
 	return n.Listen(addr, s.handle)
 }
@@ -52,8 +53,9 @@ func (s *Supervisor) handle(_ context.Context, req []byte) ([]byte, error) {
 	case "STATUS":
 		dep, gen := s.Deployment()
 		m := s.Metrics()
-		return []byte(fmt.Sprintf("OK gen=%d watermark=%d interval=%s recoveries=%d mean-mttr=%s work-lost=%s",
-			gen, dep.DurableWatermark(), s.Interval(), m.Recoveries, m.MeanMTTR(), m.WorkLost)), nil
+		return []byte(fmt.Sprintf("OK gen=%d watermark=%d interval=%s recoveries=%d mean-mttr=%s work-lost=%s repairs=%d replicas-restored=%d storage-mttr=%s",
+			gen, dep.DurableWatermark(), s.Interval(), m.Recoveries, m.MeanMTTR(), m.WorkLost,
+			m.StorageRepairs, m.ReplicasRestored, m.LastStorageMTTR)), nil
 	default:
 		return []byte("ERR unknown verb " + fields[0]), nil
 	}

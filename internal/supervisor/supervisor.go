@@ -36,6 +36,7 @@ import (
 
 	"blobcr/internal/cloud"
 	"blobcr/internal/proxy"
+	"blobcr/internal/repair"
 	"blobcr/internal/simcloud"
 	"blobcr/internal/vm"
 )
@@ -81,6 +82,15 @@ type Config struct {
 	// PartialRestart re-deploys only failed members, rolling healthy ones
 	// back in place, instead of tearing down the whole deployment.
 	PartialRestart bool
+
+	// Repair, when set, closes the *storage*-plane recovery loop the way
+	// the supervisor itself closes the compute-plane one: every confirmed
+	// node failure triggers a background repair pass (anti-entropy scrub +
+	// re-replication, internal/repair) that restores every live chunk to
+	// the configured replication factor on the surviving providers. At most
+	// one triggered repair runs at a time; its outcome is evented with the
+	// storage MTTR (failure confirmation to clean scrub).
+	Repair *repair.Repairer
 
 	// EventBuffer bounds the retained event history (default 1024).
 	EventBuffer int
@@ -141,6 +151,12 @@ type Metrics struct {
 	CheckpointsDurable   int
 	CheckpointsFailed    int
 
+	// Storage-plane repair accounting (Config.Repair).
+	StorageRepairs   int           // triggered repair passes completed
+	ReplicasRestored int           // replica bodies re-placed by those passes
+	BytesRestored    uint64        // payload bytes re-replicated
+	LastStorageMTTR  time.Duration // failure confirmation -> clean scrub
+
 	LastMTTR  time.Duration
 	TotalMTTR time.Duration
 	MaxMTTR   time.Duration
@@ -177,6 +193,13 @@ type Supervisor struct {
 	pendingRecovery bool
 	retryRecoveryAt time.Time
 	downSince       time.Time
+
+	// repairInFlight serializes triggered storage-repair passes; a failure
+	// confirmed while one is running sets repairPending, and the finishing
+	// pass immediately re-kicks — a second failure's lost replicas are
+	// never silently dropped.
+	repairInFlight bool
+	repairPending  bool
 }
 
 // New builds a supervisor for the deployment. Run starts the control loop.
@@ -422,6 +445,14 @@ func (s *Supervisor) recover(ctx context.Context, failed []string) error {
 	}
 	dead := s.cl.KillDeploymentInstancesOn(dep)
 
+	// The failed nodes' co-located data providers are gone: every chunk
+	// replica they held is lost. Kick the storage plane's self-healing in
+	// the background — re-replication proceeds while (and after) the
+	// compute plane restarts.
+	if len(failed) > 0 {
+		s.kickRepair(ctx, fmt.Sprintf("data providers of %v lost", failed))
+	}
+
 	// A failed node that hosted no member (a data-provider-only node, or a
 	// spare) needs no rollback: FailNode already took it out of placement
 	// and the provider rotation, and the job never stopped. Only roll back
@@ -546,6 +577,55 @@ func (s *Supervisor) recover(ctx context.Context, failed []string) error {
 	s.log.append(Event{Type: EventRecoveryFailed, Ckpt: cp.ID,
 		Detail: fmt.Sprintf("%d attempts (new episode in %s): %v", s.cfg.MaxRestartRetries, s.cfg.BackoffMax, lastErr)})
 	return lastErr
+}
+
+// kickRepair starts one background storage-repair pass (scrub +
+// re-replication) if Config.Repair is set and none is already running. The
+// storage MTTR — from this trigger to a clean scrub — is metered and
+// evented.
+func (s *Supervisor) kickRepair(ctx context.Context, reason string) {
+	if s.cfg.Repair == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.repairInFlight {
+		// A pass is already surveying a membership that may predate this
+		// failure: remember to run another one the moment it finishes.
+		s.repairPending = true
+		s.mu.Unlock()
+		return
+	}
+	s.repairInFlight = true
+	s.mu.Unlock()
+	s.log.append(Event{Type: EventRepairStarted, Detail: reason})
+	go func() {
+		start := time.Now()
+		rep, err := s.cfg.Repair.Repair(ctx)
+		elapsed := time.Since(start)
+		s.mu.Lock()
+		s.repairInFlight = false
+		pending := s.repairPending
+		s.repairPending = false
+		s.metrics.StorageRepairs++
+		s.metrics.ReplicasRestored += rep.ReplicasRestored
+		s.metrics.BytesRestored += rep.BytesRestored
+		s.metrics.LastStorageMTTR = elapsed
+		s.mu.Unlock()
+		switch {
+		case err != nil:
+			s.log.append(Event{Type: EventRepairFailed, Detail: err.Error()})
+		case !rep.Post.Clean():
+			s.log.append(Event{Type: EventRepairFailed,
+				Detail: fmt.Sprintf("did not converge: %s", rep.Post)})
+		default:
+			s.log.append(Event{Type: EventRepairDone, MTTR: elapsed,
+				Detail: fmt.Sprintf("restored %d replicas / %d bytes in %d passes",
+					rep.ReplicasRestored, rep.BytesRestored, rep.Passes)})
+		}
+		if pending && ctx.Err() == nil {
+			s.kickRepair(ctx, "failure confirmed during the previous repair pass")
+		}
+	}()
 }
 
 // sweepFailures pings every node of the deployment once and immediately

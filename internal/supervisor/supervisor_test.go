@@ -39,7 +39,9 @@ type harness struct {
 func newHarness(t *testing.T, cfg supervisor.Config, nodes, instances int, net *gateNet) *harness {
 	t.Helper()
 	// Replication 3: a two-failure storm must never take out every replica
-	// of a chunk (the model has no re-replication repair yet).
+	// of a chunk (these tests run without the storage-repair plane, so no
+	// re-replication happens between failures; storagerepair_test.go covers
+	// the self-healing path).
 	ccfg := cloud.Config{Nodes: nodes, MetaProviders: 2, Replication: 3, Dedup: true, Seed: 42}
 	if net != nil {
 		ccfg.Net = net
