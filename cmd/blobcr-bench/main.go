@@ -21,7 +21,7 @@ import (
 
 func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
-	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, availability, throughput, repair)")
+	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, stages, availability, throughput, repair)")
 	flag.Parse()
 
 	p := simcloud.Default()
@@ -39,9 +39,22 @@ func main() {
 		"table1":       func() bench.Series { return bench.Table1CM1SnapshotSize(p, c) },
 		"fig6":         func() bench.Series { return bench.Fig6CM1Checkpoint(p, c) },
 		"downtime":     func() bench.Series { return bench.FigDowntime() },
+		"stages":       func() bench.Series { return bench.FigStages() },
 		"availability": func() bench.Series { return bench.FigAvailability() },
 		"throughput":   func() bench.Series { return bench.FigThroughput() },
 		"repair":       func() bench.Series { return bench.FigRepair() },
+	}
+
+	// A functional experiment that cannot produce its numbers renders with a
+	// FAILED title; exit nonzero so CI catches it instead of a human reading
+	// tables. The downtime experiment also fails this way when the commit
+	// pipeline's stage telemetry comes back empty from its METRICS scrape.
+	failed := false
+	render := func(s bench.Series) {
+		s.Render(os.Stdout)
+		if strings.Contains(s.Title, "FAILED") {
+			failed = true
+		}
 	}
 
 	if *only != "" {
@@ -50,8 +63,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 			os.Exit(2)
 		}
-		s := gen()
-		s.Render(os.Stdout)
+		render(gen())
+		if failed {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -59,13 +74,16 @@ func main() {
 	fmt.Println("Testbed model: 120 compute nodes, 55 MB/s disks, 117.5 MB/s GbE, 256 KB stripes")
 	fmt.Println()
 	for _, s := range bench.All(p, c) {
-		s.Render(os.Stdout)
+		render(s)
 	}
 	if *ablations {
 		fmt.Println("Ablation studies")
 		fmt.Println()
 		for _, s := range bench.Ablations(p) {
-			s.Render(os.Stdout)
+			render(s)
 		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -16,6 +16,7 @@
 //	blobcr-ctl ... decommission <provider-addr>
 //	blobcr-ctl -supervisor ADDR events [since-seq]
 //	blobcr-ctl -supervisor ADDR status
+//	blobcr-ctl [-watch] metrics <addr>
 //	blobcr-ctl supervise
 //
 // With -dedup, uploads go through the content-addressed repository
@@ -66,6 +67,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent per-provider streams for uploads/downloads (0 = client default)")
 	timeout := flag.Duration("timeout", 0, "deadline for repository operations (0 = none); hung daemons fail fast")
 	supAddr := flag.String("supervisor", "", "supervisor introspection endpoint (for events/status)")
+	watch := flag.Bool("watch", false, "metrics: re-scrape and redraw every two seconds")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -81,6 +83,10 @@ func main() {
 			os.Exit(2)
 		}
 		supervisorQuery(*supAddr, *timeout, flag.Args())
+		return
+	case "metrics":
+		need(flag.Args(), 2)
+		metricsQuery(flag.Arg(1), *timeout, *watch)
 		return
 	}
 	if *vmAddr == "" || *pmAddr == "" || *meta == "" {
@@ -446,6 +452,10 @@ commands:
                                       elsewhere), then retire it from membership
   events [since]                      stream a supervisor's event log (-supervisor)
   status                              supervisor recovery summary (-supervisor)
+  metrics <addr>                      scrape a METRICS endpoint (proxy, supervisor
+                                      or repair): commit stage timings, suspend
+                                      window, per-provider latency, dedup hit-rate
+                                      (-watch redraws every two seconds)
   supervise                           run the autonomous-recovery demo in-process`)
 	os.Exit(2)
 }

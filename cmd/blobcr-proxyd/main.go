@@ -8,6 +8,10 @@
 //
 // Tokens for the hosted instances are printed at startup; guests use them
 // with the proxy protocol (CHECKPOINT <vm-id> <token>).
+//
+// The proxy answers METRICS on its own port (scrape it with blobcr-ctl
+// metrics), and -debug-addr additionally binds an HTTP listener serving
+// /metrics, /debug/pprof/* and /debug/vars for Prometheus and pprof.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 
 	"blobcr/internal/blobseer"
 	"blobcr/internal/mirror"
+	"blobcr/internal/obs"
 	"blobcr/internal/proxy"
 	"blobcr/internal/transport"
 	"blobcr/internal/vm"
@@ -39,13 +44,24 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "proxy listen address")
 	node := flag.String("node", "node-0", "node name used in VM ids")
 	parallel := flag.Int("parallel", 0, "concurrent per-provider streams for commits and restores (0 = client default)")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug listener: /metrics, /debug/pprof/*, /debug/vars (empty = off)")
 	flag.Parse()
 
 	if *vmAddr == "" || *pmAddr == "" || *meta == "" || *base == 0 {
 		fmt.Fprintln(os.Stderr, "blobcr-proxyd: -vmanager, -pmanager, -meta and -base are required")
 		os.Exit(2)
 	}
-	net := transport.NewTCP()
+	// Meter every wire call into the default registry: the proxy's METRICS
+	// verb and the -debug-addr /metrics page both scrape it.
+	net := transport.WithMeter(transport.NewTCP(), nil, blobseer.VerbName)
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			log.Fatalf("start debug listener: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug listener on http://%s (/metrics, /debug/pprof/)", dbg.Addr)
+	}
 	client := &blobseer.Client{
 		Net:         net,
 		VMAddr:      *vmAddr,

@@ -11,6 +11,10 @@
 // chunks on the local disk (-dir) or in memory, with the content-addressed
 // dedup index (internal/cas) layered on top; an existing chunk directory is
 // re-indexed on startup.
+//
+// With -debug-addr, the daemon binds an HTTP debug listener serving
+// /metrics (Prometheus text for every wire call handled), /debug/pprof/*
+// and /debug/vars.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"blobcr/internal/blobseer"
 	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
+	"blobcr/internal/obs"
 	"blobcr/internal/transport"
 )
 
@@ -34,9 +39,20 @@ func main() {
 	pmanager := flag.String("pmanager", "", "provider manager address (data role)")
 	dir := flag.String("dir", "", "chunk directory (data role; empty = in-memory)")
 	advertise := flag.String("advertise", "", "address to register with the provider manager (default: the bound address)")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug listener: /metrics, /debug/pprof/*, /debug/vars (empty = off)")
 	flag.Parse()
 
-	net := transport.NewTCP()
+	// Meter outbound wire calls (a data provider calls the provider manager
+	// to register) into the default registry, scraped by -debug-addr.
+	net := transport.WithMeter(transport.NewTCP(), nil, blobseer.VerbName)
+	if *debugAddr != "" {
+		dbg, derr := obs.ServeDebug(*debugAddr, nil)
+		if derr != nil {
+			log.Fatalf("start debug listener: %v", derr)
+		}
+		defer dbg.Close()
+		log.Printf("debug listener on http://%s (/metrics, /debug/pprof/)", dbg.Addr)
+	}
 	var srv transport.Server
 	var err error
 

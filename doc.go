@@ -88,6 +88,30 @@
 // failover. blobcr-bench -only throughput measures commit/restore MB/s
 // against provider count.
 //
+// # End-to-end telemetry plane
+//
+// internal/obs gives every layer one dependency-free metrics registry —
+// atomic counters, gauges and log2-bucketed histograms keyed by
+// name+labels — plus span tracing for the commit pipeline: each
+// asynchronous commit emits five ordered spans (commit/capture under the
+// suspend window, then commit/probe, commit/upload, commit/publish,
+// commit/durable in the background), carried on the context.Context and
+// recorded both per-request (obs.Trace) and as span_ns histograms.
+// transport.Meter wraps any Network and records per-verb calls, bytes and
+// latency (plus a per-address breakdown), tagging RemoteError values with
+// the originating verb; the blobseer client counts dedup hit bytes, batch
+// frames and failovers; the proxy records the suspend window; the
+// supervisor its heartbeat RTTs, MTTR and dropped events (its event log is
+// a fixed-capacity ring); the repair plane its scrub findings and restored
+// bytes. The proxy, supervisor and repair wire endpoints answer a METRICS
+// verb with versioned Prometheus text that obs.ParseProm reads back;
+// blobcr-ctl metrics renders the operator view (per-stage suspend-window
+// breakdown, per-provider latency, dedup hit-rate; -watch redraws live),
+// and blobcr-proxyd/blobseerd -debug-addr serve HTTP /metrics,
+// /debug/pprof and /debug/vars. blobcr-bench -only stages decomposes a
+// traced commit per provider count, and the downtime experiment scrapes
+// METRICS itself, failing when stage telemetry goes missing.
+//
 // # Asynchronous checkpoint handles
 //
 // The checkpoint lifecycle is asynchronous end to end: the proxy's

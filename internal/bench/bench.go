@@ -247,6 +247,7 @@ func All(p simcloud.Params, c simcloud.CM1Params) []Series {
 		Table1CM1SnapshotSize(p, c),
 		Fig6CM1Checkpoint(p, c),
 		FigDowntime(),
+		FigStages(),
 		FigAvailability(),
 		FigThroughput(),
 		FigRepair(),

@@ -12,8 +12,8 @@ func TestAllSeriesWellFormed(t *testing.T) {
 	p := simcloud.Default()
 	c := simcloud.DefaultCM1()
 	series := All(p, c)
-	if len(series) != 14 {
-		t.Fatalf("All returned %d series, want 14 (every table and figure, the CAS dedup extension, and the downtime, availability, throughput and repair experiments)", len(series))
+	if len(series) != 15 {
+		t.Fatalf("All returned %d series, want 15 (every table and figure, the CAS dedup extension, and the downtime, commit-stage, availability, throughput and repair experiments)", len(series))
 	}
 	for _, s := range series {
 		if s.Title == "" || len(s.Columns) == 0 || len(s.Rows) == 0 {

@@ -17,10 +17,12 @@ package bench
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"blobcr/internal/blobseer"
 	"blobcr/internal/mirror"
+	"blobcr/internal/obs"
 	"blobcr/internal/proxy"
 	"blobcr/internal/transport"
 	"blobcr/internal/vm"
@@ -58,6 +60,10 @@ func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 	}
 	defer repo.Close()
 	client := repo.Client()
+	// One private registry for the whole run: the proxy's METRICS verb
+	// scrapes it at the end, asserting the commit pipeline actually emitted
+	// its stage telemetry (the CI smoke rides this).
+	client.Obs = obs.NewRegistry()
 
 	// Base image: empty disk of downtimeDiskMB.
 	base, err := client.CreateBlob(ctx, downtimeChunk)
@@ -97,6 +103,7 @@ func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 	}
 
 	p := proxy.New()
+	p.Obs = client.Obs
 	srv, err := p.Serve(net, "")
 	if err != nil {
 		return nil, err
@@ -178,7 +185,42 @@ func RunDowntime(dirtyChunks []int) ([]DowntimeResult, error) {
 
 		out = append(out, r)
 	}
+	// Scrape the proxy over the wire like an operator would and assert the
+	// pipeline's stage telemetry is really there: every one of the five
+	// commit stages must have a non-empty span histogram, and the suspend
+	// window must have been recorded. A silent instrumentation regression
+	// fails the experiment, not just a dashboard.
+	if err := verifyStageTelemetry(ctx, net, srv.Addr()); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// verifyStageTelemetry calls METRICS on a proxy and checks the commit
+// pipeline's stage histograms and the suspend-window series are non-empty.
+func verifyStageTelemetry(ctx context.Context, net transport.Network, addr string) error {
+	resp, err := net.Call(ctx, addr, []byte("METRICS"))
+	if err != nil {
+		return fmt.Errorf("bench: scrape METRICS: %w", err)
+	}
+	header, body, _ := strings.Cut(string(resp), "\n")
+	if header != "OK "+obs.ExpositionVersion {
+		return fmt.Errorf("bench: METRICS answered %q, want OK %s", header, obs.ExpositionVersion)
+	}
+	points, err := obs.ParseProm(body)
+	if err != nil {
+		return fmt.Errorf("bench: parse METRICS exposition: %w", err)
+	}
+	for _, stage := range obs.CommitStages {
+		p := obs.Find(points, "span_ns", obs.L("span", stage))
+		if p == nil || p.Count == 0 {
+			return fmt.Errorf("bench: commit pipeline emitted no %q spans — stage telemetry is broken", stage)
+		}
+	}
+	if p := obs.Find(points, "proxy_suspend_ns"); p == nil || p.Count == 0 {
+		return fmt.Errorf("bench: proxy recorded no suspend windows")
+	}
+	return nil
 }
 
 // FigDowntime renders the downtime experiment: effective downtime (and

@@ -12,6 +12,7 @@ import (
 	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
 	"blobcr/internal/meta"
+	"blobcr/internal/obs"
 	"blobcr/internal/transport"
 	"blobcr/internal/wire"
 )
@@ -52,6 +53,20 @@ type Client struct {
 	// down with the striping width up to this bound. Zero means
 	// DefaultParallelism.
 	Parallelism int
+
+	// Obs is the metrics registry the client's instrumentation records into
+	// (commit stage spans, dedup hit bytes, batch round trips, per-provider
+	// stream times, failover counters). Nil means obs.Default.
+	Obs *obs.Registry
+}
+
+// Registry returns the client's metrics registry (obs.Default when unset),
+// so layers above (mirror, proxy) record into the same scrape surface.
+func (c *Client) Registry() *obs.Registry {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Default
 }
 
 func (c *Client) replication() int {
@@ -132,6 +147,7 @@ func (s *remoteNodeStore) PutNodes(puts []meta.NodePut) error {
 				putNodeKey(w, p.Key)
 				w.PutBytes(p.Encoded)
 			}
+			obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "node-put-batch")).Inc()
 			if _, err := s.net.Call(ctx, addr, w.Bytes()); err != nil {
 				return fmt.Errorf("blobseer: put %d nodes to %s: %w", end-start, addr, err)
 			}
@@ -161,6 +177,7 @@ func (s *remoteNodeStore) GetNodes(keys []meta.NodeKey) ([][]byte, error) {
 			for _, pos := range positions[start:end] {
 				putNodeKey(w, keys[pos])
 			}
+			obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "node-get-batch")).Inc()
 			resp, err := s.net.Call(ctx, addr, w.Bytes())
 			if err != nil {
 				return fmt.Errorf("blobseer: get %d nodes from %s: %w", end-start, addr, err)
@@ -273,6 +290,7 @@ type CommitStats struct {
 	Chunks        int    // chunks written by the commit
 	DedupChunks   int    // chunks whose body was already held by every replica
 	LogicalBytes  uint64 // payload bytes, counted once per chunk
+	DedupHitBytes uint64 // payload bytes of the dedup'd chunks (counted once per chunk)
 	TransferBytes uint64 // bytes actually shipped to data providers
 }
 
@@ -281,6 +299,7 @@ func (s *CommitStats) Add(o CommitStats) {
 	s.Chunks += o.Chunks
 	s.DedupChunks += o.DedupChunks
 	s.LogicalBytes += o.LogicalBytes
+	s.DedupHitBytes += o.DedupHitBytes
 	s.TransferBytes += o.TransferBytes
 }
 
@@ -325,11 +344,42 @@ func (c *Client) WriteVersionStatsFrom(ctx context.Context, base SnapshotRef, wr
 
 // writeVersion implements both commit flavors: with base == nil the new
 // version overlays the blob's latest published version; otherwise it
-// overlays the explicitly named base snapshot.
+// overlays the explicitly named base snapshot. It wraps the staged
+// implementation with the commit-level telemetry: per-commit counters and
+// the registry attachment the stage spans and batch counters below record
+// through.
 func (c *Client) writeVersion(ctx context.Context, blob uint64, base *SnapshotRef, writes map[uint64][]byte, newSize uint64) (VersionInfo, CommitStats, error) {
+	ctx = obs.WithRegistry(ctx, c.Obs)
+	reg := obs.RegistryFrom(ctx)
+	info, stats, err := c.writeVersionStaged(ctx, blob, base, writes, newSize)
+	if err != nil {
+		reg.Counter("blobseer_commit_failures_total").Inc()
+		return info, stats, err
+	}
+	reg.Counter("blobseer_commits_total").Inc()
+	reg.Counter("blobseer_commit_chunks_total").Add(uint64(stats.Chunks))
+	reg.Counter("blobseer_dedup_hit_chunks_total").Add(uint64(stats.DedupChunks))
+	reg.Counter("blobseer_dedup_hit_bytes_total").Add(stats.DedupHitBytes)
+	reg.Counter("blobseer_commit_logical_bytes_total").Add(stats.LogicalBytes)
+	reg.Counter("blobseer_commit_transfer_bytes_total").Add(stats.TransferBytes)
+	return info, stats, nil
+}
+
+// writeVersionStaged is the commit pipeline proper, decomposed into the
+// named probe → upload → publish → durable stages the suspend-window
+// breakdown reports (the capture stage happens above, in internal/mirror,
+// under the VM suspend).
+func (c *Client) writeVersionStaged(ctx context.Context, blob uint64, base *SnapshotRef, writes map[uint64][]byte, newSize uint64) (VersionInfo, CommitStats, error) {
 	var stats CommitStats
 	// Cleanup must run even when ctx is already cancelled.
 	cleanupCtx := context.WithoutCancel(ctx)
+
+	// Stage: probe — base-version lookup, size validation, ticket. The
+	// deferred Ends are no-ops on the success path (End is idempotent); they
+	// close the in-flight stage when an error path returns early.
+	_, probe := obs.StartSpan(ctx, obs.SpanCommitProbe)
+	defer probe.End()
+
 	// Previous version (absent for the first write).
 	var prev VersionInfo
 	var chunkSize uint64
@@ -375,6 +425,11 @@ func (c *Client) writeVersion(ctx context.Context, blob uint64, base *SnapshotRe
 	if err := r.Err(); err != nil {
 		return VersionInfo{}, stats, err
 	}
+	probe.End()
+
+	// Stage: upload — chunk bodies move to the data providers.
+	_, upload := obs.StartSpan(ctx, obs.SpanCommitUpload)
+	defer upload.End()
 
 	// Deterministic order of chunk uploads.
 	indices := make([]uint64, 0, len(writes))
@@ -394,6 +449,11 @@ func (c *Client) writeVersion(ctx context.Context, blob uint64, base *SnapshotRe
 		c.abort(cleanupCtx, blob, version)
 		return VersionInfo{}, stats, err
 	}
+	upload.End()
+
+	// Stage: publish — the metadata tree for the new version.
+	_, publish := obs.StartSpan(ctx, obs.SpanCommitPublish)
+	defer publish.End()
 
 	// Metadata tree for the new version.
 	maxIdx := uint64(0)
@@ -415,6 +475,12 @@ func (c *Client) writeVersion(ctx context.Context, blob uint64, base *SnapshotRe
 		c.abort(cleanupCtx, blob, version)
 		return VersionInfo{}, stats, err
 	}
+	publish.End()
+
+	// Stage: durable — the version-manager commit makes the version
+	// restart-visible.
+	_, durable := obs.StartSpan(ctx, obs.SpanCommitDurable)
+	defer durable.End()
 
 	// Commit. A dedup commit carries the write manifest so the version
 	// manager can track which write supersedes which (refcount GC).
@@ -433,6 +499,7 @@ func (c *Client) writeVersion(ctx context.Context, blob uint64, base *SnapshotRe
 		// to the mark-and-sweep fallback.
 		return VersionInfo{}, stats, err
 	}
+	durable.End()
 	return info, stats, nil
 }
 
@@ -590,6 +657,7 @@ func (c *Client) putChunkFailover(ctx context.Context, key chunkstore.Key, data 
 			lastErr = err
 			continue
 		}
+		obs.RegistryFrom(ctx).Counter("blobseer_write_failovers_total").Inc()
 		return addr, nil
 	}
 	return "", fmt.Errorf("blobseer: chunk %v: no live provider took the replica: %w", key, lastErr)
@@ -825,6 +893,7 @@ func (c *Client) uploadDedup(ctx context.Context, indices []uint64, writes map[u
 		stats.TransferBytes += uint64(ch.shipped) * uint64(len(ch.data))
 		if ch.shipped == 0 {
 			stats.DedupChunks++
+			stats.DedupHitBytes += uint64(len(ch.data))
 		}
 		leaves[ch.idx] = meta.Leaf{Providers: ch.taken, Key: ch.fp.Key(), Size: uint32(len(ch.data))}
 		manifest = append(manifest, manifestEntry{index: ch.idx, fp: ch.fp, providers: ch.taken})
@@ -961,7 +1030,15 @@ func (c *Client) ReadVersion(ctx context.Context, ref SnapshotRef, offset, size 
 // current membership, which is where the repair plane re-homes lost
 // replicas.
 func (c *Client) ReadVersionStats(ctx context.Context, ref SnapshotRef, offset, size uint64) ([]byte, ReadStats, error) {
+	ctx = obs.WithRegistry(ctx, c.Obs)
 	var stats ReadStats
+	defer func() {
+		reg := obs.RegistryFrom(ctx)
+		reg.Counter("blobseer_read_chunks_total").Add(uint64(stats.Chunks))
+		reg.Counter("blobseer_read_failovers_total").Add(uint64(stats.FailedOver))
+		reg.Counter("blobseer_read_corrupt_replicas_total").Add(uint64(stats.CorruptReplicas))
+		reg.Counter("blobseer_read_ranked_fallbacks_total").Add(uint64(stats.RankedFallbacks))
+	}()
 	info, chunkSize, err := c.GetVersion(ctx, ref)
 	if err != nil {
 		return nil, stats, err

@@ -8,6 +8,7 @@ import (
 
 	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
+	"blobcr/internal/obs"
 	"blobcr/internal/wire"
 )
 
@@ -84,14 +85,20 @@ func runLimited(ctx context.Context, limit, n int, fn func(ctx context.Context, 
 // runGroups runs fn once per provider group, the groups proceeding
 // concurrently on at most limit streams (errgroup-style cancellation via
 // runLimited). This is the one fan-out shape the whole data path uses:
-// group items by provider, run one stream per provider.
+// group items by provider, run one stream per provider. Each stream's wall
+// time is observed into the context registry's per-provider histogram, the
+// direct measure of striping balance.
 func runGroups[T any](ctx context.Context, limit int, groups map[string][]T, fn func(ctx context.Context, addr string, items []T) error) error {
+	reg := obs.RegistryFrom(ctx)
 	addrs := make([]string, 0, len(groups))
 	for addr := range groups {
 		addrs = append(addrs, addr)
 	}
 	return runLimited(ctx, limit, len(addrs), func(ctx context.Context, i int) error {
-		return fn(ctx, addrs[i], groups[addrs[i]])
+		sw := obs.StartTimer()
+		err := fn(ctx, addrs[i], groups[addrs[i]])
+		sw.ObserveInto(reg.Histogram("blobseer_stream_ns", obs.L("addr", addrs[i])))
+		return err
 	})
 }
 
@@ -134,6 +141,7 @@ func (c *Client) putChunkBatch(ctx context.Context, addr string, keys []chunksto
 		putChunkKey(w, k)
 		w.PutBytes(bodies[i])
 	}
+	obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "chunk-put-batch")).Inc()
 	if _, err := c.Net.Call(ctx, addr, w.Bytes()); err != nil {
 		return fmt.Errorf("blobseer: put %d chunks to %s: %w", len(keys), addr, err)
 	}
@@ -150,6 +158,7 @@ func (c *Client) getChunkBatch(ctx context.Context, addr string, keys []chunksto
 	for _, k := range keys {
 		putChunkKey(w, k)
 	}
+	obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "chunk-get-batch")).Inc()
 	resp, err := c.Net.Call(ctx, addr, w.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("blobseer: get %d chunks from %s: %w", len(keys), addr, err)
@@ -183,6 +192,7 @@ func (c *Client) casRefBatch(ctx context.Context, addr string, fps []cas.Fingerp
 		for _, fp := range fps[start:end] {
 			putFingerprint(w, fp)
 		}
+		obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "cas-ref-batch")).Inc()
 		resp, err := c.Net.Call(ctx, addr, w.Bytes())
 		if err != nil {
 			return held, start, fmt.Errorf("blobseer: cas ref batch on %s: %w", addr, err)
@@ -217,6 +227,7 @@ func (c *Client) casPutBatch(ctx context.Context, addr string, fps []cas.Fingerp
 		putFingerprint(w, fp)
 		w.PutBytes(bodies[i])
 	}
+	obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "cas-put-batch")).Inc()
 	resp, err := c.Net.Call(ctx, addr, w.Bytes())
 	if err != nil {
 		return fmt.Errorf("blobseer: cas put batch to %s: %w", addr, err)

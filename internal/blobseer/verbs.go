@@ -1,0 +1,74 @@
+package blobseer
+
+import "blobcr/internal/transport"
+
+// opNames maps every BlobSeer wire op code to a stable metric-friendly
+// verb name. The ranges mirror protocol.go: version manager (1..), provider
+// manager (32..), data providers (64..), metadata providers (96..).
+var opNames = map[byte]string{
+	opCreate:     "create",
+	opTicket:     "ticket",
+	opCommit:     "commit",
+	opAbort:      "abort",
+	opGetVersion: "get-version",
+	opLatest:     "latest",
+	opClone:      "clone",
+	opListLive:   "list-live",
+	opRetire:     "retire",
+	opListBlobs:  "list-blobs",
+	opRelocate:   "relocate",
+
+	opRegister:       "register",
+	opPlacement:      "placement",
+	opProviders:      "providers",
+	opUnregister:     "unregister",
+	opMembership:     "membership",
+	opDrain:          "drain",
+	opRetireProvider: "retire-provider",
+
+	opChunkPut:      "chunk-put",
+	opChunkGet:      "chunk-get",
+	opChunkDelete:   "chunk-delete",
+	opChunkList:     "chunk-list",
+	opChunkUsage:    "chunk-usage",
+	opChunkHas:      "chunk-has",
+	opCasRef:        "cas-ref",
+	opCasPut:        "cas-put",
+	opCasRelease:    "cas-release",
+	opCasStats:      "cas-stats",
+	opChunkPutBatch: "chunk-put-batch",
+	opChunkGetBatch: "chunk-get-batch",
+	opCasRefBatch:   "cas-ref-batch",
+	opCasPutBatch:   "cas-put-batch",
+	opCasReleaseN:   "cas-release-n",
+
+	opNodePut:      "node-put",
+	opNodeGet:      "node-get",
+	opNodeList:     "node-list",
+	opNodeDelete:   "node-delete",
+	opNodeUsage:    "node-usage",
+	opNodePutBatch: "node-put-batch",
+	opNodeGetBatch: "node-get-batch",
+}
+
+// OpName returns the verb name of a BlobSeer op code, or "" when the byte
+// is not a known op.
+func OpName(op byte) string { return opNames[op] }
+
+// VerbName maps a request frame to its operation name for the transport
+// Meter: the REST-ful text protocols (proxy, supervisor, repair) are named
+// by their first command word, BlobSeer binary frames by their leading op
+// byte. Text is tried first because the data-provider op range (64..)
+// collides with ASCII capitals — "CHECKPOINT..." leads with 'C' (67, also
+// opChunkList); a genuine command word (≥ 3 capitals then a separator)
+// cannot be confused with an op byte followed by wire-encoded lengths.
+// Use with transport.WithMeter.
+func VerbName(req []byte) string {
+	if len(req) == 0 {
+		return ""
+	}
+	if word := transport.TextVerb(req); len(word) >= 3 {
+		return word
+	}
+	return opNames[req[0]]
+}

@@ -16,6 +16,7 @@ import (
 
 	"blobcr/internal/blobseer"
 	"blobcr/internal/mirror"
+	"blobcr/internal/obs"
 	"blobcr/internal/proxy"
 	"blobcr/internal/transport"
 	"blobcr/internal/vm"
@@ -92,6 +93,7 @@ type Cloud struct {
 	replication int
 	dedup       bool
 	parallelism int
+	obs         *obs.Registry
 
 	mu      sync.Mutex
 	nodes   []*Node
@@ -123,6 +125,12 @@ type Config struct {
 	// in-process network. The availability experiments pass a
 	// latency-injecting wrapper so restarts cost real wall time.
 	Net transport.FaultNetwork
+	// Obs is the metrics registry the whole deployment records into: every
+	// wire call (through a transport.Meter wrapped around Net), every
+	// repository client the cloud hands out, and the per-node proxies all
+	// share it, so one METRICS scrape sees the full picture. Nil means
+	// obs.Default.
+	Obs *obs.Registry
 }
 
 // New builds a cloud: an in-process network, a BlobSeer deployment with one
@@ -134,17 +142,25 @@ func New(cfg Config) (*Cloud, error) {
 	if cfg.MetaProviders < 1 {
 		cfg.MetaProviders = 1
 	}
-	net := cfg.Net
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	var net transport.FaultNetwork = cfg.Net
 	if net == nil {
 		net = transport.NewInProc()
 	}
+	// Meter outermost: shaping wrappers underneath (Latency, Bandwidth) stay
+	// visible in what it measures, and fault injection forwards through it.
+	net = transport.WithMeter(net, reg, blobseer.VerbName)
 	repo, err := blobseer.Deploy(net, cfg.MetaProviders, cfg.Nodes)
 	if err != nil {
 		return nil, err
 	}
-	c := &Cloud{net: net, repo: repo, rng: rand.New(rand.NewSource(cfg.Seed))}
+	c := &Cloud{net: net, repo: repo, obs: reg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	for i := 0; i < cfg.Nodes; i++ {
 		p := proxy.New()
+		p.Obs = reg
 		srv, err := p.Serve(net, "")
 		if err != nil {
 			repo.Close()
@@ -170,8 +186,13 @@ func (c *Cloud) Client() *blobseer.Client {
 	cl.Replication = c.replication
 	cl.Dedup = c.dedup
 	cl.Parallelism = c.parallelism
+	cl.Obs = c.obs
 	return cl
 }
+
+// Registry returns the metrics registry the deployment records into — the
+// one surface the METRICS endpoints and -debug-addr listeners scrape.
+func (c *Cloud) Registry() *obs.Registry { return c.obs }
 
 // Nodes returns the compute nodes.
 func (c *Cloud) Nodes() []*Node {
@@ -199,6 +220,7 @@ func (c *Cloud) AddNode(ctx context.Context) (*Node, error) {
 		return nil, err
 	}
 	p := proxy.New()
+	p.Obs = c.obs
 	srv, err := p.Serve(c.net, "")
 	if err != nil {
 		// The data provider already JOINed placement; take it back out so a

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"blobcr/internal/blobseer"
+	"blobcr/internal/obs"
 	"blobcr/internal/vdisk"
 )
 
@@ -432,6 +433,11 @@ func (m *Module) commitAsync(admitCtx, uploadCtx context.Context) (*PendingCommi
 		<-m.sem
 		return nil, ErrNoCheckpointImage
 	}
+	// Attach the client's registry so every stage of this commit — the
+	// capture here and the probe/upload/publish/durable stages inside the
+	// client — lands in one scrape surface; a Trace carried by the caller's
+	// context survives too (WithoutCancel preserves values).
+	uploadCtx = obs.WithRegistry(uploadCtx, m.client.Obs)
 	pc := &PendingCommit{
 		ctx:     uploadCtx,
 		writes:  make(map[uint64][]byte, len(m.dirty)),
@@ -439,6 +445,9 @@ func (m *Module) commitAsync(admitCtx, uploadCtx context.Context) (*PendingCommi
 		size:    m.size,
 		done:    make(chan struct{}),
 	}
+	// Stage: capture — the dirty chunks are copied while the VM is
+	// suspended; this is the only pipeline stage inside the suspend window.
+	_, capture := obs.StartSpan(uploadCtx, obs.SpanCommitCapture)
 	for idx := range m.dirty {
 		chunk := m.local[idx]
 		// The device's final chunk may extend past the virtual size; trim
@@ -455,6 +464,7 @@ func (m *Module) commitAsync(admitCtx, uploadCtx context.Context) (*PendingCommi
 		pc.indices = append(pc.indices, idx)
 	}
 	m.dirty = make(map[uint64]bool)
+	capture.End()
 	m.inFlight++
 	m.queue = append(m.queue, pc)
 	if !m.workerRunning {
@@ -517,9 +527,11 @@ func (m *Module) runCommit(pc *PendingCommit) {
 			}
 		}
 		pc.err = fmt.Errorf("mirror: commit: %w", err)
+		m.client.Registry().Counter("mirror_commit_failures_total").Inc()
 	} else {
 		m.commitStats.Add(cs)
 		m.commits++
+		m.client.Registry().Counter("mirror_commits_total").Inc()
 		pc.info = info
 		pc.ref = blobseer.SnapshotRef{Blob: m.ckptBlob, Version: info.Version}
 		m.base = pc.ref

@@ -1,0 +1,92 @@
+package mirror
+
+import (
+	"context"
+	"testing"
+
+	"blobcr/internal/obs"
+)
+
+// TestCommitPipelineEmitsFiveStages asserts one async commit produces the
+// five named pipeline spans — capture, probe, upload, publish, durable —
+// with monotonic, non-overlapping timestamps, and that the same stages land
+// in the client's metrics registry.
+func TestCommitPipelineEmitsFiveStages(t *testing.T) {
+	_, c, m, _ := setup(t, 8*cs)
+	reg := obs.NewRegistry()
+	c.Obs = reg
+
+	if _, err := m.WriteAt(make([]byte, 3*cs), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Clone(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	pc, err := m.CommitAsync(obs.WithTrace(context.Background(), tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != len(obs.CommitStages) {
+		t.Fatalf("got %d spans %v, want %d", len(spans), spans, len(obs.CommitStages))
+	}
+	for i, want := range obs.CommitStages {
+		got := spans[i]
+		if got.Name != want {
+			t.Errorf("span %d = %q, want %q", i, got.Name, want)
+		}
+		if got.End.Before(got.Start) {
+			t.Errorf("span %q ends before it starts", got.Name)
+		}
+		if i > 0 && got.Start.Before(spans[i-1].End) {
+			t.Errorf("span %q starts at %v, before %q ended at %v — stages overlap",
+				got.Name, got.Start, spans[i-1].Name, spans[i-1].End)
+		}
+	}
+
+	for _, stage := range obs.CommitStages {
+		h := reg.Histogram("span_ns", obs.L("span", stage))
+		if h.Count() != 1 {
+			t.Errorf("registry histogram for %q has count %d, want 1", stage, h.Count())
+		}
+	}
+	if reg.Counter("mirror_commits_total").Value() != 1 {
+		t.Error("mirror_commits_total not incremented")
+	}
+	if reg.Counter("blobseer_commits_total").Value() != 1 {
+		t.Error("blobseer_commits_total not incremented")
+	}
+}
+
+// TestDetachedCommitKeepsStageTelemetry checks that the detached-commit
+// path (context.WithoutCancel) still carries the registry and trace.
+func TestDetachedCommitKeepsStageTelemetry(t *testing.T) {
+	_, c, m, _ := setup(t, 8*cs)
+	reg := obs.NewRegistry()
+	c.Obs = reg
+
+	if _, err := m.WriteAt(make([]byte, cs), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Clone(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	reqCtx, cancel := context.WithCancel(obs.WithTrace(context.Background(), tr))
+	pc, err := m.CommitAsyncDetached(reqCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // the request dies; the detached publish must finish anyway
+	if _, err := pc.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Spans()); got != len(obs.CommitStages) {
+		t.Fatalf("detached commit recorded %d spans, want %d", got, len(obs.CommitStages))
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug binds an HTTP debug listener on addr exposing the registry and
+// the Go runtime's standard introspection surface:
+//
+//	/metrics          Prometheus text exposition of reg
+//	/debug/pprof/*    CPU, heap, goroutine, block profiles (net/http/pprof)
+//	/debug/vars       expvar (memstats, cmdline)
+//
+// The daemons (blobcr-proxyd, blobseerd) wire it behind their -debug-addr
+// flag. The returned server is already serving; Close releases the port.
+// The handler set is built on a private mux, so importing this package does
+// not pollute http.DefaultServeMux with pprof routes.
+func ServeDebug(addr string, reg *Registry) (*http.Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, reg.Snapshot()) //nolint:errcheck // best effort over HTTP
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	// Addr records where we actually bound (addr may carry port 0).
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return srv, nil
+}

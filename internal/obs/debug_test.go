@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeDebugExposesMetricsAndVars boots the debug listener on a random
+// port and checks /metrics serves the exposition format and /debug/vars the
+// expvar JSON.
+func TestServeDebugExposesMetricsAndVars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total").Add(7)
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if !strings.HasPrefix(metrics, versionComment) {
+		t.Errorf("/metrics missing version comment: %q", metrics[:min(len(metrics), 60)])
+	}
+	if !strings.Contains(metrics, "demo_total 7") {
+		t.Errorf("/metrics missing counter: %q", metrics)
+	}
+	if pts, err := ParseProm(metrics); err != nil || Find(pts, "demo_total") == nil {
+		t.Errorf("/metrics does not round-trip through ParseProm: %v", err)
+	}
+	if vars := get("/debug/vars"); !strings.Contains(vars, "memstats") {
+		t.Errorf("/debug/vars missing memstats: %q", vars[:min(len(vars), 80)])
+	}
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries table-tests the log2 bucket mapping at and
+// around every power-of-two boundary.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		value uint64
+		bound uint64 // inclusive upper bound of the bucket it must land in
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{3, 3},
+		{4, 7},
+		{7, 7},
+		{8, 15},
+		{1023, 1023},
+		{1024, 2047},
+		{1025, 2047},
+		{1<<32 - 1, 1<<32 - 1},
+		{1 << 32, 1<<33 - 1},
+		{1<<63 - 1, 1<<63 - 1},
+		{1 << 63, math.MaxUint64},
+		{math.MaxUint64, math.MaxUint64},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.value)
+		var got []Bucket
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				got = append(got, Bucket{UpperBound: BucketBound(i), Count: n})
+			}
+		}
+		if len(got) != 1 {
+			t.Fatalf("Observe(%d): %d buckets populated, want 1", tc.value, len(got))
+		}
+		if got[0].UpperBound != tc.bound {
+			t.Errorf("Observe(%d): landed in bucket le=%d, want le=%d", tc.value, got[0].UpperBound, tc.bound)
+		}
+		if h.Sum() != tc.value || h.Count() != 1 {
+			t.Errorf("Observe(%d): sum=%d count=%d", tc.value, h.Sum(), h.Count())
+		}
+		// The bucket's lower edge must not exceed the value.
+		if tc.value > 0 && tc.bound/2+1 > tc.value {
+			t.Errorf("Observe(%d): bucket [%d..%d] excludes value", tc.value, tc.bound/2+1, tc.bound)
+		}
+	}
+}
+
+// TestBucketBound checks the exported boundary function directly.
+func TestBucketBound(t *testing.T) {
+	if BucketBound(0) != 0 || BucketBound(-1) != 0 {
+		t.Fatal("bucket 0 bound")
+	}
+	for i := 1; i < 64; i++ {
+		want := uint64(1)<<uint(i) - 1
+		if BucketBound(i) != want {
+			t.Fatalf("BucketBound(%d) = %d, want %d", i, BucketBound(i), want)
+		}
+	}
+	if BucketBound(64) != math.MaxUint64 || BucketBound(65) != math.MaxUint64 {
+		t.Fatal("top bucket bound")
+	}
+}
+
+// TestConcurrentUpdatesVsSnapshot is the -race stress: hammer counters,
+// gauges and histograms from many goroutines while snapshots run, then
+// check totals.
+func TestConcurrentUpdatesVsSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent snapshotters + prom renderers.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					reg.Snapshot()
+					reg.PromText()
+				}
+			}
+		}()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := L("worker", fmt.Sprintf("%d", w%2)) // contend on shared handles
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("stress_total", lbl).Inc()
+				reg.Gauge("stress_gauge", lbl).Set(int64(i))
+				reg.Histogram("stress_ns", lbl).Observe(uint64(i))
+			}
+		}(w)
+	}
+	// Wait for workers (the first `workers` Adds after the snapshotters).
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		points := reg.Snapshot()
+		var total uint64
+		for _, p := range points {
+			if p.Name == "stress_total" {
+				total += p.Value
+			}
+		}
+		if total == workers*perWorker {
+			break
+		}
+		select {
+		case <-done:
+			t.Fatalf("workers done but counter total %d != %d", total, workers*perWorker)
+		default:
+		}
+	}
+	close(stop)
+	<-done
+
+	points := reg.Snapshot()
+	var count, sum uint64
+	for _, p := range points {
+		if p.Name == "stress_ns" {
+			count += p.Count
+			sum += p.Sum
+			var inBuckets uint64
+			for _, b := range p.Buckets {
+				inBuckets += b.Count
+			}
+			if inBuckets != p.Count {
+				t.Errorf("bucket sum %d != count %d", inBuckets, p.Count)
+			}
+		}
+	}
+	if count != workers*perWorker {
+		t.Errorf("histogram count %d, want %d", count, workers*perWorker)
+	}
+	wantSum := uint64(workers) * (perWorker * (perWorker - 1) / 2)
+	if sum != wantSum {
+		t.Errorf("histogram sum %d, want %d", sum, wantSum)
+	}
+}
+
+// TestPromRoundTrip renders a mixed registry and parses it back.
+func TestPromRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("calls_total", L("verb", "chunk-put"), L("addr", "inproc-1")).Add(42)
+	reg.Gauge("interval_ns").Set(-5)
+	h := reg.Histogram("lat_ns", L("verb", `we"ird\label`))
+	for _, v := range []uint64{0, 1, 3, 900, 5000, 1 << 40} {
+		h.Observe(v)
+	}
+
+	text := reg.PromText()
+	if !strings.HasPrefix(text, "# blobcr-metrics "+ExpositionVersion+"\n") {
+		t.Fatalf("missing version marker:\n%s", text)
+	}
+	points, err := ParseProm(text)
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, text)
+	}
+
+	c := Find(points, "calls_total", L("verb", "chunk-put"))
+	if c == nil || c.Value != 42 || c.Label("addr") != "inproc-1" {
+		t.Fatalf("counter round-trip: %+v", c)
+	}
+	g := Find(points, "interval_ns")
+	if g == nil || g.GaugeValue != -5 {
+		t.Fatalf("gauge round-trip: %+v", g)
+	}
+	hp := Find(points, "lat_ns", L("verb", `we"ird\label`))
+	if hp == nil {
+		t.Fatalf("histogram with quoted label lost:\n%s", text)
+	}
+	if hp.Count != 6 || hp.Sum != 0+1+3+900+5000+1<<40 {
+		t.Fatalf("histogram count/sum: %+v", hp)
+	}
+	var orig *Point
+	for _, p := range reg.Snapshot() {
+		if p.Kind == KindHistogram {
+			q := p
+			orig = &q
+		}
+	}
+	if len(hp.Buckets) != len(orig.Buckets) {
+		t.Fatalf("bucket count %d != %d", len(hp.Buckets), len(orig.Buckets))
+	}
+	for i := range hp.Buckets {
+		if hp.Buckets[i] != orig.Buckets[i] {
+			t.Fatalf("bucket %d: %+v != %+v", i, hp.Buckets[i], orig.Buckets[i])
+		}
+	}
+}
+
+// TestQuantile sanity-checks the bucket interpolation.
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(100) // all in bucket [64..127]
+	}
+	reg := NewRegistry()
+	_ = reg
+	p := Point{Kind: KindHistogram, Count: h.Count(), Sum: h.Sum()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			p.Buckets = append(p.Buckets, Bucket{UpperBound: BucketBound(i), Count: n})
+		}
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		v := p.Quantile(q)
+		if v < 65 || v > 127 {
+			t.Errorf("q%.2f = %.1f outside bucket [65..127]", q, v)
+		}
+	}
+	if m := p.Mean(); m != 100 {
+		t.Errorf("mean %.1f, want 100", m)
+	}
+}
+
+// TestSpanRecordsIntoRegistryAndTrace checks the ctx plumbing.
+func TestSpanRecordsIntoRegistryAndTrace(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTrace()
+	ctx := WithTrace(WithRegistry(context.Background(), reg), tr)
+
+	_, sp := StartSpan(ctx, "stage/one")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // idempotent
+
+	h := reg.Histogram("span_ns", L("span", "stage/one"))
+	if h.Count() != 1 {
+		t.Fatalf("span histogram count %d, want 1", h.Count())
+	}
+	g := reg.Gauge("span_last_ns", L("span", "stage/one"))
+	if g.Value() <= 0 {
+		t.Fatalf("span_last_ns gauge %d, want > 0", g.Value())
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "stage/one" {
+		t.Fatalf("trace spans: %+v", spans)
+	}
+	if !spans[0].End.After(spans[0].Start) {
+		t.Fatal("span end not after start")
+	}
+	if _, ok := tr.ByName("stage/one"); !ok {
+		t.Fatal("ByName missed the span")
+	}
+	// Default-registry fallback must not panic and must record somewhere.
+	_, sp2 := StartSpan(context.Background(), "stage/detached")
+	sp2.End()
+	if RegistryFrom(context.Background()) != Default {
+		t.Fatal("RegistryFrom fallback")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("TraceFrom on bare ctx")
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ctxKey keys the context values this package threads through call chains.
+type ctxKey int
+
+const (
+	registryKey ctxKey = iota
+	traceKey
+)
+
+// WithRegistry returns a context carrying reg; StartSpan and instrumented
+// layers below the caller record into it instead of Default.
+func WithRegistry(ctx context.Context, reg *Registry) context.Context {
+	if reg == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey, reg)
+}
+
+// RegistryFrom returns the registry carried by ctx, or Default.
+func RegistryFrom(ctx context.Context) *Registry {
+	if ctx != nil {
+		if reg, ok := ctx.Value(registryKey).(*Registry); ok && reg != nil {
+			return reg
+		}
+	}
+	return Default
+}
+
+// SpanRecord is one finished span in a Trace.
+type SpanRecord struct {
+	Name  string
+	Start time.Time
+	End   time.Time
+}
+
+// Duration returns the span's length.
+func (r SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Trace collects finished spans in completion order. Attach one with
+// WithTrace to observe the exact stage decomposition of a single operation
+// (the commit-pipeline span test and bench breakdowns use this); metrics
+// histograms aggregate the same spans across all operations.
+type Trace struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Spans returns a copy of the finished spans, in completion order.
+func (t *Trace) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// ByName returns the first finished span with this name and whether one
+// exists.
+func (t *Trace) ByName(name string) (SpanRecord, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.spans {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SpanRecord{}, false
+}
+
+func (t *Trace) add(r SpanRecord) {
+	t.mu.Lock()
+	t.spans = append(t.spans, r)
+	t.mu.Unlock()
+}
+
+// WithTrace returns a context carrying tr; spans started under it append
+// their records to tr when they end.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// Span is one in-flight named stage. End records it into the registry (a
+// span_ns histogram and span_last_ns gauge labeled with the span name) and
+// into the context's Trace, if any.
+type Span struct {
+	name  string
+	start time.Time
+	reg   *Registry
+	tr    *Trace
+	done  bool
+}
+
+// StartSpan begins a named span using the registry and trace carried by
+// ctx. The returned context is ctx unchanged (spans do not nest
+// identities); callers keep threading their own context.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{
+		name:  name,
+		start: time.Now(),
+		reg:   RegistryFrom(ctx),
+		tr:    TraceFrom(ctx),
+	}
+}
+
+// End finishes the span. Calling End more than once records only the first.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	end := time.Now()
+	d := end.Sub(s.start)
+	if d < 0 {
+		d = 0
+	}
+	label := L("span", s.name)
+	s.reg.Histogram("span_ns", label).Observe(uint64(d))
+	s.reg.Gauge("span_last_ns", label).Set(int64(d))
+	if s.tr != nil {
+		s.tr.add(SpanRecord{Name: s.name, Start: s.start, End: end})
+	}
+}
+
+// The five commit-pipeline stage names, in execution order: mirror records
+// capture under the suspend window; the blobseer client records the rest.
+const (
+	SpanCommitCapture = "commit/capture"
+	SpanCommitProbe   = "commit/probe"
+	SpanCommitUpload  = "commit/upload"
+	SpanCommitPublish = "commit/publish"
+	SpanCommitDurable = "commit/durable"
+)
+
+// CommitStages lists the five pipeline stage span names in order.
+var CommitStages = []string{
+	SpanCommitCapture,
+	SpanCommitProbe,
+	SpanCommitUpload,
+	SpanCommitPublish,
+	SpanCommitDurable,
+}

@@ -34,6 +34,9 @@
 //	request:  PING
 //	response: OK PONG <registered-instances>
 //
+//	request:  METRICS
+//	response: OK v1\n<Prometheus text exposition of the obs registry>
+//
 // PREFETCH pages the listed chunks into the instance's local mirror cache
 // ahead of demand (the paper's adaptive prefetching on restart): the module
 // groups them into contiguous runs and the repository client stripes each
@@ -56,6 +59,7 @@ import (
 
 	"blobcr/internal/blobseer"
 	"blobcr/internal/mirror"
+	"blobcr/internal/obs"
 	"blobcr/internal/transport"
 	"blobcr/internal/vm"
 )
@@ -92,6 +96,10 @@ type Proxy struct {
 	// AdmitTimeout overrides DefaultAdmitTimeout when positive.
 	AdmitTimeout time.Duration
 
+	// Obs is the metrics registry the proxy records into and the METRICS
+	// verb exposes. Nil means obs.Default.
+	Obs *obs.Registry
+
 	mu      sync.Mutex
 	targets map[string]*target
 }
@@ -99,6 +107,13 @@ type Proxy struct {
 // New returns an empty proxy.
 func New() *Proxy {
 	return &Proxy{targets: make(map[string]*target)}
+}
+
+func (p *Proxy) registry() *obs.Registry {
+	if p.Obs != nil {
+		return p.Obs
+	}
+	return obs.Default
 }
 
 func (p *Proxy) admitTimeout() time.Duration {
@@ -148,6 +163,11 @@ func (p *Proxy) handle(ctx context.Context, req []byte) ([]byte, error) {
 		n := len(p.targets)
 		p.mu.Unlock()
 		return []byte(fmt.Sprintf("OK PONG %d", n)), nil
+	}
+	// METRICS is tokenless like PING: it exposes aggregate telemetry, not
+	// any VM's data, and dashboards must scrape without per-VM credentials.
+	if len(fields) == 1 && fields[0] == "METRICS" {
+		return []byte("OK " + obs.ExpositionVersion + "\n" + p.registry().PromText()), nil
 	}
 	if len(fields) < 3 {
 		return []byte("ERR malformed request"), nil
@@ -231,14 +251,27 @@ func parseIndices(s string) ([]uint64, error) {
 // the handle of the in-flight commit. The VM resumes before any chunk is
 // uploaded: only the local capture happens under suspend.
 func (p *Proxy) checkpoint(ctx context.Context, t *target) (handle uint64, err error) {
+	reg := p.registry()
+	ctx = obs.WithRegistry(ctx, p.Obs)
+	sw := obs.StartTimer()
 	if err := t.inst.Suspend(); err != nil {
 		return 0, err
 	}
 	// Resume whatever happens — the paper's proxy resumes the instance
-	// regardless and reports the outcome.
+	// regardless and reports the outcome. The suspend window — suspend to
+	// resume, the paper's headline downtime number — is observed on the way
+	// out; the capture span recorded inside it tells where the window went.
 	defer func() {
 		if rerr := t.inst.Resume(); rerr != nil && err == nil {
 			err = rerr
+		}
+		ns := sw.ElapsedNanos()
+		reg.Histogram("proxy_suspend_ns").Observe(ns)
+		reg.Gauge("proxy_suspend_last_ns").Set(int64(ns))
+		if err != nil {
+			reg.Counter("proxy_checkpoint_failures_total").Inc()
+		} else {
+			reg.Counter("proxy_checkpoints_total").Inc()
 		}
 	}()
 	// Everything that runs while the VM is suspended — the CLONE round trip

@@ -55,13 +55,17 @@ func (r *Repairer) Repair(ctx context.Context) (RepairReport, error) {
 	r.stats.Repairs++
 	r.lastRepair = report
 	r.haveRepair = true
+	r.mu.Unlock()
+	r.reg.Counter("repair_repairs_total").Inc()
 	if err == nil {
+		r.mu.Lock()
 		// On error the Post survey may never have run (a zero report must
 		// not masquerade as a clean scrub on the STATUS endpoint).
 		r.lastScrub = report.Post
 		r.haveScrub = true
+		r.mu.Unlock()
+		r.recordScrub(report.Post)
 	}
-	r.mu.Unlock()
 	return report, err
 }
 
@@ -97,6 +101,10 @@ func (r *Repairer) repairLocked(ctx context.Context) (RepairReport, error) {
 		r.stats.CorruptDropped += ps.corruptDropped
 		r.stats.PinnedRestores += ps.pinnedRestores
 		r.mu.Unlock()
+		r.reg.Counter("repair_replicas_restored_total").Add(uint64(ps.replicasRestored))
+		r.reg.Counter("repair_bytes_restored_total").Add(ps.bytesRestored)
+		r.reg.Counter("repair_refs_relocated_total").Add(ps.refsRelocated)
+		r.reg.Counter("repair_corrupt_dropped_total").Add(uint64(ps.corruptDropped))
 		if err != nil {
 			report.Elapsed = time.Since(start)
 			return report, err
@@ -508,5 +516,6 @@ func (r *Repairer) Drain(ctx context.Context, addr string) (RepairReport, error)
 	r.mu.Lock()
 	r.stats.Drains++
 	r.mu.Unlock()
+	r.reg.Counter("repair_drains_total").Inc()
 	return report, nil
 }

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"blobcr/internal/blobseer"
+	"blobcr/internal/obs"
 )
 
 // Config tunes a Repairer.
@@ -59,6 +60,10 @@ type Config struct {
 	MaxPasses int
 	// MaxDrainPasses bounds the repair rounds of one Drain call (default 5).
 	MaxDrainPasses int
+	// Obs is the metrics registry the repairer's instrumentation records
+	// into (scrub findings, restored bytes, drain progress). Nil means the
+	// client's registry.
+	Obs *obs.Registry
 }
 
 // Stats is the repairer's cumulative accounting.
@@ -144,6 +149,8 @@ type Repairer struct {
 	maxPasses   int
 	drainPasses int
 
+	reg *obs.Registry
+
 	passMu sync.Mutex // serializes survey/fix passes
 
 	mu         sync.Mutex // guards the fields below
@@ -171,12 +178,31 @@ func New(cfg Config) *Repairer {
 	if drain <= 0 {
 		drain = 5
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = cfg.Client.Registry()
+	}
 	return &Repairer{
 		client:      cfg.Client,
 		replication: rep,
 		maxPasses:   passes,
 		drainPasses: drain,
+		reg:         reg,
 	}
+}
+
+// recordScrub publishes one scrub report's findings as gauges (the current
+// health picture — DrainResident doubles as drain progress) plus the scrub
+// duration histogram. Called wherever a survey becomes the last scrub.
+func (r *Repairer) recordScrub(rep ScrubReport) {
+	r.reg.Counter("repair_scrubs_total").Inc()
+	r.reg.Histogram("repair_scrub_ns").Observe(uint64(rep.Elapsed))
+	r.reg.Gauge("repair_scrub_healthy").Set(int64(rep.Healthy))
+	r.reg.Gauge("repair_scrub_missing").Set(int64(rep.Missing))
+	r.reg.Gauge("repair_scrub_corrupt").Set(int64(rep.Corrupt))
+	r.reg.Gauge("repair_scrub_under_replicated").Set(int64(rep.UnderReplicated))
+	r.reg.Gauge("repair_scrub_drain_resident").Set(int64(rep.DrainResident))
+	r.reg.Gauge("repair_scrub_unrecoverable").Set(int64(rep.Unrecoverable))
 }
 
 // Stats returns the cumulative accounting.

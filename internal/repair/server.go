@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"blobcr/internal/obs"
 	"blobcr/internal/transport"
 )
 
@@ -28,6 +29,9 @@ import (
 //	request:  DRAIN <addr>
 //	response: OK <repair report line> | ERR <message>
 //
+//	request:  METRICS
+//	response: OK v1\n<Prometheus text exposition of the obs registry>
+//
 // SCRUB, REPAIR and DRAIN run the pass synchronously and return its report;
 // passes are serialized by the repairer, so concurrent requests queue rather
 // than interleave.
@@ -41,6 +45,8 @@ func (r *Repairer) handle(ctx context.Context, req []byte) ([]byte, error) {
 		return []byte("ERR malformed request"), nil
 	}
 	switch fields[0] {
+	case "METRICS":
+		return []byte("OK " + obs.ExpositionVersion + "\n" + r.reg.PromText()), nil
 	case "STATUS":
 		st := r.Stats()
 		var b strings.Builder

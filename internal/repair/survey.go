@@ -265,5 +265,6 @@ func (r *Repairer) Scrub(ctx context.Context) (ScrubReport, error) {
 	r.lastScrub = sv.report
 	r.haveScrub = true
 	r.mu.Unlock()
+	r.recordScrub(sv.report)
 	return sv.report, nil
 }

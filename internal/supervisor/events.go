@@ -78,15 +78,27 @@ func (e Event) String() string {
 const defaultEventBuffer = 1024
 
 // EventLog is the supervisor's bounded event history plus live
-// subscriptions. Appends never block: a subscriber that falls behind loses
-// events from its channel (the bounded history is the reliable record).
+// subscriptions. The history is a fixed-capacity ring allocated once at
+// construction: a long-running supervise loop cannot grow memory without
+// limit, and once the ring is full every append overwrites the oldest
+// retained event. Overwrites are counted — Dropped() and the
+// supervisor_events_dropped_total metric make the loss visible, and EVENTS
+// consumers can detect the gap by comparing sequence numbers. Appends never
+// block: a subscriber that falls behind loses events from its channel (the
+// bounded history is the reliable record).
 type EventLog struct {
-	mu     sync.Mutex
-	events []Event
-	limit  int
-	next   int // next sequence number
-	subs   map[int]chan Event
-	nextID int
+	mu      sync.Mutex
+	ring    []Event // fixed capacity, allocated once
+	start   int     // index of the oldest retained event
+	count   int     // retained events (≤ len(ring))
+	dropped uint64  // events overwritten after the ring filled
+	next    int     // next sequence number
+	subs    map[int]chan Event
+	nextID  int
+
+	// onDrop, when set, is invoked (under the lock) once per overwritten
+	// event; the supervisor wires it to the events-dropped counter.
+	onDrop func()
 }
 
 // newEventLog returns an event log retaining up to limit events.
@@ -94,7 +106,7 @@ func newEventLog(limit int) *EventLog {
 	if limit <= 0 {
 		limit = defaultEventBuffer
 	}
-	return &EventLog{limit: limit, next: 1, subs: make(map[int]chan Event)}
+	return &EventLog{ring: make([]Event, limit), next: 1, subs: make(map[int]chan Event)}
 }
 
 // append stamps and stores the event, fanning it out to subscribers. The
@@ -109,10 +121,17 @@ func (l *EventLog) append(e Event) Event {
 	if e.Time.IsZero() {
 		e.Time = time.Now()
 	}
-	l.events = append(l.events, e)
-	if len(l.events) > l.limit {
-		l.events = l.events[len(l.events)-l.limit:]
+	if l.count == len(l.ring) {
+		// Full: overwrite the oldest slot.
+		l.start = (l.start + 1) % len(l.ring)
+		l.count--
+		l.dropped++
+		if l.onDrop != nil {
+			l.onDrop()
+		}
 	}
+	l.ring[(l.start+l.count)%len(l.ring)] = e
+	l.count++
 	for _, ch := range l.subs {
 		select {
 		case ch <- e:
@@ -126,11 +145,22 @@ func (l *EventLog) append(e Event) Event {
 func (l *EventLog) Since(seq int) []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	i := 0
-	for i < len(l.events) && l.events[i].Seq <= seq {
-		i++
+	out := make([]Event, 0, l.count)
+	for i := 0; i < l.count; i++ {
+		e := l.ring[(l.start+i)%len(l.ring)]
+		if e.Seq > seq {
+			out = append(out, e)
+		}
 	}
-	return append([]Event(nil), l.events[i:]...)
+	return out
+}
+
+// Dropped returns how many events have been overwritten since start: the
+// count of history the ring could not retain.
+func (l *EventLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // Subscribe returns a channel receiving every event appended from now on,

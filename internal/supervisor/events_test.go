@@ -1,0 +1,89 @@
+package supervisor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEventLogRingBoundsMemory checks the fixed-capacity ring: capacity is
+// allocated once, overflow overwrites oldest, drops are counted, and Since
+// still returns contiguous newest history across the wrap point.
+func TestEventLogRingBoundsMemory(t *testing.T) {
+	l := newEventLog(4)
+	var drops int
+	l.onDrop = func() { drops++ }
+
+	for i := 0; i < 10; i++ {
+		l.append(Event{Type: EventCheckpointDurable, Detail: fmt.Sprintf("e%d", i)})
+	}
+	if got := l.Dropped(); got != 6 {
+		t.Fatalf("Dropped() = %d, want 6", got)
+	}
+	if drops != 6 {
+		t.Fatalf("onDrop fired %d times, want 6", drops)
+	}
+	events := l.Since(0)
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := 7 + i; e.Seq != want {
+			t.Errorf("event %d has seq %d, want %d (newest must survive)", i, e.Seq, want)
+		}
+	}
+	// Since respects sequence filtering inside the ring.
+	if got := l.Since(8); len(got) != 2 || got[0].Seq != 9 {
+		t.Fatalf("Since(8) = %+v, want seqs 9,10", got)
+	}
+	if got := l.Since(100); len(got) != 0 {
+		t.Fatalf("Since(100) = %+v, want empty", got)
+	}
+}
+
+// TestEventLogRingConcurrent hammers append/Since/Dropped under -race.
+func TestEventLogRingConcurrent(t *testing.T) {
+	l := newEventLog(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.append(Event{Type: EventNodeSuspected})
+				l.Since(0)
+				l.Dropped()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Dropped(); got != 4*500-16 {
+		t.Fatalf("Dropped() = %d, want %d", got, 4*500-16)
+	}
+	events := l.Since(0)
+	if len(events) != 16 {
+		t.Fatalf("retained %d, want 16", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("history not contiguous: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+// TestEventLogSubscribeSurvivesRing checks subscriptions still deliver in
+// order while the ring wraps.
+func TestEventLogSubscribeSurvivesRing(t *testing.T) {
+	l := newEventLog(2)
+	ch, cancel := l.Subscribe()
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		l.append(Event{Type: EventNodeRetired})
+	}
+	for i := 1; i <= 5; i++ {
+		e := <-ch
+		if e.Seq != i {
+			t.Fatalf("subscriber got seq %d, want %d", e.Seq, i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"blobcr/internal/obs"
 	"blobcr/internal/transport"
 )
 
@@ -20,6 +21,9 @@ import (
 //	response: OK gen=<generation> watermark=<ckpt-id> interval=<duration>
 //	             recoveries=<n> mean-mttr=<duration> work-lost=<duration>
 //	             repairs=<n> replicas-restored=<n> storage-mttr=<duration>
+//
+//	request:  METRICS
+//	response: OK v1\n<Prometheus text exposition of the obs registry>
 func (s *Supervisor) Serve(n transport.Network, addr string) (transport.Server, error) {
 	return n.Listen(addr, s.handle)
 }
@@ -50,6 +54,8 @@ func (s *Supervisor) handle(_ context.Context, req []byte) ([]byte, error) {
 			b.WriteString(e.String())
 		}
 		return []byte(b.String()), nil
+	case "METRICS":
+		return []byte("OK " + obs.ExpositionVersion + "\n" + s.reg.PromText()), nil
 	case "STATUS":
 		dep, gen := s.Deployment()
 		m := s.Metrics()

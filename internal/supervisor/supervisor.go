@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"blobcr/internal/cloud"
+	"blobcr/internal/obs"
 	"blobcr/internal/proxy"
 	"blobcr/internal/repair"
 	"blobcr/internal/simcloud"
@@ -94,6 +95,11 @@ type Config struct {
 
 	// EventBuffer bounds the retained event history (default 1024).
 	EventBuffer int
+
+	// Obs is the metrics registry the supervisor's instrumentation records
+	// into (heartbeat RTT, MTTR, work lost, Young/Daly interval, dropped
+	// events). Nil means obs.Default.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -177,6 +183,7 @@ type Supervisor struct {
 	cl  *cloud.Cloud
 	cfg Config
 	log *EventLog
+	reg *obs.Registry
 
 	mu          sync.Mutex
 	dep         *cloud.Deployment
@@ -205,13 +212,21 @@ type Supervisor struct {
 // New builds a supervisor for the deployment. Run starts the control loop.
 func New(cl *cloud.Cloud, dep *cloud.Deployment, cfg Config) *Supervisor {
 	cfg = cfg.withDefaults()
-	return &Supervisor{
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	s := &Supervisor{
 		cl:  cl,
 		cfg: cfg,
 		log: newEventLog(cfg.EventBuffer),
+		reg: reg,
 		dep: dep,
 		det: newDetector(cfg.SuspectAfter),
 	}
+	dropped := reg.Counter("supervisor_events_dropped_total")
+	s.log.onDrop = dropped.Inc
+	return s
 }
 
 // Events returns the supervisor's event stream.
@@ -251,6 +266,7 @@ func (s *Supervisor) Interval() time.Duration {
 	if d > s.cfg.MaxInterval {
 		d = s.cfg.MaxInterval
 	}
+	s.reg.Gauge("supervisor_ckpt_interval_ns").Set(int64(d))
 	return d
 }
 
@@ -302,7 +318,11 @@ func (s *Supervisor) heartbeat(ctx context.Context) []string {
 			defer wg.Done()
 			pctx, cancel := context.WithTimeout(ctx, s.cfg.PingTimeout)
 			defer cancel()
+			sw := obs.StartTimer()
 			_, errs[i] = proxy.Ping(pctx, s.cl.Network(), node.ProxyAddr)
+			if errs[i] == nil {
+				sw.ObserveInto(s.reg.Histogram("supervisor_heartbeat_rtt_ns"))
+			}
 		}(i, node)
 	}
 	wg.Wait()
@@ -311,8 +331,10 @@ func (s *Supervisor) heartbeat(ctx context.Context) []string {
 		err := errs[i]
 		s.mu.Lock()
 		s.metrics.HeartbeatsSent++
+		s.reg.Counter("supervisor_heartbeats_total").Inc()
 		if err != nil {
 			s.metrics.HeartbeatsMissed++
+			s.reg.Counter("supervisor_heartbeats_missed_total").Inc()
 		}
 		suspected, conf := s.det.observe(node.Name, err == nil)
 		s.mu.Unlock()
@@ -414,6 +436,8 @@ func (s *Supervisor) CheckpointNow(ctx context.Context) (int, error) {
 		s.lastDurable = time.Now()
 		s.metrics.CheckpointsDurable++
 		s.mu.Unlock()
+		s.reg.Counter("supervisor_ckpt_durable_total").Inc()
+		s.reg.Histogram("supervisor_ckpt_cost_ns").Observe(uint64(cost))
 		s.log.append(Event{Type: EventCheckpointDurable, Ckpt: id,
 			Detail: fmt.Sprintf("cost=%s interval=%s", cost.Round(time.Microsecond), s.Interval().Round(time.Millisecond))})
 	}()
@@ -435,6 +459,7 @@ func (s *Supervisor) recover(ctx context.Context, failed []string) error {
 	downSince := s.downSince
 	s.metrics.FailuresDetected += len(failed)
 	s.mu.Unlock()
+	s.reg.Counter("supervisor_failures_detected_total").Add(uint64(len(failed)))
 
 	for _, name := range failed {
 		s.log.append(Event{Type: EventFailureDetected, Node: name,
@@ -547,6 +572,10 @@ func (s *Supervisor) recover(ctx context.Context, failed []string) error {
 			}
 			s.metrics.WorkLost += workLost
 			s.mu.Unlock()
+			s.reg.Counter("supervisor_recoveries_total").Inc()
+			s.reg.Histogram("supervisor_mttr_ns").Observe(uint64(mttr))
+			s.reg.Gauge("supervisor_mttr_last_ns").Set(int64(mttr))
+			s.reg.Counter("supervisor_work_lost_ns_total").Add(uint64(workLost))
 			s.log.append(Event{Type: EventRestartDone, Ckpt: cp.ID, Attempt: attempt, MTTR: mttr,
 				Detail: fmt.Sprintf("mode=%s redeployed=%d in-place=%d", mode, stats.Redeployed, stats.InPlace)})
 			return nil
@@ -610,6 +639,10 @@ func (s *Supervisor) kickRepair(ctx context.Context, reason string) {
 		s.metrics.ReplicasRestored += rep.ReplicasRestored
 		s.metrics.BytesRestored += rep.BytesRestored
 		s.metrics.LastStorageMTTR = elapsed
+		s.reg.Counter("supervisor_storage_repairs_total").Inc()
+		s.reg.Counter("supervisor_replicas_restored_total").Add(uint64(rep.ReplicasRestored))
+		s.reg.Counter("supervisor_bytes_restored_total").Add(rep.BytesRestored)
+		s.reg.Histogram("supervisor_storage_mttr_ns").Observe(uint64(elapsed))
 		s.mu.Unlock()
 		switch {
 		case err != nil:
@@ -650,6 +683,7 @@ func (s *Supervisor) sweepFailures(ctx context.Context, dep *cloud.Deployment) {
 		s.metrics.FailuresDetected++
 		s.det.forget(node.Name)
 		s.mu.Unlock()
+		s.reg.Counter("supervisor_failures_detected_total").Inc()
 		s.log.append(Event{Type: EventFailureDetected, Node: node.Name, Detail: "died during recovery"})
 		if ferr := s.cl.FailNode(ctx, node.Name); ferr != nil {
 			s.log.append(Event{Type: EventFailureDetected, Node: node.Name, Detail: "fail-stop: " + ferr.Error()})

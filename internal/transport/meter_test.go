@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"blobcr/internal/obs"
+)
+
+func meterVerb(req []byte) string {
+	if v := TextVerb(req); v != "" {
+		return strings.ToLower(v)
+	}
+	return ""
+}
+
+// TestMeterRecordsCallsAndTagsErrors exercises the full metric surface of
+// one metered round trip plus the RemoteError verb tagging.
+func TestMeterRecordsCallsAndTagsErrors(t *testing.T) {
+	inner := NewInProc()
+	reg := obs.NewRegistry()
+	net := WithMeter(inner, reg, meterVerb)
+
+	srv, err := net.Listen("svc", func(_ context.Context, req []byte) ([]byte, error) {
+		switch string(req) {
+		case "PING":
+			return []byte("pong"), nil
+		case "MISSING":
+			return nil, NotFoundError("no such thing")
+		default:
+			return nil, errors.New("boom")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	resp, err := net.Call(ctx, "svc", []byte("PING"))
+	if err != nil || string(resp) != "pong" {
+		t.Fatalf("call: %q, %v", resp, err)
+	}
+	if _, err := net.Call(ctx, "svc", []byte("FAIL")); err == nil {
+		t.Fatal("want error")
+	} else {
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("want RemoteError, got %T", err)
+		}
+		if re.Verb != "fail" {
+			t.Fatalf("RemoteError.Verb = %q, want fail", re.Verb)
+		}
+		if !strings.Contains(re.Error(), "fail: boom") {
+			t.Fatalf("error message lacks verb: %q", re.Error())
+		}
+	}
+	if _, err := net.Call(ctx, "svc", []byte("MISSING")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want not-found, got %v", err)
+	}
+	if _, err := net.Call(ctx, "nowhere", []byte("PING")); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want unreachable, got %v", err)
+	}
+
+	check := func(name, verb string, want uint64) {
+		t.Helper()
+		if got := reg.Counter(name, obs.L("verb", verb)).Value(); got != want {
+			t.Errorf("%s{verb=%s} = %d, want %d", name, verb, got, want)
+		}
+	}
+	check("transport_calls_total", "ping", 2) // one ok + one unreachable
+	check("transport_calls_total", "fail", 1)
+	check("transport_errors_total", "fail", 1)
+	check("transport_not_found_total", "missing", 1)
+	check("transport_unreachable_total", "ping", 1)
+	check("transport_req_bytes_total", "ping", 8)
+	check("transport_resp_bytes_total", "ping", 4)
+
+	if n := reg.Histogram("transport_call_ns", obs.L("verb", "ping")).Count(); n != 2 {
+		t.Errorf("call latency histogram count %d, want 2", n)
+	}
+	if n := reg.Histogram("transport_addr_call_ns", obs.L("addr", "svc")).Count(); n != 3 {
+		t.Errorf("addr latency histogram count %d, want 3", n)
+	}
+}
+
+// TestMeterForwardsFaults checks Partition/Heal pass through to the inner
+// fault network, including when composed outside Latency.
+func TestMeterForwardsFaults(t *testing.T) {
+	inner := NewInProc()
+	net := WithMeter(WithLatency(inner, 0), obs.NewRegistry(), nil)
+
+	srv, err := net.Listen("svc", func(_ context.Context, req []byte) ([]byte, error) {
+		return req, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	net.Partition("svc")
+	if _, err := net.Call(context.Background(), "svc", []byte("x")); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("partitioned call: %v", err)
+	}
+	net.Heal("svc")
+	if _, err := net.Call(context.Background(), "svc", []byte("x")); err != nil {
+		t.Fatalf("healed call: %v", err)
+	}
+	if got := net.Registry().Counter("transport_calls_total", obs.L("verb", "other")).Value(); got != 2 {
+		t.Fatalf("nil verb namer should file under other: got %d", got)
+	}
+}
+
+// TestTextVerb checks the text-protocol verb extraction.
+func TestTextVerb(t *testing.T) {
+	cases := map[string]string{
+		"CHECKPOINT tok 3\npayload": "CHECKPOINT",
+		"PING":                      "PING",
+		"EVENTS 12":                 "EVENTS",
+		"METRICS":                   "METRICS",
+		"lowercase x":               "",
+		"":                          "",
+		"\x01\x02binary":            "",
+		"TOOLONGVERBNAMEXX y":       "",
+	}
+	for in, want := range cases {
+		if got := TextVerb([]byte(in)); got != want {
+			t.Errorf("TextVerb(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -56,9 +56,19 @@ type RemoteError struct {
 	Msg string
 	// NotFound records that the remote error wrapped ErrNotFound.
 	NotFound bool
+	// Verb names the operation whose call failed ("chunk-put", "CHECKPOINT",
+	// ...). The wire does not carry it; the Meter wrapper tags it on the
+	// caller's side so error messages and obs counters agree on which
+	// operation failed instead of the error vanishing into callers unnamed.
+	Verb string
 }
 
-func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+func (e *RemoteError) Error() string {
+	if e.Verb != "" {
+		return "transport: remote error: " + e.Verb + ": " + e.Msg
+	}
+	return "transport: remote error: " + e.Msg
+}
 
 // Is lets errors.Is(err, ErrNotFound) see through the wire boundary.
 func (e *RemoteError) Is(target error) bool { return target == ErrNotFound && e.NotFound }
