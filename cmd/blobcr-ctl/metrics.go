@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"blobcr/internal/obs"
+	"blobcr/internal/transport"
+)
+
+// metricsQuery scrapes a METRICS endpoint (checkpointing proxy, supervisor
+// or repair daemon — they all speak the same verb) and renders the telemetry
+// an operator reaches for first: the last commit's suspend window decomposed
+// into the five pipeline stages, per-provider wire latency, and the dedup
+// hit-rate. With watch, it re-scrapes every two seconds.
+func metricsQuery(addr string, timeout time.Duration, watch bool) {
+	for {
+		points := scrapeMetrics(addr, timeout)
+		if watch {
+			fmt.Print("\033[H\033[2J") // clear screen between refreshes
+		}
+		fmt.Printf("metrics from %s at %s\n", addr, time.Now().Format("15:04:05"))
+		renderMetrics(os.Stdout, points)
+		if !watch {
+			return
+		}
+		time.Sleep(2 * time.Second)
+	}
+}
+
+// scrapeMetrics calls METRICS on addr and parses the exposition body.
+func scrapeMetrics(addr string, timeout time.Duration) []obs.Point {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	resp, err := transport.NewTCP().Call(ctx, addr, []byte("METRICS"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	header, body, _ := strings.Cut(string(resp), "\n")
+	if header != "OK "+obs.ExpositionVersion {
+		log.Fatalf("metrics: unexpected response header %q (endpoint too old or not a METRICS speaker?)", header)
+	}
+	points, err := obs.ParseProm(body)
+	if err != nil {
+		log.Fatalf("metrics: parse exposition: %v", err)
+	}
+	return points
+}
+
+func ms(ns float64) float64 { return ns / 1e6 }
+
+// renderMetrics prints the operator-facing summary sections, then every
+// remaining counter and gauge so nothing recorded is invisible.
+func renderMetrics(w *os.File, points []obs.Point) {
+	covered := map[string]bool{}
+
+	// Commit pipeline: the five stages of the last commit plus their
+	// distribution across all commits seen by this endpoint.
+	var stageRows []string
+	var totalLast float64
+	for _, stage := range obs.CommitStages {
+		h := obs.Find(points, "span_ns", obs.L("span", stage))
+		g := obs.Find(points, "span_last_ns", obs.L("span", stage))
+		if h == nil || h.Count == 0 {
+			continue
+		}
+		last := 0.0
+		if g != nil {
+			last = float64(g.GaugeValue)
+		}
+		totalLast += last
+		stageRows = append(stageRows, fmt.Sprintf("  %-16s %8d %10.2f %10.2f %10.2f",
+			stage, h.Count, ms(last), ms(h.Mean()), ms(h.Quantile(0.99))))
+	}
+	covered["span_ns"], covered["span_last_ns"] = true, true
+	if len(stageRows) > 0 {
+		fmt.Fprintf(w, "\ncommit pipeline (per stage)\n")
+		fmt.Fprintf(w, "  %-16s %8s %10s %10s %10s\n", "STAGE", "COUNT", "LAST-MS", "MEAN-MS", "P99-MS")
+		for _, r := range stageRows {
+			fmt.Fprintln(w, r)
+		}
+		fmt.Fprintf(w, "  %-16s %8s %10.2f\n", "total", "", ms(totalLast))
+	}
+
+	// Suspend window: what the guest actually observed.
+	if h := obs.Find(points, "proxy_suspend_ns"); h != nil && h.Count > 0 {
+		last := 0.0
+		if g := obs.Find(points, "proxy_suspend_last_ns"); g != nil {
+			last = float64(g.GaugeValue)
+		}
+		fmt.Fprintf(w, "\nsuspend window: last %.2f ms, mean %.2f ms, p99 %.2f ms over %d checkpoints\n",
+			ms(last), ms(h.Mean()), ms(h.Quantile(0.99)), h.Count)
+		covered["proxy_suspend_ns"], covered["proxy_suspend_last_ns"] = true, true
+	}
+
+	// Dedup: bytes the content-addressed repository kept off the wire.
+	if logical := obs.Find(points, "blobseer_commit_logical_bytes_total"); logical != nil && logical.Value > 0 {
+		var hit uint64
+		if p := obs.Find(points, "blobseer_dedup_hit_bytes_total"); p != nil {
+			hit = p.Value
+		}
+		fmt.Fprintf(w, "\ndedup: %.1f%% hit-rate by bytes (%d of %d logical bytes never shipped)\n",
+			100*float64(hit)/float64(logical.Value), hit, logical.Value)
+	}
+
+	// Per-provider wire latency: where the commit's time went on the network.
+	var addrRows []string
+	for i := range points {
+		p := &points[i]
+		if p.Name != "transport_addr_call_ns" || p.Count == 0 {
+			continue
+		}
+		addrRows = append(addrRows, fmt.Sprintf("  %-24s %8d %10.1f %10.1f",
+			p.Label("addr"), p.Count, p.Mean()/1e3, p.Quantile(0.99)/1e3))
+	}
+	covered["transport_addr_call_ns"] = true
+	if len(addrRows) > 0 {
+		fmt.Fprintf(w, "\nwire latency per address\n")
+		fmt.Fprintf(w, "  %-24s %8s %10s %10s\n", "ADDRESS", "CALLS", "MEAN-US", "P99-US")
+		sort.Strings(addrRows)
+		for _, r := range addrRows {
+			fmt.Fprintln(w, r)
+		}
+	}
+
+	// Everything else, compactly: counters and gauges by name, remaining
+	// histograms as count/mean/p99.
+	var rest []string
+	for i := range points {
+		p := &points[i]
+		if covered[p.Name] {
+			continue
+		}
+		label := p.Name
+		for _, l := range p.Labels {
+			label += fmt.Sprintf(" %s=%s", l.Key, l.Value)
+		}
+		switch p.Kind {
+		case obs.KindCounter:
+			rest = append(rest, fmt.Sprintf("  %-48s %d", label, p.Value))
+		case obs.KindGauge:
+			rest = append(rest, fmt.Sprintf("  %-48s %d", label, p.GaugeValue))
+		case obs.KindHistogram:
+			if p.Count > 0 {
+				rest = append(rest, fmt.Sprintf("  %-48s count=%d mean=%.0f p99=%.0f",
+					label, p.Count, p.Mean(), p.Quantile(0.99)))
+			}
+		}
+	}
+	if len(rest) > 0 {
+		fmt.Fprintf(w, "\nall other series\n")
+		for _, r := range rest {
+			fmt.Fprintln(w, r)
+		}
+	}
+}

@@ -24,12 +24,15 @@ const versionComment = "# blobcr-metrics " + ExpositionVersion
 func WriteProm(w io.Writer, points []Point) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, versionComment)
-	lastTyped := ""
+	lastName, lastKind := "", Kind(255)
 	for i := range points {
 		p := &points[i]
-		if p.Name != lastTyped {
+		// The registry allows the same name under different kinds; TYPE is
+		// keyed on (name, kind) so the second kind never inherits the first
+		// kind's TYPE line (ParseProm applies the latest TYPE seen).
+		if p.Name != lastName || p.Kind != lastKind {
 			fmt.Fprintf(bw, "# TYPE %s %s\n", p.Name, p.Kind)
-			lastTyped = p.Name
+			lastName, lastKind = p.Name, p.Kind
 		}
 		switch p.Kind {
 		case KindCounter:
@@ -42,9 +45,16 @@ func WriteProm(w io.Writer, points []Point) error {
 				cum += b.Count
 				fmt.Fprintf(bw, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, "le", b.UpperBound), cum)
 			}
-			fmt.Fprintf(bw, "%s_bucket%s %d\n", p.Name, promLabelsInf(p.Labels), p.Count)
+			// Snapshot reads count and buckets non-atomically, so under
+			// concurrent Observe calls cum can exceed the sampled count;
+			// clamp so the exposition stays monotonic (+Inf >= every le).
+			total := p.Count
+			if cum > total {
+				total = cum
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", p.Name, promLabelsInf(p.Labels), total)
 			fmt.Fprintf(bw, "%s_sum%s %d\n", p.Name, promLabels(p.Labels, "", 0), p.Sum)
-			fmt.Fprintf(bw, "%s_count%s %d\n", p.Name, promLabels(p.Labels, "", 0), p.Count)
+			fmt.Fprintf(bw, "%s_count%s %d\n", p.Name, promLabels(p.Labels, "", 0), total)
 		}
 	}
 	return bw.Flush()
@@ -129,7 +139,7 @@ func ParseProm(text string) ([]Point, error) {
 			}
 			continue
 		}
-		name, labels, value, err := parseSample(line)
+		name, labels, raw, err := parseSample(line)
 		if err != nil {
 			return nil, fmt.Errorf("obs: parse %q: %w", line, err)
 		}
@@ -151,12 +161,19 @@ func ParseProm(text string) ([]Point, error) {
 		case KindCounter, KindGauge:
 			p := &Point{Name: base, Labels: labels, Kind: kind}
 			if kind == KindCounter {
-				p.Value = uint64(value)
+				p.Value, err = parseUintValue(raw)
 			} else {
-				p.GaugeValue = int64(value)
+				p.GaugeValue, err = parseIntValue(raw)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("obs: parse %q: %w", line, err)
 			}
 			order = append(order, p)
 		case KindHistogram:
+			value, err := parseUintValue(raw)
+			if err != nil {
+				return nil, fmt.Errorf("obs: parse %q: %w", line, err)
+			}
 			le := ""
 			var kept []Label
 			for _, l := range labels {
@@ -175,9 +192,9 @@ func ParseProm(text string) ([]Point, error) {
 			}
 			switch suffix {
 			case "_sum":
-				p.Sum = uint64(value)
+				p.Sum = value
 			case "_count":
-				p.Count = uint64(value)
+				p.Count = value
 			case "_bucket":
 				if le == "+Inf" {
 					continue
@@ -186,7 +203,7 @@ func ParseProm(text string) ([]Point, error) {
 				if err != nil {
 					return nil, fmt.Errorf("obs: bad le %q", le)
 				}
-				p.Buckets = append(p.Buckets, Bucket{UpperBound: bound, Count: uint64(value)})
+				p.Buckets = append(p.Buckets, Bucket{UpperBound: bound, Count: value})
 			}
 		}
 	}
@@ -213,32 +230,59 @@ func ParseProm(text string) ([]Point, error) {
 	return out, nil
 }
 
-// parseSample splits `name{k="v",...} value` into its parts.
-func parseSample(line string) (name string, labels []Label, value float64, err error) {
+// parseSample splits `name{k="v",...} value` into its parts. The value is
+// returned as raw text so callers can parse it at full integer precision;
+// a float64 round-trip here would corrupt counters above 2^53.
+func parseSample(line string) (name string, labels []Label, value string, err error) {
 	rest := line
 	if i := strings.IndexByte(rest, '{'); i >= 0 {
 		name = rest[:i]
 		end := strings.LastIndexByte(rest, '}')
 		if end < i {
-			return "", nil, 0, fmt.Errorf("unterminated labels")
+			return "", nil, "", fmt.Errorf("unterminated labels")
 		}
 		labels, err = parseLabels(rest[i+1 : end])
 		if err != nil {
-			return "", nil, 0, err
+			return "", nil, "", err
 		}
 		rest = strings.TrimSpace(rest[end+1:])
 	} else {
 		fields := strings.Fields(rest)
 		if len(fields) != 2 {
-			return "", nil, 0, fmt.Errorf("want 2 fields, got %d", len(fields))
+			return "", nil, "", fmt.Errorf("want 2 fields, got %d", len(fields))
 		}
 		name, rest = fields[0], fields[1]
 	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
-	if err != nil || math.IsNaN(v) {
-		return "", nil, 0, fmt.Errorf("bad value %q", rest)
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", nil, "", fmt.Errorf("bad value %q", rest)
 	}
-	return name, labels, v, nil
+	return name, labels, rest, nil
+}
+
+// parseUintValue parses an unsigned sample value, preferring exact integer
+// parsing and falling back to float only for non-integer renderings.
+func parseUintValue(s string) (uint64, error) {
+	if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return v, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(f) || f < 0 {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return uint64(f), nil
+}
+
+// parseIntValue parses a signed sample value, preferring exact integer
+// parsing and falling back to float only for non-integer renderings.
+func parseIntValue(s string) (int64, error) {
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(f) {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return int64(f), nil
 }
 
 func parseLabels(s string) ([]Label, error) {

@@ -300,6 +300,11 @@ func (r *Registry) Snapshot() []Point {
 		if points[i].Name != points[j].Name {
 			return points[i].Name < points[j].Name
 		}
+		// Group by kind so WriteProm emits one TYPE line per (name, kind)
+		// run when a name is reused across kinds.
+		if points[i].Kind != points[j].Kind {
+			return points[i].Kind < points[j].Kind
+		}
 		return labelString(points[i].Labels) < labelString(points[j].Labels)
 	})
 	return points

@@ -275,3 +275,82 @@ func TestSpanRecordsIntoRegistryAndTrace(t *testing.T) {
 		t.Fatal("TraceFrom on bare ctx")
 	}
 }
+
+// TestParsePromLargeIntegers checks that values above 2^53 survive the
+// parse exactly; a float64 round-trip would silently truncate them.
+func TestParsePromLargeIntegers(t *testing.T) {
+	reg := NewRegistry()
+	const big = uint64(1)<<63 + 3
+	const negBig = -(int64(1)<<62 + 5)
+	reg.Counter("bytes_total").Add(big)
+	reg.Gauge("drift_ns").Set(negBig)
+	reg.Histogram("span_ns").Observe(1<<60 + 7)
+
+	points, err := ParseProm(reg.PromText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := Find(points, "bytes_total"); c == nil || c.Value != big {
+		t.Fatalf("counter round-trip: %+v, want %d", c, big)
+	}
+	if g := Find(points, "drift_ns"); g == nil || g.GaugeValue != negBig {
+		t.Fatalf("gauge round-trip: %+v, want %d", g, negBig)
+	}
+	if h := Find(points, "span_ns"); h == nil || h.Sum != 1<<60+7 {
+		t.Fatalf("histogram sum round-trip: %+v", h)
+	}
+}
+
+// TestPromCrossKindNameReuse registers the same name under two kinds: each
+// kind must get its own TYPE line so ParseProm classifies both correctly.
+func TestPromCrossKindNameReuse(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("queue_depth").Add(7)
+	reg.Gauge("queue_depth").Set(-2)
+
+	text := reg.PromText()
+	if n := strings.Count(text, "# TYPE queue_depth "); n != 2 {
+		t.Fatalf("want 2 TYPE lines for queue_depth, got %d:\n%s", n, text)
+	}
+	points, err := ParseProm(text)
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, text)
+	}
+	var haveCounter, haveGauge bool
+	for _, p := range points {
+		if p.Name != "queue_depth" {
+			continue
+		}
+		switch p.Kind {
+		case KindCounter:
+			haveCounter = p.Value == 7
+		case KindGauge:
+			haveGauge = p.GaugeValue == -2
+		}
+	}
+	if !haveCounter || !haveGauge {
+		t.Fatalf("cross-kind round-trip lost a series (counter=%v gauge=%v):\n%s", haveCounter, haveGauge, text)
+	}
+}
+
+// TestWritePromClampsInfBucket feeds WriteProm a racy snapshot where the
+// cumulative finite buckets exceed Count; the +Inf bucket and _count must
+// be clamped up so the exposition stays monotonic.
+func TestWritePromClampsInfBucket(t *testing.T) {
+	points := []Point{{
+		Name: "lat_ns", Kind: KindHistogram,
+		Count: 2, Sum: 30,
+		Buckets: []Bucket{{UpperBound: 15, Count: 3}},
+	}}
+	var b strings.Builder
+	if err := WriteProm(&b, points); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, `lat_ns_bucket{le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket not clamped to cumulative total:\n%s", text)
+	}
+	if !strings.Contains(text, "lat_ns_count 3") {
+		t.Fatalf("_count not clamped to cumulative total:\n%s", text)
+	}
+}

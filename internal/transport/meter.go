@@ -75,7 +75,12 @@ func (m *Meter) Call(ctx context.Context, addr string, req []byte) ([]byte, erro
 		switch {
 		case errors.As(err, &re):
 			if re.Verb == "" {
-				re.Verb = verb
+				// Tag a copy, not the inner value: a shared or cached error
+				// from the inner Network would otherwise race on Verb across
+				// concurrent calls to different verbs.
+				tagged := *re
+				tagged.Verb = verb
+				err = &tagged
 			}
 			m.reg.Counter("transport_errors_total", vl).Inc()
 			if re.NotFound {

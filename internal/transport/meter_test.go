@@ -131,3 +131,40 @@ func TestTextVerb(t *testing.T) {
 		}
 	}
 }
+
+// sharedErrNet always fails calls with one shared error value, modelling an
+// inner Network that returns a cached error.
+type sharedErrNet struct {
+	err error
+}
+
+func (s *sharedErrNet) Listen(addr string, h Handler) (Server, error) {
+	return nil, errors.New("sharedErrNet cannot listen")
+}
+
+func (s *sharedErrNet) Call(ctx context.Context, addr string, req []byte) ([]byte, error) {
+	return nil, s.err
+}
+
+// TestMeterDoesNotMutateInnerError checks verb tagging wraps a copy: the
+// inner network's error value must stay untouched, or concurrent calls to
+// different verbs would race on (and mislabel) the shared Verb field.
+func TestMeterDoesNotMutateInnerError(t *testing.T) {
+	shared := &RemoteError{Msg: "boom"}
+	net := WithMeter(&sharedErrNet{err: shared}, obs.NewRegistry(), meterVerb)
+
+	_, err := net.Call(context.Background(), "svc", []byte("PUT x"))
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	if re.Verb != "put" {
+		t.Fatalf("RemoteError.Verb = %q, want put", re.Verb)
+	}
+	if re == shared {
+		t.Fatal("meter returned the inner error value instead of a copy")
+	}
+	if shared.Verb != "" {
+		t.Fatalf("inner error mutated: Verb = %q", shared.Verb)
+	}
+}
