@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	blobcr-bench            # all paper experiments
-//	blobcr-bench -ablations # include the ablation studies
+//	blobcr-bench                # all paper experiments
+//	blobcr-bench -ablations     # include the ablation studies
 //	blobcr-bench -only fig2b
+//	blobcr-bench -only disklog  # storage-engine commit bandwidth on a real disk
+//	blobcr-bench -dir /mnt/ssd  # disk-backed: disklog + seglog-backed throughput
 package main
 
 import (
@@ -21,11 +23,26 @@ import (
 
 func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
-	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, stages, availability, throughput, repair)")
+	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, stages, availability, throughput, disklog, repair)")
+	dirFlag := flag.String("dir", "", "scratch directory for the disk-backed experiments (disklog, seglog-backed throughput); empty = a temp dir")
 	flag.Parse()
 
 	p := simcloud.Default()
 	c := simcloud.DefaultCM1()
+
+	// The disk experiments need a real directory; default to a scratch temp
+	// dir so `blobcr-bench -only disklog` works out of the box. The
+	// throughput bench stays in-memory unless -dir is given explicitly.
+	dir := *dirFlag
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "blobcr-bench-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blobcr-bench:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
 
 	byName := map[string]func() bench.Series{
 		"fig2a":        func() bench.Series { return bench.Fig2aCheckpoint50MB(p) },
@@ -41,7 +58,8 @@ func main() {
 		"downtime":     func() bench.Series { return bench.FigDowntime() },
 		"stages":       func() bench.Series { return bench.FigStages() },
 		"availability": func() bench.Series { return bench.FigAvailability() },
-		"throughput":   func() bench.Series { return bench.FigThroughput() },
+		"throughput":   func() bench.Series { return bench.FigThroughput(*dirFlag) },
+		"disklog":      func() bench.Series { return bench.FigDiskLog(dir) },
 		"repair":       func() bench.Series { return bench.FigRepair() },
 	}
 
@@ -73,7 +91,7 @@ func main() {
 	fmt.Println("BlobCR evaluation reproduction (SC'11, Nicolae & Cappello)")
 	fmt.Println("Testbed model: 120 compute nodes, 55 MB/s disks, 117.5 MB/s GbE, 256 KB stripes")
 	fmt.Println()
-	for _, s := range bench.All(p, c) {
+	for _, s := range bench.All(p, c, *dirFlag) {
 		render(s)
 	}
 	if *ablations {

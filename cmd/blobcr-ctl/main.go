@@ -17,6 +17,7 @@
 //	blobcr-ctl -supervisor ADDR events [since-seq]
 //	blobcr-ctl -supervisor ADDR status
 //	blobcr-ctl [-watch] metrics <addr>
+//	blobcr-ctl store <data-provider-addr> [compact]
 //	blobcr-ctl supervise
 //
 // With -dedup, uploads go through the content-addressed repository
@@ -87,6 +88,10 @@ func main() {
 	case "metrics":
 		need(flag.Args(), 2)
 		metricsQuery(flag.Arg(1), *timeout, *watch)
+		return
+	case "store":
+		need(flag.Args(), 2)
+		storeQuery(flag.Arg(1), *timeout, flag.Args())
 		return
 	}
 	if *vmAddr == "" || *pmAddr == "" || *meta == "" {
@@ -275,6 +280,39 @@ func main() {
 	}
 }
 
+// storeQuery renders one data provider's storage-engine counters, and with
+// the `compact` subcommand first runs a compaction pass on it. Only the
+// provider address is needed — the verb goes straight to that daemon.
+func storeQuery(addr string, timeout time.Duration, args []string) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	client := &blobseer.Client{Net: transport.NewTCP()}
+	if len(args) > 2 && args[2] == "compact" {
+		res, supported, err := client.CompactChunkStore(ctx, addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !supported {
+			fmt.Println("engine does not support compaction")
+		} else {
+			fmt.Printf("compacted %d segments: %d records relocated, %d bytes reclaimed\n",
+				res.Segments, res.Relocated, res.ReclaimedBytes)
+		}
+	}
+	es, err := client.StoreEngineStats(ctx, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("storage engine at %s: %s\n", addr, es.Backend)
+	for _, f := range es.Fields {
+		fmt.Printf("  %-24s %12d\n", f.Name, f.Value)
+	}
+}
+
 // supervisorQuery fetches a running supervisor's event stream or status
 // summary from its introspection endpoint over TCP.
 func supervisorQuery(addr string, timeout time.Duration, args []string) {
@@ -456,6 +494,10 @@ commands:
                                       or repair): commit stage timings, suspend
                                       window, per-provider latency, dedup hit-rate
                                       (-watch redraws every two seconds)
+  store <addr> [compact]              a data provider's storage-engine counters
+                                      (seglog: segments, live bytes, fsync
+                                      batching, compression mix); with compact,
+                                      first runs a compaction pass on its log
   supervise                           run the autonomous-recovery demo in-process`)
 	os.Exit(2)
 }

@@ -8,9 +8,12 @@
 //	blobseerd -role data     -listen :7720 -pmanager host:7701 -dir /var/blobseer
 //
 // Data providers register themselves with the provider manager and store
-// chunks on the local disk (-dir) or in memory, with the content-addressed
-// dedup index (internal/cas) layered on top; an existing chunk directory is
-// re-indexed on startup.
+// chunks through a storage engine selected by -store: the durable
+// log-structured segment engine (seglog — group commit, per-chunk
+// compression, crash recovery; the default whenever -dir is set), one
+// fsync-per-chunk file-per-chunk store (files), or memory (mem). The
+// content-addressed dedup index (internal/cas) is layered on top; an
+// existing data directory is re-indexed on startup.
 //
 // With -debug-addr, the daemon binds an HTTP debug listener serving
 // /metrics (Prometheus text for every wire call handled), /debug/pprof/*
@@ -37,7 +40,8 @@ func main() {
 	role := flag.String("role", "", "service role: vmanager | pmanager | meta | data")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address")
 	pmanager := flag.String("pmanager", "", "provider manager address (data role)")
-	dir := flag.String("dir", "", "chunk directory (data role; empty = in-memory)")
+	dir := flag.String("dir", "", "data directory (data role; empty = in-memory)")
+	storeKind := flag.String("store", "auto", "chunk store engine (data role): seglog | files | mem (auto = seglog with -dir, mem without)")
 	advertise := flag.String("advertise", "", "address to register with the provider manager (default: the bound address)")
 	debugAddr := flag.String("debug-addr", "", "HTTP debug listener: /metrics, /debug/pprof/*, /debug/vars (empty = off)")
 	flag.Parse()
@@ -64,22 +68,19 @@ func main() {
 	case "meta":
 		srv, err = blobseer.NewMetadataProvider().Serve(net, *listen)
 	case "data":
-		var backend chunkstore.Store
-		if *dir != "" {
-			backend, err = chunkstore.NewDisk(*dir)
-			if err != nil {
-				log.Fatalf("open chunk dir: %v", err)
-			}
-		} else {
-			backend = chunkstore.NewMem()
+		backend, berr := blobseer.OpenStoreBackend(*storeKind, *dir)
+		if berr != nil {
+			log.Fatalf("open chunk store: %v", berr)
 		}
 		// Layer the content-addressed index over the engine so the provider
-		// serves dedup commits; reopening a chunk directory re-hashes the
+		// serves dedup commits; reopening a data directory re-indexes the
 		// stored bodies to recover the index.
 		store, serr := cas.NewStore(backend)
 		if serr != nil {
 			log.Fatalf("recover cas index: %v", serr)
 		}
+		log.Printf("chunk store engine: %s", chunkstore.StatsOf(store).Backend)
+		defer store.Close() // flush and seal the engine (seglog syncs its active segment)
 		srv, err = blobseer.NewDataProvider(store).Serve(net, *listen)
 		if err == nil && *pmanager != "" {
 			addr := *advertise

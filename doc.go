@@ -68,6 +68,24 @@
 // decommission drive the plane by hand, and blobcr-bench -only repair
 // measures storage MTTR and re-replication throughput vs provider count.
 //
+// # Durable log-structured storage engine
+//
+// internal/seglog gives the data providers a disk engine built for
+// checkpoint commit storms: chunks are appended to segment files as
+// CRC32C-checksummed self-delimiting records, and concurrent Puts ride a
+// shared group commit — the leader writes the whole batch with one append
+// and one fdatasync, so under load the fsync count is a small fraction of
+// the put count (the file-per-chunk store pays two fsyncs per chunk). The
+// engine elides all-zero chunks (sparse VM images) to a header flag and
+// DEFLATE-compresses payloads when an entropy probe says it will pay,
+// rebuilds its in-memory index on open by scanning the segments —
+// truncating a torn tail from a crash mid-append at the first bad CRC —
+// and compacts segments whose live ratio decays as snapshots retire,
+// folded into the repair scrubber's cadence. Select engines with
+// blobseerd -store seglog|files|mem; blobcr-ctl store <addr> prints any
+// engine's counters over the wire, and blobcr-bench -only disklog
+// measures both disk engines through the full striped commit path.
+//
 // # Parallel striped I/O engine
 //
 // The whole data path — commit upload, dedup probing, restore reads, and

@@ -21,6 +21,7 @@ type Series struct {
 	YLabel  string
 	Columns []string
 	Rows    []Row
+	Notes   []string // free-form findings rendered under the table
 }
 
 // Row is one sweep point.
@@ -43,6 +44,9 @@ func (s *Series) Render(w io.Writer) {
 			fmt.Fprintf(w, " %16.2f", v)
 		}
 		fmt.Fprintln(w)
+	}
+	for _, n := range s.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintln(w, strings.Repeat("-", 24+17*len(s.Columns)))
 }
@@ -232,10 +236,12 @@ func Fig6CM1Checkpoint(p simcloud.Params, c simcloud.CM1Params) Series {
 }
 
 // All returns every paper experiment in order, plus the functional
-// downtime, availability and throughput experiments that ride the real
-// stack.
-func All(p simcloud.Params, c simcloud.CM1Params) []Series {
-	return []Series{
+// downtime, availability, throughput and disk-log experiments that ride the
+// real stack. dir roots the disk-backed experiments (disklog, and the
+// throughput bench's durable variant); empty keeps throughput in-memory and
+// skips disklog.
+func All(p simcloud.Params, c simcloud.CM1Params, dir string) []Series {
+	out := []Series{
 		Fig2aCheckpoint50MB(p),
 		Fig2bCheckpoint200MB(p),
 		Fig3aRestart50MB(p),
@@ -249,7 +255,11 @@ func All(p simcloud.Params, c simcloud.CM1Params) []Series {
 		FigDowntime(),
 		FigStages(),
 		FigAvailability(),
-		FigThroughput(),
+		FigThroughput(dir),
 		FigRepair(),
 	}
+	if dir != "" {
+		out = append(out, FigDiskLog(dir))
+	}
+	return out
 }

@@ -11,9 +11,9 @@ import (
 func TestAllSeriesWellFormed(t *testing.T) {
 	p := simcloud.Default()
 	c := simcloud.DefaultCM1()
-	series := All(p, c)
-	if len(series) != 15 {
-		t.Fatalf("All returned %d series, want 15 (every table and figure, the CAS dedup extension, and the downtime, commit-stage, availability, throughput and repair experiments)", len(series))
+	series := All(p, c, t.TempDir())
+	if len(series) != 16 {
+		t.Fatalf("All returned %d series, want 16 (every table and figure, the CAS dedup extension, and the downtime, commit-stage, availability, throughput, disk-log and repair experiments)", len(series))
 	}
 	for _, s := range series {
 		if s.Title == "" || len(s.Columns) == 0 || len(s.Rows) == 0 {
@@ -171,7 +171,7 @@ func TestDowntimeAsyncIndependentOfDirtySet(t *testing.T) {
 // batched streams concurrently. The sweep is sleep-dominated (the modeled
 // pipe is far slower than in-process copies), so the ratio is stable.
 func TestThroughputCommitScalesWithProviders(t *testing.T) {
-	results, err := RunThroughput([]int{1, 4})
+	results, err := RunThroughput([]int{1, 4}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,6 +187,31 @@ func TestThroughputCommitScalesWithProviders(t *testing.T) {
 	if one.RestoreMillis <= four.RestoreMillis {
 		t.Errorf("restore did not speed up with providers: %.1fms -> %.1fms",
 			one.RestoreMillis, four.RestoreMillis)
+	}
+}
+
+// TestDiskLogSeglogBeatsFilesBackend is the acceptance check for the
+// log-structured storage engine: on a real disk, with concurrent committers
+// feeding one provider, the segment log's group commit must sustain higher
+// durable commit bandwidth than the file-per-chunk store, and its fsync
+// count must sit well below its put count (one batched fsync covers many
+// riders). A single-committer smoke run keeps CI honest about the counters
+// without depending on disk speed.
+func TestDiskLogSeglogBeatsFilesBackend(t *testing.T) {
+	results, err := RunDiskLog(t.TempDir(), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.SeglogPuts == 0 || r.FilesPuts == 0 {
+		t.Fatalf("engine counters empty: %+v", r)
+	}
+	if r.SeglogFsyncs*2 >= r.SeglogPuts {
+		t.Errorf("group commit not batching: %d fsyncs for %d puts", r.SeglogFsyncs, r.SeglogPuts)
+	}
+	if r.SeglogMBps <= r.FilesMBps {
+		t.Errorf("seglog %.1f MB/s not above files %.1f MB/s at %d committers",
+			r.SeglogMBps, r.FilesMBps, r.Committers)
 	}
 }
 

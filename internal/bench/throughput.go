@@ -14,10 +14,13 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"blobcr/internal/blobseer"
+	"blobcr/internal/seglog"
 	"blobcr/internal/transport"
 )
 
@@ -44,8 +47,10 @@ const (
 )
 
 // RunThroughput measures commit and restore bandwidth on a fixed dirty set
-// for each provider count.
-func RunThroughput(providerCounts []int) ([]ThroughputResult, error) {
+// for each provider count. With a non-empty dir the providers persist to
+// segment logs under it (real durable I/O inside the same bandwidth-shaped
+// wire model); empty keeps them in memory.
+func RunThroughput(providerCounts []int, dir string) ([]ThroughputResult, error) {
 	ctx := context.Background()
 	const totalBytes = tpChunk * tpChunks
 	var out []ThroughputResult
@@ -54,7 +59,13 @@ func RunThroughput(providerCounts []int) ([]ThroughputResult, error) {
 			return nil, fmt.Errorf("bench: provider count %d", np)
 		}
 		net := transport.WithBandwidth(transport.WithLatency(transport.NewInProc(), tpLatency), tpBandwidth)
-		repo, err := blobseer.Deploy(net, 2, np)
+		factory := blobseer.MemStores
+		if dir != "" {
+			cell := filepath.Join(dir, fmt.Sprintf("throughput-%d", np))
+			factory = blobseer.SeglogStores(cell, seglog.Options{})
+			defer os.RemoveAll(cell)
+		}
+		repo, err := blobseer.DeployWith(net, 2, np, factory)
 		if err != nil {
 			return nil, err
 		}
@@ -107,15 +118,19 @@ func RunThroughput(providerCounts []int) ([]ThroughputResult, error) {
 
 // FigThroughput renders the throughput experiment: commit and restore
 // wall time and bandwidth for a fixed 16 MiB dirty set as the repository
-// stripes across 1, 2, 4 and 8 data providers.
-func FigThroughput() Series {
+// stripes across 1, 2, 4 and 8 data providers. A non-empty dir swaps the
+// in-memory providers for durable segment logs under it.
+func FigThroughput(dir string) Series {
 	s := Series{
 		Title:   "Throughput: parallel striped commit/restore vs provider count (16 MiB dirty set)",
 		XLabel:  "providers",
 		YLabel:  "ms / MB/s",
 		Columns: []string{"commit ms", "commit MB/s", "restore ms", "restore MB/s"},
 	}
-	results, err := RunThroughput([]int{1, 2, 4, 8})
+	if dir != "" {
+		s.Title += " [seglog-backed]"
+	}
+	results, err := RunThroughput([]int{1, 2, 4, 8}, dir)
 	if err != nil {
 		s.Title += fmt.Sprintf(" — FAILED: %v", err)
 		return s

@@ -974,6 +974,45 @@ func (c *Client) CasStats(ctx context.Context, dataProviders []string) (cas.Stat
 	return total, nil
 }
 
+// StoreEngineStats reports one data provider's storage-engine view: the
+// backend name ("seglog", "files", "mem", with a "cas+" prefix under the
+// dedup layer) and its engine-specific counters.
+func (c *Client) StoreEngineStats(ctx context.Context, addr string) (chunkstore.EngineStats, error) {
+	w := wire.NewBuffer(8)
+	w.PutU8(opStoreStats)
+	r, err := c.call(ctx, addr, w)
+	if err != nil {
+		return chunkstore.EngineStats{}, err
+	}
+	es := getEngineStats(r)
+	if err := r.Err(); err != nil {
+		return chunkstore.EngineStats{}, err
+	}
+	return es, nil
+}
+
+// CompactChunkStore asks one data provider's storage engine to run a
+// compaction pass now. supported is false for engines with nothing to
+// compact (file-per-chunk, in-memory), which is not an error.
+func (c *Client) CompactChunkStore(ctx context.Context, addr string) (res chunkstore.CompactResult, supported bool, err error) {
+	w := wire.NewBuffer(8)
+	w.PutU8(opStoreCompact)
+	r, err := c.call(ctx, addr, w)
+	if err != nil {
+		return res, false, err
+	}
+	supported = r.Bool()
+	if supported {
+		res.Segments = int(r.Uvarint())
+		res.Relocated = int(r.Uvarint())
+		res.ReclaimedBytes = r.U64()
+	}
+	if err := r.Err(); err != nil {
+		return chunkstore.CompactResult{}, false, err
+	}
+	return res, supported, nil
+}
+
 func (c *Client) abort(ctx context.Context, blob, version uint64) {
 	w := wire.NewBuffer(24)
 	w.PutU8(opAbort)

@@ -3,11 +3,40 @@ package blobseer
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 
 	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
+	"blobcr/internal/seglog"
 	"blobcr/internal/transport"
 )
+
+// StoreFactory builds one data provider's chunk store. i is the provider's
+// ordinal within the deployment (disk-backed factories derive a directory
+// from it). The returned store is wrapped in the CAS dedup layer by the
+// deployment; stores owning resources should implement Close() error, which
+// Deployment.Close calls.
+type StoreFactory func(i int) (chunkstore.Store, error)
+
+// MemStores is the default StoreFactory: a fresh in-memory store per
+// provider (tests, examples, simulation).
+func MemStores(int) (chunkstore.Store, error) { return chunkstore.NewMem(), nil }
+
+// SeglogStores returns a StoreFactory that roots one segment log per
+// provider under dir (the disklog bench and disk-backed deployments).
+func SeglogStores(dir string, opts seglog.Options) StoreFactory {
+	return func(i int) (chunkstore.Store, error) {
+		return seglog.Open(filepath.Join(dir, fmt.Sprintf("provider-%d", i)), opts)
+	}
+}
+
+// DiskStores returns a StoreFactory that roots one file-per-chunk store per
+// provider under dir.
+func DiskStores(dir string) StoreFactory {
+	return func(i int) (chunkstore.Store, error) {
+		return chunkstore.NewDisk(filepath.Join(dir, fmt.Sprintf("provider-%d", i)))
+	}
+}
 
 // Deployment is a running BlobSeer service: one version manager, one
 // provider manager, nMeta metadata providers and nData data providers, all
@@ -23,15 +52,23 @@ type Deployment struct {
 	dataProviders []*DataProvider
 	servers       []transport.Server
 	net           transport.Network
+	newStore      StoreFactory
+	nextStore     int
 }
 
 // Deploy starts a full BlobSeer deployment on n with nMeta metadata
 // providers and nData in-memory data providers. Addresses are auto-assigned.
 func Deploy(n transport.Network, nMeta, nData int) (*Deployment, error) {
+	return DeployWith(n, nMeta, nData, MemStores)
+}
+
+// DeployWith is Deploy with a caller-chosen chunk store backend per data
+// provider.
+func DeployWith(n transport.Network, nMeta, nData int, newStore StoreFactory) (*Deployment, error) {
 	if nMeta < 1 || nData < 1 {
 		return nil, fmt.Errorf("blobseer: deployment needs at least one metadata and one data provider (got %d, %d)", nMeta, nData)
 	}
-	d := &Deployment{net: n}
+	d := &Deployment{net: n, newStore: newStore}
 	fail := func(err error) (*Deployment, error) {
 		d.Close()
 		return nil, err
@@ -63,38 +100,41 @@ func Deploy(n transport.Network, nMeta, nData int) (*Deployment, error) {
 		d.MetaAddrs = append(d.MetaAddrs, srv.Addr())
 	}
 
-	client := d.Client()
 	for i := 0; i < nData; i++ {
-		// Every provider is CAS-capable: a cas.Store implements the plain
-		// chunkstore interface, so non-dedup clients see no difference.
-		dp := NewDataProvider(cas.NewMem())
-		srv, err := dp.Serve(n, "")
-		if err != nil {
-			return fail(err)
-		}
-		d.servers = append(d.servers, srv)
-		d.dataProviders = append(d.dataProviders, dp)
-		d.DataAddrs = append(d.DataAddrs, srv.Addr())
-		if err := client.RegisterProvider(context.Background(), srv.Addr()); err != nil {
+		if _, err := d.AddDataProvider(context.Background()); err != nil {
 			return fail(err)
 		}
 	}
 	return d, nil
 }
 
-// AddDataProvider starts one more CAS-capable in-memory data provider and
-// JOINs it to the provider manager: from the moment the join registers, new
-// chunk placements may land on it — the elasticity the repair plane relies
-// on for spare storage capacity after a provider loss. Returns the new
-// provider's address.
+// AddDataProvider starts one more CAS-capable data provider (backed by the
+// deployment's store factory) and JOINs it to the provider manager: from the
+// moment the join registers, new chunk placements may land on it — the
+// elasticity the repair plane relies on for spare storage capacity after a
+// provider loss. Returns the new provider's address.
 func (d *Deployment) AddDataProvider(ctx context.Context) (string, error) {
-	dp := NewDataProvider(cas.NewMem())
+	backend, err := d.newStore(d.nextStore)
+	if err != nil {
+		return "", err
+	}
+	d.nextStore++
+	// Every provider is CAS-capable: a cas.Store implements the plain
+	// chunkstore interface, so non-dedup clients see no difference.
+	store, err := cas.NewStore(backend)
+	if err != nil {
+		closeStore(backend)
+		return "", err
+	}
+	dp := NewDataProvider(store)
 	srv, err := dp.Serve(d.net, "")
 	if err != nil {
+		closeStore(store)
 		return "", err
 	}
 	if err := d.Client().RegisterProvider(ctx, srv.Addr()); err != nil {
 		srv.Close()
+		closeStore(store)
 		return "", err
 	}
 	d.servers = append(d.servers, srv)
@@ -113,7 +153,7 @@ func (d *Deployment) Client() *Client {
 	}
 }
 
-// DataProviderStores exposes the in-memory chunk stores for inspection
+// DataProviderStores exposes the chunk stores for inspection
 // (space-accounting tests and the storage-utilization experiments).
 func (d *Deployment) DataProviderStores() []chunkstore.Store {
 	out := make([]chunkstore.Store, len(d.dataProviders))
@@ -123,10 +163,22 @@ func (d *Deployment) DataProviderStores() []chunkstore.Store {
 	return out
 }
 
-// Close stops all services.
+// Close stops all services and closes the provider chunk stores (flushing
+// and releasing segment logs).
 func (d *Deployment) Close() {
 	for _, s := range d.servers {
 		s.Close()
 	}
 	d.servers = nil
+	for _, dp := range d.dataProviders {
+		closeStore(dp.Store())
+	}
+	d.dataProviders = nil
+}
+
+// closeStore releases a store's resources if it holds any.
+func closeStore(s chunkstore.Store) {
+	if c, ok := s.(interface{ Close() error }); ok {
+		c.Close() //nolint:errcheck // release path
+	}
 }

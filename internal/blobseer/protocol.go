@@ -125,6 +125,15 @@ const (
 	// drained provider's whole reference count per chunk without one call
 	// per reference.
 	opCasReleaseN
+
+	// Storage-engine ops (internal/chunkstore engine extensions).
+	// opStoreStats reports the provider's backend name and its
+	// engine-specific counters (blobcr-ctl store, the disklog bench).
+	// opStoreCompact asks a log-structured backend to run a compaction pass
+	// now (the repair scrubber's cadence, blobcr-ctl); engines with nothing
+	// to compact report supported=false.
+	opStoreStats
+	opStoreCompact
 )
 
 // Op codes for metadata providers.
@@ -308,6 +317,29 @@ func getChunkKey(r *wire.Reader) chunkstore.Key {
 	k.Blob = r.U64()
 	k.ID = r.U64()
 	return k
+}
+
+func putEngineStats(w *wire.Buffer, es chunkstore.EngineStats) {
+	w.PutString(es.Backend)
+	w.PutUvarint(uint64(len(es.Fields)))
+	for _, f := range es.Fields {
+		w.PutString(f.Name)
+		w.PutU64(f.Value)
+	}
+}
+
+func getEngineStats(r *wire.Reader) chunkstore.EngineStats {
+	var es chunkstore.EngineStats
+	es.Backend = r.String()
+	n := r.Uvarint()
+	if n > 4096 {
+		return es // implausible; the reader's error latch will surface it
+	}
+	es.Fields = make([]chunkstore.EngineField, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		es.Fields = append(es.Fields, chunkstore.EngineField{Name: r.String(), Value: r.U64()})
+	}
+	return es
 }
 
 // reqErr wraps a decode failure of an incoming request.

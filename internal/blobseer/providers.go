@@ -255,6 +255,12 @@ type DataProvider struct {
 	store chunkstore.Store
 }
 
+// putApplyParallelism bounds the concurrent store writes one put-batch frame
+// issues. With several frames in flight the store sees frames×this many
+// concurrent puts — enough for a group-commit engine to form multi-MiB
+// batches without unbounded goroutine fan-out per request.
+const putApplyParallelism = 16
+
 // NewDataProvider wraps store as a network service.
 func NewDataProvider(store chunkstore.Store) *DataProvider {
 	return &DataProvider{store: store}
@@ -351,19 +357,27 @@ func (dp *DataProvider) handle(_ context.Context, req []byte) ([]byte, error) {
 		// stored before a mid-frame backend failure would be orphans no
 		// leaf ever references — unwind them. Only keys this frame actually
 		// inserted are deleted: a re-delivered replica of a chunk an
-		// earlier commit published must survive the unwind.
-		inserted := make([]chunkstore.Key, 0, len(keys))
+		// earlier commit published must survive the unwind. The puts go in
+		// concurrently (keys are independent): a group-committing backend
+		// folds them into a few large appends, and the file-per-chunk store
+		// overlaps its per-file fsyncs in the journal.
+		existed := make([]bool, len(keys))
+		perr := make([]error, len(keys))
+		runLimited(context.Background(), putApplyParallelism, len(keys), func(_ context.Context, i int) error {
+			existed[i] = dp.store.Has(keys[i])
+			perr[i] = dp.store.Put(keys[i], bodies[i])
+			return nil // collect every item's outcome; the unwind needs the full map
+		})
 		for i := range keys {
-			existed := dp.store.Has(keys[i])
-			if err := dp.store.Put(keys[i], bodies[i]); err != nil {
-				for _, k := range inserted {
-					dp.store.Delete(k) //nolint:errcheck // best effort unwind
+			if perr[i] == nil {
+				continue
+			}
+			for j := range keys {
+				if perr[j] == nil && !existed[j] {
+					dp.store.Delete(keys[j]) //nolint:errcheck // best effort unwind
 				}
-				return nil, err
 			}
-			if !existed {
-				inserted = append(inserted, keys[i])
-			}
+			return nil, perr[i]
 		}
 
 	case opChunkGetBatch:
@@ -448,18 +462,29 @@ func (dp *DataProvider) handle(_ context.Context, req []byte) ([]byte, error) {
 		// "no references taken" and fails the chunks over to other
 		// providers, so on any mid-frame failure — a body that does not
 		// hash to its claimed fingerprint (PutContent validates) or a
-		// backend error — the references already taken by earlier items
-		// are returned before erroring out.
-		applied := make([]cas.Fingerprint, 0, len(fps))
+		// backend error — the references already taken by the other items
+		// are returned before erroring out. Application is concurrent, like
+		// the plain put batch: the striped CAS index admits it and a
+		// group-committing backend batches the appends; the dup flags are
+		// written back in frame order afterwards.
+		dups := make([]bool, len(fps))
+		cerr := make([]error, len(fps))
+		runLimited(context.Background(), putApplyParallelism, len(fps), func(_ context.Context, i int) error {
+			dups[i], cerr[i] = cs.PutContent(fps[i], bodies[i])
+			return nil // collect every item's outcome; the unwind needs the full map
+		})
 		for i := range fps {
-			dup, err := cs.PutContent(fps[i], bodies[i])
-			if err != nil {
-				for _, fp := range applied {
-					cs.Release(fp) //nolint:errcheck // best effort unwind
-				}
-				return nil, err
+			if cerr[i] == nil {
+				continue
 			}
-			applied = append(applied, fps[i])
+			for j := range fps {
+				if cerr[j] == nil {
+					cs.Release(fps[j]) //nolint:errcheck // best effort unwind
+				}
+			}
+			return nil, cerr[i]
+		}
+		for _, dup := range dups {
 			w.PutBool(dup)
 		}
 
@@ -532,6 +557,28 @@ func (dp *DataProvider) handle(_ context.Context, req []byte) ([]byte, error) {
 			return nil, err
 		}
 		putCasStats(w, cs.Stats())
+
+	case opStoreStats:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		putEngineStats(w, chunkstore.StatsOf(dp.store))
+
+	case opStoreCompact:
+		if err := reqErr(op, r); err != nil {
+			return nil, err
+		}
+		c, ok := dp.store.(chunkstore.Compactor)
+		w.PutBool(ok)
+		if ok {
+			res, err := c.CompactNow()
+			if err != nil {
+				return nil, err
+			}
+			w.PutUvarint(uint64(res.Segments))
+			w.PutUvarint(uint64(res.Relocated))
+			w.PutU64(res.ReclaimedBytes)
+		}
 
 	default:
 		return nil, fmt.Errorf("blobseer: data provider: unknown op %d", op)

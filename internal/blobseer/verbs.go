@@ -41,6 +41,8 @@ var opNames = map[byte]string{
 	opCasRefBatch:   "cas-ref-batch",
 	opCasPutBatch:   "cas-put-batch",
 	opCasReleaseN:   "cas-release-n",
+	opStoreStats:    "store-stats",
+	opStoreCompact:  "store-compact",
 
 	opNodePut:      "node-put",
 	opNodeGet:      "node-get",

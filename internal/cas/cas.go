@@ -128,20 +128,40 @@ type entry struct {
 	pinned bool
 }
 
+// casStripes is the width of the per-fingerprint lock table: wide enough
+// that concurrent committers rarely collide on a stripe.
+const casStripes = 64
+
 // Store is a refcounted content-addressed repository over a chunkstore
-// backend. It is safe for concurrent use; reference acquisition and
-// release-to-zero reclamation are linearized under one lock, so a body can
-// never be reclaimed between a successful Ref and the read it protects.
+// backend. It is safe for concurrent use. Mutating operations on one body
+// serialize on a striped per-fingerprint lock — taken before, and held
+// across, any backend I/O — so a body can never be reclaimed between a
+// successful Ref and the read it protects. mu guards only the in-memory
+// index and counters and is never held across backend calls: bodies with
+// different fingerprints reach the backend concurrently, which is what lets
+// a group-committing backend (seglog) batch their fsyncs.
+//
+// Lock order: stripe, then mu.
 type Store struct {
 	mu      sync.Mutex
 	backend chunkstore.Store
 	index   map[Fingerprint]*entry
 	byKey   map[chunkstore.Key]Fingerprint
 
+	stripes [casStripes]sync.Mutex
+
 	hits, misses    uint64
 	logicalBytes    uint64
 	reclaimedChunks uint64
 	reclaimedBytes  uint64
+}
+
+// stripe returns the serialization lock for every operation touching the
+// body stored under k. Fingerprint-addressed operations stripe by fp.Key(),
+// so a CAS op and a key op on the same body always share a stripe.
+func (s *Store) stripe(k chunkstore.Key) *sync.Mutex {
+	h := (k.Blob ^ k.ID) * 0x9e3779b97f4a7c15 // Fibonacci mixing
+	return &s.stripes[(h>>32)%casStripes]
 }
 
 // keyLister is satisfied by both chunkstore backends.
@@ -193,6 +213,9 @@ func (s *Store) indexLocked(fp Fingerprint, size uint32, refs uint64) {
 // reports whether it did. A false return means the caller must upload the
 // body with PutContent ("have fingerprint?" round trip).
 func (s *Store) Ref(fp Fingerprint) bool {
+	st := s.stripe(fp.Key())
+	st.Lock()
+	defer st.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.index[fp]
@@ -212,19 +235,27 @@ func (s *Store) PutContent(fp Fingerprint, data []byte) (dup bool, err error) {
 	if Sum(data) != fp {
 		return false, fmt.Errorf("%w: %s", ErrContentMismatch, fp)
 	}
+	st := s.stripe(fp.Key())
+	st.Lock()
+	defer st.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if e, ok := s.index[fp]; ok {
 		e.refs++
 		s.hits++
 		s.logicalBytes += uint64(e.size)
+		s.mu.Unlock()
 		return true, nil
 	}
+	s.mu.Unlock()
+	// Backend write outside mu: same-fingerprint writers are serialized by
+	// the stripe, different bodies land in the backend concurrently.
 	if err := s.backend.Put(fp.Key(), data); err != nil {
 		return false, err
 	}
+	s.mu.Lock()
 	s.indexLocked(fp, uint32(len(data)), 1)
 	s.misses++
+	s.mu.Unlock()
 	return false, nil
 }
 
@@ -234,10 +265,13 @@ func (s *Store) PutContent(fp Fingerprint, data []byte) (dup bool, err error) {
 // references and are left for the mark-and-sweep pass. Releasing an unknown
 // fingerprint is a no-op (the body was already collected by a sweep).
 func (s *Store) Release(fp Fingerprint) (remaining uint64, reclaimedBytes uint64, err error) {
+	st := s.stripe(fp.Key())
+	st.Lock()
+	defer st.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.index[fp]
 	if !ok {
+		s.mu.Unlock()
 		return 0, 0, nil
 	}
 	if e.refs > 0 {
@@ -245,17 +279,27 @@ func (s *Store) Release(fp Fingerprint) (remaining uint64, reclaimedBytes uint64
 		s.logicalBytes -= uint64(e.size)
 	}
 	if e.refs > 0 || e.pinned {
-		return e.refs, 0, nil
+		rem := e.refs
+		s.mu.Unlock()
+		return rem, 0, nil
 	}
+	s.mu.Unlock()
+	// Count hit zero: delete the body. The stripe (held) keeps a concurrent
+	// Ref from reviving the entry while the backend delete is in flight.
 	if err := s.backend.Delete(fp.Key()); err != nil {
+		s.mu.Lock()
 		e.refs++ // keep the index consistent with the backend
 		s.logicalBytes += uint64(e.size)
-		return e.refs, 0, err
+		rem := e.refs
+		s.mu.Unlock()
+		return rem, 0, err
 	}
+	s.mu.Lock()
 	delete(s.index, fp)
 	delete(s.byKey, fp.Key())
 	s.reclaimedChunks++
 	s.reclaimedBytes += uint64(e.size)
+	s.mu.Unlock()
 	return 0, uint64(e.size), nil
 }
 
@@ -322,10 +366,12 @@ func (s *Store) physicalLocked() uint64 {
 // of chunk, and Delete — the mark-and-sweep GC's primitive — also drops the
 // dedup index entry so a swept body cannot be resurrected by a stale count.
 
-// Put implements chunkstore.Store (non-CAS passthrough).
+// Put implements chunkstore.Store (non-CAS passthrough). Only same-key puts
+// serialize; the backend sees concurrent puts from concurrent committers.
 func (s *Store) Put(k chunkstore.Key, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	st := s.stripe(k)
+	st.Lock()
+	defer st.Unlock()
 	return s.backend.Put(k, data)
 }
 
@@ -339,8 +385,10 @@ func (s *Store) Has(k chunkstore.Key) bool { return s.backend.Has(k) }
 // index entry regardless of its count: the caller (a mark-and-sweep GC pass)
 // has global reachability knowledge that overrides local counting.
 func (s *Store) Delete(k chunkstore.Key) error {
+	st := s.stripe(k)
+	st.Lock()
+	defer st.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if fp, ok := s.byKey[k]; ok {
 		if e, ok := s.index[fp]; ok {
 			s.logicalBytes -= e.refs * uint64(e.size)
@@ -350,6 +398,7 @@ func (s *Store) Delete(k chunkstore.Key) error {
 		delete(s.index, fp)
 		delete(s.byKey, k)
 	}
+	s.mu.Unlock()
 	return s.backend.Delete(k)
 }
 
@@ -367,4 +416,33 @@ func (s *Store) Keys() []chunkstore.Key {
 	return nil
 }
 
-var _ chunkstore.Store = (*Store)(nil)
+// EngineStats implements chunkstore.EngineStatser, forwarding the backend's
+// engine view with the CAS layer noted in the backend name.
+func (s *Store) EngineStats() chunkstore.EngineStats {
+	es := chunkstore.StatsOf(s.backend)
+	es.Backend = "cas+" + es.Backend
+	return es
+}
+
+// CompactNow implements chunkstore.Compactor by delegating to the backend;
+// for backends with nothing to compact it is a zero-result no-op.
+func (s *Store) CompactNow() (chunkstore.CompactResult, error) {
+	if c, ok := s.backend.(chunkstore.Compactor); ok {
+		return c.CompactNow()
+	}
+	return chunkstore.CompactResult{}, nil
+}
+
+// Close releases the backend's resources (segment files, directory handles).
+func (s *Store) Close() error {
+	if c, ok := s.backend.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+var (
+	_ chunkstore.Store         = (*Store)(nil)
+	_ chunkstore.EngineStatser = (*Store)(nil)
+	_ chunkstore.Compactor     = (*Store)(nil)
+)

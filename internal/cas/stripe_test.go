@@ -1,0 +1,199 @@
+package cas
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/obs"
+	"blobcr/internal/seglog"
+)
+
+// TestConcurrentRefReleasePutContent hammers the striped-lock refcounting:
+// bodies are stored, referenced and released concurrently, and the final
+// index must agree with the net reference counts. Run under -race.
+func TestConcurrentRefReleasePutContent(t *testing.T) {
+	s := NewMem()
+	const (
+		workers = 16
+		bodies  = 8
+	)
+	payload := func(i int) []byte { return bytes.Repeat([]byte{byte(i + 1)}, 200+i) }
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < bodies; i++ {
+				body := payload(i)
+				fp := Sum(body)
+				if !s.Ref(fp) {
+					if _, err := s.PutContent(fp, body); err != nil {
+						t.Errorf("PutContent: %v", err)
+						return
+					}
+				}
+				got, err := s.GetContent(fp)
+				if err != nil || !bytes.Equal(got, body) {
+					t.Errorf("GetContent %d: %v", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := s.Stats()
+	if st.Chunks != bodies {
+		t.Fatalf("Chunks = %d, want %d (dedup broke)", st.Chunks, bodies)
+	}
+	if st.Refs != workers*bodies {
+		t.Fatalf("Refs = %d, want %d", st.Refs, workers*bodies)
+	}
+	// Release every reference concurrently; all bodies must reclaim.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < bodies; i++ {
+				if _, _, err := s.Release(Sum(payload(i))); err != nil {
+					t.Errorf("Release: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st = s.Stats()
+	if st.Chunks != 0 || st.Refs != 0 {
+		t.Fatalf("after full release: chunks=%d refs=%d", st.Chunks, st.Refs)
+	}
+}
+
+// TestCasOverSeglog runs the CAS layer over the log-structured backend: the
+// combination the blobseerd data provider ships. Dedup, release-to-zero
+// reclamation and compaction forwarding must all hold, and the whole state
+// must survive a reopen of the log.
+func TestCasOverSeglog(t *testing.T) {
+	dir := t.TempDir()
+	backend, err := seglog.Open(dir, seglog.Options{DisableAutoCompact: true, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := bytes.Repeat([]byte("keep"), 512)
+	drop := bytes.Repeat([]byte("drop"), 512)
+	for _, body := range [][]byte{keep, drop} {
+		if _, err := s.PutContent(Sum(body), body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if es := s.EngineStats(); es.Backend != "cas+seglog" {
+		t.Fatalf("Backend = %q", es.Backend)
+	}
+	if _, _, err := s.Release(Sum(drop)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CompactNow(); err != nil {
+		t.Fatalf("CompactNow forwarding: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	backend2, err := seglog.Open(dir, seglog.Options{DisableAutoCompact: true, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewStore(backend2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.GetContent(Sum(keep))
+	if err != nil || !bytes.Equal(got, keep) {
+		t.Fatalf("kept body lost across reopen: %v", err)
+	}
+	if s2.HasContent(Sum(drop)) {
+		t.Fatal("released body resurrected across reopen")
+	}
+	// Recovered bodies are pinned: a release must not delete them.
+	if !s2.Ref(Sum(keep)) {
+		t.Fatal("recovered body not in index")
+	}
+	s2.Release(Sum(keep)) //nolint:errcheck
+	s2.Release(Sum(keep)) //nolint:errcheck
+	if !s2.HasContent(Sum(keep)) {
+		t.Fatal("pinned body deleted by refcount release")
+	}
+}
+
+// gateStore proves backend-level concurrency: each Put blocks until another
+// Put is inside the backend at the same time. A CAS layer that held a
+// store-wide lock across backend I/O (the old design) would admit one Put at
+// a time and trip the timeout.
+type gateStore struct {
+	chunkstore.Store
+	entered chan struct{}
+	proceed chan struct{}
+	timeout *bool
+}
+
+func (g *gateStore) Put(k chunkstore.Key, data []byte) error {
+	g.entered <- struct{}{}
+	select {
+	case <-g.proceed:
+	case <-time.After(2 * time.Second):
+		*g.timeout = true
+	}
+	return g.Store.Put(k, data)
+}
+
+// TestConcurrentPassthroughPuts: distinct (blob, id) puts through the CAS
+// layer must reach the backend concurrently — that concurrency is what lets
+// a group-committing backend batch their fsyncs.
+func TestConcurrentPassthroughPuts(t *testing.T) {
+	var timedOut bool
+	g := &gateStore{
+		Store:   chunkstore.NewMem(),
+		entered: make(chan struct{}, 2),
+		proceed: make(chan struct{}),
+		timeout: &timedOut,
+	}
+	go func() {
+		<-g.entered
+		<-g.entered
+		close(g.proceed) // both writers are inside the backend at once
+	}()
+	s, err := NewStore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := chunkstore.Key{Blob: 1, ID: uint64(i)}
+			if err := s.Put(k, []byte(fmt.Sprintf("chunk-%d", i))); err != nil {
+				t.Errorf("Put %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if timedOut {
+		t.Fatal("the CAS layer serialized backend puts: second Put never entered while the first was inside")
+	}
+	// Same-fingerprint content writes must also run concurrently for
+	// distinct fingerprints; sanity-check the striped path end to end.
+	if _, err := s.PutContent(Sum([]byte("body")), []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -252,7 +252,10 @@ func (r *Repairer) forEachAddr(addrs []string, fn func(addr string)) {
 }
 
 // Scrub runs one anti-entropy pass and reports the storage plane's health
-// without fixing anything.
+// without fixing anything. Storage-engine compaction rides the scrub
+// cadence: after the survey, every member provider with a log-structured
+// backend gets a best-effort compaction pass, reclaiming the dead bytes that
+// Retire releases and GC sweeps left in its segments.
 func (r *Repairer) Scrub(ctx context.Context) (ScrubReport, error) {
 	r.passMu.Lock()
 	defer r.passMu.Unlock()
@@ -266,5 +269,28 @@ func (r *Repairer) Scrub(ctx context.Context) (ScrubReport, error) {
 	r.haveScrub = true
 	r.mu.Unlock()
 	r.recordScrub(sv.report)
+	r.compactStores(ctx, sv.members())
 	return sv.report, nil
+}
+
+// compactStores asks every member provider's storage engine for a compaction
+// pass, on the same bounded fan-out as the data path. Engines with nothing
+// to compact and providers that are unreachable are skipped silently — the
+// scrub's health findings already cover reachability.
+func (r *Repairer) compactStores(ctx context.Context, addrs []string) {
+	var mu sync.Mutex
+	var total chunkstore.CompactResult
+	r.forEachAddr(addrs, func(addr string) {
+		res, supported, err := r.client.CompactChunkStore(ctx, addr)
+		if err != nil || !supported {
+			return
+		}
+		mu.Lock()
+		total.Add(res)
+		mu.Unlock()
+	})
+	if total.Segments > 0 {
+		r.reg.Counter("repair_store_compactions_total").Add(uint64(total.Segments))
+		r.reg.Counter("repair_store_reclaimed_bytes_total").Add(total.ReclaimedBytes)
+	}
 }

@@ -1,0 +1,194 @@
+package seglog
+
+import (
+	"fmt"
+	"os"
+
+	"blobcr/internal/chunkstore"
+)
+
+// compactBatchBytes bounds how many relocated record bytes ride one group
+// commit, so compacting a large segment does not build a segment-sized
+// buffer in memory or stall concurrent Puts behind one giant append.
+const compactBatchBytes = 4 << 20
+
+// compactLoop is the background compactor: it wakes on the signal a Delete
+// (Retire release, GC sweep) sends and on the post-recovery kick, and runs
+// passes until no victim remains.
+func (s *Store) compactLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.compactCh:
+			s.CompactNow() //nolint:errcheck // outcome lands in the metrics
+		}
+	}
+}
+
+// triggerCompact nudges the background compactor without blocking.
+func (s *Store) triggerCompact() {
+	if s.opts.DisableAutoCompact {
+		return
+	}
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// pickVictimLocked returns the sealed segment with the worst live ratio
+// below the threshold, or nil. Caller holds mu (read mode suffices).
+func (s *Store) pickVictimLocked() *segment {
+	var best *segment
+	var bestRatio float64
+	for _, seg := range s.segs {
+		if seg == s.active || seg.noCompact || seg.size == 0 {
+			continue
+		}
+		ratio := float64(seg.live) / float64(seg.size)
+		if ratio >= s.opts.CompactRatio {
+			continue
+		}
+		if best == nil || ratio < bestRatio {
+			best, bestRatio = seg, ratio
+		}
+	}
+	return best
+}
+
+// CompactNow rewrites every sealed segment whose live ratio is below
+// Options.CompactRatio, copying live records (and still-needed tombstones)
+// to the active segment through the group-commit path, then deleting the
+// victims. It implements chunkstore.Compactor; the repair scrubber and
+// blobcr-ctl call it over the wire.
+func (s *Store) CompactNow() (chunkstore.CompactResult, error) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	var res chunkstore.CompactResult
+	for {
+		if s.closed.Load() {
+			return res, errClosed
+		}
+		s.mu.RLock()
+		victim := s.pickVictimLocked()
+		s.mu.RUnlock()
+		if victim == nil {
+			return res, nil
+		}
+		if err := s.compactSegment(victim, &res); err != nil {
+			return res, err
+		}
+	}
+}
+
+// compactSegment moves a victim's live state forward and removes the file.
+//
+// Crash-safety: relocated copies are fsynced by the group-commit path
+// before the index is swung and long before the victim is unlinked, so a
+// crash anywhere in between leaves harmless duplicates that recovery
+// resolves by offset order (later wins). The enqueue-time guards
+// (relocAllowed / tombRelocAllowed) keep that order truthful against
+// concurrent Deletes and re-Puts: nothing is ever copied above a record
+// that should supersede it. The victim's removal is made durable with a
+// directory fsync before the pass returns, so a later pass's "no older
+// segment remains" reasoning can trust it.
+func (s *Store) compactSegment(victim *segment, res *chunkstore.CompactResult) error {
+	var (
+		recs       []*pendingRec
+		raws       []encodedRec
+		group      int
+		wroteBytes int64
+	)
+	flushGroup := func() error {
+		if len(recs) == 0 {
+			return nil
+		}
+		if _, err := s.enqueue(recs, raws); err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if rec.wrote {
+				wroteBytes += rec.size
+			}
+			if rec.moved {
+				res.Relocated++
+				s.relocated.Add(1)
+				s.m.relocated.Inc()
+			}
+		}
+		recs, raws, group = nil, nil, 0
+		return nil
+	}
+
+	corrupt := false
+	_, torn, err := scanSegment(victim.f, victim.size, func(off int64, h header, payload []byte) error {
+		size := int64(hdrSize) + int64(h.plen)
+		var rec *pendingRec
+		if h.flags&flagTombstone != 0 {
+			rec = &pendingRec{kind: recTombReloc, key: h.key, size: size, flags: h.flags, old: entry{seg: victim.seq}}
+		} else {
+			s.mu.RLock()
+			e, ok := s.index[h.key]
+			s.mu.RUnlock()
+			if !ok || e.seg != victim.seq || e.off != off {
+				return nil // dead record: superseded or deleted
+			}
+			rec = &pendingRec{kind: recReloc, key: h.key, size: size, ulen: h.ulen, flags: h.flags, old: e}
+		}
+		recs = append(recs, rec)
+		// scanSegment reuses its payload buffer across callbacks and the
+		// group accumulates past this return, so the copy is load-bearing.
+		raws = append(raws, encodeRec(h, append([]byte(nil), payload...)))
+		group += int(size)
+		if group >= compactBatchBytes {
+			return flushGroup()
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("seglog: compact %s: %w", victim.path, err)
+	}
+	if torn {
+		// A sealed segment's records were all fsynced; a bad CRC here is
+		// bit rot, not a crash artifact. Leave the segment for the scrub
+		// plane (which re-replicates damaged chunks) instead of laundering
+		// it through a rewrite.
+		corrupt = true
+	}
+	if err := flushGroup(); err != nil {
+		return err
+	}
+	if corrupt {
+		s.mu.Lock()
+		victim.noCompact = true
+		s.mu.Unlock()
+		return fmt.Errorf("seglog: compact %s: found a corrupt record, leaving segment in place", victim.path)
+	}
+
+	s.mu.Lock()
+	delete(s.segs, victim.seq)
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+	victim.f.Close()
+	if err := os.Remove(victim.path); err != nil {
+		return fmt.Errorf("seglog: remove compacted segment: %w", err)
+	}
+	if err := s.dirf.Sync(); err != nil {
+		return fmt.Errorf("seglog: sync dir after compaction: %w", err)
+	}
+	// Net disk space freed: the victim's bytes minus what had to be
+	// rewritten into the active segment.
+	reclaimed := victim.size - wroteBytes
+	if reclaimed < 0 {
+		reclaimed = 0
+	}
+	res.Segments++
+	res.ReclaimedBytes += uint64(reclaimed)
+	s.compactions.Add(1)
+	s.reclaimed.Add(uint64(reclaimed))
+	s.m.compactions.Inc()
+	s.m.reclaimed.Add(uint64(reclaimed))
+	return nil
+}

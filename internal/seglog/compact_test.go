@@ -1,0 +1,249 @@
+package seglog
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blobcr/internal/chunkstore"
+)
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestCompactReclaimsDeadSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 8 * 1024, DisableAutoCompact: true, NoCompress: true})
+	defer s.Close()
+	bodies := make(map[int][]byte)
+	for i := 0; i < 32; i++ {
+		bodies[i] = randBytes(i, 1024)
+		if err := s.Put(key(i), bodies[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := len(segFiles(t, dir))
+	if before < 4 {
+		t.Fatalf("only %d segments before compaction", before)
+	}
+	// Kill most chunks: every sealed segment drops below the live ratio.
+	for i := 0; i < 32; i++ {
+		if i%4 != 0 {
+			if err := s.Delete(key(i)); err != nil {
+				t.Fatal(err)
+			}
+			delete(bodies, i)
+		}
+	}
+	res, err := s.CompactNow()
+	if err != nil {
+		t.Fatalf("CompactNow: %v", err)
+	}
+	if res.Segments == 0 {
+		t.Fatal("compaction removed no segments")
+	}
+	if res.ReclaimedBytes == 0 {
+		t.Fatal("compaction reclaimed no bytes")
+	}
+	after := len(segFiles(t, dir))
+	if after >= before {
+		t.Fatalf("segment count %d -> %d: nothing reclaimed on disk", before, after)
+	}
+	// Survivors intact, victims still dead.
+	for i := 0; i < 32; i++ {
+		got, err := s.Get(key(i))
+		if body, live := bodies[i]; live {
+			if err != nil || !bytes.Equal(got, body) {
+				t.Fatalf("surviving chunk %d after compaction: %v", i, err)
+			}
+		} else if !errors.Is(err, chunkstore.ErrNotFound) {
+			t.Fatalf("deleted chunk %d resurrected by compaction: %v", i, err)
+		}
+	}
+	// And the same holds across a reopen: relocated records are durable and
+	// no stale copy in a removed segment wins.
+	s.Close()
+	r := openTest(t, dir, Options{DisableAutoCompact: true, NoCompress: true})
+	defer r.Close()
+	for i := 0; i < 32; i++ {
+		got, err := r.Get(key(i))
+		if body, live := bodies[i]; live {
+			if err != nil || !bytes.Equal(got, body) {
+				t.Fatalf("reopen chunk %d: %v", i, err)
+			}
+		} else if !errors.Is(err, chunkstore.ErrNotFound) {
+			t.Fatalf("reopen resurrected deleted chunk %d: %v", i, err)
+		}
+	}
+}
+
+func TestCompactFullyDeadSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 4 * 1024, DisableAutoCompact: true, NoCompress: true})
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		if err := s.Put(key(i), randBytes(i, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.CompactNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Segments == 0 {
+		t.Fatal("no segments compacted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", s.Len())
+	}
+	// Tombstones whose puts died with their victims are not carried forward
+	// forever: once no older segment can hold the key, they drop.
+	s.Close()
+	r := openTest(t, dir, Options{DisableAutoCompact: true})
+	defer r.Close()
+	if r.Len() != 0 {
+		t.Fatalf("reopen Len = %d, want 0", r.Len())
+	}
+}
+
+// TestCompactCarriesTombstoneOverOlderSegment is the resurrection trap: the
+// put lives in segment A, the tombstone in segment B, and compaction removes
+// B first. The tombstone must be carried forward or the reopen resurrects
+// the chunk out of A.
+func TestCompactCarriesTombstoneOverOlderSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 4 * 1024, DisableAutoCompact: true, NoCompress: true})
+	// Segment 1: the victim-to-survive, holding key 0 and friends.
+	for i := 0; i < 4; i++ {
+		if err := s.Put(key(i), randBytes(i, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Later segments: filler plus the tombstone for key 0.
+	for i := 4; i < 12; i++ {
+		if err := s.Put(key(i), randBytes(i, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(key(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the filler sharing the tombstone's segment region so those
+	// segments (not segment 1) become the compaction victims.
+	for i := 4; i < 12; i++ {
+		if err := s.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key(0)); !errors.Is(err, chunkstore.ErrNotFound) {
+		t.Fatalf("deleted chunk visible after compaction: %v", err)
+	}
+	s.Close()
+	r := openTest(t, dir, Options{DisableAutoCompact: true})
+	defer r.Close()
+	if _, err := r.Get(key(0)); !errors.Is(err, chunkstore.ErrNotFound) {
+		t.Fatalf("compaction of the tombstone's segment resurrected chunk 0: %v", err)
+	}
+	for i := 1; i < 4; i++ {
+		if _, err := r.Get(key(i)); err != nil {
+			t.Fatalf("chunk %d lost: %v", i, err)
+		}
+	}
+}
+
+func TestCompactSkipsCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 4 * 1024, DisableAutoCompact: true, NoCompress: true})
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		if err := s.Put(key(i), randBytes(i, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pick a sealed segment, make it a victim, then rot one record byte
+	// behind the store's back.
+	s.mu.RLock()
+	var victim *segment
+	for _, seg := range s.segs {
+		if seg != s.active {
+			victim = seg
+			break
+		}
+	}
+	s.mu.RUnlock()
+	if victim == nil {
+		t.Fatal("no sealed segment")
+	}
+	raw, err := os.ReadFile(victim.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(victim.path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		s.Delete(key(i)) //nolint:errcheck
+	}
+	_, err = s.CompactNow()
+	if err == nil {
+		t.Fatal("CompactNow succeeded over bit rot")
+	}
+	if !victim.noCompact {
+		t.Fatal("corrupt segment not marked noCompact")
+	}
+	if _, err := os.Stat(victim.path); err != nil {
+		t.Fatalf("corrupt segment was removed: %v", err)
+	}
+	// A later pass must not spin on the same victim.
+	if _, err := s.CompactNow(); err != nil && strings.Contains(err.Error(), filepath.Base(victim.path)) {
+		t.Fatalf("second pass retried the corrupt segment: %v", err)
+	}
+}
+
+func TestAutoCompactionTriggersOnDelete(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 4 * 1024, NoCompress: true})
+	defer s.Close()
+	for i := 0; i < 16; i++ {
+		if err := s.Put(key(i), randBytes(i, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if err := s.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The background compactor runs asynchronously; CompactNow serializes
+	// behind it and finishes the job, so afterwards the log must be compact.
+	if _, err := s.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(segFiles(t, dir)); n > 1 {
+		t.Fatalf("%d segments remain after full delete + compaction", n)
+	}
+}

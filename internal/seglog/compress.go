@@ -1,0 +1,131 @@
+package seglog
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// minCompress is the smallest payload worth running DEFLATE over; below it
+// the header-relative savings cannot pay for the CPU.
+const minCompress = 128
+
+// sampleLen is the prefix probed before committing to a full DEFLATE pass.
+// Compressing an incompressible chunk costs nearly as much CPU as a
+// compressible one and then gets thrown away; estimating the entropy of a
+// small prefix first keeps encrypted/random checkpoint data off the
+// compressor for a fraction of a percent of the cost. Payloads up to
+// 2*sampleLen skip the probe — the full pass is already cheap there.
+const sampleLen = 4 * 1024
+
+// maxSampleEntropyX16 is the byte-entropy gate, in 1/16ths of a bit: a
+// prefix above 7.4 bits/byte is effectively random and DEFLATE will not
+// recover the 1/8th margin on it.
+const maxSampleEntropyX16 = 16*7 + 6
+
+// flateWriters pools DEFLATE encoders: flate.NewWriter allocates large
+// internal tables, and the group-commit path compresses on every Put.
+var flateWriters = sync.Pool{New: func() any {
+	fw, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return fw
+}}
+
+// isZero reports whether every byte of p is zero, eight bytes at a time.
+// All-zero chunks dominate sparse VM images, so this runs on every Put.
+func isZero(p []byte) bool {
+	for len(p) >= 8 {
+		if binary.LittleEndian.Uint64(p) != 0 {
+			return false
+		}
+		p = p[8:]
+	}
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// encodePayload picks the storage encoding for a chunk body: zero-page
+// elision first (flag only, no payload), then DEFLATE if it saves at least
+// 1/8th of the bytes, else raw. The returned payload may alias data (raw
+// case); callers must treat it as read-only. The choice is deterministic
+// for given bytes and options, so identical re-puts encode identically.
+func (s *Store) encodePayload(data []byte) (flags uint8, payload []byte) {
+	if len(data) > 0 && isZero(data) {
+		return flagZero, nil
+	}
+	if s.opts.NoCompress || len(data) < minCompress {
+		return 0, data
+	}
+	if len(data) > 2*sampleLen && !sampleCompressible(data[:sampleLen]) {
+		return 0, data
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(data) / 2)
+	fw := flateWriters.Get().(*flate.Writer)
+	fw.Reset(&buf)
+	_, werr := fw.Write(data)
+	cerr := fw.Close()
+	flateWriters.Put(fw)
+	if werr == nil && cerr == nil && buf.Len() < len(data)-len(data)/8 {
+		return flagFlate, buf.Bytes()
+	}
+	return 0, data
+}
+
+// sampleCompressible estimates the Shannon byte entropy of a prefix sample
+// and reports whether DEFLATE has a chance at the 1/8th margin. A histogram
+// scan costs a couple of microseconds against tens for an actual DEFLATE
+// probe — on the group-commit path that difference is batch-formation time.
+// Deterministic for given bytes, like every other encoding decision here, so
+// identical re-puts still produce identical records. A false positive only
+// wastes one full DEFLATE pass (the real 1/8th check still gates storage);
+// a false negative stores a compressible chunk raw, never corrupts it.
+func sampleCompressible(sample []byte) bool {
+	var hist [256]int
+	for _, b := range sample {
+		hist[b]++
+	}
+	// Entropy in 1/16th-bit fixed point: -sum(p * log2(p)) * 16.
+	n := float64(len(sample))
+	var bits float64
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		bits -= p * math.Log2(p)
+	}
+	return int(bits*16) <= maxSampleEntropyX16
+}
+
+// decodePayload expands a stored payload back into the chunk body. The
+// result never aliases payload.
+func decodePayload(flags uint8, payload []byte, ulen uint32) ([]byte, error) {
+	switch {
+	case flags&flagZero != 0:
+		return make([]byte, ulen), nil
+	case flags&flagFlate != 0:
+		out := make([]byte, ulen)
+		fr := flate.NewReader(bytes.NewReader(payload))
+		if _, err := io.ReadFull(fr, out); err != nil {
+			return nil, fmt.Errorf("seglog: decompress: %w", err)
+		}
+		var extra [1]byte
+		if n, _ := fr.Read(extra[:]); n != 0 {
+			return nil, fmt.Errorf("seglog: decompress: stream longer than recorded length")
+		}
+		fr.Close()
+		return out, nil
+	default:
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		return out, nil
+	}
+}

@@ -1,0 +1,156 @@
+package seglog
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"blobcr/internal/chunkstore"
+)
+
+// TestRaceCompactionVsDelete hammers the resurrection race: deletes land
+// while compaction is relocating the very segments those keys live in. After
+// the dust settles, a deleted key must stay deleted — in memory and across a
+// reopen — and a kept key must keep its bytes.
+func TestRaceCompactionVsDelete(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 4 * 1024, DisableAutoCompact: true, NoCompress: true})
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), randBytes(i, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Make every sealed segment a victim up front.
+	for i := 0; i < n; i += 2 {
+		if err := s.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 4; round++ {
+			s.CompactNow() //nolint:errcheck
+		}
+	}()
+	deleted := make([]bool, n)
+	go func() {
+		defer wg.Done()
+		for i := 1; i < n; i += 4 {
+			if err := s.Delete(key(i)); err == nil {
+				deleted[i] = true
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := s.CompactNow(); err != nil {
+		t.Fatalf("final compaction: %v", err)
+	}
+	check := func(st *Store, phase string) {
+		for i := 0; i < n; i++ {
+			dead := i%2 == 0 || deleted[i]
+			got, err := st.Get(key(i))
+			if dead {
+				if !errors.Is(err, chunkstore.ErrNotFound) {
+					t.Fatalf("%s: deleted chunk %d resurrected: %v", phase, i, err)
+				}
+				continue
+			}
+			if err != nil || !bytes.Equal(got, randBytes(i, 512)) {
+				t.Fatalf("%s: live chunk %d lost or corrupted: %v", phase, i, err)
+			}
+		}
+	}
+	check(s, "live")
+	s.Close()
+	r := openTest(t, dir, Options{DisableAutoCompact: true, NoCompress: true})
+	defer r.Close()
+	check(r, "reopen")
+}
+
+// TestRaceMixedWorkload runs puts, gets, deletes, re-puts, Keys sweeps,
+// stats reads and compactions concurrently, then verifies the final state
+// agrees with a reopen. Run under -race this is the engine's concurrency
+// proof.
+func TestRaceMixedWorkload(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 16 * 1024})
+	const (
+		workers = 8
+		perW    = 24
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := chunkstore.Key{Blob: uint64(w), ID: uint64(i)}
+				body := randBytes(w*1000+i, 700)
+				if err := s.Put(k, body); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if got, err := s.Get(k); err != nil || !bytes.Equal(got, body) {
+					t.Errorf("get-after-put %v: %v", k, err)
+					return
+				}
+				if i%3 == 0 {
+					if err := s.Delete(k); err != nil {
+						t.Errorf("delete %v: %v", k, err)
+						return
+					}
+					// Deleted keys are re-puttable with new content.
+					if err := s.Put(k, randBytes(w*1000+i+7, 300)); err != nil {
+						t.Errorf("re-put %v: %v", k, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			s.Keys()
+			s.EngineStats()
+			s.CompactNow() //nolint:errcheck
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if _, err := s.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	snapshot := make(map[chunkstore.Key][]byte)
+	for _, k := range s.Keys() {
+		body, err := s.Get(k)
+		if err != nil {
+			t.Fatalf("snapshot %v: %v", k, err)
+		}
+		snapshot[k] = body
+	}
+	if len(snapshot) != workers*perW {
+		t.Fatalf("final key count %d, want %d", len(snapshot), workers*perW)
+	}
+	s.Close()
+
+	r := openTest(t, dir, Options{DisableAutoCompact: true})
+	defer r.Close()
+	if r.Len() != len(snapshot) {
+		t.Fatalf("reopen Len %d, want %d", r.Len(), len(snapshot))
+	}
+	for k, body := range snapshot {
+		got, err := r.Get(k)
+		if err != nil || !bytes.Equal(got, body) {
+			t.Fatalf("reopen %v: %v", k, err)
+		}
+	}
+}

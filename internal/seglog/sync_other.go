@@ -1,0 +1,8 @@
+//go:build !linux
+
+package seglog
+
+import "os"
+
+// datasync falls back to a full fsync where fdatasync(2) is unavailable.
+func datasync(f *os.File) error { return f.Sync() }

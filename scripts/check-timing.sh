@@ -34,6 +34,8 @@ check internal/transport  0
 check internal/blobseer   0
 check internal/mirror     0
 check internal/proxy      0
+check internal/chunkstore 0
+check internal/seglog     0
 check internal/supervisor 12
 check internal/repair     9
 
