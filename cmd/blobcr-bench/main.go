@@ -23,7 +23,7 @@ import (
 
 func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
-	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, stages, availability, throughput, disklog, repair)")
+	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, stages, tracepath, availability, throughput, disklog, repair)")
 	dirFlag := flag.String("dir", "", "scratch directory for the disk-backed experiments (disklog, seglog-backed throughput); empty = a temp dir")
 	flag.Parse()
 
@@ -57,6 +57,7 @@ func main() {
 		"fig6":         func() bench.Series { return bench.Fig6CM1Checkpoint(p, c) },
 		"downtime":     func() bench.Series { return bench.FigDowntime() },
 		"stages":       func() bench.Series { return bench.FigStages() },
+		"tracepath":    func() bench.Series { return bench.FigTracePath() },
 		"availability": func() bench.Series { return bench.FigAvailability() },
 		"throughput":   func() bench.Series { return bench.FigThroughput(*dirFlag) },
 		"disklog":      func() bench.Series { return bench.FigDiskLog(dir) },

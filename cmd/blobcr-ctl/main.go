@@ -17,6 +17,8 @@
 //	blobcr-ctl -supervisor ADDR events [since-seq]
 //	blobcr-ctl -supervisor ADDR status
 //	blobcr-ctl [-watch] metrics <addr>
+//	blobcr-ctl trace <addr>[,addr...] <trace-hex>
+//	blobcr-ctl flight <addr> [node]
 //	blobcr-ctl store <data-provider-addr> [compact]
 //	blobcr-ctl supervise
 //
@@ -88,6 +90,14 @@ func main() {
 	case "metrics":
 		need(flag.Args(), 2)
 		metricsQuery(flag.Arg(1), *timeout, *watch)
+		return
+	case "trace":
+		need(flag.Args(), 3)
+		traceQuery(flag.Arg(1), flag.Arg(2), *timeout)
+		return
+	case "flight":
+		need(flag.Args(), 2)
+		flightQuery(flag.Arg(1), flag.Arg(2), *timeout)
 		return
 	case "store":
 		need(flag.Args(), 2)
@@ -493,7 +503,15 @@ commands:
   metrics <addr>                      scrape a METRICS endpoint (proxy, supervisor
                                       or repair): commit stage timings, suspend
                                       window, per-provider latency, dedup hit-rate
-                                      (-watch redraws every two seconds)
+                                      (-watch redraws every two seconds with
+                                      per-second counter rates from scrape deltas)
+  trace <addr>[,addr...] <trace-hex>  collect one distributed trace's spans from
+                                      the given endpoints, assemble the
+                                      cross-process tree and print it with its
+                                      critical path
+  flight <addr> [node]                dump a flight-recorder ring (recent spans);
+                                      with a node name against a supervisor, the
+                                      mirrored post-mortem dump of that node
   store <addr> [compact]              a data provider's storage-engine counters
                                       (seglog: segments, live bytes, fsync
                                       batching, compression mix); with compact,

@@ -6,7 +6,6 @@ import (
 	"log"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"blobcr/internal/obs"
@@ -17,15 +16,26 @@ import (
 // or repair daemon — they all speak the same verb) and renders the telemetry
 // an operator reaches for first: the last commit's suspend window decomposed
 // into the five pipeline stages, per-provider wire latency, and the dedup
-// hit-rate. With watch, it re-scrapes every two seconds.
+// hit-rate. With watch, it re-scrapes every two seconds and annotates every
+// counter with its per-second rate computed from the scrape deltas — the
+// live view of how fast the deployment is moving. Gauges and histograms stay
+// absolute: a gauge already is the current value.
 func metricsQuery(addr string, timeout time.Duration, watch bool) {
+	var prev map[string]uint64
+	var prevAt time.Time
 	for {
 		points := scrapeMetrics(addr, timeout)
+		now := time.Now()
+		var rates map[string]float64
+		if prev != nil {
+			rates = counterRates(points, prev, now.Sub(prevAt))
+		}
+		prev, prevAt = counterValues(points), now
 		if watch {
 			fmt.Print("\033[H\033[2J") // clear screen between refreshes
 		}
-		fmt.Printf("metrics from %s at %s\n", addr, time.Now().Format("15:04:05"))
-		renderMetrics(os.Stdout, points)
+		fmt.Printf("metrics from %s at %s\n", addr, now.Format("15:04:05"))
+		renderMetrics(os.Stdout, points, rates)
 		if !watch {
 			return
 		}
@@ -33,7 +43,8 @@ func metricsQuery(addr string, timeout time.Duration, watch bool) {
 	}
 }
 
-// scrapeMetrics calls METRICS on addr and parses the exposition body.
+// scrapeMetrics collects the full (possibly chunked) exposition from addr
+// and parses it.
 func scrapeMetrics(addr string, timeout time.Duration) []obs.Point {
 	ctx := context.Background()
 	if timeout > 0 {
@@ -41,13 +52,9 @@ func scrapeMetrics(addr string, timeout time.Duration) []obs.Point {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	resp, err := transport.NewTCP().Call(ctx, addr, []byte("METRICS"))
+	body, err := transport.ScrapeExposition(ctx, transport.NewTCP(), addr)
 	if err != nil {
-		log.Fatal(err)
-	}
-	header, body, _ := strings.Cut(string(resp), "\n")
-	if header != "OK "+obs.ExpositionVersion {
-		log.Fatalf("metrics: unexpected response header %q (endpoint too old or not a METRICS speaker?)", header)
+		log.Fatalf("metrics: %v", err)
 	}
 	points, err := obs.ParseProm(body)
 	if err != nil {
@@ -56,11 +63,56 @@ func scrapeMetrics(addr string, timeout time.Duration) []obs.Point {
 	return points
 }
 
+// seriesKey identifies one series across scrapes: the metric name plus its
+// label pairs as rendered (labels are in a stable order in the exposition).
+func seriesKey(p *obs.Point) string {
+	key := p.Name
+	for _, l := range p.Labels {
+		key += ";" + l.Key + "=" + l.Value
+	}
+	return key
+}
+
+// counterValues snapshots every counter of one scrape, keyed by series.
+func counterValues(points []obs.Point) map[string]uint64 {
+	out := make(map[string]uint64)
+	for i := range points {
+		if points[i].Kind == obs.KindCounter {
+			out[seriesKey(&points[i])] = points[i].Value
+		}
+	}
+	return out
+}
+
+// counterRates derives per-second rates for the counters present in both
+// scrapes. A counter that went backward (the endpoint restarted) contributes
+// no rate rather than a negative one.
+func counterRates(points []obs.Point, prev map[string]uint64, dt time.Duration) map[string]float64 {
+	if dt <= 0 {
+		return nil
+	}
+	out := make(map[string]float64)
+	for i := range points {
+		p := &points[i]
+		if p.Kind != obs.KindCounter {
+			continue
+		}
+		before, ok := prev[seriesKey(p)]
+		if !ok || p.Value < before {
+			continue
+		}
+		out[seriesKey(p)] = float64(p.Value-before) / dt.Seconds()
+	}
+	return out
+}
+
 func ms(ns float64) float64 { return ns / 1e6 }
 
 // renderMetrics prints the operator-facing summary sections, then every
-// remaining counter and gauge so nothing recorded is invisible.
-func renderMetrics(w *os.File, points []obs.Point) {
+// remaining counter and gauge so nothing recorded is invisible. rates, when
+// non-nil (watch mode past the first scrape), annotates counters with their
+// per-second rate.
+func renderMetrics(w *os.File, points []obs.Point, rates map[string]float64) {
 	covered := map[string]bool{}
 
 	// Commit pipeline: the five stages of the last commit plus their
@@ -146,7 +198,11 @@ func renderMetrics(w *os.File, points []obs.Point) {
 		}
 		switch p.Kind {
 		case obs.KindCounter:
-			rest = append(rest, fmt.Sprintf("  %-48s %d", label, p.Value))
+			line := fmt.Sprintf("  %-48s %d", label, p.Value)
+			if r, ok := rates[seriesKey(p)]; ok {
+				line += fmt.Sprintf("  (%.1f/s)", r)
+			}
+			rest = append(rest, line)
 		case obs.KindGauge:
 			rest = append(rest, fmt.Sprintf("  %-48s %d", label, p.GaugeValue))
 		case obs.KindHistogram:

@@ -10,8 +10,12 @@
 // with the proxy protocol (CHECKPOINT <vm-id> <token>).
 //
 // The proxy answers METRICS on its own port (scrape it with blobcr-ctl
-// metrics), and -debug-addr additionally binds an HTTP listener serving
-// /metrics, /debug/pprof/* and /debug/vars for Prometheus and pprof.
+// metrics; oversized expositions continue under MORE chunks), plus the
+// tokenless TRACE <trace-hex> and FLIGHT introspection verbs — its span
+// store for one distributed trace, and its always-on flight-recorder ring
+// (blobcr-ctl trace / flight). -debug-addr additionally binds an HTTP
+// listener serving /metrics, /debug/pprof/* and /debug/vars for Prometheus
+// and pprof.
 package main
 
 import (

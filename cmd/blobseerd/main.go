@@ -15,9 +15,12 @@
 // content-addressed dedup index (internal/cas) is layered on top; an
 // existing data directory is re-indexed on startup.
 //
-// With -debug-addr, the daemon binds an HTTP debug listener serving
-// /metrics (Prometheus text for every wire call handled), /debug/pprof/*
-// and /debug/vars.
+// Every role answers the binary TRACE/FLIGHT introspection ops on its
+// service port — the spans it holds for one distributed trace, and its
+// always-on flight-recorder ring (blobcr-ctl trace / flight fall back to
+// them automatically). With -debug-addr, the daemon binds an HTTP debug
+// listener serving /metrics (Prometheus text for every wire call handled),
+// /debug/pprof/* and /debug/vars.
 package main
 
 import (

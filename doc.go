@@ -130,6 +130,30 @@
 // traced commit per provider count, and the downtime experiment scrapes
 // METRICS itself, failing when stage telemetry goes missing.
 //
+// Tracing crosses process boundaries: under an active trace
+// (obs.BeginTrace) the transport injects a trace-context header into every
+// frame — batch verbs and the detached context.WithoutCancel commit path
+// included — and re-establishes the span context server-side, so handler
+// spans parent under the caller's RPC spans across the wire. Each service
+// holds its spans in a bounded per-trace store behind a tokenless TRACE
+// <id> verb (text on proxy/supervisor/repair endpoints, a binary sibling
+// on the blobseer services); blobcr-ctl trace collects the fragments,
+// anchors remote clocks inside their parent RPC windows, and prints one
+// cross-process tree plus its critical path — at every instant, the span
+// actually bounding completion (obs.AssembleTrace, obs.CriticalPath;
+// blobcr-bench -only tracepath asserts the path attributes >= 90% of a
+// 16 MiB commit's wall time at 8 providers). Independently of traces,
+// every process keeps an always-on flight recorder — a fixed-capacity
+// overwrite-oldest ring of its most recent spans — dumped by a FLIGHT
+// verb and blobcr-ctl flight; the supervisor mirrors each node's ring
+// during heartbeat rounds and archives the last mirror as a FINAL
+// post-mortem when its failure detector confirms a death (FLIGHT <node>),
+// so a dead provider's final group commits remain readable after the
+// process is gone. Oversized METRICS expositions continue under OK v1
+// MORE <offset> chunks, reassembled by transport.ScrapeExposition, and
+// blobcr-ctl metrics -watch derives per-second counter rates from
+// successive scrapes.
+//
 // # Asynchronous checkpoint handles
 //
 // The checkpoint lifecycle is asynchronous end to end: the proxy's

@@ -254,6 +254,7 @@ func All(p simcloud.Params, c simcloud.CM1Params, dir string) []Series {
 		Fig6CM1Checkpoint(p, c),
 		FigDowntime(),
 		FigStages(),
+		FigTracePath(),
 		FigAvailability(),
 		FigThroughput(dir),
 		FigRepair(),

@@ -76,9 +76,11 @@ func (c *Client) replication() int {
 	return c.Replication
 }
 
-// call issues one request and decodes errors.
+// call issues one request under an RPC span named by the op byte and
+// decodes errors.
 func (c *Client) call(ctx context.Context, addr string, w *wire.Buffer) (*wire.Reader, error) {
-	resp, err := c.Net.Call(ctx, addr, w.Bytes())
+	req := w.Bytes()
+	resp, err := c.rpc(ctx, addr, OpName(req[0]), req)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +90,7 @@ func (c *Client) call(ctx context.Context, addr string, w *wire.Buffer) (*wire.R
 // nodeStore returns the remote metadata NodeStore view, bound to ctx for the
 // duration of one tree operation.
 func (c *Client) nodeStore(ctx context.Context) *remoteNodeStore {
-	return &remoteNodeStore{ctx: ctx, net: c.Net, addrs: c.MetaAddrs, par: c.parallelism()}
+	return &remoteNodeStore{ctx: ctx, c: c, addrs: c.MetaAddrs, par: c.parallelism()}
 }
 
 func (c *Client) tree(ctx context.Context) *meta.Tree {
@@ -102,7 +104,7 @@ func (c *Client) tree(ctx context.Context) *meta.Tree {
 // provider, the shard calls running concurrently up to par streams.
 type remoteNodeStore struct {
 	ctx   context.Context
-	net   transport.Network
+	c     *Client
 	addrs []string
 	par   int
 }
@@ -148,7 +150,7 @@ func (s *remoteNodeStore) PutNodes(puts []meta.NodePut) error {
 				w.PutBytes(p.Encoded)
 			}
 			obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "node-put-batch")).Inc()
-			if _, err := s.net.Call(ctx, addr, w.Bytes()); err != nil {
+			if _, err := s.c.rpc(ctx, addr, "node-put-batch", w.Bytes()); err != nil {
 				return fmt.Errorf("blobseer: put %d nodes to %s: %w", end-start, addr, err)
 			}
 			return nil
@@ -178,7 +180,7 @@ func (s *remoteNodeStore) GetNodes(keys []meta.NodeKey) ([][]byte, error) {
 				putNodeKey(w, keys[pos])
 			}
 			obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "node-get-batch")).Inc()
-			resp, err := s.net.Call(ctx, addr, w.Bytes())
+			resp, err := s.c.rpc(ctx, addr, "node-get-batch", w.Bytes())
 			if err != nil {
 				return fmt.Errorf("blobseer: get %d nodes from %s: %w", end-start, addr, err)
 			}
@@ -374,30 +376,32 @@ func (c *Client) writeVersionStaged(ctx context.Context, blob uint64, base *Snap
 	// Cleanup must run even when ctx is already cancelled.
 	cleanupCtx := context.WithoutCancel(ctx)
 
-	// Stage: probe — base-version lookup, size validation, ticket. The
-	// deferred Ends are no-ops on the success path (End is idempotent); they
-	// close the in-flight stage when an error path returns early.
-	_, probe := obs.StartSpan(ctx, obs.SpanCommitProbe)
+	// Stage: probe — base-version lookup, size validation, ticket. Each
+	// stage's derived context parents the RPC spans issued inside it, so an
+	// assembled trace nests the wire traffic under its stage. The deferred
+	// Ends are no-ops on the success path (End is idempotent); they close the
+	// in-flight stage when an error path returns early.
+	probeCtx, probe := obs.StartSpan(ctx, obs.SpanCommitProbe)
 	defer probe.End()
 
 	// Previous version (absent for the first write).
 	var prev VersionInfo
 	var chunkSize uint64
 	if base != nil {
-		prevInfo, cs, err := c.GetVersion(ctx, *base)
+		prevInfo, cs, err := c.GetVersion(probeCtx, *base)
 		if err != nil {
 			return VersionInfo{}, stats, fmt.Errorf("blobseer: commit base %s: %w", *base, err)
 		}
 		prev = prevInfo
 		chunkSize = cs
 	} else {
-		prevInfo, cs, err := c.Latest(ctx, blob)
+		prevInfo, cs, err := c.Latest(probeCtx, blob)
 		switch {
 		case err == nil:
 			prev = prevInfo
 			chunkSize = cs
 		case IsNotFound(err):
-			chunkSize, err = c.ChunkSize(ctx, blob)
+			chunkSize, err = c.ChunkSize(probeCtx, blob)
 			if err != nil {
 				return VersionInfo{}, stats, err
 			}
@@ -416,7 +420,7 @@ func (c *Client) writeVersionStaged(ctx context.Context, blob uint64, base *Snap
 	w.PutU8(opTicket)
 	w.PutU64(blob)
 	w.PutU64(uint64(len(writes)))
-	r, err := c.call(ctx, c.VMAddr, w)
+	r, err := c.call(probeCtx, c.VMAddr, w)
 	if err != nil {
 		return VersionInfo{}, stats, err
 	}
@@ -428,7 +432,7 @@ func (c *Client) writeVersionStaged(ctx context.Context, blob uint64, base *Snap
 	probe.End()
 
 	// Stage: upload — chunk bodies move to the data providers.
-	_, upload := obs.StartSpan(ctx, obs.SpanCommitUpload)
+	uploadCtx, upload := obs.StartSpan(ctx, obs.SpanCommitUpload)
 	defer upload.End()
 
 	// Deterministic order of chunk uploads.
@@ -441,9 +445,9 @@ func (c *Client) writeVersionStaged(ctx context.Context, blob uint64, base *Snap
 	var leaves map[uint64]meta.Leaf
 	var manifest []manifestEntry
 	if c.Dedup {
-		leaves, manifest, err = c.uploadDedup(ctx, indices, writes, &stats)
+		leaves, manifest, err = c.uploadDedup(uploadCtx, indices, writes, &stats)
 	} else {
-		leaves, err = c.uploadPlaced(ctx, blob, firstID, indices, writes, &stats)
+		leaves, err = c.uploadPlaced(uploadCtx, blob, firstID, indices, writes, &stats)
 	}
 	if err != nil {
 		c.abort(cleanupCtx, blob, version)
@@ -452,7 +456,7 @@ func (c *Client) writeVersionStaged(ctx context.Context, blob uint64, base *Snap
 	upload.End()
 
 	// Stage: publish — the metadata tree for the new version.
-	_, publish := obs.StartSpan(ctx, obs.SpanCommitPublish)
+	publishCtx, publish := obs.StartSpan(ctx, obs.SpanCommitPublish)
 	defer publish.End()
 
 	// Metadata tree for the new version.
@@ -469,7 +473,7 @@ func (c *Client) writeVersionStaged(ctx context.Context, blob uint64, base *Snap
 	if newSpan < prev.Span {
 		newSpan = prev.Span
 	}
-	root, err := c.tree(ctx).Publish(blob, version, prev.Root, prev.Span, newSpan, leaves)
+	root, err := c.tree(publishCtx).Publish(blob, version, prev.Root, prev.Span, newSpan, leaves)
 	if err != nil {
 		c.releaseRefs(cleanupCtx, manifest)
 		c.abort(cleanupCtx, blob, version)
@@ -479,7 +483,7 @@ func (c *Client) writeVersionStaged(ctx context.Context, blob uint64, base *Snap
 
 	// Stage: durable — the version-manager commit makes the version
 	// restart-visible.
-	_, durable := obs.StartSpan(ctx, obs.SpanCommitDurable)
+	durableCtx, durable := obs.StartSpan(ctx, obs.SpanCommitDurable)
 	defer durable.End()
 
 	// Commit. A dedup commit carries the write manifest so the version
@@ -493,7 +497,7 @@ func (c *Client) writeVersionStaged(ctx context.Context, blob uint64, base *Snap
 	if len(manifest) > 0 {
 		putManifest(w, manifest)
 	}
-	if _, err := c.call(ctx, c.VMAddr, w); err != nil {
+	if _, err := c.call(durableCtx, c.VMAddr, w); err != nil {
 		// The commit may or may not have landed; releasing refs here could
 		// double-release a published version's chunks. Leave reconciliation
 		// to the mark-and-sweep fallback.
@@ -628,7 +632,7 @@ func (c *Client) putChunk(ctx context.Context, addr string, key chunkstore.Key, 
 	pw.PutU8(opChunkPut)
 	putChunkKey(pw, key)
 	pw.PutBytes(data)
-	if _, err := c.Net.Call(ctx, addr, pw.Bytes()); err != nil {
+	if _, err := c.rpc(ctx, addr, "chunk-put", pw.Bytes()); err != nil {
 		return fmt.Errorf("blobseer: put chunk to %s: %w", addr, err)
 	}
 	return nil
@@ -918,7 +922,7 @@ func (c *Client) casRef(ctx context.Context, addr string, fp cas.Fingerprint) (b
 	w := wire.NewBuffer(40)
 	w.PutU8(opCasRef)
 	putFingerprint(w, fp)
-	resp, err := c.Net.Call(ctx, addr, w.Bytes())
+	resp, err := c.rpc(ctx, addr, "cas-ref", w.Bytes())
 	if err != nil {
 		return false, fmt.Errorf("blobseer: cas ref on %s: %w", addr, err)
 	}
@@ -932,7 +936,7 @@ func (c *Client) casRelease(ctx context.Context, addr string, fp cas.Fingerprint
 	w := wire.NewBuffer(40)
 	w.PutU8(opCasRelease)
 	putFingerprint(w, fp)
-	resp, err := c.Net.Call(ctx, addr, w.Bytes())
+	resp, err := c.rpc(ctx, addr, "cas-release", w.Bytes())
 	if err != nil {
 		return 0, err
 	}

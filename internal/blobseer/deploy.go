@@ -7,6 +7,7 @@ import (
 
 	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
+	"blobcr/internal/obs"
 	"blobcr/internal/seglog"
 	"blobcr/internal/transport"
 )
@@ -49,11 +50,17 @@ type Deployment struct {
 	MetaAddrs []string
 	DataAddrs []string
 
+	// Registries maps each service address to its own obs registry when the
+	// deployment was started with DeployTraced; nil otherwise (every service
+	// records into obs.Default, as a plain in-process deployment does).
+	Registries map[string]*obs.Registry
+
 	dataProviders []*DataProvider
 	servers       []transport.Server
 	net           transport.Network
 	newStore      StoreFactory
 	nextStore     int
+	traced        bool
 }
 
 // Deploy starts a full BlobSeer deployment on n with nMeta metadata
@@ -65,39 +72,67 @@ func Deploy(n transport.Network, nMeta, nData int) (*Deployment, error) {
 // DeployWith is Deploy with a caller-chosen chunk store backend per data
 // provider.
 func DeployWith(n transport.Network, nMeta, nData int, newStore StoreFactory) (*Deployment, error) {
+	return deployServices(n, nMeta, nData, newStore, false)
+}
+
+// DeployTraced is Deploy with one fresh obs registry per service — the
+// in-process analogue of one process per service. Each server's handler
+// spans, per-trace span store and flight ring are isolated in its own
+// registry (exposed via Registries), so assembling a cross-process trace
+// exercises the same per-address span collection a TCP deployment needs.
+func DeployTraced(n transport.Network, nMeta, nData int) (*Deployment, error) {
+	return deployServices(n, nMeta, nData, MemStores, true)
+}
+
+func deployServices(n transport.Network, nMeta, nData int, newStore StoreFactory, traced bool) (*Deployment, error) {
 	if nMeta < 1 || nData < 1 {
 		return nil, fmt.Errorf("blobseer: deployment needs at least one metadata and one data provider (got %d, %d)", nMeta, nData)
 	}
-	d := &Deployment{net: n, newStore: newStore}
+	d := &Deployment{net: n, newStore: newStore, traced: traced}
+	if traced {
+		d.Registries = make(map[string]*obs.Registry)
+	}
 	fail := func(err error) (*Deployment, error) {
 		d.Close()
 		return nil, err
 	}
+	serverReg := func() *obs.Registry {
+		if !traced {
+			return nil // servers fall back to obs.Default
+		}
+		return obs.NewRegistry()
+	}
 
 	vm := NewVersionManager()
+	vm.Obs = serverReg()
 	srv, err := vm.Serve(n, "")
 	if err != nil {
 		return fail(err)
 	}
 	d.servers = append(d.servers, srv)
 	d.VMAddr = srv.Addr()
+	d.recordRegistry(srv.Addr(), vm.Obs)
 
 	pm := NewProviderManager()
+	pm.Obs = serverReg()
 	srv, err = pm.Serve(n, "")
 	if err != nil {
 		return fail(err)
 	}
 	d.servers = append(d.servers, srv)
 	d.PMAddr = srv.Addr()
+	d.recordRegistry(srv.Addr(), pm.Obs)
 
 	for i := 0; i < nMeta; i++ {
 		mp := NewMetadataProvider()
+		mp.Obs = serverReg()
 		srv, err := mp.Serve(n, "")
 		if err != nil {
 			return fail(err)
 		}
 		d.servers = append(d.servers, srv)
 		d.MetaAddrs = append(d.MetaAddrs, srv.Addr())
+		d.recordRegistry(srv.Addr(), mp.Obs)
 	}
 
 	for i := 0; i < nData; i++ {
@@ -106,6 +141,12 @@ func DeployWith(n transport.Network, nMeta, nData int, newStore StoreFactory) (*
 		}
 	}
 	return d, nil
+}
+
+func (d *Deployment) recordRegistry(addr string, reg *obs.Registry) {
+	if d.Registries != nil && reg != nil {
+		d.Registries[addr] = reg
+	}
 }
 
 // AddDataProvider starts one more CAS-capable data provider (backed by the
@@ -127,6 +168,9 @@ func (d *Deployment) AddDataProvider(ctx context.Context) (string, error) {
 		return "", err
 	}
 	dp := NewDataProvider(store)
+	if d.traced {
+		dp.Obs = obs.NewRegistry()
+	}
 	srv, err := dp.Serve(d.net, "")
 	if err != nil {
 		closeStore(store)
@@ -140,6 +184,7 @@ func (d *Deployment) AddDataProvider(ctx context.Context) (string, error) {
 	d.servers = append(d.servers, srv)
 	d.dataProviders = append(d.dataProviders, dp)
 	d.DataAddrs = append(d.DataAddrs, srv.Addr())
+	d.recordRegistry(srv.Addr(), dp.Obs)
 	return srv.Addr(), nil
 }
 

@@ -1,0 +1,74 @@
+package blobseer
+
+import (
+	"context"
+	"fmt"
+
+	"blobcr/internal/obs"
+	"blobcr/internal/wire"
+)
+
+// introspectionReply answers the binary TRACE/FLIGHT siblings (opTraceGet,
+// opFlightGet) from a server's registry. handled reports whether op was an
+// introspection op; the servers try this before their own dispatch so every
+// blobseer service exposes its span stores without repeating the cases.
+func introspectionReply(reg *obs.Registry, op int, r *wire.Reader) (resp []byte, handled bool, err error) {
+	switch op {
+	case opTraceGet:
+		trace := r.U64()
+		if err := reqErr(op, r); err != nil {
+			return nil, true, err
+		}
+		return obs.MarshalSpans(reg.TraceSpans(trace)), true, nil
+	case opFlightGet:
+		return obs.MarshalSpans(reg.FlightSpans()), true, nil
+	}
+	return nil, false, nil
+}
+
+// handlerSpan prepares the server-side context for one decoded request —
+// spans below record into the server's own registry, detached from any
+// in-process caller's flat Trace — and opens the handler span, which
+// parents under the caller's RPC span via the wire's trace-context header.
+func handlerSpan(ctx context.Context, reg *obs.Registry, op int) (context.Context, *obs.Span) {
+	name := opNames[byte(op)]
+	if name == "" {
+		name = fmt.Sprintf("op-%d", op)
+	}
+	ctx = obs.HandlerContext(ctx, reg)
+	return obs.StartSpan(ctx, "handler/"+name)
+}
+
+// rpc issues one wire call under an RPC child span, threading the derived
+// context into the transport so the header it injects names this span as
+// the parent — the far side's handler span then nests under it in an
+// assembled trace.
+func (c *Client) rpc(ctx context.Context, addr, verb string, req []byte) ([]byte, error) {
+	ctx, sp := obs.StartSpan(ctx, "rpc/"+verb)
+	defer sp.End()
+	return c.Net.Call(ctx, addr, req)
+}
+
+// RemoteTrace collects the spans the service at addr holds for one trace
+// (the binary sibling of the text endpoints' TRACE verb).
+func (c *Client) RemoteTrace(ctx context.Context, addr string, trace uint64) ([]obs.SpanRecord, error) {
+	w := wire.NewBuffer(16)
+	w.PutU8(opTraceGet)
+	w.PutU64(trace)
+	resp, err := c.Net.Call(ctx, addr, w.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("blobseer: trace from %s: %w", addr, err)
+	}
+	return obs.ParseSpans(resp)
+}
+
+// RemoteFlight dumps the flight-recorder ring of the service at addr.
+func (c *Client) RemoteFlight(ctx context.Context, addr string) ([]obs.SpanRecord, error) {
+	w := wire.NewBuffer(4)
+	w.PutU8(opFlightGet)
+	resp, err := c.Net.Call(ctx, addr, w.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("blobseer: flight dump from %s: %w", addr, err)
+	}
+	return obs.ParseSpans(resp)
+}

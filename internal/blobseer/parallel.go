@@ -142,7 +142,7 @@ func (c *Client) putChunkBatch(ctx context.Context, addr string, keys []chunksto
 		w.PutBytes(bodies[i])
 	}
 	obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "chunk-put-batch")).Inc()
-	if _, err := c.Net.Call(ctx, addr, w.Bytes()); err != nil {
+	if _, err := c.rpc(ctx, addr, "chunk-put-batch", w.Bytes()); err != nil {
 		return fmt.Errorf("blobseer: put %d chunks to %s: %w", len(keys), addr, err)
 	}
 	return nil
@@ -159,7 +159,7 @@ func (c *Client) getChunkBatch(ctx context.Context, addr string, keys []chunksto
 		putChunkKey(w, k)
 	}
 	obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "chunk-get-batch")).Inc()
-	resp, err := c.Net.Call(ctx, addr, w.Bytes())
+	resp, err := c.rpc(ctx, addr, "chunk-get-batch", w.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("blobseer: get %d chunks from %s: %w", len(keys), addr, err)
 	}
@@ -193,7 +193,7 @@ func (c *Client) casRefBatch(ctx context.Context, addr string, fps []cas.Fingerp
 			putFingerprint(w, fp)
 		}
 		obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "cas-ref-batch")).Inc()
-		resp, err := c.Net.Call(ctx, addr, w.Bytes())
+		resp, err := c.rpc(ctx, addr, "cas-ref-batch", w.Bytes())
 		if err != nil {
 			return held, start, fmt.Errorf("blobseer: cas ref batch on %s: %w", addr, err)
 		}
@@ -228,7 +228,7 @@ func (c *Client) casPutBatch(ctx context.Context, addr string, fps []cas.Fingerp
 		w.PutBytes(bodies[i])
 	}
 	obs.RegistryFrom(ctx).Counter("blobseer_batch_calls_total", obs.L("op", "cas-put-batch")).Inc()
-	resp, err := c.Net.Call(ctx, addr, w.Bytes())
+	resp, err := c.rpc(ctx, addr, "cas-put-batch", w.Bytes())
 	if err != nil {
 		return fmt.Errorf("blobseer: cas put batch to %s: %w", addr, err)
 	}

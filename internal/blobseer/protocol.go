@@ -147,6 +147,15 @@ const (
 	opNodeGetBatch
 )
 
+// Introspection ops every blobseer service answers — the binary siblings of
+// the text endpoints' TRACE and FLIGHT verbs. They sit at the top of the op
+// space, below 0xF0 (values from 0xF0 up are reserved for transport-level
+// markers such as the trace-context header).
+const (
+	opTraceGet  = 0xE0 // request: u64 trace id; response: obs.MarshalSpans
+	opFlightGet = 0xE1 // request: op only; response: obs.MarshalSpans of the flight ring
+)
+
 // maxBatchItems bounds the item count of one batch frame: far above any
 // legitimate batch (the client splits its frames by batchBytesLimit and
 // maxFrameItems, both well below this) and small enough to reject a corrupt

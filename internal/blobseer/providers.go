@@ -11,6 +11,7 @@ import (
 	"blobcr/internal/cas"
 	"blobcr/internal/chunkstore"
 	"blobcr/internal/meta"
+	"blobcr/internal/obs"
 	"blobcr/internal/transport"
 	"blobcr/internal/wire"
 )
@@ -80,12 +81,23 @@ func (m Membership) Addrs() []string {
 // and opRetireProvider removes it once the repair plane has re-placed its
 // replicas. Every change bumps the membership epoch.
 type ProviderManager struct {
+	// Obs is the registry handler spans and span stores record into; nil
+	// means obs.Default. Set before Serve.
+	Obs *obs.Registry
+
 	mu        sync.Mutex
 	providers []string          // placement-eligible (active), sorted
 	draining  []string          // decommissioning, still readable, sorted
 	load      map[string]uint64 // chunks assigned
 	rr        int
 	epoch     uint64
+}
+
+func (pm *ProviderManager) registry() *obs.Registry {
+	if pm.Obs != nil {
+		return pm.Obs
+	}
+	return obs.Default
 }
 
 // NewProviderManager returns an empty provider manager.
@@ -116,12 +128,17 @@ func (pm *ProviderManager) placeLocked(replication int) ([]string, error) {
 	return out, nil
 }
 
-func (pm *ProviderManager) handle(_ context.Context, req []byte) ([]byte, error) {
+func (pm *ProviderManager) handle(ctx context.Context, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	op := int(r.U8())
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	if resp, handled, err := introspectionReply(pm.registry(), op, r); handled {
+		return resp, err
+	}
+	_, sp := handlerSpan(ctx, pm.registry(), op)
+	defer sp.End()
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
 	w := wire.NewBuffer(64)
@@ -252,7 +269,18 @@ func removeAddr(list []string, addr string) []string {
 // DataProvider serves chunk storage over the network, backed by any
 // chunkstore.Store.
 type DataProvider struct {
+	// Obs is the registry handler spans and span stores record into; nil
+	// means obs.Default. Set before Serve.
+	Obs *obs.Registry
+
 	store chunkstore.Store
+}
+
+func (dp *DataProvider) registry() *obs.Registry {
+	if dp.Obs != nil {
+		return dp.Obs
+	}
+	return obs.Default
 }
 
 // putApplyParallelism bounds the concurrent store writes one put-batch frame
@@ -274,12 +302,17 @@ func (dp *DataProvider) Serve(n transport.Network, addr string) (transport.Serve
 	return n.Listen(addr, dp.handle)
 }
 
-func (dp *DataProvider) handle(_ context.Context, req []byte) ([]byte, error) {
+func (dp *DataProvider) handle(ctx context.Context, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	op := int(r.U8())
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	if resp, handled, err := introspectionReply(dp.registry(), op, r); handled {
+		return resp, err
+	}
+	_, sp := handlerSpan(ctx, dp.registry(), op)
+	defer sp.End()
 	w := wire.NewBuffer(64)
 	switch op {
 	case opChunkPut:
@@ -609,9 +642,20 @@ func listChunks(s chunkstore.Store) []chunkstore.Key {
 // across several metadata providers by hash, which is what lets 120
 // concurrent committers avoid a single metadata bottleneck.
 type MetadataProvider struct {
+	// Obs is the registry handler spans and span stores record into; nil
+	// means obs.Default. Set before Serve.
+	Obs *obs.Registry
+
 	mu    sync.RWMutex
 	nodes map[meta.NodeKey][]byte
 	bytes int64
+}
+
+func (mp *MetadataProvider) registry() *obs.Registry {
+	if mp.Obs != nil {
+		return mp.Obs
+	}
+	return obs.Default
 }
 
 // NewMetadataProvider returns an empty metadata provider.
@@ -624,12 +668,17 @@ func (mp *MetadataProvider) Serve(n transport.Network, addr string) (transport.S
 	return n.Listen(addr, mp.handle)
 }
 
-func (mp *MetadataProvider) handle(_ context.Context, req []byte) ([]byte, error) {
+func (mp *MetadataProvider) handle(ctx context.Context, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	op := int(r.U8())
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	if resp, handled, err := introspectionReply(mp.registry(), op, r); handled {
+		return resp, err
+	}
+	_, sp := handlerSpan(ctx, mp.registry(), op)
+	defer sp.End()
 	w := wire.NewBuffer(64)
 	switch op {
 	case opNodePut:

@@ -1,0 +1,156 @@
+package blobseer
+
+import (
+	"context"
+	"testing"
+
+	"blobcr/internal/obs"
+	"blobcr/internal/transport"
+)
+
+// TestTracePropagationEveryBatchVerb drives every batched wire verb under
+// one distributed trace and asserts each server-side handler span parented
+// under the client's matching RPC span — the propagation contract that makes
+// cross-process assembly possible. The deployment is traced (one registry
+// per service), so the spans are collected exactly as the TRACE wire verb
+// would return them.
+func TestTracePropagationEveryBatchVerb(t *testing.T) {
+	net := transport.NewInProc()
+	repo, err := DeployTraced(net, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	clientReg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), clientReg)
+	ctx, trace := obs.BeginTrace(ctx)
+	ctx, root := obs.StartSpan(ctx, "test/root")
+
+	const cs = 4096
+	chunks := make(map[uint64][]byte)
+	for i := uint64(0); i < 8; i++ {
+		body := make([]byte, cs)
+		for j := range body {
+			body[j] = byte(i)
+		}
+		chunks[i] = body
+	}
+
+	// Plain path: chunk-put-batch + node-put-batch on write, chunk-get-batch
+	// + node-get-batch on read.
+	plain := repo.Client()
+	plain.Parallelism = 4
+	blob, err := plain.CreateBlob(ctx, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := plain.WriteVersion(ctx, blob, chunks, 8*cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.ReadVersion(ctx, SnapshotRef{Blob: blob, Version: info.Version}, 0, 8*cs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dedup path: cas-ref-batch (the fingerprint probe) + cas-put-batch (the
+	// missing bodies).
+	dedup := repo.Client()
+	dedup.Dedup = true
+	dedup.Parallelism = 4
+	dblob, err := dedup.CreateBlob(ctx, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dedup.WriteVersion(ctx, dblob, chunks, 8*cs); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	var serverSpans []obs.SpanRecord
+	for _, reg := range repo.Registries {
+		serverSpans = append(serverSpans, reg.TraceSpans(trace)...)
+	}
+	clientByID := make(map[uint64]obs.SpanRecord)
+	for _, s := range clientReg.TraceSpans(trace) {
+		clientByID[s.ID] = s
+	}
+
+	for _, verb := range []string{
+		"chunk-put-batch", "chunk-get-batch",
+		"node-put-batch", "node-get-batch",
+		"cas-ref-batch", "cas-put-batch",
+	} {
+		var handlers []obs.SpanRecord
+		for _, s := range serverSpans {
+			if s.Name == "handler/"+verb {
+				handlers = append(handlers, s)
+			}
+		}
+		if len(handlers) == 0 {
+			t.Errorf("%s: no handler span reached any server registry", verb)
+			continue
+		}
+		for _, h := range handlers {
+			if h.Trace != trace {
+				t.Errorf("%s: handler span carries trace %x, want %x", verb, h.Trace, trace)
+			}
+			parent, ok := clientByID[h.Parent]
+			if !ok {
+				t.Errorf("%s: handler parent %x not among the client's spans", verb, h.Parent)
+				continue
+			}
+			if parent.Name != "rpc/"+verb {
+				t.Errorf("%s: handler parented under %q, want %q", verb, parent.Name, "rpc/"+verb)
+			}
+		}
+	}
+}
+
+// TestRemoteTraceAndFlightVerbs exercises the binary TRACE/FLIGHT siblings
+// against a live data provider: the spans its handler recorded come back
+// over the wire, and the flight ring answers without a trace id.
+func TestRemoteTraceAndFlightVerbs(t *testing.T) {
+	net := transport.NewInProc()
+	repo, err := DeployTraced(net, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	cl := repo.Client()
+	cl.Parallelism = 2
+	ctx := obs.WithRegistry(context.Background(), obs.NewRegistry())
+	ctx, trace := obs.BeginTrace(ctx)
+	ctx, root := obs.StartSpan(ctx, "root")
+	blob, err := cl.CreateBlob(ctx, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.WriteVersion(ctx, blob, map[uint64][]byte{0: make([]byte, 4096)}, 4096); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	dataAddr := repo.DataAddrs[0]
+	spans, err := cl.RemoteTrace(ctx, dataAddr, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range spans {
+		if s.Name == "handler/chunk-put-batch" && s.Trace == trace {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("provider's TRACE reply lacks the chunk-put-batch handler span: %+v", spans)
+	}
+	flight, err := cl.RemoteFlight(ctx, dataAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flight) == 0 {
+		t.Error("provider's FLIGHT reply empty after handling requests")
+	}
+}

@@ -51,6 +51,9 @@ var opNames = map[byte]string{
 	opNodeUsage:    "node-usage",
 	opNodePutBatch: "node-put-batch",
 	opNodeGetBatch: "node-get-batch",
+
+	opTraceGet:  "trace-get",
+	opFlightGet: "flight-get",
 }
 
 // OpName returns the verb name of a BlobSeer op code, or "" when the byte

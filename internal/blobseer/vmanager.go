@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"blobcr/internal/cas"
+	"blobcr/internal/obs"
 	"blobcr/internal/transport"
 	"blobcr/internal/wire"
 )
@@ -134,9 +135,20 @@ func (vm *VersionManager) relocateLocked(apply bool, relocs []Relocation) []uint
 // descriptors. It is the only sequential point of the system, and it handles
 // only small metadata records, exactly as in BlobSeer's design.
 type VersionManager struct {
+	// Obs receives the manager's handler spans and serves its TRACE/FLIGHT
+	// introspection ops; nil means obs.Default. Set before Serve.
+	Obs *obs.Registry
+
 	mu       sync.Mutex
 	blobs    map[uint64]*blobState
 	nextBlob uint64
+}
+
+func (vm *VersionManager) registry() *obs.Registry {
+	if vm.Obs != nil {
+		return vm.Obs
+	}
+	return obs.Default
 }
 
 // NewVersionManager returns an empty version manager.
@@ -159,12 +171,17 @@ func (vm *VersionManager) Serve(n transport.Network, addr string) (transport.Ser
 	return n.Listen(addr, vm.handle)
 }
 
-func (vm *VersionManager) handle(_ context.Context, req []byte) ([]byte, error) {
+func (vm *VersionManager) handle(ctx context.Context, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	op := int(r.U8())
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	if resp, handled, err := introspectionReply(vm.registry(), op, r); handled {
+		return resp, err
+	}
+	_, sp := handlerSpan(ctx, vm.registry(), op)
+	defer sp.End()
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	w := wire.NewBuffer(64)

@@ -131,6 +131,12 @@ type Config struct {
 	// share it, so one METRICS scrape sees the full picture. Nil means
 	// obs.Default.
 	Obs *obs.Registry
+	// Stores picks the chunk-store backend of each node's co-located data
+	// provider (nil means in-memory). Durable deployments pass
+	// blobseer.SeglogStores, whose group-commit spans then land in the
+	// provider's flight recorder — the post-mortem record the supervisor
+	// archives when a node dies.
+	Stores blobseer.StoreFactory
 }
 
 // New builds a cloud: an in-process network, a BlobSeer deployment with one
@@ -153,7 +159,11 @@ func New(cfg Config) (*Cloud, error) {
 	// Meter outermost: shaping wrappers underneath (Latency, Bandwidth) stay
 	// visible in what it measures, and fault injection forwards through it.
 	net = transport.WithMeter(net, reg, blobseer.VerbName)
-	repo, err := blobseer.Deploy(net, cfg.MetaProviders, cfg.Nodes)
+	newStore := cfg.Stores
+	if newStore == nil {
+		newStore = blobseer.MemStores
+	}
+	repo, err := blobseer.DeployWith(net, cfg.MetaProviders, cfg.Nodes, newStore)
 	if err != nil {
 		return nil, err
 	}

@@ -31,9 +31,11 @@ func TestCommitPipelineEmitsFiveStages(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	spans := tr.Spans()
+	// The trace also carries the RPC spans issued inside the stages; the
+	// stage invariants are checked on the stage spans alone.
+	spans := stageSpans(tr)
 	if len(spans) != len(obs.CommitStages) {
-		t.Fatalf("got %d spans %v, want %d", len(spans), spans, len(obs.CommitStages))
+		t.Fatalf("got %d stage spans %v, want %d", len(spans), spans, len(obs.CommitStages))
 	}
 	for i, want := range obs.CommitStages {
 		got := spans[i]
@@ -86,7 +88,74 @@ func TestDetachedCommitKeepsStageTelemetry(t *testing.T) {
 	if _, err := pc.Wait(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(tr.Spans()); got != len(obs.CommitStages) {
-		t.Fatalf("detached commit recorded %d spans, want %d", got, len(obs.CommitStages))
+	if got := len(stageSpans(tr)); got != len(obs.CommitStages) {
+		t.Fatalf("detached commit recorded %d stage spans, want %d", got, len(obs.CommitStages))
 	}
+}
+
+// TestDetachedCommitSpanParentage checks distributed-trace identity across
+// the detach: every pipeline stage of a detached commit must still parent
+// under the request's root span — context.WithoutCancel severs cancellation,
+// not the span context — so an assembled trace shows one connected tree even
+// when the requester died mid-commit.
+func TestDetachedCommitSpanParentage(t *testing.T) {
+	_, c, m, _ := setup(t, 8*cs)
+	reg := obs.NewRegistry()
+	c.Obs = reg
+
+	if _, err := m.WriteAt(make([]byte, cs), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Clone(ctx); err != nil {
+		t.Fatal(err)
+	}
+	reqCtx := obs.WithRegistry(context.Background(), reg)
+	reqCtx, trace := obs.BeginTrace(reqCtx)
+	reqCtx, root := obs.StartSpan(reqCtx, "request")
+	reqCtx, cancel := context.WithCancel(reqCtx)
+	pc, err := m.CommitAsyncDetached(reqCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := pc.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := reg.TraceSpans(trace)
+	byName := make(map[string]obs.SpanRecord)
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	for _, stage := range obs.CommitStages {
+		rec, ok := byName[stage]
+		if !ok {
+			t.Errorf("stage %q missing from the trace store", stage)
+			continue
+		}
+		if rec.Trace != trace {
+			t.Errorf("stage %q carries trace %x, want %x", stage, rec.Trace, trace)
+		}
+		if rec.Parent != root.ID() {
+			t.Errorf("stage %q parented under %x, want the request root %x — parentage lost across the detach",
+				stage, rec.Parent, root.ID())
+		}
+	}
+}
+
+// stageSpans filters a trace down to the named commit-stage spans, in the
+// order they completed (RPC spans issued inside the stages ride the same
+// trace).
+func stageSpans(tr *obs.Trace) []obs.SpanRecord {
+	var out []obs.SpanRecord
+	for _, s := range tr.Spans() {
+		for _, stage := range obs.CommitStages {
+			if s.Name == stage {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
 }

@@ -67,6 +67,29 @@ func (r *Registry) PromText() string {
 	return b.String()
 }
 
+// ExpositionChunkBytes caps one METRICS reply body. High label cardinality
+// (per-address latency histograms × providers) can push a full exposition
+// past the 4 MiB frame budget the batched data path also works to, so
+// METRICS speakers serve the exposition in chunks of at most this many
+// bytes and scrapers follow the continuation offset.
+const ExpositionChunkBytes = 3 << 20
+
+// ExpositionAt renders the registry's exposition and returns the chunk
+// starting at byte offset off plus the offset of the next chunk, or -1 when
+// this chunk completes the exposition. The text is re-rendered per call, so
+// a multi-chunk scrape can tear across concurrent updates — the same
+// consistency a sequence of independent scrapes has.
+func (r *Registry) ExpositionAt(off int) (string, int) {
+	text := r.PromText()
+	if off < 0 || off > len(text) {
+		off = len(text)
+	}
+	if end := off + ExpositionChunkBytes; end < len(text) {
+		return text[off:end], end
+	}
+	return text[off:], -1
+}
+
 func promLabels(labels []Label, extraKey string, extraVal uint64) string {
 	if len(labels) == 0 && extraKey == "" {
 		return ""

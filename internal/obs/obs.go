@@ -137,9 +137,13 @@ type metric struct {
 
 // Registry holds named instruments. Lookups take a read lock; the returned
 // handles are updated with atomics only, so hot paths should cache them.
+// It also owns the process's span stores (trace.go): the bounded per-trace
+// collection served over TRACE and the always-on flight-recorder ring
+// served over FLIGHT.
 type Registry struct {
 	mu      sync.RWMutex
 	metrics map[string]*metric
+	spans   spanStore
 }
 
 // NewRegistry returns an empty registry.

@@ -12,6 +12,7 @@ type ctxKey int
 const (
 	registryKey ctxKey = iota
 	traceKey
+	spanContextKey
 )
 
 // WithRegistry returns a context carrying reg; StartSpan and instrumented
@@ -33,11 +34,18 @@ func RegistryFrom(ctx context.Context) *Registry {
 	return Default
 }
 
-// SpanRecord is one finished span in a Trace.
+// SpanRecord is one finished span in a Trace. Trace, ID and Parent carry
+// the distributed-trace identity: ID is unique across processes (random
+// per-process high bits plus a sequence), Parent is the ID of the span that
+// was active when this one started — on the far side of an RPC, that is the
+// caller's RPC span, which is how cross-process trees reassemble.
 type SpanRecord struct {
-	Name  string
-	Start time.Time
-	End   time.Time
+	Trace  uint64
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  time.Time
+	End    time.Time
 }
 
 // Duration returns the span's length.
@@ -100,27 +108,53 @@ func TraceFrom(ctx context.Context) *Trace {
 }
 
 // Span is one in-flight named stage. End records it into the registry (a
-// span_ns histogram and span_last_ns gauge labeled with the span name) and
-// into the context's Trace, if any.
+// span_ns histogram and span_last_ns gauge labeled with the span name, the
+// flight-recorder ring, and — when a distributed trace is active — the
+// registry's per-trace span store) and into the context's Trace, if any.
 type Span struct {
-	name  string
-	start time.Time
-	reg   *Registry
-	tr    *Trace
-	done  bool
+	name   string
+	start  time.Time
+	reg    *Registry
+	tr     *Trace
+	trace  uint64
+	id     uint64
+	parent uint64
+	done   bool
 }
 
 // StartSpan begins a named span using the registry and trace carried by
-// ctx. The returned context is ctx unchanged (spans do not nest
-// identities); callers keep threading their own context.
+// ctx. Every span gets a globally unique ID; when ctx carries a distributed
+// span context the new span parents under it and the returned context
+// carries the new span's identity, so spans opened below it (including on
+// the far side of an RPC) nest correctly. Without an active trace the
+// returned context is ctx unchanged.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	return ctx, &Span{
+	s := &Span{
 		name:  name,
 		start: time.Now(),
 		reg:   RegistryFrom(ctx),
 		tr:    TraceFrom(ctx),
+		id:    nextSpanID(),
 	}
+	if sc, ok := SpanContextFrom(ctx); ok {
+		s.trace, s.parent = sc.Trace, sc.Span
+		ctx = WithSpanContext(ctx, SpanContext{Trace: sc.Trace, Span: s.id})
+	}
+	return ctx, s
 }
+
+// StartSpanIn begins a named span bound directly to reg, for layers with no
+// context plumbing (the segment log's group-commit flush path). The span has
+// no trace identity; it still lands in reg's metrics and flight recorder.
+func StartSpanIn(reg *Registry, name string) *Span {
+	if reg == nil {
+		reg = Default
+	}
+	return &Span{name: name, start: time.Now(), reg: reg, id: nextSpanID()}
+}
+
+// ID returns the span's unique identity (nonzero once started).
+func (s *Span) ID() uint64 { return s.id }
 
 // End finishes the span. Calling End more than once records only the first.
 func (s *Span) End() {
@@ -136,9 +170,11 @@ func (s *Span) End() {
 	label := L("span", s.name)
 	s.reg.Histogram("span_ns", label).Observe(uint64(d))
 	s.reg.Gauge("span_last_ns", label).Set(int64(d))
+	rec := SpanRecord{Trace: s.trace, ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, End: end}
 	if s.tr != nil {
-		s.tr.add(SpanRecord{Name: s.name, Start: s.start, End: end})
+		s.tr.add(rec)
 	}
+	s.reg.recordSpan(rec)
 }
 
 // The five commit-pipeline stage names, in execution order: mirror records

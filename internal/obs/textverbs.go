@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TextReply answers the tokenless introspection verbs every REST-ful text
+// endpoint (proxy, supervisor, repair) shares, from this registry:
+//
+//	METRICS [<offset>] → OK v1\n<exposition chunk>
+//	                   | OK v1 MORE <next-offset>\n<exposition chunk>
+//	TRACE <trace-hex>  → OK v1\n<span lines>
+//	FLIGHT             → OK v1\n<span lines>
+//
+// A METRICS exposition larger than ExpositionChunkBytes is split across
+// frames: the scraper follows the MORE continuations by re-requesting with
+// the returned offset until a reply without MORE arrives (see
+// transport.ScrapeExposition). handled reports whether fields named one of
+// these verbs; a FLIGHT with arguments is left to the endpoint (the
+// supervisor serves archived dumps under FLIGHT <node>).
+func (r *Registry) TextReply(fields []string) (resp []byte, handled bool) {
+	if len(fields) == 0 {
+		return nil, false
+	}
+	switch fields[0] {
+	case "METRICS":
+		off := 0
+		switch {
+		case len(fields) == 1:
+		case len(fields) == 2:
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return []byte("ERR bad metrics offset"), true
+			}
+			off = v
+		default:
+			return []byte("ERR malformed metrics request"), true
+		}
+		chunk, next := r.ExpositionAt(off)
+		if next < 0 {
+			return []byte("OK " + ExpositionVersion + "\n" + chunk), true
+		}
+		return fmt.Appendf(nil, "OK %s MORE %d\n%s", ExpositionVersion, next, chunk), true
+	case "TRACE":
+		if len(fields) != 2 {
+			return []byte("ERR malformed trace request"), true
+		}
+		id, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil || id == 0 {
+			return []byte("ERR bad trace id"), true
+		}
+		return append([]byte("OK "+ExpositionVersion+"\n"), MarshalSpans(r.TraceSpans(id))...), true
+	case "FLIGHT":
+		if len(fields) != 1 {
+			return nil, false
+		}
+		return append([]byte("OK "+ExpositionVersion+"\n"), MarshalSpans(r.FlightSpans())...), true
+	}
+	return nil, false
+}

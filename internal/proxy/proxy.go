@@ -34,8 +34,14 @@
 //	request:  PING
 //	response: OK PONG <registered-instances>
 //
-//	request:  METRICS
-//	response: OK v1\n<Prometheus text exposition of the obs registry>
+//	request:  METRICS [<offset>]
+//	response: OK v1\n<exposition chunk> | OK v1 MORE <next-offset>\n<exposition chunk>
+//
+//	request:  TRACE <trace-hex>
+//	response: OK v1\n<span lines>
+//
+//	request:  FLIGHT
+//	response: OK v1\n<span lines of the flight-recorder ring>
 //
 // PREFETCH pages the listed chunks into the instance's local mirror cache
 // ahead of demand (the paper's adaptive prefetching on restart): the module
@@ -45,6 +51,12 @@
 // PING is the liveness probe of the failure detector (internal/supervisor):
 // it needs no VM id or token — the round trip itself is the health signal —
 // and it touches no instance, so probing never perturbs a checkpoint.
+//
+// METRICS, TRACE and FLIGHT are tokenless introspection verbs shared by
+// every text endpoint (see obs.Registry.TextReply): an exposition larger
+// than one frame is chunked via MORE continuations, TRACE returns the spans
+// this process recorded for one trace id, and FLIGHT dumps the always-on
+// flight-recorder ring of recent spans.
 package proxy
 
 import (
@@ -164,10 +176,11 @@ func (p *Proxy) handle(ctx context.Context, req []byte) ([]byte, error) {
 		p.mu.Unlock()
 		return []byte(fmt.Sprintf("OK PONG %d", n)), nil
 	}
-	// METRICS is tokenless like PING: it exposes aggregate telemetry, not
-	// any VM's data, and dashboards must scrape without per-VM credentials.
-	if len(fields) == 1 && fields[0] == "METRICS" {
-		return []byte("OK " + obs.ExpositionVersion + "\n" + p.registry().PromText()), nil
+	// METRICS, TRACE and FLIGHT are tokenless like PING: they expose
+	// aggregate telemetry, not any VM's data, and dashboards and trace
+	// collectors must work without per-VM credentials.
+	if resp, handled := p.registry().TextReply(fields); handled {
+		return resp, nil
 	}
 	if len(fields) < 3 {
 		return []byte("ERR malformed request"), nil
@@ -252,7 +265,12 @@ func parseIndices(s string) ([]uint64, error) {
 // uploaded: only the local capture happens under suspend.
 func (p *Proxy) checkpoint(ctx context.Context, t *target) (handle uint64, err error) {
 	reg := p.registry()
-	ctx = obs.WithRegistry(ctx, p.Obs)
+	// The handler span parents under the caller's RPC span via the wire's
+	// trace-context header; the capture and the detached upload stages derive
+	// from its context, so an assembled trace shows the whole checkpoint
+	// under this node's handler.
+	ctx, sp := obs.StartSpan(obs.HandlerContext(ctx, reg), "handler/CHECKPOINT")
+	defer sp.End()
 	sw := obs.StartTimer()
 	if err := t.inst.Suspend(); err != nil {
 		return 0, err
@@ -384,6 +402,8 @@ type Client struct {
 // the background, identified by the returned handle, which WaitCheckpoint
 // or PollCheckpoint resolve to the published snapshot.
 func (c *Client) RequestCheckpointAsync(ctx context.Context) (handle uint64, err error) {
+	ctx, sp := obs.StartSpan(ctx, "rpc/CHECKPOINT")
+	defer sp.End()
 	resp, err := c.Net.Call(ctx, c.Addr, []byte(fmt.Sprintf("CHECKPOINT %s %s", c.VMID, c.Token)))
 	if err != nil {
 		return 0, err

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"strings"
 
-	"blobcr/internal/obs"
 	"blobcr/internal/transport"
 )
 
@@ -29,8 +28,10 @@ import (
 //	request:  DRAIN <addr>
 //	response: OK <repair report line> | ERR <message>
 //
-//	request:  METRICS
-//	response: OK v1\n<Prometheus text exposition of the obs registry>
+//	request:  METRICS [<offset>] | TRACE <trace-hex> | FLIGHT
+//	response: the shared tokenless introspection verbs (obs.TextReply):
+//	          chunked Prometheus exposition, per-trace spans, and the
+//	          flight-recorder ring of the repairer's registry.
 //
 // SCRUB, REPAIR and DRAIN run the pass synchronously and return its report;
 // passes are serialized by the repairer, so concurrent requests queue rather
@@ -44,9 +45,10 @@ func (r *Repairer) handle(ctx context.Context, req []byte) ([]byte, error) {
 	if len(fields) == 0 {
 		return []byte("ERR malformed request"), nil
 	}
+	if resp, handled := r.reg.TextReply(fields); handled {
+		return resp, nil
+	}
 	switch fields[0] {
-	case "METRICS":
-		return []byte("OK " + obs.ExpositionVersion + "\n" + r.reg.PromText()), nil
 	case "STATUS":
 		st := r.Stats()
 		var b strings.Builder

@@ -192,7 +192,8 @@ type Store struct {
 	zeroChunks, flateChunks, rawChunks            atomic.Uint64
 	compactions, relocated, reclaimed, tornTruncs atomic.Uint64
 
-	m metricHandles
+	m   metricHandles
+	reg *obs.Registry // resolved Options.Registry; group-commit spans record here
 }
 
 // Open opens (creating if needed) a segment log rooted at dir, rebuilding
@@ -361,6 +362,7 @@ func (s *Store) initMetrics() {
 	if reg == nil {
 		reg = obs.Default
 	}
+	s.reg = reg
 	l := obs.L("store", s.label())
 	s.m.puts = reg.Counter("seglog_puts_total", l)
 	s.m.gets = reg.Counter("seglog_gets_total", l)
@@ -555,6 +557,12 @@ func (s *Store) commitBatch(b *batch) {
 	if len(b.buf) == 0 {
 		return // every record was dropped by its guard
 	}
+	// The group-commit span is the engine's unit of durable work: one append
+	// + fsync covering every record that boarded the batch. It lands in the
+	// store's flight ring, so a post-mortem dump shows the final batches a
+	// dying provider committed.
+	sp := obs.StartSpanIn(s.reg, "seglog/groupcommit")
+	defer sp.End()
 	if err := s.writeBatch(b); err != nil {
 		b.err = err
 		s.releasePending(b)

@@ -30,6 +30,10 @@ const (
 	EventRepairStarted EventType = "storage-repair-started"
 	EventRepairDone    EventType = "storage-repair-done"
 	EventRepairFailed  EventType = "storage-repair-failed"
+
+	// EventFlightArchived records that a confirmed-dead node's last mirrored
+	// flight-recorder dump was frozen as its post-mortem (FLIGHT <node>).
+	EventFlightArchived EventType = "flight-archived"
 )
 
 // Event is one structured entry of the supervisor's event stream.

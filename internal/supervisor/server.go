@@ -22,8 +22,15 @@ import (
 //	             recoveries=<n> mean-mttr=<duration> work-lost=<duration>
 //	             repairs=<n> replicas-restored=<n> storage-mttr=<duration>
 //
-//	request:  METRICS
-//	response: OK v1\n<Prometheus text exposition of the obs registry>
+//	request:  METRICS [<offset>]
+//	response: OK v1\n<exposition chunk> | OK v1 MORE <next-offset>\n<chunk>
+//
+//	request:  TRACE <trace-hex> | FLIGHT | FLIGHT <node>
+//	response: OK v1\n<span lines> — the supervisor's own span stores for the
+//	          first two; FLIGHT <node> serves the named node's retained
+//	          flight-recorder dump (the archived post-mortem once the node's
+//	          death is confirmed), with FINAL appended to the header of an
+//	          archived dump: OK v1 FINAL\n<span lines>.
 func (s *Supervisor) Serve(n transport.Network, addr string) (transport.Server, error) {
 	return n.Listen(addr, s.handle)
 }
@@ -32,6 +39,9 @@ func (s *Supervisor) handle(_ context.Context, req []byte) ([]byte, error) {
 	fields := strings.Fields(string(req))
 	if len(fields) == 0 {
 		return []byte("ERR malformed request"), nil
+	}
+	if resp, handled := s.reg.TextReply(fields); handled {
+		return resp, nil
 	}
 	switch fields[0] {
 	case "EVENTS":
@@ -54,8 +64,21 @@ func (s *Supervisor) handle(_ context.Context, req []byte) ([]byte, error) {
 			b.WriteString(e.String())
 		}
 		return []byte(b.String()), nil
-	case "METRICS":
-		return []byte("OK " + obs.ExpositionVersion + "\n" + s.reg.PromText()), nil
+	case "FLIGHT":
+		// Bare FLIGHT (the supervisor's own ring) is answered by TextReply
+		// above; with an argument it serves a node's mirrored dump.
+		if len(fields) != 2 {
+			return []byte("ERR malformed flight request"), nil
+		}
+		d, ok := s.Flight(fields[1])
+		if !ok {
+			return []byte("ERR no flight dump for node " + fields[1]), nil
+		}
+		head := "OK " + obs.ExpositionVersion
+		if d.Final {
+			head += " FINAL"
+		}
+		return append([]byte(head+"\n"), obs.MarshalSpans(d.Spans)...), nil
 	case "STATUS":
 		dep, gen := s.Deployment()
 		m := s.Metrics()

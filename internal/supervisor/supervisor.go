@@ -96,6 +96,15 @@ type Config struct {
 	// EventBuffer bounds the retained event history (default 1024).
 	EventBuffer int
 
+	// FlightEvery throttles flight-recorder mirroring: every FlightEvery-th
+	// heartbeat round, the supervisor dumps each live node's flight ring (the
+	// proxy's FLIGHT verb plus the co-located data provider's binary sibling)
+	// and retains the snapshot. When the failure detector confirms a death,
+	// the node's last snapshot is archived — the post-mortem of its final
+	// spans, served under FLIGHT <node>. Default 1 (every round); 0 uses the
+	// default, negative disables mirroring.
+	FlightEvery int
+
 	// Obs is the metrics registry the supervisor's instrumentation records
 	// into (heartbeat RTT, MTTR, work lost, Young/Daly interval, dropped
 	// events). Nil means obs.Default.
@@ -137,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 2 * time.Second
+	}
+	if c.FlightEvery == 0 {
+		c.FlightEvery = 1
 	}
 	return c
 }
@@ -207,6 +219,14 @@ type Supervisor struct {
 	// never silently dropped.
 	repairInFlight bool
 	repairPending  bool
+
+	// Flight-recorder mirroring (flight.go): the last dump fetched off each
+	// node, final once the node's death is confirmed. Guarded by its own
+	// mutex — mirroring runs during heartbeat rounds and FLIGHT <node> reads
+	// come in over the wire; neither should contend with the control loop.
+	flightMu sync.Mutex
+	flights  map[string]FlightDump
+	hbRounds int // heartbeat rounds run; gates mirroring via FlightEvery
 }
 
 // New builds a supervisor for the deployment. Run starts the control loop.
@@ -217,12 +237,13 @@ func New(cl *cloud.Cloud, dep *cloud.Deployment, cfg Config) *Supervisor {
 		reg = obs.Default
 	}
 	s := &Supervisor{
-		cl:  cl,
-		cfg: cfg,
-		log: newEventLog(cfg.EventBuffer),
-		reg: reg,
-		dep: dep,
-		det: newDetector(cfg.SuspectAfter),
+		cl:      cl,
+		cfg:     cfg,
+		log:     newEventLog(cfg.EventBuffer),
+		reg:     reg,
+		dep:     dep,
+		det:     newDetector(cfg.SuspectAfter),
+		flights: make(map[string]FlightDump),
 	}
 	dropped := reg.Counter("supervisor_events_dropped_total")
 	s.log.onDrop = dropped.Inc
@@ -326,6 +347,16 @@ func (s *Supervisor) heartbeat(ctx context.Context) []string {
 		}(i, node)
 	}
 	wg.Wait()
+	// Mirror flight rings off the nodes that answered, before judging the
+	// round: the snapshot taken now is the one a confirmation this round
+	// would archive as the node's post-mortem.
+	s.mu.Lock()
+	s.hbRounds++
+	mirror := s.cfg.FlightEvery > 0 && s.hbRounds%s.cfg.FlightEvery == 0
+	s.mu.Unlock()
+	if mirror {
+		s.mirrorFlights(ctx, nodes, errs)
+	}
 	var confirmed []string
 	for i, node := range nodes {
 		err := errs[i]
@@ -343,6 +374,7 @@ func (s *Supervisor) heartbeat(ctx context.Context) []string {
 		}
 		if conf {
 			confirmed = append(confirmed, node.Name)
+			s.archiveFlight(node.Name)
 		}
 	}
 	return confirmed

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"blobcr/internal/obs"
+)
+
+// splitTextReply separates an introspection reply's header line from its
+// body and validates the "OK v1" prefix.
+func splitTextReply(resp []byte) (header []string, body string, err error) {
+	s := string(resp)
+	head, rest, found := strings.Cut(s, "\n")
+	if !found {
+		head = s
+	}
+	fields := strings.Fields(head)
+	if len(fields) < 2 || fields[0] != "OK" || fields[1] != obs.ExpositionVersion {
+		if strings.HasPrefix(s, "ERR ") {
+			return nil, "", fmt.Errorf("transport: introspection request failed: %s", strings.TrimSpace(s[4:]))
+		}
+		return nil, "", fmt.Errorf("transport: unexpected introspection reply %q", head)
+	}
+	return fields, rest, nil
+}
+
+// ScrapeExposition collects the full metrics exposition of the text endpoint
+// at addr, following the chunked MORE continuations a large exposition is
+// split into (see obs.Registry.TextReply): each reply either completes the
+// scrape (OK v1) or names the offset to request next (OK v1 MORE <offset>).
+func ScrapeExposition(ctx context.Context, n Network, addr string) (string, error) {
+	var b strings.Builder
+	req := "METRICS"
+	for {
+		resp, err := n.Call(ctx, addr, []byte(req))
+		if err != nil {
+			return "", err
+		}
+		fields, body, err := splitTextReply(resp)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(body)
+		if len(fields) == 2 {
+			return b.String(), nil
+		}
+		if len(fields) != 4 || fields[2] != "MORE" {
+			return "", fmt.Errorf("transport: unexpected metrics header %q", strings.Join(fields, " "))
+		}
+		next, err := strconv.Atoi(fields[3])
+		if err != nil || next < 0 {
+			return "", fmt.Errorf("transport: bad metrics continuation offset %q", fields[3])
+		}
+		req = "METRICS " + fields[3]
+	}
+}
+
+// TraceSpansText collects the spans the text endpoint at addr holds for one
+// trace.
+func TraceSpansText(ctx context.Context, n Network, addr string, trace uint64) ([]obs.SpanRecord, error) {
+	return textSpans(ctx, n, addr, fmt.Sprintf("TRACE %x", trace))
+}
+
+// FlightSpansText dumps the flight-recorder ring of the text endpoint at
+// addr.
+func FlightSpansText(ctx context.Context, n Network, addr string) ([]obs.SpanRecord, error) {
+	return textSpans(ctx, n, addr, "FLIGHT")
+}
+
+func textSpans(ctx context.Context, n Network, addr, req string) ([]obs.SpanRecord, error) {
+	resp, err := n.Call(ctx, addr, []byte(req))
+	if err != nil {
+		return nil, err
+	}
+	_, body, err := splitTextReply(resp)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseSpans([]byte(body))
+}

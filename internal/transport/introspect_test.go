@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"blobcr/internal/obs"
+)
+
+// traceTestHeader builds a wire trace header by hand, for corruption tests.
+func traceTestHeader(trace, parent uint64) []byte {
+	h := make([]byte, traceHeaderLen)
+	h[0] = traceMarker
+	h[1] = traceVersion
+	binary.LittleEndian.PutUint64(h[2:], trace)
+	binary.LittleEndian.PutUint64(h[10:], parent)
+	return h
+}
+
+// testTraceHeaderPropagation: a call under an active trace re-establishes
+// the caller's span context on the far side, and a call without one arrives
+// clean — on both terminal networks.
+func testTraceHeaderPropagation(t *testing.T, n Network) {
+	t.Helper()
+	var got obs.SpanContext
+	var present bool
+	srv, err := n.Listen("", func(ctx context.Context, req []byte) ([]byte, error) {
+		got, present = obs.SpanContextFrom(ctx)
+		return append([]byte("echo:"), req...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	resp, err := n.Call(ctx, srv.Addr(), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if present {
+		t.Error("span context invented on an untraced call")
+	}
+	if string(resp) != "echo:payload" {
+		t.Errorf("untraced payload mangled: %q", resp)
+	}
+
+	tctx, trace := obs.BeginTrace(ctx)
+	tctx, sp := obs.StartSpan(tctx, "rpc/test")
+	resp, err = n.Call(tctx, srv.Addr(), []byte("payload"))
+	sp.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:payload" {
+		t.Errorf("traced payload mangled: %q", resp)
+	}
+	if !present {
+		t.Fatal("span context did not cross the wire")
+	}
+	if got.Trace != trace {
+		t.Errorf("far side saw trace %x, want %x", got.Trace, trace)
+	}
+	if got.Span != sp.ID() {
+		t.Errorf("far side parents under %x, want the rpc span %x", got.Span, sp.ID())
+	}
+}
+
+func TestInProcTraceHeaderPropagation(t *testing.T) { testTraceHeaderPropagation(t, NewInProc()) }
+func TestTCPTraceHeaderPropagation(t *testing.T)    { testTraceHeaderPropagation(t, NewTCP()) }
+
+// testTraceHeaderRejection: frames that open with the trace marker but carry
+// a truncated or corrupt header are rejected before the handler runs, on
+// both terminal networks.
+func testTraceHeaderRejection(t *testing.T, n Network) {
+	t.Helper()
+	handled := false
+	srv, err := n.Listen("", func(_ context.Context, req []byte) ([]byte, error) {
+		handled = true
+		return req, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	good := traceTestHeader(0xabc, 0xdef)
+	for _, tc := range []struct {
+		name string
+		req  []byte
+		want string
+	}{
+		{"empty after marker", []byte{traceMarker}, "truncated trace header"},
+		{"cut mid-ids", good[:9], "truncated trace header"},
+		{"one byte short", good[:traceHeaderLen-1], "truncated trace header"},
+		{"version skew", append([]byte{traceMarker, 99}, good[2:]...), "unsupported trace header version"},
+		{"zero trace id", traceTestHeader(0, 0xdef), "zero trace id"},
+	} {
+		handled = false
+		_, err := n.Call(ctx, srv.Addr(), tc.req)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+		if handled {
+			t.Errorf("%s: corrupt header reached the handler", tc.name)
+		}
+	}
+
+	// A well-formed header on a raw frame still parses: the payload arrives
+	// stripped.
+	resp, err := n.Call(ctx, srv.Addr(), append(traceTestHeader(0xabc, 0xdef), []byte("body")...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "body" {
+		t.Errorf("valid raw header not stripped: %q", resp)
+	}
+}
+
+func TestInProcTraceHeaderRejection(t *testing.T) { testTraceHeaderRejection(t, NewInProc()) }
+func TestTCPTraceHeaderRejection(t *testing.T)    { testTraceHeaderRejection(t, NewTCP()) }
+
+// TestScrapeExpositionChunked is the regression for METRICS chunking: an
+// exposition well past 4 MiB — beyond any single-frame expectation — arrives
+// complete by following the MORE continuations, byte-identical to the
+// registry's own rendering.
+func TestScrapeExpositionChunked(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Wide label values blow the exposition past 4 MiB with a modest series
+	// count (each line is ~260 bytes).
+	pad := strings.Repeat("x", 200)
+	for i := 0; i < 20000; i++ {
+		reg.Counter("wide_series_total", obs.L("instance", fmt.Sprintf("%s-%06d", pad, i))).Inc()
+	}
+	want := reg.PromText()
+	if len(want) <= 4<<20 {
+		t.Fatalf("test exposition only %d bytes, need > 4 MiB to exercise chunking", len(want))
+	}
+
+	n := NewInProc()
+	srv, err := n.Listen("", func(_ context.Context, req []byte) ([]byte, error) {
+		resp, handled := reg.TextReply(strings.Fields(string(req)))
+		if !handled {
+			return []byte("ERR unknown verb"), nil
+		}
+		return resp, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	got, err := ScrapeExposition(context.Background(), n, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("chunked scrape differs from the registry exposition: %d vs %d bytes", len(got), len(want))
+	}
+
+	// The first frame really was a continuation, not one oversized reply.
+	resp, _ := n.Call(context.Background(), srv.Addr(), []byte("METRICS"))
+	head, _, _ := bytes.Cut(resp, []byte("\n"))
+	if !strings.Contains(string(head), "MORE") {
+		t.Errorf("first METRICS reply not chunked: header %q", head)
+	}
+	if len(resp) > obs.ExpositionChunkBytes+64 {
+		t.Errorf("first chunk %d bytes exceeds the chunk bound %d", len(resp), obs.ExpositionChunkBytes)
+	}
+}
+
+// TestTraceAndFlightTextCollection: the client-side helpers round-trip spans
+// through a TextReply endpoint.
+func TestTraceAndFlightTextCollection(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	tctx, trace := obs.BeginTrace(ctx)
+	_, sp := obs.StartSpan(tctx, "op/one")
+	sp.End()
+
+	n := NewInProc()
+	srv, err := n.Listen("", func(_ context.Context, req []byte) ([]byte, error) {
+		resp, handled := reg.TextReply(strings.Fields(string(req)))
+		if !handled {
+			return []byte("ERR unknown verb"), nil
+		}
+		return resp, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	spans, err := TraceSpansText(context.Background(), n, srv.Addr(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "op/one" || spans[0].Trace != trace {
+		t.Errorf("TRACE collection returned %+v", spans)
+	}
+	flight, err := FlightSpansText(context.Background(), n, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flight) != 1 || flight[0].Name != "op/one" {
+		t.Errorf("FLIGHT collection returned %+v", flight)
+	}
+	if _, err := TraceSpansText(context.Background(), n, srv.Addr(), 0); err == nil {
+		t.Error("zero trace id not rejected")
+	}
+}

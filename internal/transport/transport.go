@@ -16,6 +16,7 @@ package transport
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -23,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blobcr/internal/obs"
 	"blobcr/internal/wire"
 )
 
@@ -106,6 +108,61 @@ func remoteErrorFrom(err error) *RemoteError {
 	return &RemoteError{Msg: err.Error(), NotFound: errors.Is(err, ErrNotFound)}
 }
 
+// --- trace-context header ---
+
+// An optional trace-context header rides in front of the request payload:
+//
+//	[marker 0xF7] [version 1] [trace id, 8 bytes LE] [parent span id, 8 bytes LE]
+//
+// Both terminal networks inject it from the caller's context and strip it
+// before the handler runs, re-establishing the span context server-side so
+// handler spans parent under the caller's RPC span. The marker byte cannot
+// collide with a real first request byte: binary protocol op codes stay
+// below 0xF0 and text verbs start with ASCII letters.
+const (
+	traceMarker    = 0xF7
+	traceVersion   = 1
+	traceHeaderLen = 1 + 1 + 8 + 8
+)
+
+// injectTraceContext prefixes req with the trace header when ctx carries an
+// active distributed trace; otherwise it returns req unchanged.
+func injectTraceContext(ctx context.Context, req []byte) []byte {
+	sc, ok := obs.SpanContextFrom(ctx)
+	if !ok {
+		return req
+	}
+	out := make([]byte, traceHeaderLen, traceHeaderLen+len(req))
+	out[0] = traceMarker
+	out[1] = traceVersion
+	binary.LittleEndian.PutUint64(out[2:], sc.Trace)
+	binary.LittleEndian.PutUint64(out[10:], sc.Span)
+	return append(out, req...)
+}
+
+// extractTraceContext strips a leading trace header from req, returning the
+// handler context (with the span context re-established) and the payload.
+// A frame that starts with the marker but does not carry a well-formed
+// header is rejected: truncation and version skew must fail loudly, not be
+// mistaken for application bytes.
+func extractTraceContext(ctx context.Context, req []byte) (context.Context, []byte, error) {
+	if len(req) == 0 || req[0] != traceMarker {
+		return ctx, req, nil
+	}
+	if len(req) < traceHeaderLen {
+		return nil, nil, fmt.Errorf("transport: truncated trace header: %d of %d bytes", len(req), traceHeaderLen)
+	}
+	if req[1] != traceVersion {
+		return nil, nil, fmt.Errorf("transport: unsupported trace header version %d", req[1])
+	}
+	trace := binary.LittleEndian.Uint64(req[2:])
+	span := binary.LittleEndian.Uint64(req[10:])
+	if trace == 0 {
+		return nil, nil, errors.New("transport: trace header carries zero trace id")
+	}
+	return obs.WithSpanContext(ctx, obs.SpanContext{Trace: trace, Span: span}), req[traceHeaderLen:], nil
+}
+
 // --- In-process network ---
 
 // InProc is an in-process Network: calls are direct function invocations.
@@ -168,7 +225,14 @@ func (n *InProc) Call(ctx context.Context, addr string, req []byte) ([]byte, err
 	if !ok || dead {
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
 	}
-	resp, err := h(ctx, req)
+	// Run the same inject/strip round trip the TCP network performs, so the
+	// in-process network exercises the wire encoding and the handler sees
+	// identical semantics (span context re-established, header stripped).
+	hctx, body, err := extractTraceContext(ctx, injectTraceContext(ctx, req))
+	if err != nil {
+		return nil, remoteErrorFrom(err)
+	}
+	resp, err := h(hctx, body)
 	if err != nil {
 		return nil, remoteErrorFrom(err)
 	}
@@ -433,7 +497,11 @@ func serveConn(ctx context.Context, conn net.Conn, h Handler) {
 		if err != nil {
 			return
 		}
-		resp, herr := h(ctx, req)
+		hctx, body, herr := extractTraceContext(ctx, req)
+		var resp []byte
+		if herr == nil {
+			resp, herr = h(hctx, body)
+		}
 		out := make([]byte, 0, len(resp)+1)
 		if herr != nil {
 			if errors.Is(herr, ErrNotFound) {
@@ -480,7 +548,7 @@ func (t *TCP) Call(ctx context.Context, addr string, req []byte) ([]byte, error)
 		}
 	}()
 	frame, err := func() ([]byte, error) {
-		if err := wire.WriteFrame(conn, req); err != nil {
+		if err := wire.WriteFrame(conn, injectTraceContext(ctx, req)); err != nil {
 			return nil, err
 		}
 		return wire.ReadFrame(conn)
@@ -491,6 +559,13 @@ func (t *TCP) Call(ctx context.Context, addr string, req []byte) ([]byte, error)
 		conn.Close()
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
+		}
+		// The connection deadline is the context deadline, so an I/O
+		// timeout means the deadline expired even when the context's own
+		// timer has not fired yet.
+		var ne net.Error
+		if _, hasDeadline := ctx.Deadline(); hasDeadline && errors.As(err, &ne) && ne.Timeout() {
+			return nil, context.DeadlineExceeded
 		}
 		return nil, fmt.Errorf("transport: call %s: %w", addr, err)
 	}

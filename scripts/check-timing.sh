@@ -8,10 +8,13 @@
 # non-test files and fails when a package exceeds its frozen baseline.
 #
 # The baselines are the pre-telemetry remainder: supervisor and repair stamp
-# *domain* times (event timestamps, recovery deadlines, report.Elapsed
-# fields served over their own wire protocols), which are data, not metrics.
-# Lowering a baseline after a cleanup is encouraged; raising one needs a
-# reason in the commit that does it.
+# *domain* times (event timestamps, recovery deadlines, flight-dump mirror
+# times, report.Elapsed fields served over their own wire protocols), which
+# are data, not metrics. internal/obs is the measuring instrument itself —
+# the Stopwatch implementation plus the span/flight recorder's start/end
+# stamps are the one place raw clock reads belong, and its baseline keeps
+# that set from growing unreviewed. Lowering a baseline after a cleanup is
+# encouraged; raising one needs a reason in the commit that does it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -36,7 +39,8 @@ check internal/mirror     0
 check internal/proxy      0
 check internal/chunkstore 0
 check internal/seglog     0
-check internal/supervisor 12
+check internal/obs        7
+check internal/supervisor 15
 check internal/repair     9
 
 if [ "$fail" -ne 0 ]; then
