@@ -23,7 +23,7 @@ import (
 
 func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
-	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, stages, tracepath, availability, throughput, disklog, repair)")
+	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, stages, tracepath, availability, throughput, disklog, repair, localtier, preemption)")
 	dirFlag := flag.String("dir", "", "scratch directory for the disk-backed experiments (disklog, seglog-backed throughput); empty = a temp dir")
 	flag.Parse()
 
@@ -62,6 +62,8 @@ func main() {
 		"throughput":   func() bench.Series { return bench.FigThroughput(*dirFlag) },
 		"disklog":      func() bench.Series { return bench.FigDiskLog(dir) },
 		"repair":       func() bench.Series { return bench.FigRepair() },
+		"localtier":    func() bench.Series { return bench.FigLocalTier() },
+		"preemption":   func() bench.Series { return bench.FigPreemption() },
 	}
 
 	// A functional experiment that cannot produce its numbers renders with a

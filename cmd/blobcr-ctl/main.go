@@ -16,6 +16,7 @@
 //	blobcr-ctl ... decommission <provider-addr>
 //	blobcr-ctl -supervisor ADDR events [since-seq]
 //	blobcr-ctl -supervisor ADDR status
+//	blobcr-ctl preempt <proxy-addr>
 //	blobcr-ctl [-watch] metrics <addr>
 //	blobcr-ctl trace <addr>[,addr...] <trace-hex>
 //	blobcr-ctl flight <addr> [node]
@@ -52,6 +53,7 @@ import (
 	"blobcr/internal/cloud"
 	"blobcr/internal/guestfs"
 	"blobcr/internal/mirror"
+	"blobcr/internal/proxy"
 	"blobcr/internal/repair"
 	"blobcr/internal/supervisor"
 	"blobcr/internal/transport"
@@ -102,6 +104,10 @@ func main() {
 	case "store":
 		need(flag.Args(), 2)
 		storeQuery(flag.Arg(1), *timeout, flag.Args())
+		return
+	case "preempt":
+		need(flag.Args(), 2)
+		preemptQuery(flag.Arg(1), *timeout)
 		return
 	}
 	if *vmAddr == "" || *pmAddr == "" || *meta == "" {
@@ -323,6 +329,42 @@ func storeQuery(addr string, timeout time.Duration, args []string) {
 	}
 }
 
+// preemptQuery is the spot-preemption path: DRAIN-NOW against a node's
+// checkpointing proxy flushes every staged capture to the remote plane
+// inside the grace window, so nothing locally-safe dies with the node.
+func preemptQuery(addr string, timeout time.Duration) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	net := transport.NewTCP()
+	own, partner, err := proxy.Backlog(ctx, net, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backlog before flush: own %d ckpts / %d chunks / %d bytes, partner %d ckpts / %d chunks / %d bytes\n",
+		own.Checkpoints, own.Chunks, own.Bytes, partner.Checkpoints, partner.Chunks, partner.Bytes)
+	t0 := time.Now()
+	modules, err := proxy.DrainNow(ctx, net, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	own, partner, err = proxy.Backlog(ctx, net, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flushed %d module(s) in %s; backlog now: own %d ckpts, partner %d ckpts\n",
+		modules, elapsed.Round(time.Millisecond), own.Checkpoints, partner.Checkpoints)
+	if own.Checkpoints != 0 {
+		fmt.Println("node still holds un-drained captures; NOT safe to reclaim")
+		os.Exit(1)
+	}
+	fmt.Println("node's own captures are globally durable; safe to reclaim (partner replicas drain via DRAINFOR)")
+}
+
 // supervisorQuery fetches a running supervisor's event stream or status
 // summary from its introspection endpoint over TCP.
 func supervisorQuery(addr string, timeout time.Duration, args []string) {
@@ -516,6 +558,10 @@ commands:
                                       (seglog: segments, live bytes, fsync
                                       batching, compression mix); with compact,
                                       first runs a compaction pass on its log
+  preempt <proxy-addr>                spot-preemption flush: DRAIN-NOW the node's
+                                      staged checkpoints to the remote plane and
+                                      report the backlog before/after; exits
+                                      nonzero while captures remain staged
   supervise                           run the autonomous-recovery demo in-process`)
 	os.Exit(2)
 }

@@ -9,6 +9,13 @@
 // Tokens for the hosted instances are printed at startup; guests use them
 // with the proxy protocol (CHECKPOINT <vm-id> <token>).
 //
+// -stage-backend enables multilevel checkpointing: captures are staged in a
+// node-local write-back tier (mem, disk or seglog under -stage-dir) and
+// acknowledged locally safe as soon as they are staged — and replicated to
+// the -partner proxy, when one is named — while a background drain publishes
+// them to the BlobSeer plane. The WAITLOCAL, BACKLOG, DRAIN-NOW and DRAINFOR
+// verbs (and blobcr-ctl preempt) control the tier.
+//
 // The proxy answers METRICS on its own port (scrape it with blobcr-ctl
 // metrics; oversized expositions continue under MORE chunks), plus the
 // tokenless TRACE <trace-hex> and FLIGHT introspection verbs — its span
@@ -31,9 +38,12 @@ import (
 	"syscall"
 
 	"blobcr/internal/blobseer"
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/localtier"
 	"blobcr/internal/mirror"
 	"blobcr/internal/obs"
 	"blobcr/internal/proxy"
+	"blobcr/internal/seglog"
 	"blobcr/internal/transport"
 	"blobcr/internal/vm"
 )
@@ -49,6 +59,9 @@ func main() {
 	node := flag.String("node", "node-0", "node name used in VM ids")
 	parallel := flag.Int("parallel", 0, "concurrent per-provider streams for commits and restores (0 = client default)")
 	debugAddr := flag.String("debug-addr", "", "HTTP debug listener: /metrics, /debug/pprof/*, /debug/vars (empty = off)")
+	stageBackend := flag.String("stage-backend", "", "node-local checkpoint tier backend: mem, disk or seglog (empty = no local tier)")
+	stageDir := flag.String("stage-dir", "", "directory backing the local tier (required for -stage-backend disk/seglog)")
+	partnerAddr := flag.String("partner", "", "partner proxy address replicating this node's staged captures (requires -stage-backend)")
 	flag.Parse()
 
 	if *vmAddr == "" || *pmAddr == "" || *meta == "" || *base == 0 {
@@ -75,6 +88,24 @@ func main() {
 	}
 
 	p := proxy.New()
+	if *stageBackend != "" {
+		store, err := newStageStore(*stageBackend, *stageDir)
+		if err != nil {
+			log.Fatalf("open local tier: %v", err)
+		}
+		p.Stage = localtier.New(store, obs.Default)
+		p.Net = net
+		p.Repo = client
+		p.PartnerAddr = *partnerAddr
+		if *partnerAddr != "" {
+			log.Printf("local tier (%s) with partner replica at %s", *stageBackend, *partnerAddr)
+		} else {
+			log.Printf("local tier (%s), no partner — staged captures are not node-loss safe", *stageBackend)
+		}
+	} else if *partnerAddr != "" {
+		fmt.Fprintln(os.Stderr, "blobcr-proxyd: -partner requires -stage-backend")
+		os.Exit(2)
+	}
 	srv, err := p.Serve(net, *listen)
 	if err != nil {
 		log.Fatalf("start proxy: %v", err)
@@ -102,6 +133,26 @@ func main() {
 	<-sig
 	log.Printf("shutting down")
 	srv.Close()
+}
+
+// newStageStore opens the chunk store backing the node-local tier.
+func newStageStore(backend, dir string) (chunkstore.Store, error) {
+	switch backend {
+	case "mem":
+		return chunkstore.NewMem(), nil
+	case "disk":
+		if dir == "" {
+			return nil, fmt.Errorf("-stage-backend disk requires -stage-dir")
+		}
+		return chunkstore.NewDisk(dir)
+	case "seglog":
+		if dir == "" {
+			return nil, fmt.Errorf("-stage-backend seglog requires -stage-dir")
+		}
+		return seglog.Open(dir, seglog.Options{})
+	default:
+		return nil, fmt.Errorf("unknown stage backend %q (mem, disk, seglog)", backend)
+	}
 }
 
 func newToken() string {

@@ -86,6 +86,34 @@
 // engine's counters over the wire, and blobcr-bench -only disklog
 // measures both disk engines through the full striped commit path.
 //
+// # Multilevel checkpointing: node-local fast tier
+//
+// internal/localtier adds the write-back tier in front of the striped
+// remote commit. With cloud.Config.LocalTier (or blobcr-proxyd
+// -stage-backend mem|disk|seglog -partner <addr>), each proxy stages every
+// capture into a node-local chunkstore-backed staging store and pushes a
+// replica to one partner proxy over binary stage frames, then acks the
+// checkpoint as locally safe (proxy WAITLOCAL; mirror.PendingCommit.
+// WaitLocallySafe) and releases the commit pipeline's admission slot — the
+// suspend window of a checkpoint burst runs at local pace even when the
+// remote plane is bandwidth-starved. A background drainer then publishes
+// staged captures through the dedup/CAS commit path at remote-plane pace,
+// advancing the checkpoint to globally durable (the only state rollback
+// targets). The two watermarks thread through the stack:
+// cloud.Deployment.MarkLocallySafe/MarkDurable and LocalWatermark/
+// DurableWatermark, the proxy's STATUS staged backlog, and the
+// supervisor's STATUS local-watermark and per-node backlog fields. A
+// single node loss never loses a locally-safe checkpoint: the supervisor
+// asks the dead node's partner to publish the replica on its behalf
+// (DRAINFOR) and promotes the checkpoint before planning the rollback; a
+// healthy node whose VM died drains its own tier the same way. On tiered
+// deployments the supervisor keys its Young/Daly cadence to the local
+// checkpoint cost, so checkpoints run at the tier's (cheap) price.
+// DRAIN-NOW (blobcr-ctl preempt) is the spot-preemption path: flush a
+// node's staged backlog inside the grace window. blobcr-bench -only
+// localtier shows the suspend window decoupled from remote bandwidth, and
+// -only preemption the work saved by a grace-window flush.
+//
 // # Parallel striped I/O engine
 //
 // The whole data path — commit upload, dedup probing, restore reads, and

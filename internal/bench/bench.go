@@ -258,6 +258,8 @@ func All(p simcloud.Params, c simcloud.CM1Params, dir string) []Series {
 		FigAvailability(),
 		FigThroughput(dir),
 		FigRepair(),
+		FigLocalTier(),
+		FigPreemption(),
 	}
 	if dir != "" {
 		out = append(out, FigDiskLog(dir))

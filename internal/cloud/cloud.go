@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"blobcr/internal/blobseer"
+	"blobcr/internal/localtier"
 	"blobcr/internal/mirror"
 	"blobcr/internal/obs"
 	"blobcr/internal/proxy"
@@ -40,10 +41,19 @@ type Node struct {
 	Name      string
 	ProxyAddr string
 	DataAddr  string // the co-located BlobSeer data provider
+	// PartnerAddr is the neighbor proxy holding a replica of every capture
+	// this node stages in its local tier (empty without multilevel
+	// checkpointing or on single-node clouds).
+	PartnerAddr string
 
 	proxy  *proxy.Proxy
+	stage  *localtier.Stage
 	failed atomic.Bool
 }
+
+// Stage returns the node's local write-back tier, if the cloud was built
+// with LocalTier.
+func (n *Node) Stage() *localtier.Stage { return n.stage }
 
 // Failed reports whether the node has fail-stopped.
 func (n *Node) Failed() bool { return n.failed.Load() }
@@ -64,7 +74,15 @@ type SnapshotRef = blobseer.SnapshotRef
 type GlobalCheckpoint struct {
 	ID        int
 	Snapshots map[string]SnapshotRef // VM id -> snapshot
-	Durable   bool
+	// LocallySafe reports the first watermark of multilevel checkpointing:
+	// every member's capture is staged in its node's local tier and
+	// replicated to the node's partner, so a single node loss cannot lose
+	// it. A locally-safe checkpoint is NOT yet a rollback target — that
+	// still requires Durable (every member's snapshot published to the
+	// striped remote plane) — but the supervisor can promote it by draining
+	// the members' tiers (or their partner replicas) on demand.
+	LocallySafe bool
+	Durable     bool
 }
 
 // Instance is one deployed VM with its node-side attachments.
@@ -94,6 +112,9 @@ type Cloud struct {
 	dedup       bool
 	parallelism int
 	obs         *obs.Registry
+
+	localTier   bool
+	stageStores blobseer.StoreFactory
 
 	mu      sync.Mutex
 	nodes   []*Node
@@ -137,6 +158,16 @@ type Config struct {
 	// provider's flight recorder — the post-mortem record the supervisor
 	// archives when a node dies.
 	Stores blobseer.StoreFactory
+	// LocalTier enables multilevel checkpointing: each node gets a local
+	// write-back staging tier, captures are replicated to a partner proxy
+	// (the next node in the ring), checkpoints acknowledge as locally safe
+	// immediately, and a background drain publishes them into the striped
+	// remote plane at its own pace.
+	LocalTier bool
+	// StageStores picks the chunk-store backend of each node's staging tier
+	// (nil means in-memory; durable nodes pass blobseer.SeglogStores over a
+	// node-local directory). Only used with LocalTier.
+	StageStores blobseer.StoreFactory
 }
 
 // New builds a cloud: an in-process network, a BlobSeer deployment with one
@@ -186,6 +217,32 @@ func New(cfg Config) (*Cloud, error) {
 	c.replication = cfg.Replication
 	c.dedup = cfg.Dedup
 	c.parallelism = cfg.Parallelism
+	if cfg.LocalTier {
+		// Partner ring: node i replicates its staged captures to node i+1.
+		// The ring needs every proxy address, so the tier is wired after all
+		// nodes exist and before any instance registers.
+		newStage := cfg.StageStores
+		if newStage == nil {
+			newStage = blobseer.MemStores
+		}
+		c.localTier = true
+		c.stageStores = newStage
+		for i, n := range c.nodes {
+			store, err := newStage(i)
+			if err != nil {
+				repo.Close()
+				return nil, fmt.Errorf("cloud: stage store %d: %w", i, err)
+			}
+			n.stage = localtier.New(store, reg)
+			if len(c.nodes) > 1 {
+				n.PartnerAddr = c.nodes[(i+1)%len(c.nodes)].ProxyAddr
+			}
+			n.proxy.Stage = n.stage
+			n.proxy.PartnerAddr = n.PartnerAddr
+			n.proxy.Net = net
+			n.proxy.Repo = c.Client()
+		}
+	}
 	return c, nil
 }
 
@@ -246,6 +303,23 @@ func (c *Cloud) AddNode(ctx context.Context) (*Node, error) {
 		ProxyAddr: srv.Addr(),
 		DataAddr:  dataAddr,
 		proxy:     p,
+	}
+	if c.localTier {
+		store, err := c.stageStores(len(c.nodes))
+		if err != nil {
+			c.Client().UnregisterProvider(ctx, dataAddr) //nolint:errcheck // best effort rollback
+			return nil, fmt.Errorf("cloud: stage store: %w", err)
+		}
+		node.stage = localtier.New(store, c.obs)
+		// The newcomer replicates to the previous ring tail; existing links
+		// stay as wired at deploy.
+		if n := len(c.nodes); n > 0 {
+			node.PartnerAddr = c.nodes[n-1].ProxyAddr
+		}
+		p.Stage = node.stage
+		p.PartnerAddr = node.PartnerAddr
+		p.Net = c.net
+		p.Repo = c.Client()
 	}
 	c.nodes = append(c.nodes, node)
 	return node, nil
@@ -395,7 +469,7 @@ func (c *Cloud) RecordCheckpoint(dep *Deployment, snaps map[string]SnapshotRef) 
 		}
 	}
 	id := len(dep.checkpoints) + 1
-	cp := GlobalCheckpoint{ID: id, Snapshots: make(map[string]SnapshotRef, len(snaps)), Durable: true}
+	cp := GlobalCheckpoint{ID: id, Snapshots: make(map[string]SnapshotRef, len(snaps)), LocallySafe: true, Durable: true}
 	for k, v := range snaps {
 		cp.Snapshots[k] = v
 	}
@@ -471,8 +545,50 @@ func (dep *Deployment) MarkDurable(ckptID int) error {
 			return fmt.Errorf("%w: missing %s", ErrIncompleteCkpt, inst.VMID)
 		}
 	}
+	cp.LocallySafe = true // durability subsumes local safety
 	cp.Durable = true
 	return nil
+}
+
+// MarkLocallySafe records that every member's capture for the provisional
+// checkpoint reached its node's local tier and partner replica — the first
+// watermark. The member snapshots may still be unresolved (they publish
+// during the drain).
+func (dep *Deployment) MarkLocallySafe(ckptID int) error {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	cp := dep.findLocked(ckptID)
+	if cp == nil {
+		return fmt.Errorf("%w: %d", ErrNoSuchCkpt, ckptID)
+	}
+	cp.LocallySafe = true
+	return nil
+}
+
+// LocalWatermark returns the id of the newest locally-safe checkpoint, or 0.
+// Durable checkpoints count: durability subsumes local safety.
+func (dep *Deployment) LocalWatermark() int {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	for i := len(dep.checkpoints) - 1; i >= 0; i-- {
+		if dep.checkpoints[i].LocallySafe || dep.checkpoints[i].Durable {
+			return dep.checkpoints[i].ID
+		}
+	}
+	return 0
+}
+
+// LatestLocallySafeCheckpoint returns the most recent checkpoint that is at
+// least locally safe.
+func (dep *Deployment) LatestLocallySafeCheckpoint() (GlobalCheckpoint, bool) {
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	for i := len(dep.checkpoints) - 1; i >= 0; i-- {
+		if dep.checkpoints[i].LocallySafe || dep.checkpoints[i].Durable {
+			return dep.checkpoints[i].clone(), true
+		}
+	}
+	return GlobalCheckpoint{}, false
 }
 
 // Checkpoints returns deep copies of the recorded global checkpoints,
@@ -555,6 +671,10 @@ func (c *Cloud) KillDeploymentInstancesOn(dep *Deployment) []string {
 	for _, inst := range dep.Instances {
 		if inst.Node.Failed() && inst.VM.State() != vm.Stopped {
 			inst.VM.Kill()
+			// Abort the dead node's in-flight commits through the repository
+			// abort path so CAS refcounts balance; captures already staged in
+			// its local tier stay put — the partner replica drains them.
+			inst.Mirror.Halt()
 			dead = append(dead, inst.VMID)
 		}
 	}
@@ -785,5 +905,13 @@ func (c *Cloud) Prune(ctx context.Context, dep *Deployment, keepFromCkptID int) 
 
 // Close shuts the cloud down.
 func (c *Cloud) Close() {
+	c.mu.Lock()
+	nodes := append([]*Node(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		if n.stage != nil {
+			n.stage.Close() //nolint:errcheck // teardown
+		}
+	}
 	c.repo.Close()
 }

@@ -1,0 +1,308 @@
+// Package localtier implements the node-local write-back tier of the
+// multilevel checkpointing scheme (stdchk / OpenCHK style): captured dirty
+// sets land in a cheap nearby chunk store first — typically the seglog disk
+// engine on the compute node — and a background drainer streams them into
+// the striped remote plane at whatever rate it sustains.
+//
+// A Stage holds two kinds of captures, distinguished by the Replica flag:
+// the node's own staged checkpoints and partner replicas pushed by a
+// neighbor proxy. A checkpoint is *locally safe* once its capture is staged
+// here and replicated to the partner — a single node loss can then never
+// lose it — and becomes *globally durable* only when the drain publishes it
+// into the remote repository. MarkDrained records the published snapshot per
+// owner, so a partner draining on a dead node's behalf can chain incremental
+// captures in sequence order.
+package localtier
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/obs"
+)
+
+// ErrNotStaged is returned when a capture's chunks are no longer (or never
+// were) in the stage.
+var ErrNotStaged = errors.New("localtier: capture not staged")
+
+// Capture is one staged dirty set: the unit the drainer publishes.
+type Capture struct {
+	// Owner is the VM whose checkpoint this is; Seq orders the owner's
+	// captures (the drain must publish them in Seq order to keep the
+	// incremental chain intact).
+	Owner string
+	Seq   uint64
+	// Base is the published snapshot the capture overlays *as recorded at
+	// capture time*. When draining on a dead owner's behalf, the partner
+	// carries the chain forward from the last drained ref instead when the
+	// sequence is contiguous.
+	Base      blobseer.SnapshotRef
+	Size      uint64
+	ChunkSize uint64
+	// Replica marks a partner copy pushed by a neighbor proxy, as opposed to
+	// a capture staged by the node's own mirror modules.
+	Replica bool
+
+	stageBlob uint64 // chunk namespace in the backing store
+	indices   []uint64
+	bytes     uint64
+}
+
+// Indices returns the chunk indices the capture covers, in staging order.
+func (c *Capture) Indices() []uint64 { return append([]uint64(nil), c.indices...) }
+
+// Bytes returns the capture's staged payload size.
+func (c *Capture) Bytes() uint64 { return c.bytes }
+
+// Backlog summarizes staged-but-undrained captures.
+type Backlog struct {
+	Checkpoints int
+	Chunks      int
+	Bytes       uint64
+}
+
+type entry struct {
+	cap *Capture
+	sw  obs.Stopwatch // staged-at; drain lag = elapsed when MarkDrained runs
+}
+
+type drainMemo struct {
+	seq uint64
+	ref blobseer.SnapshotRef
+}
+
+// Stage is one node's local fast tier over a chunk store.
+type Stage struct {
+	store chunkstore.Store
+
+	mu        sync.Mutex
+	owners    map[string]map[uint64]*entry // owner -> seq -> staged capture
+	memo      map[string]drainMemo         // owner -> last drained capture
+	nextBlob  uint64
+	gCkptOwn  *obs.Gauge
+	gCkptPart *obs.Gauge
+	gByteOwn  *obs.Gauge
+	gBytePart *obs.Gauge
+	cStaged   *obs.Counter
+	cDrained  *obs.Counter
+	cDropped  *obs.Counter
+	hStage    *obs.Histogram
+	hDrainLag *obs.Histogram
+}
+
+// New returns a Stage over store, recording tier metrics into reg (Default
+// when nil): staged-checkpoint/byte gauges split by role (own vs partner),
+// stage/drain counters, the staging-latency histogram and the drain-lag
+// histogram — how long a capture sat locally safe before it became durable.
+func New(store chunkstore.Store, reg *obs.Registry) *Stage {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &Stage{
+		store:     store,
+		owners:    make(map[string]map[uint64]*entry),
+		memo:      make(map[string]drainMemo),
+		gCkptOwn:  reg.Gauge("localtier_staged_checkpoints", obs.L("role", "own")),
+		gCkptPart: reg.Gauge("localtier_staged_checkpoints", obs.L("role", "partner")),
+		gByteOwn:  reg.Gauge("localtier_staged_bytes", obs.L("role", "own")),
+		gBytePart: reg.Gauge("localtier_staged_bytes", obs.L("role", "partner")),
+		cStaged:   reg.Counter("localtier_staged_total"),
+		cDrained:  reg.Counter("localtier_drained_total"),
+		cDropped:  reg.Counter("localtier_dropped_total"),
+		hStage:    reg.Histogram("localtier_stage_ns"),
+		hDrainLag: reg.Histogram("localtier_drain_lag_ns"),
+	}
+}
+
+// Put stages one capture. Staging the same (owner, seq) again replaces the
+// previous copy (a partner push retried after a wire error is idempotent).
+func (s *Stage) Put(owner string, seq uint64, base blobseer.SnapshotRef, size, chunkSize uint64, writes map[uint64][]byte, replica bool) (*Capture, error) {
+	sw := obs.StartTimer()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.owners[owner][seq]; ok {
+		s.removeLocked(old.cap)
+	}
+	c := &Capture{
+		Owner:     owner,
+		Seq:       seq,
+		Base:      base,
+		Size:      size,
+		ChunkSize: chunkSize,
+		Replica:   replica,
+		stageBlob: s.nextBlob,
+	}
+	s.nextBlob++
+	for idx, data := range writes {
+		if err := s.store.Put(chunkstore.Key{Blob: c.stageBlob, ID: idx}, data); err != nil {
+			// Roll back the partial stage so the store holds no orphans.
+			for _, done := range c.indices {
+				s.store.Delete(chunkstore.Key{Blob: c.stageBlob, ID: done})
+			}
+			return nil, fmt.Errorf("localtier: stage %s seq %d chunk %d: %w", owner, seq, idx, err)
+		}
+		c.indices = append(c.indices, idx)
+		c.bytes += uint64(len(data))
+	}
+	sort.Slice(c.indices, func(i, j int) bool { return c.indices[i] < c.indices[j] })
+	if s.owners[owner] == nil {
+		s.owners[owner] = make(map[uint64]*entry)
+	}
+	s.owners[owner][seq] = &entry{cap: c, sw: sw}
+	s.gauges(c).ckpt.Add(1)
+	s.gauges(c).bytes.Add(int64(c.bytes))
+	s.cStaged.Inc()
+	sw.ObserveInto(s.hStage)
+	return c, nil
+}
+
+type rolePair struct{ ckpt, bytes *obs.Gauge }
+
+func (s *Stage) gauges(c *Capture) rolePair {
+	if c.Replica {
+		return rolePair{s.gCkptPart, s.gBytePart}
+	}
+	return rolePair{s.gCkptOwn, s.gByteOwn}
+}
+
+// Writes reads a staged capture's chunks back from the store.
+func (s *Stage) Writes(c *Capture) (map[uint64][]byte, error) {
+	writes := make(map[uint64][]byte, len(c.indices))
+	for _, idx := range c.indices {
+		data, err := s.store.Get(chunkstore.Key{Blob: c.stageBlob, ID: idx})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s seq %d chunk %d: %v", ErrNotStaged, c.Owner, c.Seq, idx, err)
+		}
+		writes[idx] = data
+	}
+	return writes, nil
+}
+
+// Pending returns the owner's staged-but-undrained captures in Seq order.
+func (s *Stage) Pending(owner string) []*Capture {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Capture
+	for _, e := range s.owners[owner] {
+		out = append(out, e.cap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Owners returns every owner with at least one staged capture.
+func (s *Stage) Owners() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.owners))
+	for owner, pending := range s.owners {
+		if len(pending) > 0 {
+			out = append(out, owner)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkDrained records that the owner's capture seq was published as ref,
+// removes its staged chunks, and observes the capture's drain lag. It is
+// tolerant of captures already gone (a partner release arriving after a
+// Drop): the memo still advances so chain state survives.
+func (s *Stage) MarkDrained(owner string, seq uint64, ref blobseer.SnapshotRef) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.owners[owner][seq]; ok {
+		e.sw.ObserveInto(s.hDrainLag)
+		s.removeLocked(e.cap)
+		s.cDrained.Inc()
+	}
+	if m, ok := s.memo[owner]; !ok || seq >= m.seq {
+		s.memo[owner] = drainMemo{seq: seq, ref: ref}
+	}
+}
+
+// LastDrained returns the owner's most recently drained capture sequence and
+// the snapshot it published.
+func (s *Stage) LastDrained(owner string) (seq uint64, ref blobseer.SnapshotRef, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.memo[owner]
+	return m.seq, m.ref, ok
+}
+
+// Drop discards every staged capture for owner (both roles) without marking
+// anything drained, returning how many were removed. Used when an owner's
+// chain is superseded — a rollback, or a re-registration after restart.
+func (s *Stage) Drop(owner string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.owners[owner] {
+		s.removeLocked(e.cap)
+		s.cDropped.Inc()
+		n++
+	}
+	delete(s.owners, owner)
+	delete(s.memo, owner)
+	return n
+}
+
+// removeLocked deletes a capture's chunks and bookkeeping. Caller holds s.mu.
+func (s *Stage) removeLocked(c *Capture) {
+	for _, idx := range c.indices {
+		s.store.Delete(chunkstore.Key{Blob: c.stageBlob, ID: idx})
+	}
+	if pending, ok := s.owners[c.Owner]; ok {
+		delete(pending, c.Seq)
+		if len(pending) == 0 {
+			delete(s.owners, c.Owner)
+		}
+	}
+	s.gauges(c).ckpt.Add(-1)
+	s.gauges(c).bytes.Add(-int64(c.bytes))
+}
+
+// Backlog returns the staged-but-undrained totals, split into the node's own
+// captures and the partner replicas it holds for its neighbor.
+func (s *Stage) Backlog() (own, partner Backlog) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pending := range s.owners {
+		for _, e := range pending {
+			b := &own
+			if e.cap.Replica {
+				b = &partner
+			}
+			b.Checkpoints++
+			b.Chunks += len(e.cap.indices)
+			b.Bytes += e.cap.bytes
+		}
+	}
+	return own, partner
+}
+
+// OwnerBacklog returns the staged-but-undrained totals for one owner.
+func (s *Stage) OwnerBacklog(owner string) Backlog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b Backlog
+	for _, e := range s.owners[owner] {
+		b.Checkpoints++
+		b.Chunks += len(e.cap.indices)
+		b.Bytes += e.cap.bytes
+	}
+	return b
+}
+
+// Close closes the backing store when the Stage owns one that is closable.
+func (s *Stage) Close() error {
+	if c, ok := s.store.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

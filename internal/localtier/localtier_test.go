@@ -1,0 +1,187 @@
+package localtier
+
+import (
+	"errors"
+	"testing"
+
+	"blobcr/internal/blobseer"
+	"blobcr/internal/chunkstore"
+	"blobcr/internal/obs"
+)
+
+func newTestStage(t *testing.T) *Stage {
+	t.Helper()
+	return New(chunkstore.NewMem(), obs.NewRegistry())
+}
+
+func TestPutWritesRoundtrip(t *testing.T) {
+	s := newTestStage(t)
+	writes := map[uint64][]byte{
+		3: []byte("chunk-three"),
+		0: []byte("chunk-zero"),
+		7: []byte("chunk-seven"),
+	}
+	base := blobseer.SnapshotRef{Blob: 4, Version: 9}
+	c, err := s.Put("vm-0", 1, base, 512, 64, writes, false)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if c.Owner != "vm-0" || c.Seq != 1 || c.Base != base || c.Size != 512 || c.ChunkSize != 64 {
+		t.Fatalf("capture metadata = %+v", c)
+	}
+	if got, want := c.Bytes(), uint64(len("chunk-three")+len("chunk-zero")+len("chunk-seven")); got != want {
+		t.Fatalf("Bytes() = %d, want %d", got, want)
+	}
+	idx := c.Indices()
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 3 || idx[2] != 7 {
+		t.Fatalf("Indices() = %v, want sorted [0 3 7]", idx)
+	}
+	back, err := s.Writes(c)
+	if err != nil {
+		t.Fatalf("Writes: %v", err)
+	}
+	if len(back) != len(writes) {
+		t.Fatalf("Writes returned %d chunks, want %d", len(back), len(writes))
+	}
+	for i, data := range writes {
+		if string(back[i]) != string(data) {
+			t.Errorf("chunk %d = %q, want %q", i, back[i], data)
+		}
+	}
+}
+
+func TestPutReplacesDuplicateSeq(t *testing.T) {
+	s := newTestStage(t)
+	if _, err := s.Put("vm-0", 5, blobseer.SnapshotRef{}, 128, 64, map[uint64][]byte{0: []byte("old")}, true); err != nil {
+		t.Fatalf("first Put: %v", err)
+	}
+	c2, err := s.Put("vm-0", 5, blobseer.SnapshotRef{}, 128, 64, map[uint64][]byte{1: []byte("newer")}, true)
+	if err != nil {
+		t.Fatalf("second Put: %v", err)
+	}
+	pending := s.Pending("vm-0")
+	if len(pending) != 1 || pending[0] != c2 {
+		t.Fatalf("Pending = %v, want exactly the replacement capture", pending)
+	}
+	own, partner := s.Backlog()
+	if own.Checkpoints != 0 {
+		t.Errorf("own backlog = %+v, want empty", own)
+	}
+	if partner.Checkpoints != 1 || partner.Chunks != 1 || partner.Bytes != uint64(len("newer")) {
+		t.Errorf("partner backlog = %+v, want the replacement only", partner)
+	}
+}
+
+func TestBacklogSplitsRoles(t *testing.T) {
+	s := newTestStage(t)
+	if _, err := s.Put("vm-0", 1, blobseer.SnapshotRef{}, 128, 64, map[uint64][]byte{0: make([]byte, 10), 1: make([]byte, 20)}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("vm-1", 1, blobseer.SnapshotRef{}, 128, 64, map[uint64][]byte{2: make([]byte, 40)}, true); err != nil {
+		t.Fatal(err)
+	}
+	own, partner := s.Backlog()
+	if own.Checkpoints != 1 || own.Chunks != 2 || own.Bytes != 30 {
+		t.Errorf("own = %+v, want 1 ckpt / 2 chunks / 30 bytes", own)
+	}
+	if partner.Checkpoints != 1 || partner.Chunks != 1 || partner.Bytes != 40 {
+		t.Errorf("partner = %+v, want 1 ckpt / 1 chunk / 40 bytes", partner)
+	}
+	if b := s.OwnerBacklog("vm-0"); b.Checkpoints != 1 || b.Chunks != 2 || b.Bytes != 30 {
+		t.Errorf("OwnerBacklog(vm-0) = %+v", b)
+	}
+	owners := s.Owners()
+	if len(owners) != 2 || owners[0] != "vm-0" || owners[1] != "vm-1" {
+		t.Errorf("Owners() = %v", owners)
+	}
+}
+
+func TestMarkDrainedAdvancesMemoAndFreesChunks(t *testing.T) {
+	s := newTestStage(t)
+	c1, err := s.Put("vm-0", 1, blobseer.SnapshotRef{}, 128, 64, map[uint64][]byte{0: []byte("a")}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("vm-0", 2, blobseer.SnapshotRef{}, 128, 64, map[uint64][]byte{1: []byte("b")}, false); err != nil {
+		t.Fatal(err)
+	}
+	ref1 := blobseer.SnapshotRef{Blob: 1, Version: 3}
+	s.MarkDrained("vm-0", 1, ref1)
+	if seq, ref, ok := s.LastDrained("vm-0"); !ok || seq != 1 || ref != ref1 {
+		t.Fatalf("LastDrained = %d %v %v, want 1 %v true", seq, ref, ok, ref1)
+	}
+	if _, err := s.Writes(c1); !errors.Is(err, ErrNotStaged) {
+		t.Fatalf("Writes after drain: err = %v, want ErrNotStaged", err)
+	}
+	if pending := s.Pending("vm-0"); len(pending) != 1 || pending[0].Seq != 2 {
+		t.Fatalf("Pending after drain = %v, want only seq 2", pending)
+	}
+	// A stale release (e.g. a partner replay) must not move the memo back.
+	s.MarkDrained("vm-0", 0, blobseer.SnapshotRef{Blob: 9, Version: 9})
+	if seq, ref, _ := s.LastDrained("vm-0"); seq != 1 || ref != ref1 {
+		t.Fatalf("stale MarkDrained rewound the memo: %d %v", seq, ref)
+	}
+	// A release for a capture already gone still advances chain state.
+	ref3 := blobseer.SnapshotRef{Blob: 1, Version: 5}
+	s.MarkDrained("vm-0", 3, ref3)
+	if seq, ref, _ := s.LastDrained("vm-0"); seq != 3 || ref != ref3 {
+		t.Fatalf("tolerant MarkDrained: %d %v, want 3 %v", seq, ref, ref3)
+	}
+}
+
+func TestDropDiscardsOwner(t *testing.T) {
+	s := newTestStage(t)
+	if _, err := s.Put("vm-0", 1, blobseer.SnapshotRef{}, 128, 64, map[uint64][]byte{0: []byte("a")}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("vm-0", 2, blobseer.SnapshotRef{}, 128, 64, map[uint64][]byte{1: []byte("b")}, true); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkDrained("vm-0", 1, blobseer.SnapshotRef{Blob: 1, Version: 1})
+	if n := s.Drop("vm-0"); n != 1 {
+		t.Fatalf("Drop = %d, want 1 (seq 1 already drained)", n)
+	}
+	if _, _, ok := s.LastDrained("vm-0"); ok {
+		t.Error("Drop kept the drain memo; a re-registered owner would chain off a stale ref")
+	}
+	own, partner := s.Backlog()
+	if own.Checkpoints+partner.Checkpoints != 0 {
+		t.Errorf("backlog after Drop: own=%+v partner=%+v", own, partner)
+	}
+	if len(s.Owners()) != 0 {
+		t.Errorf("Owners after Drop = %v", s.Owners())
+	}
+}
+
+func TestGaugeAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(chunkstore.NewMem(), reg)
+	if _, err := s.Put("vm-0", 1, blobseer.SnapshotRef{}, 128, 64, map[uint64][]byte{0: make([]byte, 100)}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("vm-0", 2, blobseer.SnapshotRef{}, 128, 64, map[uint64][]byte{0: make([]byte, 50)}, false); err != nil {
+		t.Fatal(err)
+	}
+	ck := reg.Gauge("localtier_staged_checkpoints", obs.L("role", "own"))
+	by := reg.Gauge("localtier_staged_bytes", obs.L("role", "own"))
+	if ck.Value() != 2 || by.Value() != 150 {
+		t.Fatalf("after staging: ckpts=%d bytes=%d, want 2/150", ck.Value(), by.Value())
+	}
+	s.MarkDrained("vm-0", 1, blobseer.SnapshotRef{Blob: 1, Version: 1})
+	if ck.Value() != 1 || by.Value() != 50 {
+		t.Fatalf("after drain: ckpts=%d bytes=%d, want 1/50", ck.Value(), by.Value())
+	}
+	s.Drop("vm-0")
+	if ck.Value() != 0 || by.Value() != 0 {
+		t.Fatalf("after Drop: ckpts=%d bytes=%d, want 0/0", ck.Value(), by.Value())
+	}
+	if got := reg.Counter("localtier_staged_total").Value(); got != 2 {
+		t.Errorf("localtier_staged_total = %d, want 2", got)
+	}
+	if got := reg.Counter("localtier_drained_total").Value(); got != 1 {
+		t.Errorf("localtier_drained_total = %d, want 1", got)
+	}
+	if got := reg.Counter("localtier_dropped_total").Value(); got != 1 {
+		t.Errorf("localtier_dropped_total = %d, want 1", got)
+	}
+}

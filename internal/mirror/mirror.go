@@ -31,8 +31,10 @@ import (
 	"io"
 	"slices"
 	"sync"
+	"time"
 
 	"blobcr/internal/blobseer"
+	"blobcr/internal/localtier"
 	"blobcr/internal/obs"
 	"blobcr/internal/vdisk"
 )
@@ -48,6 +50,11 @@ var ErrCommitsInFlight = errors.New("mirror: commits in flight")
 // ErrBadRollback is returned by RollbackTo for snapshots the module cannot
 // roll back to in place (a different blob than its own chain).
 var ErrBadRollback = errors.New("mirror: snapshot is not on this module's chain")
+
+// ErrHalted is returned by CommitAsync after Halt: the module's pipeline has
+// been cancelled (the node is being failed or preempted) and accepts no new
+// captures.
+var ErrHalted = errors.New("mirror: module halted")
 
 // DefaultPipelineDepth bounds how many commits may be in flight per module:
 // the capture step blocks once this many snapshots are queued or uploading,
@@ -100,6 +107,44 @@ type Module struct {
 	queue         []*PendingCommit
 	workerRunning bool
 	inFlight      int // commits captured but not yet completed
+
+	// Local write-back tier (nil without one). With a tier attached, a
+	// capture first travels the stage queue — staged into the node-local
+	// store and replicated to the partner, after which it is *locally safe*
+	// and its pipeline slot frees — and only then joins the drain queue,
+	// which publishes to the remote plane at whatever rate it sustains. The
+	// suspend window and the checkpoint ack thereby decouple from remote
+	// bandwidth, which is the multilevel-checkpointing point.
+	stageCfg           *StageConfig
+	seq                uint64 // capture sequence: orders the owner's staged chain
+	stageQueue         []*PendingCommit
+	stageWorkerRunning bool
+	halted             bool
+	live               map[*PendingCommit]struct{} // captured, not yet done (Halt cancels these)
+}
+
+// StageConfig attaches a node-local write-back tier to a module.
+type StageConfig struct {
+	// Stage is the node's local fast tier; Owner names this module's chain
+	// in it (the VM id).
+	Stage *localtier.Stage
+	Owner string
+	// Replicate pushes one staged capture to the partner proxy so a single
+	// node loss cannot lose a locally-safe checkpoint. Nil disables partner
+	// replication (single-node deployments).
+	Replicate func(ctx context.Context, c *localtier.Capture, writes map[uint64][]byte) error
+	// Release tells the partner (and the local stage's bookkeeping) that the
+	// capture was published as ref, so the replica can be dropped. Nil is
+	// allowed; best-effort.
+	Release func(owner string, seq uint64, ref blobseer.SnapshotRef)
+}
+
+// AttachStage wires the local write-back tier into the module's commit
+// pipeline. Call it before the first CommitAsync.
+func (m *Module) AttachStage(cfg StageConfig) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stageCfg = &cfg
 }
 
 // Attach opens the given published snapshot as the device's backing content.
@@ -119,6 +164,7 @@ func Attach(ctx context.Context, c *blobseer.Client, ref blobseer.SnapshotRef) (
 		dirty:         make(map[uint64]bool),
 		written:       make(map[uint64]bool),
 		pipelineDepth: DefaultPipelineDepth,
+		live:          make(map[*PendingCommit]struct{}),
 	}, nil
 }
 
@@ -311,6 +357,10 @@ func (m *Module) RollbackTo(ctx context.Context, ref blobseer.SnapshotRef) error
 	m.src = ref
 	m.base = ref
 	m.size = info.Size
+	if m.stageCfg != nil {
+		// Staged captures overlay the pre-rollback chain; they are stale now.
+		m.stageCfg.Stage.Drop(m.stageCfg.Owner)
+	}
 	return nil
 }
 
@@ -318,17 +368,65 @@ func (m *Module) RollbackTo(ctx context.Context, ref blobseer.SnapshotRef) error
 // travelling through the module's commit pipeline. It is safe to share
 // across goroutines; any number may Wait on it.
 type PendingCommit struct {
-	ctx context.Context // the commit's context; cancelling aborts the upload
+	ctx    context.Context // the commit's context; cancelling aborts the upload
+	cancel context.CancelFunc
 
 	writes  map[uint64][]byte
 	indices []uint64
 	size    uint64
+
+	// Two-watermark state. seq orders this module's captures; captureBase is
+	// the published chain head at capture time (the partner drain's fallback
+	// base). localSafe closes once the capture is staged locally and
+	// replicated to the partner — or, without a tier, together with done.
+	// capture is the staged handle (nil when staging failed or no tier).
+	seq         uint64
+	captureBase blobseer.SnapshotRef
+	localSafe   chan struct{}
+	localErr    error // set before localSafe closes, immutable afterwards
+	capture     *localtier.Capture
 
 	done chan struct{}
 	// Set before done closes, immutable afterwards.
 	info blobseer.VersionInfo
 	ref  blobseer.SnapshotRef
 	err  error
+}
+
+// Seq returns the capture's sequence number in its module's staged chain.
+func (p *PendingCommit) Seq() uint64 { return p.seq }
+
+// LocallySafe reports whether the capture has reached local safety: staged
+// in the node's fast tier and replicated to the partner. Without a tier this
+// becomes true only with global durability.
+func (p *PendingCommit) LocallySafe() bool {
+	select {
+	case <-p.localSafe:
+		return p.localErr == nil
+	default:
+		return false
+	}
+}
+
+// WaitLocallySafe blocks until the capture is locally safe or ctx expires.
+// When staging failed (or the module has no tier), local safety degrades to
+// global durability: the wait continues until the remote commit completes
+// and returns its outcome.
+func (p *PendingCommit) WaitLocallySafe(ctx context.Context) error {
+	select {
+	case <-p.localSafe:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if p.localErr == nil {
+		return nil
+	}
+	select {
+	case <-p.done:
+		return p.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Done returns a channel closed when the commit has completed (successfully
@@ -433,17 +531,31 @@ func (m *Module) commitAsync(admitCtx, uploadCtx context.Context) (*PendingCommi
 		<-m.sem
 		return nil, ErrNoCheckpointImage
 	}
+	if m.halted {
+		m.mu.Unlock()
+		<-m.sem
+		return nil, ErrHalted
+	}
 	// Attach the client's registry so every stage of this commit — the
 	// capture here and the probe/upload/publish/durable stages inside the
 	// client — lands in one scrape surface; a Trace carried by the caller's
 	// context survives too (WithoutCancel preserves values).
 	uploadCtx = obs.WithRegistry(uploadCtx, m.client.Obs)
+	// Per-commit cancellation on top of the caller's context, so Halt can
+	// abort every live commit (including detached ones) through the
+	// repository's abort path.
+	uploadCtx, cancel := context.WithCancel(uploadCtx)
+	m.seq++
 	pc := &PendingCommit{
-		ctx:     uploadCtx,
-		writes:  make(map[uint64][]byte, len(m.dirty)),
-		indices: make([]uint64, 0, len(m.dirty)),
-		size:    m.size,
-		done:    make(chan struct{}),
+		ctx:         uploadCtx,
+		cancel:      cancel,
+		writes:      make(map[uint64][]byte, len(m.dirty)),
+		indices:     make([]uint64, 0, len(m.dirty)),
+		size:        m.size,
+		seq:         m.seq,
+		captureBase: m.base,
+		localSafe:   make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	// Stage: capture — the dirty chunks are copied while the VM is
 	// suspended; this is the only pipeline stage inside the suspend window.
@@ -466,17 +578,99 @@ func (m *Module) commitAsync(admitCtx, uploadCtx context.Context) (*PendingCommi
 	m.dirty = make(map[uint64]bool)
 	capture.End()
 	m.inFlight++
+	m.live[pc] = struct{}{}
+	if m.stageCfg != nil {
+		// Write-back path: the capture first lands in the local tier; its
+		// pipeline slot frees once it is staged, so admission is paced by
+		// local staging speed, not by the remote plane.
+		m.stageQueue = append(m.stageQueue, pc)
+		if !m.stageWorkerRunning {
+			m.stageWorkerRunning = true
+			go m.stageWorker()
+		}
+	} else {
+		close(pc.localSafe) // degenerate: local safety == global durability
+		m.queue = append(m.queue, pc)
+		if !m.workerRunning {
+			m.workerRunning = true
+			go m.commitWorker()
+		}
+	}
+	m.mu.Unlock()
+	return pc, nil
+}
+
+// stageWorker drains the stage FIFO: each capture is staged into the local
+// tier, replicated to the partner, acknowledged locally safe, and handed to
+// the drain queue. The pipeline slot is released here — after staging, not
+// after the remote publish — which is what decouples admission from remote
+// bandwidth.
+func (m *Module) stageWorker() {
+	for {
+		m.mu.Lock()
+		if len(m.stageQueue) == 0 {
+			m.stageWorkerRunning = false
+			m.mu.Unlock()
+			return
+		}
+		pc := m.stageQueue[0]
+		m.stageQueue = m.stageQueue[1:]
+		m.mu.Unlock()
+		m.runStage(pc)
+		<-m.sem
+	}
+}
+
+// runStage stages one capture locally and replicates it to the partner.
+func (m *Module) runStage(pc *PendingCommit) {
+	m.mu.Lock()
+	cfg := m.stageCfg
+	m.mu.Unlock()
+	if err := pc.ctx.Err(); err != nil {
+		// Halted (or the caller aborted) before staging: finish the handle
+		// without touching the tier or the drain queue.
+		m.mu.Lock()
+		m.inFlight--
+		delete(m.live, pc)
+		m.mu.Unlock()
+		pc.localErr = err
+		close(pc.localSafe)
+		pc.err = fmt.Errorf("mirror: commit: %w", err)
+		pc.writes = nil
+		pc.cancel()
+		close(pc.done)
+		return
+	}
+	_, span := obs.StartSpan(pc.ctx, obs.SpanCommitStageLocal)
+	cap, err := cfg.Stage.Put(cfg.Owner, pc.seq, pc.captureBase, pc.size, m.chunkSize, pc.writes, false)
+	if err == nil && cfg.Replicate != nil {
+		if rerr := cfg.Replicate(pc.ctx, cap, pc.writes); rerr != nil {
+			err = fmt.Errorf("mirror: replicate capture %d to partner: %w", pc.seq, rerr)
+		}
+	}
+	span.End()
+	m.mu.Lock()
+	if err != nil {
+		// Staging (or replication) failed: the capture is not locally safe,
+		// but it is still in memory — fall through to the direct remote
+		// path, so local-tier trouble degrades to PR-2 behavior instead of
+		// losing the checkpoint.
+		pc.localErr = err
+	} else {
+		pc.capture = cap
+		pc.writes = nil // write-back: the drain re-reads from the stage
+	}
+	close(pc.localSafe)
 	m.queue = append(m.queue, pc)
 	if !m.workerRunning {
 		m.workerRunning = true
 		go m.commitWorker()
 	}
 	m.mu.Unlock()
-	return pc, nil
 }
 
 // commitWorker drains the pipeline FIFO and exits when it runs dry; the
-// next CommitAsync restarts it.
+// next CommitAsync (or stageWorker hand-off) restarts it.
 func (m *Module) commitWorker() {
 	for {
 		m.mu.Lock()
@@ -487,13 +681,22 @@ func (m *Module) commitWorker() {
 		}
 		pc := m.queue[0]
 		m.queue = m.queue[1:]
+		stageMode := m.stageCfg != nil
 		m.mu.Unlock()
 		m.runCommit(pc)
-		<-m.sem
+		if !stageMode {
+			<-m.sem // write-back slots were already freed by stageWorker
+		}
 	}
 }
 
-// runCommit publishes one captured dirty set.
+// drainBackoffMax caps the retry backoff of the write-back drainer.
+const drainBackoffMax = time.Second
+
+// runCommit publishes one captured dirty set. A staged capture (write-back
+// tier) is locally safe, so a remote failure is retried with capped backoff
+// until the commit's context is cancelled — the drain keeps pace with
+// whatever the remote plane sustains instead of failing the checkpoint.
 func (m *Module) runCommit(pc *PendingCommit) {
 	// Overlay the module's own chain (the last snapshot it published, or the
 	// rollback target), not the blob's latest version: after a rollback the
@@ -501,31 +704,78 @@ func (m *Module) runCommit(pc *PendingCommit) {
 	// rolled back.
 	m.mu.Lock()
 	base := m.base
+	cfg := m.stageCfg
 	m.mu.Unlock()
-	info, cs, err := m.client.WriteVersionStatsFrom(pc.ctx, base, pc.writes, pc.size)
+
+	writes := pc.writes
+	var info blobseer.VersionInfo
+	var cs blobseer.CommitStats
+	var err error
+	if pc.capture != nil {
+		writes, err = cfg.Stage.Writes(pc.capture)
+	}
+	if err == nil {
+		backoff := 10 * time.Millisecond
+		for {
+			info, cs, err = m.client.WriteVersionStatsFrom(pc.ctx, base, writes, pc.size)
+			if err == nil || pc.capture == nil || pc.ctx.Err() != nil {
+				break
+			}
+			// The repository's abort path already ran inside the failed
+			// write (refcounts balanced); the staged copy is intact, so
+			// retry at drain pace.
+			m.client.Registry().Counter("mirror_drain_retries_total").Inc()
+			select {
+			case <-pc.ctx.Done():
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > drainBackoffMax {
+				backoff = drainBackoffMax
+			}
+		}
+	}
+
 	m.mu.Lock()
 	m.inFlight--
+	delete(m.live, pc)
 	if err != nil {
-		// The capture is lost to the repository but not to the VM. Captures
-		// already queued behind this one were taken with the dirty set
-		// cleared, so without help their snapshots would silently miss this
-		// commit's writes: fold the failed writes into every queued capture
-		// that does not overwrite the same chunk (a later capture's copy is
-		// always at least as new). For future captures, re-mark the chunks
-		// dirty — the local cache still holds current content for them.
-		for _, q := range m.queue {
-			for idx, data := range pc.writes {
-				if _, ok := q.writes[idx]; !ok {
-					q.writes[idx] = data
-					q.indices = append(q.indices, idx)
+		if pc.capture == nil {
+			// The capture is lost to the repository but not to the VM.
+			// Captures already queued behind this one were taken with the
+			// dirty set cleared, so without help their snapshots would
+			// silently miss this commit's writes. Fold the failed writes
+			// into the FIRST queued in-memory capture that does not
+			// overwrite the same chunk: later queued captures inherit them
+			// through the published chain, and folding into every one (or
+			// additionally re-marking the chunks dirty) would publish — and
+			// count in CommitStats — the same write more than once. Only
+			// when nothing is queued to carry them do the chunks go back to
+			// the dirty set for a future capture.
+			absorbed := false
+			for _, q := range m.queue {
+				if q.capture != nil {
+					continue // staged capture: its writes live in the tier
+				}
+				for idx, data := range pc.writes {
+					if _, ok := q.writes[idx]; !ok {
+						q.writes[idx] = data
+						q.indices = append(q.indices, idx)
+					}
+				}
+				absorbed = true
+				break
+			}
+			if !absorbed {
+				for _, idx := range pc.indices {
+					if _, ok := m.local[idx]; ok {
+						m.dirty[idx] = true
+					}
 				}
 			}
 		}
-		for _, idx := range pc.indices {
-			if _, ok := m.local[idx]; ok {
-				m.dirty[idx] = true
-			}
-		}
+		// A staged capture needs no fold: its payload stays locally safe in
+		// the tier (and on the partner), where a restart or the partner
+		// drain picks it up.
 		pc.err = fmt.Errorf("mirror: commit: %w", err)
 		m.client.Registry().Counter("mirror_commit_failures_total").Inc()
 	} else {
@@ -537,8 +787,63 @@ func (m *Module) runCommit(pc *PendingCommit) {
 		m.base = pc.ref
 	}
 	m.mu.Unlock()
+	if err == nil && pc.capture != nil {
+		// Globally durable: drop the staged copy, record the drain memo and
+		// release the partner replica.
+		cfg.Stage.MarkDrained(cfg.Owner, pc.seq, pc.ref)
+		if cfg.Release != nil {
+			cfg.Release(cfg.Owner, pc.seq, pc.ref)
+		}
+	}
 	pc.writes = nil // release the capture
+	pc.cancel()     // release the per-commit context
 	close(pc.done)
+}
+
+// Halt cancels every live commit (queued, staging or publishing) and
+// rejects new ones with ErrHalted. It models the node dying or being
+// preempted: in-flight uploads abort through the repository's abort path so
+// CAS refcounts never leak, while captures already staged in the local tier
+// stay there — the partner replica (or a restart in place) drains them.
+// Halt does not wait for the aborts to finish.
+func (m *Module) Halt() {
+	m.mu.Lock()
+	m.halted = true
+	cancels := make([]context.CancelFunc, 0, len(m.live))
+	for pc := range m.live {
+		cancels = append(cancels, pc.cancel)
+	}
+	m.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
+// Halted reports whether Halt has been called.
+func (m *Module) Halted() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.halted
+}
+
+// DrainNow blocks until every captured commit has fully drained to the
+// remote plane (or ctx expires): the preemption path — a spot instance that
+// received its notice flushes the local tier inside the grace window so no
+// locally-safe-only state is lost with the node.
+func (m *Module) DrainNow(ctx context.Context) error {
+	for {
+		m.mu.Lock()
+		n := m.inFlight
+		m.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 // Commit publishes the dirty chunks as a new incremental snapshot of the

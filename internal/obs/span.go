@@ -179,17 +179,37 @@ func (s *Span) End() {
 
 // The five commit-pipeline stage names, in execution order: mirror records
 // capture under the suspend window; the blobseer client records the rest.
+// SpanCommitStageLocal is the multilevel-checkpointing stage between them:
+// with a node-local write-back tier attached, a capture is staged into the
+// local store (and replicated to the partner proxy) under this span before
+// the remote drain runs the probe/upload/publish/durable stages.
 const (
-	SpanCommitCapture = "commit/capture"
-	SpanCommitProbe   = "commit/probe"
-	SpanCommitUpload  = "commit/upload"
-	SpanCommitPublish = "commit/publish"
-	SpanCommitDurable = "commit/durable"
+	SpanCommitCapture    = "commit/capture"
+	SpanCommitStageLocal = "commit/stage-local"
+	SpanCommitProbe      = "commit/probe"
+	SpanCommitUpload     = "commit/upload"
+	SpanCommitPublish    = "commit/publish"
+	SpanCommitDurable    = "commit/durable"
 )
 
-// CommitStages lists the five pipeline stage span names in order.
+// CommitStages lists the five always-present pipeline stage span names in
+// order. The stage-local span is not included: it only exists on modules
+// with a local tier attached (CommitStagesLocalTier covers those).
 var CommitStages = []string{
 	SpanCommitCapture,
+	SpanCommitProbe,
+	SpanCommitUpload,
+	SpanCommitPublish,
+	SpanCommitDurable,
+}
+
+// CommitStagesLocalTier lists the commit stages of a module with a
+// node-local write-back tier attached, in order: the capture is acknowledged
+// locally safe after stage-local, and the remaining stages run in the
+// background drain.
+var CommitStagesLocalTier = []string{
+	SpanCommitCapture,
+	SpanCommitStageLocal,
 	SpanCommitProbe,
 	SpanCommitUpload,
 	SpanCommitPublish,

@@ -23,10 +23,13 @@
 //	response: OK <checkpoint-blob> <snapshot-version> | ERR <message>
 //
 //	request:  POLL <vm-id> <token> <handle>
-//	response: OK PENDING | OK DONE <checkpoint-blob> <snapshot-version> | ERR <message>
+//	response: OK PENDING | OK LOCAL <seq> | OK DONE <checkpoint-blob> <snapshot-version> | ERR <message>
+//
+//	request:  WAITLOCAL <vm-id> <token> <handle>
+//	response: OK LOCAL <seq> | ERR <message>
 //
 //	request:  STATUS <vm-id> <token>
-//	response: OK <state> <dirty-chunks> <pending-commits> | ERR <message>
+//	response: OK <state> <dirty-chunks> <pending-commits> [staged=<ckpts>/<bytes>] | ERR <message>
 //
 //	request:  PREFETCH <vm-id> <token> <idx,idx,...>
 //	response: OK <count> | ERR <message>
@@ -70,6 +73,7 @@ import (
 	"time"
 
 	"blobcr/internal/blobseer"
+	"blobcr/internal/localtier"
 	"blobcr/internal/mirror"
 	"blobcr/internal/obs"
 	"blobcr/internal/transport"
@@ -112,6 +116,18 @@ type Proxy struct {
 	// verb exposes. Nil means obs.Default.
 	Obs *obs.Registry
 
+	// Multilevel checkpointing (all optional; see stage.go). Stage is the
+	// node-local write-back tier: when set, registered modules stage their
+	// captures into it before the background drain publishes them remotely.
+	// PartnerAddr names the neighbor proxy that keeps a replica of every
+	// staged capture (empty disables partner replication); Net carries the
+	// partner frames. Repo is the repository client used to drain a dead
+	// neighbor's replicas on its behalf (DRAINFOR).
+	Stage       *localtier.Stage
+	PartnerAddr string
+	Net         transport.Network
+	Repo        *blobseer.Client
+
 	mu      sync.Mutex
 	targets map[string]*target
 }
@@ -138,6 +154,11 @@ func (p *Proxy) admitTimeout() time.Duration {
 // Register makes a locally hosted instance checkpointable under the given
 // authentication token.
 func (p *Proxy) Register(vmID, token string, inst *vm.Instance, m *mirror.Module) {
+	if p.Stage != nil {
+		// A previous incarnation's staged chain is stale for this module.
+		p.Stage.Drop(vmID)
+		m.AttachStage(p.stageConfigFor(vmID))
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.targets[vmID] = &target{inst: inst, mirror: m, token: token, pending: make(map[uint64]*mirror.PendingCommit)}
@@ -169,6 +190,11 @@ func (p *Proxy) lookup(vmID, token string) (*target, error) {
 }
 
 func (p *Proxy) handle(ctx context.Context, req []byte) ([]byte, error) {
+	// Binary frames (first byte ≥ 0x80) are the partner-replication ops of
+	// the local tier; text verbs start with ASCII letters.
+	if len(req) > 0 && req[0] >= 0x80 {
+		return p.handleStageFrame(ctx, req)
+	}
 	fields := strings.Fields(string(req))
 	if len(fields) == 1 && fields[0] == "PING" {
 		p.mu.Lock()
@@ -181,6 +207,39 @@ func (p *Proxy) handle(ctx context.Context, req []byte) ([]byte, error) {
 	// collectors must work without per-VM credentials.
 	if resp, handled := p.registry().TextReply(fields); handled {
 		return resp, nil
+	}
+	if len(fields) == 0 {
+		return []byte("ERR malformed request"), nil
+	}
+	// The drain-control verbs are node-level and tokenless like PING; all of
+	// them require a local tier.
+	switch fields[0] {
+	case "BACKLOG", "DRAIN-NOW", "DRAINFOR":
+		if p.Stage == nil {
+			return []byte("ERR no local tier attached"), nil
+		}
+		switch {
+		case fields[0] == "BACKLOG" && len(fields) == 1:
+			return p.backlogReply(), nil
+		case fields[0] == "DRAIN-NOW" && len(fields) == 1:
+			n, err := p.drainAllNow(ctx)
+			if err != nil {
+				return []byte("ERR " + err.Error()), nil
+			}
+			return []byte(fmt.Sprintf("OK %d", n)), nil
+		case fields[0] == "DRAINFOR" && len(fields) == 3:
+			seq, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return []byte("ERR bad sequence " + fields[2]), nil
+			}
+			ref, err := p.drainFor(ctx, fields[1], seq)
+			if err != nil {
+				return []byte("ERR " + err.Error()), nil
+			}
+			return []byte(fmt.Sprintf("OK %d %d", ref.Blob, ref.Version)), nil
+		default:
+			return []byte("ERR malformed request"), nil
+		}
 	}
 	if len(fields) < 3 {
 		return []byte("ERR malformed request"), nil
@@ -213,19 +272,45 @@ func (p *Proxy) handle(ctx context.Context, req []byte) ([]byte, error) {
 		if len(fields) != 4 {
 			return []byte("ERR malformed request"), nil
 		}
+		pc, err := t.commit(fields[3])
+		if err != nil {
+			return []byte("ERR " + err.Error()), nil
+		}
 		ref, done, err := p.poll(t, fields[3])
 		if err != nil {
 			return []byte("ERR " + err.Error()), nil
 		}
 		if !done {
+			// Two-watermark state: a capture that reached the local tier is
+			// reported LOCAL (locally safe, not yet globally durable).
+			if pc.LocallySafe() {
+				return []byte(fmt.Sprintf("OK LOCAL %d", pc.Seq())), nil
+			}
 			return []byte("OK PENDING"), nil
 		}
 		return []byte(fmt.Sprintf("OK DONE %d %d", ref.Blob, ref.Version)), nil
+	case "WAITLOCAL":
+		if len(fields) != 4 {
+			return []byte("ERR malformed request"), nil
+		}
+		pc, err := t.commit(fields[3])
+		if err != nil {
+			return []byte("ERR " + err.Error()), nil
+		}
+		if err := pc.WaitLocallySafe(ctx); err != nil {
+			return []byte("ERR " + err.Error()), nil
+		}
+		return []byte(fmt.Sprintf("OK LOCAL %d", pc.Seq())), nil
 	case "STATUS":
 		if len(fields) != 3 {
 			return []byte("ERR malformed request"), nil
 		}
-		return []byte(fmt.Sprintf("OK %s %d %d", t.inst.State(), t.mirror.DirtyChunks(), t.mirror.PendingCommits())), nil
+		resp := fmt.Sprintf("OK %s %d %d", t.inst.State(), t.mirror.DirtyChunks(), t.mirror.PendingCommits())
+		if p.Stage != nil {
+			b := p.Stage.OwnerBacklog(vmID)
+			resp += fmt.Sprintf(" staged=%d/%d", b.Checkpoints, b.Bytes)
+		}
+		return []byte(resp), nil
 	case "PREFETCH":
 		if len(fields) != 4 {
 			return []byte("ERR malformed request"), nil
@@ -446,6 +531,10 @@ func (c *Client) PollCheckpoint(ctx context.Context, handle uint64) (ref blobsee
 	switch {
 	case len(fields) == 2 && fields[1] == "PENDING":
 		return blobseer.SnapshotRef{}, false, nil
+	case len(fields) == 3 && fields[1] == "LOCAL":
+		// Locally safe but not yet globally durable: still pending from the
+		// durability watermark's point of view.
+		return blobseer.SnapshotRef{}, false, nil
 	case len(fields) == 4 && fields[1] == "DONE":
 		blob, err1 := strconv.ParseUint(fields[2], 10, 64)
 		version, err2 := strconv.ParseUint(fields[3], 10, 64)
@@ -481,7 +570,8 @@ func (c *Client) Status(ctx context.Context) (state string, dirtyChunks, pending
 	if len(fields) < 1 || fields[0] != "OK" {
 		return "", 0, 0, errorFrom(resp)
 	}
-	if len(fields) != 4 {
+	// A proxy with a local tier appends staged-backlog fields; tolerate them.
+	if len(fields) < 4 {
 		return "", 0, 0, fmt.Errorf("%w: %q", ErrProto, resp)
 	}
 	dirty, err1 := strconv.Atoi(fields[2])

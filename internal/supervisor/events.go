@@ -17,12 +17,22 @@ const (
 	EventFailureDetected     EventType = "failure-detected"
 	EventNodeRetired         EventType = "node-retired"
 	EventCheckpointInitiated EventType = "checkpoint-initiated"
-	EventCheckpointDurable   EventType = "checkpoint-durable"
-	EventCheckpointFailed    EventType = "checkpoint-failed"
-	EventRollbackPlanned     EventType = "rollback-planned"
-	EventRestartAttempt      EventType = "restart-attempt"
-	EventRestartDone         EventType = "restart-done"
-	EventRecoveryFailed      EventType = "recovery-failed"
+	// EventCheckpointLocal marks the first watermark of multilevel
+	// checkpointing: every member's capture is staged in its node's local
+	// tier and replicated to the partner. The checkpoint is safe against any
+	// single node loss but not yet a rollback target.
+	EventCheckpointLocal   EventType = "checkpoint-locally-safe"
+	EventCheckpointDurable EventType = "checkpoint-durable"
+	// EventCheckpointPromoted records a recovery-time promotion: a
+	// locally-safe checkpoint newer than the durable watermark was drained to
+	// the remote plane (from the members' own tiers or their partners'
+	// replicas) and became the rollback target.
+	EventCheckpointPromoted EventType = "checkpoint-promoted"
+	EventCheckpointFailed   EventType = "checkpoint-failed"
+	EventRollbackPlanned    EventType = "rollback-planned"
+	EventRestartAttempt     EventType = "restart-attempt"
+	EventRestartDone        EventType = "restart-done"
+	EventRecoveryFailed     EventType = "recovery-failed"
 
 	// Storage-plane self-healing (Config.Repair): a confirmed node failure
 	// triggers a background scrub + re-replication pass; repair-done's MTTR

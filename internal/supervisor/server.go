@@ -3,6 +3,7 @@ package supervisor
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -18,9 +19,17 @@ import (
 //	response: OK <n>\n<one event line per event> | ERR <message>
 //
 //	request:  STATUS
-//	response: OK gen=<generation> watermark=<ckpt-id> interval=<duration>
-//	             recoveries=<n> mean-mttr=<duration> work-lost=<duration>
-//	             repairs=<n> replicas-restored=<n> storage-mttr=<duration>
+//	response: OK gen=<generation> watermark=<ckpt-id> local-watermark=<ckpt-id>
+//	             interval=<duration> recoveries=<n> mean-mttr=<duration>
+//	             work-lost=<duration> repairs=<n> replicas-restored=<n>
+//	             storage-mttr=<duration>
+//	             [backlog.<node>=<ckpts>/<chunks>/<bytes> ...]
+//
+// local-watermark is the multilevel first watermark: the newest checkpoint
+// staged in every member's node-local tier and partner replica (always ≥
+// watermark; equal when the drain has caught up or no local tier runs). The
+// backlog fields — one per local-tier node, own captures and held partner
+// replicas combined — are what the drain still owes the remote plane.
 //
 //	request:  METRICS [<offset>]
 //	response: OK v1\n<exposition chunk> | OK v1 MORE <next-offset>\n<chunk>
@@ -82,9 +91,24 @@ func (s *Supervisor) handle(_ context.Context, req []byte) ([]byte, error) {
 	case "STATUS":
 		dep, gen := s.Deployment()
 		m := s.Metrics()
-		return []byte(fmt.Sprintf("OK gen=%d watermark=%d interval=%s recoveries=%d mean-mttr=%s work-lost=%s repairs=%d replicas-restored=%d storage-mttr=%s",
-			gen, dep.DurableWatermark(), s.Interval(), m.Recoveries, m.MeanMTTR(), m.WorkLost,
-			m.StorageRepairs, m.ReplicasRestored, m.LastStorageMTTR)), nil
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK gen=%d watermark=%d local-watermark=%d interval=%s recoveries=%d mean-mttr=%s work-lost=%s repairs=%d replicas-restored=%d storage-mttr=%s",
+			gen, dep.DurableWatermark(), dep.LocalWatermark(), s.Interval(), m.Recoveries, m.MeanMTTR(), m.WorkLost,
+			m.StorageRepairs, m.ReplicasRestored, m.LastStorageMTTR)
+		backlogs := s.Backlogs()
+		nodes := make([]string, 0, len(backlogs))
+		for name := range backlogs {
+			nodes = append(nodes, name)
+		}
+		sort.Strings(nodes)
+		for _, name := range nodes {
+			nb := backlogs[name]
+			fmt.Fprintf(&b, " backlog.%s=%d/%d/%d", name,
+				nb.Own.Checkpoints+nb.Partner.Checkpoints,
+				nb.Own.Chunks+nb.Partner.Chunks,
+				nb.Own.Bytes+nb.Partner.Bytes)
+		}
+		return []byte(b.String()), nil
 	default:
 		return []byte("ERR unknown verb " + fields[0]), nil
 	}

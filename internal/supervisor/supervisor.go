@@ -11,11 +11,21 @@
 //   - Checkpoint cadence: periodic global checkpoints on the Young/Daly
 //     interval sqrt(2*C*MTBF)-C (simcloud.OptimalInterval, so the simulator
 //     and the live system price the same formula), where C is an EWMA of
-//     the observed time-to-durable checkpoint cost and MTBF is configured.
+//     the observed checkpoint cost and MTBF is configured. On a multilevel
+//     deployment (cloud.Config.LocalTier) C is the time to *locally safe* —
+//     staged in the node-local fast tier and replicated to the partner — not
+//     the time to durable: the local tier is what the job actually waits
+//     for, so the cadence tracks local-tier speed and stays dense even when
+//     the remote plane is slow.
 //   - Rollback planning: with asynchronous commits the newest recorded
 //     checkpoint may still be publishing, so recovery targets the newest
 //     *globally durable* checkpoint — the durability watermark that
-//     cloud.Deployment tracks as commit handles resolve.
+//     cloud.Deployment tracks as commit handles resolve. On a multilevel
+//     deployment recovery first tries to *promote* the newest locally-safe
+//     checkpoint: drain every member's staged captures (from the member's
+//     own surviving tier, or its partner's replica when the node died) and
+//     mark the checkpoint durable, so a single node loss never costs a
+//     locally-safe checkpoint.
 //   - Self-healing restart: bounded retries with exponential backoff,
 //     placement on spare nodes, and — when Config.PartialRestart is set —
 //     partial restart: only the members that died are re-deployed from
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"blobcr/internal/cloud"
+	"blobcr/internal/localtier"
 	"blobcr/internal/obs"
 	"blobcr/internal/proxy"
 	"blobcr/internal/repair"
@@ -166,8 +177,14 @@ type Metrics struct {
 	InPlaceVMs       int
 
 	CheckpointsInitiated int
-	CheckpointsDurable   int
-	CheckpointsFailed    int
+	// CheckpointsLocal counts checkpoints that reached the locally-safe
+	// watermark (multilevel deployments only); CheckpointsPromoted counts
+	// recovery-time promotions of a locally-safe checkpoint to durable via
+	// partner/owner tier drains.
+	CheckpointsLocal    int
+	CheckpointsPromoted int
+	CheckpointsDurable  int
+	CheckpointsFailed   int
 
 	// Storage-plane repair accounting (Config.Repair).
 	StorageRepairs   int           // triggered repair passes completed
@@ -201,9 +218,18 @@ type Supervisor struct {
 	dep         *cloud.Deployment
 	gen         int // deployment generation; bumps on every recovery
 	det         *detector
-	ckptCost    float64   // EWMA of observed time-to-durable, seconds
+	ckptCost    float64   // EWMA of observed checkpoint cost, seconds (time-to-local on tiered deployments, time-to-durable otherwise)
 	lastDurable time.Time // when the newest durable checkpoint completed
 	metrics     Metrics
+
+	// Multilevel bookkeeping. localSeqs records, per locally-safe checkpoint
+	// of the *current* generation, each member's capture sequence number —
+	// the input a promotion drain (proxy DRAINFOR against the member's node
+	// or its partner) needs. Cleared when the generation bumps: checkpoint
+	// ids restart per deployment. backlogs mirrors each live node's
+	// local-tier drain backlog, refreshed on heartbeat rounds.
+	localSeqs map[int]map[string]uint64
+	backlogs  map[string]NodeBacklog
 
 	// An exhausted recovery episode leaves the deployment down; the loop
 	// starts a fresh episode once retryRecoveryAt passes. downSince anchors
@@ -237,13 +263,15 @@ func New(cl *cloud.Cloud, dep *cloud.Deployment, cfg Config) *Supervisor {
 		reg = obs.Default
 	}
 	s := &Supervisor{
-		cl:      cl,
-		cfg:     cfg,
-		log:     newEventLog(cfg.EventBuffer),
-		reg:     reg,
-		dep:     dep,
-		det:     newDetector(cfg.SuspectAfter),
-		flights: make(map[string]FlightDump),
+		cl:        cl,
+		cfg:       cfg,
+		log:       newEventLog(cfg.EventBuffer),
+		reg:       reg,
+		dep:       dep,
+		det:       newDetector(cfg.SuspectAfter),
+		flights:   make(map[string]FlightDump),
+		localSeqs: make(map[int]map[string]uint64),
+		backlogs:  make(map[string]NodeBacklog),
 	}
 	dropped := reg.Counter("supervisor_events_dropped_total")
 	s.log.onDrop = dropped.Inc
@@ -267,6 +295,42 @@ func (s *Supervisor) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.metrics
+}
+
+// NodeBacklog is one node's local-tier drain backlog, split into the node's
+// own staged captures and the partner replicas it holds for its neighbor.
+type NodeBacklog struct {
+	Own     localtier.Backlog
+	Partner localtier.Backlog
+}
+
+// Backlogs returns the latest drain backlog mirrored off each live node of
+// the local tier, keyed by node name. Empty on non-tiered deployments.
+func (s *Supervisor) Backlogs() map[string]NodeBacklog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]NodeBacklog, len(s.backlogs))
+	for name, b := range s.backlogs {
+		out[name] = b
+	}
+	return out
+}
+
+// tiered reports whether the deployment runs on local-tier nodes — the
+// multilevel two-watermark protocol only applies then.
+func (s *Supervisor) tiered(dep *cloud.Deployment) bool {
+	return len(dep.Instances) > 0 && dep.Instances[0].Node.Stage() != nil
+}
+
+// observeCkptCostLocked folds one checkpoint-cost observation into the EWMA
+// feeding the Young/Daly interval. Caller holds s.mu.
+func (s *Supervisor) observeCkptCostLocked(cost time.Duration) {
+	if s.ckptCost == 0 {
+		s.ckptCost = cost.Seconds()
+	} else {
+		a := s.cfg.CostSmoothing
+		s.ckptCost = a*cost.Seconds() + (1-a)*s.ckptCost
+	}
 }
 
 // Interval returns the checkpoint interval currently in effect: the
@@ -343,6 +407,19 @@ func (s *Supervisor) heartbeat(ctx context.Context) []string {
 			_, errs[i] = proxy.Ping(pctx, s.cl.Network(), node.ProxyAddr)
 			if errs[i] == nil {
 				sw.ObserveInto(s.reg.Histogram("supervisor_heartbeat_rtt_ns"))
+				// Piggyback the local-tier drain backlog on the liveness
+				// round: one extra cheap call per beat keeps the per-node
+				// backlog view (STATUS, Backlogs) current without a second
+				// survey loop.
+				if node.Stage() != nil {
+					if own, partner, berr := proxy.Backlog(pctx, s.cl.Network(), node.ProxyAddr); berr == nil {
+						s.mu.Lock()
+						s.backlogs[node.Name] = NodeBacklog{Own: own, Partner: partner}
+						s.mu.Unlock()
+						s.reg.Gauge("supervisor_drain_backlog_chunks", obs.L("node", node.Name)).Set(int64(own.Chunks + partner.Chunks))
+						s.reg.Gauge("supervisor_drain_backlog_bytes", obs.L("node", node.Name)).Set(int64(own.Bytes + partner.Bytes))
+					}
+				}
 			}
 		}(i, node)
 	}
@@ -389,7 +466,7 @@ func (s *Supervisor) CheckpointNow(ctx context.Context) (int, error) {
 	s.mu.Lock()
 	dep, gen := s.dep, s.gen
 	s.mu.Unlock()
-	start := time.Now()
+	sw := obs.StartTimer()
 
 	type member struct {
 		inst   *cloud.Instance
@@ -427,8 +504,55 @@ func (s *Supervisor) CheckpointNow(ctx context.Context) (int, error) {
 		Detail: fmt.Sprintf("%d members, commits in flight", len(members))})
 
 	go func() {
+		// Phase A (multilevel deployments): wait for every member's capture
+		// to reach its node's fast tier and partner replica, then mark the
+		// locally-safe watermark. The *local* cost is what feeds the
+		// Young/Daly EWMA — the job only ever waits for the local tier, so
+		// the cadence must track local-tier speed, not remote-plane
+		// bandwidth.
+		tiered := s.tiered(dep)
+		localOK := false
+		if tiered {
+			seqs := make(map[string]uint64, len(members))
+			localOK = true
+			for _, m := range members {
+				seq, err := m.inst.Proxy.WaitCheckpointLocal(ctx, m.handle)
+				if err != nil {
+					s.log.append(Event{Type: EventCheckpointFailed, Ckpt: id, Node: m.inst.Node.Name,
+						Detail: fmt.Sprintf("local ack %s: %v", m.inst.VMID, err)})
+					localOK = false
+					break
+				}
+				seqs[m.inst.VMID] = seq
+			}
+			if localOK {
+				if err := dep.MarkLocallySafe(id); err != nil {
+					s.log.append(Event{Type: EventCheckpointFailed, Ckpt: id, Detail: err.Error()})
+				} else {
+					localCost := sw.Elapsed()
+					s.mu.Lock()
+					if s.gen == gen {
+						s.observeCkptCostLocked(localCost)
+						s.localSeqs[id] = seqs
+						s.metrics.CheckpointsLocal++
+					}
+					s.mu.Unlock()
+					s.reg.Counter("supervisor_ckpt_local_total").Inc()
+					s.reg.Histogram("supervisor_ckpt_local_cost_ns").Observe(uint64(localCost))
+					s.log.append(Event{Type: EventCheckpointLocal, Ckpt: id,
+						Detail: fmt.Sprintf("local-cost=%s interval=%s", localCost.Round(time.Microsecond), s.Interval().Round(time.Millisecond))})
+				}
+			}
+		}
+		// Phase B: wait for the drain to publish every member's snapshot to
+		// the remote plane. A member whose node died after the local ack is
+		// not fatal: its partner holds the replica — drain it on the dead
+		// member's behalf.
 		for _, m := range members {
 			ref, err := m.inst.Proxy.WaitCheckpoint(ctx, m.handle)
+			if err != nil && tiered && localOK {
+				ref, err = s.drainSurvivor(ctx, m.inst, id)
+			}
 			if err != nil {
 				s.mu.Lock()
 				s.metrics.CheckpointsFailed++
@@ -446,7 +570,7 @@ func (s *Supervisor) CheckpointNow(ctx context.Context) (int, error) {
 			s.log.append(Event{Type: EventCheckpointFailed, Ckpt: id, Detail: err.Error()})
 			return
 		}
-		cost := time.Since(start)
+		cost := sw.Elapsed()
 		s.mu.Lock()
 		if s.gen != gen {
 			// A recovery replaced the deployment while this checkpoint was
@@ -459,14 +583,14 @@ func (s *Supervisor) CheckpointNow(ctx context.Context) (int, error) {
 				Detail: "published into a deployment already replaced by recovery"})
 			return
 		}
-		if s.ckptCost == 0 {
-			s.ckptCost = cost.Seconds()
-		} else {
-			a := s.cfg.CostSmoothing
-			s.ckptCost = a*cost.Seconds() + (1-a)*s.ckptCost
+		if !localOK {
+			// Untier(ed) deployments price the full time-to-durable; tiered
+			// ones already folded the local cost in phase A.
+			s.observeCkptCostLocked(cost)
 		}
 		s.lastDurable = time.Now()
 		s.metrics.CheckpointsDurable++
+		delete(s.localSeqs, id) // durable: no promotion drain will need it
 		s.mu.Unlock()
 		s.reg.Counter("supervisor_ckpt_durable_total").Inc()
 		s.reg.Histogram("supervisor_ckpt_cost_ns").Observe(uint64(cost))
@@ -474,6 +598,79 @@ func (s *Supervisor) CheckpointNow(ctx context.Context) (int, error) {
 			Detail: fmt.Sprintf("cost=%s interval=%s", cost.Round(time.Microsecond), s.Interval().Round(time.Millisecond))})
 	}()
 	return id, nil
+}
+
+// drainSurvivor publishes a member's staged captures for the locally-safe
+// checkpoint ckptID from wherever a copy survives: the member's own node
+// first (restart-in-place — the tier outlives the halted mirror module),
+// then the node's partner replica. It returns the snapshot the drain chain
+// reached.
+func (s *Supervisor) drainSurvivor(ctx context.Context, inst *cloud.Instance, ckptID int) (cloud.SnapshotRef, error) {
+	s.mu.Lock()
+	seq, ok := s.localSeqs[ckptID][inst.VMID]
+	s.mu.Unlock()
+	if !ok {
+		return cloud.SnapshotRef{}, fmt.Errorf("supervisor: no local capture sequence recorded for %s at ckpt %d", inst.VMID, ckptID)
+	}
+	var addrs []string
+	if !inst.Node.Failed() {
+		addrs = append(addrs, inst.Node.ProxyAddr)
+	}
+	if inst.Node.PartnerAddr != "" {
+		addrs = append(addrs, inst.Node.PartnerAddr)
+	}
+	err := fmt.Errorf("supervisor: no surviving copy of %s seq %d", inst.VMID, seq)
+	for _, addr := range addrs {
+		var ref cloud.SnapshotRef
+		ref, err = proxy.DrainFor(ctx, s.cl.Network(), addr, inst.VMID, seq)
+		if err == nil {
+			return ref, nil
+		}
+	}
+	return cloud.SnapshotRef{}, err
+}
+
+// promoteLocallySafe tries to make the newest locally-safe checkpoint the
+// rollback target: every member's staged captures are drained to the remote
+// plane — from the member's own tier when its node survived, or from the
+// partner replica when it died — and the checkpoint is marked durable.
+// Failure is not fatal; the rollback planner falls back to the existing
+// durable watermark, so a locally-safe-only checkpoint is never rolled back
+// to unless every member's copy was actually publishable.
+func (s *Supervisor) promoteLocallySafe(ctx context.Context, dep *cloud.Deployment) {
+	if !s.tiered(dep) {
+		return
+	}
+	lcp, ok := dep.LatestLocallySafeCheckpoint()
+	if !ok || lcp.Durable {
+		return
+	}
+	for _, inst := range dep.Instances {
+		if _, done := lcp.Snapshots[inst.VMID]; done {
+			continue // this member's drain already published
+		}
+		ref, err := s.drainSurvivor(ctx, inst, lcp.ID)
+		if err != nil {
+			s.log.append(Event{Type: EventCheckpointFailed, Ckpt: lcp.ID, Node: inst.Node.Name,
+				Detail: fmt.Sprintf("promotion drain %s: %v", inst.VMID, err)})
+			return
+		}
+		if err := dep.ResolveSnapshot(lcp.ID, inst.VMID, ref); err != nil {
+			s.log.append(Event{Type: EventCheckpointFailed, Ckpt: lcp.ID, Detail: err.Error()})
+			return
+		}
+	}
+	if err := dep.MarkDurable(lcp.ID); err != nil {
+		s.log.append(Event{Type: EventCheckpointFailed, Ckpt: lcp.ID, Detail: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	s.metrics.CheckpointsPromoted++
+	s.metrics.CheckpointsDurable++
+	s.mu.Unlock()
+	s.reg.Counter("supervisor_ckpt_promoted_total").Inc()
+	s.log.append(Event{Type: EventCheckpointPromoted, Ckpt: lcp.ID,
+		Detail: "locally-safe checkpoint drained to the remote plane for rollback"})
 }
 
 // recover handles one confirmed failure: mark the nodes failed with the
@@ -534,6 +731,11 @@ func (s *Supervisor) recover(ctx context.Context, failed []string) error {
 		return nil
 	}
 
+	// Multilevel promotion: the newest locally-safe checkpoint may be ahead
+	// of the durable watermark — try to drain it to the remote plane first,
+	// so the rollback discards as little work as the local tier allows.
+	s.promoteLocallySafe(ctx, dep)
+
 	cp, ok := dep.LatestDurableCheckpoint()
 	if !ok {
 		// Nothing to roll back to *yet* — an in-flight checkpoint may still
@@ -588,8 +790,12 @@ func (s *Supervisor) recover(ctx context.Context, failed []string) error {
 			s.gen++
 			s.pendingRecovery = false
 			s.downSince = time.Time{}
+			// Checkpoint ids restart with the new deployment: stale capture
+			// sequences must not alias the new incarnation's checkpoints.
+			s.localSeqs = make(map[int]map[string]uint64)
 			for _, name := range failed {
 				s.det.forget(name)
+				delete(s.backlogs, name)
 			}
 			// Work since the resumed checkpoint is what the next failure
 			// would lose.

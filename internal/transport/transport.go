@@ -318,11 +318,41 @@ type Bandwidth struct {
 
 	mu    sync.Mutex
 	pipes map[string]*sync.Mutex
+	// perAddr overrides BytesPerSec for individual addresses, letting one
+	// experiment starve the remote storage plane while local/partner links
+	// keep full speed (the multilevel-checkpointing bench does exactly this).
+	perAddr map[string]float64
 }
 
 // WithBandwidth wraps inner with a per-address bandwidth model.
 func WithBandwidth(inner Network, bytesPerSec float64) *Bandwidth {
 	return &Bandwidth{Inner: inner, BytesPerSec: bytesPerSec, pipes: make(map[string]*sync.Mutex)}
+}
+
+// SetAddrBytesPerSec overrides the modeled bandwidth for one address.
+// bps <= 0 removes the override, restoring the default BytesPerSec.
+func (b *Bandwidth) SetAddrBytesPerSec(addr string, bps float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.perAddr == nil {
+		b.perAddr = make(map[string]float64)
+	}
+	if bps <= 0 {
+		delete(b.perAddr, addr)
+		return
+	}
+	b.perAddr[addr] = bps
+}
+
+// rate returns the bandwidth applied to addr: its override if one is set,
+// else the default.
+func (b *Bandwidth) rate(addr string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if bps, ok := b.perAddr[addr]; ok {
+		return bps
+	}
+	return b.BytesPerSec
 }
 
 // Listen implements Network.
@@ -350,11 +380,12 @@ func (b *Bandwidth) Call(ctx context.Context, addr string, req []byte) ([]byte, 
 	p.Lock()
 	defer p.Unlock()
 	resp, err := b.Inner.Call(ctx, addr, req)
-	if err != nil || b.BytesPerSec <= 0 {
+	bps := b.rate(addr)
+	if err != nil || bps <= 0 {
 		return resp, err
 	}
 	moved := len(req) + len(resp)
-	t := time.NewTimer(time.Duration(float64(moved) / b.BytesPerSec * float64(time.Second)))
+	t := time.NewTimer(time.Duration(float64(moved) / bps * float64(time.Second)))
 	defer t.Stop()
 	select {
 	case <-t.C:

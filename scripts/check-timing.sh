@@ -40,7 +40,7 @@ check internal/proxy      0
 check internal/chunkstore 0
 check internal/seglog     0
 check internal/obs        7
-check internal/supervisor 15
+check internal/supervisor 13
 check internal/repair     9
 
 if [ "$fail" -ne 0 ]; then
