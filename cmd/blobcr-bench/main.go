@@ -8,7 +8,9 @@
 //	blobcr-bench -ablations     # include the ablation studies
 //	blobcr-bench -only fig2b
 //	blobcr-bench -only disklog  # storage-engine commit bandwidth on a real disk
+//	blobcr-bench -only health   # federated SLO alert detection latency
 //	blobcr-bench -dir /mnt/ssd  # disk-backed: disklog + seglog-backed throughput
+//	blobcr-bench -json out.json # also write machine-readable results
 package main
 
 import (
@@ -23,8 +25,9 @@ import (
 
 func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
-	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, stages, tracepath, availability, throughput, disklog, repair, localtier, preemption)")
+	only := flag.String("only", "", "run a single experiment (fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig5c, table1, fig6, downtime, stages, tracepath, availability, throughput, disklog, repair, localtier, preemption, health)")
 	dirFlag := flag.String("dir", "", "scratch directory for the disk-backed experiments (disklog, seglog-backed throughput); empty = a temp dir")
+	jsonPath := flag.String("json", "", "also write the results as machine-readable JSON to this path")
 	flag.Parse()
 
 	p := simcloud.Default()
@@ -64,6 +67,7 @@ func main() {
 		"repair":       func() bench.Series { return bench.FigRepair() },
 		"localtier":    func() bench.Series { return bench.FigLocalTier() },
 		"preemption":   func() bench.Series { return bench.FigPreemption() },
+		"health":       func() bench.Series { return bench.FigHealth() },
 	}
 
 	// A functional experiment that cannot produce its numbers renders with a
@@ -71,10 +75,39 @@ func main() {
 	// tables. The downtime experiment also fails this way when the commit
 	// pipeline's stage telemetry comes back empty from its METRICS scrape.
 	failed := false
+	var results []bench.Series
 	render := func(s bench.Series) {
 		s.Render(os.Stdout)
+		results = append(results, s)
 		if strings.Contains(s.Title, "FAILED") {
 			failed = true
+		}
+	}
+	// writeJSON emits everything rendered so far as the machine-readable
+	// result document CI uploads as an artifact.
+	writeJSON := func() {
+		if *jsonPath == "" {
+			return
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blobcr-bench:", err)
+			os.Exit(1)
+		}
+		params := map[string]float64{
+			"nodes":          float64(p.Nodes),
+			"meta_providers": float64(p.MetaProviders),
+			"disk_bw_mb_s":   p.DiskBW / simcloud.MB,
+			"net_bw_mb_s":    p.NetBW / simcloud.MB,
+			"chunk_size_kb":  p.ChunkSize / 1024,
+		}
+		if err := bench.WriteJSON(f, params, results); err != nil {
+			fmt.Fprintln(os.Stderr, "blobcr-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "blobcr-bench:", err)
+			os.Exit(1)
 		}
 	}
 
@@ -85,6 +118,7 @@ func main() {
 			os.Exit(2)
 		}
 		render(gen())
+		writeJSON()
 		if failed {
 			os.Exit(1)
 		}
@@ -104,6 +138,7 @@ func main() {
 			render(s)
 		}
 	}
+	writeJSON()
 	if failed {
 		os.Exit(1)
 	}

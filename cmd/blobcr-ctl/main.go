@@ -18,6 +18,7 @@
 //	blobcr-ctl -supervisor ADDR status
 //	blobcr-ctl preempt <proxy-addr>
 //	blobcr-ctl [-watch] metrics <addr>
+//	blobcr-ctl [-once] top <supervisor-addr>
 //	blobcr-ctl trace <addr>[,addr...] <trace-hex>
 //	blobcr-ctl flight <addr> [node]
 //	blobcr-ctl store <data-provider-addr> [compact]
@@ -73,6 +74,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "deadline for repository operations (0 = none); hung daemons fail fast")
 	supAddr := flag.String("supervisor", "", "supervisor introspection endpoint (for events/status)")
 	watch := flag.Bool("watch", false, "metrics: re-scrape and redraw every two seconds")
+	once := flag.Bool("once", false, "top: render a single frame and exit instead of refreshing")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -92,6 +94,10 @@ func main() {
 	case "metrics":
 		need(flag.Args(), 2)
 		metricsQuery(flag.Arg(1), *timeout, *watch)
+		return
+	case "top":
+		need(flag.Args(), 2)
+		topQuery(flag.Arg(1), *timeout, *once)
 		return
 	case "trace":
 		need(flag.Args(), 3)
@@ -546,7 +552,14 @@ commands:
                                       or repair): commit stage timings, suspend
                                       window, per-provider latency, dedup hit-rate
                                       (-watch redraws every two seconds with
-                                      per-second counter rates from scrape deltas)
+                                      per-second rates: server-side HISTORY
+                                      windowed rates when the endpoint keeps a
+                                      history ring, scrape deltas otherwise)
+  top <supervisor-addr>               live cluster dashboard off a federating
+                                      supervisor: per-node liveness, suspend
+                                      p99, drain backlog, commit MB/s and
+                                      firing SLO alerts, all from the one
+                                      federated endpoint (-once: single frame)
   trace <addr>[,addr...] <trace-hex>  collect one distributed trace's spans from
                                       the given endpoints, assemble the
                                       cross-process tree and print it with its

@@ -12,29 +12,47 @@ import (
 	"blobcr/internal/transport"
 )
 
+// watchWindow is the trailing window -watch asks the endpoint's history
+// ring about. Wider than the redraw period, so rates are smoothed over
+// several ring samples rather than jittering scrape-to-scrape.
+const watchWindow = 10 * time.Second
+
 // metricsQuery scrapes a METRICS endpoint (checkpointing proxy, supervisor
 // or repair daemon — they all speak the same verb) and renders the telemetry
 // an operator reaches for first: the last commit's suspend window decomposed
 // into the five pipeline stages, per-provider wire latency, and the dedup
 // hit-rate. With watch, it re-scrapes every two seconds and annotates every
-// counter with its per-second rate computed from the scrape deltas — the
-// live view of how fast the deployment is moving. Gauges and histograms stay
-// absolute: a gauge already is the current value.
+// counter with its per-second rate. Rates come from the endpoint's own
+// history ring when it keeps one (the HISTORY verb: delta-exact, computed
+// over the ring's sample timestamps); endpoints without a ring fall back to
+// client-side scrape deltas. Gauges and histograms stay absolute: a gauge
+// already is the current value.
 func metricsQuery(addr string, timeout time.Duration, watch bool) {
+	net := transport.NewTCP()
 	var prev map[string]uint64
 	var prevAt time.Time
 	for {
-		points := scrapeMetrics(addr, timeout)
+		points := scrapeMetrics(net, addr, timeout)
 		now := time.Now()
 		var rates map[string]float64
-		if prev != nil {
-			rates = counterRates(points, prev, now.Sub(prevAt))
+		rateSrc := ""
+		if watch {
+			if r, ok := historyRates(net, addr, timeout); ok {
+				rates = r
+				rateSrc = fmt.Sprintf("server-side history, %ds window", int(watchWindow.Seconds()))
+			} else if prev != nil {
+				rates = counterRates(points, prev, now.Sub(prevAt))
+				rateSrc = "client-side scrape deltas (no history ring at endpoint)"
+			}
 		}
 		prev, prevAt = counterValues(points), now
 		if watch {
 			fmt.Print("\033[H\033[2J") // clear screen between refreshes
 		}
 		fmt.Printf("metrics from %s at %s\n", addr, now.Format("15:04:05"))
+		if rateSrc != "" {
+			fmt.Printf("counter rates: %s\n", rateSrc)
+		}
 		renderMetrics(os.Stdout, points, rates)
 		if !watch {
 			return
@@ -45,14 +63,14 @@ func metricsQuery(addr string, timeout time.Duration, watch bool) {
 
 // scrapeMetrics collects the full (possibly chunked) exposition from addr
 // and parses it.
-func scrapeMetrics(addr string, timeout time.Duration) []obs.Point {
+func scrapeMetrics(net transport.Network, addr string, timeout time.Duration) []obs.Point {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	body, err := transport.ScrapeExposition(ctx, transport.NewTCP(), addr)
+	body, err := transport.ScrapeExposition(ctx, net, addr)
 	if err != nil {
 		log.Fatalf("metrics: %v", err)
 	}
@@ -61,6 +79,36 @@ func scrapeMetrics(addr string, timeout time.Duration) []obs.Point {
 		log.Fatalf("metrics: parse exposition: %v", err)
 	}
 	return points
+}
+
+// historyRates asks the endpoint's history ring for windowed counter rates.
+// ok is false when the endpoint has no ring (HISTORY answers ERR) or the
+// ring holds fewer than two samples — the callers fall back to scrape
+// deltas rather than rendering no rates at all.
+func historyRates(net transport.Network, addr string, timeout time.Duration) (map[string]float64, bool) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	rep, err := transport.HistoryWindow(ctx, net, addr, watchWindow)
+	if err != nil || rep.Samples < 2 {
+		return nil, false
+	}
+	out := make(map[string]float64)
+	for i := range rep.Stats {
+		st := &rep.Stats[i]
+		if st.Kind != obs.KindCounter {
+			continue
+		}
+		key := st.Name
+		for _, l := range st.Labels {
+			key += ";" + l.Key + "=" + l.Value
+		}
+		out[key] = st.Rate
+	}
+	return out, true
 }
 
 // seriesKey identifies one series across scrapes: the metric name plus its

@@ -20,9 +20,11 @@
 // metrics; oversized expositions continue under MORE chunks), plus the
 // tokenless TRACE <trace-hex> and FLIGHT introspection verbs — its span
 // store for one distributed trace, and its always-on flight-recorder ring
-// (blobcr-ctl trace / flight). -debug-addr additionally binds an HTTP
-// listener serving /metrics, /debug/pprof/* and /debug/vars for Prometheus
-// and pprof.
+// (blobcr-ctl trace / flight). -history keeps a ring of metric snapshots so
+// the HISTORY verb can answer windowed rates and quantiles (blobcr-ctl
+// metrics -watch and the supervisor's federation use it). -debug-addr
+// additionally binds an HTTP listener serving /metrics, /healthz,
+// /debug/pprof/* and /debug/vars for Prometheus and pprof.
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"blobcr/internal/blobseer"
 	"blobcr/internal/chunkstore"
@@ -62,6 +65,7 @@ func main() {
 	stageBackend := flag.String("stage-backend", "", "node-local checkpoint tier backend: mem, disk or seglog (empty = no local tier)")
 	stageDir := flag.String("stage-dir", "", "directory backing the local tier (required for -stage-backend disk/seglog)")
 	partnerAddr := flag.String("partner", "", "partner proxy address replicating this node's staged captures (requires -stage-backend)")
+	history := flag.Duration("history", time.Second, "metric history ring sample period backing the HISTORY verb (0 = no ring)")
 	flag.Parse()
 
 	if *vmAddr == "" || *pmAddr == "" || *meta == "" || *base == 0 {
@@ -69,8 +73,12 @@ func main() {
 		os.Exit(2)
 	}
 	// Meter every wire call into the default registry: the proxy's METRICS
-	// verb and the -debug-addr /metrics page both scrape it.
+	// verb and the -debug-addr /metrics page both scrape it. The history ring
+	// lets the same registry answer windowed HISTORY queries server-side.
 	net := transport.WithMeter(transport.NewTCP(), nil, blobseer.VerbName)
+	if *history > 0 {
+		obs.Default.StartHistory(*history, 256)
+	}
 	if *debugAddr != "" {
 		dbg, err := obs.ServeDebug(*debugAddr, nil)
 		if err != nil {

@@ -18,9 +18,11 @@
 // Every role answers the binary TRACE/FLIGHT introspection ops on its
 // service port — the spans it holds for one distributed trace, and its
 // always-on flight-recorder ring (blobcr-ctl trace / flight fall back to
-// them automatically). With -debug-addr, the daemon binds an HTTP debug
-// listener serving /metrics (Prometheus text for every wire call handled),
-// /debug/pprof/* and /debug/vars.
+// them automatically) — plus the HISTORY/METRICS sibling ops backed by the
+// -history metric ring, so a federating supervisor can scrape windowed
+// rates without Prometheus. With -debug-addr, the daemon binds an HTTP
+// debug listener serving /metrics (Prometheus text for every wire call
+// handled), /healthz, /debug/pprof/* and /debug/vars.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"blobcr/internal/blobseer"
 	"blobcr/internal/cas"
@@ -47,11 +50,16 @@ func main() {
 	storeKind := flag.String("store", "auto", "chunk store engine (data role): seglog | files | mem (auto = seglog with -dir, mem without)")
 	advertise := flag.String("advertise", "", "address to register with the provider manager (default: the bound address)")
 	debugAddr := flag.String("debug-addr", "", "HTTP debug listener: /metrics, /debug/pprof/*, /debug/vars (empty = off)")
+	history := flag.Duration("history", time.Second, "metric history ring sample period backing the binary HISTORY op (0 = no ring)")
 	flag.Parse()
 
 	// Meter outbound wire calls (a data provider calls the provider manager
-	// to register) into the default registry, scraped by -debug-addr.
+	// to register) into the default registry, scraped by -debug-addr. The
+	// history ring lets the same registry answer windowed HISTORY queries.
 	net := transport.WithMeter(transport.NewTCP(), nil, blobseer.VerbName)
+	if *history > 0 {
+		obs.Default.StartHistory(*history, 256)
+	}
 	if *debugAddr != "" {
 		dbg, derr := obs.ServeDebug(*debugAddr, nil)
 		if derr != nil {

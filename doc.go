@@ -182,6 +182,38 @@
 // blobcr-ctl metrics -watch derives per-second counter rates from
 // successive scrapes.
 //
+// # Cluster health plane
+//
+// internal/health turns the per-process telemetry into one cluster
+// verdict. Any registry can keep a metric history ring
+// (obs.Registry.StartHistory): a bounded ring of delta-encoded snapshots
+// whose evicted samples fold into their successor, so a windowed
+// reduction (obs.History.Window — counter deltas and rates, gauge
+// first/last/min/max, histogram count/mean/p50/p99) stays exact across
+// wrap. Rings answer a HISTORY [seconds] verb beside METRICS (text on the
+// proxy/supervisor/repair endpoints, binary siblings on the blobseer
+// services; blobcr-proxyd/blobseerd -history set the sample period), and
+// blobcr-ctl metrics -watch reads the server's ring for exact windowed
+// rates. Each supervisor health round federates the fleet
+// (health.Federator): it scrapes every node's proxy and co-located data
+// provider and imports the expositions into one cluster registry with
+// every series relabelled node= (obs.Registry.Import), so a single scrape
+// of the supervisor covers the fleet; federation_node_up tracks scrape
+// health and a dead node's series hold their last-seen values. Over the
+// federated history a declarative SLO engine (health.Engine, health.Rule)
+// evaluates windowed signals — any metric aggregate or a ratio of two —
+// against multi-window burn-rate conditions (every window must breach:
+// the fast window rejects slow bleeds, the slow one rejects blips) with
+// fire/resolve hysteresis; health.DefaultRules covers suspend-window p99,
+// drain-backlog growth, heartbeat miss rate, storage MTTR, dedup
+// hit-rate collapse and seglog live ratio. Firings become supervisor
+// events, health_alert_active gauges, and the HEALTH verb's cluster
+// verdict (the debug listener's /healthz answers 200/503 from the same
+// source). blobcr-ctl top draws the live cluster dashboard from the
+// supervisor's federated endpoint alone, and blobcr-bench -only health
+// measures throttle-to-alert latency in federation rounds, failing CI
+// above two.
+//
 // # Asynchronous checkpoint handles
 //
 // The checkpoint lifecycle is asynchronous end to end: the proxy's

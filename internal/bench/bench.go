@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -49,6 +50,59 @@ func (s *Series) Render(w io.Writer) {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintln(w, strings.Repeat("-", 24+17*len(s.Columns)))
+}
+
+// JSONSeries is the machine-readable form of one Series, for the -json
+// output cmd/blobcr-bench writes (and CI uploads as an artifact): the
+// experiment name, its axes and unit, and every row's values — everything
+// the rendered table holds, parseable without scraping aligned text.
+type JSONSeries struct {
+	Name    string    `json:"name"`
+	XLabel  string    `json:"x_label"`
+	Unit    string    `json:"unit"`
+	Columns []string  `json:"columns"`
+	Rows    []JSONRow `json:"rows"`
+	Notes   []string  `json:"notes,omitempty"`
+	// Failed mirrors the FAILED convention in titles, so result consumers
+	// need not substring-match.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// JSONRow is one sweep point of a JSONSeries.
+type JSONRow struct {
+	X      float64   `json:"x"`
+	Values []float64 `json:"values"`
+}
+
+// JSON converts the series to its machine-readable form.
+func (s *Series) JSON() JSONSeries {
+	out := JSONSeries{
+		Name:    s.Title,
+		XLabel:  s.XLabel,
+		Unit:    s.YLabel,
+		Columns: s.Columns,
+		Notes:   s.Notes,
+		Failed:  strings.Contains(s.Title, "FAILED"),
+	}
+	for _, r := range s.Rows {
+		out.Rows = append(out.Rows, JSONRow{X: r.X, Values: r.Values})
+	}
+	return out
+}
+
+// WriteJSON writes the full result document: the model parameters the run
+// used, then every series in order.
+func WriteJSON(w io.Writer, params map[string]float64, series []Series) error {
+	doc := struct {
+		Params map[string]float64 `json:"params,omitempty"`
+		Series []JSONSeries       `json:"series"`
+	}{Params: params}
+	for i := range series {
+		doc.Series = append(doc.Series, series[i].JSON())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // approachColumns returns the paper's column headers.
@@ -260,6 +314,7 @@ func All(p simcloud.Params, c simcloud.CM1Params, dir string) []Series {
 		FigRepair(),
 		FigLocalTier(),
 		FigPreemption(),
+		FigHealth(),
 	}
 	if dir != "" {
 		out = append(out, FigDiskLog(dir))

@@ -12,8 +12,8 @@ func TestAllSeriesWellFormed(t *testing.T) {
 	p := simcloud.Default()
 	c := simcloud.DefaultCM1()
 	series := All(p, c, t.TempDir())
-	if len(series) != 19 {
-		t.Fatalf("All returned %d series, want 19 (every table and figure, the CAS dedup extension, and the downtime, commit-stage, trace-critical-path, availability, throughput, disk-log, repair, local-tier and preemption experiments)", len(series))
+	if len(series) != 20 {
+		t.Fatalf("All returned %d series, want 20 (every table and figure, the CAS dedup extension, and the downtime, commit-stage, trace-critical-path, availability, throughput, disk-log, repair, local-tier, preemption and cluster-health experiments)", len(series))
 	}
 	for _, s := range series {
 		if s.Title == "" || len(s.Columns) == 0 || len(s.Rows) == 0 {

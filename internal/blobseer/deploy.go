@@ -84,6 +84,14 @@ func DeployTraced(n transport.Network, nMeta, nData int) (*Deployment, error) {
 	return deployServices(n, nMeta, nData, MemStores, true)
 }
 
+// DeployObserved is DeployWith with one fresh obs registry per service (see
+// DeployTraced) — the shape a federating supervisor expects: each data
+// provider's registry is its own scrape target, so the fleet view keeps
+// per-node series apart instead of merging them into obs.Default.
+func DeployObserved(n transport.Network, nMeta, nData int, newStore StoreFactory) (*Deployment, error) {
+	return deployServices(n, nMeta, nData, newStore, true)
+}
+
 func deployServices(n transport.Network, nMeta, nData int, newStore StoreFactory, traced bool) (*Deployment, error) {
 	if nMeta < 1 || nData < 1 {
 		return nil, fmt.Errorf("blobseer: deployment needs at least one metadata and one data provider (got %d, %d)", nMeta, nData)

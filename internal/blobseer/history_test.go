@@ -1,0 +1,72 @@
+package blobseer
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"blobcr/internal/obs"
+	"blobcr/internal/transport"
+)
+
+// TestRemoteHistoryAndMetricsOps exercises the binary HISTORY/METRICS
+// siblings against an observed deployment's data provider: a ring-less
+// service answers HISTORY with an error, an attached ring serves windowed
+// deltas over the wire, and RemoteMetrics round-trips the service's own
+// exposition.
+func TestRemoteHistoryAndMetricsOps(t *testing.T) {
+	net := transport.NewInProc()
+	repo, err := DeployObserved(net, 1, 1, MemStores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	ctx := context.Background()
+	cl := repo.Client()
+	dataAddr := repo.DataAddrs[0]
+	reg := repo.Registries[dataAddr]
+	if reg == nil {
+		t.Fatal("observed deployment lacks a per-service registry for its data provider")
+	}
+
+	if _, err := cl.RemoteHistory(ctx, dataAddr, time.Minute); err == nil {
+		t.Fatal("HISTORY against a ring-less service accepted")
+	}
+
+	h := reg.StartHistory(0, 8)
+	reg.Counter("demo_total").Add(2)
+	h.Sample()
+	reg.Counter("demo_total").Add(5)
+	h.Sample()
+
+	rep, err := cl.RemoteHistory(ctx, dataAddr, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Window != time.Minute || rep.Samples != 2 {
+		t.Errorf("window report header: %+v", rep)
+	}
+	if st := rep.Find("demo_total"); st == nil || st.Delta != 5 {
+		t.Errorf("windowed delta over the wire: %+v", st)
+	}
+	if _, err := cl.RemoteHistory(ctx, dataAddr, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+
+	points, err := cl.RemoteMetrics(ctx, dataAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := obs.Find(points, "demo_total"); p == nil || p.Value != 7 {
+		t.Errorf("RemoteMetrics exposition: %+v", p)
+	}
+
+	// A dead service is an error, not an empty report.
+	net.Partition(dataAddr)
+	if _, err := cl.RemoteHistory(ctx, dataAddr, time.Minute); err == nil {
+		t.Error("HISTORY against a partitioned service accepted")
+	}
+	if _, err := cl.RemoteMetrics(ctx, dataAddr); err == nil {
+		t.Error("METRICS against a partitioned service accepted")
+	}
+}

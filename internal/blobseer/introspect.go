@@ -3,15 +3,18 @@ package blobseer
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"blobcr/internal/obs"
 	"blobcr/internal/wire"
 )
 
-// introspectionReply answers the binary TRACE/FLIGHT siblings (opTraceGet,
-// opFlightGet) from a server's registry. handled reports whether op was an
-// introspection op; the servers try this before their own dispatch so every
-// blobseer service exposes its span stores without repeating the cases.
+// introspectionReply answers the binary TRACE/FLIGHT/HISTORY/METRICS
+// siblings (opTraceGet, opFlightGet, opHistoryGet, opMetricsGet) from a
+// server's registry. handled reports whether op was an introspection op; the
+// servers try this before their own dispatch so every blobseer service
+// exposes its span stores, history ring and exposition without repeating the
+// cases.
 func introspectionReply(reg *obs.Registry, op int, r *wire.Reader) (resp []byte, handled bool, err error) {
 	switch op {
 	case opTraceGet:
@@ -22,6 +25,26 @@ func introspectionReply(reg *obs.Registry, op int, r *wire.Reader) (resp []byte,
 		return obs.MarshalSpans(reg.TraceSpans(trace)), true, nil
 	case opFlightGet:
 		return obs.MarshalSpans(reg.FlightSpans()), true, nil
+	case opHistoryGet:
+		secs := r.U32()
+		if err := reqErr(op, r); err != nil {
+			return nil, true, err
+		}
+		h := reg.History()
+		if h == nil {
+			return nil, true, fmt.Errorf("blobseer: no history ring")
+		}
+		return obs.MarshalWindow(h.Window(time.Duration(secs) * time.Second)), true, nil
+	case opMetricsGet:
+		off := r.U32()
+		if err := reqErr(op, r); err != nil {
+			return nil, true, err
+		}
+		chunk, next := reg.ExpositionAt(int(off))
+		w := wire.NewBuffer(16 + len(chunk))
+		w.PutI64(int64(next))
+		w.PutString(chunk)
+		return w.Bytes(), true, nil
 	}
 	return nil, false, nil
 }
@@ -71,4 +94,55 @@ func (c *Client) RemoteFlight(ctx context.Context, addr string) ([]obs.SpanRecor
 		return nil, fmt.Errorf("blobseer: flight dump from %s: %w", addr, err)
 	}
 	return obs.ParseSpans(resp)
+}
+
+// RemoteHistory queries the history ring of the service at addr over the
+// trailing window (the binary sibling of the text endpoints' HISTORY verb).
+// Services without a ring answer with an error.
+func (c *Client) RemoteHistory(ctx context.Context, addr string, window time.Duration) (obs.WindowReport, error) {
+	secs := int64(window / time.Second)
+	if secs <= 0 || secs > int64(^uint32(0)) {
+		return obs.WindowReport{}, fmt.Errorf("blobseer: bad history window %v", window)
+	}
+	w := wire.NewBuffer(8)
+	w.PutU8(opHistoryGet)
+	w.PutU32(uint32(secs))
+	resp, err := c.Net.Call(ctx, addr, w.Bytes())
+	if err != nil {
+		return obs.WindowReport{}, fmt.Errorf("blobseer: history from %s: %w", addr, err)
+	}
+	return obs.ParseWindow(resp)
+}
+
+// RemoteMetrics scrapes the full metrics exposition of the service at addr,
+// following chunk continuations (the binary sibling of the text endpoints'
+// METRICS verb, for services that speak no text protocol — data providers,
+// the managers).
+func (c *Client) RemoteMetrics(ctx context.Context, addr string) ([]obs.Point, error) {
+	var text []byte
+	off := uint32(0)
+	for {
+		w := wire.NewBuffer(8)
+		w.PutU8(opMetricsGet)
+		w.PutU32(off)
+		resp, err := c.Net.Call(ctx, addr, w.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("blobseer: metrics from %s: %w", addr, err)
+		}
+		r := wire.NewReader(resp)
+		next := r.I64()
+		chunk := r.String()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("blobseer: metrics from %s: %w", addr, err)
+		}
+		text = append(text, chunk...)
+		if next < 0 {
+			break
+		}
+		if next <= int64(off) || next > int64(^uint32(0)) {
+			return nil, fmt.Errorf("blobseer: metrics from %s: bad continuation offset %d", addr, next)
+		}
+		off = uint32(next)
+	}
+	return obs.ParseProm(string(text))
 }

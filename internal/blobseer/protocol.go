@@ -152,8 +152,10 @@ const (
 // space, below 0xF0 (values from 0xF0 up are reserved for transport-level
 // markers such as the trace-context header).
 const (
-	opTraceGet  = 0xE0 // request: u64 trace id; response: obs.MarshalSpans
-	opFlightGet = 0xE1 // request: op only; response: obs.MarshalSpans of the flight ring
+	opTraceGet   = 0xE0 // request: u64 trace id; response: obs.MarshalSpans
+	opFlightGet  = 0xE1 // request: op only; response: obs.MarshalSpans of the flight ring
+	opHistoryGet = 0xE2 // request: u32 window seconds; response: obs.MarshalWindow
+	opMetricsGet = 0xE3 // request: u32 chunk offset; response: i64 next offset + exposition chunk
 )
 
 // maxBatchItems bounds the item count of one batch frame: far above any

@@ -52,8 +52,10 @@ var opNames = map[byte]string{
 	opNodePutBatch: "node-put-batch",
 	opNodeGetBatch: "node-get-batch",
 
-	opTraceGet:  "trace-get",
-	opFlightGet: "flight-get",
+	opTraceGet:   "trace-get",
+	opFlightGet:  "flight-get",
+	opHistoryGet: "history-get",
+	opMetricsGet: "metrics-get",
 }
 
 // OpName returns the verb name of a BlobSeer op code, or "" when the byte

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"blobcr/internal/blobseer"
+	"blobcr/internal/health"
 	"blobcr/internal/localtier"
 	"blobcr/internal/mirror"
 	"blobcr/internal/obs"
@@ -48,12 +49,17 @@ type Node struct {
 
 	proxy  *proxy.Proxy
 	stage  *localtier.Stage
+	reg    *obs.Registry // the node's own registry (Config.Health), else nil
 	failed atomic.Bool
 }
 
 // Stage returns the node's local write-back tier, if the cloud was built
 // with LocalTier.
 func (n *Node) Stage() *localtier.Stage { return n.stage }
+
+// Registry returns the node's own metrics registry when the cloud was built
+// with Config.Health, or nil when every node shares the cloud registry.
+func (n *Node) Registry() *obs.Registry { return n.reg }
 
 // Failed reports whether the node has fail-stopped.
 func (n *Node) Failed() bool { return n.failed.Load() }
@@ -115,6 +121,7 @@ type Cloud struct {
 
 	localTier   bool
 	stageStores blobseer.StoreFactory
+	health      *health.Options // per-node observability (Config.Health), else nil
 
 	mu      sync.Mutex
 	nodes   []*Node
@@ -168,6 +175,15 @@ type Config struct {
 	// (nil means in-memory; durable nodes pass blobseer.SeglogStores over a
 	// node-local directory). Only used with LocalTier.
 	StageStores blobseer.StoreFactory
+	// Health switches the deployment to per-node observability, the shape a
+	// federating supervisor (supervisor.Config.Health) expects: each node's
+	// proxy — and its local tier and drain client — records into the node's
+	// own registry with a metric history ring attached (HISTORY answers
+	// per-node windowed rates), and every repository service deploys with its
+	// own ringed registry too (blobseer.DeployObserved). Without it all nodes
+	// share Obs, and a federated scrape would file identical copies of the
+	// merged series under every node= label.
+	Health *health.Options
 }
 
 // New builds a cloud: an in-process network, a BlobSeer deployment with one
@@ -194,25 +210,50 @@ func New(cfg Config) (*Cloud, error) {
 	if newStore == nil {
 		newStore = blobseer.MemStores
 	}
-	repo, err := blobseer.DeployWith(net, cfg.MetaProviders, cfg.Nodes, newStore)
+	var hopts *health.Options
+	if cfg.Health != nil {
+		o := cfg.Health.WithDefaults()
+		hopts = &o
+	}
+	var repo *blobseer.Deployment
+	var err error
+	if hopts != nil {
+		repo, err = blobseer.DeployObserved(net, cfg.MetaProviders, cfg.Nodes, newStore)
+	} else {
+		repo, err = blobseer.DeployWith(net, cfg.MetaProviders, cfg.Nodes, newStore)
+	}
 	if err != nil {
 		return nil, err
 	}
-	c := &Cloud{net: net, repo: repo, obs: reg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if hopts != nil {
+		for _, sreg := range repo.Registries {
+			sreg.StartHistory(hopts.SampleEvery, hopts.HistoryCap)
+		}
+	}
+	c := &Cloud{net: net, repo: repo, obs: reg, health: hopts, rng: rand.New(rand.NewSource(cfg.Seed))}
 	for i := 0; i < cfg.Nodes; i++ {
 		p := proxy.New()
-		p.Obs = reg
+		nodeReg := reg
+		if hopts != nil {
+			nodeReg = obs.NewRegistry()
+			nodeReg.StartHistory(hopts.SampleEvery, hopts.HistoryCap)
+		}
+		p.Obs = nodeReg
 		srv, err := p.Serve(net, "")
 		if err != nil {
 			repo.Close()
 			return nil, err
 		}
-		c.nodes = append(c.nodes, &Node{
+		node := &Node{
 			Name:      fmt.Sprintf("node-%03d", i),
 			ProxyAddr: srv.Addr(),
 			DataAddr:  repo.DataAddrs[i],
 			proxy:     p,
-		})
+		}
+		if hopts != nil {
+			node.reg = nodeReg
+		}
+		c.nodes = append(c.nodes, node)
 	}
 	c.replication = cfg.Replication
 	c.dedup = cfg.Dedup
@@ -233,14 +274,14 @@ func New(cfg Config) (*Cloud, error) {
 				repo.Close()
 				return nil, fmt.Errorf("cloud: stage store %d: %w", i, err)
 			}
-			n.stage = localtier.New(store, reg)
+			n.stage = localtier.New(store, c.nodeRegistry(n))
 			if len(c.nodes) > 1 {
 				n.PartnerAddr = c.nodes[(i+1)%len(c.nodes)].ProxyAddr
 			}
 			n.proxy.Stage = n.stage
 			n.proxy.PartnerAddr = n.PartnerAddr
 			n.proxy.Net = net
-			n.proxy.Repo = c.Client()
+			n.proxy.Repo = c.nodeClient(n)
 		}
 	}
 	return c, nil
@@ -260,6 +301,25 @@ func (c *Cloud) Client() *blobseer.Client {
 // Registry returns the metrics registry the deployment records into — the
 // one surface the METRICS endpoints and -debug-addr listeners scrape.
 func (c *Cloud) Registry() *obs.Registry { return c.obs }
+
+// nodeRegistry returns the registry a node's own components (local tier,
+// drain client) record into: the node's registry with Config.Health, the
+// shared cloud registry otherwise.
+func (c *Cloud) nodeRegistry(n *Node) *obs.Registry {
+	if n.reg != nil {
+		return n.reg
+	}
+	return c.obs
+}
+
+// nodeClient is Client with the node's own registry — the drain client's
+// commit counters then count toward the node that drains, which is what the
+// per-node commit-throughput view in blobcr-ctl top reads.
+func (c *Cloud) nodeClient(n *Node) *blobseer.Client {
+	cl := c.Client()
+	cl.Obs = c.nodeRegistry(n)
+	return cl
+}
 
 // Nodes returns the compute nodes.
 func (c *Cloud) Nodes() []*Node {
@@ -288,6 +348,15 @@ func (c *Cloud) AddNode(ctx context.Context) (*Node, error) {
 	}
 	p := proxy.New()
 	p.Obs = c.obs
+	var nodeReg *obs.Registry
+	if c.health != nil {
+		if sreg := c.repo.Registries[dataAddr]; sreg != nil {
+			sreg.StartHistory(c.health.SampleEvery, c.health.HistoryCap)
+		}
+		nodeReg = obs.NewRegistry()
+		nodeReg.StartHistory(c.health.SampleEvery, c.health.HistoryCap)
+		p.Obs = nodeReg
+	}
 	srv, err := p.Serve(c.net, "")
 	if err != nil {
 		// The data provider already JOINed placement; take it back out so a
@@ -303,6 +372,7 @@ func (c *Cloud) AddNode(ctx context.Context) (*Node, error) {
 		ProxyAddr: srv.Addr(),
 		DataAddr:  dataAddr,
 		proxy:     p,
+		reg:       nodeReg,
 	}
 	if c.localTier {
 		store, err := c.stageStores(len(c.nodes))
@@ -310,7 +380,7 @@ func (c *Cloud) AddNode(ctx context.Context) (*Node, error) {
 			c.Client().UnregisterProvider(ctx, dataAddr) //nolint:errcheck // best effort rollback
 			return nil, fmt.Errorf("cloud: stage store: %w", err)
 		}
-		node.stage = localtier.New(store, c.obs)
+		node.stage = localtier.New(store, c.nodeRegistry(node))
 		// The newcomer replicates to the previous ring tail; existing links
 		// stay as wired at deploy.
 		if n := len(c.nodes); n > 0 {
@@ -319,7 +389,7 @@ func (c *Cloud) AddNode(ctx context.Context) (*Node, error) {
 		p.Stage = node.stage
 		p.PartnerAddr = node.PartnerAddr
 		p.Net = c.net
-		p.Repo = c.Client()
+		p.Repo = c.nodeClient(node)
 	}
 	c.nodes = append(c.nodes, node)
 	return node, nil
@@ -388,7 +458,10 @@ type placement struct {
 // the planned node. It performs network I/O and must not be called holding
 // c.mu — placement and token assignment happen under the lock beforehand.
 func (c *Cloud) deployOne(ctx context.Context, vmID string, pl placement, ref SnapshotRef, vmCfg vm.Config, resumeCkpt bool) (*Instance, error) {
-	cl := c.Client()
+	// The mirror's repository client is the one the normal async drain
+	// commits through, so it carries the node's registry: the commit
+	// counters then count toward the node that drains them.
+	cl := c.nodeClient(pl.node)
 	var mod *mirror.Module
 	var err error
 	if resumeCkpt {
@@ -911,6 +984,16 @@ func (c *Cloud) Close() {
 	for _, n := range nodes {
 		if n.stage != nil {
 			n.stage.Close() //nolint:errcheck // teardown
+		}
+		if n.reg != nil {
+			if h := n.reg.History(); h != nil {
+				h.Close()
+			}
+		}
+	}
+	for _, sreg := range c.repo.Registries {
+		if h := sreg.History(); h != nil {
+			h.Close()
 		}
 	}
 	c.repo.Close()

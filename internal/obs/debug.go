@@ -2,9 +2,11 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
@@ -12,6 +14,7 @@ import (
 // the Go runtime's standard introspection surface:
 //
 //	/metrics          Prometheus text exposition of reg
+//	/healthz          readiness: 200 "ok" | 503 "degraded: <alerts>"
 //	/debug/pprof/*    CPU, heap, goroutine, block profiles (net/http/pprof)
 //	/debug/vars       expvar (memstats, cmdline)
 //
@@ -31,6 +34,16 @@ func ServeDebug(addr string, reg *Registry) (*http.Server, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteProm(w, reg.Snapshot()) //nolint:errcheck // best effort over HTTP
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ok, firing := reg.Health()
+		if ok {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: %s\n", strings.Join(firing, " "))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -144,6 +144,12 @@ type Registry struct {
 	mu      sync.RWMutex
 	metrics map[string]*metric
 	spans   spanStore
+
+	// hist is the registry's metric history ring (history.go), attached by
+	// StartHistory; nil until then. health is the readiness callback
+	// (SetHealth) behind the HEALTH verb and the /healthz endpoint.
+	hist   atomic.Pointer[History]
+	health atomic.Pointer[func() (ok bool, firing []string)]
 }
 
 // NewRegistry returns an empty registry.

@@ -3,6 +3,8 @@ package obs
 import (
 	"fmt"
 	"strconv"
+	"strings"
+	"time"
 )
 
 // TextReply answers the tokenless introspection verbs every REST-ful text
@@ -12,6 +14,8 @@ import (
 //	                   | OK v1 MORE <next-offset>\n<exposition chunk>
 //	TRACE <trace-hex>  → OK v1\n<span lines>
 //	FLIGHT             → OK v1\n<span lines>
+//	HISTORY [<secs>]   → OK v1\n<window report lines> (MarshalWindow)
+//	HEALTH             → OK v1\nOK | OK v1\nDEGRADED <alert> ...
 //
 // A METRICS exposition larger than ExpositionChunkBytes is split across
 // frames: the scraper follows the MORE continuations by re-requesting with
@@ -56,6 +60,33 @@ func (r *Registry) TextReply(fields []string) (resp []byte, handled bool) {
 			return nil, false
 		}
 		return append([]byte("OK "+ExpositionVersion+"\n"), MarshalSpans(r.FlightSpans())...), true
+	case "HISTORY":
+		window := DefaultHistoryWindow
+		switch {
+		case len(fields) == 1:
+		case len(fields) == 2:
+			secs, err := strconv.Atoi(fields[1])
+			if err != nil || secs <= 0 {
+				return []byte("ERR bad history window"), true
+			}
+			window = time.Duration(secs) * time.Second
+		default:
+			return []byte("ERR malformed history request"), true
+		}
+		h := r.History()
+		if h == nil {
+			return []byte("ERR no history ring"), true
+		}
+		return append([]byte("OK "+ExpositionVersion+"\n"), MarshalWindow(h.Window(window))...), true
+	case "HEALTH":
+		if len(fields) != 1 {
+			return []byte("ERR malformed health request"), true
+		}
+		ok, firing := r.Health()
+		if ok {
+			return []byte("OK " + ExpositionVersion + "\nOK"), true
+		}
+		return []byte("OK " + ExpositionVersion + "\nDEGRADED " + strings.Join(firing, " ")), true
 	}
 	return nil, false
 }

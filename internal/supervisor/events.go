@@ -44,6 +44,11 @@ const (
 	// EventFlightArchived records that a confirmed-dead node's last mirrored
 	// flight-recorder dump was frozen as its post-mortem (FLIGHT <node>).
 	EventFlightArchived EventType = "flight-archived"
+
+	// Health plane (Config.Health): an SLO rule evaluated over the federated
+	// history ring crossed into (or back out of) breach with hysteresis.
+	EventAlertFiring   EventType = "alert-firing"
+	EventAlertResolved EventType = "alert-resolved"
 )
 
 // Event is one structured entry of the supervisor's event stream.

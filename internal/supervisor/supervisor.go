@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"blobcr/internal/cloud"
+	"blobcr/internal/health"
 	"blobcr/internal/localtier"
 	"blobcr/internal/obs"
 	"blobcr/internal/proxy"
@@ -120,6 +121,15 @@ type Config struct {
 	// into (heartbeat RTT, MTTR, work lost, Young/Daly interval, dropped
 	// events). Nil means obs.Default.
 	Obs *obs.Registry
+
+	// Health, when set, turns the supervisor into the cluster health plane
+	// (internal/health): every Health.Every-th heartbeat round it federates
+	// each live node's metrics (proxy text verb + data provider binary op,
+	// plus Health.RepairAddr) into Obs under node= labels, samples Obs's
+	// history ring, and evaluates the SLO rules — firings and resolutions
+	// become events and health_alert_active gauges, and the supervisor's own
+	// METRICS/HISTORY/HEALTH endpoint then answers for the whole fleet.
+	Health *health.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -253,6 +263,11 @@ type Supervisor struct {
 	flightMu sync.Mutex
 	flights  map[string]FlightDump
 	hbRounds int // heartbeat rounds run; gates mirroring via FlightEvery
+
+	// Health plane (health.go in this package): the federation scraper and
+	// SLO engine, nil without Config.Health.
+	fed    *health.Federator
+	engine *health.Engine
 }
 
 // New builds a supervisor for the deployment. Run starts the control loop.
@@ -275,6 +290,9 @@ func New(cl *cloud.Cloud, dep *cloud.Deployment, cfg Config) *Supervisor {
 	}
 	dropped := reg.Counter("supervisor_events_dropped_total")
 	s.log.onDrop = dropped.Inc
+	if cfg.Health != nil {
+		s.startHealth(cfg.Health)
+	}
 	return s
 }
 
@@ -429,10 +447,20 @@ func (s *Supervisor) heartbeat(ctx context.Context) []string {
 	// would archive as the node's post-mortem.
 	s.mu.Lock()
 	s.hbRounds++
-	mirror := s.cfg.FlightEvery > 0 && s.hbRounds%s.cfg.FlightEvery == 0
+	rounds := s.hbRounds
+	mirror := s.cfg.FlightEvery > 0 && rounds%s.cfg.FlightEvery == 0
 	s.mu.Unlock()
 	if mirror {
 		s.mirrorFlights(ctx, nodes, errs)
+	}
+	if s.fed != nil {
+		every := s.cfg.Health.Every
+		if every < 1 {
+			every = 1
+		}
+		if rounds%every == 0 {
+			s.healthRound(ctx, nodes)
+		}
 	}
 	var confirmed []string
 	for i, node := range nodes {

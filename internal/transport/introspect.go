@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"blobcr/internal/obs"
 )
@@ -68,6 +69,26 @@ func TraceSpansText(ctx context.Context, n Network, addr string, trace uint64) (
 // addr.
 func FlightSpansText(ctx context.Context, n Network, addr string) ([]obs.SpanRecord, error) {
 	return textSpans(ctx, n, addr, "FLIGHT")
+}
+
+// HistoryWindow queries the history ring of the text endpoint at addr over
+// the trailing window (the HISTORY verb, see obs.History). The reply is
+// parsed strictly: a corrupt or truncated frame is an error, never a
+// half-applied report.
+func HistoryWindow(ctx context.Context, n Network, addr string, window time.Duration) (obs.WindowReport, error) {
+	secs := int64(window / time.Second)
+	if secs <= 0 {
+		return obs.WindowReport{}, fmt.Errorf("transport: bad history window %v", window)
+	}
+	resp, err := n.Call(ctx, addr, fmt.Appendf(nil, "HISTORY %d", secs))
+	if err != nil {
+		return obs.WindowReport{}, err
+	}
+	_, body, err := splitTextReply(resp)
+	if err != nil {
+		return obs.WindowReport{}, err
+	}
+	return obs.ParseWindow([]byte(body))
 }
 
 func textSpans(ctx context.Context, n Network, addr, req string) ([]obs.SpanRecord, error) {

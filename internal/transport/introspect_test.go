@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"blobcr/internal/obs"
 )
@@ -213,4 +214,63 @@ func TestTraceAndFlightTextCollection(t *testing.T) {
 	if _, err := TraceSpansText(context.Background(), n, srv.Addr(), 0); err == nil {
 		t.Error("zero trace id not rejected")
 	}
+}
+
+// testHistoryWindowCorruptFrames: HistoryWindow's strict parsing rejects
+// garbage, half-cut and wrong-shape HISTORY replies outright — on both
+// terminal networks — while a well-formed frame still round-trips.
+func testHistoryWindowCorruptFrames(t *testing.T, n Network) {
+	t.Helper()
+	var reply []byte
+	srv, err := n.Listen("", func(_ context.Context, req []byte) ([]byte, error) {
+		if !strings.HasPrefix(string(req), "HISTORY") {
+			return []byte("ERR unknown verb"), nil
+		}
+		return reply, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		name  string
+		frame string
+	}{
+		{"no reply header", "garbage"},
+		{"endpoint error", "ERR no history ring"},
+		{"version skew", "OK v9\nwindow 60 span 5 samples 2\n"},
+		{"junk body", "OK v1\nnot a window header\n"},
+		{"truncated series line", "OK v1\nwindow 60 span 5 samples 2\ncounter foo delta=1"},
+		{"unknown series kind", "OK v1\nwindow 60 span 5 samples 2\nwidget foo delta=1 rate=2\n"},
+		{"empty body", "OK v1\n"},
+	} {
+		reply = []byte(tc.frame)
+		if _, err := HistoryWindow(ctx, n, srv.Addr(), time.Minute); err == nil {
+			t.Errorf("%s: corrupt HISTORY frame accepted", tc.name)
+		}
+	}
+
+	reply = []byte("OK v1\nwindow 60 span 5 samples 2\ncounter foo delta=4 rate=0.8\n")
+	rep, err := HistoryWindow(ctx, n, srv.Addr(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Window != time.Minute || rep.Samples != 2 || len(rep.Stats) != 1 || rep.Stats[0].Delta != 4 {
+		t.Errorf("valid frame mis-parsed: %+v", rep)
+	}
+
+	// Sub-second windows truncate to zero seconds on the wire: rejected
+	// client-side before any call.
+	if _, err := HistoryWindow(ctx, n, srv.Addr(), 500*time.Millisecond); err == nil {
+		t.Error("sub-second window accepted")
+	}
+}
+
+func TestInProcHistoryWindowCorruptFrames(t *testing.T) {
+	testHistoryWindowCorruptFrames(t, NewInProc())
+}
+func TestTCPHistoryWindowCorruptFrames(t *testing.T) {
+	testHistoryWindowCorruptFrames(t, NewTCP())
 }

@@ -11,9 +11,10 @@
 # *domain* times (event timestamps, recovery deadlines, flight-dump mirror
 # times, report.Elapsed fields served over their own wire protocols), which
 # are data, not metrics. internal/obs is the measuring instrument itself —
-# the Stopwatch implementation plus the span/flight recorder's start/end
-# stamps are the one place raw clock reads belong, and its baseline keeps
-# that set from growing unreviewed. Lowering a baseline after a cleanup is
+# the Stopwatch implementation plus the span/flight recorder's and history
+# ring's sample stamps are the one place raw clock reads belong, and its
+# baseline keeps that set from growing unreviewed. internal/health stamps
+# Alert.Since (when a breach streak began — domain data on the alert). Lowering a baseline after a cleanup is
 # encouraged; raising one needs a reason in the commit that does it.
 set -eu
 cd "$(dirname "$0")/.."
@@ -39,7 +40,8 @@ check internal/mirror     0
 check internal/proxy      0
 check internal/chunkstore 0
 check internal/seglog     0
-check internal/obs        7
+check internal/obs        8
+check internal/health     1
 check internal/supervisor 13
 check internal/repair     9
 
